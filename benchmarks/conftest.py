@@ -1,0 +1,36 @@
+"""Benchmark fixtures.
+
+Benchmarks default to a mid-size corpus (12 sequences / 600 frames)
+so a full ``pytest benchmarks/ --benchmark-only`` run stays in the
+minutes range; set ``REPRO_PAPER=1`` for the paper-scale corpus
+(37 / 1,921).  Trained state is shared per session and traces are
+disk-cached via the experiment context.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.synthetic import CorpusSpec
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    if os.environ.get("REPRO_PAPER", "") == "1":
+        spec = CorpusSpec()
+    else:
+        spec = CorpusSpec(n_sequences=12, total_frames=600, base_seed=2009)
+    return ExperimentContext(corpus_spec=spec)
+
+
+@pytest.fixture(scope="session")
+def model(ctx):
+    return ctx.model
+
+
+def pedantic(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

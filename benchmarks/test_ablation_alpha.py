@@ -1,0 +1,37 @@
+"""Ablation: EWMA smoothing factor (Eq. 1).
+
+The paper motivates the EWMA by its fast adaptation; the sweep shows
+prediction accuracy across alpha and that the library default sits on
+the useful plateau (no cliff within a factor ~2 of it).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.core.computation import PAPER_EWMA_ALPHA
+from repro.experiments.ablation import alpha_sweep, held_out_traces
+
+
+@pytest.fixture(scope="module")
+def test_traces(ctx):
+    return held_out_traces(ctx)
+
+
+def test_alpha_sweep(ctx, test_traces, benchmark):
+    rows = pedantic(
+        benchmark, alpha_sweep, ctx.traces, test_traces, "RDG_ROI"
+    )
+    print()
+    print("alpha   mean-acc  max-err")
+    for alpha, rep in rows:
+        print(f"{alpha:5.2f} {rep.mean_accuracy * 100:9.1f}% {rep.max_relative_error * 100:7.1f}%")
+    accs = {alpha: rep.mean_accuracy for alpha, rep in rows}
+    default_acc = min(
+        accs[a] for a in accs if abs(a - PAPER_EWMA_ALPHA) < 0.21
+    )
+    # The default must be within 3 accuracy points of the sweep best.
+    assert default_acc > max(accs.values()) - 0.03
+    # And every alpha on the sweep must stay usable (sanity).
+    assert min(accs.values()) > 0.5

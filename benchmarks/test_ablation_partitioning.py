@@ -1,0 +1,43 @@
+"""Ablation: partitioning width and policy.
+
+* N-stripe scaling beyond the paper's 2-stripe case: speedup with
+  diminishing efficiency (fork/join + halo overhead);
+* robust multi-scenario repartitioning vs partitioning for the most
+  likely scenario only -- the robustness choice is what keeps the
+  Fig. 7 managed curve free of misprediction spikes.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import pedantic
+from repro.experiments.ablation import partition_policy_comparison, stripe_scaling
+
+
+def test_stripe_scaling(ctx, benchmark):
+    points = pedantic(benchmark, stripe_scaling, ctx, "RDG_FULL", 45.0, 8)
+    print()
+    print("parts  latency  speedup  efficiency")
+    for p in points:
+        print(f"{p.parts:5d} {p.latency_ms:8.2f} {p.speedup:8.2f} {p.efficiency:10.2f}")
+    # Monotone speedup with diminishing efficiency.
+    speedups = [p.speedup for p in points]
+    effs = [p.efficiency for p in points]
+    assert all(b >= a - 1e-9 for a, b in zip(speedups, speedups[1:]))
+    assert effs[-1] < effs[0]
+    assert speedups[1] > 1.8  # 2-stripe close to ideal (Fig. 6)
+    assert speedups[-1] < 8.0  # never super-linear
+
+
+def test_partition_policy(ctx, benchmark):
+    out = pedantic(benchmark, partition_policy_comparison, ctx, 120)
+    print()
+    for policy, stats in out.items():
+        print(
+            f"{policy:12s} violations {stats['violation_rate'] * 100:5.1f}%  "
+            f"lat std {stats['latency_std']:5.2f}  max {stats['latency_max']:6.1f}  "
+            f"cores {stats['mean_cores']:.2f}"
+        )
+    # Robust partitioning must not miss the budget more often than
+    # the most-likely-only policy, and it caps the worst frame lower.
+    assert out["robust"]["violation_rate"] <= out["most-likely"]["violation_rate"]
+    assert out["robust"]["latency_max"] <= out["most-likely"]["latency_max"] + 1e-6

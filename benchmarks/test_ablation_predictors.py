@@ -1,0 +1,39 @@
+"""Ablation: predictor class comparison per task.
+
+Justifies the Table 2(b) model assignment: on the structurally
+drifting RDG series the EWMA+Markov combination must beat both the
+constant model and naive persistence; on near-constant tasks the
+constant model is already sufficient (which is why the paper uses
+it there).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.experiments.ablation import held_out_traces, predictor_comparison
+
+
+@pytest.fixture(scope="module")
+def test_traces(ctx):
+    return held_out_traces(ctx)
+
+
+def test_rdg_predictor_ranking(ctx, test_traces, benchmark):
+    out = pedantic(
+        benchmark, predictor_comparison, ctx.traces, test_traces, "RDG_ROI"
+    )
+    print()
+    for name, rep in out.items():
+        print(f"{name:14s} {rep.mean_accuracy * 100:6.1f}%  maxerr {rep.max_relative_error * 100:6.1f}%")
+    # The paper's model choice must win (or tie) on the dynamic task.
+    assert out["ewma+markov"].mean_accuracy >= out["constant"].mean_accuracy - 0.005
+    assert out["ewma+markov"].mean_accuracy >= out["last-value"].mean_accuracy - 0.005
+
+    # REG is constant-by-construction: nothing beats the constant
+    # model by a meaningful margin (why Table 2b uses "2 ms").
+    reg = predictor_comparison(ctx.traces, test_traces, "REG")
+    best = max(rep.mean_accuracy for rep in reg.values())
+    assert reg["constant"].mean_accuracy > best - 0.01
+    assert reg["constant"].mean_accuracy > 0.97

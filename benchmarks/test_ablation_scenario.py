@@ -1,0 +1,30 @@
+"""Ablation: scenario-based vs scenario-oblivious prediction.
+
+The word "scenario-based" in the paper's title is a design decision:
+frame time is predicted as the per-task sum over the *predicted
+switch state*, not as one pooled scalar series.  Scenario switches
+step the frame time by whole tasks (the ENH+ZOOM pair alone is
+~37 ms), which a pooled model can only chase a frame late.  This
+benchmark quantifies the gap.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import pedantic
+from repro.experiments.ablation import scenario_awareness_comparison
+
+
+def test_scenario_awareness(ctx, benchmark):
+    out = pedantic(benchmark, scenario_awareness_comparison, ctx)
+    print()
+    for name, rep in out.items():
+        print(
+            f"{name:16s} mean {rep.mean_accuracy * 100:5.1f}%  "
+            f"median {rep.median_accuracy * 100:5.1f}%  "
+            f"excursions {rep.excursion_fraction * 100:5.1f}%"
+        )
+    sb, ob = out["scenario-based"], out["oblivious"]
+    # The scenario table must earn its keep on every aggregate.
+    assert sb.mean_accuracy > ob.mean_accuracy
+    assert sb.excursion_fraction <= ob.excursion_fraction
+    assert sb.mean_accuracy > 0.90

@@ -1,0 +1,24 @@
+"""Bench: Section 7 -- cache/bandwidth prediction accuracy (90 %).
+
+Regenerates the analytic-vs-measured external-traffic comparison on
+held-out sequences and asserts the mean accuracy lands at the paper's
+level.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import pedantic
+from repro.experiments import accuracy_bw
+
+
+def test_bandwidth_accuracy(ctx, benchmark):
+    out = pedantic(benchmark, accuracy_bw.run, ctx)
+    print()
+    print(out["text"])
+    rep = out["report"]
+    # Paper: 90 % between analysis and measurement.
+    assert rep.mean_accuracy > 0.80
+    assert rep.median_accuracy > 0.85
+    # Aggregate prediction is unbiased within tens of percent.
+    ratio = out["predicted"].sum() / max(out["measured"].sum(), 1.0)
+    assert 0.7 < ratio < 1.4

@@ -1,0 +1,36 @@
+"""Bench: Fig. 2 -- inter-task bandwidth labels.
+
+Regenerates the flow-graph edge labels and the per-scenario bandwidth
+table, and asserts the rounded paper labels are matched within the
+rounding error.  The microbenchmark times the analytic bandwidth
+computation itself (it runs inside the per-frame prediction loop, so
+it must stay trivially cheap).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.experiments import fig2
+from repro.imaging.pipeline import SwitchState
+
+
+def test_fig2_edge_labels(ctx, benchmark):
+    out = pedantic(benchmark, fig2.run, ctx)
+    print()
+    print(out["text"])
+    for edge, ours, paper in out["edges"]:
+        assert ours == pytest.approx(paper, rel=0.12), edge
+    by_id = {sid: mbps for sid, _, mbps in out["scenarios"]}
+    # Worst case (Section 5.2): RDG on + full frame + success.
+    assert by_id[5] == max(by_id.values())
+    # Best case: no RDG, ROI, registration fails.
+    assert by_id[2] == min(by_id.values())
+
+
+def test_bandwidth_query_fast(ctx, benchmark):
+    graph = ctx.graph
+    state = SwitchState(True, False, True)
+    result = benchmark(graph.total_bandwidth_mbps, state)
+    assert result > 300.0

@@ -1,0 +1,40 @@
+"""Bench: Fig. 3 -- RDG FULL computation-time statistics.
+
+Regenerates the ridge-detection timing series with its EWMA
+decomposition, asserting the series lands in the paper's 35-55 ms
+band with both long-term and short-term fluctuation present.  The
+microbenchmark times one full-frame ridge-filter execution (the
+pipeline's most expensive kernel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import pedantic
+from repro.experiments import fig3
+from repro.imaging.ridge import ridge_filter
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+
+def test_fig3_series(ctx, benchmark):
+    out = pedantic(benchmark, fig3.run, ctx, n_frames=300)
+    print()
+    print(out["text"])
+    stats = out["stats"]
+    # Paper band: 35-55 ms around a ~45 ms mean.
+    assert 38.0 <= stats.mean <= 52.0
+    assert stats.minimum >= 33.0 and stats.maximum <= 62.0
+    # Both components of the Section 4 decomposition carry energy.
+    assert np.std(out["lpf"]) > 0.1
+    assert np.std(out["hpf"]) > 0.1
+    # Short-term residuals decorrelate quickly: |acf| small beyond a
+    # few lags -- the Section 4 justification for a first-order chain.
+    assert np.all(np.abs(out["acf"][5:]) < 0.35)
+
+
+def test_ridge_filter_kernel(benchmark):
+    seq = XRaySequence(SequenceConfig(n_frames=2, seed=1))
+    img, _ = seq.frame(0)
+    result, report = benchmark(ridge_filter, img)
+    assert report.pixels == img.size * 2

@@ -1,0 +1,37 @@
+"""Bench: Fig. 4 -- platform model + frame-simulation throughput.
+
+Asserts the platform spec reproduces the paper's parameters exactly,
+and times one simulated frame schedule (the inner operation of every
+managed run).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import pedantic
+from repro.experiments import fig4
+from repro.hw import Mapping
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+
+def test_fig4_parameters(ctx, benchmark):
+    out = pedantic(benchmark, fig4.run, ctx)
+    print()
+    print(out["text"])
+    assert out["ours"] == out["paper"]
+
+
+def test_simulate_frame_throughput(ctx, benchmark):
+    seq = XRaySequence(SequenceConfig(n_frames=3, seed=5))
+    pipe = StentBoostPipeline(
+        PipelineConfig(expected_distance=seq.config.resolved_phantom().marker_separation)
+    )
+    analysis = pipe.process(seq.frame(0)[0])
+    sim = ctx.profile_config.make_simulator()
+    mapping = Mapping.serial()
+
+    def run():
+        return sim.simulate_frame(analysis.reports, mapping, frame_key=("bench",))
+
+    res = benchmark(run)
+    assert res.latency_ms > 0

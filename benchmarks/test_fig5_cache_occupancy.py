@@ -1,0 +1,37 @@
+"""Bench: Fig. 5 -- space-time cache occupancy of RDG FULL.
+
+Regenerates the per-phase occupancy table and asserts the paper's
+qualitative claims: RDG FULL's middle phases overflow the 4 MB L2,
+the overflow set contains exactly the tasks the paper names, and the
+eviction traffic implies a substantial intra-task swap bandwidth.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import pedantic
+from repro.experiments import fig5
+from repro.graph import build_stentboost_graph
+from repro.hw.cache import phase_occupancy
+from repro.util.units import MIB
+
+
+def test_fig5_occupancy(ctx, benchmark):
+    out = pedantic(benchmark, fig5.run, ctx)
+    print()
+    print(out["text"])
+    assert out["paper_overflow_named_ok"]
+    # Overflow phases exist and the swap bandwidth is material
+    # (hundreds of MByte/s at 30 Hz, same order as the stream edges).
+    assert out["eviction_bytes"] > 4 * MIB
+    assert 100.0 < out["swap_mbps"] < 2000.0
+    active = [a for _, a, _, _ in out["phases"]]
+    # Occupancy ramps up as derivative buffers accumulate, then falls
+    # at the threshold phase -- the space-time shape of Fig. 5.
+    assert active[0] < active[2]
+    assert active[-1] < active[2]
+
+
+def test_phase_occupancy_kernel(benchmark):
+    phases = build_stentboost_graph().tasks["RDG_FULL"].phases
+    occ = benchmark(phase_occupancy, phases, 4 * MIB)
+    assert len(occ) == len(phases)

@@ -1,0 +1,31 @@
+"""Bench: Fig. 6 -- effective latency vs ROI size.
+
+Regenerates the ROI sweep with serial and 2-stripe mappings and
+asserts the Eq. 3 shape: latency is linear in the ROI pixel count,
+with a positive intercept, and the 2-stripe data partitioning cuts
+the ROI-dependent slope by close to the ideal factor 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import pedantic
+from repro.experiments import fig6
+
+
+def test_fig6_sweep(ctx, benchmark):
+    out = pedantic(benchmark, fig6.run, ctx)
+    print()
+    print(out["text"])
+    slope_s, icpt_s = out["serial_fit"]
+    assert slope_s > 0.01  # latency grows with ROI (paper: 0.067)
+    assert icpt_s > 0.0  # fixed pipeline part (paper: 20.6)
+    assert 1.4 < out["slope_ratio"] <= 2.2  # ~2x from 2-stripe split
+
+    roi, ser = out["roi_kpixels"], out["serial_ms"]
+    resid = ser - (slope_s * roi + icpt_s)
+    # Linearity: residuals are content noise, small next to the range.
+    assert np.std(resid) < 0.12 * np.ptp(ser)
+    # Stripe overhead is tiny against RDG at any swept ROI size.
+    assert np.all(out["striped_ms"] <= out["serial_ms"] + 0.5)

@@ -1,0 +1,71 @@
+"""Bench: Fig. 7 -- latency control (the headline experiment).
+
+Regenerates all three curves (straightforward mapping, Triple-C
+managed, worst-case reservation) on the test sequence and asserts the
+paper's Section 7 claims in shape:
+
+* the straightforward latency swings with content and its
+  worst-vs-average gap is large (paper: ~85 %);
+* Triple-C management cuts the completion-latency gap by several x
+  (paper: to ~20 %) and the output jitter by well over half
+  (paper: ~70 %);
+* the prediction curve tracks the measured serial time (97 % level).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import pedantic
+from repro.core import prediction_accuracy
+from repro.experiments import fig7
+
+
+def test_fig7_latency_control(ctx, benchmark):
+    out = pedantic(benchmark, fig7.run, ctx)
+    print()
+    print(out["text"])
+    j = out["jitter"]
+
+    # Straightforward mapping: content-driven swings.
+    assert j["straightforward"].worst_over_avg > 0.5
+    assert j["straightforward"].peak_to_peak > 30.0
+
+    # Managed completion: gap reduced by > 2x (paper: 85 % -> 20 %).
+    assert (
+        j["managed_completion"].worst_over_avg
+        < 0.5 * j["straightforward"].worst_over_avg
+    )
+
+    # Managed output: jitter reduction > 50 % (paper: ~70 %).
+    assert out["jitter_reduction"] > 0.5
+
+    # Worst-case reservation: constant but maximal output latency.
+    assert j["worst_case_output"].std < 1e-9
+    assert j["worst_case_output"].mean > j["managed_output"].mean
+
+    # Prediction tracks measurement at the paper's level (97 %).
+    rep = prediction_accuracy(out["predicted"][3:], out["measured_serial"][3:])
+    assert rep.mean_accuracy > 0.90
+
+    # Parallelism never hurts the mean completion latency.
+    mg = out["managed"].latency().mean()
+    sw = out["straightforward"].latency().mean()
+    assert mg < sw * 1.05
+
+
+def test_manager_frame_overhead(ctx, benchmark):
+    """Per-frame decision cost of the manager (prediction +
+    partitioning), excluding the image processing itself."""
+    model = ctx.fresh_model()
+    model.start_sequence(initial_scenario=3)
+    from repro.runtime.partition import Partitioner
+
+    part = Partitioner(ctx.platform, ctx.graph)
+
+    def decide():
+        preds = model.plausible_predictions(150.0)
+        return part.choose_robust(preds, budget_ms=50.0)
+
+    decision = benchmark(decide)
+    assert decision.predicted_latency_ms > 0

@@ -1,0 +1,26 @@
+"""Bench: two imaging functions on one platform.
+
+End-to-end demonstration of the paper's goal: a second StentBoost
+instance is admitted next to the first (bandwidth-checked against the
+platform capacity) and both hold their latency budgets side by side
+on the shared simulated hardware.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import pedantic
+from repro.experiments import multiapp
+
+
+def test_two_apps_fit(ctx, benchmark):
+    out = pedantic(benchmark, multiapp.run, ctx)
+    print()
+    print(out["text"])
+    assert out["admitted"]
+    assert out["bandwidth_demand_mbps"] < out["bandwidth_capacity_mbps"]
+    for name, r in out["rows"].items():
+        # Each instance stays within ~its budget when sharing.
+        assert r["shared_max"] <= r["budget_ms"] * 1.15, name
+        # Interference vs running alone is negligible (disjoint cores,
+        # bandwidth demand far under capacity).
+        assert abs(r["interference_ms"]) < 1.0, name

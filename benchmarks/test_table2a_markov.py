@@ -1,0 +1,40 @@
+"""Bench: Table 2(a) -- the RDG Markov transition matrix.
+
+Regenerates the matrix from the profiled corpus with the paper's
+state-space construction (adaptive equal-mass quantization, ~2M
+states, Eq. 2 estimation) and asserts its structural properties.
+The microbenchmark times chain estimation on a corpus-sized series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import pedantic
+from repro.core.markov import MarkovChain
+from repro.experiments import table2
+
+
+def test_table2a_matrix(ctx, benchmark):
+    out = pedantic(benchmark, table2.run, ctx)
+    print()
+    print(out["text"])
+    t = out["transition"]
+    n = out["n_states"]
+    np.testing.assert_allclose(t.sum(axis=1), 1.0, atol=1e-9)
+    # Paper prints a 10-state matrix; the 2M rule on our residuals
+    # must land in the same regime.
+    assert 4 <= n <= 32
+    # Corner persistence: the extreme states are sticky in the paper
+    # (s0->s0 = 0.51, s9->s9 = 0.60).  Our chain models the *residual*
+    # after the EWMA/ROI growth removal, which whitens the series, so
+    # we assert the weaker shape: corner self-transitions above the
+    # uniform level on average.
+    assert (t[0, 0] + t[-1, -1]) / 2.0 > 1.2 / n
+    assert min(t[0, 0], t[-1, -1]) > 0.7 / n
+
+
+def test_markov_fit_throughput(ctx, benchmark):
+    series = ctx.traces.task_series("CPLS_SEL")
+    chain = benchmark(MarkovChain.fit, series)
+    assert chain.n_states >= 2

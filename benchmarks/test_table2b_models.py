@@ -1,0 +1,36 @@
+"""Bench: Table 2(b) -- the per-task model summary.
+
+Asserts the trained model assigns exactly the predictor classes the
+paper's Table 2(b) lists, and that the constant-model tasks land on
+the paper's millisecond values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import pedantic
+from repro.experiments import table2
+
+
+def test_table2b_model_assignment(ctx, benchmark):
+    out = pedantic(benchmark, table2.run, ctx)
+    print()
+    print(out["text"])
+    kinds = dict(out["summary"])
+    assert kinds["CPLS_SEL"] == "<Eq. 1> + Markov"
+    assert kinds["GW_EXT"] == "<Eq. 1> + Markov"
+    assert kinds["RDG_FULL"] == "<Eq. 1> + Markov"
+    assert kinds["RDG_ROI"] == "<Eq. 3> + Markov"
+    for task in ("REG", "ROI_EST", "ENH", "ZOOM"):
+        assert kinds[task] == "constant"
+
+
+def test_table2b_constants_match_paper(model, benchmark):
+    means = benchmark(lambda: model.computation.train_mean_ms)
+    assert means["REG"] == pytest.approx(2.0, abs=0.1)
+    assert means["ROI_EST"] == pytest.approx(1.0, abs=0.1)
+    assert means["ENH"] == pytest.approx(24.0, abs=2.0)
+    assert means["ZOOM"] == pytest.approx(12.5, abs=1.0)
+    mkx = means.get("MKX_FULL", means.get("MKX_FULL_RDG"))
+    assert mkx == pytest.approx(2.5, abs=2.0)

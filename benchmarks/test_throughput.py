@@ -1,0 +1,39 @@
+"""Bench: sustained throughput at 30 Hz (pipelined frames).
+
+"As a consequence, it is possible to realize a parallelization of
+data distribution and computations, such that the latency is kept
+nearly constant.  This feature enables the execution of more
+functions on the same platform." (Section 8)
+
+A single pinned core cannot sustain the offered 30 fps (per-frame
+latency exceeds the period; the queue grows without bound).  Spreading
+frames across cores restores the throughput; only the Triple-C-managed
+partitioning also pins the latency.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import pedantic
+from repro.experiments import throughput
+
+
+def test_sustained_throughput(ctx, benchmark):
+    out = pedantic(benchmark, throughput.run, ctx)
+    print()
+    print(out["text"])
+    rows = out["rows"]
+
+    # Single-core collapses: the queue grows linearly.
+    assert rows["single-core"]["latency_slope_ms_per_frame"] > 5.0
+    assert rows["single-core"]["sustained_fps"] < 25.0
+
+    # Both rotated placements hold the video rate ...
+    for name in ("rotated serial", "managed rotated"):
+        assert abs(rows[name]["latency_slope_ms_per_frame"]) < 0.5
+        assert rows[name]["sustained_fps"] > 29.0
+
+    # ... but only the managed one also bounds the worst latency.
+    assert (
+        rows["managed rotated"]["max_latency"]
+        < 0.7 * rows["rotated serial"]["max_latency"]
+    )

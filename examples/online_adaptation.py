@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Online model training: adapting to a mid-procedure content change.
+
+Section 6 ("Profiling"): the differences between consumed and
+predicted resources "can be used for on-line model training".  This
+demo trains Triple-C on normal-dose content, then runs a procedure
+whose X-ray dose drops sharply halfway through (more quantum noise →
+more ridge pixels and marker candidates → higher task times).  The
+EWMA state always adapts; with ``online_update=True`` the Markov
+transition counts retrain too, and the prediction error after the
+change shrinks further.
+
+Run:  python examples/online_adaptation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CorpusSpec,
+    Mapping,
+    ProfileConfig,
+    SequenceConfig,
+    StentBoostPipeline,
+    TripleC,
+    XRaySequence,
+    generate_corpus,
+    profile_corpus,
+)
+from repro.imaging.pipeline import PipelineConfig
+from repro.synthetic.noise import NoiseSpec
+
+
+def run_procedure(model: TripleC, config: ProfileConfig, n_frames: int = 120):
+    """Two half-procedures: normal dose, then low dose (seed shared)."""
+    halves = [
+        SequenceConfig(n_frames=n_frames // 2, seed=9001, noise=NoiseSpec(dose=1.2)),
+        SequenceConfig(n_frames=n_frames // 2, seed=9001, noise=NoiseSpec(dose=0.35)),
+    ]
+    sim = config.make_simulator()
+    model.start_sequence()
+    errors = []
+    for half_idx, cfg in enumerate(halves):
+        seq = XRaySequence(cfg)
+        pipe = StentBoostPipeline(
+            PipelineConfig(
+                expected_distance=seq.config.resolved_phantom().marker_separation
+            )
+        )
+        for img, _ in seq.iter_frames():
+            roi_px = pipe.roi.pixels if pipe.roi is not None else img.size
+            roi_kpx = roi_px / 1000.0 * config.pixel_scale
+            pred = model.predict(roi_kpx)
+            fa = pipe.process(img)
+            res = sim.simulate_frame(
+                fa.reports, Mapping.serial(), frame_key=(half_idx, fa.index)
+            )
+            actual = sum(res.task_ms.values())
+            if fa.index >= 3:
+                errors.append(abs(pred.frame_ms - actual) / max(actual, 1e-9))
+            model.observe(fa.scenario_id, res.task_ms, roi_kpx)
+    return np.asarray(errors)
+
+
+def main() -> None:
+    print("training on normal-dose corpus ...")
+    config = ProfileConfig()
+    traces = profile_corpus(
+        generate_corpus(CorpusSpec(n_sequences=8, total_frames=400)), config
+    )
+
+    static = TripleC.fit(traces)
+    online = TripleC.fit(traces, online_update=True)
+
+    err_static = run_procedure(static, config)
+    err_online = run_procedure(online, config)
+
+    half = len(err_static) // 2
+    print("\nmedian relative prediction error:")
+    print(f"{'phase':22s} {'static model':>13s} {'online update':>14s}")
+    for name, sl in (("normal dose", slice(0, half)), ("after dose drop", slice(half, None))):
+        print(
+            f"{name:22s} {np.median(err_static[sl]) * 100:12.1f}% "
+            f"{np.median(err_online[sl]) * 100:13.1f}%"
+        )
+    print(
+        "\nthe EWMA keeps both models tracking after the change; online "
+        "transition retraining additionally re-fits the short-term "
+        "fluctuation statistics to the new noise regime."
+    )
+
+
+if __name__ == "__main__":
+    main()

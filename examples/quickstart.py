@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Quickstart: train Triple-C and predict per-frame resource usage.
+
+The 60-second tour of the library:
+
+1. generate a synthetic angiography training corpus;
+2. profile it (run the real image analysis, simulate the platform);
+3. fit the Triple-C model (EWMA + Markov chains + scenario table);
+4. run the strict predict-then-observe loop on an unseen sequence
+   and score the predictions.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    CorpusSpec,
+    Mapping,
+    ProfileConfig,
+    SequenceConfig,
+    StentBoostPipeline,
+    TripleC,
+    XRaySequence,
+    generate_corpus,
+    prediction_accuracy,
+    profile_corpus,
+)
+from repro.imaging.pipeline import PipelineConfig
+
+
+def main() -> None:
+    # 1 + 2. Profile a small training corpus (the paper uses
+    # 37 sequences / 1,921 frames; this demo shrinks it for speed).
+    print("profiling training corpus ...")
+    config = ProfileConfig()
+    corpus = generate_corpus(CorpusSpec(n_sequences=8, total_frames=400))
+    traces = profile_corpus(corpus, config)
+    print(f"  {len(traces)} frames, tasks: {', '.join(traces.tasks())}")
+
+    # 3. Fit the model.
+    model = TripleC.fit(traces)
+    print("\nper-task prediction models (paper Table 2b):")
+    for task, kind in model.computation.summary():
+        mean = model.computation.train_mean_ms[task]
+        print(f"  {task:14s} {kind:20s} (train mean {mean:5.1f} ms)")
+
+    # 4. Predict-then-observe on an unseen sequence.
+    seq = XRaySequence(SequenceConfig(n_frames=80, seed=12345))
+    pipeline = StentBoostPipeline(
+        PipelineConfig(
+            expected_distance=seq.config.resolved_phantom().marker_separation
+        )
+    )
+    simulator = config.make_simulator()
+    model.start_sequence()
+
+    predicted, measured = [], []
+    for img, _truth in seq.iter_frames():
+        roi_px = pipeline.roi.pixels if pipeline.roi is not None else img.size
+        roi_kpx = roi_px / 1000.0 * config.pixel_scale
+
+        pred = model.predict(roi_kpx)  # BEFORE the frame runs
+        analysis = pipeline.process(img)  # the real image analysis
+        result = simulator.simulate_frame(
+            analysis.reports, Mapping.serial(), frame_key=("demo", analysis.index)
+        )
+        model.observe(analysis.scenario_id, result.task_ms, roi_kpx)
+
+        if analysis.index >= 3:  # skip model warm-up
+            predicted.append(pred.frame_ms)
+            measured.append(sum(result.task_ms.values()))
+
+    report = prediction_accuracy(np.asarray(predicted), np.asarray(measured))
+    print(
+        f"\nheld-out frame-time prediction: "
+        f"mean accuracy {report.mean_accuracy * 100:.1f}% "
+        f"(paper reports 97%), "
+        f"excursions >20%: {report.excursion_fraction * 100:.1f}% of frames"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline build environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs (`pip install -e .`) cannot build
+the editable wheel.  This shim lets the legacy code path
+(`pip install -e . --no-use-pep517 --no-build-isolation`) work; all
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

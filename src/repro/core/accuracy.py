@@ -1,0 +1,87 @@
+"""Prediction-accuracy metrics (Section 7).
+
+The paper reports "an average prediction accuracy of 97 % [...] with
+sporadic excursions of the prediction error up to 20-30 %".  Accuracy
+of one prediction is ``1 - |predicted - actual| / actual``; the
+report aggregates the mean, the excursion statistics and the error
+tail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike
+
+__all__ = ["AccuracyReport", "prediction_accuracy"]
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Aggregated accuracy of a prediction series.
+
+    Attributes
+    ----------
+    n:
+        Number of predictions evaluated.
+    mean_accuracy:
+        Mean of per-sample ``1 - |err|/actual`` (the paper's "average
+        prediction accuracy"), in [0, 1] after clipping.
+    median_accuracy:
+        Median of the same.
+    excursion_fraction:
+        Fraction of samples with relative error above the excursion
+        threshold (default 20 %).
+    max_relative_error:
+        Largest relative error observed ("up to 20-30 %").
+    """
+
+    n: int
+    mean_accuracy: float
+    median_accuracy: float
+    excursion_fraction: float
+    max_relative_error: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"accuracy {self.mean_accuracy * 100:.1f}% "
+            f"(median {self.median_accuracy * 100:.1f}%, "
+            f"excursions>{20}%: {self.excursion_fraction * 100:.1f}%, "
+            f"max err {self.max_relative_error * 100:.1f}%)"
+        )
+
+
+def prediction_accuracy(
+    predicted: ArrayLike,
+    actual: ArrayLike,
+    excursion_threshold: float = 0.20,
+    floor: float = 1e-9,
+) -> AccuracyReport:
+    """Compute an :class:`AccuracyReport` for paired series.
+
+    Parameters
+    ----------
+    predicted, actual:
+        Same-length 1-D series; ``actual`` entries below ``floor``
+        are floored to avoid division blowups (a 0 ms frame cannot
+        occur, but defensive anyway).
+    excursion_threshold:
+        Relative error counting as an excursion (paper: 20-30 %).
+    """
+    p = np.asarray(predicted, dtype=np.float64)
+    a = np.asarray(actual, dtype=np.float64)
+    if p.shape != a.shape or p.ndim != 1:
+        raise ValueError("predicted/actual must be matching 1-D arrays")
+    if p.size == 0:
+        raise ValueError("empty series")
+    denom = np.maximum(np.abs(a), floor)
+    rel_err = np.abs(p - a) / denom
+    acc = np.clip(1.0 - rel_err, 0.0, 1.0)
+    return AccuracyReport(
+        n=int(p.size),
+        mean_accuracy=float(acc.mean()),
+        median_accuracy=float(np.median(acc)),
+        excursion_fraction=float(np.mean(rel_err > excursion_threshold)),
+        max_relative_error=float(rel_err.max()),
+    )

@@ -1,0 +1,113 @@
+"""Communication-bandwidth prediction (Section 5.2).
+
+The third C: analytic bandwidth per scenario, combining
+
+* the **inter-task** stream bandwidth of the active flow-graph edges
+  (the Fig. 2 MByte/s labels), and
+* the **intra-task** swap bandwidth caused by cache overflow (the
+  Fig. 5 mechanism, priced by :class:`~repro.core.cachemodel.CacheMemoryModel`).
+
+Validation compares the predicted per-frame external-memory traffic
+against what the platform simulation measured; Section 7 reports
+"an average prediction accuracy between the analysis and measured
+cache-memory and communication-bandwidth usage of 90 %".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cachemodel import CacheMemoryModel
+from repro.graph.flowgraph import FlowGraph
+from repro.hw.spec import PlatformSpec
+from repro.imaging.pipeline import SwitchState
+from repro.profiling.traces import TraceSet
+from repro.util.units import HZ_VIDEO, MB, NATIVE_PIXELS
+
+__all__ = ["ScenarioBandwidth", "BandwidthModel"]
+
+
+@dataclass(frozen=True)
+class ScenarioBandwidth:
+    """Predicted bandwidth decomposition of one scenario (MByte/s)."""
+
+    scenario_id: int
+    inter_task_mbps: float
+    swap_mbps: float
+
+    @property
+    def total_mbps(self) -> float:
+        return self.inter_task_mbps + self.swap_mbps
+
+
+class BandwidthModel:
+    """Analytic bandwidth predictor over a flow graph + platform."""
+
+    def __init__(
+        self,
+        graph: FlowGraph,
+        platform: PlatformSpec,
+        rate_hz: float = HZ_VIDEO,
+        roi_aware: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.platform = platform
+        self.rate_hz = float(rate_hz)
+        self.cache = CacheMemoryModel(graph, platform, roi_aware=roi_aware)
+
+    # -- analytic predictions -----------------------------------------------------
+
+    def edge_labels(self, state: SwitchState) -> dict[tuple[str, str], float]:
+        """Fig. 2 edge labels (MByte/s) for a scenario."""
+        return self.graph.inter_task_bandwidth(state, self.rate_hz)
+
+    def scenario_bandwidth(
+        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+    ) -> ScenarioBandwidth:
+        """Inter-task + swap bandwidth prediction of a scenario."""
+        inter = self.graph.total_bandwidth_mbps(state, self.rate_hz)
+        swap_bytes = self.cache.frame_eviction_bytes(state, roi_kpixels)
+        return ScenarioBandwidth(
+            scenario_id=state.scenario_id,
+            inter_task_mbps=inter,
+            swap_mbps=swap_bytes * self.rate_hz / MB,
+        )
+
+    def frame_external_bytes(
+        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+    ) -> int:
+        """Predicted external-memory bytes of one frame.
+
+        Same accounting basis as the simulator's measured
+        ``external_bytes``: per-task compulsory I/O plus eviction.
+        """
+        return self.cache.frame_external_bytes(state, roi_kpixels)
+
+    def worst_best_case(self) -> tuple[ScenarioBandwidth, ScenarioBandwidth]:
+        """The Section 5.2 extremes.
+
+        Worst case: RDG on, full frame, registration succeeds.
+        Best case: RDG off, ROI, registration fails (which "will not
+        output a satisfying result").
+        """
+        worst = self.scenario_bandwidth(SwitchState(True, False, True))
+        best = self.scenario_bandwidth(
+            SwitchState(False, True, False), roi_kpixels=100.0
+        )
+        return worst, best
+
+    # -- validation against measurement ----------------------------------------------
+
+    def predicted_trace_bytes(self, traces: TraceSet) -> np.ndarray:
+        """Per-frame predicted external bytes for a profiled trace set."""
+        out = np.empty(len(traces))
+        for i, rec in enumerate(traces.records):
+            state = SwitchState.from_scenario_id(rec.scenario_id)
+            out[i] = self.frame_external_bytes(state, rec.roi_kpixels)
+        return out
+
+    def measured_trace_bytes(self, traces: TraceSet) -> np.ndarray:
+        """Per-frame measured external bytes from the same traces."""
+        return np.asarray([r.external_bytes for r in traces.records], dtype=float)

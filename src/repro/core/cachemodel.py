@@ -1,0 +1,170 @@
+"""Cache-memory usage prediction (Section 5.1, Table 1, Fig. 5).
+
+The analytic side of Triple-C's second C: per-task memory
+requirements come from the flow-graph task specs (Table 1), and the
+space-time phase-occupancy model predicts the intra-task swap traffic
+each task generates on a given L2 capacity.
+
+ROI-granularity tasks process a data-dependent window; with
+``roi_aware=True`` (default) their stream buffers scale with the ROI
+fraction, matching what the executed code actually touches.  Setting
+``roi_aware=False`` reproduces the paper's coarser scenario-constant
+view ("At a scenario level, the memory resource usage is more or less
+constant", Section 7) -- the ablation benchmark quantifies the
+accuracy cost of that simplification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.flowgraph import FlowGraph
+from repro.graph.task import PhaseSpec, TaskSpec
+from repro.hw.cache import PhaseOccupancy, phase_occupancy
+from repro.hw.spec import PlatformSpec
+from repro.imaging.pipeline import SwitchState
+from repro.util.units import KIB, NATIVE_PIXELS
+
+__all__ = ["TaskMemoryPrediction", "CacheMemoryModel", "table1_rows"]
+
+
+def table1_rows(graph: FlowGraph) -> list[tuple[str, float, float, float]]:
+    """Reproduce Table 1 from the graph's stream-task specs.
+
+    Returns (task, input KB, intermediate KB, output KB) rows for the
+    stream tasks, in graph declaration order.
+    """
+    rows = []
+    for name, spec in graph.tasks.items():
+        if spec.kind == "stream" and name != "RDG_DETECT":
+            rows.append((name, spec.input_kb, spec.intermediate_kb, spec.output_kb))
+    return rows
+
+
+@dataclass(frozen=True)
+class TaskMemoryPrediction:
+    """Predicted cache behaviour of one task at native geometry."""
+
+    task: str
+    working_set_bytes: int
+    eviction_bytes: int
+    compulsory_bytes: int
+    phases: tuple[PhaseOccupancy, ...]
+
+    @property
+    def external_bytes(self) -> int:
+        return self.compulsory_bytes + self.eviction_bytes
+
+    @property
+    def fits(self) -> bool:
+        return self.eviction_bytes == 0
+
+
+class CacheMemoryModel:
+    """Analytic cache-memory predictor over a flow graph.
+
+    Parameters
+    ----------
+    graph:
+        Flow graph providing the Table 1 task specs.
+    platform:
+        Platform providing the L2 capacity.
+    roi_aware:
+        Scale ROI-granularity tasks by the ROI fraction (see module
+        docstring).
+    """
+
+    def __init__(
+        self,
+        graph: FlowGraph,
+        platform: PlatformSpec,
+        roi_aware: bool = True,
+    ) -> None:
+        self.graph = graph
+        self.platform = platform
+        self.roi_aware = bool(roi_aware)
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _scale_for(self, task: str, roi_kpixels: float) -> float:
+        """Footprint scale factor of a task given the frame's ROI."""
+        if not self.roi_aware or "_ROI" not in task:
+            return 1.0
+        native_kpx = NATIVE_PIXELS / 1000.0
+        return min(1.0, max(1e-3, roi_kpixels / native_kpx))
+
+    def _scaled_phases(
+        self, phases: tuple[PhaseSpec, ...], scale: float
+    ) -> tuple[PhaseSpec, ...]:
+        if scale == 1.0:
+            return phases
+        return tuple(
+            PhaseSpec(
+                p.name, tuple((n, kb * scale) for n, kb in p.active_kb)
+            )
+            for p in phases
+        )
+
+    # -- per-task prediction ------------------------------------------------------
+
+    def predict_task(
+        self, task: str, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+    ) -> TaskMemoryPrediction:
+        """Cache prediction of one task execution."""
+        spec: TaskSpec = self.graph.tasks[task]
+        scale = self._scale_for(task, roi_kpixels)
+        capacity = self.platform.l2.capacity_bytes
+        phases = self._scaled_phases(spec.phases, scale)
+        occ = tuple(phase_occupancy(phases, capacity)) if phases else ()
+        eviction = sum(p.evicted_bytes for p in occ)
+        ws = int(spec.total_kb * scale * KIB)
+        compulsory = int((spec.input_kb + spec.output_kb) * scale * KIB)
+        return TaskMemoryPrediction(
+            task=task,
+            working_set_bytes=ws,
+            eviction_bytes=int(eviction),
+            compulsory_bytes=compulsory,
+            phases=occ,
+        )
+
+    # -- per-frame / per-scenario prediction ----------------------------------------
+
+    def predict_frame(
+        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+    ) -> dict[str, TaskMemoryPrediction]:
+        """Predictions for every task active under ``state``."""
+        return {
+            t: self.predict_task(t, roi_kpixels)
+            for t in self.graph.active_tasks(state)
+        }
+
+    def frame_external_bytes(
+        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+    ) -> int:
+        """Total predicted external-memory traffic of one frame."""
+        return sum(
+            p.external_bytes for p in self.predict_frame(state, roi_kpixels).values()
+        )
+
+    def frame_eviction_bytes(
+        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+    ) -> int:
+        """Total predicted swap (eviction) traffic of one frame."""
+        return sum(
+            p.eviction_bytes for p in self.predict_frame(state, roi_kpixels).values()
+        )
+
+    def overflow_tasks(self) -> list[str]:
+        """Tasks whose full-frame working set overflows the L2.
+
+        The paper names RDG FULL, ENH and ZOOM as the tasks "with an
+        intra-task memory requirement that is higher than the level-2
+        cache capacity" (Section 5.2).
+        """
+        out = []
+        for name, spec in self.graph.tasks.items():
+            if spec.kind != "stream" or not spec.phases:
+                continue
+            if not self.predict_task(name).fits:
+                out.append(name)
+        return out

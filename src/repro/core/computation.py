@@ -1,0 +1,532 @@
+"""Computation-time prediction (Section 4, Table 2b).
+
+Each task gets the predictor class the paper's Table 2(b) assigns:
+
+==========  ==========================================
+Task        Prediction model
+==========  ==========================================
+RDG FULL    Eq. 1 (EWMA) + Markov chain
+RDG ROI     Eq. 3 (linear ROI growth) + Markov chain
+MKX EXT     constant (2.5 ms)
+CPLS SEL    Eq. 1 (EWMA) + Markov chain
+REG         constant (2 ms)
+ROI EST     constant (1 ms)
+GW EXT      Eq. 1 (EWMA) + Markov chain
+ENH         constant (24 ms)
+ZOOM        constant (12.5 ms)
+==========  ==========================================
+
+All predictors follow a strict *predict-then-observe* protocol: the
+prediction for frame ``k`` uses only measurements of frames ``< k``,
+exactly what a runtime resource manager has available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.markov import MarkovChain
+from repro.profiling.traces import TraceSet
+from repro.util.ewma import EwmaFilter, ewma
+
+__all__ = [
+    "PredictionContext",
+    "TaskTimePredictor",
+    "ConstantPredictor",
+    "LastValuePredictor",
+    "MarkovPredictor",
+    "EwmaMarkovPredictor",
+    "RoiLinearMarkovPredictor",
+    "ScenarioConditionedPredictor",
+    "granularity_group",
+    "ComputationModel",
+    "DEFAULT_PREDICTOR_KINDS",
+    "PAPER_EWMA_ALPHA",
+]
+
+#: EWMA smoothing used for the long-term component (Eq. 1).  The paper
+#: does not print its alpha; 0.3 adapts within a few frames while
+#: suppressing single-frame noise, matching the Fig. 3 LPF trace.
+PAPER_EWMA_ALPHA: float = 0.3
+
+#: Floor applied to every prediction (a task never takes <= 0 ms).
+_MIN_PREDICTION_MS: float = 1e-3
+
+
+@dataclass
+class PredictionContext:
+    """Per-frame inputs available *before* the frame executes.
+
+    Attributes
+    ----------
+    roi_kpixels:
+        Native-equivalent size of the region the frame will process.
+        Known in advance: the ROI is carried over from the previous
+        frame's ROI-estimation output (or the full frame).
+    scenario_id:
+        The switch state the prediction assumes (the scenario table's
+        output when predicting; the observed scenario when feeding
+        measurements back).  Scenario-conditioned predictors key on
+        it; scenario-oblivious predictors ignore it.
+    """
+
+    roi_kpixels: float = 0.0
+    scenario_id: int | None = None
+
+
+class TaskTimePredictor(Protocol):
+    """Protocol all per-task predictors implement."""
+
+    #: Human-readable model description for the Table 2(b) summary.
+    kind: str
+
+    def predict(self, ctx: PredictionContext) -> float:
+        """Predicted time (ms) of the task's next execution."""
+
+    def observe(self, ms: float, ctx: PredictionContext) -> None:
+        """Feed the measured time of the execution just predicted."""
+
+    def reset(self) -> None:
+        """Drop online state (called at sequence boundaries)."""
+
+
+@dataclass
+class ConstantPredictor:
+    """Fixed prediction: the training mean (Table 2b constants)."""
+
+    value_ms: float
+    kind: str = "constant"
+
+    @staticmethod
+    def fit(series: Sequence[NDArray[np.float64]]) -> "ConstantPredictor":
+        values = np.concatenate([np.asarray(s) for s in series])
+        return ConstantPredictor(value_ms=float(values.mean()))
+
+    def predict(self, ctx: PredictionContext) -> float:
+        return max(_MIN_PREDICTION_MS, self.value_ms)
+
+    def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
+        return None
+
+    def reset(self) -> None:
+        return None
+
+
+@dataclass
+class LastValuePredictor:
+    """Naive persistence baseline: predict the last observed value.
+
+    Not in the paper's Table 2(b); exists as the ablation floor every
+    stateful model must beat.
+    """
+
+    fallback_ms: float
+    kind: str = "last-value"
+    _last: float | None = None
+
+    @staticmethod
+    def fit(series: Sequence[NDArray[np.float64]]) -> "LastValuePredictor":
+        values = np.concatenate([np.asarray(s) for s in series])
+        return LastValuePredictor(fallback_ms=float(values.mean()))
+
+    def predict(self, ctx: PredictionContext) -> float:  # noqa: ARG002
+        value = self.fallback_ms if self._last is None else self._last
+        return max(_MIN_PREDICTION_MS, value)
+
+    def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
+        self._last = float(ms)
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class MarkovPredictor:
+    """Pure first-order Markov prediction on raw task times.
+
+    The memoryless model the paper applies where the autocorrelation
+    decays exponentially.  Before the first observation it falls back
+    to the stationary mean.
+    """
+
+    kind = "Markov"
+
+    def __init__(self, chain: MarkovChain, online_update: bool = False) -> None:
+        self.chain = chain
+        self.online_update = online_update
+        self._fallback = float(chain.stationary() @ chain.quantizer.centers)
+        self._last: float | None = None
+
+    @staticmethod
+    def fit(
+        series: Sequence[NDArray[np.float64]], online_update: bool = False
+    ) -> "MarkovPredictor":
+        return MarkovPredictor(MarkovChain.fit(series), online_update)
+
+    def predict(self, ctx: PredictionContext) -> float:  # noqa: ARG002
+        if self._last is None:
+            return max(_MIN_PREDICTION_MS, self._fallback)
+        return max(_MIN_PREDICTION_MS, self.chain.predict_next(self._last))
+
+    def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
+        if self.online_update and self._last is not None:
+            self.chain.observe_transition(self._last, ms)
+        self._last = float(ms)
+
+    def reset(self) -> None:
+        self._last = None
+
+
+class EwmaMarkovPredictor:
+    """Eq. 1 long-term tracking + Markov chain on the residual.
+
+    "To model the computation time for the current video frame, the
+    output of the EWMA filter is used for long-term behavior
+    prediction.  On top of that, a Markov chain predicts the
+    short-term fluctuations in computation time." (Section 4)
+
+    Training decomposes each profiled series with the same causal
+    filter the online phase uses: the residual of frame ``k`` is
+    ``x_k - y_{k-1}`` (measurement minus the EWMA state *before*
+    observing it), so train and test distributions match.
+    """
+
+    kind = "<Eq. 1> + Markov"
+
+    def __init__(
+        self,
+        chain: MarkovChain,
+        alpha: float = PAPER_EWMA_ALPHA,
+        fallback_ms: float = 1.0,
+        online_update: bool = False,
+    ) -> None:
+        self.chain = chain
+        self.alpha = float(alpha)
+        self.online_update = online_update
+        self._fallback = float(fallback_ms)
+        self._ewma = EwmaFilter(alpha)
+        self._last_residual: float | None = None
+
+    @staticmethod
+    def causal_residuals(
+        series: NDArray[np.float64], alpha: float
+    ) -> NDArray[np.float64]:
+        """Residuals ``x_k - y_{k-1}`` of the causal EWMA (k >= 1)."""
+        x = np.asarray(series, dtype=np.float64)
+        if x.size < 2:
+            return np.empty(0)
+        lpf = ewma(x, alpha)
+        return x[1:] - lpf[:-1]
+
+    @staticmethod
+    def fit(
+        series: Sequence[NDArray[np.float64]],
+        alpha: float = PAPER_EWMA_ALPHA,
+        n_states: int | None = None,
+        online_update: bool = False,
+    ) -> "EwmaMarkovPredictor":
+        residual_series = [
+            EwmaMarkovPredictor.causal_residuals(s, alpha)
+            for s in series
+        ]
+        residual_series = [r for r in residual_series if r.size >= 2]
+        if not residual_series:
+            # Degenerate training data: behave like a constant model.
+            values = np.concatenate([np.asarray(s) for s in series])
+            chain = MarkovChain.fit([np.zeros(2)], n_states=2)
+            return EwmaMarkovPredictor(
+                chain, alpha, fallback_ms=float(values.mean()),
+                online_update=online_update,
+            )
+        chain = MarkovChain.fit(residual_series, n_states=n_states)
+        values = np.concatenate([np.asarray(s) for s in series])
+        return EwmaMarkovPredictor(
+            chain, alpha, fallback_ms=float(values.mean()),
+            online_update=online_update,
+        )
+
+    def predict(self, ctx: PredictionContext) -> float:  # noqa: ARG002
+        if self._ewma.value is None:
+            return max(_MIN_PREDICTION_MS, self._fallback)
+        long_term = self._ewma.peek()
+        if self._last_residual is None:
+            return max(_MIN_PREDICTION_MS, long_term)
+        short_term = self.chain.predict_next(self._last_residual)
+        return max(_MIN_PREDICTION_MS, long_term + short_term)
+
+    def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
+        if self._ewma.value is not None:
+            residual = float(ms) - self._ewma.peek()
+            if self.online_update and self._last_residual is not None:
+                self.chain.observe_transition(self._last_residual, residual)
+            self._last_residual = residual
+        self._ewma.update(float(ms))
+
+    def reset(self) -> None:
+        self._ewma.reset()
+        self._last_residual = None
+
+
+class RoiLinearMarkovPredictor:
+    """Eq. 3 linear ROI growth + Markov chain on the residual.
+
+    "Processing-time statistics for different Region-Of-Interest
+    sizes show that the RDG task has a linear dependency on the size
+    of the ROI.  [...] we have subtracted a linear growth function
+    from the obtained statistics.  For the remaining data-dependent
+    fluctuations [...] it can again be described with a Markov
+    chain." (Section 4)
+    """
+
+    kind = "<Eq. 3> + Markov"
+
+    def __init__(
+        self,
+        slope: float,
+        intercept: float,
+        chain: MarkovChain,
+        online_update: bool = False,
+    ) -> None:
+        self.slope = float(slope)
+        self.intercept = float(intercept)
+        self.chain = chain
+        self.online_update = online_update
+        self._last_residual: float | None = None
+
+    @staticmethod
+    def fit(
+        roi_series: Sequence[tuple[NDArray[np.float64], NDArray[np.float64]]],
+        online_update: bool = False,
+    ) -> "RoiLinearMarkovPredictor":
+        """Fit from per-run ``(roi_kpixels, time_ms)`` pairs."""
+        rois = np.concatenate([r for r, _ in roi_series]) if roi_series else np.empty(0)
+        times = np.concatenate([t for _, t in roi_series]) if roi_series else np.empty(0)
+        if times.size < 2:
+            raise ValueError("need at least 2 samples to fit the ROI model")
+        if np.ptp(rois) > 1e-9:
+            slope, intercept = np.polyfit(rois, times, 1)
+        else:
+            # ROI never varied during training: constant + Markov.
+            slope, intercept = 0.0, float(times.mean())
+        residual_series = [
+            t - (slope * r + intercept) for r, t in roi_series if t.size >= 2
+        ]
+        if not residual_series:
+            residual_series = [np.zeros(2)]
+        chain = MarkovChain.fit(residual_series)
+        return RoiLinearMarkovPredictor(
+            float(slope), float(intercept), chain, online_update
+        )
+
+    def growth(self, roi_kpixels: float) -> float:
+        """The Eq. 3 linear term for a given ROI size."""
+        return self.slope * float(roi_kpixels) + self.intercept
+
+    def predict(self, ctx: PredictionContext) -> float:
+        base = self.growth(ctx.roi_kpixels)
+        if self._last_residual is None:
+            return max(_MIN_PREDICTION_MS, base)
+        return max(
+            _MIN_PREDICTION_MS, base + self.chain.predict_next(self._last_residual)
+        )
+
+    def observe(self, ms: float, ctx: PredictionContext) -> None:
+        residual = float(ms) - self.growth(ctx.roi_kpixels)
+        if self.online_update and self._last_residual is not None:
+            self.chain.observe_transition(self._last_residual, residual)
+        self._last_residual = residual
+
+    def reset(self) -> None:
+        self._last_residual = None
+
+
+def granularity_group(scenario_id: int) -> int:
+    """The ROI-mode bit of a scenario id (0 = full frame, 1 = ROI).
+
+    This is the *predictable* part of the switch state: the frame's
+    processing granularity is pipeline state fixed by the previous
+    frame, so a runtime predictor may legitimately condition on it
+    (unlike the RDG and registration bits, which the content decides
+    during the frame).
+    """
+    return (int(scenario_id) >> 1) & 1
+
+
+class ScenarioConditionedPredictor:
+    """Per-granularity predictors behind one interface.
+
+    The title's "scenario-based" idea applied at task level: a task
+    whose timing regime differs between full-frame and ROI processing
+    (CPLS SEL's candidate count, most visibly) gets one inner
+    predictor per granularity group, trained only on that group's
+    consecutive runs.  A pooled predictor serves as fallback when the
+    context carries no scenario or a group never appeared in
+    training.
+    """
+
+    def __init__(
+        self,
+        inner: dict[int, TaskTimePredictor],
+        pooled: TaskTimePredictor,
+    ) -> None:
+        self.inner = dict(inner)
+        self.pooled = pooled
+
+    @property
+    def kind(self) -> str:
+        return f"per-granularity {self.pooled.kind}"
+
+    @staticmethod
+    def fit(
+        traces: "TraceSet",
+        task: str,
+        alpha: float = PAPER_EWMA_ALPHA,
+        online_update: bool = False,
+        min_samples: int = 12,
+    ) -> "ScenarioConditionedPredictor":
+        """Train one EWMA+Markov per granularity group + a pooled one."""
+        grouped = traces.task_series_grouped(
+            task, lambda r: granularity_group(r.scenario_id)
+        )
+        inner: dict[int, TaskTimePredictor] = {}
+        for key, series in grouped.items():
+            total = sum(s.size for s in series)
+            if total >= min_samples:
+                inner[int(key)] = EwmaMarkovPredictor.fit(
+                    series, alpha=alpha, online_update=online_update
+                )
+        pooled = EwmaMarkovPredictor.fit(
+            traces.task_series(task), alpha=alpha, online_update=online_update
+        )
+        return ScenarioConditionedPredictor(inner, pooled)
+
+    def _select(self, ctx: PredictionContext) -> TaskTimePredictor:
+        if ctx.scenario_id is None:
+            return self.pooled
+        return self.inner.get(granularity_group(ctx.scenario_id), self.pooled)
+
+    def predict(self, ctx: PredictionContext) -> float:
+        return self._select(ctx).predict(ctx)
+
+    def observe(self, ms: float, ctx: PredictionContext) -> None:
+        selected = self._select(ctx)
+        selected.observe(ms, ctx)
+        if selected is not self.pooled:
+            # Keep the fallback warm too (it sees the mixed stream,
+            # which is exactly what it models).
+            self.pooled.observe(ms, ctx)
+
+    def reset(self) -> None:
+        for p in self.inner.values():
+            p.reset()
+        self.pooled.reset()
+
+
+#: Which model class each task trains with (Table 2b).
+DEFAULT_PREDICTOR_KINDS: Mapping[str, str] = {
+    "RDG_DETECT": "constant",
+    "RDG_FULL": "ewma+markov",
+    "RDG_ROI": "roi+markov",
+    "MKX_FULL": "constant",
+    "MKX_ROI": "constant",
+    "MKX_FULL_RDG": "constant",
+    "MKX_ROI_RDG": "constant",
+    "CPLS_SEL": "ewma+markov",
+    "REG": "constant",
+    "ROI_EST": "constant",
+    "GW_EXT": "ewma+markov",
+    "ENH": "constant",
+    "ZOOM": "constant",
+}
+
+
+@dataclass
+class ComputationModel:
+    """All per-task predictors of one trained Triple-C instance."""
+
+    predictors: dict[str, TaskTimePredictor] = field(default_factory=dict)
+    #: Training-mean time per task; the "average case" the runtime
+    #: manager initializes its latency budget from (Section 6).
+    train_mean_ms: dict[str, float] = field(default_factory=dict)
+
+    @staticmethod
+    def fit(
+        traces: TraceSet,
+        predictor_kinds: Mapping[str, str] | None = None,
+        alpha: float = PAPER_EWMA_ALPHA,
+        online_update: bool = False,
+    ) -> "ComputationModel":
+        """Train every task's predictor from profiling traces.
+
+        Tasks appearing in the traces but not in ``predictor_kinds``
+        fall back to a constant model.
+        """
+        kinds = dict(DEFAULT_PREDICTOR_KINDS)
+        if predictor_kinds:
+            kinds.update(predictor_kinds)
+        model = ComputationModel()
+        for task in traces.tasks():
+            series = traces.task_series(task)
+            if not series:
+                continue
+            model.train_mean_ms[task] = float(
+                np.concatenate([np.asarray(s) for s in series]).mean()
+            )
+            kind = kinds.get(task, "constant")
+            if kind == "constant":
+                model.predictors[task] = ConstantPredictor.fit(series)
+            elif kind == "markov":
+                model.predictors[task] = MarkovPredictor.fit(
+                    series, online_update=online_update
+                )
+            elif kind == "ewma+markov":
+                model.predictors[task] = EwmaMarkovPredictor.fit(
+                    series, alpha=alpha, online_update=online_update
+                )
+            elif kind == "roi+markov":
+                model.predictors[task] = RoiLinearMarkovPredictor.fit(
+                    traces.roi_series(task), online_update=online_update
+                )
+            elif kind == "scenario+ewma+markov":
+                model.predictors[task] = ScenarioConditionedPredictor.fit(
+                    traces, task, alpha=alpha, online_update=online_update
+                )
+            else:
+                raise ValueError(f"unknown predictor kind {kind!r}")
+        return model
+
+    def predict_tasks(
+        self, tasks: Sequence[str], ctx: PredictionContext
+    ) -> dict[str, float]:
+        """Per-task predictions for the given active-task list.
+
+        Tasks without a trained predictor predict 0 (they never
+        appeared during training; the runtime treats them as free and
+        the observe step will start training them online).
+        """
+        out: dict[str, float] = {}
+        for t in tasks:
+            p = self.predictors.get(t)
+            out[t] = p.predict(ctx) if p is not None else 0.0
+        return out
+
+    def observe_frame(
+        self, task_ms: Mapping[str, float], ctx: PredictionContext
+    ) -> None:
+        """Feed the measured times of one executed frame."""
+        for t, ms in task_ms.items():
+            p = self.predictors.get(t)
+            if p is not None:
+                p.observe(ms, ctx)
+
+    def reset(self) -> None:
+        """Reset all per-sequence online state."""
+        for p in self.predictors.values():
+            p.reset()
+
+    def summary(self) -> list[tuple[str, str]]:
+        """(task, model-kind) rows -- the Table 2(b) reproduction."""
+        return [(t, p.kind) for t, p in sorted(self.predictors.items())]

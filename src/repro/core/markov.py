@@ -1,0 +1,343 @@
+"""Scenario-based Markov chains over adaptively quantized values.
+
+Section 4 of the paper:
+
+* "The number of states M is C_max / sigma_C, where C_max denotes the
+  largest measured value and sigma_C the standard deviation.  We have
+  experimentally evolved to a model with approximately 2M states to
+  obtain sufficient accuracy."
+* "The quantization intervals are adaptively chosen such that each
+  interval contains on the average the same amount of samples."
+* "The entries of the transition probability matrix {P_ij} are
+  estimated by P_ij = n_ij / sum_k n_ik" (Eq. 2).
+
+:class:`AdaptiveQuantizer` implements the state-space construction,
+:class:`MarkovChain` the transition estimation and one-step
+prediction.  A second-order variant (:class:`MarkovChain2`) exists to
+reproduce the paper's argument for *rejecting* higher orders: the
+state space grows exponentially and per-state sample counts collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+__all__ = ["AdaptiveQuantizer", "MarkovChain", "MarkovChain2"]
+
+
+@dataclass(frozen=True)
+class AdaptiveQuantizer:
+    """Equal-mass quantizer with the paper's state-count rule.
+
+    Attributes
+    ----------
+    edges:
+        Interior bin edges, ascending; values below ``edges[0]`` map
+        to state 0, above ``edges[-1]`` to the last state.
+    centers:
+        Per-state representative value (mean of training samples in
+        the bin), used to de-quantize predictions.
+    """
+
+    edges: NDArray[np.float64]
+    centers: NDArray[np.float64]
+
+    @property
+    def n_states(self) -> int:
+        return int(self.centers.size)
+
+    @staticmethod
+    def paper_state_count(
+        values: NDArray[np.float64],
+        states_factor: float = 2.0,
+        min_states: int = 2,
+        max_states: int = 32,
+    ) -> int:
+        """``round(states_factor * C_max / sigma_C)``, clipped.
+
+        The clip bounds keep the estimator sane on degenerate data
+        (constant series -> 2 states; ultra-spiky series would
+        otherwise demand thousands of states that the sample count
+        cannot support -- the very problem the paper notes for
+        higher-order chains).
+        """
+        sigma = float(np.std(values))
+        if sigma <= 0:
+            return min_states
+        m = float(np.max(values)) / sigma
+        return int(np.clip(round(states_factor * m), min_states, max_states))
+
+    @staticmethod
+    def fit(
+        values: ArrayLike,
+        n_states: int | None = None,
+        states_factor: float = 2.0,
+        max_states: int = 32,
+        equal_mass: bool = True,
+    ) -> "AdaptiveQuantizer":
+        """Build a quantizer from training samples.
+
+        Parameters
+        ----------
+        values:
+            Training samples (1-D).
+        n_states:
+            Explicit state count; derived from the paper rule when
+            omitted.
+        states_factor:
+            The "approximately 2M" refinement factor.
+        max_states:
+            Upper clip of the state count.
+        equal_mass:
+            Equal-sample-mass intervals (the paper's choice) vs
+            equal-width intervals (ablation baseline).
+        """
+        v = np.asarray(values, dtype=np.float64).ravel()
+        if v.size < 2:
+            raise ValueError("need at least 2 samples to fit a quantizer")
+        if n_states is None:
+            n_states = AdaptiveQuantizer.paper_state_count(
+                v, states_factor=states_factor, max_states=max_states
+            )
+        n_states = max(2, int(n_states))
+
+        if equal_mass:
+            qs = np.linspace(0.0, 1.0, n_states + 1)[1:-1]
+            edges = np.quantile(v, qs)
+        else:
+            edges = np.linspace(v.min(), v.max(), n_states + 1)[1:-1]
+        # Collapse duplicate edges (heavily tied samples).
+        edges = np.unique(edges)
+
+        states = np.searchsorted(edges, v, side="right")
+        n_eff = edges.size + 1
+        centers = np.empty(n_eff, dtype=np.float64)
+        for s in range(n_eff):
+            sel = v[states == s]
+            if sel.size:
+                centers[s] = float(sel.mean())
+            elif s > 0:
+                centers[s] = centers[s - 1]
+            else:
+                centers[s] = float(v.mean())
+        return AdaptiveQuantizer(edges=np.asarray(edges, dtype=np.float64), centers=centers)
+
+    def state(self, value: float) -> int:
+        """Quantize one value to its state index."""
+        return int(np.searchsorted(self.edges, value, side="right"))
+
+    def states(self, values: ArrayLike) -> NDArray[np.intp]:
+        """Vectorized quantization."""
+        return np.searchsorted(
+            self.edges, np.asarray(values, dtype=np.float64), side="right"
+        )
+
+    def center(self, state: int) -> float:
+        """Representative value of a state."""
+        return float(self.centers[state])
+
+
+class MarkovChain:
+    """First-order Markov chain on quantized values (Eq. 2).
+
+    Parameters
+    ----------
+    quantizer:
+        The state space.
+    transition:
+        Row-stochastic ``(n, n)`` matrix.
+    counts:
+        Raw transition counts (kept for online updates and for the
+        sample-sparsity diagnostics of the order ablation).
+    """
+
+    def __init__(
+        self,
+        quantizer: AdaptiveQuantizer,
+        transition: NDArray[np.float64],
+        counts: NDArray[np.float64] | None = None,
+    ) -> None:
+        n = quantizer.n_states
+        transition = np.asarray(transition, dtype=np.float64)
+        if transition.shape != (n, n):
+            raise ValueError(f"transition must be ({n},{n})")
+        if not np.allclose(transition.sum(axis=1), 1.0, atol=1e-9):
+            raise ValueError("transition rows must sum to 1")
+        self.quantizer = quantizer
+        self.transition = transition
+        self.counts = (
+            np.asarray(counts, dtype=np.float64)
+            if counts is not None
+            else np.zeros((n, n))
+        )
+
+    @property
+    def n_states(self) -> int:
+        return self.quantizer.n_states
+
+    # -- estimation -------------------------------------------------------------
+
+    @staticmethod
+    def fit(
+        series: Sequence[ArrayLike],
+        quantizer: AdaptiveQuantizer | None = None,
+        n_states: int | None = None,
+        states_factor: float = 2.0,
+        equal_mass: bool = True,
+        smoothing: float = 0.0,
+    ) -> "MarkovChain":
+        """Estimate a chain from one or more value series.
+
+        Transitions are only counted *within* a series (sequence
+        boundaries and execution gaps break the Markov property).
+        ``smoothing`` adds a small Laplace count to every cell; rows
+        never observed fall back to the uniform distribution, so the
+        chain stays usable on unseen states.
+        """
+        arrays = [np.asarray(s, dtype=np.float64).ravel() for s in series]
+        arrays = [a for a in arrays if a.size > 0]
+        if not arrays:
+            raise ValueError("no training data")
+        all_values = np.concatenate(arrays)
+        if quantizer is None:
+            quantizer = AdaptiveQuantizer.fit(
+                all_values,
+                n_states=n_states,
+                states_factor=states_factor,
+                equal_mass=equal_mass,
+            )
+        n = quantizer.n_states
+        counts = np.full((n, n), float(smoothing))
+        for a in arrays:
+            if a.size < 2:
+                continue
+            st = quantizer.states(a)
+            # Vectorized bigram count (Eq. 2 numerator n_ij).
+            np.add.at(counts, (st[:-1], st[1:]), 1.0)
+        transition = MarkovChain._normalize(counts)
+        return MarkovChain(quantizer, transition, counts)
+
+    @staticmethod
+    def _normalize(counts: NDArray[np.float64]) -> NDArray[np.float64]:
+        row_sums = counts.sum(axis=1, keepdims=True)
+        n = counts.shape[0]
+        uniform = np.full((1, n), 1.0 / n)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            t = np.where(row_sums > 0, counts / np.where(row_sums > 0, row_sums, 1), uniform)
+        return t
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict_from_state(self, state: int) -> float:
+        """Expected next value given the current state."""
+        return float(self.transition[state] @ self.quantizer.centers)
+
+    def predict_next(self, value: float) -> float:
+        """Expected next value given the current value."""
+        return self.predict_from_state(self.quantizer.state(value))
+
+    def next_distribution(self, state: int) -> NDArray[np.float64]:
+        """Transition row of ``state``."""
+        return self.transition[state].copy()
+
+    def stationary(self, tol: float = 1e-12, max_iter: int = 10_000) -> NDArray[np.float64]:
+        """Stationary distribution by power iteration."""
+        n = self.n_states
+        pi = np.full(n, 1.0 / n)
+        for _ in range(max_iter):
+            nxt = pi @ self.transition
+            if np.abs(nxt - pi).max() < tol:
+                return nxt
+            pi = nxt
+        return pi
+
+    def sample_path(
+        self, n: int, rng: np.random.Generator, start_state: int | None = None
+    ) -> NDArray[np.float64]:
+        """Sample a synthetic value path (for model-based simulation)."""
+        if n <= 0:
+            return np.empty(0)
+        state = (
+            int(rng.choice(self.n_states, p=self.stationary()))
+            if start_state is None
+            else int(start_state)
+        )
+        out = np.empty(n)
+        for i in range(n):
+            out[i] = self.quantizer.center(state)
+            state = int(rng.choice(self.n_states, p=self.transition[state]))
+        return out
+
+    # -- online update ---------------------------------------------------------------
+
+    def observe_transition(self, prev_value: float, value: float) -> None:
+        """Online model training (Section 6, "Profiling"): fold one
+        observed transition into the counts and re-normalize its row."""
+        i = self.quantizer.state(prev_value)
+        j = self.quantizer.state(value)
+        self.counts[i, j] += 1.0
+        row = self.counts[i]
+        self.transition[i] = row / row.sum()
+
+
+class MarkovChain2:
+    """Second-order chain: state = (previous, current) value bins.
+
+    Exists to reproduce the paper's *negative* result on higher-order
+    modeling: "with an increasing order, the number of samples for
+    each estimate is very small, even for long data sets".
+    :meth:`occupancy` quantifies exactly that sparsity.
+    """
+
+    def __init__(self, quantizer: AdaptiveQuantizer, counts: NDArray[np.float64]) -> None:
+        n = quantizer.n_states
+        if counts.shape != (n, n, n):
+            raise ValueError(f"counts must be ({n},{n},{n})")
+        self.quantizer = quantizer
+        self.counts = counts
+        sums = counts.sum(axis=2, keepdims=True)
+        uniform = np.full(n, 1.0 / n)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            self.transition = np.where(
+                sums > 0, counts / np.where(sums > 0, sums, 1), uniform
+            )
+
+    @staticmethod
+    def fit(
+        series: Sequence[ArrayLike], quantizer: AdaptiveQuantizer | None = None
+    ) -> "MarkovChain2":
+        arrays = [np.asarray(s, dtype=np.float64).ravel() for s in series]
+        arrays = [a for a in arrays if a.size > 0]
+        if not arrays:
+            raise ValueError("no training data")
+        if quantizer is None:
+            quantizer = AdaptiveQuantizer.fit(np.concatenate(arrays))
+        n = quantizer.n_states
+        counts = np.zeros((n, n, n))
+        for a in arrays:
+            if a.size < 3:
+                continue
+            st = quantizer.states(a)
+            np.add.at(counts, (st[:-2], st[1:-1], st[2:]), 1.0)
+        return MarkovChain2(quantizer, counts)
+
+    def predict_next(self, prev_value: float, value: float) -> float:
+        i = self.quantizer.state(prev_value)
+        j = self.quantizer.state(value)
+        return float(self.transition[i, j] @ self.quantizer.centers)
+
+    def occupancy(self) -> tuple[float, float]:
+        """(fraction of (i,j) rows ever observed, mean samples/row).
+
+        The sparsity diagnostic behind the paper's rejection of
+        higher-order chains.
+        """
+        row_totals = self.counts.sum(axis=2)
+        observed = row_totals > 0
+        frac = float(observed.mean())
+        mean_samples = float(row_totals[observed].mean()) if observed.any() else 0.0
+        return frac, mean_samples

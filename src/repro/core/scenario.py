@@ -1,0 +1,94 @@
+"""Scenario state table: switch prediction (Section 4).
+
+"Data-dependent switch statements in the task graph are modeled with
+state tables."  The table is a first-order Markov chain over the
+eight scenario ids: trained from profiled scenario chains, it
+predicts the most likely switch state of the next frame -- which
+decides *which tasks* the computation model must price.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.imaging.pipeline import SwitchState
+
+__all__ = ["ScenarioTable", "N_SCENARIOS"]
+
+N_SCENARIOS: int = 8
+
+
+class ScenarioTable:
+    """8x8 scenario transition table with online updating."""
+
+    def __init__(self, counts: NDArray[np.float64] | None = None) -> None:
+        self.counts = (
+            np.asarray(counts, dtype=np.float64)
+            if counts is not None
+            else np.zeros((N_SCENARIOS, N_SCENARIOS))
+        )
+        if self.counts.shape != (N_SCENARIOS, N_SCENARIOS):
+            raise ValueError("counts must be 8x8")
+
+    @staticmethod
+    def fit(chains: Sequence[NDArray[np.int64]]) -> "ScenarioTable":
+        """Estimate from per-sequence scenario-id chains."""
+        counts = np.zeros((N_SCENARIOS, N_SCENARIOS))
+        for chain in chains:
+            c = np.asarray(chain, dtype=np.int64)
+            if c.size < 2:
+                continue
+            if c.min() < 0 or c.max() >= N_SCENARIOS:
+                raise ValueError("scenario ids must be in [0, 8)")
+            np.add.at(counts, (c[:-1], c[1:]), 1.0)
+        return ScenarioTable(counts)
+
+    @property
+    def transition(self) -> NDArray[np.float64]:
+        """Row-stochastic transition matrix (uniform for unseen rows)."""
+        sums = self.counts.sum(axis=1, keepdims=True)
+        uniform = np.full((1, N_SCENARIOS), 1.0 / N_SCENARIOS)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                sums > 0, self.counts / np.where(sums > 0, sums, 1), uniform
+            )
+
+    def predict_next(self, current: int) -> int:
+        """Most likely next scenario id.
+
+        Ties break toward *staying* in the current scenario (the
+        empirically dominant behaviour of the application).
+        """
+        row = self.transition[int(current)]
+        best = float(row.max())
+        if row[int(current)] >= best - 1e-12:
+            return int(current)
+        return int(np.argmax(row))
+
+    def predict_state(self, current: SwitchState) -> SwitchState:
+        """Switch-state-typed convenience wrapper."""
+        return SwitchState.from_scenario_id(self.predict_next(current.scenario_id))
+
+    def distribution(self, current: int) -> NDArray[np.float64]:
+        """Next-scenario distribution from ``current``."""
+        return self.transition[int(current)].copy()
+
+    def observe(self, previous: int, current: int) -> None:
+        """Online update with one observed transition."""
+        if not (0 <= previous < N_SCENARIOS and 0 <= current < N_SCENARIOS):
+            raise ValueError("scenario ids must be in [0, 8)")
+        self.counts[previous, current] += 1.0
+
+    def stationary(self) -> NDArray[np.float64]:
+        """Stationary scenario distribution (power iteration)."""
+        t = self.transition
+        pi = np.full(N_SCENARIOS, 1.0 / N_SCENARIOS)
+        for _ in range(10_000):
+            nxt = pi @ t
+            if np.abs(nxt - pi).max() < 1e-12:
+                break
+            pi = nxt
+        return pi

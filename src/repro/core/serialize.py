@@ -1,0 +1,175 @@
+"""Persistence of trained Triple-C models.
+
+A deployed runtime manager should not re-profile 1,921 frames at
+start-up: the trained model (quantizers, transition matrices, linear
+fits, scenario table, training means) serializes to a single JSON
+document and round-trips exactly.  Online state (EWMA values, last
+residuals, current scenario) is deliberately *not* persisted -- it is
+per-sequence state that ``start_sequence`` initializes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.computation import (
+    ComputationModel,
+    ConstantPredictor,
+    EwmaMarkovPredictor,
+    LastValuePredictor,
+    MarkovPredictor,
+    RoiLinearMarkovPredictor,
+    ScenarioConditionedPredictor,
+)
+from repro.core.markov import AdaptiveQuantizer, MarkovChain
+from repro.core.scenario import ScenarioTable
+from repro.core.triplec import TripleC
+from repro.graph import build_stentboost_graph
+from repro.hw.spec import blackford
+
+__all__ = ["save_model", "load_model", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def _chain_to_dict(chain: MarkovChain) -> dict[str, Any]:
+    return {
+        "edges": chain.quantizer.edges.tolist(),
+        "centers": chain.quantizer.centers.tolist(),
+        "transition": chain.transition.tolist(),
+        "counts": chain.counts.tolist(),
+    }
+
+
+def _chain_from_dict(d: dict[str, Any]) -> MarkovChain:
+    q = AdaptiveQuantizer(
+        edges=np.asarray(d["edges"], dtype=np.float64),
+        centers=np.asarray(d["centers"], dtype=np.float64),
+    )
+    return MarkovChain(
+        q,
+        np.asarray(d["transition"], dtype=np.float64),
+        np.asarray(d["counts"], dtype=np.float64),
+    )
+
+
+def _predictor_to_dict(p: Any) -> dict[str, Any]:
+    if isinstance(p, ConstantPredictor):
+        return {"type": "constant", "value_ms": p.value_ms}
+    if isinstance(p, LastValuePredictor):
+        return {"type": "last-value", "fallback_ms": p.fallback_ms}
+    if isinstance(p, MarkovPredictor):
+        return {
+            "type": "markov",
+            "chain": _chain_to_dict(p.chain),
+            "online_update": p.online_update,
+        }
+    if isinstance(p, EwmaMarkovPredictor):
+        return {
+            "type": "ewma+markov",
+            "chain": _chain_to_dict(p.chain),
+            "alpha": p.alpha,
+            "fallback_ms": p._fallback,
+            "online_update": p.online_update,
+        }
+    if isinstance(p, RoiLinearMarkovPredictor):
+        return {
+            "type": "roi+markov",
+            "chain": _chain_to_dict(p.chain),
+            "slope": p.slope,
+            "intercept": p.intercept,
+            "online_update": p.online_update,
+        }
+    if isinstance(p, ScenarioConditionedPredictor):
+        return {
+            "type": "scenario-conditioned",
+            "inner": {str(k): _predictor_to_dict(v) for k, v in p.inner.items()},
+            "pooled": _predictor_to_dict(p.pooled),
+        }
+    raise TypeError(f"cannot serialize predictor of type {type(p).__name__}")
+
+
+def _predictor_from_dict(d: dict[str, Any]) -> Any:
+    kind = d["type"]
+    if kind == "constant":
+        return ConstantPredictor(value_ms=float(d["value_ms"]))
+    if kind == "last-value":
+        return LastValuePredictor(fallback_ms=float(d["fallback_ms"]))
+    if kind == "markov":
+        return MarkovPredictor(
+            _chain_from_dict(d["chain"]), online_update=bool(d["online_update"])
+        )
+    if kind == "ewma+markov":
+        return EwmaMarkovPredictor(
+            _chain_from_dict(d["chain"]),
+            alpha=float(d["alpha"]),
+            fallback_ms=float(d["fallback_ms"]),
+            online_update=bool(d["online_update"]),
+        )
+    if kind == "roi+markov":
+        return RoiLinearMarkovPredictor(
+            float(d["slope"]),
+            float(d["intercept"]),
+            _chain_from_dict(d["chain"]),
+            online_update=bool(d["online_update"]),
+        )
+    if kind == "scenario-conditioned":
+        return ScenarioConditionedPredictor(
+            inner={int(k): _predictor_from_dict(v) for k, v in d["inner"].items()},
+            pooled=_predictor_from_dict(d["pooled"]),
+        )
+    raise ValueError(f"unknown predictor type {kind!r}")
+
+
+def save_model(model: TripleC, path: str | Path) -> None:
+    """Serialize a trained model to JSON.
+
+    Only the trained parameters travel; graph and platform are
+    reconstructed from their builders at load time (they are code,
+    not data).
+    """
+    doc = {
+        "format_version": FORMAT_VERSION,
+        "rate_hz": model.rate_hz,
+        "predictors": {
+            t: _predictor_to_dict(p)
+            for t, p in model.computation.predictors.items()
+        },
+        "train_mean_ms": model.computation.train_mean_ms,
+        "scenario_counts": model.scenarios.counts.tolist(),
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def load_model(path: str | Path) -> TripleC:
+    """Inverse of :func:`save_model` (fresh online state)."""
+    doc = json.loads(Path(path).read_text())
+    version = doc.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported model format {version!r} (expected {FORMAT_VERSION})"
+        )
+    comp = ComputationModel(
+        predictors={
+            t: _predictor_from_dict(d) for t, d in doc["predictors"].items()
+        },
+        train_mean_ms={t: float(v) for t, v in doc["train_mean_ms"].items()},
+    )
+    table = ScenarioTable(np.asarray(doc["scenario_counts"], dtype=np.float64))
+    graph = build_stentboost_graph()
+    platform = blackford()
+    from repro.core.bandwidth import BandwidthModel
+    from repro.core.cachemodel import CacheMemoryModel
+
+    return TripleC(
+        computation=comp,
+        scenarios=table,
+        cache=CacheMemoryModel(graph, platform),
+        bandwidth=BandwidthModel(graph, platform),
+        graph=graph,
+        rate_hz=float(doc["rate_hz"]),
+    )

@@ -1,0 +1,226 @@
+"""The Triple-C facade: one trained model, a predict/observe loop.
+
+The runtime manager of :mod:`repro.runtime` drives this object once
+per frame:
+
+1. ``predict()`` -- before the frame executes: which scenario will
+   run, how long each of its tasks will take on one core, how much
+   cache it needs and how much bandwidth it will draw;
+2. the manager partitions/maps the frame using the prediction;
+3. ``observe()`` -- after the frame: feed the measured scenario and
+   task times back (EWMA states advance, Markov states move, and --
+   when online updating is enabled -- transition counts grow: the
+   "Profiling" feedback loop of Section 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bandwidth import BandwidthModel
+from repro.core.cachemodel import CacheMemoryModel
+from repro.core.computation import (
+    ComputationModel,
+    PredictionContext,
+)
+from repro.core.scenario import ScenarioTable
+from repro.graph import build_stentboost_graph
+from repro.graph.flowgraph import FlowGraph
+from repro.hw.spec import PlatformSpec, blackford
+from repro.imaging.pipeline import SwitchState
+from repro.profiling.traces import TraceSet
+from repro.util.units import MB, NATIVE_PIXELS
+
+__all__ = ["TripleCPrediction", "TripleC"]
+
+
+@dataclass(frozen=True)
+class TripleCPrediction:
+    """One frame's resource prediction.
+
+    Attributes
+    ----------
+    scenario_id:
+        Predicted switch state of the coming frame.
+    task_ms:
+        Predicted single-core time per active task.
+    frame_ms:
+        Serial sum over tasks (the single-core frame latency).
+    external_bytes:
+        Predicted external-memory traffic of the frame.
+    bandwidth_mbps:
+        The same as sustained MByte/s at the video rate.
+    roi_kpixels:
+        ROI size the prediction assumed.
+    """
+
+    scenario_id: int
+    task_ms: dict[str, float]
+    frame_ms: float
+    external_bytes: int
+    bandwidth_mbps: float
+    roi_kpixels: float
+
+    @property
+    def state(self) -> SwitchState:
+        return SwitchState.from_scenario_id(self.scenario_id)
+
+
+@dataclass
+class TripleC:
+    """Trained Triple-C model (all three C's + the scenario table)."""
+
+    computation: ComputationModel
+    scenarios: ScenarioTable
+    cache: CacheMemoryModel
+    bandwidth: BandwidthModel
+    graph: FlowGraph
+    rate_hz: float = 30.0
+    _current_scenario: int | None = field(default=None, repr=False)
+
+    # -- training -------------------------------------------------------------
+
+    @staticmethod
+    def fit(
+        traces: TraceSet,
+        graph: FlowGraph | None = None,
+        platform: PlatformSpec | None = None,
+        online_update: bool = False,
+        **computation_kwargs,
+    ) -> "TripleC":
+        """Train all models from profiling traces.
+
+        Parameters
+        ----------
+        traces:
+            Profiled training corpus.
+        graph, platform:
+            Structural inputs; default to the StentBoost graph and
+            the Blackford platform.
+        online_update:
+            Enable continuous transition-count updates at observe
+            time (Section 6 "Profiling").
+        **computation_kwargs:
+            Forwarded to :meth:`ComputationModel.fit` (alpha,
+            predictor_kinds ... -- the ablation hooks).
+        """
+        graph = graph or build_stentboost_graph()
+        platform = platform or blackford()
+        comp = ComputationModel.fit(
+            traces, online_update=online_update, **computation_kwargs
+        )
+        table = ScenarioTable.fit(traces.scenario_chains())
+        cache = CacheMemoryModel(graph, platform)
+        bw = BandwidthModel(graph, platform)
+        return TripleC(
+            computation=comp,
+            scenarios=table,
+            cache=cache,
+            bandwidth=bw,
+            graph=graph,
+        )
+
+    # -- the per-frame loop ------------------------------------------------------
+
+    def start_sequence(self, initial_scenario: int | None = None) -> None:
+        """Reset online state at a sequence boundary."""
+        self.computation.reset()
+        self._current_scenario = initial_scenario
+
+    def predict(
+        self, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+    ) -> TripleCPrediction:
+        """Predict the coming frame's resource usage.
+
+        ``roi_kpixels`` is the size of the region the frame *will*
+        process -- known in advance because the ROI (or full frame)
+        was fixed by the previous frame's analysis.
+        """
+        if self._current_scenario is None:
+            # Cold start: assume the worst-case scenario (Section 6,
+            # "Initialization" processes the first frame before the
+            # budget is set).
+            scenario = SwitchState(True, False, True).scenario_id
+        else:
+            scenario = self.scenarios.predict_next(self._current_scenario)
+        state = SwitchState.from_scenario_id(scenario)
+        ctx = PredictionContext(roi_kpixels=roi_kpixels, scenario_id=scenario)
+        task_ms = self.computation.predict_tasks(
+            self.graph.active_tasks(state), ctx
+        )
+        ext = self.bandwidth.frame_external_bytes(state, roi_kpixels)
+        return TripleCPrediction(
+            scenario_id=scenario,
+            task_ms=task_ms,
+            frame_ms=float(sum(task_ms.values())),
+            external_bytes=int(ext),
+            bandwidth_mbps=ext * self.rate_hz / MB,
+            roi_kpixels=roi_kpixels,
+        )
+
+    def plausible_predictions(
+        self,
+        roi_kpixels: float = NATIVE_PIXELS / 1000.0,
+        p_min: float = 0.01,
+    ) -> dict[int, dict[str, float]]:
+        """Per-task predictions for every plausible next scenario.
+
+        Returns ``{scenario_id: {task: ms}}`` for each scenario whose
+        transition probability from the current state is at least
+        ``p_min`` (the most likely scenario is always included).
+        The robust partitioner consumes this to stay within budget
+        even when the switch state flips unexpectedly.
+        """
+        if self._current_scenario is None:
+            sids = {SwitchState(True, False, True).scenario_id}
+        else:
+            row = self.scenarios.distribution(self._current_scenario)
+            sids = {s for s in range(row.size) if row[s] >= p_min}
+            sids.add(self.scenarios.predict_next(self._current_scenario))
+        out: dict[int, dict[str, float]] = {}
+        for sid in sorted(sids):
+            state = SwitchState.from_scenario_id(sid)
+            ctx = PredictionContext(roi_kpixels=roi_kpixels, scenario_id=sid)
+            out[sid] = self.computation.predict_tasks(
+                self.graph.active_tasks(state), ctx
+            )
+        return out
+
+    def observe(
+        self,
+        scenario_id: int,
+        task_ms: dict[str, float],
+        roi_kpixels: float,
+    ) -> None:
+        """Feed one executed frame's measurements back."""
+        ctx = PredictionContext(
+            roi_kpixels=roi_kpixels, scenario_id=int(scenario_id)
+        )
+        self.computation.observe_frame(task_ms, ctx)
+        if self._current_scenario is not None:
+            self.scenarios.observe(self._current_scenario, scenario_id)
+        self._current_scenario = int(scenario_id)
+
+    # -- budget initialization helpers ----------------------------------------
+
+    def expected_frame_ms(self, scenario_id: int | None = None) -> float:
+        """Average-case serial frame time from training statistics.
+
+        With ``scenario_id`` given: the expected serial time of that
+        scenario (sum of training-mean task times).  Without: the
+        stationary-scenario-weighted expectation -- the "close to
+        average case" value the Section 6 initialization step sets
+        the latency budget to.
+        """
+        means = self.computation.train_mean_ms
+
+        def scenario_ms(sid: int) -> float:
+            state = SwitchState.from_scenario_id(sid)
+            return float(
+                sum(means.get(t, 0.0) for t in self.graph.active_tasks(state))
+            )
+
+        if scenario_id is not None:
+            return scenario_ms(scenario_id)
+        pi = self.scenarios.stationary()
+        return float(sum(pi[s] * scenario_ms(s) for s in range(pi.size)))

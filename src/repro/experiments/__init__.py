@@ -1,0 +1,28 @@
+"""Reproduction harness: one module per paper table/figure.
+
+==================  =============================================
+Module              Paper artefact
+==================  =============================================
+``fig2``            Flow graph + inter-task bandwidth labels
+``fig3``            RDG FULL computation time + HPF/LPF split
+``fig4``            Platform model parameters
+``fig5``            Intra-task cache occupancy of RDG FULL
+``fig6``            Effective latency vs ROI size (serial / 2-stripe)
+``fig7``            Latency control: straightforward vs Triple-C
+``table1``          Per-task memory requirements
+``table2``          RDG Markov transition matrix + model summary
+``accuracy_comp``   97 % computation-time prediction accuracy
+``accuracy_bw``     90 % bandwidth/cache prediction accuracy
+``coschedule``      "More functions on the same platform"
+==================  =============================================
+
+Every module exposes ``run(ctx) -> dict`` returning the measured
+quantities plus a ``text`` rendering; ``python -m repro.experiments``
+runs them all.  Shared training state (corpus, traces, fitted model)
+lives in :class:`~repro.experiments.common.ExperimentContext` and is
+cached on disk, so repeated runs are fast.
+"""
+
+from repro.experiments.common import ExperimentContext, default_context
+
+__all__ = ["ExperimentContext", "default_context"]

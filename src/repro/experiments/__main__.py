@@ -1,0 +1,73 @@
+"""Run every reproduction experiment and print the results.
+
+Usage::
+
+    python -m repro.experiments            # all experiments
+    python -m repro.experiments fig7       # one experiment
+    REPRO_FAST=1 python -m repro.experiments   # small corpus
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import default_context
+from repro.experiments import (  # noqa: F401 (registry below)
+    ablations_report,
+    acf_report,
+    accuracy_bw,
+    accuracy_comp,
+    coschedule,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    multiapp,
+    table1,
+    table2,
+    throughput,
+)
+
+EXPERIMENTS = {
+    "fig2": fig2,
+    "fig3": fig3,
+    "fig4": fig4,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "table1": table1,
+    "table2": table2,
+    "accuracy_comp": accuracy_comp,
+    "accuracy_bw": accuracy_bw,
+    "coschedule": coschedule,
+    "throughput": throughput,
+    "multiapp": multiapp,
+    "acf": acf_report,
+    "ablations": ablations_report,
+}
+
+
+def main(argv: list[str]) -> int:
+    names = argv or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+        return 2
+    ctx = default_context()
+    for name in names:
+        t0 = time.perf_counter()
+        result = EXPERIMENTS[name].run(ctx)
+        dt = time.perf_counter() - t0
+        print("=" * 72)
+        print(f"[{name}]  ({dt:.1f} s)")
+        print("=" * 72)
+        print(result["text"])
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,108 @@
+"""Consolidated ablation report (design-choice justification).
+
+Runs every ablation of :mod:`repro.experiments.ablation` and formats
+one report: EWMA alpha, Markov state count, quantization scheme,
+predictor classes, higher-order sparsity, N-stripe scaling, partition
+policy and scenario awareness.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import (
+    alpha_sweep,
+    conditioning_comparison,
+    held_out_traces,
+    order2_sparsity,
+    order_comparison,
+    partition_policy_comparison,
+    predictor_comparison,
+    quantization_comparison,
+    scenario_awareness_comparison,
+    state_factor_sweep,
+    stripe_scaling,
+)
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext) -> dict:
+    """Execute all ablations; returns their raw results + a report."""
+    test = held_out_traces(ctx)
+    lines: list[str] = ["Ablations of Triple-C design choices", ""]
+
+    alphas = alpha_sweep(ctx.traces, test, "RDG_ROI")
+    lines.append("EWMA alpha (Eq. 1), RDG ROI held-out accuracy:")
+    lines.append("  " + "  ".join(f"a={a:.2f}:{r.mean_accuracy * 100:.1f}%" for a, r in alphas))
+
+    factors = state_factor_sweep(ctx.traces, test, "CPLS_SEL")
+    lines.append("state-count factor (paper: ~2M), CPLS SEL:")
+    lines.append(
+        "  " + "  ".join(f"{f:.1f}x->{n}st:{r.mean_accuracy * 100:.1f}%" for f, n, r in factors)
+    )
+
+    quant = quantization_comparison(ctx.traces, test, "RDG_ROI")
+    lines.append("quantization (RDG ROI): " + "  ".join(
+        f"{k}:{v.mean_accuracy * 100:.1f}%" for k, v in quant.items()
+    ))
+
+    preds = predictor_comparison(ctx.traces, test, "RDG_ROI")
+    lines.append("predictor classes (RDG ROI): " + "  ".join(
+        f"{k}:{v.mean_accuracy * 100:.1f}%" for k, v in preds.items()
+    ))
+
+    sparsity = order2_sparsity(ctx.traces, "CPLS_SEL")
+    lines.append(
+        f"order-2 sparsity: row coverage "
+        f"{sparsity['order1_row_coverage'] * 100:.0f}% -> "
+        f"{sparsity['order2_row_coverage'] * 100:.0f}%, samples/row "
+        f"{sparsity['order1_samples_per_row']:.1f} -> "
+        f"{sparsity['order2_samples_per_row']:.1f} "
+        f"(the paper's case against higher orders)"
+    )
+
+    stripes = stripe_scaling(ctx)
+    lines.append("N-stripe scaling of RDG FULL (speedup@efficiency):")
+    lines.append("  " + "  ".join(
+        f"{p.parts}:{p.speedup:.2f}@{p.efficiency:.2f}" for p in stripes
+    ))
+
+    policy = partition_policy_comparison(ctx, n_frames=120)
+    lines.append("partition policy (violations / latency max):")
+    for name, stats in policy.items():
+        lines.append(
+            f"  {name:12s} {stats['violation_rate'] * 100:5.1f}% / "
+            f"{stats['latency_max']:6.1f} ms (cores {stats['mean_cores']:.2f})"
+        )
+
+    scen = scenario_awareness_comparison(ctx, test=test)
+    lines.append("scenario-based vs oblivious frame prediction:")
+    for name, rep in scen.items():
+        lines.append(
+            f"  {name:16s} mean {rep.mean_accuracy * 100:5.1f}%  "
+            f"excursions {rep.excursion_fraction * 100:4.1f}%"
+        )
+
+    orders = order_comparison(ctx.traces, test, "CPLS_SEL")
+    lines.append("Markov order (CPLS SEL): " + "  ".join(
+        f"{k}:{v.mean_accuracy * 100:.1f}%" for k, v in orders.items()
+    ))
+
+    cond = conditioning_comparison(ctx.traces, test, "CPLS_SEL")
+    lines.append("granularity conditioning (CPLS SEL): " + "  ".join(
+        f"{k}:{v.mean_accuracy * 100:.1f}%" for k, v in cond.items()
+    ))
+
+    return {
+        "orders": orders,
+        "conditioning": cond,
+        "alpha": alphas,
+        "state_factors": factors,
+        "quantization": quant,
+        "predictors": preds,
+        "order2": sparsity,
+        "stripes": stripes,
+        "policy": policy,
+        "scenario": scen,
+        "text": "\n".join(lines),
+    }

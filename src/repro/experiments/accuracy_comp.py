@@ -1,0 +1,99 @@
+"""Section 7 reproduction: computation-time prediction accuracy.
+
+"For the test sequences, an average prediction accuracy of 97 % is
+reached with sporadic excursions of the prediction error up to
+20-30 %."
+
+Held-out evaluation: the model trains on the corpus traces, then runs
+the strict predict-then-observe loop over fresh test sequences (seeds
+disjoint from the corpus).  Accuracy is evaluated at frame level
+(sum of active tasks) and per task.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import prediction_accuracy
+from repro.experiments.common import ExperimentContext, make_pipeline
+from repro.hw import Mapping
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+__all__ = ["run", "PAPER_ACCURACY"]
+
+#: Paper headline: 97 % average, excursions up to 20-30 %.
+PAPER_ACCURACY = {"mean": 0.97, "excursion_band": (0.20, 0.30)}
+
+#: Held-out test sequences (seeds disjoint from the training corpus).
+TEST_SEEDS = (1001, 2002, 3003, 4004)
+
+
+def run(ctx: ExperimentContext, n_frames: int = 120, warmup: int = 3) -> dict:
+    """Evaluate frame-level and per-task prediction accuracy."""
+    model = ctx.fresh_model()
+    sim = ctx.profile_config.make_simulator()
+    scale = ctx.profile_config.pixel_scale
+
+    frame_pred, frame_meas = [], []
+    task_pred: dict[str, list[float]] = {}
+    task_meas: dict[str, list[float]] = {}
+
+    for seed in TEST_SEEDS:
+        # One visibility dip per sequence: the tracking occasionally
+        # breaks (exercising the switches) but most frames register,
+        # matching the paper's clinically usable test sequences.
+        seq = XRaySequence(
+            SequenceConfig(
+                n_frames=n_frames,
+                seed=seed,
+                visibility_dips=1,
+                clutter_level=0.8,
+                injection_frame=20,
+            )
+        )
+        pipe = make_pipeline(seq)
+        model.start_sequence()
+        for img, _truth in seq.iter_frames():
+            roi_px = pipe.roi.pixels if pipe.roi is not None else img.size
+            roi_kpx = roi_px / 1000.0 * scale
+            pred = model.predict(roi_kpx)
+            fa = pipe.process(img)
+            res = sim.simulate_frame(
+                fa.reports, Mapping.serial(), frame_key=(seed, fa.index)
+            )
+            if fa.index >= warmup:
+                frame_pred.append(pred.frame_ms)
+                frame_meas.append(sum(res.task_ms.values()))
+                for t, ms in res.task_ms.items():
+                    if t in pred.task_ms:
+                        task_pred.setdefault(t, []).append(pred.task_ms[t])
+                        task_meas.setdefault(t, []).append(ms)
+            model.observe(fa.scenario_id, res.task_ms, roi_kpx)
+
+    frame_rep = prediction_accuracy(np.asarray(frame_pred), np.asarray(frame_meas))
+    task_reps = {
+        t: prediction_accuracy(np.asarray(task_pred[t]), np.asarray(task_meas[t]))
+        for t in sorted(task_pred)
+        if len(task_pred[t]) >= 10
+    }
+
+    lines = ["Computation-time prediction accuracy (held-out)", ""]
+    lines.append(
+        f"frame-level: mean {frame_rep.mean_accuracy * 100:.1f}% "
+        f"(paper: 97%), excursions >20%: "
+        f"{frame_rep.excursion_fraction * 100:.1f}% of frames, "
+        f"max error {frame_rep.max_relative_error * 100:.0f}% "
+        f"(paper: sporadic 20-30%)"
+    )
+    lines.append("")
+    lines.append(f"{'task':14s} {'mean acc':>9s} {'max err':>8s} {'n':>6s}")
+    for t, rep in task_reps.items():
+        lines.append(
+            f"{t:14s} {rep.mean_accuracy * 100:8.1f}% "
+            f"{rep.max_relative_error * 100:7.0f}% {rep.n:6d}"
+        )
+    return {
+        "frame": frame_rep,
+        "tasks": task_reps,
+        "text": "\n".join(lines),
+    }

@@ -1,0 +1,126 @@
+"""Shared experiment state: corpus, traces, trained model, caching.
+
+The paper's training setup is 37 sequences / 1,921 frames; profiling
+that corpus takes ~40 s on a laptop, so the resulting traces are
+cached as JSON under ``.cache/`` (keyed by the corpus parameters and
+the cost-model calibration version).  Set ``REPRO_FAST=1`` to use a
+small corpus for smoke runs; ``REPRO_CACHE_DIR`` moves the cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.triplec import TripleC
+from repro.graph import build_stentboost_graph
+from repro.graph.flowgraph import FlowGraph
+from repro.hw.spec import PlatformSpec, blackford
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.profiling import ProfileConfig, TraceSet, profile_corpus
+from repro.synthetic import CorpusSpec, generate_corpus
+from repro.synthetic.sequence import XRaySequence
+
+__all__ = ["ExperimentContext", "default_context", "make_pipeline"]
+
+#: Bump when cost-model calibration or pipeline behaviour changes, so
+#: stale cached traces are never reused.
+CALIBRATION_VERSION = "v3"
+
+
+def _cache_dir() -> Path:
+    root = os.environ.get("REPRO_CACHE_DIR", "")
+    path = Path(root) if root else Path(__file__).resolve().parents[3] / ".cache"
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def make_pipeline(sequence: XRaySequence) -> StentBoostPipeline:
+    """Pipeline configured with the sequence's clinical prior."""
+    sep = sequence.config.resolved_phantom().marker_separation
+    return StentBoostPipeline(PipelineConfig(expected_distance=sep))
+
+
+@dataclass
+class ExperimentContext:
+    """Everything the experiment modules share.
+
+    Attributes
+    ----------
+    corpus_spec:
+        The training corpus parameters.
+    profile_config:
+        Platform + cost-model configuration.
+    traces:
+        Profiled training traces (lazily computed, disk-cached).
+    model:
+        Triple-C trained on ``traces`` (lazily computed).
+    """
+
+    corpus_spec: CorpusSpec = field(default_factory=CorpusSpec)
+    profile_config: ProfileConfig = field(default_factory=ProfileConfig)
+    _traces: TraceSet | None = field(default=None, repr=False)
+    _model: TripleC | None = field(default=None, repr=False)
+
+    @property
+    def platform(self) -> PlatformSpec:
+        return self.profile_config.platform
+
+    @property
+    def graph(self) -> FlowGraph:
+        return build_stentboost_graph()
+
+    def _cache_key(self) -> str:
+        spec = self.corpus_spec
+        blob = (
+            f"{CALIBRATION_VERSION}|{spec.n_sequences}|{spec.total_frames}|"
+            f"{spec.width}|{spec.height}|{spec.base_seed}|"
+            f"{self.profile_config.pixel_scale}|{self.profile_config.seed}|"
+            f"{self.platform.name}"
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    @property
+    def traces(self) -> TraceSet:
+        """Training traces (profiled once, cached on disk)."""
+        if self._traces is None:
+            cache = _cache_dir() / f"traces-{self._cache_key()}.json"
+            if cache.exists():
+                self._traces = TraceSet.load(cache)
+            else:
+                corpus = generate_corpus(self.corpus_spec)
+                self._traces = profile_corpus(corpus, self.profile_config)
+                self._traces.save(cache)
+        return self._traces
+
+    @property
+    def model(self) -> TripleC:
+        """Triple-C trained on the training traces."""
+        if self._model is None:
+            self._model = TripleC.fit(
+                self.traces,
+                graph=self.graph,
+                platform=self.platform,
+            )
+        return self._model
+
+    def fresh_model(self, **fit_kwargs) -> TripleC:
+        """An independently fitted model (for ablations)."""
+        return TripleC.fit(
+            self.traces, graph=self.graph, platform=self.platform, **fit_kwargs
+        )
+
+
+def default_context() -> ExperimentContext:
+    """The standard experiment context.
+
+    Paper-scale corpus (37 sequences / 1,921 frames) unless
+    ``REPRO_FAST=1``, which shrinks it to 8 / 400 for smoke runs.
+    """
+    if os.environ.get("REPRO_FAST", "") == "1":
+        spec = CorpusSpec(n_sequences=8, total_frames=400)
+    else:
+        spec = CorpusSpec()
+    return ExperimentContext(corpus_spec=spec)

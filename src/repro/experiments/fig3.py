@@ -1,0 +1,98 @@
+"""Fig. 3 reproduction: RDG FULL computation time and its EWMA split.
+
+The paper plots ~1,750 frames of ridge-detection computation time in
+the 35-55 ms band, decomposed into the EWMA low-pass trend and the
+high-pass residual the Markov chain models, and validates Markov
+applicability via the exponentially decaying autocorrelation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentContext
+from repro.hw import Mapping
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+from repro.util.ewma import high_low_split
+from repro.util.stats import autocorrelation, fit_exponential_decay, summarize
+
+__all__ = ["run", "rdg_full_series"]
+
+#: Paper's Fig. 3 band for the RDG FULL task.
+PAPER_BAND_MS = (35.0, 55.0)
+
+
+def rdg_full_series(
+    ctx: ExperimentContext, n_frames: int = 600, seed: int = 90210
+) -> np.ndarray:
+    """Force a long run of RDG FULL executions and time them.
+
+    The pipeline's full-frame mode is forced by disabling ROI
+    tracking (``roi_margin_factor`` huge would still track, so we
+    reset the pipeline ROI each frame instead), with clutter/contrast
+    configured so the RDG switch stays on.
+    """
+    seq = XRaySequence(
+        SequenceConfig(
+            n_frames=n_frames,
+            seed=seed,
+            clutter_level=1.1,
+            contrast_base=0.45,
+            injection_frame=5,
+            washout_frames=300.0,
+            visibility_dips=0,
+        )
+    )
+    pipe = StentBoostPipeline(
+        PipelineConfig(
+            expected_distance=seq.config.resolved_phantom().marker_separation
+        )
+    )
+    sim = ctx.profile_config.make_simulator()
+    mapping = Mapping.serial()
+    out = []
+    for img, _ in seq.iter_frames():
+        pipe._roi = None  # force full-frame granularity every frame
+        fa = pipe.process(img)
+        res = sim.simulate_frame(fa.reports, mapping, frame_key=("fig3", fa.index))
+        if "RDG_FULL" in res.task_ms:
+            out.append(res.task_ms["RDG_FULL"])
+    return np.asarray(out)
+
+
+def run(ctx: ExperimentContext, n_frames: int = 600) -> dict:
+    """Produce the Fig. 3 series, its decomposition and the ACFs."""
+    series = rdg_full_series(ctx, n_frames=n_frames)
+    hpf, lpf = high_low_split(series, alpha=0.3)
+    acf_raw = autocorrelation(series, max_lag=40)
+    acf = autocorrelation(hpf, max_lag=40)
+    tau_raw = fit_exponential_decay(acf_raw, lags=20)
+    tau = fit_exponential_decay(acf, lags=20)
+    stats = summarize(series)
+
+    lines = ["Fig. 3 -- RDG FULL computation time", ""]
+    lines.append(
+        f"frames: {stats.n}; mean {stats.mean:.1f} ms; "
+        f"range [{stats.minimum:.1f}, {stats.maximum:.1f}] ms "
+        f"(paper band: {PAPER_BAND_MS[0]:.0f}-{PAPER_BAND_MS[1]:.0f} ms)"
+    )
+    lines.append(
+        f"LPF (EWMA) std {np.std(lpf):.2f} ms; HPF std {np.std(hpf):.2f} ms"
+    )
+    lines.append(
+        f"raw-series ACF decay tau = {tau_raw:.1f} frames (content "
+        f"correlation the EWMA absorbs); residual tau = {tau:.1f} "
+        f"(fast decay => a first-order Markov chain suffices)"
+    )
+    return {
+        "series": series,
+        "lpf": lpf,
+        "hpf": hpf,
+        "acf": acf,
+        "acf_raw": acf_raw,
+        "tau": tau,
+        "tau_raw": tau_raw,
+        "stats": stats,
+        "text": "\n".join(lines),
+    }

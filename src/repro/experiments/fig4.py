@@ -1,0 +1,47 @@
+"""Fig. 4 reproduction: the instantiated architecture parameters.
+
+A direct tabulation of the platform spec against the numbers printed
+in Fig. 4(b): 8 x 2,327 MCycles/s cores, 8 x 32 KB L1, 4 x 4 MB L2,
+72 / 48 / 29 GB/s links and 0.94 - 3.83 GB/s DRAM channels.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentContext
+from repro.util.units import GB, KIB, MIB
+
+__all__ = ["run", "PAPER_PLATFORM"]
+
+#: The values printed in Fig. 4(b).
+PAPER_PLATFORM = {
+    "cores": 8,
+    "core_mcycles": 2327.0,
+    "l1_kb": 32,
+    "n_l2": 4,
+    "l2_mb": 4,
+    "core_l1_gbps": 72.0,
+    "l1_l2_gbps": 48.0,
+    "l2_bus_gbps": 29.0,
+    "dram_gbps": (0.94, 3.83),
+}
+
+
+def run(ctx: ExperimentContext) -> dict:
+    """Tabulate our platform spec next to the paper's figures."""
+    p = ctx.platform
+    ours = {
+        "cores": p.n_cores,
+        "core_mcycles": p.core_hz / 1e6,
+        "l1_kb": p.l1.capacity_bytes // KIB,
+        "n_l2": p.n_l2,
+        "l2_mb": p.l2.capacity_bytes // MIB,
+        "core_l1_gbps": p.core_l1_bw / GB,
+        "l1_l2_gbps": p.l1_l2_bw / GB,
+        "l2_bus_gbps": p.l2_bus_bw / GB,
+        "dram_gbps": (p.dram_random_bw / GB, p.dram_stream_bw / GB),
+    }
+    lines = ["Fig. 4 -- platform model parameters", ""]
+    lines.append(f"{'parameter':18s} {'ours':>16s} {'paper':>16s}")
+    for key, paper_v in PAPER_PLATFORM.items():
+        lines.append(f"{key:18s} {str(ours[key]):>16s} {str(paper_v):>16s}")
+    return {"ours": ours, "paper": PAPER_PLATFORM, "text": "\n".join(lines)}

@@ -1,0 +1,107 @@
+"""Table 2 reproduction: RDG Markov transition matrix + model summary.
+
+(a) The paper prints a 10-state transition matrix for the
+ridge-detection task, estimated from the training corpus with
+adaptive equal-mass quantization (Section 4).  We reproduce the
+construction on our profiled RDG series -- the state count follows
+the ``2M = 2 C_max/sigma_C`` rule, so it need not be exactly 10 --
+and verify its structural properties (row-stochastic, diagonally
+dominant tendency, heavier mass near the diagonal).
+
+(b) The per-task model summary of Table 2(b).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.computation import EwmaMarkovPredictor, PAPER_EWMA_ALPHA
+from repro.core.markov import MarkovChain
+from repro.experiments.common import ExperimentContext
+
+__all__ = ["run", "PAPER_TABLE2B", "rdg_markov_chain"]
+
+#: Table 2(b) verbatim: task -> prediction model.
+PAPER_TABLE2B: dict[str, str] = {
+    "RDG_FULL": "<Eq. 1> + Markov",
+    "RDG_ROI": "<Eq. 3> + Markov",
+    "MKX": "2.5 ms",
+    "CPLS_SEL": "<Eq. 1> + Markov",
+    "REG": "2 ms",
+    "ROI_EST": "1 ms",
+    "GW_EXT": "<Eq. 1> + Markov",
+    "ENH": "24 ms",
+    "ZOOM": "12.5 ms",
+}
+
+
+def rdg_markov_chain(ctx: ExperimentContext, task: str = "RDG_ROI") -> MarkovChain:
+    """Build the RDG Markov chain the way Section 4 describes.
+
+    The chain is estimated on the short-term residuals after the
+    long-term component is removed (EWMA for RDG FULL, the ROI linear
+    growth for RDG ROI); the state space uses the adaptive equal-mass
+    quantizer with the 2M rule.
+    """
+    series = ctx.traces.task_series(task)
+    residuals = [
+        EwmaMarkovPredictor.causal_residuals(s, PAPER_EWMA_ALPHA)
+        for s in series
+        if s.size >= 3
+    ]
+    residuals = [r for r in residuals if r.size >= 2]
+    if not residuals:
+        raise RuntimeError(f"no usable {task} series in the traces")
+    return MarkovChain.fit(residuals)
+
+
+def run(ctx: ExperimentContext) -> dict:
+    """Produce Table 2(a) and 2(b)."""
+    chain = rdg_markov_chain(ctx)
+    t = chain.transition
+    n = chain.n_states
+
+    lines = ["Table 2(a) -- RDG Markov transition matrix", ""]
+    lines.append(f"states: {n} (paper: 10; rule: ~2*C_max/sigma)")
+    header = "      " + " ".join(f"s{j:<4d}" for j in range(n))
+    lines.append(header)
+    for i in range(n):
+        row = " ".join(f"{t[i, j]:.2f}" for j in range(n))
+        lines.append(f"s{i:<4d} {row}")
+
+    # Structural diagnostics mirroring the paper's matrix shape.
+    diag_heavy = float(np.mean(np.argmax(t, axis=1) == np.arange(n)))
+    corner_persist = float((t[0, 0] + t[-1, -1]) / 2.0)
+    lines.append("")
+    lines.append(
+        f"rows argmax on diagonal: {diag_heavy * 100:.0f}% ; corner "
+        f"self-transition mean {corner_persist:.2f} (paper: s0->s0 0.51, "
+        f"s9->s9 0.60)"
+    )
+
+    model = ctx.model
+    lines.append("")
+    lines.append("Table 2(b) -- model summary")
+    lines.append(f"{'task':14s} {'ours':24s} {'paper':s}")
+    summary = dict(model.computation.summary())
+    for task, paper_model in PAPER_TABLE2B.items():
+        if task == "MKX":
+            ours = summary.get("MKX_FULL", summary.get("MKX_ROI", "-"))
+            mean = model.computation.train_mean_ms.get(
+                "MKX_FULL", model.computation.train_mean_ms.get("MKX_ROI", 0.0)
+            )
+        else:
+            ours = summary.get(task, "-")
+            mean = model.computation.train_mean_ms.get(task, 0.0)
+        if ours == "constant":
+            ours = f"constant ({mean:.1f} ms)"
+        lines.append(f"{task:14s} {ours:24s} {paper_model}")
+
+    return {
+        "chain": chain,
+        "transition": t,
+        "n_states": n,
+        "diag_heavy": diag_heavy,
+        "summary": model.computation.summary(),
+        "text": "\n".join(lines),
+    }

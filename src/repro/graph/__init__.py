@@ -1,0 +1,32 @@
+"""Structural task-graph model of the application.
+
+While :mod:`repro.imaging` *executes* the StentBoost stages,
+this package describes them *structurally*: per-task memory
+requirements (Table 1), the flow-graph topology with its switches
+(Fig. 2), the eight application scenarios (Section 5.2) and the
+analytic inter-task bandwidth labels.  The Triple-C analyses of
+:mod:`repro.core` and the platform model of :mod:`repro.hw` consume
+this structure.
+"""
+
+from repro.graph.flowgraph import Edge, FlowGraph
+from repro.graph.scenarios import (
+    ALL_SCENARIOS,
+    Scenario,
+    scenario_name,
+    scenario_table,
+)
+from repro.graph.stentboost import build_stentboost_graph
+from repro.graph.task import PhaseSpec, TaskSpec
+
+__all__ = [
+    "TaskSpec",
+    "PhaseSpec",
+    "Edge",
+    "FlowGraph",
+    "Scenario",
+    "ALL_SCENARIOS",
+    "scenario_name",
+    "scenario_table",
+    "build_stentboost_graph",
+]

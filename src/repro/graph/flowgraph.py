@@ -1,0 +1,135 @@
+"""Flow-graph topology with data-dependent switches (Fig. 2).
+
+The graph is a DAG of :class:`~repro.graph.task.TaskSpec` nodes whose
+*active subset* depends on a :class:`~repro.imaging.pipeline.SwitchState`.
+Edges carry per-frame payload sizes (KB at native geometry), from
+which the analytic MByte/s labels of Fig. 2 follow at the 30 Hz video
+rate -- see :meth:`FlowGraph.inter_task_bandwidth`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.imaging.pipeline import SwitchState
+from repro.util.units import HZ_VIDEO, KIB, MB
+
+__all__ = ["Edge", "FlowGraph"]
+
+
+@dataclass(frozen=True)
+class Edge:
+    """Directed data edge ``src -> dst`` carrying ``kb_per_frame``.
+
+    ``src``/``dst`` may also be the pseudo-nodes ``"INPUT"`` and
+    ``"OUTPUT"`` for the video stream entering and leaving the graph.
+    """
+
+    src: str
+    dst: str
+    kb_per_frame: float
+
+    def bandwidth_mbps(self, rate_hz: float = HZ_VIDEO) -> float:
+        """Sustained bandwidth of this edge in MByte/s at ``rate_hz``.
+
+        This computes the Fig. 2 edge labels: e.g. the 5,120 KB RDG
+        output at 30 Hz is 5120*1024*30 / 1e6 = 157 -> printed as
+        "150" MByte/s in the paper's rounded figure.
+        """
+        return self.kb_per_frame * KIB * rate_hz / MB
+
+
+class FlowGraph:
+    """A switched dataflow graph of image-processing tasks.
+
+    Parameters
+    ----------
+    tasks:
+        All task specs, keyed by name.
+    edges:
+        Data edges; an edge is *active* in a scenario iff both its
+        endpoints are active (pseudo-nodes are always active).
+    activation:
+        ``activation(state)`` returns the ordered list of task names
+        active under switch state ``state`` -- this encodes the three
+        switch statements of Fig. 2.
+    """
+
+    INPUT = "INPUT"
+    OUTPUT = "OUTPUT"
+
+    def __init__(
+        self,
+        tasks: dict[str, "TaskSpecLike"],
+        edges: Iterable[Edge],
+        activation: Callable[[SwitchState], list[str]],
+    ) -> None:
+        self.tasks = dict(tasks)
+        self.edges = list(edges)
+        self._activation = activation
+        for e in self.edges:
+            for node in (e.src, e.dst):
+                if node not in self.tasks and node not in (self.INPUT, self.OUTPUT):
+                    raise ValueError(f"edge references unknown task {node!r}")
+
+    # -- scenario-dependent structure ---------------------------------------
+
+    def active_tasks(self, state: SwitchState) -> list[str]:
+        """Ordered names of the tasks that run under ``state``."""
+        names = self._activation(state)
+        unknown = [n for n in names if n not in self.tasks]
+        if unknown:
+            raise ValueError(f"activation returned unknown tasks {unknown}")
+        return names
+
+    def active_edges(self, state: SwitchState) -> list[Edge]:
+        """Edges whose endpoints are both active under ``state``."""
+        active = set(self.active_tasks(state)) | {self.INPUT, self.OUTPUT}
+        return [e for e in self.edges if e.src in active and e.dst in active]
+
+    def inter_task_bandwidth(
+        self, state: SwitchState, rate_hz: float = HZ_VIDEO
+    ) -> dict[tuple[str, str], float]:
+        """MByte/s per active edge under ``state`` (Fig. 2 labels)."""
+        return {
+            (e.src, e.dst): e.bandwidth_mbps(rate_hz)
+            for e in self.active_edges(state)
+        }
+
+    def total_bandwidth_mbps(
+        self, state: SwitchState, rate_hz: float = HZ_VIDEO
+    ) -> float:
+        """Aggregate inter-task bandwidth of a scenario in MByte/s."""
+        return float(sum(self.inter_task_bandwidth(state, rate_hz).values()))
+
+    # -- static structure ----------------------------------------------------
+
+    def predecessors(self, name: str) -> list[str]:
+        """Task names feeding ``name`` (pseudo-nodes excluded)."""
+        return [e.src for e in self.edges if e.dst == name and e.src in self.tasks]
+
+    def successors(self, name: str) -> list[str]:
+        """Task names consuming ``name``'s output."""
+        return [e.dst for e in self.edges if e.src == name and e.dst in self.tasks]
+
+    def execution_order(self, state: SwitchState) -> list[str]:
+        """Active tasks in dependency (topological) order.
+
+        The activation list is already graph-ordered by construction;
+        this validates it against the edge set and returns it.
+        """
+        order = self.active_tasks(state)
+        seen: set[str] = set()
+        for name in order:
+            for pred in self.predecessors(name):
+                if pred in order and pred not in seen:
+                    raise ValueError(
+                        f"activation order violates dependency {pred} -> {name}"
+                    )
+            seen.add(name)
+        return order
+
+
+# typing helper (avoids importing TaskSpec at runtime in annotations)
+TaskSpecLike = object

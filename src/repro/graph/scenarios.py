@@ -1,0 +1,74 @@
+"""The eight application scenarios (Section 5.2).
+
+"Due to the switch statements in the flow graph of Figure 2, there
+are multiple application scenarios possible. [...] In total, there
+are eight different scenarios possible given the three switch
+statements in the flow graph."
+
+A scenario is one assignment of the three binary switches:
+RDG DETECTION (ridge pre-filter on/off), ROI ESTIMATED (full-frame vs
+region-of-interest granularity) and REG. SUCCESSFUL (enhancement +
+zoom executed or skipped).  The worst case in bandwidth terms is
+(RDG on, FULL, success); the best case is (RDG off, ROI, failure) --
+which, as the paper notes, does not produce a satisfying output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.imaging.pipeline import SwitchState
+
+__all__ = ["Scenario", "ALL_SCENARIOS", "scenario_name", "scenario_table"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named switch assignment."""
+
+    state: SwitchState
+
+    @property
+    def scenario_id(self) -> int:
+        return self.state.scenario_id
+
+    @property
+    def name(self) -> str:
+        return scenario_name(self.state)
+
+
+def scenario_name(state: SwitchState) -> str:
+    """Compact human-readable scenario label, e.g. ``RDG/ROI/ok``."""
+    return "/".join(
+        [
+            "RDG" if state.rdg_on else "rdg-",
+            "ROI" if state.roi_mode else "FULL",
+            "ok" if state.reg_success else "fail",
+        ]
+    )
+
+
+#: All eight scenarios, ordered by scenario id.
+ALL_SCENARIOS: tuple[Scenario, ...] = tuple(
+    Scenario(SwitchState.from_scenario_id(i)) for i in range(8)
+)
+
+
+def scenario_table(graph) -> list[dict[str, object]]:
+    """Tabulate all scenarios for a flow graph.
+
+    Returns one row per scenario with its id, name, active task list
+    and total analytic inter-task bandwidth in MByte/s -- the data
+    behind the scenario discussion of Section 5.2.
+    """
+    rows: list[dict[str, object]] = []
+    for sc in ALL_SCENARIOS:
+        rows.append(
+            {
+                "id": sc.scenario_id,
+                "name": sc.name,
+                "tasks": graph.active_tasks(sc.state),
+                "bandwidth_mbps": graph.total_bandwidth_mbps(sc.state),
+            }
+        )
+    return rows

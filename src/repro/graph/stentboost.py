@@ -1,0 +1,227 @@
+"""The StentBoost flow graph of Fig. 2 with Table 1 memory numbers.
+
+Buffer sizes are the paper's Table 1 values verbatim (KB at the
+native 1024x1024 x 2 B geometry):
+
+==========  ==========  ========  ============  ========
+Task        RDG select  Input     Intermediate  Output
+==========  ==========  ========  ============  ========
+RDG FULL                2,048     7,168         5,120
+RDG ROI                 2,048     5,120         5,120
+MKX FULL    --          512       512           2,560
+MKX ROI     --          512       512           2,560
+MKX FULL    x           4,608     512           2,560
+MKX ROI     x           4,608     512           2,560
+ENH                     2,048     8,192         1,024
+ZOOM                    1,024     4,096         4,096
+==========  ==========  ========  ============  ========
+
+(The MKX input with RDG selected is the ridge-filtered stream, 4,608
+KB; without it MKX reads a decimated 512 KB copy.)  Feature-domain
+tasks (CPLS SEL, REG, ROI EST, GW EXT) are "negligible in terms of
+memory consumption" (Section 5.1) and carry token sizes.
+
+The phase decompositions feed the Fig. 5 space-time cache-occupancy
+model: RDG FULL's 7,168 KB intermediate exceeds the 4 MB L2, so some
+of its phases evict, generating the intra-task swap bandwidth the
+paper draws in Fig. 5.
+"""
+
+from __future__ import annotations
+
+from repro.graph.flowgraph import Edge, FlowGraph
+from repro.graph.task import PhaseSpec, TaskSpec
+from repro.imaging.pipeline import SwitchState
+
+__all__ = ["build_stentboost_graph", "TABLE1_ROWS"]
+
+#: Table 1 verbatim: (task, rdg_selected, input KB, intermediate KB, output KB).
+TABLE1_ROWS: tuple[tuple[str, str, int, int, int], ...] = (
+    ("RDG FULL", "", 2048, 7168, 5120),
+    ("RDG ROI", "", 2048, 5120, 5120),
+    ("MKX FULL", "-", 512, 512, 2560),
+    ("MKX ROI", "-", 512, 512, 2560),
+    ("MKX FULL", "x", 4608, 512, 2560),
+    ("MKX ROI", "x", 4608, 512, 2560),
+    ("ENH", "", 2048, 8192, 1024),
+    ("ZOOM", "", 1024, 4096, 4096),
+)
+
+
+def _rdg_phases(intermediate_kb: float) -> tuple[PhaseSpec, ...]:
+    """RDG internal phases (the A/B/C buffers of Fig. 5).
+
+    Ridge detection computes three second-derivative responses from
+    the input (phase 1-3), combines them into the eigenvalue response
+    (phase 4) and thresholds into the output (phase 5).  Each phase
+    lists the simultaneously live buffers; the derivative buffers are
+    each a third of the intermediate requirement.
+    """
+    third = intermediate_kb / 3.5
+    return (
+        PhaseSpec("d_yy", (("input", 2048), ("A", third))),
+        PhaseSpec("d_xx", (("input", 2048), ("A", third), ("B", third))),
+        PhaseSpec("d_xy", (("input", 2048), ("A", third), ("B", third), ("C", third))),
+        PhaseSpec(
+            "eigen",
+            (("A", third), ("B", third), ("C", third), ("response", 2048)),
+        ),
+        PhaseSpec("threshold", (("response", 2048), ("output", 5120))),
+    )
+
+
+def _enh_phases() -> tuple[PhaseSpec, ...]:
+    """ENH phases: warp the frame, then blend into the accumulator."""
+    return (
+        PhaseSpec("warp", (("input", 2048), ("warped", 4096))),
+        PhaseSpec("blend", (("warped", 4096), ("accumulator", 4096), ("output", 1024))),
+    )
+
+
+def _zoom_phases() -> tuple[PhaseSpec, ...]:
+    """ZOOM phases: spline coefficients, then interpolation."""
+    return (
+        PhaseSpec("spline", (("input", 1024), ("coeff", 2048))),
+        PhaseSpec("interp", (("coeff", 2048), ("output", 4096))),
+    )
+
+
+def _mkx_phases(input_kb: float) -> tuple[PhaseSpec, ...]:
+    """MKX phases: LoG response, then peak screening."""
+    return (
+        PhaseSpec("log", (("input", input_kb), ("response", 512))),
+        PhaseSpec("peaks", (("response", 512), ("output", 2560))),
+    )
+
+
+def build_stentboost_graph() -> FlowGraph:
+    """Construct the Fig. 2 flow graph with Table 1 memory specs.
+
+    Task-name convention: granularity suffix ``_FULL``/``_ROI``; the
+    MKX variants with the ridge-filtered input additionally carry the
+    ``_RDG`` suffix (Table 1's "RDG select x" rows).
+    """
+    feature = dict(kind="feature", input_kb=0.5, intermediate_kb=0.5, output_kb=0.5)
+    tasks: dict[str, TaskSpec] = {}
+
+    def add(spec: TaskSpec) -> None:
+        tasks[spec.name] = spec
+
+    add(
+        TaskSpec(
+            "RDG_DETECT",
+            kind="stream",
+            input_kb=128,  # decimated pre-check copy
+            intermediate_kb=128,
+            output_kb=0.5,
+        )
+    )
+    add(
+        TaskSpec(
+            "RDG_FULL",
+            kind="stream",
+            input_kb=2048,
+            intermediate_kb=7168,
+            output_kb=5120,
+            divisible=True,
+            phases=_rdg_phases(7168),
+        )
+    )
+    add(
+        TaskSpec(
+            "RDG_ROI",
+            kind="stream",
+            input_kb=2048,
+            intermediate_kb=5120,
+            output_kb=5120,
+            divisible=True,
+            phases=_rdg_phases(5120),
+        )
+    )
+    for gran in ("FULL", "ROI"):
+        add(
+            TaskSpec(
+                f"MKX_{gran}",
+                kind="stream",
+                input_kb=512,
+                intermediate_kb=512,
+                output_kb=2560,
+                phases=_mkx_phases(512),
+            )
+        )
+        add(
+            TaskSpec(
+                f"MKX_{gran}_RDG",
+                kind="stream",
+                input_kb=4608,
+                intermediate_kb=512,
+                output_kb=2560,
+                phases=_mkx_phases(4608),
+            )
+        )
+    add(TaskSpec("CPLS_SEL", functional_parallel=True, **feature))
+    add(TaskSpec("REG", **feature))
+    add(TaskSpec("ROI_EST", **feature))
+    add(TaskSpec("GW_EXT", functional_parallel=True, **feature))
+    add(
+        TaskSpec(
+            "ENH",
+            kind="stream",
+            input_kb=2048,
+            intermediate_kb=8192,
+            output_kb=1024,
+            divisible=True,
+            phases=_enh_phases(),
+        )
+    )
+    add(
+        TaskSpec(
+            "ZOOM",
+            kind="stream",
+            input_kb=1024,
+            intermediate_kb=4096,
+            output_kb=4096,
+            divisible=True,
+            phases=_zoom_phases(),
+        )
+    )
+
+    IN, OUT = FlowGraph.INPUT, FlowGraph.OUTPUT
+    edges = [
+        Edge(IN, "RDG_DETECT", 128),
+        Edge(IN, "RDG_FULL", 2048),
+        Edge(IN, "RDG_ROI", 2048),
+        # MKX reads the ridge-filtered stream when RDG ran ...
+        Edge("RDG_FULL", "MKX_FULL_RDG", 4608),
+        Edge("RDG_ROI", "MKX_ROI_RDG", 4608),
+        # ... or a decimated copy of the input when it did not.
+        Edge(IN, "MKX_FULL", 512),
+        Edge(IN, "MKX_ROI", 512),
+        # Feature stream onward (candidate lists are tiny).
+        Edge("MKX_FULL", "CPLS_SEL", 0.5),
+        Edge("MKX_ROI", "CPLS_SEL", 0.5),
+        Edge("MKX_FULL_RDG", "CPLS_SEL", 0.5),
+        Edge("MKX_ROI_RDG", "CPLS_SEL", 0.5),
+        Edge("CPLS_SEL", "REG", 0.5),
+        Edge("REG", "ROI_EST", 0.5),
+        Edge("ROI_EST", "GW_EXT", 0.5),
+        # ENH reads the original frames plus the registration result.
+        Edge(IN, "ENH", 2048),
+        Edge("GW_EXT", "ENH", 0.5),
+        Edge("ENH", "ZOOM", 1024),
+        Edge("ZOOM", OUT, 4096),
+    ]
+
+    def activation(state: SwitchState) -> list[str]:
+        gran = "ROI" if state.roi_mode else "FULL"
+        names = ["RDG_DETECT"]
+        if state.rdg_on:
+            names += [f"RDG_{gran}", f"MKX_{gran}_RDG"]
+        else:
+            names += [f"MKX_{gran}"]
+        names += ["CPLS_SEL", "REG"]
+        if state.reg_success:
+            names += ["ROI_EST", "GW_EXT", "ENH", "ZOOM"]
+        return names
+
+    return FlowGraph(tasks, edges, activation)

@@ -1,0 +1,97 @@
+"""Per-task structural specification (memory, parallelism class).
+
+The buffer columns reproduce Table 1 of the paper: input,
+intermediate and output requirements in (binary) KB at the native
+1024x1024, 2 B/pixel geometry.  ``phases`` decompose a task's
+internal processing for the space-time cache-occupancy model of
+Fig. 5 -- each phase lists the buffers simultaneously live, which is
+what decides whether the L2 capacity overflows during that phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import KIB
+
+__all__ = ["PhaseSpec", "TaskSpec"]
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One internal processing phase of a task.
+
+    Attributes
+    ----------
+    name:
+        Phase label (shown on the Fig. 5 style occupancy plots).
+    active_kb:
+        Buffers live during the phase, as ``(buffer_name, KB)``
+        pairs.  The same buffer name appearing in several phases
+        denotes reuse (it stays resident between them if it fits).
+    """
+
+    name: str
+    active_kb: tuple[tuple[str, float], ...]
+
+    @property
+    def total_kb(self) -> float:
+        """Total live footprint of the phase in KB."""
+        return float(sum(kb for _, kb in self.active_kb))
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Structural description of one flow-graph task.
+
+    Attributes
+    ----------
+    name:
+        Node name (``RDG_FULL``, ``MKX_ROI`` ...).
+    kind:
+        ``"stream"`` for pixel-stream tasks (operate on arrays; their
+        memory matters, and they can be data-partitioned) or
+        ``"feature"`` for tasks operating on extracted features
+        (negligible memory -- "the tasks that operate on a subset or
+        feature data are negligible in terms of memory consumption",
+        Section 5.1).
+    input_kb, intermediate_kb, output_kb:
+        Table 1 memory requirements at native geometry (KB).
+    divisible:
+        Whether data-parallel striping applies ("the data of the
+        RDG FULL and RDG ROI tasks can be easily partitioned, as the
+        tasks have a streaming nature", Section 6).
+    functional_parallel:
+        Whether functional partitioning applies (CPLS SEL, GW EXT).
+    phases:
+        Internal phases for the cache-occupancy model; empty for
+        feature tasks.
+    """
+
+    name: str
+    kind: str
+    input_kb: float
+    intermediate_kb: float
+    output_kb: float
+    divisible: bool = False
+    functional_parallel: bool = False
+    phases: tuple[PhaseSpec, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("stream", "feature"):
+            raise ValueError(f"unknown task kind {self.kind!r}")
+
+    @property
+    def total_kb(self) -> float:
+        """Total declared footprint (input + intermediate + output)."""
+        return self.input_kb + self.intermediate_kb + self.output_kb
+
+    @property
+    def total_bytes(self) -> int:
+        """Total footprint in bytes."""
+        return int(self.total_kb * KIB)
+
+    @property
+    def intermediate_bytes(self) -> int:
+        """Intermediate footprint in bytes (intra-task working set)."""
+        return int(self.intermediate_kb * KIB)

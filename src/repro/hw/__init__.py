@@ -1,0 +1,37 @@
+"""Deterministic multiprocessor platform model.
+
+The paper profiles on a dual quad-core Xeon ("Blackford", Fig. 4).
+We replace wall-clock profiling with a deterministic model: the
+per-task :class:`~repro.hw.cost.CostModel` converts the *actual work
+metrics* of the image-processing code (``repro.imaging`` work
+reports) into simulated milliseconds, a cache-occupancy model adds
+eviction stalls and swap traffic, and a discrete-event simulator
+schedules mapped (possibly striped) tasks onto core timelines.
+
+Determinism is the point: computation time stays a data-dependent
+function of image content -- the property Triple-C predicts -- while
+every run of every experiment reproduces bit-for-bit.
+"""
+
+from repro.hw.bus import BandwidthLedger
+from repro.hw.cache import CacheUsage, analyze_report, phase_occupancy
+from repro.hw.cost import CostBreakdown, CostModel, TaskCostSpec
+from repro.hw.mapping import Mapping
+from repro.hw.simulator import FrameResult, PlatformSimulator
+from repro.hw.spec import CacheSpec, PlatformSpec, blackford
+
+__all__ = [
+    "CacheSpec",
+    "PlatformSpec",
+    "blackford",
+    "TaskCostSpec",
+    "CostModel",
+    "CostBreakdown",
+    "CacheUsage",
+    "analyze_report",
+    "phase_occupancy",
+    "BandwidthLedger",
+    "Mapping",
+    "PlatformSimulator",
+    "FrameResult",
+]

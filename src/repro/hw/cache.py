@@ -1,0 +1,167 @@
+"""Space-time cache-occupancy model (Section 5.2, Fig. 5).
+
+"If a task internally requires more memory than can be stored locally
+in the cache memory of the processor, additional communication
+bandwidth will be initiated to swap data in and out the external
+memory.  [...] The modeling of the cache-memory occupation and
+corresponding eviction of internal buffers can be described with a
+space-time buffer occupation model."
+
+Two granularities are provided:
+
+* :func:`phase_occupancy` -- the analytic, Table 1 / Fig. 5 view: a
+  task is a sequence of phases, each with a set of live buffers; any
+  phase whose live set exceeds the L2 capacity evicts the overflow.
+* :func:`analyze_report` -- the execution view: a
+  :class:`~repro.imaging.common.WorkReport`'s buffer footprints
+  (rescaled to native geometry) against the L2 capacity, with the
+  streaming re-fetch model deciding the swap traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.graph.task import PhaseSpec
+from repro.imaging.common import WorkReport
+from repro.util.units import KIB
+
+__all__ = [
+    "PhaseOccupancy",
+    "CacheUsage",
+    "phase_occupancy",
+    "eviction_from_phases",
+    "analyze_report",
+]
+
+
+@dataclass(frozen=True)
+class PhaseOccupancy:
+    """Occupancy of one task phase against the cache capacity.
+
+    ``evicted_bytes`` is the amount the phase cannot keep resident --
+    the per-phase bars of the Fig. 5 plot.
+    """
+
+    phase: str
+    active_bytes: int
+    resident_bytes: int
+    evicted_bytes: int
+
+    @property
+    def overflows(self) -> bool:
+        return self.evicted_bytes > 0
+
+
+@dataclass(frozen=True)
+class CacheUsage:
+    """Cache behaviour of one task execution.
+
+    Attributes
+    ----------
+    working_set_bytes:
+        Total live footprint.
+    capacity_bytes:
+        The cache capacity analysed against.
+    eviction_bytes:
+        Extra external-memory traffic caused by capacity overflow
+        (zero when the task fits).
+    compulsory_bytes:
+        Unavoidable traffic: input fetched once plus output written
+        back once.
+    """
+
+    working_set_bytes: int
+    capacity_bytes: int
+    eviction_bytes: int
+    compulsory_bytes: int
+
+    @property
+    def fits(self) -> bool:
+        return self.working_set_bytes <= self.capacity_bytes
+
+    @property
+    def external_bytes(self) -> int:
+        """Total external traffic (compulsory + eviction)."""
+        return self.compulsory_bytes + self.eviction_bytes
+
+
+def phase_occupancy(
+    phases: Sequence[PhaseSpec], capacity_bytes: int
+) -> list[PhaseOccupancy]:
+    """Analytic per-phase occupancy of a task (the Fig. 5 model).
+
+    Each phase keeps its live buffers resident if they fit; overflow
+    is evicted and must stream to external memory.  Buffers shared
+    between consecutive phases stay resident only when *both* phases
+    fit, which the per-phase overflow accounting captures.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    out: list[PhaseOccupancy] = []
+    for ph in phases:
+        active = int(ph.total_kb * KIB)
+        resident = min(active, capacity_bytes)
+        out.append(
+            PhaseOccupancy(
+                phase=ph.name,
+                active_bytes=active,
+                resident_bytes=resident,
+                evicted_bytes=max(0, active - capacity_bytes),
+            )
+        )
+    return out
+
+
+def eviction_from_phases(
+    phases: Sequence[PhaseSpec], capacity_bytes: int
+) -> int:
+    """Total eviction traffic of a task from its phase decomposition."""
+    return sum(p.evicted_bytes for p in phase_occupancy(phases, capacity_bytes))
+
+
+def analyze_report(
+    report: WorkReport,
+    capacity_bytes: int,
+    pixel_scale: float = 1.0,
+) -> CacheUsage:
+    """Cache behaviour of an *executed* task from its work report.
+
+    The streaming re-fetch model: when the working set ``ws`` exceeds
+    the capacity, a sequentially scanned buffer has lost the fraction
+    ``(ws - capacity) / ws`` of its lines by the time it is revisited,
+    so every pass over every buffer re-fetches that fraction:
+
+        eviction = (ws - cap)/ws * sum_b nbytes_b * passes_b
+
+    This is the per-task cousin of the analytic phase model; tasks
+    touching a subset of their allocation (ROI granularity) report
+    smaller buffers and may fit where the Table 1 allocation does not.
+
+    Parameters
+    ----------
+    report:
+        The executed task's work report.
+    capacity_bytes:
+        L2 capacity available to the task.
+    pixel_scale:
+        Area factor rescaling the report's buffers to native geometry
+        (1.0 when frames are generated at native resolution).
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    ws = int(round(report.total_buffer_bytes() * pixel_scale))
+    compulsory = int(round((report.bytes_in + report.bytes_out) * pixel_scale))
+    if ws <= capacity_bytes or ws == 0:
+        eviction = 0
+    else:
+        lost_fraction = (ws - capacity_bytes) / ws
+        touched = sum(b.nbytes * b.passes for b in report.buffers) * pixel_scale
+        eviction = int(round(lost_fraction * touched))
+    return CacheUsage(
+        working_set_bytes=ws,
+        capacity_bytes=capacity_bytes,
+        eviction_bytes=eviction,
+        compulsory_bytes=compulsory,
+    )

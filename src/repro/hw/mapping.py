@@ -1,0 +1,93 @@
+"""Task-to-core mapping with data/functional partitioning.
+
+"The partitioning of the application on the platform has a direct
+relationship with the required amount of communication bandwidth
+between tasks" (Section 5.2).  A :class:`Mapping` assigns each task a
+tuple of cores: one core means serial execution, several mean the
+task is split -- data-parallel stripes for streaming tasks (RDG, ENH,
+ZOOM), functional partitioning for feature tasks (CPLS SEL, GW EXT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Mapping"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Immutable task -> cores assignment.
+
+    Attributes
+    ----------
+    assignments:
+        Explicit per-task core tuples.  Tasks not listed run on
+        ``default_core``.
+    default_core:
+        Core used for unlisted tasks.
+    """
+
+    assignments: dict[str, tuple[int, ...]] = field(default_factory=dict)
+    default_core: int = 0
+
+    def __post_init__(self) -> None:
+        for task, cores in self.assignments.items():
+            if len(cores) == 0:
+                raise ValueError(f"task {task!r} assigned no cores")
+            if len(set(cores)) != len(cores):
+                raise ValueError(f"task {task!r} lists a core twice")
+
+    def cores_for(self, task: str) -> tuple[int, ...]:
+        """Cores executing ``task`` (singleton tuple when serial)."""
+        return self.assignments.get(task, (self.default_core,))
+
+    def partitions(self, task: str) -> int:
+        """Number of parallel partitions of ``task``."""
+        return len(self.cores_for(task))
+
+    def max_core(self) -> int:
+        """Largest core index referenced by the mapping."""
+        cores = {self.default_core}
+        for tup in self.assignments.values():
+            cores.update(tup)
+        return max(cores)
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def serial(core: int = 0) -> "Mapping":
+        """Everything on one core (the straightforward mapping)."""
+        return Mapping(assignments={}, default_core=core)
+
+    def with_partition(self, task: str, cores: tuple[int, ...]) -> "Mapping":
+        """Return a copy with ``task`` split over ``cores``."""
+        new = dict(self.assignments)
+        new[task] = tuple(cores)
+        return Mapping(assignments=new, default_core=self.default_core)
+
+    def without(self, task: str) -> "Mapping":
+        """Return a copy with ``task`` reverted to the default core."""
+        new = dict(self.assignments)
+        new.pop(task, None)
+        return Mapping(assignments=new, default_core=self.default_core)
+
+    def rotated(self, offset: int, n_cores: int) -> "Mapping":
+        """Return a copy with every core index shifted by ``offset``.
+
+        Rotating the mapping per frame (``mapping.rotated(k, n)``)
+        spreads consecutive pipelined frames across the platform so
+        they overlap instead of queueing on the same cores -- the
+        placement pattern :meth:`PlatformSimulator.simulate_stream`
+        expects for sustained-throughput runs.
+        """
+        if n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        shift = offset % n_cores
+        return Mapping(
+            assignments={
+                t: tuple((c + shift) % n_cores for c in cores)
+                for t, cores in self.assignments.items()
+            },
+            default_core=(self.default_core + shift) % n_cores,
+        )

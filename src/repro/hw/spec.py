@@ -1,0 +1,135 @@
+"""Platform specification (the Fig. 4 architecture model).
+
+"In total, the system consists of 8 processors of 2.33 GCycles/s,
+8 level-1 caches of 32 KB and 4 level-2 caches of 4 MB.  The system
+is equipped with 4 GB of external memory." (Section 5.2)
+
+Fig. 4(b) annotates the instantiated architecture with link
+bandwidths: 72 GB/s (core <-> L1), 48 GB/s (L1 <-> L2), 29 GB/s
+(L2 <-> system bus) and 0.94 - 3.83 GB/s per DRAM channel (the span
+between fully random and fully streaming access patterns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import GB, KIB, MIB
+
+__all__ = ["CacheSpec", "PlatformSpec", "blackford"]
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """One cache level.
+
+    Attributes
+    ----------
+    capacity_bytes:
+        Usable capacity per cache instance.
+    line_bytes:
+        Cache-line size.
+    sharers:
+        Number of cores sharing one instance (1 = private).
+    """
+
+    capacity_bytes: int
+    line_bytes: int = 64
+    sharers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.sharers <= 0:
+            raise ValueError("cache parameters must be positive")
+
+    @property
+    def lines(self) -> int:
+        """Number of cache lines per instance."""
+        return self.capacity_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Complete platform description (Fig. 4 generic model).
+
+    Attributes
+    ----------
+    n_cores, core_hz:
+        Processor count and clock (cycles/s).
+    l1, l2:
+        Cache levels; ``l2.sharers`` cores share one L2 instance.
+    core_l1_bw, l1_l2_bw, l2_bus_bw:
+        Link bandwidths in bytes/s (Fig. 4 annotations).
+    dram_channels:
+        Number of external-memory channels.
+    dram_random_bw, dram_stream_bw:
+        Per-channel bandwidth under random vs streaming access.
+    """
+
+    name: str
+    n_cores: int
+    core_hz: float
+    l1: CacheSpec
+    l2: CacheSpec
+    core_l1_bw: float
+    l1_l2_bw: float
+    l2_bus_bw: float
+    dram_channels: int
+    dram_random_bw: float
+    dram_stream_bw: float
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0 or self.core_hz <= 0:
+            raise ValueError("n_cores and core_hz must be positive")
+        if self.n_cores % self.l2.sharers != 0:
+            raise ValueError("n_cores must be a multiple of l2.sharers")
+
+    @property
+    def n_l2(self) -> int:
+        """Number of L2 instances."""
+        return self.n_cores // self.l2.sharers
+
+    def l2_cluster(self, core: int) -> int:
+        """L2 instance that ``core`` belongs to."""
+        if not 0 <= core < self.n_cores:
+            raise ValueError(f"core {core} outside [0, {self.n_cores})")
+        return core // self.l2.sharers
+
+    def share_l2(self, core_a: int, core_b: int) -> bool:
+        """Whether two cores sit behind the same L2."""
+        return self.l2_cluster(core_a) == self.l2_cluster(core_b)
+
+    @property
+    def total_dram_stream_bw(self) -> float:
+        """Aggregate streaming DRAM bandwidth across channels."""
+        return self.dram_channels * self.dram_stream_bw
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count to milliseconds on one core."""
+        return cycles / self.core_hz * 1e3
+
+    def ms_to_cycles(self, ms: float) -> float:
+        """Convert milliseconds to cycles on one core."""
+        return ms * 1e-3 * self.core_hz
+
+
+def blackford() -> PlatformSpec:
+    """The instantiated Fig. 4(b) platform: dual quad-core @ 2.33 GHz.
+
+    Reference [16] of the paper: the Blackford northbridge for the
+    Intel 5000 chipset.  The paper's figure quotes 8 x 2,327
+    MCycles/s, 8 x 32 KB L1, 4 x 4 MB L2 (one per core pair) and the
+    link bandwidths reproduced here.
+    """
+    return PlatformSpec(
+        name="blackford-2x-quad",
+        n_cores=8,
+        core_hz=2.327e9,
+        l1=CacheSpec(capacity_bytes=32 * KIB, line_bytes=64, sharers=1),
+        l2=CacheSpec(capacity_bytes=4 * MIB, line_bytes=64, sharers=2),
+        core_l1_bw=72 * GB,
+        l1_l2_bw=48 * GB,
+        l2_bus_bw=29 * GB,
+        dram_channels=4,
+        dram_random_bw=0.94 * GB,
+        dram_stream_bw=3.83 * GB,
+    )

@@ -1,0 +1,84 @@
+"""Work-metric contract between image analysis and the platform model.
+
+The paper obtains computation-time statistics by profiling a real
+implementation on a chip multiprocessor.  We obtain them by running
+real image-processing code and recording *what it did* -- the
+:class:`WorkReport` -- which the deterministic cost model of
+:mod:`repro.hw.cost` converts into cycles.  This keeps the essential
+property (computation time is a data-dependent function of image
+content) while making every experiment reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BufferAccess", "WorkReport"]
+
+
+@dataclass(frozen=True)
+class BufferAccess:
+    """One buffer a task touches, for the cache-occupancy model.
+
+    Attributes
+    ----------
+    name:
+        Role of the buffer ("input", "hessian", "output", ...).
+    nbytes:
+        Footprint in bytes *at the processed resolution* (the platform
+        model rescales to native resolution via its ``pixel_scale``).
+    passes:
+        How many sequential passes the task makes over the buffer.
+        A separable 2-pass filter reads its input twice, etc.
+    """
+
+    name: str
+    nbytes: int
+    passes: float = 1.0
+
+
+@dataclass
+class WorkReport:
+    """What one task execution actually did.
+
+    Attributes
+    ----------
+    task:
+        Task name matching the Fig. 2 flow-graph node
+        (e.g. ``"RDG_FULL"``, ``"CPLS_SEL"``).
+    pixels:
+        Pixel-proportional work: number of pixels processed, times the
+        number of full-image passes over them.  The dominant term for
+        the streaming tasks (RDG, ENH, ZOOM).
+    bytes_in, bytes_out:
+        External input consumed / output produced, for the
+        communication-bandwidth ledger.
+    buffers:
+        All buffers touched (see :class:`BufferAccess`), for the
+        intra-task cache model.
+    counts:
+        Named data-dependent work terms -- ``ridge_pixels``,
+        ``candidates``, ``pairs_tested``, ``path_samples`` ... --
+        the source of the content-dependent timing fluctuation that
+        Triple-C's Markov chains model.
+    """
+
+    task: str
+    pixels: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    buffers: tuple[BufferAccess, ...] = ()
+    counts: dict[str, float] = field(default_factory=dict)
+
+    def count(self, name: str, default: float = 0.0) -> float:
+        """Convenience accessor for a named dynamic count."""
+        return float(self.counts.get(name, default))
+
+    def intermediate_bytes(self) -> int:
+        """Total footprint of non-I/O buffers (cache-model input)."""
+        io_names = {"input", "output"}
+        return sum(b.nbytes for b in self.buffers if b.name not in io_names)
+
+    def total_buffer_bytes(self) -> int:
+        """Total footprint of every declared buffer."""
+        return sum(b.nbytes for b in self.buffers)

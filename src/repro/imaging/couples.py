@@ -1,0 +1,110 @@
+"""Couples selection (CPLS SEL) -- best marker pair by distance prior.
+
+"Based on a-priori known distances between the balloon markers,
+couples selection selects the best marker couple from the set of
+candidate couples" (Section 3).  All candidate pairs are scored
+jointly on (a) agreement of their separation with the known
+marker-to-marker distance and (b) the two blob scores; the best
+admissible pair wins.
+
+The pair test count is quadratic in the candidate count, which makes
+CPLS SEL one of the two tasks the paper models with a pure Markov
+chain (its computation time decorrelates quickly from frame to frame
+because the candidate count is noise-driven).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.common import BufferAccess, WorkReport
+from repro.imaging.markers import MarkerCandidates
+
+__all__ = ["CoupleResult", "select_couple"]
+
+#: Relative tolerance on the separation distance.
+DEFAULT_DISTANCE_TOL: float = 0.25
+
+
+@dataclass
+class CoupleResult:
+    """Output of :func:`select_couple`.
+
+    ``found`` is False when no candidate pair satisfies the distance
+    prior -- the event that trips the scenario switches (no couple ->
+    no registration -> no ROI for the next frame).
+    """
+
+    found: bool
+    marker_a: tuple[float, float] | None
+    marker_b: tuple[float, float] | None
+    score: float
+    pairs_tested: int
+
+    def positions(self) -> np.ndarray:
+        """(2, 2) array of the couple's (row, col) positions."""
+        if not self.found:
+            raise ValueError("no couple found")
+        return np.array([self.marker_a, self.marker_b], dtype=np.float64)
+
+
+def select_couple(
+    candidates: MarkerCandidates,
+    expected_distance: float,
+    distance_tol: float = DEFAULT_DISTANCE_TOL,
+) -> tuple[CoupleResult, WorkReport]:
+    """Select the best marker couple given the known separation.
+
+    Parameters
+    ----------
+    candidates:
+        Output of :func:`repro.imaging.markers.extract_markers`.
+    expected_distance:
+        A-priori balloon-marker separation in pixels.
+    distance_tol:
+        Pairs whose separation deviates more than this relative
+        fraction are inadmissible.
+
+    Returns
+    -------
+    (CoupleResult, WorkReport)
+    """
+    if expected_distance <= 0:
+        raise ValueError("expected_distance must be positive")
+    n = len(candidates)
+    pairs_tested = n * (n - 1) // 2
+
+    best: CoupleResult
+    if n < 2:
+        best = CoupleResult(False, None, None, float("-inf"), pairs_tested)
+    else:
+        pos = candidates.positions
+        sc = candidates.scores
+        # Vectorized upper-triangle pair evaluation.
+        iu, ju = np.triu_indices(n, k=1)
+        d = np.linalg.norm(pos[iu] - pos[ju], axis=1)
+        rel_err = np.abs(d - expected_distance) / expected_distance
+        admissible = rel_err <= distance_tol
+        if not np.any(admissible):
+            best = CoupleResult(False, None, None, float("-inf"), pairs_tested)
+        else:
+            # Score: sum of blob scores, penalized by distance error.
+            score = sc[iu] + sc[ju] - 2.0 * rel_err * (sc[iu] + sc[ju])
+            score = np.where(admissible, score, -np.inf)
+            k = int(np.argmax(score))
+            a = (float(pos[iu[k], 0]), float(pos[iu[k], 1]))
+            b = (float(pos[ju[k], 0]), float(pos[ju[k], 1]))
+            best = CoupleResult(True, a, b, float(score[k]), pairs_tested)
+
+    feature_bytes = int(candidates.positions.nbytes + candidates.scores.nbytes)
+    report = WorkReport(
+        task="CPLS_SEL",
+        pixels=0,  # feature-domain task: no pixel-proportional work
+        bytes_in=feature_bytes,
+        bytes_out=64,
+        buffers=(BufferAccess("features", max(64, feature_bytes)),),
+        counts={"pairs_tested": float(pairs_tested), "candidates": float(n)},
+    )
+    return best, report

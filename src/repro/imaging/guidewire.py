@@ -1,0 +1,140 @@
+"""Guide-wire extraction (GW EXT) -- marker-stability validation.
+
+"If the markers of a possible couple are situated on a track
+corresponding to a ridge joining them (the guide wire), this is the
+indication that the results obtained by automatic marker extraction
+are found stable" (Section 3).
+
+The implementation samples a narrow band between the two markers,
+computes a single-scale ridge response on that band only, and searches
+a few pixels perpendicular to the chord at every sample (the wire
+sags).  The *support* -- the fraction of samples with ridge evidence
+-- decides stability.  The number of sampled points is the task's
+content-dependent work term (longer couples and wider searches cost
+more), one of the two tasks the paper models with a pure Markov chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+from scipy import ndimage
+
+from repro.imaging.common import BufferAccess, WorkReport
+
+__all__ = ["GuidewireResult", "extract_guidewire"]
+
+#: Perpendicular search half-width in pixels.
+SEARCH_HALF_WIDTH: int = 4
+
+#: Fraction of supported samples required to declare the wire present.
+SUPPORT_THRESHOLD: float = 0.55
+
+#: Single analysis scale of the band-limited ridge filter.
+WIRE_SIGMA: float = 1.2
+
+
+@dataclass
+class GuidewireResult:
+    """Output of :func:`extract_guidewire`.
+
+    ``stable`` confirms the marker couple (ROI keeps tracking);
+    ``support`` is the fraction of chord samples with ridge evidence;
+    ``path`` holds the per-sample best (row, col) wire positions.
+    """
+
+    stable: bool
+    support: float
+    path: NDArray[np.float64]
+
+
+def extract_guidewire(
+    img: NDArray[np.float32],
+    marker_a: tuple[float, float],
+    marker_b: tuple[float, float],
+    response_threshold: float = 0.008,
+) -> tuple[GuidewireResult, WorkReport]:
+    """Validate that a ridge (the guide wire) joins the two markers.
+
+    Parameters
+    ----------
+    img:
+        2-D float frame (full frame or ROI; marker coords must match).
+    marker_a, marker_b:
+        Couple positions (row, col).
+    response_threshold:
+        Minimum sigma^2-normalized ridge response counting as support.
+
+    Returns
+    -------
+    (GuidewireResult, WorkReport)
+    """
+    img = np.asarray(img, dtype=np.float32)
+    h, w = img.shape
+    pa = np.asarray(marker_a, dtype=np.float64)
+    pb = np.asarray(marker_b, dtype=np.float64)
+    chord = pb - pa
+    length = float(np.hypot(*chord))
+    n_samples = max(8, int(np.ceil(length)))
+
+    # Band-limited ridge response: crop a box around the chord with a
+    # margin for the perpendicular search plus the filter support.
+    margin = SEARCH_HALF_WIDTH + int(np.ceil(4 * WIRE_SIGMA)) + 1
+    r0 = int(np.clip(min(pa[0], pb[0]) - margin, 0, h))
+    r1 = int(np.clip(max(pa[0], pb[0]) + margin + 1, 0, h))
+    c0 = int(np.clip(min(pa[1], pb[1]) - margin, 0, w))
+    c1 = int(np.clip(max(pa[1], pb[1]) + margin + 1, 0, w))
+    band = img[r0:r1, c0:c1]
+    band_px = band.size
+
+    if band_px == 0 or length < 2.0:
+        report = _report(band_px, 0)
+        return GuidewireResult(False, 0.0, np.empty((0, 2))), report
+
+    hyy = ndimage.gaussian_filter(band, WIRE_SIGMA, order=(2, 0))
+    hxx = ndimage.gaussian_filter(band, WIRE_SIGMA, order=(0, 2))
+    hxy = ndimage.gaussian_filter(band, WIRE_SIGMA, order=(1, 1))
+    delta = 0.5 * (hyy - hxx)
+    resp = 0.5 * (hyy + hxx) + np.sqrt(delta * delta + hxy * hxy)
+    np.maximum(resp, 0.0, out=resp)
+    resp *= np.float32(WIRE_SIGMA**2)
+
+    # Sample the chord; search perpendicular offsets for the best
+    # response at each sample (vectorized over samples x offsets).
+    t = np.linspace(0.0, 1.0, n_samples)
+    base = pa[None, :] + t[:, None] * chord[None, :]
+    perp = np.array([-chord[1], chord[0]]) / max(length, 1e-9)
+    offsets = np.arange(-SEARCH_HALF_WIDTH, SEARCH_HALF_WIDTH + 1, dtype=np.float64)
+    # points[s, o, 2] = base[s] + offsets[o] * perp
+    points = base[:, None, :] + offsets[None, :, None] * perp[None, None, :]
+    rows = np.clip(np.round(points[..., 0]).astype(np.intp) - r0, 0, band.shape[0] - 1)
+    cols = np.clip(np.round(points[..., 1]).astype(np.intp) - c0, 0, band.shape[1] - 1)
+    values = resp[rows, cols]  # (n_samples, n_offsets)
+    best_off = np.argmax(values, axis=1)
+    best_val = values[np.arange(n_samples), best_off]
+
+    supported = best_val > response_threshold
+    support = float(np.count_nonzero(supported)) / n_samples
+    stable = bool(support >= SUPPORT_THRESHOLD)
+    path = points[np.arange(n_samples), best_off, :]
+
+    report = _report(band_px, n_samples * offsets.size)
+    report.counts["support"] = support
+    return GuidewireResult(stable=stable, support=support, path=path), report
+
+
+def _report(band_px: int, path_samples: int) -> WorkReport:
+    """Work report shared by the degenerate and normal paths."""
+    return WorkReport(
+        task="GW_EXT",
+        pixels=band_px * 3,  # 3 derivative passes over the band
+        bytes_in=band_px * 4,
+        bytes_out=256,
+        buffers=(
+            BufferAccess("band", band_px * 4, passes=3.0),
+            BufferAccess("response", band_px * 4 * 3),
+        ),
+        counts={"path_samples": float(path_samples), "band_pixels": float(band_px)},
+    )

@@ -1,0 +1,174 @@
+"""Temporal registration (REG) -- align marker couples across frames.
+
+"Temporal registration to align respective markers in selected image
+frames is based on a motion criterion, where a temporal difference is
+performed between two succeeding images of the sequence" (Section 3).
+
+A rigid in-plane transform (rotation + translation) is computed from
+the two point correspondences of the current and the reference marker
+couple.  Registration *fails* -- tripping the "REG. SUCCESSFUL" switch
+of the flow graph -- when no couple exists on either side or when the
+inter-frame motion exceeds the clinical plausibility bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.imaging.common import BufferAccess, WorkReport
+from repro.imaging.couples import CoupleResult
+
+__all__ = ["RigidTransform", "register_couples"]
+
+#: Maximum plausible inter-frame marker displacement, as a fraction of
+#: the expected marker separation (larger motion -> likely mismatch).
+MAX_MOTION_FRACTION: float = 0.8
+
+#: Maximum tolerated change of the couple separation between frames.
+MAX_SCALE_DRIFT: float = 0.25
+
+
+@dataclass(frozen=True)
+class RigidTransform:
+    """Rigid transform mapping *current* frame coords to *reference*.
+
+    Attributes
+    ----------
+    dy, dx:
+        Translation applied after rotating about ``pivot``.
+    angle:
+        In-plane rotation in radians.
+    pivot:
+        Rotation centre (row, col) -- the current couple midpoint.
+    success:
+        Whether the motion criterion accepted the registration.
+    residual:
+        RMS error of the two marker correspondences after transform.
+    """
+
+    dy: float
+    dx: float
+    angle: float
+    pivot: tuple[float, float]
+    success: bool
+    residual: float
+
+    def apply(self, point: tuple[float, float]) -> tuple[float, float]:
+        """Map a (row, col) point from current to reference coords."""
+        py, px = self.pivot
+        y, x = point[0] - py, point[1] - px
+        c, s = np.cos(self.angle), np.sin(self.angle)
+        return (c * y - s * x + py + self.dy, s * y + c * x + px + self.dx)
+
+    @staticmethod
+    def identity(pivot: tuple[float, float] = (0.0, 0.0)) -> "RigidTransform":
+        """Identity transform (used before a reference exists)."""
+        return RigidTransform(0.0, 0.0, 0.0, pivot, True, 0.0)
+
+
+def _couple_axis(couple: CoupleResult) -> tuple[NDArray[np.float64], float, NDArray[np.float64]]:
+    """Midpoint, separation and unit axis of a couple."""
+    p = couple.positions()
+    mid = p.mean(axis=0)
+    diff = p[1] - p[0]
+    sep = float(np.hypot(*diff))
+    axis = diff / max(sep, 1e-9)
+    return mid, sep, axis
+
+
+def register_couples(
+    current: CoupleResult,
+    reference: CoupleResult,
+    expected_distance: float,
+) -> tuple[RigidTransform, WorkReport]:
+    """Register the current marker couple onto the reference couple.
+
+    Parameters
+    ----------
+    current, reference:
+        Couples of the current and the reference frame.  Marker order
+        within a couple is arbitrary; the pairing that yields the
+        smaller rotation is chosen.
+    expected_distance:
+        A-priori marker separation, scaling the motion criterion.
+
+    Returns
+    -------
+    (RigidTransform, WorkReport); ``transform.success`` is False when
+    either couple is missing or the motion criterion rejects.
+    """
+    report = WorkReport(
+        task="REG",
+        pixels=0,
+        bytes_in=128,
+        bytes_out=64,
+        buffers=(BufferAccess("features", 128),),
+        counts={"attempted": 1.0},
+    )
+
+    if not (current.found and reference.found):
+        pivot = (0.0, 0.0)
+        if current.found:
+            mid, _, _ = _couple_axis(current)
+            pivot = (float(mid[0]), float(mid[1]))
+        report.counts["failure"] = 1.0
+        return (
+            RigidTransform(0.0, 0.0, 0.0, pivot, False, float("inf")),
+            report,
+        )
+
+    cm, cs, ca = _couple_axis(current)
+    rm, rs, ra = _couple_axis(reference)
+
+    # Choose the marker pairing giving the smaller rotation: the wire
+    # axis is undirected, so try both orientations of the current axis.
+    ang_pos = float(np.arctan2(*np.flip(ra)) - np.arctan2(*np.flip(ca)))
+    ang_neg = float(np.arctan2(*np.flip(ra)) - np.arctan2(*np.flip(-ca)))
+
+    def wrap(a: float) -> float:
+        return float((a + np.pi) % (2 * np.pi) - np.pi)
+
+    ang_pos, ang_neg = wrap(ang_pos), wrap(ang_neg)
+    angle = ang_pos if abs(ang_pos) <= abs(ang_neg) else ang_neg
+
+    translation = rm - cm
+    pivot = (float(cm[0]), float(cm[1]))
+    transform = RigidTransform(
+        dy=float(translation[0]),
+        dx=float(translation[1]),
+        angle=angle,
+        pivot=pivot,
+        success=True,
+        residual=0.0,
+    )
+
+    # Residual over both pairings of endpoints (pick the smaller).
+    cur = current.positions()
+    ref = reference.positions()
+    mapped = np.array([transform.apply((p[0], p[1])) for p in cur])
+    res_a = float(np.sqrt(np.mean(np.sum((mapped - ref) ** 2, axis=1))))
+    res_b = float(np.sqrt(np.mean(np.sum((mapped - ref[::-1]) ** 2, axis=1))))
+    residual = min(res_a, res_b)
+
+    # Motion criterion: translation, separation drift, residual.
+    motion = float(np.hypot(*translation))
+    scale_drift = abs(cs - rs) / max(rs, 1e-9)
+    ok = (
+        motion <= MAX_MOTION_FRACTION * expected_distance
+        and scale_drift <= MAX_SCALE_DRIFT
+        and residual <= 0.35 * expected_distance
+    )
+    transform = RigidTransform(
+        dy=transform.dy,
+        dx=transform.dx,
+        angle=transform.angle,
+        pivot=pivot,
+        success=bool(ok),
+        residual=residual,
+    )
+    report.counts["motion"] = motion
+    report.counts["failure"] = 0.0 if ok else 1.0
+    return transform, report

@@ -1,0 +1,168 @@
+"""Ridge detection (RDG) -- Hessian-based dark-line filter.
+
+The RDG task of the flow graph suppresses everything except punctual
+dark zones: elongated dark structures (vessels, wires, ribs) produce a
+strong ridge response, which the marker-extraction stage uses to
+*reject* candidates sitting on lines.  We implement the classic
+multi-scale Hessian eigenvalue filter: at each scale the image is
+convolved with Gaussian second-derivative kernels and the largest
+Hessian eigenvalue (positive across a dark line) is taken, normalized
+by ``sigma**2`` so responses are comparable across scales.
+
+Also here: :func:`structure_precheck`, the cheap decision function
+behind the "RDG DETECTION" switch of Fig. 2 -- ridge detection is
+skipped when no dominant elongated structures are present.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+from scipy import ndimage
+
+from repro.imaging.common import BufferAccess, WorkReport
+
+__all__ = ["RidgeResult", "ridge_filter", "structure_precheck"]
+
+#: Default filter scales in pixels (marker-sized and vessel-sized).
+DEFAULT_SCALES: tuple[float, ...] = (1.4, 2.8)
+
+#: Default response threshold for the binary ridge mask.
+DEFAULT_THRESHOLD: float = 0.015
+
+
+@dataclass
+class RidgeResult:
+    """Output of :func:`ridge_filter`.
+
+    Attributes
+    ----------
+    response:
+        Scale-maximal, sigma^2-normalized ridge response (float32).
+    mask:
+        ``response > threshold`` binary mask.
+    ridge_pixels:
+        Number of mask pixels -- the content-dependent work term that
+        makes RDG computation time fluctuate with vessel contrast and
+        clutter (Fig. 3).
+    """
+
+    response: NDArray[np.float32]
+    mask: NDArray[np.bool_]
+    ridge_pixels: int
+
+
+def ridge_filter(
+    img: NDArray[np.float32],
+    scales: tuple[float, ...] = DEFAULT_SCALES,
+    threshold: float = DEFAULT_THRESHOLD,
+    task: str = "RDG_FULL",
+) -> tuple[RidgeResult, WorkReport]:
+    """Multi-scale Hessian ridge filter for dark line structures.
+
+    Parameters
+    ----------
+    img:
+        2-D float image; dark structures have *low* values.
+    scales:
+        Gaussian sigmas of the analysis scales.
+    threshold:
+        Response level defining the binary ridge mask.
+    task:
+        Work-report task label (``RDG_FULL`` or ``RDG_ROI``).
+
+    Returns
+    -------
+    (RidgeResult, WorkReport)
+    """
+    img = np.asarray(img, dtype=np.float32)
+    if img.ndim != 2:
+        raise ValueError("ridge_filter expects a 2-D image")
+    h, w = img.shape
+    response = np.zeros_like(img)
+
+    for sigma in scales:
+        # Second-derivative-of-Gaussian responses.  For a *dark* line
+        # the second derivative across the line is positive, so the
+        # larger Hessian eigenvalue carries the ridge evidence.
+        hyy = ndimage.gaussian_filter(img, sigma, order=(2, 0))
+        hxx = ndimage.gaussian_filter(img, sigma, order=(0, 2))
+        hxy = ndimage.gaussian_filter(img, sigma, order=(1, 1))
+        trace_half = 0.5 * (hyy + hxx)
+        # Largest eigenvalue: trace/2 + sqrt((diff/2)^2 + hxy^2).
+        delta = 0.5 * (hyy - hxx)
+        disc = np.sqrt(delta * delta + hxy * hxy)
+        lam1 = trace_half + disc
+        np.maximum(lam1, 0.0, out=lam1)
+        lam1 *= np.float32(sigma * sigma)  # scale normalization
+        np.maximum(response, lam1, out=response)
+
+    mask = response > np.float32(threshold)
+    ridge_pixels = int(np.count_nonzero(mask))
+
+    px = img.size
+    report = WorkReport(
+        task=task,
+        # 3 derivative responses + eigen-analysis per scale.
+        pixels=px * len(scales),
+        bytes_in=px * 2,  # the X-ray stream is 2 B/pixel
+        bytes_out=px * 4 + px,  # response (float) + mask
+        buffers=(
+            BufferAccess("input", px * 2, passes=float(len(scales))),
+            BufferAccess("hessian", 3 * px * 4, passes=1.0),
+            BufferAccess("response", px * 4, passes=float(len(scales))),
+            BufferAccess("output", px * 4 + px),
+        ),
+        counts={"ridge_pixels": float(ridge_pixels), "scales": float(len(scales))},
+    )
+    return RidgeResult(response=response, mask=mask, ridge_pixels=ridge_pixels), report
+
+
+def structure_precheck(
+    img: NDArray[np.float32],
+    decimation: int = 4,
+    band_threshold: float = 0.015,
+    dominant_fraction: float = 0.135,
+) -> tuple[bool, WorkReport]:
+    """Cheap pre-check behind the "RDG DETECTION" switch.
+
+    Estimates whether dominant dark structures other than the markers
+    are present: the frame is block-averaged down by ``decimation``
+    (averaging, not slicing -- at fluoroscopy dose raw pixels are
+    noise-dominated), band-passed with a difference of Gaussians to
+    remove the smooth soft-tissue background, and the fraction of
+    strongly responding pixels is compared against
+    ``dominant_fraction``.  Contrast-filled vessels and catheter
+    clutter push the fraction over the threshold; a quiet pre-injection
+    scene stays under it and skips RDG, as the flow graph prescribes.
+    Costs ~1/16 of a frame pass, matching the small side inputs of the
+    Fig. 2 switch.
+
+    Returns
+    -------
+    (rdg_needed, WorkReport)
+    """
+    img = np.asarray(img, dtype=np.float32)
+    h, w = img.shape
+    hh, ww = h // decimation * decimation, w // decimation * decimation
+    small = img[:hh, :ww].reshape(
+        hh // decimation, decimation, ww // decimation, decimation
+    ).mean(axis=(1, 3))
+    fine = ndimage.gaussian_filter(small, 0.8)
+    coarse = ndimage.gaussian_filter(small, 2.5)
+    band = coarse - fine  # positive at dark mid-frequency structures
+    strong = float(np.count_nonzero(band > band_threshold))
+    fraction = strong / band.size
+    rdg_needed = bool(fraction > dominant_fraction)
+
+    report = WorkReport(
+        task="RDG_DETECT",
+        pixels=small.size,
+        bytes_in=small.size * 2,
+        bytes_out=16,
+        buffers=(BufferAccess("input", small.size * 2),),
+        counts={"strong_gradient_fraction": fraction},
+    )
+    return rdg_needed, report

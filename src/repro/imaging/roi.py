@@ -1,0 +1,113 @@
+"""Region-Of-Interest estimation (ROI EST).
+
+"A Region Of Interest is estimated in the original image, where the
+markers have previously been detected" (Section 3).  The ROI is the
+marker couple's bounding box inflated by a margin factor, clamped to
+the frame; subsequent frames process RDG/MKX on this window only --
+the granularity change that Eq. 3's linear growth function models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.imaging.common import BufferAccess, WorkReport
+from repro.imaging.couples import CoupleResult
+
+__all__ = ["Roi", "estimate_roi"]
+
+#: ROI half-extent as a multiple of the marker separation.
+DEFAULT_MARGIN_FACTOR: float = 1.6
+
+#: Minimum ROI edge in pixels (avoids degenerate windows).
+MIN_ROI_EDGE: int = 24
+
+
+@dataclass(frozen=True)
+class Roi:
+    """Axis-aligned region of interest in frame coordinates."""
+
+    row0: int
+    col0: int
+    row1: int
+    col1: int
+
+    @property
+    def height(self) -> int:
+        return self.row1 - self.row0
+
+    @property
+    def width(self) -> int:
+        return self.col1 - self.col0
+
+    @property
+    def pixels(self) -> int:
+        return self.height * self.width
+
+    @property
+    def slices(self) -> tuple[slice, slice]:
+        """NumPy slicing tuple: ``img[roi.slices]`` is a *view*."""
+        return (slice(self.row0, self.row1), slice(self.col0, self.col1))
+
+    def contains(self, point: tuple[float, float]) -> bool:
+        """Whether a (row, col) point falls inside the ROI."""
+        return (
+            self.row0 <= point[0] < self.row1
+            and self.col0 <= point[1] < self.col1
+        )
+
+    def to_frame(self, point: tuple[float, float]) -> tuple[float, float]:
+        """Convert ROI-local coordinates to frame coordinates."""
+        return (point[0] + self.row0, point[1] + self.col0)
+
+    def to_local(self, point: tuple[float, float]) -> tuple[float, float]:
+        """Convert frame coordinates to ROI-local coordinates."""
+        return (point[0] - self.row0, point[1] - self.col0)
+
+
+def estimate_roi(
+    couple: CoupleResult,
+    frame_shape: tuple[int, int],
+    margin_factor: float = DEFAULT_MARGIN_FACTOR,
+) -> tuple[Roi, WorkReport]:
+    """Estimate the processing ROI around a detected marker couple.
+
+    Parameters
+    ----------
+    couple:
+        A *found* couple (raises otherwise).
+    frame_shape:
+        (height, width) of the full frame for clamping.
+    margin_factor:
+        Half-extent of the ROI as a multiple of the couple separation.
+
+    Returns
+    -------
+    (Roi, WorkReport); the report's ``roi_kpixels`` count feeds the
+    linear ROI growth model of Eq. 3.
+    """
+    if not couple.found:
+        raise ValueError("cannot estimate ROI without a marker couple")
+    h, w = frame_shape
+    pos = couple.positions()
+    mid = pos.mean(axis=0)
+    sep = float(np.linalg.norm(pos[1] - pos[0]))
+    half = max(MIN_ROI_EDGE / 2.0, margin_factor * sep / 2.0 + sep / 2.0)
+
+    row0 = int(np.clip(np.floor(mid[0] - half), 0, max(0, h - MIN_ROI_EDGE)))
+    col0 = int(np.clip(np.floor(mid[1] - half), 0, max(0, w - MIN_ROI_EDGE)))
+    row1 = int(np.clip(np.ceil(mid[0] + half), row0 + MIN_ROI_EDGE, h))
+    col1 = int(np.clip(np.ceil(mid[1] + half), col0 + MIN_ROI_EDGE, w))
+    roi = Roi(row0, col0, row1, col1)
+
+    report = WorkReport(
+        task="ROI_EST",
+        pixels=0,
+        bytes_in=64,
+        bytes_out=32,
+        buffers=(BufferAccess("features", 64),),
+        counts={"roi_kpixels": roi.pixels / 1000.0},
+    )
+    return roi, report

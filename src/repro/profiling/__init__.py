@@ -1,0 +1,21 @@
+"""Profiling infrastructure: per-task timing and bandwidth traces.
+
+"Computation time statistics are obtained by profiling the executed
+application on a chip-multiprocessor platform" (Section 7).  Here the
+platform is the deterministic model of :mod:`repro.hw`; the profiler
+runs the real pipeline over sequences, simulates each frame's task
+set, and stores one :class:`~repro.profiling.traces.TraceRecord` per
+frame.  Triple-C's models train on the resulting
+:class:`~repro.profiling.traces.TraceSet`.
+"""
+
+from repro.profiling.profiler import ProfileConfig, profile_corpus, profile_sequence
+from repro.profiling.traces import TraceRecord, TraceSet
+
+__all__ = [
+    "TraceRecord",
+    "TraceSet",
+    "ProfileConfig",
+    "profile_sequence",
+    "profile_corpus",
+]

@@ -1,0 +1,137 @@
+"""Run the pipeline over sequences and collect trace records.
+
+This is the reproduction of the paper's profiling step: "For training
+the prediction models, we have used a data set of 37 video sequences
+of in total 1,921 video frames" (Section 7).  Profiling always uses
+the *serial* mapping so the recorded per-task times are single-core
+compute times -- the quantity the prediction models are defined over;
+parallelization decisions later scale these via the partition model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph import build_stentboost_graph
+from repro.graph.flowgraph import FlowGraph
+from repro.hw import CostModel, Mapping, PlatformSimulator, blackford
+from repro.hw.spec import PlatformSpec
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.profiling.traces import TraceRecord, TraceSet
+from repro.synthetic.sequence import XRaySequence
+
+__all__ = ["ProfileConfig", "profile_sequence", "profile_corpus"]
+
+
+@dataclass
+class ProfileConfig:
+    """Everything the profiler needs besides the sequences.
+
+    Attributes
+    ----------
+    platform:
+        Platform spec (defaults to the Fig. 4 Blackford system).
+    pixel_scale:
+        Area factor to native geometry; the default 16 corresponds to
+        256x256 rendering of the native 1024x1024 application.
+    seed:
+        Cost-model jitter seed.
+    pipeline:
+        Pipeline tunables; ``expected_distance`` is overridden per
+        sequence from its phantom spec (the clinical prior).
+    """
+
+    platform: PlatformSpec = field(default_factory=blackford)
+    pixel_scale: float = 16.0
+    seed: int = 0
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+
+    def make_simulator(self, graph: FlowGraph | None = None) -> PlatformSimulator:
+        """Build the simulator this config describes."""
+        cost = CostModel(
+            self.platform, pixel_scale=self.pixel_scale, seed=self.seed
+        )
+        return PlatformSimulator(
+            self.platform, cost, graph=graph or build_stentboost_graph()
+        )
+
+
+def profile_sequence(
+    sequence: XRaySequence,
+    config: ProfileConfig | None = None,
+    seq_id: int = 0,
+    simulator: PlatformSimulator | None = None,
+    traces: TraceSet | None = None,
+) -> TraceSet:
+    """Profile one sequence with the serial mapping.
+
+    Parameters
+    ----------
+    sequence:
+        The frames to process.
+    config:
+        Profiling configuration (fresh default when omitted).
+    seq_id:
+        Sequence id stored in the records.
+    simulator:
+        Reuse an existing simulator (keeps one bandwidth ledger
+        across a corpus); built from ``config`` when omitted.
+    traces:
+        Append to an existing trace set instead of a new one.
+    """
+    config = config or ProfileConfig()
+    sim = simulator or config.make_simulator()
+    ts = traces if traces is not None else TraceSet(
+        pixel_scale=config.pixel_scale, platform=config.platform.name
+    )
+    mapping = Mapping.serial()
+
+    sep = sequence.config.resolved_phantom().marker_separation
+    pipe_cfg = PipelineConfig(
+        expected_distance=sep,
+        max_candidates=config.pipeline.max_candidates,
+        enhancer_decay=config.pipeline.enhancer_decay,
+        roi_margin_factor=config.pipeline.roi_margin_factor,
+        reset_after_lost=config.pipeline.reset_after_lost,
+    )
+    pipe = StentBoostPipeline(pipe_cfg)
+
+    for img, _truth in sequence.iter_frames():
+        analysis = pipe.process(img)
+        result = sim.simulate_frame(
+            analysis.reports, mapping, frame_key=(seq_id, analysis.index)
+        )
+        ts.append(
+            TraceRecord(
+                seq=seq_id,
+                frame=analysis.index,
+                scenario_id=analysis.scenario_id,
+                task_ms=dict(result.task_ms),
+                roi_kpixels=analysis.extras["roi_kpixels"]
+                * config.pixel_scale,
+                latency_ms=result.latency_ms,
+                eviction_bytes=result.eviction_bytes,
+                external_bytes=result.external_bytes,
+            )
+        )
+    return ts
+
+
+def profile_corpus(
+    sequences: list[XRaySequence],
+    config: ProfileConfig | None = None,
+) -> TraceSet:
+    """Profile a corpus of sequences into one trace set.
+
+    One simulator instance is shared so its bandwidth ledger
+    accumulates corpus-wide traffic statistics; the ledger is exposed
+    via the returned trace set's ``meta["ledger"]``.
+    """
+    config = config or ProfileConfig()
+    sim = config.make_simulator()
+    ts = TraceSet(pixel_scale=config.pixel_scale, platform=config.platform.name)
+    for seq_id, seq in enumerate(sequences):
+        profile_sequence(seq, config, seq_id=seq_id, simulator=sim, traces=ts)
+    ts.meta["n_sequences"] = len(sequences)
+    ts.meta["ledger"] = sim.ledger
+    return ts

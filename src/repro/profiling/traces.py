@@ -1,0 +1,254 @@
+"""Trace records: what profiling a sequence produces.
+
+A :class:`TraceRecord` captures one frame: which scenario ran, the
+simulated single-core time of every executed task, the ROI size, and
+the frame's memory traffic.  A :class:`TraceSet` is a list of records
+plus the provenance needed to reproduce them, with the accessor
+methods model fitting needs (per-task series with sequence
+boundaries respected, scenario chains, ROI series).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+from numpy.typing import NDArray
+
+__all__ = ["TraceRecord", "TraceSet"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """Profiling outcome of one frame.
+
+    Attributes
+    ----------
+    seq, frame:
+        Sequence id and frame index within the sequence.
+    scenario_id:
+        The Fig. 2 switch state that ran (0..7).
+    task_ms:
+        Simulated single-core compute time per executed task.
+    roi_kpixels:
+        Native-equivalent ROI size in kilopixels (full frame when not
+        in ROI mode) -- the input of the Eq. 3 growth model.
+    latency_ms:
+        Effective frame latency under the profiling mapping.
+    eviction_bytes, external_bytes:
+        Cache swap traffic and total external traffic of the frame.
+    """
+
+    seq: int
+    frame: int
+    scenario_id: int
+    task_ms: dict[str, float]
+    roi_kpixels: float
+    latency_ms: float
+    eviction_bytes: int
+    external_bytes: int
+
+
+@dataclass
+class TraceSet:
+    """A corpus of trace records with provenance.
+
+    Attributes
+    ----------
+    records:
+        All frame records, ordered by (seq, frame).
+    pixel_scale:
+        Area factor the underlying cost model used.
+    platform:
+        Name of the platform spec profiled against.
+    meta:
+        Free-form provenance (corpus spec, seeds, ...).
+    """
+
+    records: list[TraceRecord] = field(default_factory=list)
+    pixel_scale: float = 1.0
+    platform: str = ""
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: TraceRecord) -> None:
+        self.records.append(record)
+
+    # -- model-fitting accessors ----------------------------------------------
+
+    def sequences(self) -> list[int]:
+        """Distinct sequence ids, in first-appearance order."""
+        seen: dict[int, None] = {}
+        for r in self.records:
+            seen.setdefault(r.seq, None)
+        return list(seen)
+
+    def task_series(self, task: str) -> list[NDArray[np.float64]]:
+        """Per-sequence arrays of the task's consecutive run times.
+
+        Each array holds the times of *consecutive executions* within
+        one sequence; frames where the task did not run break the
+        array (a Markov transition only exists between consecutive
+        executions).  Sequences never concatenate across each other.
+        """
+        out: list[NDArray[np.float64]] = []
+        run: list[float] = []
+        prev_seq: int | None = None
+        for r in self.records:
+            if r.seq != prev_seq:
+                if len(run) >= 1:
+                    out.append(np.asarray(run))
+                run = []
+                prev_seq = r.seq
+            if task in r.task_ms:
+                run.append(r.task_ms[task])
+            elif run:
+                out.append(np.asarray(run))
+                run = []
+        if run:
+            out.append(np.asarray(run))
+        return [a for a in out if a.size > 0]
+
+    def task_series_grouped(
+        self, task: str, group_fn
+    ) -> dict[object, list[NDArray[np.float64]]]:
+        """Per-group consecutive-run series of a task's times.
+
+        ``group_fn(record) -> key`` assigns each frame to a group
+        (e.g. the ROI-granularity bit of its scenario); a run breaks
+        at sequence boundaries, at frames where the task did not
+        execute, *and* at group changes -- transitions across groups
+        are not Markov-consistent within one group's chain.
+        """
+        out: dict[object, list[NDArray[np.float64]]] = {}
+        run: list[float] = []
+        run_key: object = None
+        prev_seq: int | None = None
+
+        def flush() -> None:
+            nonlocal run
+            if run:
+                out.setdefault(run_key, []).append(np.asarray(run))
+            run = []
+
+        for r in self.records:
+            if r.seq != prev_seq:
+                flush()
+                prev_seq = r.seq
+                run_key = None
+            if task in r.task_ms:
+                key = group_fn(r)
+                if key != run_key:
+                    flush()
+                    run_key = key
+                run.append(r.task_ms[task])
+            else:
+                flush()
+                run_key = None
+        flush()
+        return out
+
+    def task_values(self, task: str) -> NDArray[np.float64]:
+        """All run times of a task, concatenated (for distributions)."""
+        series = self.task_series(task)
+        if not series:
+            return np.empty(0)
+        return np.concatenate(series)
+
+    def tasks(self) -> list[str]:
+        """All task names appearing anywhere in the trace set."""
+        names: dict[str, None] = {}
+        for r in self.records:
+            for t in r.task_ms:
+                names.setdefault(t, None)
+        return list(names)
+
+    def scenario_chains(self) -> list[NDArray[np.int64]]:
+        """Per-sequence scenario-id chains (for the scenario table)."""
+        out: list[NDArray[np.int64]] = []
+        chain: list[int] = []
+        prev_seq: int | None = None
+        for r in self.records:
+            if r.seq != prev_seq:
+                if chain:
+                    out.append(np.asarray(chain, dtype=np.int64))
+                chain = []
+                prev_seq = r.seq
+            chain.append(r.scenario_id)
+        if chain:
+            out.append(np.asarray(chain, dtype=np.int64))
+        return out
+
+    def roi_series(self, task: str) -> list[tuple[NDArray[np.float64], NDArray[np.float64]]]:
+        """Per-sequence (roi_kpixels, time_ms) pairs for a task.
+
+        Input of the Eq. 3 linear growth fit: only frames where the
+        task executed contribute, grouped per consecutive run as in
+        :meth:`task_series`.
+        """
+        out: list[tuple[NDArray[np.float64], NDArray[np.float64]]] = []
+        roi: list[float] = []
+        ms: list[float] = []
+
+        def flush() -> None:
+            nonlocal roi, ms
+            if roi:
+                out.append((np.asarray(roi), np.asarray(ms)))
+            roi, ms = [], []
+
+        prev_seq: int | None = None
+        for r in self.records:
+            if r.seq != prev_seq:
+                flush()
+                prev_seq = r.seq
+            if task in r.task_ms:
+                roi.append(r.roi_kpixels)
+                ms.append(r.task_ms[task])
+            else:
+                flush()
+        flush()
+        return out
+
+    def latencies(self) -> NDArray[np.float64]:
+        """Per-frame effective latency series (all sequences)."""
+        return np.asarray([r.latency_ms for r in self.records])
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Serialize to JSON (compact, reproducible).
+
+        Non-JSON-serializable meta entries (e.g. the live bandwidth
+        ledger ``profile_corpus`` attaches) are silently dropped.
+        """
+        meta: dict[str, object] = {}
+        for k, v in self.meta.items():
+            try:
+                json.dumps(v)
+            except (TypeError, ValueError):
+                continue
+            meta[k] = v
+        payload = {
+            "pixel_scale": self.pixel_scale,
+            "platform": self.platform,
+            "meta": meta,
+            "records": [asdict(r) for r in self.records],
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @staticmethod
+    def load(path: str | Path) -> "TraceSet":
+        """Inverse of :meth:`save`."""
+        payload = json.loads(Path(path).read_text())
+        ts = TraceSet(
+            pixel_scale=float(payload["pixel_scale"]),
+            platform=str(payload["platform"]),
+            meta=dict(payload.get("meta", {})),
+        )
+        for r in payload["records"]:
+            ts.append(TraceRecord(**r))
+        return ts

@@ -1,0 +1,43 @@
+"""Semi-automatic parallelization runtime (Section 6).
+
+Exploits Triple-C predictions for on-the-fly repartitioning of the
+flow graph so the per-frame output latency stays pinned near the
+average case:
+
+* :mod:`repro.runtime.partition` -- chooses how many cores each
+  predicted-expensive task gets (data-parallel striping for streaming
+  tasks, functional partitioning for feature tasks);
+* :mod:`repro.runtime.qos` -- the latency budget and the delay line
+  that equalizes output timing;
+* :mod:`repro.runtime.manager` -- the per-frame
+  predict -> repartition -> execute -> observe loop;
+* :mod:`repro.runtime.baselines` -- the straightforward static
+  mapping and the worst-case reservation the paper compares against;
+* :mod:`repro.runtime.coschedule` -- the "execute more functions on
+  the same platform" pay-off: a background workload consuming the
+  cores the manager's predictions free up.
+"""
+
+from repro.runtime.baselines import run_straightforward, run_worst_case
+from repro.runtime.coschedule import BackgroundFunction, CoScheduleResult
+from repro.runtime.manager import FrameLog, ResourceManager, RunResult
+from repro.runtime.partition import PartitionDecision, Partitioner
+from repro.runtime.qos import DelayLine, LatencyBudget
+from repro.runtime.quality import QUALITY_LEVELS, QualityController, QualityLevel
+
+__all__ = [
+    "Partitioner",
+    "PartitionDecision",
+    "DelayLine",
+    "LatencyBudget",
+    "ResourceManager",
+    "FrameLog",
+    "RunResult",
+    "run_straightforward",
+    "run_worst_case",
+    "BackgroundFunction",
+    "CoScheduleResult",
+    "QualityLevel",
+    "QualityController",
+    "QUALITY_LEVELS",
+]

@@ -1,0 +1,98 @@
+"""Baselines the paper compares Triple-C management against.
+
+* :func:`run_straightforward` -- the static serial mapping of Fig. 7's
+  red curve: no prediction, no repartitioning; latency follows the
+  content (60-120 ms swings in the paper).
+* :func:`run_worst_case` -- the Section 6 strawman: reserve for the
+  worst case and pad every frame to it with a delay line.  It does
+  stabilize latency, but "for most of the time the reserved resource
+  budget is set too conservative [and] the output latency is higher
+  than actually required".
+"""
+
+from __future__ import annotations
+
+from repro.hw.mapping import Mapping
+from repro.hw.simulator import PlatformSimulator
+from repro.imaging.pipeline import StentBoostPipeline
+from repro.runtime.manager import FrameLog, RunResult
+from repro.runtime.qos import DelayLine, LatencyBudget
+from repro.synthetic.sequence import XRaySequence
+
+__all__ = ["run_straightforward", "run_worst_case"]
+
+
+def run_straightforward(
+    sequence: XRaySequence,
+    pipeline: StentBoostPipeline,
+    simulator: PlatformSimulator,
+    seq_key: object = 0,
+) -> RunResult:
+    """Static serial mapping, no QoS: latency = content.
+
+    This is the paper's "straightforward mapping" whose effective
+    latency "can vary between 60 and 120 ms" (Section 7).
+    """
+    result = RunResult(label="straightforward")
+    mapping = Mapping.serial()
+    for img, _truth in sequence.iter_frames():
+        analysis = pipeline.process(img)
+        res = simulator.simulate_frame(
+            analysis.reports, mapping, frame_key=(seq_key, analysis.index)
+        )
+        result.frames.append(
+            FrameLog(
+                index=analysis.index,
+                predicted_scenario=analysis.scenario_id,
+                actual_scenario=analysis.scenario_id,
+                predicted_ms=res.latency_ms,
+                serial_ms=float(sum(res.task_ms.values())),
+                latency_ms=res.latency_ms,
+                output_ms=res.latency_ms,
+                cores_used=1,
+                parts={},
+            )
+        )
+    return result
+
+
+def run_worst_case(
+    sequence: XRaySequence,
+    pipeline: StentBoostPipeline,
+    simulator: PlatformSimulator,
+    worst_case_ms: float,
+    seq_key: object = 0,
+) -> RunResult:
+    """Worst-case reservation: serial execution + pad to worst case.
+
+    ``worst_case_ms`` is the reserved budget (e.g. the maximum
+    latency observed over a training corpus, plus margin).  Output
+    latency is constant but maximal -- the drawback Section 6 calls
+    out before introducing the prediction-driven alternative.
+    """
+    if worst_case_ms <= 0:
+        raise ValueError("worst_case_ms must be positive")
+    budget = LatencyBudget(target_ms=float(worst_case_ms))
+    delay = DelayLine(budget)
+    result = RunResult(budget_ms=float(worst_case_ms), label="worst-case reservation")
+    mapping = Mapping.serial()
+    for img, _truth in sequence.iter_frames():
+        analysis = pipeline.process(img)
+        res = simulator.simulate_frame(
+            analysis.reports, mapping, frame_key=(seq_key, analysis.index)
+        )
+        out_ms = delay.push(res.latency_ms)
+        result.frames.append(
+            FrameLog(
+                index=analysis.index,
+                predicted_scenario=analysis.scenario_id,
+                actual_scenario=analysis.scenario_id,
+                predicted_ms=float(worst_case_ms),
+                serial_ms=float(sum(res.task_ms.values())),
+                latency_ms=res.latency_ms,
+                output_ms=out_ms,
+                cores_used=1,
+                parts={},
+            )
+        )
+    return result

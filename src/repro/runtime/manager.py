@@ -1,0 +1,200 @@
+"""The resource manager: predict -> repartition -> execute -> observe.
+
+This is the Section 6 runtime loop that produces the paper's Fig. 7
+"semi-auto parallel" curve:
+
+* **Initialization** -- the latency budget is set close to the
+  average case (from the trained model's stationary expectation).
+* **Runtime adaptation** -- each frame's Triple-C prediction drives a
+  repartitioning decision before the frame executes.
+* **Profiling** -- measured times feed back into the model
+  (EWMA/Markov state always; transition counts too when the model
+  was fitted with ``online_update=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.triplec import TripleC, TripleCPrediction
+from repro.hw.simulator import PlatformSimulator
+from repro.imaging.pipeline import StentBoostPipeline
+from repro.runtime.partition import PartitionDecision, Partitioner
+from repro.runtime.qos import DelayLine, LatencyBudget
+from repro.synthetic.sequence import XRaySequence
+from repro.util.stats import JitterMetrics, jitter_metrics
+
+__all__ = ["FrameLog", "RunResult", "ResourceManager"]
+
+
+@dataclass(frozen=True)
+class FrameLog:
+    """Everything recorded about one managed frame."""
+
+    index: int
+    predicted_scenario: int
+    actual_scenario: int
+    predicted_ms: float
+    serial_ms: float
+    latency_ms: float
+    output_ms: float
+    cores_used: int
+    parts: dict[str, int]
+    quality: str = "full"
+
+
+@dataclass
+class RunResult:
+    """Outcome of one managed (or baseline) sequence run."""
+
+    frames: list[FrameLog] = field(default_factory=list)
+    budget_ms: float | None = None
+    label: str = ""
+
+    def latency(self) -> np.ndarray:
+        """Completion-latency series."""
+        return np.asarray([f.latency_ms for f in self.frames])
+
+    def output_latency(self) -> np.ndarray:
+        """Post-delay-line output-latency series."""
+        return np.asarray([f.output_ms for f in self.frames])
+
+    def serial_latency(self) -> np.ndarray:
+        """What the same frames would cost serially (sum of tasks)."""
+        return np.asarray([f.serial_ms for f in self.frames])
+
+    def predicted(self) -> np.ndarray:
+        """Per-frame predicted serial times."""
+        return np.asarray([f.predicted_ms for f in self.frames])
+
+    def jitter(self) -> JitterMetrics:
+        """Jitter metrics of the completion latency."""
+        return jitter_metrics(self.latency())
+
+    def scenario_hit_rate(self) -> float:
+        """Fraction of frames whose scenario was predicted exactly."""
+        if not self.frames:
+            return 0.0
+        hits = sum(
+            1 for f in self.frames if f.predicted_scenario == f.actual_scenario
+        )
+        return hits / len(self.frames)
+
+    def mean_cores_used(self) -> float:
+        """Average core usage (headroom for co-scheduling)."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.cores_used for f in self.frames]))
+
+
+class ResourceManager:
+    """Per-frame managed execution of a sequence.
+
+    Parameters
+    ----------
+    triplec:
+        A trained Triple-C model.
+    simulator:
+        Platform simulator executing the mapped frames.
+    partitioner:
+        Partitioning policy; built with the simulator's overhead
+        constants when omitted.
+    budget_ms:
+        Explicit latency budget; derived from the model's
+        average-case expectation when omitted.
+    slack:
+        Headroom multiplier of the auto-initialized budget.
+    """
+
+    def __init__(
+        self,
+        triplec: TripleC,
+        simulator: PlatformSimulator,
+        partitioner: Partitioner | None = None,
+        budget_ms: float | None = None,
+        slack: float = 1.08,
+        quality_controller=None,
+    ) -> None:
+        self.triplec = triplec
+        self.simulator = simulator
+        self.partitioner = partitioner or Partitioner(
+            simulator.platform,
+            triplec.graph,
+            fork_ms=simulator.fork_ms,
+            join_ms=simulator.join_ms,
+            halo_fraction=simulator.halo_fraction,
+        )
+        self.budget = LatencyBudget(target_ms=budget_ms, slack=slack)
+        #: Optional QoS controller (repro.runtime.quality); degrades
+        #: the application's quality level when even maximal
+        #: repartitioning cannot meet the budget.
+        self.quality_controller = quality_controller
+
+    def initialize_budget(self) -> float:
+        """Section 6 "Initialization": budget near the average case."""
+        if not self.budget.initialized:
+            self.budget.initialize(self.triplec.expected_frame_ms())
+        return self.budget.require()
+
+    def run_sequence(
+        self,
+        sequence: XRaySequence,
+        pipeline: StentBoostPipeline,
+        seq_key: object = 0,
+        label: str = "triple-c managed",
+    ) -> RunResult:
+        """Run one sequence under management."""
+        budget = self.initialize_budget()
+        delay = DelayLine(self.budget)
+        self.triplec.start_sequence()
+        result = RunResult(budget_ms=budget, label=label)
+        scale = self.simulator.cost_model.pixel_scale
+
+        for img, _truth in sequence.iter_frames():
+            roi_px = pipeline.roi.pixels if pipeline.roi is not None else img.size
+            roi_kpx = roi_px / 1000.0 * scale
+
+            prediction: TripleCPrediction = self.triplec.predict(roi_kpx)
+            # Robust repartitioning: cover every plausible scenario of
+            # the coming frame, not just the most likely one -- a
+            # split task that ends up not running costs nothing.
+            scenario_preds = self.triplec.plausible_predictions(roi_kpx)
+            decision: PartitionDecision = self.partitioner.choose_robust(
+                scenario_preds, budget
+            )
+
+            quality_name = "full"
+            if self.quality_controller is not None:
+                level = self.quality_controller.decide(
+                    decision.predicted_latency_ms, budget
+                )
+                pipeline.quality = level
+                quality_name = level.name
+
+            analysis = pipeline.process(img)
+            frame_res = self.simulator.simulate_frame(
+                analysis.reports,
+                decision.mapping,
+                frame_key=(seq_key, analysis.index),
+            )
+            self.triplec.observe(
+                analysis.scenario_id, frame_res.task_ms, roi_kpx
+            )
+            out_ms = delay.push(frame_res.latency_ms)
+            result.frames.append(
+                FrameLog(
+                    index=analysis.index,
+                    predicted_scenario=prediction.scenario_id,
+                    actual_scenario=analysis.scenario_id,
+                    predicted_ms=prediction.frame_ms,
+                    serial_ms=float(sum(frame_res.task_ms.values())),
+                    latency_ms=frame_res.latency_ms,
+                    output_ms=out_ms,
+                    cores_used=decision.cores_used,
+                    parts=dict(decision.parts),
+                    quality=quality_name,
+                )
+            )
+        return result

@@ -1,0 +1,92 @@
+"""Latency budget and delay-line QoS control.
+
+"During a live interventional X-ray procedure, large latency
+differences between succeeding frames are not allowed for clinical
+reasons (eye-hand coordination of the physician)." (Section 6)
+
+The delay line holds each frame's output until the budget deadline,
+so frames completing early leave at the same relative latency as
+frames completing on time; frames *missing* the budget leave late and
+are counted as violations.  The output-latency series of a run is
+therefore ``max(completion, budget)``, whose jitter the Fig. 7
+comparison evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["LatencyBudget", "DelayLine"]
+
+
+@dataclass
+class LatencyBudget:
+    """The runtime latency target.
+
+    Attributes
+    ----------
+    target_ms:
+        The per-frame latency budget (None until initialized).
+    slack:
+        Multiplier applied when initializing from an average-case
+        estimate (headroom for prediction error).
+    """
+
+    target_ms: float | None = None
+    slack: float = 1.08
+
+    @property
+    def initialized(self) -> bool:
+        return self.target_ms is not None
+
+    def initialize(self, average_case_ms: float) -> float:
+        """Set the budget from an average-case estimate (Section 6,
+        "Initialization"); returns the chosen target."""
+        if average_case_ms <= 0:
+            raise ValueError("average-case estimate must be positive")
+        self.target_ms = float(average_case_ms) * self.slack
+        return self.target_ms
+
+    def require(self) -> float:
+        """The target, raising if the budget was never initialized."""
+        if self.target_ms is None:
+            raise RuntimeError("latency budget not initialized")
+        return self.target_ms
+
+
+@dataclass
+class DelayLine:
+    """Output-side latency equalizer.
+
+    Collects per-frame completion latencies and emits each frame at
+    ``max(completion, budget)``.
+    """
+
+    budget: LatencyBudget
+    completion_ms: list[float] = field(default_factory=list)
+    output_ms: list[float] = field(default_factory=list)
+    violations: int = 0
+
+    def push(self, completion_latency_ms: float) -> float:
+        """Register one frame; returns its output latency."""
+        target = self.budget.require()
+        out = max(float(completion_latency_ms), target)
+        if completion_latency_ms > target + 1e-9:
+            self.violations += 1
+        self.completion_ms.append(float(completion_latency_ms))
+        self.output_ms.append(out)
+        return out
+
+    @property
+    def n_frames(self) -> int:
+        return len(self.output_ms)
+
+    def violation_rate(self) -> float:
+        """Fraction of frames that missed the budget."""
+        return self.violations / self.n_frames if self.n_frames else 0.0
+
+    def output_jitter_std(self) -> float:
+        """Std-dev of the output latency (what the physician sees)."""
+        return float(np.std(self.output_ms)) if self.output_ms else 0.0

@@ -1,0 +1,137 @@
+"""Quality-level QoS control (the abstract's third use of Triple-C).
+
+"Runtime estimation of resource usage would be highly attractive for
+automatic parallelization and QoS control with shared resources."
+Parallelization is the paper's case study; this module adds the QoS
+control companion in the style of the cited Wuest et al. [1] work:
+the application exposes discrete *quality levels* that trade output
+quality for computation, and a controller driven by Triple-C's
+predictions degrades/restores the level when even maximal
+repartitioning cannot meet (or comfortably meets) the latency budget.
+
+Quality levels map onto real algorithm knobs: the number of ridge
+analysis scales (the dominant RDG cost factor) and the candidate cap
+(the quadratic CPLS driver).  Unlike the switch-driven scenarios,
+quality transitions are *chosen* by the controller, never by content
+-- "tasks in the image analysis cannot be easily switched off, since
+that would lead to an incomplete or unacceptable result" (Section 3),
+but they can be computed more coarsely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["QualityLevel", "QUALITY_LEVELS", "QualityController"]
+
+
+@dataclass(frozen=True)
+class QualityLevel:
+    """One operating point of the quality/cost trade-off.
+
+    Attributes
+    ----------
+    name:
+        Level label ("full", "reduced", "minimum").
+    rdg_scales:
+        Ridge-filter analysis scales; fewer scales linearly cut the
+        RDG cost (and lose small-vessel sensitivity).
+    max_candidates:
+        Marker-candidate cap; bounds the quadratic CPLS pair count.
+    """
+
+    name: str
+    rdg_scales: tuple[float, ...]
+    max_candidates: int
+
+    def __post_init__(self) -> None:
+        if not self.rdg_scales or self.max_candidates < 2:
+            raise ValueError("degenerate quality level")
+
+
+#: Built-in levels, best quality first.
+QUALITY_LEVELS: tuple[QualityLevel, ...] = (
+    QualityLevel("full", rdg_scales=(1.4, 2.8), max_candidates=32),
+    QualityLevel("reduced", rdg_scales=(2.0,), max_candidates=24),
+    QualityLevel("minimum", rdg_scales=(2.0,), max_candidates=12),
+)
+
+
+class QualityController:
+    """Hysteretic quality selection from predicted latency vs budget.
+
+    Degrade one level as soon as the predicted latency (after the
+    partitioner has done all it can) still misses the budget; restore
+    one level only after ``recovery_frames`` consecutive frames with
+    at least ``recovery_headroom`` slack at the *better* level's
+    estimated cost -- hysteresis keeps the level from oscillating at
+    the boundary.
+    """
+
+    def __init__(
+        self,
+        levels: tuple[QualityLevel, ...] = QUALITY_LEVELS,
+        recovery_frames: int = 8,
+        recovery_headroom: float = 0.8,
+    ) -> None:
+        if not levels:
+            raise ValueError("need at least one quality level")
+        self.levels = tuple(levels)
+        self.recovery_frames = int(recovery_frames)
+        self.recovery_headroom = float(recovery_headroom)
+        self._idx = 0
+        self._calm = 0
+
+    @property
+    def current(self) -> QualityLevel:
+        return self.levels[self._idx]
+
+    @property
+    def degraded(self) -> bool:
+        return self._idx > 0
+
+    def reset(self) -> None:
+        self._idx = 0
+        self._calm = 0
+
+    def cost_ratio(self, level: QualityLevel) -> float:
+        """Rough compute ratio of ``level`` vs the best level.
+
+        RDG dominates the scalable cost and is linear in the scale
+        count; this estimate is only used for the restore decision
+        (degrading uses the real prediction).
+        """
+        best = self.levels[0]
+        return len(level.rdg_scales) / len(best.rdg_scales)
+
+    def decide(self, predicted_latency_ms: float, budget_ms: float) -> QualityLevel:
+        """Pick the level for the coming frame.
+
+        Parameters
+        ----------
+        predicted_latency_ms:
+            The partitioner's best achievable latency at the *current*
+            level.
+        budget_ms:
+            The latency budget.
+        """
+        if budget_ms <= 0:
+            raise ValueError("budget must be positive")
+        if predicted_latency_ms > budget_ms and self._idx < len(self.levels) - 1:
+            self._idx += 1
+            self._calm = 0
+        elif self._idx > 0:
+            # Would the better level fit with headroom?  Scale the
+            # prediction back up by the cost ratio between levels.
+            better = self.levels[self._idx - 1]
+            ratio = self.cost_ratio(better) / max(
+                self.cost_ratio(self.current), 1e-9
+            )
+            if predicted_latency_ms * ratio <= budget_ms * self.recovery_headroom:
+                self._calm += 1
+                if self._calm >= self.recovery_frames:
+                    self._idx -= 1
+                    self._calm = 0
+            else:
+                self._calm = 0
+        return self.current

@@ -1,0 +1,36 @@
+"""Synthetic X-ray angiography sequences.
+
+The paper trains and evaluates Triple-C on 37 clinical fluoroscopy
+sequences (1,921 frames) that we cannot have.  This package generates
+the closest synthetic equivalent: a coronary-angioplasty phantom with
+a balloon-marker pair, guide wire, stent mesh, vessels, cardiac and
+respiratory motion, contrast-agent phases and X-ray quantum noise.
+
+What matters for the reproduction is not photorealism but that the
+*timing statistics* of the image-analysis tasks driven by these frames
+have the same structure as the paper's: slow content-driven drift
+(EWMA-trackable), exponentially-decorrelating frame-to-frame
+fluctuation (Markov-modelable) and data-dependent scenario switching.
+Every generator is deterministic in its seed.
+"""
+
+from repro.synthetic.dataset import CorpusSpec, corpus_configs, generate_corpus
+from repro.synthetic.motion import MotionModel, MotionSpec, RigidOffset
+from repro.synthetic.noise import NoiseSpec, apply_xray_noise
+from repro.synthetic.phantom import PhantomSpec, build_phantom
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+__all__ = [
+    "PhantomSpec",
+    "build_phantom",
+    "MotionModel",
+    "MotionSpec",
+    "RigidOffset",
+    "NoiseSpec",
+    "apply_xray_noise",
+    "SequenceConfig",
+    "XRaySequence",
+    "CorpusSpec",
+    "corpus_configs",
+    "generate_corpus",
+]

@@ -1,0 +1,115 @@
+"""Training / test corpus builder.
+
+The paper trains its prediction models on "a data set of 37 video
+sequences of in total 1,921 video frames" in which "different
+scenarios exist to create the dynamics in algorithmic adaptation and
+switching" (Section 7).  ``corpus_configs`` reproduces that setup
+synthetically: 37 sequences whose lengths sum to 1,921 frames, with
+per-sequence variation of dose, motion, contrast schedule, clutter and
+marker visibility so that all eight flow-graph scenarios occur.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.synthetic.motion import MotionSpec
+from repro.synthetic.noise import NoiseSpec
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+from repro.util.rng import rng_stream, spawn_seeds
+
+__all__ = ["CorpusSpec", "corpus_configs", "generate_corpus"]
+
+#: Paper values (Section 7).
+PAPER_N_SEQUENCES: int = 37
+PAPER_TOTAL_FRAMES: int = 1921
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Parameters of a corpus of sequences.
+
+    Defaults match the paper's training set size; tests shrink both
+    numbers for speed.
+    """
+
+    n_sequences: int = PAPER_N_SEQUENCES
+    total_frames: int = PAPER_TOTAL_FRAMES
+    width: int = 256
+    height: int = 256
+    base_seed: int = 2009
+
+    def __post_init__(self) -> None:
+        if self.n_sequences < 1:
+            raise ValueError("need at least one sequence")
+        if self.total_frames < self.n_sequences * 8:
+            raise ValueError(
+                "total_frames too small: need >= 8 frames per sequence"
+            )
+
+
+def _frame_budget(spec: CorpusSpec, rng: np.random.Generator) -> list[int]:
+    """Split ``total_frames`` into per-sequence lengths (each >= 8)."""
+    weights = rng.uniform(0.5, 1.8, size=spec.n_sequences)
+    raw = weights / weights.sum() * spec.total_frames
+    lengths = np.maximum(8, np.floor(raw).astype(int))
+    # Distribute the rounding remainder one frame at a time.
+    diff = spec.total_frames - int(lengths.sum())
+    order = rng.permutation(spec.n_sequences)
+    i = 0
+    while diff != 0:
+        idx = order[i % spec.n_sequences]
+        if diff > 0:
+            lengths[idx] += 1
+            diff -= 1
+        elif lengths[idx] > 8:
+            lengths[idx] -= 1
+            diff += 1
+        i += 1
+    return [int(n) for n in lengths]
+
+
+def corpus_configs(spec: CorpusSpec | None = None) -> list[SequenceConfig]:
+    """Build the per-sequence configs of a corpus (deterministic)."""
+    spec = spec or CorpusSpec()
+    rng = rng_stream(spec.base_seed, "corpus")
+    seeds = spawn_seeds(spec.base_seed, spec.n_sequences, "corpus-seeds")
+    lengths = _frame_budget(spec, rng)
+
+    configs: list[SequenceConfig] = []
+    for i in range(spec.n_sequences):
+        n = lengths[i]
+        motion = MotionSpec(
+            cardiac_period=float(rng.uniform(18.0, 30.0)),
+            cardiac_amp=float(rng.uniform(2.0, 6.0)),
+            resp_period=float(rng.uniform(90.0, 150.0)),
+            resp_amp=float(rng.uniform(3.0, 9.0)),
+            tremor_sigma=float(rng.uniform(0.2, 0.6)),
+            rotation_amp=float(rng.uniform(0.02, 0.09)),
+        )
+        noise = NoiseSpec(dose=float(rng.uniform(0.5, 2.0)))
+        inject = int(rng.integers(-1, max(2, n // 2)))
+        configs.append(
+            SequenceConfig(
+                width=spec.width,
+                height=spec.height,
+                n_frames=n,
+                seed=seeds[i],
+                motion=motion,
+                noise=noise,
+                contrast_base=float(rng.uniform(0.25, 0.5)),
+                injection_frame=inject,
+                washout_frames=float(rng.uniform(80.0, 200.0)),
+                clutter_period=float(rng.uniform(60.0, 140.0)),
+                clutter_level=float(rng.uniform(0.3, 1.1)),
+                visibility_dips=int(rng.integers(0, 3)),
+            )
+        )
+    return configs
+
+
+def generate_corpus(spec: CorpusSpec | None = None) -> list[XRaySequence]:
+    """Instantiate (lazily rendering) sequences for a corpus spec."""
+    return [XRaySequence(cfg) for cfg in corpus_configs(spec)]

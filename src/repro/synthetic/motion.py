@@ -1,0 +1,108 @@
+"""Cardiac + respiratory rigid-motion model.
+
+During fluoroscopy the stent region moves with the heart beat
+(~60-100 bpm, i.e. a period of 18-30 frames at 30 Hz) superposed on
+slower respiratory drift and small patient/table tremor.  The motion
+signal is what gives task computation times their *long-term*
+structure (ROI size and position drift, registration success rate),
+so its spectral content matters more than anatomical fidelity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.rng import rng_stream
+
+__all__ = ["MotionSpec", "RigidOffset", "MotionModel"]
+
+
+@dataclass(frozen=True)
+class MotionSpec:
+    """Parameters of the rigid motion model.
+
+    Attributes
+    ----------
+    cardiac_period:
+        Heart-beat period in frames (30 Hz video: 22 ~= 82 bpm).
+    cardiac_amp:
+        Peak cardiac displacement in pixels.
+    resp_period:
+        Respiratory period in frames.
+    resp_amp:
+        Peak respiratory displacement in pixels.
+    tremor_sigma:
+        Std-dev of the white per-frame tremor in pixels.
+    rotation_amp:
+        Peak in-plane rotation in radians (markers rotate about their
+        midpoint with the cardiac phase).
+    """
+
+    cardiac_period: float = 22.0
+    cardiac_amp: float = 4.0
+    resp_period: float = 120.0
+    resp_amp: float = 6.0
+    tremor_sigma: float = 0.35
+    rotation_amp: float = 0.06
+
+
+@dataclass(frozen=True)
+class RigidOffset:
+    """Rigid in-plane transform of frame ``k`` relative to frame 0."""
+
+    dy: float
+    dx: float
+    angle: float
+
+    def apply(
+        self, point: tuple[float, float], pivot: tuple[float, float]
+    ) -> tuple[float, float]:
+        """Transform ``point`` (row, col) about ``pivot``."""
+        py, px = pivot
+        y, x = point[0] - py, point[1] - px
+        c, s = np.cos(self.angle), np.sin(self.angle)
+        ry = c * y - s * x
+        rx = s * y + c * x
+        return (ry + py + self.dy, rx + px + self.dx)
+
+
+class MotionModel:
+    """Deterministic per-frame rigid offsets for one sequence.
+
+    The tremor component is pre-drawn for the whole sequence from a
+    named stream so that ``offset(k)`` is a pure function of ``k``.
+    """
+
+    def __init__(self, spec: MotionSpec, n_frames: int, seed: int) -> None:
+        self.spec = spec
+        self.n_frames = int(n_frames)
+        rng = rng_stream(seed, "motion-tremor")
+        self._tremor = rng.normal(
+            0.0, spec.tremor_sigma, size=(self.n_frames, 2)
+        )
+        # Random phase offsets keep different sequences decorrelated.
+        ph = rng_stream(seed, "motion-phase")
+        self._cardiac_phase = float(ph.uniform(0, 2 * np.pi))
+        self._resp_phase = float(ph.uniform(0, 2 * np.pi))
+
+    def offset(self, k: int) -> RigidOffset:
+        """Rigid offset of frame ``k`` (0-based) w.r.t. the phantom."""
+        if not 0 <= k < self.n_frames:
+            raise IndexError(f"frame {k} outside [0, {self.n_frames})")
+        s = self.spec
+        wc = 2.0 * np.pi * k / s.cardiac_period + self._cardiac_phase
+        wr = 2.0 * np.pi * k / s.resp_period + self._resp_phase
+        # Cardiac motion is sharper than a sine: add a 2nd harmonic.
+        cardiac = s.cardiac_amp * (np.sin(wc) + 0.35 * np.sin(2 * wc))
+        resp = s.resp_amp * np.sin(wr)
+        ty, tx = self._tremor[k]
+        dy = 0.8 * cardiac + 0.9 * resp + ty
+        dx = 0.6 * cardiac - 0.4 * resp + tx
+        angle = s.rotation_amp * np.sin(wc + 0.7)
+        return RigidOffset(dy=float(dy), dx=float(dx), angle=float(angle))
+
+    def offsets(self) -> list[RigidOffset]:
+        """All per-frame offsets of the sequence."""
+        return [self.offset(k) for k in range(self.n_frames)]

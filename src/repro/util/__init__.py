@@ -1,0 +1,37 @@
+"""Shared numeric utilities for the Triple-C reproduction.
+
+This package is dependency-light on purpose: everything downstream
+(``repro.synthetic``, ``repro.core``, ``repro.hw``) builds on these
+primitives, so they must stay small, vectorized and deterministic.
+"""
+
+from repro.util.ewma import EwmaFilter, ewma, high_low_split
+from repro.util.rng import rng_stream, spawn_seeds
+from repro.util.stats import (
+    autocorrelation,
+    fit_exponential_decay,
+    jitter_metrics,
+    linear_fit,
+    summarize,
+)
+from repro.util.units import GB, GIB, HZ_VIDEO, KB, KIB, MB, MIB
+
+__all__ = [
+    "EwmaFilter",
+    "ewma",
+    "high_low_split",
+    "rng_stream",
+    "spawn_seeds",
+    "autocorrelation",
+    "fit_exponential_decay",
+    "jitter_metrics",
+    "linear_fit",
+    "summarize",
+    "KB",
+    "MB",
+    "GB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "HZ_VIDEO",
+]

@@ -1,0 +1,161 @@
+"""Statistics helpers: autocorrelation, decay fits, jitter metrics.
+
+Section 4 of the paper validates Markov-chain applicability by
+checking that the autocorrelation function of a task's computation
+time decays exponentially; Section 7 reports latency *jitter* and the
+worst-vs-average-case gap.  The functions here compute those
+quantities exactly as the experiments need them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+__all__ = [
+    "autocorrelation",
+    "fit_exponential_decay",
+    "linear_fit",
+    "jitter_metrics",
+    "summarize",
+    "JitterMetrics",
+    "SeriesSummary",
+]
+
+
+def autocorrelation(x: ArrayLike, max_lag: int | None = None) -> NDArray[np.float64]:
+    """Normalized autocorrelation function of a 1-D series.
+
+    Returns ``acf`` with ``acf[0] == 1`` and ``acf[k]`` the correlation
+    at lag ``k``, computed on the mean-removed series with the biased
+    (1/N) estimator, which guarantees ``|acf[k]| <= 1``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("autocorrelation expects a 1-D series")
+    n = x.size
+    if n < 2:
+        raise ValueError("need at least 2 samples")
+    if max_lag is None:
+        max_lag = n - 1
+    max_lag = int(min(max_lag, n - 1))
+    xc = x - x.mean()
+    var = float(np.dot(xc, xc))
+    if var == 0.0:
+        # Constant series: perfectly correlated at every lag.
+        return np.ones(max_lag + 1)
+    # FFT-based full autocorrelation, O(n log n) on long traces.
+    nfft = int(2 ** np.ceil(np.log2(2 * n - 1)))
+    spec = np.fft.rfft(xc, nfft)
+    acov = np.fft.irfft(spec * np.conj(spec), nfft)[: max_lag + 1]
+    return acov / var
+
+
+def fit_exponential_decay(acf: ArrayLike, lags: int | None = None) -> float:
+    """Fit ``acf[k] ~ exp(-k / tau)`` and return the time constant tau.
+
+    Only strictly positive ACF values participate (a log-linear least
+    squares fit); lags after the first non-positive value are ignored
+    because an exponential model no longer applies there.  Returns
+    ``inf`` when the series never decays (constant input).
+    """
+    acf = np.asarray(acf, dtype=np.float64)
+    if lags is not None:
+        acf = acf[: lags + 1]
+    # Use lags 0..first non-positive sample (exclusive).
+    positive = np.flatnonzero(acf <= 0.0)
+    stop = int(positive[0]) if positive.size else acf.size
+    if stop < 2:
+        return 0.0
+    k = np.arange(stop, dtype=np.float64)
+    logv = np.log(acf[:stop])
+    slope = float(np.polyfit(k, logv, 1)[0])
+    if slope >= 0.0:
+        return float("inf")
+    return -1.0 / slope
+
+
+def linear_fit(x: ArrayLike, y: ArrayLike) -> tuple[float, float]:
+    """Least-squares line ``y = slope * x + intercept``.
+
+    Used to reproduce the ROI growth function of Eq. 3
+    (``y = 0.067 t_k + 20.6``).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("linear_fit expects matching 1-D arrays")
+    if x.size < 2:
+        raise ValueError("need at least 2 points")
+    slope, intercept = np.polyfit(x, y, 1)
+    return float(slope), float(intercept)
+
+
+@dataclass(frozen=True)
+class JitterMetrics:
+    """Latency-stability metrics for a per-frame latency trace.
+
+    Attributes
+    ----------
+    mean, std:
+        First two moments of the latency series (ms).
+    peak_to_peak:
+        ``max - min`` (ms).
+    worst_over_avg:
+        Relative worst-vs-average-case gap ``(max - mean) / mean``;
+        the paper reports 85 % for the straightforward mapping and
+        20 % after Triple-C-driven parallelization.
+    """
+
+    mean: float
+    std: float
+    peak_to_peak: float
+    worst_over_avg: float
+
+
+def jitter_metrics(latency: ArrayLike) -> JitterMetrics:
+    """Compute :class:`JitterMetrics` for a 1-D latency trace."""
+    lat = np.asarray(latency, dtype=np.float64)
+    if lat.ndim != 1 or lat.size == 0:
+        raise ValueError("jitter_metrics expects a non-empty 1-D series")
+    mean = float(lat.mean())
+    # Clamp at 0: on a constant series, floating-point cancellation in
+    # (max - mean) can yield a meaningless -1e-16 "gap".
+    gap = max(0.0, float((lat.max() - mean) / mean)) if mean > 0 else 0.0
+    return JitterMetrics(
+        mean=mean,
+        std=float(lat.std()),
+        peak_to_peak=float(lat.max() - lat.min()),
+        worst_over_avg=gap,
+    )
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-style summary used by the experiment printers."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+
+
+def summarize(x: ArrayLike) -> SeriesSummary:
+    """Summarize a 1-D series (used in EXPERIMENTS.md tables)."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError("summarize expects a non-empty 1-D series")
+    return SeriesSummary(
+        n=int(x.size),
+        mean=float(x.mean()),
+        std=float(x.std()),
+        minimum=float(x.min()),
+        p50=float(np.percentile(x, 50)),
+        p95=float(np.percentile(x, 95)),
+        maximum=float(x.max()),
+    )

@@ -1,0 +1,50 @@
+"""Unit constants used throughout the reproduction.
+
+The paper (and most of the systems literature it cites) uses binary
+kilobytes for buffer sizes -- Table 1 lists the 1024x1024 x 2 B input
+frame as 2,048 KB -- while bus bandwidths are quoted in decimal GB/s.
+We therefore expose *both* families and name them unambiguously:
+``KB``/``MB``/``GB`` are decimal (10^3 steps) and ``KIB``/``MIB``/``GIB``
+are binary (2^10 steps).  Buffer sizes in the task tables use the binary
+constants; link bandwidths use the decimal ones, matching Fig. 4.
+"""
+
+from __future__ import annotations
+
+#: Decimal byte multiples (bandwidth figures, Fig. 4).
+KB: int = 10**3
+MB: int = 10**6
+GB: int = 10**9
+
+#: Binary byte multiples (buffer sizes, Table 1).
+KIB: int = 2**10
+MIB: int = 2**20
+GIB: int = 2**30
+
+#: The application's video rate: 1024x1024 @ 30 Hz (Section 5.2).
+HZ_VIDEO: float = 30.0
+
+#: Bytes per pixel of the X-ray stream (Section 5.2).
+BYTES_PER_PIXEL: int = 2
+
+#: Native frame geometry of the case-study application.
+NATIVE_WIDTH: int = 1024
+NATIVE_HEIGHT: int = 1024
+NATIVE_PIXELS: int = NATIVE_WIDTH * NATIVE_HEIGHT
+
+
+def frame_bytes(width: int = NATIVE_WIDTH, height: int = NATIVE_HEIGHT) -> int:
+    """Size in bytes of one video frame at ``width`` x ``height``."""
+    return width * height * BYTES_PER_PIXEL
+
+
+def stream_bandwidth(
+    bytes_per_frame: int, rate_hz: float = HZ_VIDEO
+) -> float:
+    """Sustained bandwidth in bytes/second of a per-frame data stream.
+
+    This is how the MByte/s edge labels of Fig. 2 are derived: e.g. the
+    5,120 KB ridge-detection output at 30 Hz is ``5120 KiB * 30`` =
+    157.3e6 B/s, printed by the paper as "150" MByte/s.
+    """
+    return float(bytes_per_frame) * rate_hz

@@ -1,0 +1,65 @@
+"""Shared test fixtures.
+
+Expensive artefacts (profiled corpus, trained model) are built once
+per session from a deliberately small corpus; tests needing richer
+statistics build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.profiling import ProfileConfig, profile_corpus
+from repro.synthetic import CorpusSpec, SequenceConfig, XRaySequence, generate_corpus
+
+
+@pytest.fixture(scope="session")
+def small_corpus_spec() -> CorpusSpec:
+    """A small but scenario-diverse training corpus."""
+    return CorpusSpec(n_sequences=5, total_frames=220, base_seed=7)
+
+
+@pytest.fixture(scope="session")
+def profile_config() -> ProfileConfig:
+    return ProfileConfig()
+
+
+@pytest.fixture(scope="session")
+def traces(small_corpus_spec, profile_config):
+    """Profiled traces of the small corpus (built once per session)."""
+    return profile_corpus(generate_corpus(small_corpus_spec), profile_config)
+
+
+@pytest.fixture(scope="session")
+def trained_model(traces):
+    """A Triple-C model trained on the session traces."""
+    from repro.core import TripleC
+
+    return TripleC.fit(traces)
+
+
+@pytest.fixture(scope="session")
+def tiny_context(small_corpus_spec):
+    """Experiment context over the small corpus (for experiment smoke
+    tests); shares the on-disk cache with the traces fixture."""
+    return ExperimentContext(corpus_spec=small_corpus_spec)
+
+
+@pytest.fixture(scope="session")
+def short_sequence() -> XRaySequence:
+    """A 40-frame sequence with stable markers."""
+    return XRaySequence(SequenceConfig(n_frames=40, seed=11, visibility_dips=0))
+
+
+@pytest.fixture()
+def pipeline(short_sequence) -> StentBoostPipeline:
+    sep = short_sequence.config.resolved_phantom().marker_separation
+    return StentBoostPipeline(PipelineConfig(expected_distance=sep))
+
+
+@pytest.fixture(scope="session")
+def sample_frame(short_sequence):
+    """One rendered frame + truth (frame 5: markers fully visible)."""
+    return short_sequence.frame(5)

@@ -1,0 +1,62 @@
+"""Tests for the prediction-accuracy metric."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.accuracy import prediction_accuracy
+
+
+class TestPredictionAccuracy:
+    def test_perfect_prediction(self):
+        a = np.array([10.0, 20.0, 30.0])
+        rep = prediction_accuracy(a, a)
+        assert rep.mean_accuracy == 1.0
+        assert rep.excursion_fraction == 0.0
+        assert rep.max_relative_error == 0.0
+
+    def test_known_errors(self):
+        rep = prediction_accuracy(
+            np.array([11.0, 30.0]), np.array([10.0, 20.0])
+        )
+        # errors: 10% and 50% -> accuracies 0.9, 0.5.
+        assert rep.mean_accuracy == pytest.approx(0.7)
+        assert rep.excursion_fraction == pytest.approx(0.5)
+        assert rep.max_relative_error == pytest.approx(0.5)
+
+    def test_excursion_threshold(self):
+        rep = prediction_accuracy(
+            np.array([1.25]), np.array([1.0]), excursion_threshold=0.3
+        )
+        assert rep.excursion_fraction == 0.0
+
+    def test_accuracy_clipped_at_zero(self):
+        rep = prediction_accuracy(np.array([100.0]), np.array([1.0]))
+        assert rep.mean_accuracy == 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            prediction_accuracy(np.zeros(3), np.zeros(4))
+        with pytest.raises(ValueError):
+            prediction_accuracy(np.empty(0), np.empty(0))
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1e4),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_bounds(self, actual):
+        a = np.asarray(actual)
+        rng = np.random.default_rng(0)
+        p = a * rng.uniform(0.5, 1.5, a.size)
+        rep = prediction_accuracy(p, a)
+        assert 0.0 <= rep.mean_accuracy <= 1.0
+        assert 0.0 <= rep.excursion_fraction <= 1.0
+        assert rep.max_relative_error >= 0.0
+        assert rep.n == a.size

@@ -1,0 +1,54 @@
+"""Tests for the analytic bandwidth model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bandwidth import BandwidthModel
+from repro.graph import build_stentboost_graph
+from repro.hw.spec import blackford
+from repro.imaging.pipeline import SwitchState
+
+
+@pytest.fixture(scope="module")
+def bw():
+    return BandwidthModel(build_stentboost_graph(), blackford())
+
+
+class TestScenarioBandwidth:
+    def test_worst_beats_best(self, bw):
+        worst, best = bw.worst_best_case()
+        assert worst.total_mbps > 3 * best.total_mbps
+        assert worst.scenario_id == SwitchState(True, False, True).scenario_id
+
+    def test_decomposition_adds_up(self, bw):
+        sb = bw.scenario_bandwidth(SwitchState(True, False, True))
+        assert sb.total_mbps == pytest.approx(sb.inter_task_mbps + sb.swap_mbps)
+        assert sb.swap_mbps > 0  # RDG FULL / ENH / ZOOM overflow
+
+    def test_edge_labels_delegate_to_graph(self, bw):
+        labels = bw.edge_labels(SwitchState(True, False, True))
+        assert labels[("INPUT", "RDG_FULL")] == pytest.approx(62.9, abs=0.1)
+
+    def test_frame_external_scales_with_scenario(self, bw):
+        lo = bw.frame_external_bytes(SwitchState(False, True, False), roi_kpixels=80.0)
+        hi = bw.frame_external_bytes(SwitchState(True, False, True))
+        assert hi > 10 * lo
+
+
+class TestTraceValidation:
+    def test_predicted_vs_measured_shapes(self, bw, traces):
+        p = bw.predicted_trace_bytes(traces)
+        m = bw.measured_trace_bytes(traces)
+        assert p.shape == m.shape == (len(traces),)
+        assert np.all(p >= 0) and np.all(m >= 0)
+
+    def test_accuracy_near_paper(self, bw, traces):
+        """Section 7: ~90 % bandwidth/cache prediction accuracy."""
+        from repro.core import prediction_accuracy
+
+        rep = prediction_accuracy(
+            bw.predicted_trace_bytes(traces), bw.measured_trace_bytes(traces)
+        )
+        assert rep.mean_accuracy > 0.70  # loose bound on the tiny corpus

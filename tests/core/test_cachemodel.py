@@ -1,0 +1,85 @@
+"""Tests for the analytic cache-memory model (Table 1 / Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cachemodel import CacheMemoryModel, table1_rows
+from repro.graph import build_stentboost_graph
+from repro.hw.spec import blackford
+from repro.imaging.pipeline import SwitchState
+from repro.util.units import KIB, MIB
+
+
+@pytest.fixture(scope="module")
+def cm():
+    return CacheMemoryModel(build_stentboost_graph(), blackford())
+
+
+class TestTable1Rows:
+    def test_contains_all_stream_tasks(self):
+        rows = table1_rows(build_stentboost_graph())
+        names = {r[0] for r in rows}
+        assert {"RDG_FULL", "RDG_ROI", "ENH", "ZOOM"} <= names
+        assert "CPLS_SEL" not in names  # feature tasks excluded
+        assert "RDG_DETECT" not in names  # pre-check excluded
+
+
+class TestPredictTask:
+    def test_rdg_full_overflows(self, cm):
+        pred = cm.predict_task("RDG_FULL")
+        assert not pred.fits
+        assert pred.eviction_bytes > 0
+        assert pred.working_set_bytes == (2048 + 7168 + 5120) * KIB
+
+    def test_paper_overflow_set(self, cm):
+        """Section 5.2 names RDG FULL, ENH and ZOOM as overflowing."""
+        overflow = set(cm.overflow_tasks())
+        assert {"RDG_FULL", "ENH", "ZOOM"} <= overflow
+
+    def test_feature_task_fits(self, cm):
+        pred = cm.predict_task("REG")
+        assert pred.fits
+        assert pred.eviction_bytes == 0
+
+    def test_roi_scaling_reduces_footprint(self, cm):
+        full = cm.predict_task("RDG_ROI", roi_kpixels=1048.0)
+        small = cm.predict_task("RDG_ROI", roi_kpixels=100.0)
+        assert small.working_set_bytes < full.working_set_bytes
+        assert small.eviction_bytes <= full.eviction_bytes
+
+    def test_roi_oblivious_mode(self):
+        cm2 = CacheMemoryModel(
+            build_stentboost_graph(), blackford(), roi_aware=False
+        )
+        a = cm2.predict_task("RDG_ROI", roi_kpixels=1048.0)
+        b = cm2.predict_task("RDG_ROI", roi_kpixels=50.0)
+        assert a.working_set_bytes == b.working_set_bytes
+
+    def test_full_tasks_never_roi_scaled(self, cm):
+        a = cm.predict_task("RDG_FULL", roi_kpixels=50.0)
+        b = cm.predict_task("RDG_FULL", roi_kpixels=1048.0)
+        assert a.working_set_bytes == b.working_set_bytes
+
+
+class TestPredictFrame:
+    def test_active_tasks_only(self, cm):
+        state = SwitchState(False, False, False)
+        preds = cm.predict_frame(state)
+        assert set(preds) == set(
+            build_stentboost_graph().active_tasks(state)
+        )
+
+    def test_success_scenario_more_traffic(self, cm):
+        fail = cm.frame_external_bytes(SwitchState(True, False, False))
+        ok = cm.frame_external_bytes(SwitchState(True, False, True))
+        assert ok > fail
+
+    def test_eviction_subset_of_external(self, cm):
+        state = SwitchState(True, False, True)
+        assert cm.frame_eviction_bytes(state) < cm.frame_external_bytes(state)
+
+    def test_worst_case_scenario_magnitude(self, cm):
+        """Worst scenario moves tens of MB per frame (all big tasks)."""
+        ext = cm.frame_external_bytes(SwitchState(True, False, True))
+        assert 20 * MIB < ext < 120 * MIB

@@ -1,0 +1,178 @@
+"""Tests for the per-task computation-time predictors (Table 2b)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.computation import (
+    ComputationModel,
+    ConstantPredictor,
+    EwmaMarkovPredictor,
+    MarkovPredictor,
+    PredictionContext,
+    RoiLinearMarkovPredictor,
+)
+
+CTX = PredictionContext(roi_kpixels=100.0)
+
+
+class TestConstantPredictor:
+    def test_predicts_training_mean(self):
+        p = ConstantPredictor.fit([np.array([2.0, 2.2, 1.8])])
+        assert p.predict(CTX) == pytest.approx(2.0)
+
+    def test_observe_is_noop(self):
+        p = ConstantPredictor(value_ms=5.0)
+        p.observe(100.0, CTX)
+        assert p.predict(CTX) == 5.0
+
+
+class TestMarkovPredictor:
+    def test_fallback_before_first_observation(self):
+        rng = np.random.default_rng(0)
+        p = MarkovPredictor.fit([rng.normal(10, 1, 1000)])
+        assert p.predict(CTX) == pytest.approx(10.0, abs=0.5)
+
+    def test_tracks_after_observation(self):
+        rng = np.random.default_rng(1)
+        phi, n = 0.9, 10_000
+        x = np.empty(n)
+        x[0] = 0
+        for i in range(1, n):
+            x[i] = phi * x[i - 1] + rng.normal()
+        x += 20.0
+        p = MarkovPredictor.fit([x])
+        p.observe(x.max(), CTX)
+        high = p.predict(CTX)
+        p.reset()
+        p.observe(x.min(), CTX)
+        low = p.predict(CTX)
+        assert high > low  # conditional expectation moves with state
+
+    def test_reset(self):
+        p = MarkovPredictor.fit([np.random.default_rng(2).normal(5, 1, 500)])
+        p.observe(9.0, CTX)
+        p.reset()
+        assert p.predict(CTX) == pytest.approx(5.0, abs=0.3)
+
+
+class TestEwmaMarkovPredictor:
+    def test_causal_residuals_definition(self):
+        x = np.array([10.0, 12.0, 11.0])
+        res = EwmaMarkovPredictor.causal_residuals(x, alpha=0.5)
+        # y0=10 -> r1 = 12-10 = 2; y1 = 11 -> r2 = 11-11 = 0.
+        np.testing.assert_allclose(res, [2.0, 0.0])
+
+    def test_tracks_level_shift(self):
+        """The EWMA part must follow a structural level change."""
+        p = EwmaMarkovPredictor.fit(
+            [np.random.default_rng(3).normal(40, 1, 500)], alpha=0.3
+        )
+        for _ in range(30):
+            p.observe(60.0, CTX)
+        assert p.predict(CTX) == pytest.approx(60.0, abs=2.0)
+
+    def test_prediction_positive(self):
+        p = EwmaMarkovPredictor.fit(
+            [np.random.default_rng(4).normal(5, 2, 500)]
+        )
+        p.observe(0.1, CTX)
+        p.observe(0.1, CTX)
+        assert p.predict(CTX) > 0
+
+    def test_beats_constant_on_drifting_series(self):
+        """On slow drift + noise, EWMA+Markov must beat the constant
+        model -- the motivation of Section 4's decomposition."""
+        rng = np.random.default_rng(5)
+        n = 2000
+        drift = 40 + 8 * np.sin(np.arange(n) / 150)
+        x = drift + rng.normal(0, 0.8, n)
+        train, test = x[:1000], x[1000:]
+        p = EwmaMarkovPredictor.fit([train], alpha=0.3)
+        const = ConstantPredictor.fit([train])
+        err_p, err_c = [], []
+        for v in test:
+            err_p.append((p.predict(CTX) - v) ** 2)
+            err_c.append((const.predict(CTX) - v) ** 2)
+            p.observe(v, CTX)
+            const.observe(v, CTX)
+        assert np.mean(err_p) < 0.2 * np.mean(err_c)
+
+    def test_degenerate_training_falls_back_to_mean(self):
+        p = EwmaMarkovPredictor.fit([np.array([3.0])])
+        assert p.predict(CTX) == pytest.approx(3.0)
+
+    def test_reset_clears_state(self):
+        p = EwmaMarkovPredictor.fit([np.random.default_rng(6).normal(10, 1, 300)])
+        p.observe(50.0, CTX)
+        p.reset()
+        assert p.predict(CTX) == pytest.approx(10.0, abs=1.0)
+
+
+class TestRoiLinearMarkovPredictor:
+    def _roi_series(self, slope=0.05, intercept=4.0, n=400, seed=7):
+        rng = np.random.default_rng(seed)
+        roi = rng.uniform(20, 300, n)
+        ms = slope * roi + intercept + rng.normal(0, 0.1, n)
+        return [(roi, ms)]
+
+    def test_recovers_linear_growth(self):
+        p = RoiLinearMarkovPredictor.fit(self._roi_series())
+        assert p.slope == pytest.approx(0.05, abs=0.005)
+        assert p.intercept == pytest.approx(4.0, abs=0.5)
+
+    def test_prediction_uses_roi(self):
+        p = RoiLinearMarkovPredictor.fit(self._roi_series())
+        small = p.predict(PredictionContext(roi_kpixels=50.0))
+        large = p.predict(PredictionContext(roi_kpixels=250.0))
+        assert large - small == pytest.approx(0.05 * 200.0, rel=0.15)
+
+    def test_constant_roi_degenerates_gracefully(self):
+        roi = np.full(100, 80.0)
+        ms = np.full(100, 8.0)
+        p = RoiLinearMarkovPredictor.fit([(roi, ms)])
+        assert p.slope == 0.0
+        assert p.predict(PredictionContext(roi_kpixels=80.0)) == pytest.approx(8.0, abs=0.2)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            RoiLinearMarkovPredictor.fit([(np.array([1.0]), np.array([1.0]))])
+
+
+class TestComputationModel:
+    def test_fit_assigns_table2b_kinds(self, traces):
+        model = ComputationModel.fit(traces)
+        kinds = dict(model.summary())
+        assert kinds["REG"] == "constant"
+        assert kinds["CPLS_SEL"] == "<Eq. 1> + Markov"
+        assert kinds["GW_EXT"] == "<Eq. 1> + Markov"
+        if "RDG_FULL" in kinds:
+            assert kinds["RDG_FULL"] == "<Eq. 1> + Markov"
+        if "RDG_ROI" in kinds:
+            assert kinds["RDG_ROI"] == "<Eq. 3> + Markov"
+
+    def test_train_means_recorded(self, traces):
+        model = ComputationModel.fit(traces)
+        assert model.train_mean_ms["REG"] == pytest.approx(2.0, abs=0.1)
+
+    def test_predict_tasks_unknown_task_zero(self, traces):
+        model = ComputationModel.fit(traces)
+        out = model.predict_tasks(["REG", "UNKNOWN"], CTX)
+        assert out["UNKNOWN"] == 0.0
+        assert out["REG"] > 0
+
+    def test_override_kinds(self, traces):
+        model = ComputationModel.fit(
+            traces, predictor_kinds={"CPLS_SEL": "markov"}
+        )
+        assert dict(model.summary())["CPLS_SEL"] == "Markov"
+
+    def test_unknown_kind_rejected(self, traces):
+        with pytest.raises(ValueError):
+            ComputationModel.fit(traces, predictor_kinds={"REG": "magic"})
+
+    def test_observe_then_reset(self, traces):
+        model = ComputationModel.fit(traces)
+        model.observe_frame({"CPLS_SEL": 1.0}, CTX)
+        model.reset()  # must not raise and must clear online state

@@ -1,0 +1,79 @@
+"""Tests for online model training (Section 6, "Profiling").
+
+"The application can be profiled to gather statistical information of
+the differences between the actually consumed resources and the
+predicted values.  The information can be used for on-line model
+training."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.computation import (
+    EwmaMarkovPredictor,
+    MarkovPredictor,
+    PredictionContext,
+)
+
+CTX = PredictionContext()
+
+
+def ar1(phi: float, n: int, seed: int, mean: float = 20.0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    x = np.empty(n)
+    x[0] = 0.0
+    for i in range(1, n):
+        x[i] = phi * x[i - 1] + rng.normal()
+    return x + mean
+
+
+def walk(predictor, series) -> float:
+    """Walk-forward MSE."""
+    errs = []
+    for v in series:
+        errs.append((predictor.predict(CTX) - v) ** 2)
+        predictor.observe(float(v), CTX)
+    return float(np.mean(errs[5:]))
+
+
+class TestOnlineMarkovUpdate:
+    def test_adapts_to_changed_dynamics(self):
+        """Train on weakly correlated data, test on strongly
+        correlated data: online updating must shrink the error."""
+        train = [ar1(0.2, 2000, seed=1)]
+        test = ar1(0.95, 4000, seed=2)
+        static = MarkovPredictor.fit(train, online_update=False)
+        online = MarkovPredictor.fit(train, online_update=True)
+        assert walk(online, test) < walk(static, test)
+
+    def test_counts_grow_only_when_enabled(self):
+        train = [ar1(0.5, 500, seed=3)]
+        static = MarkovPredictor.fit(train, online_update=False)
+        online = MarkovPredictor.fit(train, online_update=True)
+        c_static = static.chain.counts.sum()
+        c_online = online.chain.counts.sum()
+        for v in ar1(0.5, 50, seed=4):
+            static.observe(float(v), CTX)
+            online.observe(float(v), CTX)
+        assert static.chain.counts.sum() == c_static
+        assert online.chain.counts.sum() > c_online
+
+
+class TestOnlineEwmaMarkov:
+    def test_online_flag_updates_residual_chain(self):
+        train = [ar1(0.3, 800, seed=5)]
+        p = EwmaMarkovPredictor.fit(train, online_update=True)
+        before = p.chain.counts.sum()
+        for v in ar1(0.3, 60, seed=6):
+            p.observe(float(v), CTX)
+        assert p.chain.counts.sum() > before
+
+    def test_transition_rows_stay_stochastic(self):
+        train = [ar1(0.3, 800, seed=7)]
+        p = EwmaMarkovPredictor.fit(train, online_update=True)
+        for v in ar1(0.8, 200, seed=8):
+            p.observe(float(v), CTX)
+        np.testing.assert_allclose(
+            p.chain.transition.sum(axis=1), 1.0, atol=1e-9
+        )

@@ -1,0 +1,62 @@
+"""Tests for the scenario state table."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scenario import N_SCENARIOS, ScenarioTable
+from repro.imaging.pipeline import SwitchState
+
+
+class TestScenarioTable:
+    def test_fit_counts_transitions(self):
+        table = ScenarioTable.fit([np.array([3, 3, 7, 3])])
+        assert table.counts[3, 3] == 1
+        assert table.counts[3, 7] == 1
+        assert table.counts[7, 3] == 1
+
+    def test_chains_do_not_cross_sequences(self):
+        table = ScenarioTable.fit([np.array([1, 1]), np.array([2, 2])])
+        assert table.counts[1, 2] == 0
+
+    def test_rows_stochastic(self, traces):
+        table = ScenarioTable.fit(traces.scenario_chains())
+        np.testing.assert_allclose(table.transition.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_unseen_rows_uniform(self):
+        table = ScenarioTable.fit([np.array([0, 0, 0])])
+        np.testing.assert_allclose(table.transition[5], 1.0 / N_SCENARIOS)
+
+    def test_sticky_prediction(self):
+        """Steady-state scenarios predict themselves (persistence)."""
+        chain = np.array([3] * 50 + [7] + [3] * 50)
+        table = ScenarioTable.fit([chain])
+        assert table.predict_next(3) == 3
+
+    def test_tie_breaks_to_current(self):
+        table = ScenarioTable(np.zeros((8, 8)))
+        # Uniform row: prediction must stay at the current scenario.
+        assert table.predict_next(5) == 5
+
+    def test_predict_state_wrapper(self):
+        table = ScenarioTable.fit([np.array([3, 3, 3])])
+        nxt = table.predict_state(SwitchState.from_scenario_id(3))
+        assert nxt.scenario_id == 3
+
+    def test_observe_online(self):
+        table = ScenarioTable()
+        table.observe(2, 5)
+        assert table.counts[2, 5] == 1
+        with pytest.raises(ValueError):
+            table.observe(8, 0)
+
+    def test_invalid_chain_values(self):
+        with pytest.raises(ValueError):
+            ScenarioTable.fit([np.array([0, 9])])
+
+    def test_stationary_sums_to_one(self, traces):
+        table = ScenarioTable.fit(traces.scenario_chains())
+        pi = table.stationary()
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0)

@@ -1,0 +1,110 @@
+"""Tests for the ablation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.computation import ConstantPredictor, LastValuePredictor
+from repro.experiments.ablation import (
+    held_out_traces,
+    order2_sparsity,
+    partition_policy_comparison,
+    predictor_comparison,
+    quantization_comparison,
+    state_factor_sweep,
+    stripe_scaling,
+    walk_forward_accuracy,
+)
+
+
+@pytest.fixture(scope="module")
+def test_traces(tiny_context):
+    return held_out_traces(tiny_context, n_sequences=3)
+
+
+class TestWalkForward:
+    def test_constant_predictor_exact_on_constant_series(self):
+        p = ConstantPredictor(value_ms=5.0)
+        rep = walk_forward_accuracy(p, [np.full(20, 5.0)])
+        assert rep.mean_accuracy == pytest.approx(1.0)
+
+    def test_warmup_excluded(self):
+        p = LastValuePredictor(fallback_ms=1.0)
+        series = [np.array([100.0, 100.0, 5.0, 5.0, 5.0])]
+        rep = walk_forward_accuracy(p, series, warmup=2)
+        # Scored samples: predictions for idx 2..4 = 100, 5, 5.
+        assert rep.n == 3
+
+    def test_reset_between_series(self):
+        p = LastValuePredictor(fallback_ms=7.0)
+        rep = walk_forward_accuracy(
+            p, [np.full(5, 7.0), np.full(5, 7.0)], warmup=0
+        )
+        # Fallback (= 7.0) used at each series start: all exact.
+        assert rep.mean_accuracy == pytest.approx(1.0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            walk_forward_accuracy(
+                ConstantPredictor(1.0), [np.array([1.0])], warmup=5
+            )
+
+
+class TestSweeps:
+    def test_state_factor_rows(self, tiny_context, test_traces):
+        rows = state_factor_sweep(
+            tiny_context.traces, test_traces, "CPLS_SEL", factors=(1.0, 2.0)
+        )
+        assert len(rows) == 2
+        for factor, n_states, rep in rows:
+            assert n_states >= 2
+            assert 0.0 <= rep.mean_accuracy <= 1.0
+
+    def test_quantization_keys(self, tiny_context, test_traces):
+        out = quantization_comparison(tiny_context.traces, test_traces, "CPLS_SEL")
+        assert set(out) == {"equal-mass", "equal-width"}
+
+    def test_predictor_comparison_keys(self, tiny_context, test_traces):
+        out = predictor_comparison(tiny_context.traces, test_traces, "CPLS_SEL")
+        assert set(out) == {"constant", "last-value", "markov", "ewma+markov"}
+
+    def test_order2_sparsity_fields(self, tiny_context):
+        stats = order2_sparsity(tiny_context.traces, "CPLS_SEL")
+        assert stats["order2_samples_per_row"] <= stats["order1_samples_per_row"]
+
+
+class TestStripeScaling:
+    def test_monotone_speedup(self, tiny_context):
+        points = stripe_scaling(tiny_context, max_parts=6)
+        assert [p.parts for p in points] == list(range(1, 7))
+        speed = [p.speedup for p in points]
+        assert all(b >= a for a, b in zip(speed, speed[1:]))
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].efficiency == pytest.approx(1.0)
+
+
+class TestPartitionPolicy:
+    def test_policies_compared(self, tiny_context):
+        out = partition_policy_comparison(tiny_context, n_frames=40)
+        assert set(out) == {"robust", "most-likely"}
+        for stats in out.values():
+            assert 0.0 <= stats["violation_rate"] <= 1.0
+            assert stats["budget_ms"] > 0
+
+
+class TestConditioningAndOrder:
+    def test_conditioning_comparison(self, tiny_context, test_traces):
+        from repro.experiments.ablation import conditioning_comparison
+
+        out = conditioning_comparison(tiny_context.traces, test_traces, "CPLS_SEL")
+        assert set(out) == {"pooled", "conditioned"}
+        for rep in out.values():
+            assert 0.0 <= rep.mean_accuracy <= 1.0
+
+    def test_order_comparison(self, tiny_context, test_traces):
+        from repro.experiments.ablation import order_comparison
+
+        out = order_comparison(tiny_context.traces, test_traces, "CPLS_SEL")
+        assert set(out) == {"order-1", "order-2"}
+

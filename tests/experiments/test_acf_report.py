@@ -1,0 +1,44 @@
+"""Tests for the ACF model-selection reproduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.acf_report import classify_task, run
+
+
+class TestClassifyTask:
+    def test_low_variance_is_constant(self):
+        assert classify_task(cv=0.01, tau_raw=50.0) == "constant"
+
+    def test_fast_decay_is_markov(self):
+        assert classify_task(cv=0.5, tau_raw=1.0) == "markov-ok"
+
+    def test_slow_decay_needs_ewma(self):
+        assert classify_task(cv=0.5, tau_raw=12.0) == "ewma+markov"
+
+    def test_nan_tau_defaults_to_markov(self):
+        assert classify_task(cv=0.5, tau_raw=float("nan")) == "markov-ok"
+
+
+class TestRun:
+    @pytest.fixture(scope="class")
+    def out(self, tiny_context):
+        return run(tiny_context, min_samples=40)
+
+    def test_rows_well_formed(self, out):
+        assert out["rows"]
+        for r in out["rows"]:
+            assert r["classified"] in ("constant", "markov-ok", "ewma+markov")
+            assert r["cv"] >= 0
+            assert r["n"] >= 40
+
+    def test_fixed_tasks_constant(self, out):
+        by_task = {r["task"]: r for r in out["rows"]}
+        for task in ("REG", "ROI_EST"):
+            if task in by_task:
+                assert by_task[task]["classified"] == "constant"
+
+    def test_agreement_reported(self, out):
+        assert 0.0 <= out["agreement"] <= 1.0
+        assert "agrees with the Table 2(b)" in out["text"]

@@ -1,0 +1,64 @@
+"""Tests for the experiment context and its disk cache."""
+
+from __future__ import annotations
+
+import os
+from unittest import mock
+
+import pytest
+
+from repro.experiments.common import ExperimentContext, default_context
+from repro.profiling import TraceSet
+from repro.synthetic import CorpusSpec
+
+
+class TestExperimentContext:
+    def test_traces_cached_on_disk(self, tmp_path):
+        spec = CorpusSpec(n_sequences=2, total_frames=20, base_seed=99)
+        with mock.patch.dict(os.environ, {"REPRO_CACHE_DIR": str(tmp_path)}):
+            ctx = ExperimentContext(corpus_spec=spec)
+            traces1 = ctx.traces
+            files = list(tmp_path.glob("traces-*.json"))
+            assert len(files) == 1
+            # A fresh context loads from the cache file.
+            ctx2 = ExperimentContext(corpus_spec=spec)
+            traces2 = ctx2.traces
+            assert len(traces2) == len(traces1)
+            assert traces2.records[0] == traces1.records[0]
+
+    def test_cache_key_sensitive_to_spec(self, tmp_path):
+        with mock.patch.dict(os.environ, {"REPRO_CACHE_DIR": str(tmp_path)}):
+            a = ExperimentContext(
+                corpus_spec=CorpusSpec(n_sequences=2, total_frames=20, base_seed=1)
+            )
+            b = ExperimentContext(
+                corpus_spec=CorpusSpec(n_sequences=2, total_frames=20, base_seed=2)
+            )
+            assert a._cache_key() != b._cache_key()
+
+    def test_model_memoized(self, tiny_context):
+        assert tiny_context.model is tiny_context.model
+
+    def test_fresh_model_independent(self, tiny_context):
+        m1 = tiny_context.fresh_model()
+        m2 = tiny_context.fresh_model()
+        assert m1 is not m2
+        m1.observe(3, {"REG": 2.0}, 100.0)
+        assert m2._current_scenario is None
+
+    def test_traces_type(self, tiny_context):
+        assert isinstance(tiny_context.traces, TraceSet)
+
+
+class TestDefaultContext:
+    def test_fast_mode(self):
+        with mock.patch.dict(os.environ, {"REPRO_FAST": "1"}):
+            ctx = default_context()
+            assert ctx.corpus_spec.n_sequences == 8
+
+    def test_paper_mode(self):
+        with mock.patch.dict(os.environ, {}, clear=False):
+            os.environ.pop("REPRO_FAST", None)
+            ctx = default_context()
+            assert ctx.corpus_spec.n_sequences == 37
+            assert ctx.corpus_spec.total_frames == 1921

@@ -1,0 +1,124 @@
+"""Smoke + shape tests for every paper-artefact experiment.
+
+Each experiment runs on the session's small corpus context; assertions
+check the *shape* claims the reproduction targets (who wins, what
+overflows, what is linear), not absolute paper numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import accuracy_comp, fig2, fig3, fig4, fig5, fig6, fig7, table1, table2
+
+
+class TestFig2:
+    def test_labels_close_to_paper(self, tiny_context):
+        out = fig2.run(tiny_context)
+        for (edge, ours, paper) in out["edges"]:
+            assert ours == pytest.approx(paper, rel=0.12), edge
+        assert "text" in out
+
+    def test_scenarios_ordered_by_cost(self, tiny_context):
+        out = fig2.run(tiny_context)
+        by_id = {sid: mbps for sid, _, mbps in out["scenarios"]}
+        assert by_id[5] == max(by_id.values())
+        assert by_id[5] > by_id[0]
+
+
+class TestFig3:
+    def test_series_in_paper_band(self, tiny_context):
+        out = fig3.run(tiny_context, n_frames=120)
+        assert out["stats"].mean == pytest.approx(45.0, abs=8.0)
+        assert out["stats"].minimum > 30.0
+        assert out["stats"].maximum < 65.0
+
+    def test_decomposition_consistent(self, tiny_context):
+        out = fig3.run(tiny_context, n_frames=80)
+        np.testing.assert_allclose(
+            out["hpf"] + out["lpf"], out["series"], rtol=1e-10
+        )
+        assert abs(out["acf"][0] - 1.0) < 1e-9
+
+
+class TestFig4:
+    def test_exact_match(self, tiny_context):
+        out = fig4.run(tiny_context)
+        assert out["ours"] == out["paper"]
+
+
+class TestFig5:
+    def test_rdg_full_overflows(self, tiny_context):
+        out = fig5.run(tiny_context)
+        assert out["eviction_bytes"] > 0
+        assert any(ev > 0 for _, _, _, ev in out["phases"])
+
+    def test_paper_overflow_tasks_covered(self, tiny_context):
+        out = fig5.run(tiny_context)
+        assert out["paper_overflow_named_ok"]
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def out(self, tiny_context):
+        return fig6.run(tiny_context, n_frames_per_size=3)
+
+    def test_latency_linear_in_roi(self, out):
+        roi, ser = out["roi_kpixels"], out["serial_ms"]
+        slope, icpt = out["serial_fit"]
+        pred = slope * roi + icpt
+        resid = ser - pred
+        assert np.std(resid) < 0.15 * np.std(ser)
+        assert slope > 0
+
+    def test_two_stripe_speedup(self, out):
+        assert 1.4 < out["slope_ratio"] <= 2.2
+        assert out["striped_ms"].mean() < out["serial_ms"].mean()
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def out(self, tiny_context):
+        return fig7.run(tiny_context, n_frames=100)
+
+    def test_managed_flatter_than_straightforward(self, out):
+        j = out["jitter"]
+        assert j["managed_output"].std < 0.5 * j["straightforward"].std
+        assert (
+            j["managed_completion"].worst_over_avg
+            < j["straightforward"].worst_over_avg
+        )
+
+    def test_jitter_reduction_substantial(self, out):
+        assert out["jitter_reduction"] > 0.5  # paper: ~0.7
+
+    def test_worst_case_output_constant(self, out):
+        assert out["jitter"]["worst_case_output"].std == pytest.approx(0.0, abs=1e-9)
+
+
+class TestTables:
+    def test_table1_matches_paper(self, tiny_context):
+        out = table1.run(tiny_context)
+        ours = {r[0]: r[1:] for r in out["rows"]}
+        assert ours["RDG_FULL"] == (2048, 7168, 5120)
+        assert ours["ENH"] == (2048, 8192, 1024)
+
+    def test_table2_matrix_stochastic(self, tiny_context):
+        out = table2.run(tiny_context)
+        t = out["transition"]
+        np.testing.assert_allclose(t.sum(axis=1), 1.0, atol=1e-9)
+        assert 2 <= out["n_states"] <= 32
+
+    def test_table2b_model_kinds(self, tiny_context):
+        out = table2.run(tiny_context)
+        kinds = dict(out["summary"])
+        assert kinds.get("CPLS_SEL") == "<Eq. 1> + Markov"
+        assert kinds.get("REG") == "constant"
+
+
+class TestAccuracyComp:
+    def test_headline_accuracy(self, tiny_context):
+        out = accuracy_comp.run(tiny_context, n_frames=60)
+        # Paper: 97 %.  Small-corpus bound: > 90 %.
+        assert out["frame"].mean_accuracy > 0.90

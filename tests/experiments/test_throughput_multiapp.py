@@ -1,0 +1,48 @@
+"""Smoke + shape tests for the throughput and multi-app experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import multiapp, throughput
+
+
+class TestThroughput:
+    @pytest.fixture(scope="class")
+    def out(self, tiny_context):
+        return throughput.run(tiny_context, n_frames=60)
+
+    def test_single_core_collapses(self, out):
+        row = out["rows"]["single-core"]
+        assert row["latency_slope_ms_per_frame"] > 3.0
+        assert row["sustained_fps"] < 28.0
+
+    def test_rotated_sustains(self, out):
+        for name in ("rotated serial", "managed rotated"):
+            row = out["rows"][name]
+            assert abs(row["latency_slope_ms_per_frame"]) < 1.0
+            assert row["sustained_fps"] > 28.0
+
+    def test_managed_bounds_latency(self, out):
+        assert (
+            out["rows"]["managed rotated"]["max_latency"]
+            <= out["rows"]["rotated serial"]["max_latency"]
+        )
+
+
+class TestMultiApp:
+    @pytest.fixture(scope="class")
+    def out(self, tiny_context):
+        return multiapp.run(tiny_context, n_frames=40)
+
+    def test_admission_check(self, out):
+        assert out["admitted"]
+        assert out["bandwidth_demand_mbps"] < out["bandwidth_capacity_mbps"]
+
+    def test_no_material_interference(self, out):
+        for name, r in out["rows"].items():
+            assert abs(r["interference_ms"]) < 1.0, name
+
+    def test_both_hold_budgets(self, out):
+        for name, r in out["rows"].items():
+            assert r["shared_max"] <= r["budget_ms"] * 1.2, name

@@ -1,0 +1,84 @@
+"""Tests for the switched flow graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.flowgraph import Edge, FlowGraph
+from repro.graph.task import TaskSpec
+from repro.imaging.pipeline import SwitchState
+from repro.util.units import KIB, MB
+
+
+def tiny_graph():
+    tasks = {
+        "A": TaskSpec("A", kind="stream", input_kb=100, intermediate_kb=0, output_kb=200),
+        "B": TaskSpec("B", kind="stream", input_kb=200, intermediate_kb=0, output_kb=50),
+        "C": TaskSpec("C", kind="feature", input_kb=1, intermediate_kb=1, output_kb=1),
+    }
+    edges = [
+        Edge(FlowGraph.INPUT, "A", 100),
+        Edge("A", "B", 200),
+        Edge("B", "C", 1),
+        Edge("C", FlowGraph.OUTPUT, 1),
+    ]
+
+    def activation(state: SwitchState):
+        names = ["A", "B"]
+        if state.reg_success:
+            names.append("C")
+        return names
+
+    return FlowGraph(tasks, edges, activation)
+
+
+class TestEdge:
+    def test_bandwidth_label(self):
+        e = Edge("A", "B", kb_per_frame=5120)
+        assert e.bandwidth_mbps(30.0) == pytest.approx(5120 * KIB * 30 / MB)
+
+
+class TestFlowGraph:
+    def test_unknown_edge_endpoint_rejected(self):
+        tasks = {"A": TaskSpec("A", kind="feature", input_kb=1, intermediate_kb=1, output_kb=1)}
+        with pytest.raises(ValueError):
+            FlowGraph(tasks, [Edge("A", "Z", 1)], lambda s: ["A"])
+
+    def test_active_tasks_by_state(self):
+        g = tiny_graph()
+        on = SwitchState(False, False, True)
+        off = SwitchState(False, False, False)
+        assert g.active_tasks(on) == ["A", "B", "C"]
+        assert g.active_tasks(off) == ["A", "B"]
+
+    def test_active_edges_follow_tasks(self):
+        g = tiny_graph()
+        off = SwitchState(False, False, False)
+        edges = g.active_edges(off)
+        assert ("B", "C") not in [(e.src, e.dst) for e in edges]
+
+    def test_total_bandwidth_scenario_dependent(self):
+        g = tiny_graph()
+        hi = g.total_bandwidth_mbps(SwitchState(False, False, True))
+        lo = g.total_bandwidth_mbps(SwitchState(False, False, False))
+        assert hi > lo
+
+    def test_predecessors_successors(self):
+        g = tiny_graph()
+        assert g.predecessors("B") == ["A"]
+        assert g.successors("B") == ["C"]
+        assert g.predecessors("A") == []  # INPUT is a pseudo-node
+
+    def test_activation_unknown_task_rejected(self):
+        g = tiny_graph()
+        g._activation = lambda s: ["A", "Z"]
+        with pytest.raises(ValueError):
+            g.active_tasks(SwitchState(False, False, False))
+
+    def test_execution_order_validates_dependencies(self):
+        g = tiny_graph()
+        order = g.execution_order(SwitchState(False, False, True))
+        assert order == ["A", "B", "C"]
+        g._activation = lambda s: ["B", "A"]  # violates A -> B
+        with pytest.raises(ValueError):
+            g.execution_order(SwitchState(False, False, False))

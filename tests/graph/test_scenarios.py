@@ -1,0 +1,51 @@
+"""Tests for the scenario enumeration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import ALL_SCENARIOS, Scenario, build_stentboost_graph
+from repro.graph.scenarios import scenario_name, scenario_table
+from repro.imaging.pipeline import SwitchState
+
+
+class TestScenario:
+    def test_ids_cover_range(self):
+        assert [sc.scenario_id for sc in ALL_SCENARIOS] == list(range(8))
+
+    def test_name_round_trips_state(self):
+        for sc in ALL_SCENARIOS:
+            name = sc.name
+            assert ("RDG" in name) == sc.state.rdg_on
+            assert ("ROI" in name) == sc.state.roi_mode
+            assert ("ok" in name) == sc.state.reg_success
+
+    def test_scenario_dataclass(self):
+        sc = Scenario(SwitchState(True, True, False))
+        assert sc.scenario_id == 6
+        assert sc.name == "RDG/ROI/fail"
+
+
+class TestScenarioTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return scenario_table(build_stentboost_graph())
+
+    def test_eight_rows_with_fields(self, rows):
+        assert len(rows) == 8
+        for row in rows:
+            assert set(row) == {"id", "name", "tasks", "bandwidth_mbps"}
+            assert row["bandwidth_mbps"] > 0
+            assert len(row["tasks"]) >= 4
+
+    def test_success_scenarios_have_more_tasks(self, rows):
+        by_id = {r["id"]: r for r in rows}
+        for fail_id, ok_id in ((0, 1), (2, 3), (4, 5), (6, 7)):
+            assert len(by_id[ok_id]["tasks"]) > len(by_id[fail_id]["tasks"])
+
+    def test_names_unique(self, rows):
+        names = [r["name"] for r in rows]
+        assert len(set(names)) == 8
+
+    def test_scenario_name_function(self):
+        assert scenario_name(SwitchState(False, True, True)) == "rdg-/ROI/ok"

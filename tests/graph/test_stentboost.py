@@ -1,0 +1,106 @@
+"""Tests for the StentBoost flow graph (Fig. 2 + Table 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import build_stentboost_graph
+from repro.graph.scenarios import ALL_SCENARIOS, scenario_name, scenario_table
+from repro.graph.stentboost import TABLE1_ROWS
+from repro.imaging.pipeline import SwitchState
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_stentboost_graph()
+
+
+class TestTable1Fidelity:
+    def test_rdg_full_row(self, graph):
+        spec = graph.tasks["RDG_FULL"]
+        assert (spec.input_kb, spec.intermediate_kb, spec.output_kb) == (
+            2048,
+            7168,
+            5120,
+        )
+
+    def test_all_paper_rows_present(self, graph):
+        mapping = {
+            ("RDG FULL", ""): "RDG_FULL",
+            ("RDG ROI", ""): "RDG_ROI",
+            ("MKX FULL", "-"): "MKX_FULL",
+            ("MKX ROI", "-"): "MKX_ROI",
+            ("MKX FULL", "x"): "MKX_FULL_RDG",
+            ("MKX ROI", "x"): "MKX_ROI_RDG",
+            ("ENH", ""): "ENH",
+            ("ZOOM", ""): "ZOOM",
+        }
+        for task, sel, in_kb, mid_kb, out_kb in TABLE1_ROWS:
+            spec = graph.tasks[mapping[(task, sel)]]
+            assert (spec.input_kb, spec.intermediate_kb, spec.output_kb) == (
+                in_kb,
+                mid_kb,
+                out_kb,
+            )
+
+    def test_feature_tasks_negligible(self, graph):
+        """Section 5.1: feature tasks are negligible in memory."""
+        for name in ("CPLS_SEL", "REG", "ROI_EST", "GW_EXT"):
+            assert graph.tasks[name].kind == "feature"
+            assert graph.tasks[name].total_kb < 8
+
+
+class TestParallelismClasses:
+    def test_streaming_tasks_divisible(self, graph):
+        """Section 6: RDG (and the other streaming tasks) partition
+        by data; CPLS SEL and GW EXT partition functionally."""
+        for name in ("RDG_FULL", "RDG_ROI", "ENH", "ZOOM"):
+            assert graph.tasks[name].divisible
+        for name in ("CPLS_SEL", "GW_EXT"):
+            assert graph.tasks[name].functional_parallel
+        for name in ("REG", "ROI_EST"):
+            assert not graph.tasks[name].divisible
+            assert not graph.tasks[name].functional_parallel
+
+
+class TestScenarios:
+    def test_eight_scenarios(self, graph):
+        assert len(ALL_SCENARIOS) == 8
+        rows = scenario_table(graph)
+        assert [r["id"] for r in rows] == list(range(8))
+
+    def test_worst_case_is_rdg_full_success(self, graph):
+        rows = scenario_table(graph)
+        worst = max(rows, key=lambda r: r["bandwidth_mbps"])
+        assert worst["id"] in (5, 7)  # RDG on + success
+        assert "RDG" in worst["name"] and "ok" in worst["name"]
+
+    def test_fail_scenarios_skip_enhancement(self, graph):
+        for sid in (0, 2, 4, 6):
+            tasks = graph.active_tasks(SwitchState.from_scenario_id(sid))
+            assert "ENH" not in tasks and "ZOOM" not in tasks
+
+    def test_rdg_selects_mkx_variant(self, graph):
+        with_rdg = graph.active_tasks(SwitchState(True, False, True))
+        without = graph.active_tasks(SwitchState(False, False, True))
+        assert "MKX_FULL_RDG" in with_rdg and "MKX_FULL" not in with_rdg
+        assert "MKX_FULL" in without and "MKX_FULL_RDG" not in without
+
+    def test_execution_order_valid_all_scenarios(self, graph):
+        for sc in ALL_SCENARIOS:
+            order = graph.execution_order(sc.state)
+            assert order[0] == "RDG_DETECT"
+
+    def test_scenario_names(self):
+        assert scenario_name(SwitchState(True, True, True)) == "RDG/ROI/ok"
+        assert scenario_name(SwitchState(False, False, False)) == "rdg-/FULL/fail"
+
+
+class TestFig2Labels:
+    def test_paper_rounded_labels(self, graph):
+        """Edge labels land on the paper's rounded MByte/s values."""
+        bw = graph.inter_task_bandwidth(SwitchState(True, False, True))
+        assert bw[("INPUT", "RDG_FULL")] == pytest.approx(60, abs=5)
+        assert bw[("RDG_FULL", "MKX_FULL_RDG")] == pytest.approx(150, abs=10)
+        assert bw[("ENH", "ZOOM")] == pytest.approx(30, abs=3)
+        assert bw[("ZOOM", "OUTPUT")] == pytest.approx(120, abs=7)

@@ -1,0 +1,32 @@
+"""Tests for task and phase specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.task import PhaseSpec, TaskSpec
+from repro.util.units import KIB
+
+
+class TestPhaseSpec:
+    def test_total_kb(self):
+        ph = PhaseSpec("p", (("a", 100.0), ("b", 28.0)))
+        assert ph.total_kb == 128.0
+
+
+class TestTaskSpec:
+    def test_totals(self):
+        spec = TaskSpec("T", kind="stream", input_kb=10, intermediate_kb=20, output_kb=30)
+        assert spec.total_kb == 60
+        assert spec.total_bytes == 60 * KIB
+        assert spec.intermediate_bytes == 20 * KIB
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            TaskSpec("T", kind="gpu", input_kb=0, intermediate_kb=0, output_kb=0)
+
+    def test_defaults(self):
+        spec = TaskSpec("T", kind="feature", input_kb=1, intermediate_kb=1, output_kb=1)
+        assert not spec.divisible
+        assert not spec.functional_parallel
+        assert spec.phases == ()

@@ -1,0 +1,53 @@
+"""Tests for the bandwidth ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.bus import BandwidthLedger
+from repro.util.units import MB
+
+
+class TestBandwidthLedger:
+    def test_record_and_totals(self):
+        led = BandwidthLedger()
+        led.record("bus", 100)
+        led.record("bus", 50)
+        led.record("dram", 25)
+        assert led.total_bytes("bus") == 150
+        assert led.total_bytes() == 175
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BandwidthLedger().record("x", -1)
+
+    def test_bandwidth_per_frame(self):
+        led = BandwidthLedger()
+        for _ in range(10):
+            led.record("dram", 2 * MB)
+            led.frame_done()
+        assert led.bytes_per_frame("dram") == pytest.approx(2 * MB)
+        assert led.bandwidth_mbps("dram", rate_hz=30) == pytest.approx(60.0)
+
+    def test_no_frames_zero_rate(self):
+        led = BandwidthLedger()
+        led.record("dram", 100)
+        assert led.bandwidth_mbps("dram") == 0.0
+
+    def test_links_sorted(self):
+        led = BandwidthLedger()
+        led.record("z", 1)
+        led.record("a", 1)
+        assert led.links() == ["a", "z"]
+
+    def test_merge(self):
+        a, b = BandwidthLedger(), BandwidthLedger()
+        a.record("bus", 10)
+        a.frame_done()
+        b.record("bus", 20)
+        b.record("dram", 5)
+        b.frame_done()
+        a.merge(b)
+        assert a.total_bytes("bus") == 30
+        assert a.total_bytes("dram") == 5
+        assert a.frames == 2

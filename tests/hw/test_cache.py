@@ -1,0 +1,107 @@
+"""Tests for the space-time cache-occupancy model (Fig. 5)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.task import PhaseSpec
+from repro.hw.cache import analyze_report, phase_occupancy
+from repro.imaging.common import BufferAccess, WorkReport
+from repro.util.units import KIB, MIB
+
+
+def report(buffers, bytes_in=0, bytes_out=0, task="T"):
+    return WorkReport(
+        task=task,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+        buffers=tuple(buffers),
+    )
+
+
+class TestPhaseOccupancy:
+    def test_fitting_phase_no_eviction(self):
+        phases = [PhaseSpec("p", (("a", 1024), ("b", 1024)))]
+        occ = phase_occupancy(phases, capacity_bytes=4 * MIB)
+        assert occ[0].evicted_bytes == 0
+        assert occ[0].resident_bytes == occ[0].active_bytes
+
+    def test_overflow_phase_evicts_excess(self):
+        phases = [PhaseSpec("p", (("a", 6144),))]  # 6 MB vs 4 MB L2
+        occ = phase_occupancy(phases, capacity_bytes=4 * MIB)
+        assert occ[0].evicted_bytes == 2 * MIB
+        assert occ[0].resident_bytes == 4 * MIB
+        assert occ[0].overflows
+
+    def test_rdg_full_phases_overflow(self):
+        """The Fig. 5 headline: RDG FULL's middle phases evict."""
+        from repro.graph import build_stentboost_graph
+
+        graph = build_stentboost_graph()
+        occ = phase_occupancy(graph.tasks["RDG_FULL"].phases, 4 * MIB)
+        assert any(p.overflows for p in occ)
+        assert occ[0].evicted_bytes <= occ[2].evicted_bytes  # ramps up
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            phase_occupancy([], 0)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1.0, max_value=20_000.0), min_size=1, max_size=6
+        ),
+        st.integers(min_value=1 * KIB, max_value=16 * MIB),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_conservation(self, sizes, capacity):
+        phases = [PhaseSpec("p", tuple((f"b{i}", s) for i, s in enumerate(sizes)))]
+        occ = phase_occupancy(phases, capacity)[0]
+        assert occ.resident_bytes + occ.evicted_bytes == occ.active_bytes
+        assert occ.resident_bytes <= capacity
+
+
+class TestAnalyzeReport:
+    def test_fitting_working_set(self):
+        rep = report([BufferAccess("a", 1 * MIB), BufferAccess("b", 2 * MIB)])
+        usage = analyze_report(rep, 4 * MIB)
+        assert usage.fits
+        assert usage.eviction_bytes == 0
+
+    def test_overflow_generates_eviction(self):
+        rep = report(
+            [BufferAccess("a", 6 * MIB, passes=2.0)],
+            bytes_in=1 * MIB,
+            bytes_out=1 * MIB,
+        )
+        usage = analyze_report(rep, 4 * MIB)
+        assert not usage.fits
+        # lost fraction = 2/6; touched = 12 MiB -> eviction = 4 MiB.
+        assert usage.eviction_bytes == pytest.approx(4 * MIB, rel=1e-6)
+        assert usage.external_bytes == usage.compulsory_bytes + usage.eviction_bytes
+
+    def test_pixel_scale_rescales(self):
+        rep = report([BufferAccess("a", 512 * KIB)])
+        small = analyze_report(rep, 4 * MIB, pixel_scale=1.0)
+        scaled = analyze_report(rep, 4 * MIB, pixel_scale=16.0)
+        assert small.fits
+        assert scaled.working_set_bytes == 16 * small.working_set_bytes
+        assert not scaled.fits
+
+    def test_compulsory_traffic(self):
+        rep = report([], bytes_in=100, bytes_out=50)
+        usage = analyze_report(rep, 4 * MIB)
+        assert usage.compulsory_bytes == 150
+
+    @given(
+        st.integers(min_value=1, max_value=64 * MIB),
+        st.integers(min_value=1 * KIB, max_value=64 * MIB),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_more_capacity_less_eviction(self, size, capacity):
+        rep = report([BufferAccess("a", size, passes=2.0)])
+        small_cap = analyze_report(rep, capacity)
+        big_cap = analyze_report(rep, capacity * 2)
+        assert big_cap.eviction_bytes <= small_cap.eviction_bytes
+        assert small_cap.eviction_bytes >= 0

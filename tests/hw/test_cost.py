@@ -1,0 +1,135 @@
+"""Tests for the calibrated cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.cost import DEFAULT_TASK_COSTS, CostModel, TaskCostSpec
+from repro.hw.spec import blackford
+from repro.imaging.common import BufferAccess, WorkReport
+
+
+def rep(task="REG", pixels=0, counts=None, buffers=(), bytes_in=0, bytes_out=0):
+    return WorkReport(
+        task=task,
+        pixels=pixels,
+        bytes_in=bytes_in,
+        bytes_out=bytes_out,
+        buffers=tuple(buffers),
+        counts=dict(counts or {}),
+    )
+
+
+@pytest.fixture()
+def model():
+    return CostModel(blackford(), pixel_scale=16.0, seed=0)
+
+
+class TestCostModel:
+    def test_fixed_only_task(self, model):
+        b = model.time_ms(rep("REG"), with_jitter=False)
+        assert b.total_ms == pytest.approx(DEFAULT_TASK_COSTS["REG"].fixed_ms)
+
+    def test_pixel_term_scales_linearly(self, model):
+        a = model.time_ms(rep("ENH", pixels=10_000), with_jitter=False)
+        b = model.time_ms(rep("ENH", pixels=20_000), with_jitter=False)
+        fixed = DEFAULT_TASK_COSTS["ENH"].fixed_ms
+        assert (b.total_ms - fixed) == pytest.approx(2 * (a.total_ms - fixed))
+
+    def test_count_scaling_modes(self, model):
+        # 'none' count: unaffected by pixel_scale.
+        b16 = model.time_ms(
+            rep("CPLS_SEL", counts={"pairs_tested": 100}), with_jitter=False
+        )
+        m1 = CostModel(blackford(), pixel_scale=1.0, seed=0)
+        b1 = m1.time_ms(
+            rep("CPLS_SEL", counts={"pairs_tested": 100}), with_jitter=False
+        )
+        assert b16.total_ms == pytest.approx(b1.total_ms)
+        # 'area' count: scales with pixel_scale.
+        r = rep("RDG_FULL", counts={"ridge_pixels": 1000})
+        assert model.time_ms(r, with_jitter=False).content_ms == pytest.approx(
+            16 * m1.time_ms(r, with_jitter=False).content_ms
+        )
+
+    def test_unknown_task_raises(self, model):
+        with pytest.raises(KeyError):
+            model.time_ms(rep("NOPE"))
+
+    def test_jitter_deterministic_per_key(self, model):
+        r = rep("ENH", pixels=100_000)
+        a = model.time_ms(r, frame_key=(1, 2))
+        b = model.time_ms(r, frame_key=(1, 2))
+        c = model.time_ms(r, frame_key=(1, 3))
+        assert a.jitter_ms == b.jitter_ms
+        assert a.jitter_ms != c.jitter_ms
+
+    def test_jitter_small_relative(self, model):
+        r = rep("ENH", pixels=131_072 * 2)
+        vals = [
+            model.time_ms(r, frame_key=(k,)).jitter_ms
+            / model.time_ms(r, frame_key=(k,)).noise_free_ms
+            for k in range(200)
+        ]
+        assert max(abs(v) for v in vals) < 0.30  # spikes bounded
+        assert sum(abs(v) < 0.05 for v in vals) > 150  # mostly small
+
+    def test_cache_stall_included(self, model):
+        big = rep(
+            "ENH",
+            pixels=131_072,
+            buffers=[BufferAccess("acc", 12 * 2**20, passes=2.0)],
+        )
+        b = model.time_ms(big, with_jitter=False)
+        assert b.cache_stall_ms > 0
+        assert b.total_ms == pytest.approx(
+            b.base_ms + b.content_ms + b.cache_stall_ms
+        )
+
+    def test_invalid_pixel_scale(self):
+        with pytest.raises(ValueError):
+            CostModel(blackford(), pixel_scale=0.0)
+
+    def test_custom_task_costs(self):
+        m = CostModel(
+            blackford(),
+            task_costs={"X": TaskCostSpec(fixed_ms=7.0)},
+        )
+        assert m.time_ms(rep("X"), with_jitter=False).total_ms == 7.0
+
+
+class TestCalibration:
+    """Mean simulated times must match Table 2(b) (native geometry)."""
+
+    @pytest.fixture(scope="class")
+    def task_means(self, traces):
+        import numpy as np
+
+        return {
+            t: float(np.mean(traces.task_values(t)))
+            for t in traces.tasks()
+        }
+
+    @pytest.mark.parametrize(
+        "task,expected,tol",
+        [
+            ("REG", 2.0, 0.1),
+            ("ROI_EST", 1.0, 0.1),
+            ("ENH", 24.0, 2.0),
+            ("ZOOM", 12.5, 1.0),
+        ],
+    )
+    def test_constant_tasks(self, task_means, task, expected, tol):
+        assert task_means[task] == pytest.approx(expected, abs=tol)
+
+    def test_mkx_near_paper(self, task_means):
+        # Table 2(b): MKX EXT = 2.5 ms (full-frame granularity).
+        assert 2.0 <= task_means.get("MKX_FULL", 2.5) <= 3.5
+
+    def test_rdg_full_in_fig3_band(self, traces):
+        import numpy as np
+
+        vals = traces.task_values("RDG_FULL")
+        if vals.size == 0:
+            pytest.skip("no RDG_FULL executions in the small corpus")
+        assert 30.0 <= float(np.mean(vals)) <= 60.0

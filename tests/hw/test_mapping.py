@@ -1,0 +1,38 @@
+"""Tests for task-to-core mappings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.mapping import Mapping
+
+
+class TestMapping:
+    def test_serial_default(self):
+        m = Mapping.serial(core=2)
+        assert m.cores_for("ANY") == (2,)
+        assert m.partitions("ANY") == 1
+        assert m.max_core() == 2
+
+    def test_with_partition(self):
+        m = Mapping.serial().with_partition("RDG_FULL", (0, 1, 2))
+        assert m.cores_for("RDG_FULL") == (0, 1, 2)
+        assert m.partitions("RDG_FULL") == 3
+        assert m.cores_for("ENH") == (0,)
+        assert m.max_core() == 2
+
+    def test_immutability(self):
+        base = Mapping.serial()
+        derived = base.with_partition("T", (0, 1))
+        assert base.cores_for("T") == (0,)
+        assert derived.cores_for("T") == (0, 1)
+
+    def test_without(self):
+        m = Mapping.serial().with_partition("T", (0, 1)).without("T")
+        assert m.cores_for("T") == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Mapping(assignments={"T": ()})
+        with pytest.raises(ValueError):
+            Mapping(assignments={"T": (1, 1)})

@@ -1,0 +1,64 @@
+"""Tests for the platform specification (Fig. 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.spec import CacheSpec, PlatformSpec, blackford
+from repro.util.units import GB, KIB, MIB
+
+
+class TestCacheSpec:
+    def test_lines(self):
+        c = CacheSpec(capacity_bytes=4 * MIB, line_bytes=64)
+        assert c.lines == 4 * MIB // 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CacheSpec(capacity_bytes=0)
+
+
+class TestBlackford:
+    def test_paper_parameters(self):
+        p = blackford()
+        assert p.n_cores == 8
+        assert p.core_hz == pytest.approx(2.327e9)
+        assert p.l1.capacity_bytes == 32 * KIB
+        assert p.l2.capacity_bytes == 4 * MIB
+        assert p.n_l2 == 4
+        assert p.l2.sharers == 2
+        assert p.l2_bus_bw == 29 * GB
+        assert p.dram_channels == 4
+        assert p.dram_stream_bw == pytest.approx(3.83 * GB)
+
+    def test_l2_clustering(self):
+        p = blackford()
+        assert p.l2_cluster(0) == p.l2_cluster(1) == 0
+        assert p.l2_cluster(2) == 1
+        assert p.share_l2(0, 1)
+        assert not p.share_l2(1, 2)
+
+    def test_cluster_bounds(self):
+        p = blackford()
+        with pytest.raises(ValueError):
+            p.l2_cluster(8)
+
+    def test_cycle_conversions_roundtrip(self):
+        p = blackford()
+        assert p.cycles_to_ms(p.ms_to_cycles(12.5)) == pytest.approx(12.5)
+
+    def test_invalid_core_sharer_combo(self):
+        with pytest.raises(ValueError):
+            PlatformSpec(
+                name="bad",
+                n_cores=7,
+                core_hz=1e9,
+                l1=CacheSpec(32 * KIB),
+                l2=CacheSpec(4 * MIB, sharers=2),
+                core_l1_bw=1e9,
+                l1_l2_bw=1e9,
+                l2_bus_bw=1e9,
+                dram_channels=1,
+                dram_random_bw=1e9,
+                dram_stream_bw=1e9,
+            )

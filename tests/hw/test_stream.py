@@ -1,0 +1,95 @@
+"""Tests for pipelined multi-frame simulation and mapping rotation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.cost import CostModel, TaskCostSpec
+from repro.hw.mapping import Mapping
+from repro.hw.simulator import PlatformSimulator
+from repro.hw.spec import blackford
+from repro.imaging.common import WorkReport
+
+
+def make_sim(task_ms: float = 50.0) -> PlatformSimulator:
+    cm = CostModel(
+        blackford(),
+        pixel_scale=1.0,
+        jitter_sigma=1e-12,
+        spike_prob=0.0,
+        task_costs={"T": TaskCostSpec(fixed_ms=task_ms)},
+    )
+    return PlatformSimulator(blackford(), cm)
+
+
+def frames(n: int, mapping_fn) -> list:
+    return [
+        ({"T": WorkReport(task="T")}, mapping_fn(k), ("s", k)) for k in range(n)
+    ]
+
+
+class TestMappingRotated:
+    def test_rotation_shifts_cores(self):
+        m = Mapping.serial().with_partition("T", (0, 1))
+        r = m.rotated(3, 8)
+        assert r.cores_for("T") == (3, 4)
+        assert r.default_core == 3
+
+    def test_rotation_wraps(self):
+        m = Mapping.serial(core=6).with_partition("T", (6, 7))
+        r = m.rotated(3, 8)
+        assert r.cores_for("T") == (1, 2)
+        assert r.default_core == 1
+
+    def test_identity_rotation(self):
+        m = Mapping.serial().with_partition("T", (0, 2))
+        assert m.rotated(0, 8).cores_for("T") == (0, 2)
+        assert m.rotated(8, 8).cores_for("T") == (0, 2)
+
+    def test_invalid_n_cores(self):
+        with pytest.raises(ValueError):
+            Mapping.serial().rotated(1, 0)
+
+
+class TestSimulateStream:
+    def test_single_core_queues(self):
+        """Task 50 ms, period 33 ms, one core: latency grows ~17 ms/frame."""
+        sim = make_sim(50.0)
+        res = sim.simulate_stream(frames(20, lambda k: Mapping.serial()), 100.0 / 3)
+        lat = np.array([r.latency_ms for r in res])
+        diffs = np.diff(lat)
+        assert np.all(diffs > 10.0)  # unbounded queueing
+        assert lat[0] == pytest.approx(50.0)
+
+    def test_rotation_sustains_throughput(self):
+        """Task 50 ms, period 33 ms, 8 cores round-robin: stable."""
+        sim = make_sim(50.0)
+        res = sim.simulate_stream(
+            frames(24, lambda k: Mapping.serial(core=k % 8)), 100.0 / 3
+        )
+        lat = np.array([r.latency_ms for r in res])
+        np.testing.assert_allclose(lat, 50.0, atol=1e-6)
+
+    def test_underloaded_stream_matches_isolated(self):
+        """Period longer than the task: every frame sees idle cores."""
+        sim = make_sim(10.0)
+        res = sim.simulate_stream(frames(5, lambda k: Mapping.serial()), 20.0)
+        for r in res:
+            assert r.latency_ms == pytest.approx(10.0)
+
+    def test_invalid_period(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            sim.simulate_stream([], 0.0)
+
+    def test_latency_includes_queueing_delay(self):
+        sim = make_sim(40.0)
+        res = sim.simulate_stream(frames(2, lambda k: Mapping.serial()), 10.0)
+        # Frame 1 arrives at t=10 but core frees at t=40.
+        assert res[1].latency_ms == pytest.approx(40.0 - 10.0 + 40.0)
+
+    def test_stream_ledger_counts_all_frames(self):
+        sim = make_sim(5.0)
+        sim.simulate_stream(frames(7, lambda k: Mapping.serial()), 50.0)
+        assert sim.ledger.frames == 7

@@ -1,0 +1,60 @@
+"""Tests for explicit-arrival stream simulation (multi-app support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.cost import CostModel, TaskCostSpec
+from repro.hw.mapping import Mapping
+from repro.hw.simulator import PlatformSimulator
+from repro.hw.spec import blackford
+from repro.imaging.common import WorkReport
+
+
+def make_sim(task_ms: float = 20.0) -> PlatformSimulator:
+    cm = CostModel(
+        blackford(),
+        pixel_scale=1.0,
+        jitter_sigma=1e-12,
+        spike_prob=0.0,
+        task_costs={"T": TaskCostSpec(fixed_ms=task_ms)},
+    )
+    return PlatformSimulator(blackford(), cm)
+
+
+def frame(core: int, key):
+    return ({"T": WorkReport(task="T")}, Mapping.serial(core=core), key)
+
+
+class TestExplicitArrivals:
+    def test_simultaneous_arrivals_on_distinct_cores(self):
+        sim = make_sim(20.0)
+        frames = [frame(0, ("a",)), frame(1, ("b",))]
+        res = sim.simulate_stream(frames, 33.3, arrivals=[0.0, 0.0])
+        assert res[0].latency_ms == pytest.approx(20.0)
+        assert res[1].latency_ms == pytest.approx(20.0)
+
+    def test_simultaneous_arrivals_same_core_queue(self):
+        sim = make_sim(20.0)
+        frames = [frame(0, ("a",)), frame(0, ("b",))]
+        res = sim.simulate_stream(frames, 33.3, arrivals=[0.0, 0.0])
+        assert res[0].latency_ms == pytest.approx(20.0)
+        assert res[1].latency_ms == pytest.approx(40.0)
+
+    def test_length_mismatch_rejected(self):
+        sim = make_sim()
+        with pytest.raises(ValueError):
+            sim.simulate_stream([frame(0, ("a",))], 33.3, arrivals=[0.0, 1.0])
+
+    def test_decreasing_arrivals_rejected(self):
+        sim = make_sim()
+        frames = [frame(0, ("a",)), frame(0, ("b",))]
+        with pytest.raises(ValueError):
+            sim.simulate_stream(frames, 33.3, arrivals=[5.0, 1.0])
+
+    def test_arrivals_override_period(self):
+        sim = make_sim(5.0)
+        frames = [frame(0, ("a",)), frame(0, ("b",))]
+        res = sim.simulate_stream(frames, 1000.0, arrivals=[0.0, 7.0])
+        # Second frame starts at its arrival (7.0 >= core free 5.0).
+        assert res[1].latency_ms == pytest.approx(5.0)

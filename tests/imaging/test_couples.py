@@ -1,0 +1,81 @@
+"""Tests for couples selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.imaging.couples import select_couple
+from repro.imaging.markers import MarkerCandidates
+
+
+def cands(positions, scores=None):
+    pos = np.asarray(positions, dtype=np.float64).reshape(-1, 2)
+    sc = (
+        np.asarray(scores, dtype=np.float64)
+        if scores is not None
+        else np.ones(len(pos))
+    )
+    return MarkerCandidates(positions=pos, scores=sc, n_raw=len(pos))
+
+
+class TestSelectCouple:
+    def test_picks_pair_at_expected_distance(self):
+        c = cands([(0, 0), (0, 24), (0, 60)])
+        result, _ = select_couple(c, expected_distance=24.0)
+        assert result.found
+        got = {tuple(np.round(result.marker_a)), tuple(np.round(result.marker_b))}
+        assert got == {(0.0, 0.0), (0.0, 24.0)}
+
+    def test_no_admissible_pair(self):
+        c = cands([(0, 0), (0, 100)])
+        result, _ = select_couple(c, expected_distance=24.0)
+        assert not result.found
+        with pytest.raises(ValueError):
+            result.positions()
+
+    def test_fewer_than_two_candidates(self):
+        for c in (cands(np.empty((0, 2))), cands([(5, 5)])):
+            result, rep = select_couple(c, 24.0)
+            assert not result.found
+            assert rep.count("pairs_tested") == 0
+
+    def test_prefers_higher_scores_among_admissible(self):
+        c = cands(
+            [(0, 0), (0, 24), (50, 0), (50, 24)],
+            scores=[1.0, 1.0, 5.0, 5.0],
+        )
+        result, _ = select_couple(c, 24.0)
+        assert result.found
+        assert result.marker_a[0] == pytest.approx(50.0)
+
+    def test_distance_tolerance(self):
+        c = cands([(0, 0), (0, 28)])
+        loose, _ = select_couple(c, 24.0, distance_tol=0.25)
+        tight, _ = select_couple(c, 24.0, distance_tol=0.05)
+        assert loose.found and not tight.found
+
+    def test_pairs_tested_quadratic(self):
+        n = 10
+        pos = [(float(i * 3), 0.0) for i in range(n)]
+        _, rep = select_couple(cands(pos), 24.0)
+        assert rep.count("pairs_tested") == n * (n - 1) // 2
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            select_couple(cands([(0, 0), (0, 1)]), expected_distance=0.0)
+
+    @given(st.integers(min_value=2, max_value=16), st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_selected_pair_is_admissible(self, n, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 100, size=(n, 2))
+        c = cands(pos, rng.uniform(0.1, 1.0, n))
+        result, _ = select_couple(c, expected_distance=30.0, distance_tol=0.2)
+        if result.found:
+            d = np.linalg.norm(
+                np.asarray(result.marker_a) - np.asarray(result.marker_b)
+            )
+            assert abs(d - 30.0) / 30.0 <= 0.2 + 1e-9

@@ -1,0 +1,76 @@
+"""Tests for detection-quality evaluation (application guardrails)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.imaging.couples import CoupleResult
+from repro.imaging.evaluation import couple_error_px, evaluate_detection
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.synthetic.sequence import FrameTruth, SequenceConfig, XRaySequence
+from repro.synthetic.motion import RigidOffset
+
+
+def truth_at(a, b):
+    return FrameTruth(
+        index=0,
+        marker_a=a,
+        marker_b=b,
+        offset=RigidOffset(0, 0, 0),
+        contrast=1.0,
+        clutter_activity=0.0,
+        marker_visibility=1.0,
+    )
+
+
+class TestCoupleError:
+    def test_exact_match(self):
+        c = CoupleResult(True, (10.0, 10.0), (10.0, 34.0), 1.0, 1)
+        assert couple_error_px(c, truth_at((10, 10), (10, 34))) == 0.0
+
+    def test_swapped_assignment(self):
+        c = CoupleResult(True, (10.0, 34.0), (10.0, 10.0), 1.0, 1)
+        assert couple_error_px(c, truth_at((10, 10), (10, 34))) == 0.0
+
+    def test_worst_of_pair(self):
+        c = CoupleResult(True, (10.0, 10.0), (10.0, 39.0), 1.0, 1)
+        assert couple_error_px(c, truth_at((10, 10), (10, 34))) == pytest.approx(5.0)
+
+
+class TestEvaluateDetection:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        seq = XRaySequence(SequenceConfig(n_frames=40, seed=11, visibility_dips=0))
+        pipe = StentBoostPipeline(
+            PipelineConfig(
+                expected_distance=seq.config.resolved_phantom().marker_separation
+            )
+        )
+        return evaluate_detection(seq, pipe)
+
+    def test_application_quality_guardrails(self, metrics):
+        """The imaging substrate must stay clinically plausible --
+        every timing experiment builds on these rates."""
+        assert metrics.n_frames == 40
+        assert metrics.couple_rate > 0.9
+        assert metrics.couple_correct_rate > 0.85
+        assert metrics.median_error_px < 1.5
+        assert metrics.marker_recall > 0.9
+
+    def test_tracking_continuity(self, metrics):
+        assert metrics.track_longest_run >= 10
+
+    def test_degraded_content_degrades_metrics(self):
+        """Heavy visibility dips must show up in the metrics (the
+        metric responds to content, not just to code)."""
+        seq = XRaySequence(
+            SequenceConfig(n_frames=40, seed=11, visibility_dips=3)
+        )
+        pipe = StentBoostPipeline(
+            PipelineConfig(
+                expected_distance=seq.config.resolved_phantom().marker_separation
+            )
+        )
+        degraded = evaluate_detection(seq, pipe)
+        assert degraded.couple_correct_rate <= 1.0
+        assert degraded.marker_recall < 1.0

@@ -1,0 +1,66 @@
+"""Tests for guide-wire extraction / marker stability validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.guidewire import extract_guidewire
+from repro.synthetic.phantom import rasterize_polyline, stamp_gaussian_blob
+
+
+def image_with_wire(a, b, size=128, wire=True):
+    img = np.full((size, size), 0.75, dtype=np.float32)
+    if wire:
+        pts = np.stack([np.asarray(a, float), np.asarray(b, float)])
+        img -= rasterize_polyline((size, size), pts, width_sigma=0.9, amplitude=0.25)
+    stamp_gaussian_blob(img, a, sigma=1.8, amplitude=-0.45)
+    stamp_gaussian_blob(img, b, sigma=1.8, amplitude=-0.45)
+    return img
+
+
+class TestExtractGuidewire:
+    def test_wire_present_stable(self):
+        a, b = (60.0, 30.0), (60.0, 90.0)
+        res, rep = extract_guidewire(image_with_wire(a, b), a, b)
+        assert res.stable
+        assert res.support > 0.8
+        assert rep.task == "GW_EXT"
+
+    def test_no_wire_unstable(self):
+        a, b = (60.0, 30.0), (60.0, 90.0)
+        res, _ = extract_guidewire(image_with_wire(a, b, wire=False), a, b)
+        assert not res.stable
+
+    def test_sagging_wire_found_by_perpendicular_search(self):
+        a, b = (60.0, 30.0), (60.0, 90.0)
+        img = np.full((128, 128), 0.75, dtype=np.float32)
+        sag = np.array([[60.0, 30.0], [63.0, 60.0], [60.0, 90.0]])
+        img -= rasterize_polyline((128, 128), sag, width_sigma=0.9, amplitude=0.25)
+        res, _ = extract_guidewire(img, a, b)
+        assert res.stable
+
+    def test_degenerate_markers(self):
+        img = np.full((64, 64), 0.75, dtype=np.float32)
+        res, _ = extract_guidewire(img, (32.0, 32.0), (32.0, 32.5))
+        assert not res.stable
+        assert res.support == 0.0
+
+    def test_path_shape(self):
+        a, b = (60.0, 30.0), (60.0, 90.0)
+        res, _ = extract_guidewire(image_with_wire(a, b), a, b)
+        assert res.path.ndim == 2 and res.path.shape[1] == 2
+
+    def test_work_scales_with_separation(self):
+        img = image_with_wire((60.0, 20.0), (60.0, 110.0))
+        _, rep_long = extract_guidewire(img, (60.0, 20.0), (60.0, 110.0))
+        img2 = image_with_wire((60.0, 50.0), (60.0, 70.0))
+        _, rep_short = extract_guidewire(img2, (60.0, 50.0), (60.0, 70.0))
+        assert rep_long.count("path_samples") > rep_short.count("path_samples")
+        assert rep_long.count("band_pixels") > rep_short.count("band_pixels")
+
+    def test_near_edge_markers_safe(self):
+        a, b = (2.0, 2.0), (2.0, 26.0)
+        img = image_with_wire(a, b)
+        res, _ = extract_guidewire(img, a, b)
+        assert isinstance(res.stable, bool)

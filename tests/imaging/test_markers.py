@@ -1,0 +1,88 @@
+"""Tests for marker (punctual dark zone) extraction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.markers import extract_markers
+from repro.imaging.ridge import ridge_filter
+from repro.synthetic.phantom import rasterize_polyline, stamp_gaussian_blob
+
+
+def make_marker_image(positions, size=128, amplitude=0.45, with_wire=False):
+    img = np.full((size, size), 0.75, dtype=np.float32)
+    for p in positions:
+        stamp_gaussian_blob(img, p, sigma=1.8, amplitude=-amplitude)
+    if with_wire and len(positions) >= 2:
+        pts = np.asarray(positions[:2], dtype=np.float64)
+        img -= rasterize_polyline((size, size), pts, width_sigma=0.9, amplitude=0.2)
+    return img
+
+
+class TestExtractMarkers:
+    def test_finds_isolated_markers(self):
+        truth = [(40.0, 40.0), (80.0, 90.0)]
+        cands, rep = extract_markers(make_marker_image(truth))
+        assert len(cands) >= 2
+        for t in truth:
+            d = np.linalg.norm(cands.positions - np.asarray(t), axis=1).min()
+            assert d < 1.5
+        assert rep.count("candidates") == len(cands)
+
+    def test_markers_on_wire_still_found(self):
+        """The punctuality screen must keep blobs that sit on a line
+        (the clinical configuration: markers threaded on the wire)."""
+        truth = [(60.0, 40.0), (60.0, 90.0)]
+        img = make_marker_image(truth, with_wire=True)
+        cands, _ = extract_markers(img)
+        for t in truth:
+            d = np.linalg.norm(cands.positions - np.asarray(t), axis=1).min()
+            assert d < 1.5
+
+    def test_pure_line_rejected(self):
+        img = np.full((128, 128), 0.75, dtype=np.float32)
+        pts = np.array([[64.0, 10.0], [64.0, 118.0]])
+        img -= rasterize_polyline((128, 128), pts, width_sigma=1.5, amplitude=0.4)
+        cands, _ = extract_markers(img)
+        # Line interior peaks must not survive the punctuality screen
+        # (endpoints may: the response does drop in most directions).
+        for p in cands.positions:
+            assert not (20 < p[1] < 108 and abs(p[0] - 64) < 3)
+
+    def test_empty_image_no_candidates(self):
+        cands, _ = extract_markers(np.full((64, 64), 0.7, dtype=np.float32))
+        assert len(cands) == 0
+
+    def test_scores_sorted_descending(self):
+        truth = [(30.0, 30.0), (90.0, 90.0), (30.0, 90.0)]
+        cands, _ = extract_markers(make_marker_image(truth))
+        assert np.all(np.diff(cands.scores) <= 1e-12)
+
+    def test_max_candidates_respected(self):
+        rng = np.random.default_rng(0)
+        pos = [(float(r), float(c)) for r, c in rng.uniform(10, 118, (30, 2))]
+        cands, _ = extract_markers(make_marker_image(pos), max_candidates=5)
+        assert len(cands) <= 5
+
+    def test_ridge_variant_report(self):
+        truth = [(40.0, 40.0), (80.0, 90.0)]
+        img = make_marker_image(truth, with_wire=True)
+        ridge, _ = ridge_filter(img)
+        _, rep = extract_markers(img, ridge=ridge, task="MKX_FULL_RDG")
+        assert rep.task == "MKX_FULL_RDG"
+        assert rep.count("with_ridge") == 1.0
+        # Table 1: the RDG-selected variant reads response + mask too.
+        px = img.size
+        assert rep.bytes_in == px * 2 + px * 4 + px
+
+    def test_subpixel_accuracy(self):
+        truth = [(40.25, 40.75), (80.5, 90.5)]
+        cands, _ = extract_markers(make_marker_image(truth))
+        for t in truth:
+            d = np.linalg.norm(cands.positions - np.asarray(t), axis=1).min()
+            assert d < 0.75
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            extract_markers(np.zeros(16, dtype=np.float32))

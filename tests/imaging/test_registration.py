@@ -1,0 +1,98 @@
+"""Tests for temporal registration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.couples import CoupleResult
+from repro.imaging.registration import RigidTransform, register_couples
+
+
+def couple(a, b):
+    return CoupleResult(True, tuple(a), tuple(b), 1.0, 1)
+
+
+def missing():
+    return CoupleResult(False, None, None, float("-inf"), 0)
+
+
+SEP = 24.0
+
+
+class TestRegisterCouples:
+    def test_identity_when_same(self):
+        c = couple((10, 10), (10, 34))
+        t, rep = register_couples(c, c, SEP)
+        assert t.success
+        assert t.dy == pytest.approx(0.0, abs=1e-9)
+        assert t.dx == pytest.approx(0.0, abs=1e-9)
+        assert t.angle == pytest.approx(0.0, abs=1e-9)
+        assert rep.counts["failure"] == 0.0
+
+    def test_pure_translation_recovered(self):
+        ref = couple((10, 10), (10, 34))
+        cur = couple((13, 8), (13, 32))
+        t, _ = register_couples(cur, ref, SEP)
+        assert t.success
+        mapped = t.apply(cur.marker_a)
+        assert mapped == pytest.approx(ref.marker_a, abs=1e-9)
+
+    def test_rotation_recovered(self):
+        ref = couple((0, -12), (0, 12))
+        ang = 0.2
+        rot = np.array([[np.cos(ang), -np.sin(ang)], [np.sin(ang), np.cos(ang)]])
+        a = rot @ np.array([0.0, -12.0])
+        b = rot @ np.array([0.0, 12.0])
+        cur = couple(a, b)
+        t, _ = register_couples(cur, ref, SEP)
+        assert t.success
+        assert abs(t.angle) == pytest.approx(ang, abs=1e-6)
+        np.testing.assert_allclose(t.apply(cur.marker_a), ref.marker_a, atol=1e-6)
+        np.testing.assert_allclose(t.apply(cur.marker_b), ref.marker_b, atol=1e-6)
+
+    def test_marker_order_invariance(self):
+        ref = couple((10, 10), (10, 34))
+        cur = couple((11, 35), (11, 11))  # swapped order + shift
+        t, _ = register_couples(cur, ref, SEP)
+        assert t.success
+        assert abs(t.angle) < 0.1  # no spurious 180-degree flip
+
+    def test_missing_couple_fails(self):
+        ref = couple((10, 10), (10, 34))
+        for cur, r in [(missing(), ref), (ref, missing()), (missing(), missing())]:
+            t, rep = register_couples(cur, r, SEP)
+            assert not t.success
+            assert rep.counts["failure"] == 1.0
+
+    def test_excessive_motion_rejected(self):
+        ref = couple((10, 10), (10, 34))
+        cur = couple((60, 10), (60, 34))  # 50 px jump >> 0.8 * 24
+        t, _ = register_couples(cur, ref, SEP)
+        assert not t.success
+
+    def test_separation_drift_rejected(self):
+        ref = couple((10, 10), (10, 34))
+        cur = couple((10, 10), (10, 44))  # separation 34 vs 24
+        t, _ = register_couples(cur, ref, SEP)
+        assert not t.success
+
+
+class TestRigidTransform:
+    def test_identity_factory(self):
+        t = RigidTransform.identity((3.0, 4.0))
+        assert t.success
+        assert t.apply((7.0, 8.0)) == pytest.approx((7.0, 8.0))
+
+    def test_apply_invertibility(self):
+        t = RigidTransform(2.0, -1.0, 0.3, pivot=(5.0, 5.0), success=True, residual=0.0)
+        inv = RigidTransform(
+            0.0, 0.0, -0.3, pivot=t.apply((5.0, 5.0)), success=True, residual=0.0
+        )
+        p = (9.0, 2.0)
+        fwd = t.apply(p)
+        # Rotating back about the mapped pivot then removing the
+        # translation restores the point.
+        back = inv.apply(fwd)
+        back = (back[0] - t.dy, back[1] - t.dx)
+        assert back == pytest.approx(p, abs=1e-9)

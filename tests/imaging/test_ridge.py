@@ -1,0 +1,91 @@
+"""Tests for ridge detection and the RDG-switch pre-check."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.ridge import ridge_filter, structure_precheck
+from repro.synthetic.phantom import rasterize_polyline
+
+
+def make_line_image(size=128, amplitude=0.3):
+    """Bright background with one dark horizontal line."""
+    img = np.full((size, size), 0.8, dtype=np.float32)
+    pts = np.array([[size / 2, 8.0], [size / 2, size - 8.0]])
+    img -= rasterize_polyline((size, size), pts, width_sigma=1.5, amplitude=amplitude)
+    return img
+
+
+class TestRidgeFilter:
+    def test_responds_on_dark_line(self):
+        img = make_line_image()
+        result, _ = ridge_filter(img)
+        mid = result.response[64, 20:108].mean()
+        off = result.response[32, 20:108].mean()
+        assert mid > 5 * max(off, 1e-9)
+
+    def test_mask_and_count_consistent(self):
+        result, _ = ridge_filter(make_line_image())
+        assert result.ridge_pixels == int(result.mask.sum())
+        assert result.mask.dtype == bool
+
+    def test_flat_image_no_ridges(self):
+        img = np.full((64, 64), 0.7, dtype=np.float32)
+        result, _ = ridge_filter(img)
+        assert result.ridge_pixels == 0
+
+    def test_bright_line_not_detected(self):
+        """The filter targets *dark* lines only."""
+        img = np.full((128, 128), 0.5, dtype=np.float32)
+        pts = np.array([[64.0, 8.0], [64.0, 120.0]])
+        img += rasterize_polyline((128, 128), pts, width_sigma=1.5, amplitude=0.3)
+        result, _ = ridge_filter(img)
+        dark_ref, _ = ridge_filter(make_line_image())
+        assert result.response[64, 20:108].mean() < 0.2 * dark_ref.response[64, 20:108].mean()
+
+    def test_work_report_contents(self):
+        img = make_line_image(size=96)
+        _, rep = ridge_filter(img, scales=(1.4, 2.8), task="RDG_ROI")
+        assert rep.task == "RDG_ROI"
+        assert rep.pixels == 96 * 96 * 2
+        assert rep.bytes_in == 96 * 96 * 2
+        assert rep.count("scales") == 2.0
+        assert rep.count("ridge_pixels") >= 0
+        names = {b.name for b in rep.buffers}
+        assert {"input", "hessian", "response", "output"} <= names
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ridge_filter(np.zeros((4, 4, 3), dtype=np.float32))
+
+    def test_stronger_contrast_more_ridge_pixels(self):
+        weak, _ = ridge_filter(make_line_image(amplitude=0.1))
+        strong, _ = ridge_filter(make_line_image(amplitude=0.4))
+        assert strong.ridge_pixels >= weak.ridge_pixels
+
+
+class TestStructurePrecheck:
+    def test_quiet_image_skips_rdg(self):
+        img = np.full((256, 256), 0.7, dtype=np.float32)
+        on, rep = structure_precheck(img)
+        assert on is False
+        assert rep.task == "RDG_DETECT"
+
+    def test_structured_image_triggers_rdg(self):
+        img = np.full((256, 256), 0.7, dtype=np.float32)
+        rng = np.random.default_rng(0)
+        for _ in range(14):
+            a = rng.uniform(10, 246, 2)
+            b = rng.uniform(10, 246, 2)
+            img -= rasterize_polyline(
+                (256, 256), np.stack([a, b]), width_sigma=2.0, amplitude=0.3
+            )
+        on, rep = structure_precheck(img)
+        assert on is True
+        assert rep.counts["strong_gradient_fraction"] > 0.135
+
+    def test_decimation_cost(self):
+        img = np.full((256, 256), 0.7, dtype=np.float32)
+        _, rep = structure_precheck(img, decimation=4)
+        assert rep.pixels == (256 // 4) ** 2

@@ -1,0 +1,71 @@
+"""Tests for ROI estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.couples import CoupleResult
+from repro.imaging.roi import MIN_ROI_EDGE, Roi, estimate_roi
+
+
+def couple(a, b):
+    return CoupleResult(True, tuple(a), tuple(b), 1.0, 1)
+
+
+class TestRoi:
+    def test_geometry_properties(self):
+        r = Roi(10, 20, 40, 70)
+        assert r.height == 30 and r.width == 50
+        assert r.pixels == 1500
+
+    def test_slices_give_view(self):
+        img = np.zeros((100, 100), dtype=np.float32)
+        r = Roi(10, 20, 40, 70)
+        view = img[r.slices]
+        assert view.shape == (30, 50)
+        assert view.base is img
+
+    def test_contains(self):
+        r = Roi(10, 20, 40, 70)
+        assert r.contains((10, 20)) and r.contains((39.9, 69.9))
+        assert not r.contains((40, 20)) and not r.contains((9.9, 30))
+
+    def test_coordinate_round_trip(self):
+        r = Roi(10, 20, 40, 70)
+        p = (17.5, 33.25)
+        assert r.to_frame(r.to_local(p)) == pytest.approx(p)
+
+
+class TestEstimateRoi:
+    def test_contains_both_markers(self):
+        c = couple((100, 100), (100, 124))
+        roi, _ = estimate_roi(c, (256, 256))
+        assert roi.contains(c.marker_a) and roi.contains(c.marker_b)
+
+    def test_clamped_to_frame(self):
+        c = couple((3, 3), (3, 27))
+        roi, _ = estimate_roi(c, (256, 256))
+        assert roi.row0 >= 0 and roi.col0 >= 0
+        assert roi.row1 <= 256 and roi.col1 <= 256
+
+    def test_margin_scales_roi(self):
+        c = couple((128, 116), (128, 140))
+        small, _ = estimate_roi(c, (256, 256), margin_factor=1.0)
+        large, _ = estimate_roi(c, (256, 256), margin_factor=3.0)
+        assert large.pixels > small.pixels
+
+    def test_min_edge(self):
+        c = couple((128, 127), (128, 129))  # degenerate short couple
+        roi, _ = estimate_roi(c, (256, 256))
+        assert roi.height >= MIN_ROI_EDGE and roi.width >= MIN_ROI_EDGE
+
+    def test_requires_found_couple(self):
+        c = CoupleResult(False, None, None, float("-inf"), 0)
+        with pytest.raises(ValueError):
+            estimate_roi(c, (256, 256))
+
+    def test_report_roi_kpixels(self):
+        c = couple((100, 100), (100, 124))
+        roi, rep = estimate_roi(c, (256, 256))
+        assert rep.count("roi_kpixels") == pytest.approx(roi.pixels / 1000.0)

@@ -1,0 +1,44 @@
+"""Every dynamic count the imaging code emits must have an explicit
+resolution-scaling rule.
+
+A count missing from ``COUNT_SCALING`` silently defaults to "none";
+for a pixel-like count that would make simulated times depend on the
+rendering resolution -- exactly the bug class the ``pixel_scale``
+design exists to prevent.  This test runs the real pipeline and
+cross-checks the counts it produces against the scaling table.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cost import COUNT_SCALING, DEFAULT_TASK_COSTS
+
+
+class TestCountScalingCoverage:
+    def test_all_emitted_counts_have_rules(self, short_sequence, pipeline):
+        emitted: set[str] = set()
+        for k in range(10):
+            img, _ = short_sequence.frame(k)
+            fa = pipeline.process(img)
+            for rep in fa.reports.values():
+                emitted.update(rep.counts)
+        # Bookkeeping-only counts that never carry a cost term.
+        bookkeeping = {
+            "scales",
+            "with_ridge",
+            "strong_gradient_fraction",
+            "attempted",
+            "failure",
+            "motion",
+            "support",
+        }
+        uncovered = emitted - set(COUNT_SCALING) - bookkeeping
+        assert not uncovered, f"counts without scaling rule: {uncovered}"
+
+    def test_all_costed_counts_have_rules(self):
+        """Any count with a per-unit cost must have a scaling rule."""
+        for task, spec in DEFAULT_TASK_COSTS.items():
+            for count in spec.per_count_ms:
+                assert count in COUNT_SCALING, (task, count)
+
+    def test_scaling_modes_valid(self):
+        assert set(COUNT_SCALING.values()) <= {"area", "linear", "none"}

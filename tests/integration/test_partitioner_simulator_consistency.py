@@ -1,0 +1,99 @@
+"""The partitioner's analytic timing must match the simulator.
+
+The resource manager decides *before* the frame runs, using
+`Partitioner.task_latency_ms`; the platform then executes the frame
+through `PlatformSimulator`.  If the two models diverged, the manager
+would systematically over- or under-partition.  These tests pin their
+agreement for serial tasks, every supported split width, and whole
+frame chains.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import build_stentboost_graph
+from repro.hw.cost import CostModel, TaskCostSpec
+from repro.hw.mapping import Mapping
+from repro.hw.simulator import PlatformSimulator
+from repro.hw.spec import blackford
+from repro.imaging.common import WorkReport
+from repro.runtime.partition import Partitioner
+
+
+@pytest.fixture(scope="module")
+def rig():
+    graph = build_stentboost_graph()
+    platform = blackford()
+    costs = {
+        name: TaskCostSpec(fixed_ms=float(5 + 7 * i))
+        for i, name in enumerate(graph.tasks)
+    }
+    cm = CostModel(
+        platform, pixel_scale=1.0, jitter_sigma=1e-12, spike_prob=0.0,
+        task_costs=costs,
+    )
+    sim = PlatformSimulator(platform, cm, graph=graph)
+    part = Partitioner(
+        platform,
+        graph,
+        fork_ms=sim.fork_ms,
+        join_ms=sim.join_ms,
+        halo_fraction=sim.halo_fraction,
+    )
+    return graph, sim, part, costs
+
+
+class TestTaskLevelAgreement:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_split_task_duration_matches(self, rig, k):
+        graph, sim, part, costs = rig
+        task = "RDG_FULL"
+        # Report input bytes matching the graph spec so the halo cost
+        # agrees between the analytic and the executed model.
+        report = WorkReport(task=task, bytes_in=graph.tasks[task].input_kb * 1024)
+        mapping = (
+            Mapping.serial()
+            if k == 1
+            else Mapping.serial().with_partition(task, tuple(range(k)))
+        )
+        res = sim.simulate_frame({task: report}, mapping)
+        analytic = part.task_latency_ms(task, costs[task].fixed_ms, k)
+        assert res.latency_ms == pytest.approx(analytic, rel=1e-9)
+
+
+class TestFrameLevelAgreement:
+    @given(
+        st.dictionaries(
+            st.sampled_from(["RDG_FULL", "ENH", "ZOOM", "CPLS_SEL", "GW_EXT"]),
+            st.integers(min_value=1, max_value=4),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_chain_latency_matches(self, rig, parts):
+        graph, _, part, costs = rig
+        # Fresh simulator per example: the shared ledger is irrelevant
+        # but core timelines must start clean.
+        platform = blackford()
+        cm = CostModel(
+            platform, pixel_scale=1.0, jitter_sigma=1e-12, spike_prob=0.0,
+            task_costs=costs,
+        )
+        sim = PlatformSimulator(platform, cm, graph=graph)
+
+        reports = {
+            t: WorkReport(task=t, bytes_in=graph.tasks[t].input_kb * 1024)
+            for t in parts
+        }
+        mapping = Mapping.serial()
+        for t, k in parts.items():
+            if k > 1:
+                mapping = mapping.with_partition(t, tuple(range(k)))
+        res = sim.simulate_frame(reports, mapping)
+        task_ms = {t: costs[t].fixed_ms for t in parts}
+        analytic = part.frame_latency_ms(task_ms, parts)
+        assert res.latency_ms == pytest.approx(analytic, rel=1e-9)

@@ -1,0 +1,73 @@
+"""Tests for corpus profiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hw.bus import BandwidthLedger
+from repro.profiling import ProfileConfig, profile_sequence
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+
+class TestProfileSequence:
+    @pytest.fixture(scope="class")
+    def profiled(self):
+        seq = XRaySequence(SequenceConfig(n_frames=15, seed=21, visibility_dips=0))
+        return profile_sequence(seq, ProfileConfig(), seq_id=7)
+
+    def test_one_record_per_frame(self, profiled):
+        assert len(profiled) == 15
+        assert [r.frame for r in profiled.records] == list(range(15))
+        assert all(r.seq == 7 for r in profiled.records)
+
+    def test_scenarios_valid(self, profiled):
+        assert all(0 <= r.scenario_id < 8 for r in profiled.records)
+
+    def test_roi_kpixels_native_scaled(self, profiled):
+        # Full-frame first frame: 256*256/1000 * 16 = ~1049 Kpx native.
+        assert profiled.records[0].roi_kpixels == pytest.approx(1048.576)
+
+    def test_latency_positive_and_consistent(self, profiled):
+        for r in profiled.records:
+            assert r.latency_ms > 0
+            assert r.latency_ms == pytest.approx(sum(r.task_ms.values()), rel=0.01)
+
+    def test_deterministic(self):
+        seq = XRaySequence(SequenceConfig(n_frames=6, seed=3))
+        a = profile_sequence(seq, ProfileConfig(), seq_id=0)
+        seq2 = XRaySequence(SequenceConfig(n_frames=6, seed=3))
+        b = profile_sequence(seq2, ProfileConfig(), seq_id=0)
+        assert [r.task_ms for r in a.records] == [r.task_ms for r in b.records]
+
+
+class TestProfileCorpus:
+    def test_session_traces(self, traces, small_corpus_spec):
+        assert len(traces) == small_corpus_spec.total_frames
+        assert traces.meta["n_sequences"] == small_corpus_spec.n_sequences
+        assert isinstance(traces.meta["ledger"], BandwidthLedger)
+        assert traces.meta["ledger"].frames == len(traces)
+
+    def test_scenario_diversity(self, traces):
+        scenarios = {r.scenario_id for r in traces.records}
+        assert len(scenarios) >= 5  # the corpus exercises the switches
+
+    def test_core_tasks_profiled(self, traces):
+        tasks = set(traces.tasks())
+        assert {"RDG_DETECT", "CPLS_SEL", "REG"} <= tasks
+        assert tasks & {"RDG_FULL", "RDG_ROI"}
+        assert tasks & {"ENH", "ZOOM"}
+
+    def test_rdg_roi_time_tracks_roi(self, traces):
+        """Eq. 3's premise: RDG ROI time grows with ROI size."""
+        pairs = traces.roi_series("RDG_ROI")
+        roi = np.concatenate([r for r, _ in pairs])
+        ms = np.concatenate([m for _, m in pairs])
+        if roi.size < 20 or np.ptp(roi) < 30:
+            pytest.skip("not enough ROI variation in the small corpus")
+        # Positive dependence; content fluctuation dilutes but must
+        # not hide the linear growth the Eq. 3 model captures.
+        corr = np.corrcoef(roi, ms)[0, 1]
+        assert corr > 0.3
+        slope = np.polyfit(roi, ms, 1)[0]
+        assert slope > 0

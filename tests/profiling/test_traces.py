@@ -1,0 +1,83 @@
+"""Tests for trace records and trace-set accessors."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.profiling.traces import TraceRecord, TraceSet
+
+
+def rec(seq, frame, tasks, scenario=3, roi=100.0):
+    return TraceRecord(
+        seq=seq,
+        frame=frame,
+        scenario_id=scenario,
+        task_ms=tasks,
+        roi_kpixels=roi,
+        latency_ms=sum(tasks.values()),
+        eviction_bytes=0,
+        external_bytes=1000,
+    )
+
+
+@pytest.fixture()
+def ts():
+    t = TraceSet(pixel_scale=16.0, platform="test")
+    # seq 0: A runs on frames 0,1,2; B on 0 and 2 (gap on 1).
+    t.append(rec(0, 0, {"A": 1.0, "B": 5.0}, scenario=1))
+    t.append(rec(0, 1, {"A": 2.0}, scenario=2))
+    t.append(rec(0, 2, {"A": 3.0, "B": 6.0}, scenario=1))
+    # seq 1: A runs on both frames.
+    t.append(rec(1, 0, {"A": 10.0}, scenario=3))
+    t.append(rec(1, 1, {"A": 11.0}, scenario=3))
+    return t
+
+
+class TestAccessors:
+    def test_task_series_respects_gaps_and_sequences(self, ts):
+        series = ts.task_series("A")
+        assert [list(s) for s in series] == [[1.0, 2.0, 3.0], [10.0, 11.0]]
+        series_b = ts.task_series("B")
+        # Gap on frame 1 splits B into two single-sample runs.
+        assert [list(s) for s in series_b] == [[5.0], [6.0]]
+
+    def test_task_values_concatenated(self, ts):
+        np.testing.assert_array_equal(
+            ts.task_values("A"), [1.0, 2.0, 3.0, 10.0, 11.0]
+        )
+        assert ts.task_values("MISSING").size == 0
+
+    def test_tasks_listed(self, ts):
+        assert set(ts.tasks()) == {"A", "B"}
+
+    def test_scenario_chains(self, ts):
+        chains = ts.scenario_chains()
+        assert [list(c) for c in chains] == [[1, 2, 1], [3, 3]]
+
+    def test_roi_series_pairs(self, ts):
+        pairs = ts.roi_series("B")
+        assert len(pairs) == 2
+        for roi_arr, ms_arr in pairs:
+            assert roi_arr.shape == ms_arr.shape
+
+    def test_latencies(self, ts):
+        assert ts.latencies().shape == (5,)
+
+    def test_sequences(self, ts):
+        assert ts.sequences() == [0, 1]
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, ts, tmp_path):
+        path = tmp_path / "traces.json"
+        ts.meta["note"] = "hello"
+        ts.meta["unserializable"] = object()
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        assert len(loaded) == len(ts)
+        assert loaded.pixel_scale == 16.0
+        assert loaded.platform == "test"
+        assert loaded.meta["note"] == "hello"
+        assert "unserializable" not in loaded.meta
+        assert loaded.records[0] == ts.records[0]

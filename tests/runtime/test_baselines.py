@@ -1,0 +1,70 @@
+"""Tests for the baseline execution policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.runtime import run_straightforward, run_worst_case
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+
+@pytest.fixture(scope="module")
+def seq():
+    return XRaySequence(SequenceConfig(n_frames=40, seed=99, visibility_dips=1))
+
+
+def make_pipe(seq):
+    return StentBoostPipeline(
+        PipelineConfig(expected_distance=seq.config.resolved_phantom().marker_separation)
+    )
+
+
+class TestStraightforward:
+    def test_latency_follows_content(self, seq, profile_config):
+        run = run_straightforward(
+            seq, make_pipe(seq), profile_config.make_simulator(), seq_key="b-sw"
+        )
+        lat = run.latency()
+        assert lat.shape == (40,)
+        # Output equals completion: no QoS smoothing at all.
+        np.testing.assert_array_equal(run.output_latency(), lat)
+        assert run.label == "straightforward"
+        assert all(f.cores_used == 1 for f in run.frames)
+
+
+class TestWorstCase:
+    def test_output_constant_at_reservation(self, seq, profile_config):
+        run = run_worst_case(
+            seq,
+            make_pipe(seq),
+            profile_config.make_simulator(),
+            worst_case_ms=150.0,
+            seq_key="b-wc",
+        )
+        out = run.output_latency()
+        np.testing.assert_allclose(out, 150.0)
+        assert run.budget_ms == 150.0
+        # But the completion latency still varies underneath.
+        assert np.std(run.latency()) > 0
+
+    def test_invalid_reservation(self, seq, profile_config):
+        with pytest.raises(ValueError):
+            run_worst_case(
+                seq, make_pipe(seq), profile_config.make_simulator(), worst_case_ms=0.0
+            )
+
+    def test_output_latency_is_maximal(self, seq, profile_config):
+        """The Section 6 drawback: output latency is pinned at the
+        conservative worst case, higher than actually required."""
+        sim1 = profile_config.make_simulator()
+        sw = run_straightforward(seq, make_pipe(seq), sim1, seq_key="b-sw2")
+        wc = run_worst_case(
+            seq,
+            make_pipe(seq),
+            profile_config.make_simulator(),
+            worst_case_ms=float(sw.latency().max()) * 1.05,
+            seq_key="b-wc2",
+        )
+        assert wc.output_latency().mean() > sw.latency().mean()

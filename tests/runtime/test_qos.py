@@ -1,0 +1,72 @@
+"""Tests for the latency budget and delay line."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.qos import DelayLine, LatencyBudget
+
+
+class TestLatencyBudget:
+    def test_initialize_applies_slack(self):
+        b = LatencyBudget(slack=1.1)
+        assert not b.initialized
+        target = b.initialize(50.0)
+        assert target == pytest.approx(55.0)
+        assert b.initialized
+
+    def test_require_before_init_raises(self):
+        with pytest.raises(RuntimeError):
+            LatencyBudget().require()
+
+    def test_invalid_average_case(self):
+        with pytest.raises(ValueError):
+            LatencyBudget().initialize(0.0)
+
+    def test_explicit_target(self):
+        b = LatencyBudget(target_ms=48.0)
+        assert b.require() == 48.0
+
+
+class TestDelayLine:
+    def make(self, target=50.0):
+        return DelayLine(LatencyBudget(target_ms=target))
+
+    def test_early_frame_padded(self):
+        d = self.make()
+        assert d.push(30.0) == 50.0
+        assert d.violations == 0
+
+    def test_late_frame_passes_and_counts(self):
+        d = self.make()
+        assert d.push(60.0) == 60.0
+        assert d.violations == 1
+        assert d.violation_rate() == 1.0
+
+    def test_output_jitter_zero_when_all_early(self):
+        d = self.make()
+        for lat in (10.0, 30.0, 49.9):
+            d.push(lat)
+        assert d.output_jitter_std() == 0.0
+        assert d.violation_rate() == 0.0
+
+    def test_series_recorded(self):
+        d = self.make()
+        d.push(20.0)
+        d.push(70.0)
+        assert d.completion_ms == [20.0, 70.0]
+        assert d.output_ms == [50.0, 70.0]
+        assert d.n_frames == 2
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=200.0), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_property_output_dominates(self, lats):
+        d = self.make(target=50.0)
+        for lat in lats:
+            out = d.push(lat)
+            assert out >= lat - 1e-12
+            assert out >= 50.0 - 1e-12
+        assert np.std(d.output_ms) <= max(np.std(d.completion_ms), 1e-12) + 1e-9

@@ -1,0 +1,68 @@
+"""Tests for the corpus builder (the 37-sequence training set)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synthetic.dataset import (
+    PAPER_N_SEQUENCES,
+    PAPER_TOTAL_FRAMES,
+    CorpusSpec,
+    corpus_configs,
+    generate_corpus,
+)
+
+
+class TestCorpusSpec:
+    def test_paper_defaults(self):
+        spec = CorpusSpec()
+        assert spec.n_sequences == PAPER_N_SEQUENCES == 37
+        assert spec.total_frames == PAPER_TOTAL_FRAMES == 1921
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CorpusSpec(n_sequences=0)
+        with pytest.raises(ValueError):
+            CorpusSpec(n_sequences=10, total_frames=50)
+
+
+class TestCorpusConfigs:
+    def test_frame_budget_exact(self):
+        for spec in (CorpusSpec(), CorpusSpec(n_sequences=5, total_frames=123)):
+            configs = corpus_configs(spec)
+            assert len(configs) == spec.n_sequences
+            assert sum(c.n_frames for c in configs) == spec.total_frames
+
+    def test_min_length_respected(self):
+        configs = corpus_configs(CorpusSpec(n_sequences=10, total_frames=80))
+        assert all(c.n_frames >= 8 for c in configs)
+
+    def test_deterministic(self):
+        a = corpus_configs(CorpusSpec(n_sequences=6, total_frames=200))
+        b = corpus_configs(CorpusSpec(n_sequences=6, total_frames=200))
+        assert a == b
+
+    def test_seeds_distinct(self):
+        configs = corpus_configs(CorpusSpec(n_sequences=12, total_frames=400))
+        seeds = [c.seed for c in configs]
+        assert len(set(seeds)) == 12
+
+    def test_parameter_diversity(self):
+        """The corpus must vary the content drivers (Section 7: the
+        training set contains 'different scenarios ... to create the
+        dynamics in algorithmic adaptation and switching')."""
+        configs = corpus_configs(CorpusSpec(n_sequences=12, total_frames=400))
+        doses = {round(c.noise.dose, 3) for c in configs}
+        clutters = {round(c.clutter_level, 3) for c in configs}
+        assert len(doses) > 6 and len(clutters) > 6
+        assert any(c.injection_frame < 0 for c in configs) or any(
+            c.injection_frame >= 0 for c in configs
+        )
+
+
+class TestGenerateCorpus:
+    def test_sequences_render(self):
+        corpus = generate_corpus(CorpusSpec(n_sequences=2, total_frames=20))
+        assert len(corpus) == 2
+        img, truth = corpus[0].frame(0)
+        assert img.shape == (256, 256)

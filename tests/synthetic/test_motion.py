@@ -1,0 +1,80 @@
+"""Tests for the cardiac/respiratory motion model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synthetic.motion import MotionModel, MotionSpec, RigidOffset
+
+
+class TestRigidOffset:
+    def test_identity(self):
+        off = RigidOffset(0.0, 0.0, 0.0)
+        assert off.apply((5.0, 7.0), (0.0, 0.0)) == (5.0, 7.0)
+
+    def test_pure_translation(self):
+        off = RigidOffset(2.0, -3.0, 0.0)
+        y, x = off.apply((1.0, 1.0), (0.0, 0.0))
+        assert (y, x) == pytest.approx((3.0, -2.0))
+
+    def test_rotation_about_pivot(self):
+        off = RigidOffset(0.0, 0.0, np.pi / 2)
+        y, x = off.apply((0.0, 1.0), (0.0, 0.0))
+        # Convention: ry = cos*y - sin*x, rx = sin*y + cos*x.
+        assert (y, x) == pytest.approx((-1.0, 0.0), abs=1e-12)
+
+    def test_pivot_is_fixed_point(self):
+        off = RigidOffset(0.0, 0.0, 0.7)
+        assert off.apply((4.0, 5.0), (4.0, 5.0)) == pytest.approx((4.0, 5.0))
+
+    def test_rotation_preserves_distances(self):
+        off = RigidOffset(1.0, 2.0, 0.3)
+        pivot = (10.0, 10.0)
+        a = np.array(off.apply((3.0, 4.0), pivot))
+        b = np.array(off.apply((8.0, -2.0), pivot))
+        orig = np.hypot(8.0 - 3.0, -2.0 - 4.0)
+        assert np.hypot(*(a - b)) == pytest.approx(orig, rel=1e-12)
+
+
+class TestMotionModel:
+    def test_deterministic(self):
+        m1 = MotionModel(MotionSpec(), 50, seed=3)
+        m2 = MotionModel(MotionSpec(), 50, seed=3)
+        for k in (0, 10, 49):
+            assert m1.offset(k) == m2.offset(k)
+
+    def test_out_of_range_raises(self):
+        m = MotionModel(MotionSpec(), 10, seed=0)
+        with pytest.raises(IndexError):
+            m.offset(10)
+        with pytest.raises(IndexError):
+            m.offset(-1)
+
+    def test_amplitude_bounded(self):
+        spec = MotionSpec(cardiac_amp=4.0, resp_amp=6.0, tremor_sigma=0.3)
+        m = MotionModel(spec, 300, seed=1)
+        offs = m.offsets()
+        dys = np.array([o.dy for o in offs])
+        dxs = np.array([o.dx for o in offs])
+        bound = 0.8 * 1.35 * 4.0 + 0.9 * 6.0 + 5 * 0.3  # components + tremor tail
+        assert np.all(np.abs(dys) < bound)
+        assert np.all(np.abs(dxs) < bound)
+
+    def test_cardiac_periodicity_visible(self):
+        """The dy series must show energy at the cardiac frequency."""
+        spec = MotionSpec(
+            cardiac_period=20.0, cardiac_amp=5.0, resp_amp=0.0, tremor_sigma=0.0
+        )
+        m = MotionModel(spec, 200, seed=2)
+        dy = np.array([m.offset(k).dy for k in range(200)])
+        spectrum = np.abs(np.fft.rfft(dy - dy.mean()))
+        freqs = np.fft.rfftfreq(200)
+        peak_freq = freqs[np.argmax(spectrum)]
+        assert peak_freq == pytest.approx(1.0 / 20.0, abs=0.01)
+
+    def test_rotation_bounded(self):
+        spec = MotionSpec(rotation_amp=0.05)
+        m = MotionModel(spec, 100, seed=4)
+        angles = [abs(m.offset(k).angle) for k in range(100)]
+        assert max(angles) <= 0.05 + 1e-12

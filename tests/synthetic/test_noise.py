@@ -1,0 +1,68 @@
+"""Tests for the X-ray noise model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synthetic.noise import NoiseSpec, apply_xray_noise
+from repro.util.rng import rng_stream
+
+
+class TestNoiseSpec:
+    def test_nonpositive_dose_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseSpec(dose=0.0)
+        with pytest.raises(ValueError):
+            NoiseSpec(dose=-1.0)
+
+
+class TestApplyXrayNoise:
+    def _noisy(self, level, dose=1.0, seed=0, n=200_000):
+        clean = np.full(n, level, dtype=np.float32)
+        spec = NoiseSpec(dose=dose)
+        return apply_xray_noise(
+            clean.reshape(400, -1), spec, rng_stream(seed, "t")
+        ).ravel()
+
+    def test_mean_preserved(self):
+        noisy = self._noisy(0.5)
+        assert noisy.mean() == pytest.approx(0.5, abs=1e-3)
+
+    def test_variance_scales_with_signal(self):
+        """Quantum noise: brighter pixels are noisier (Poisson-like)."""
+        lo = self._noisy(0.2).std()
+        hi = self._noisy(0.8).std()
+        assert hi > lo * 1.5
+
+    def test_variance_decreases_with_dose(self):
+        noisy_low = self._noisy(0.5, dose=0.5)
+        noisy_high = self._noisy(0.5, dose=4.0)
+        assert noisy_high.std() < noisy_low.std() / 1.8
+
+    def test_clipped_to_unit_range(self):
+        noisy = self._noisy(0.99, dose=0.1)
+        assert noisy.max() <= 1.0
+        assert self._noisy(0.01, dose=0.1).min() >= 0.0
+
+    def test_deterministic_per_rng(self):
+        clean = np.full((64, 64), 0.5, dtype=np.float32)
+        spec = NoiseSpec()
+        a = apply_xray_noise(clean, spec, rng_stream(1, "n"))
+        b = apply_xray_noise(clean, spec, rng_stream(1, "n"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_input_not_mutated(self):
+        clean = np.full((32, 32), 0.5, dtype=np.float32)
+        ref = clean.copy()
+        apply_xray_noise(clean, NoiseSpec(), rng_stream(0, "m"))
+        np.testing.assert_array_equal(clean, ref)
+
+    def test_matches_combined_sigma_model(self):
+        """Output std ~ sqrt(I*sq^2/dose + se^2)."""
+        spec = NoiseSpec(dose=2.0, quantum_scale=0.04, electronic_sigma=0.01)
+        noisy = apply_xray_noise(
+            np.full((500, 500), 0.5, dtype=np.float32), spec, rng_stream(3, "s")
+        )
+        expected = np.sqrt(0.5 * 0.04**2 / 2.0 + 0.01**2)
+        assert noisy.std() == pytest.approx(expected, rel=0.02)

@@ -1,0 +1,85 @@
+"""Tests for per-frame sequence rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+
+@pytest.fixture(scope="module")
+def seq() -> XRaySequence:
+    return XRaySequence(SequenceConfig(n_frames=30, seed=11, visibility_dips=0))
+
+
+class TestRendering:
+    def test_frame_shape_dtype_range(self, seq):
+        img, truth = seq.frame(3)
+        assert img.shape == (256, 256)
+        assert img.dtype == np.float32
+        assert 0.0 <= img.min() and img.max() <= 1.0
+
+    def test_deterministic(self, seq):
+        a, _ = seq.frame(7)
+        b, _ = seq.frame(7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_order_independent(self):
+        s1 = XRaySequence(SequenceConfig(n_frames=10, seed=5))
+        s2 = XRaySequence(SequenceConfig(n_frames=10, seed=5))
+        a, _ = s1.frame(9)
+        for k in range(9):
+            s2.frame(k)
+        b, _ = s2.frame(9)
+        np.testing.assert_array_equal(a, b)
+
+    def test_markers_are_dark_blobs(self, seq):
+        img, truth = seq.frame(5)
+        ay, ax = int(round(truth.marker_a[0])), int(round(truth.marker_a[1]))
+        local_bg = float(np.median(img[ay - 10 : ay + 11, ax - 10 : ax + 11]))
+        marker_val = float(img[ay - 1 : ay + 2, ax - 1 : ax + 2].min())
+        assert marker_val < local_bg - 0.2
+
+    def test_truth_matches_motion(self, seq):
+        truth = seq.truth(8)
+        img, truth2 = seq.frame(8)
+        assert truth.marker_a == truth2.marker_a
+        assert truth.offset == truth2.offset
+
+    def test_len_and_iter(self, seq):
+        assert len(seq) == 30
+        frames = list(seq.iter_frames())
+        assert len(frames) == 30
+        assert frames[4][1].index == 4
+
+
+class TestContentSchedules:
+    def test_contrast_injection_ramps(self):
+        s = XRaySequence(
+            SequenceConfig(n_frames=60, seed=2, injection_frame=10, contrast_base=0.3)
+        )
+        assert s.contrast(5) == pytest.approx(0.3)
+        assert s.contrast(25) > 0.6
+        # Washout eventually decays back toward base.
+        assert s.contrast(25) > s.contrast(59)
+
+    def test_no_injection(self):
+        s = XRaySequence(SequenceConfig(n_frames=20, seed=2, injection_frame=-1))
+        for k in (0, 10, 19):
+            assert s.contrast(k) == pytest.approx(s.config.contrast_base)
+
+    def test_visibility_dips(self):
+        s = XRaySequence(SequenceConfig(n_frames=80, seed=3, visibility_dips=2))
+        vis = np.array([s.marker_visibility(k) for k in range(80)])
+        assert vis.min() < 0.7  # a dip exists
+        assert vis.max() <= 1.0 and vis.min() >= 0.15
+
+    def test_no_dips_means_full_visibility(self):
+        s = XRaySequence(SequenceConfig(n_frames=20, seed=3, visibility_dips=0))
+        vis = [s.marker_visibility(k) for k in range(20)]
+        assert min(vis) == pytest.approx(1.0)
+
+    def test_clutter_activity_bounded(self, seq):
+        for k in range(0, 30, 3):
+            assert 0.0 <= seq.clutter_activity(k) <= 1.2

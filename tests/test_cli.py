@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["profile"])
+        assert args.sequences == 8 and args.frames == 400
+
+    def test_experiments_names(self):
+        args = build_parser().parse_args(["experiments", "fig2", "fig4"])
+        assert args.names == ["fig2", "fig4"]
+
+
+class TestWorkflow:
+    def test_profile_train_evaluate(self, tmp_path, capsys):
+        traces = tmp_path / "t.json"
+        model = tmp_path / "m.json"
+        rc = main(
+            [
+                "profile",
+                "--sequences", "2",
+                "--frames", "30",
+                "--seed", "11",
+                "--out", str(traces),
+            ]
+        )
+        assert rc == 0 and traces.exists()
+
+        rc = main(["train", "--traces", str(traces), "--out", str(model)])
+        assert rc == 0 and model.exists()
+        out = capsys.readouterr().out
+        assert "REG" in out
+
+        rc = main(
+            ["evaluate", "--model", str(model), "--seed", "5", "--frames", "25"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "mean accuracy" in out
+
+    def test_experiments_unknown_name(self, capsys):
+        rc = main(["experiments", "nope"])
+        assert rc == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_export_writes_artifacts(self, tmp_path, capsys, monkeypatch):
+        # Use the tiny session cache dir + fast corpus so the export
+        # stays quick; the CSV/SVG writers are tested in depth in
+        # tests/experiments.
+        monkeypatch.setenv("REPRO_FAST", "1")
+        out = tmp_path / "figs"
+        rc = main(["export", "--out", str(out)])
+        assert rc == 0
+        names = {p.name for p in out.iterdir()}
+        assert {"fig3.csv", "fig6.csv", "fig7.csv", "fig3.svg", "fig6.svg", "fig7.svg"} <= names

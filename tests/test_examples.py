@@ -1,0 +1,77 @@
+"""Smoke tests for the runnable examples.
+
+The heavyweight examples (quickstart, latency_control) train models
+and are exercised by the experiment benchmarks; here we run the fast
+ones end-to-end and validate the slow ones at least import and expose
+a main().
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+class TestCapacityPlanning:
+    def test_runs(self, capsys):
+        mod = load_example("capacity_planning")
+        mod.main()
+        out = capsys.readouterr().out
+        assert "per-scenario bandwidth" in out
+        assert "RDG_FULL" in out
+        assert "more functions" in out
+
+
+class TestStentEnhancement:
+    def test_writes_images(self, tmp_path, capsys):
+        mod = load_example("stent_enhancement")
+        mod.main(str(tmp_path))
+        out = capsys.readouterr().out
+        assert "noise" in out
+        for name in ("out_raw.pgm", "out_enhanced.pgm", "out_zoomed.pgm"):
+            p = tmp_path / name
+            assert p.exists() and p.stat().st_size > 1000
+        header = (tmp_path / "out_raw.pgm").read_bytes()[:2]
+        assert header == b"P5"
+
+    def test_pgm_writer(self, tmp_path):
+        mod = load_example("stent_enhancement")
+        img = np.linspace(0, 1, 64 * 32).reshape(32, 64).astype(np.float32)
+        mod.write_pgm(tmp_path / "t.pgm", img)
+        raw = (tmp_path / "t.pgm").read_bytes()
+        assert raw.startswith(b"P5\n64 32\n255\n")
+        assert len(raw) == len(b"P5\n64 32\n255\n") + 64 * 32
+
+
+class TestOtherExamplesImportable:
+    @pytest.mark.parametrize(
+        "name", ["quickstart", "latency_control", "online_adaptation"]
+    )
+    def test_has_main(self, name):
+        mod = load_example(name)
+        assert callable(mod.main)
+
+
+class TestAsciiPlot:
+    def test_plot_geometry(self):
+        mod = load_example("latency_control")
+        lines = mod.ascii_plot(np.linspace(10, 90, 32), lo=0.0, hi=100.0, width=40)
+        assert len(lines) == 16
+        assert all(line.startswith("|") for line in lines)
+        # The star moves monotonically right for an increasing series.
+        positions = [line.index("*") for line in lines]
+        assert positions == sorted(positions)

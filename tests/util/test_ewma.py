@@ -1,0 +1,117 @@
+"""Tests for the EWMA filter (paper Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.ewma import EwmaFilter, ewma, high_low_split
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestEwmaFilter:
+    def test_first_update_seeds_state(self):
+        f = EwmaFilter(alpha=0.25)
+        assert f.value is None
+        assert f.update(10.0) == 10.0
+
+    def test_recurrence_matches_eq1(self):
+        f = EwmaFilter(alpha=0.5, initial=0.0)
+        assert f.update(10.0) == pytest.approx(5.0)
+        assert f.update(10.0) == pytest.approx(7.5)
+
+    def test_alpha_one_tracks_input_exactly(self):
+        f = EwmaFilter(alpha=1.0)
+        for x in (3.0, -7.0, 42.0):
+            assert f.update(x) == x
+
+    def test_invalid_alpha_rejected(self):
+        for alpha in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                EwmaFilter(alpha=alpha)
+
+    def test_peek_before_update_raises(self):
+        with pytest.raises(RuntimeError):
+            EwmaFilter(alpha=0.5).peek()
+
+    def test_peek_does_not_advance(self):
+        f = EwmaFilter(alpha=0.5)
+        f.update(4.0)
+        assert f.peek() == f.peek() == 4.0
+
+    def test_reset(self):
+        f = EwmaFilter(alpha=0.5)
+        f.update(9.0)
+        f.reset()
+        assert f.value is None
+        f.reset(initial=2.0)
+        assert f.value == 2.0
+
+    def test_converges_to_constant_input(self):
+        f = EwmaFilter(alpha=0.2, initial=0.0)
+        for _ in range(200):
+            y = f.update(5.0)
+        assert y == pytest.approx(5.0, abs=1e-8)
+
+
+class TestBatchEwma:
+    def test_matches_streaming_filter(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(10, 3, size=4000)
+        for alpha in (0.05, 0.3, 0.9, 1.0):
+            f = EwmaFilter(alpha)
+            stream = np.array([f.update(v) for v in x])
+            batch = ewma(x, alpha)
+            np.testing.assert_allclose(batch, stream, rtol=1e-10, atol=1e-9)
+
+    def test_matches_streaming_with_initial(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        f = EwmaFilter(0.4, initial=10.0)
+        stream = np.array([f.update(v) for v in x])
+        np.testing.assert_allclose(ewma(x, 0.4, initial=10.0), stream, rtol=1e-12)
+
+    def test_long_series_no_overflow(self):
+        # The blockwise evaluation must survive tiny alpha on long data.
+        x = np.ones(100_000)
+        out = ewma(x, alpha=0.001)
+        assert np.all(np.isfinite(out))
+        assert out[-1] == pytest.approx(1.0)
+
+    def test_empty_series(self):
+        assert ewma(np.empty(0), 0.3).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            ewma(np.zeros((3, 3)), 0.5)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=200),
+        st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_output_within_running_minmax(self, xs, alpha):
+        """EWMA is a convex combination: stays inside the running hull."""
+        x = np.asarray(xs)
+        y = ewma(x, alpha)
+        running_min = np.minimum.accumulate(x)
+        running_max = np.maximum.accumulate(x)
+        assert np.all(y >= running_min - 1e-6 * (1 + np.abs(running_min)))
+        assert np.all(y <= running_max + 1e-6 * (1 + np.abs(running_max)))
+
+
+class TestHighLowSplit:
+    def test_parts_sum_to_signal(self):
+        x = np.random.default_rng(1).normal(40, 5, 500)
+        hpf, lpf = high_low_split(x, alpha=0.3)
+        np.testing.assert_allclose(hpf + lpf, x, rtol=1e-12)
+
+    def test_lpf_smoother_than_signal(self):
+        rng = np.random.default_rng(2)
+        x = 40 + rng.normal(0, 5, 2000)
+        _, lpf = high_low_split(x, alpha=0.1)
+        assert np.std(np.diff(lpf)) < np.std(np.diff(x))

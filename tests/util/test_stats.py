@@ -1,0 +1,136 @@
+"""Tests for autocorrelation, fits and jitter metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    autocorrelation,
+    fit_exponential_decay,
+    jitter_metrics,
+    linear_fit,
+    summarize,
+)
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        x = np.random.default_rng(0).normal(size=500)
+        acf = autocorrelation(x)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_bounded_by_one(self):
+        x = np.random.default_rng(1).normal(size=1000)
+        acf = autocorrelation(x, max_lag=100)
+        assert np.all(np.abs(acf) <= 1.0 + 1e-9)
+
+    def test_white_noise_decorrelates(self):
+        x = np.random.default_rng(2).normal(size=20_000)
+        acf = autocorrelation(x, max_lag=10)
+        assert np.all(np.abs(acf[1:]) < 0.05)
+
+    def test_ar1_process_decays_exponentially(self):
+        rng = np.random.default_rng(3)
+        phi = 0.8
+        x = np.empty(50_000)
+        x[0] = 0.0
+        for i in range(1, x.size):
+            x[i] = phi * x[i - 1] + rng.normal()
+        acf = autocorrelation(x, max_lag=10)
+        for k in range(1, 6):
+            assert acf[k] == pytest.approx(phi**k, abs=0.05)
+
+    def test_constant_series(self):
+        acf = autocorrelation(np.full(100, 3.0), max_lag=5)
+        np.testing.assert_allclose(acf, 1.0)
+
+    def test_matches_naive_estimator(self):
+        x = np.random.default_rng(4).normal(size=300)
+        acf = autocorrelation(x, max_lag=20)
+        xc = x - x.mean()
+        var = np.dot(xc, xc)
+        for k in (1, 5, 20):
+            naive = np.dot(xc[:-k], xc[k:]) / var
+            assert acf[k] == pytest.approx(naive, abs=1e-10)
+
+    def test_too_short_raises(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.array([1.0]))
+
+
+class TestExponentialDecayFit:
+    def test_recovers_known_tau(self):
+        tau = 4.0
+        acf = np.exp(-np.arange(20) / tau)
+        assert fit_exponential_decay(acf) == pytest.approx(tau, rel=1e-6)
+
+    def test_constant_acf_gives_infinite_tau(self):
+        assert fit_exponential_decay(np.ones(10)) == float("inf")
+
+    def test_immediate_drop_gives_small_tau(self):
+        acf = np.array([1.0, -0.01, 0.0])
+        assert fit_exponential_decay(acf) == 0.0
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.linspace(0, 300, 50)
+        y = 0.067 * x + 20.6  # Eq. 3
+        slope, intercept = linear_fit(x, y)
+        assert slope == pytest.approx(0.067, rel=1e-9)
+        assert intercept == pytest.approx(20.6, rel=1e-9)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            linear_fit(np.arange(5), np.arange(6))
+
+    @given(
+        st.floats(min_value=-10, max_value=10),
+        st.floats(min_value=-100, max_value=100),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_recovers_any_line(self, slope, intercept):
+        x = np.linspace(0, 10, 20)
+        s, i = linear_fit(x, slope * x + intercept)
+        assert s == pytest.approx(slope, abs=1e-6)
+        assert i == pytest.approx(intercept, abs=1e-5)
+
+
+class TestJitterMetrics:
+    def test_constant_series_has_zero_jitter(self):
+        j = jitter_metrics(np.full(50, 42.0))
+        assert j.std == 0.0
+        assert j.peak_to_peak == 0.0
+        assert j.worst_over_avg == 0.0
+
+    def test_known_values(self):
+        j = jitter_metrics(np.array([60.0, 120.0]))
+        assert j.mean == pytest.approx(90.0)
+        assert j.peak_to_peak == pytest.approx(60.0)
+        assert j.worst_over_avg == pytest.approx(1.0 / 3.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            jitter_metrics(np.empty(0))
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e4), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_property_invariants(self, xs):
+        j = jitter_metrics(np.asarray(xs))
+        assert j.peak_to_peak >= 0
+        assert j.std >= 0
+        assert j.worst_over_avg >= 0
+        assert j.mean >= min(xs) - 1e-9
+        assert j.mean <= max(xs) + 1e-9
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize(np.arange(101, dtype=float))
+        assert s.n == 101
+        assert s.minimum == 0 and s.maximum == 100
+        assert s.p50 == pytest.approx(50.0)
+        assert s.p95 == pytest.approx(95.0)

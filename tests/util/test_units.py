@@ -1,0 +1,40 @@
+"""Tests for unit constants and stream-bandwidth helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util import units
+
+
+class TestConstants:
+    def test_decimal_vs_binary(self):
+        assert units.KB == 1000 and units.KIB == 1024
+        assert units.MB == 1000**2 and units.MIB == 1024**2
+        assert units.GB == 1000**3 and units.GIB == 1024**3
+
+    def test_native_geometry(self):
+        assert units.NATIVE_PIXELS == 1024 * 1024
+        assert units.BYTES_PER_PIXEL == 2
+        assert units.HZ_VIDEO == 30.0
+
+
+class TestFrameBytes:
+    def test_native_frame_is_2048_kib(self):
+        """Table 1's input row: 1024x1024 x 2 B = 2,048 KB."""
+        assert units.frame_bytes() == 2048 * units.KIB
+
+    def test_custom_geometry(self):
+        assert units.frame_bytes(256, 256) == 256 * 256 * 2
+
+
+class TestStreamBandwidth:
+    def test_fig2_input_label(self):
+        """2,048 KB/frame at 30 Hz ~ the paper's '60' MByte/s label."""
+        bw = units.stream_bandwidth(units.frame_bytes()) / units.MB
+        assert bw == pytest.approx(62.9, abs=0.1)
+
+    def test_fig2_rdg_output_label(self):
+        """5,120 KB/frame at 30 Hz ~ the paper's '150' MByte/s label."""
+        bw = units.stream_bandwidth(5120 * units.KIB) / units.MB
+        assert bw == pytest.approx(157.3, abs=0.1)
