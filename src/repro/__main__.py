@@ -19,7 +19,6 @@ Examples::
 from __future__ import annotations
 
 import argparse
-import sys
 
 import numpy as np
 

@@ -1,0 +1,168 @@
+"""``python -m repro.analysis`` -- run the static-analysis suite.
+
+By default both passes run:
+
+* the AST lint over the ``repro`` package sources (or explicit paths),
+* the graph checker over the StentBoost flow graph on the Blackford
+  platform.
+
+The exit status is nonzero when any finding reaches ``--fail-on``
+severity (default: ``error``), making the command directly usable as
+a CI gate and as a pre-commit hook.
+
+Examples::
+
+    python -m repro.analysis
+    python -m repro.analysis src/repro --no-graph --format json
+    python -m repro.analysis --graph mygraphs.py:build_graph --fail-on warning
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    count_at_least,
+    findings_to_json,
+    format_findings,
+)
+from repro.analysis.graphcheck import check_flowgraph
+from repro.analysis.astlint import lint_paths
+from repro.analysis.rules import default_rules
+from repro.graph.flowgraph import FlowGraph
+
+__all__ = ["build_parser", "main"]
+
+DEFAULT_GRAPH = "repro.graph.stentboost:build_stentboost_graph"
+DEFAULT_PLATFORM = "repro.hw.spec:blackford"
+
+
+def _load_factory(spec: str) -> Callable[[], object]:
+    """Load ``module:callable`` or ``path/to/file.py:callable``."""
+    target, sep, attr = spec.partition(":")
+    if not sep or not attr:
+        raise argparse.ArgumentTypeError(
+            f"expected MODULE:CALLABLE or FILE.py:CALLABLE, got {spec!r}"
+        )
+    if target.endswith(".py") or "/" in target:
+        module_spec = importlib.util.spec_from_file_location(
+            "_repro_analysis_target", target
+        )
+        if module_spec is None or module_spec.loader is None:
+            raise argparse.ArgumentTypeError(f"cannot load module from {target!r}")
+        module = importlib.util.module_from_spec(module_spec)
+        module_spec.loader.exec_module(module)
+    else:
+        module = importlib.import_module(target)
+    factory = getattr(module, attr, None)
+    if not callable(factory):
+        raise argparse.ArgumentTypeError(
+            f"{target!r} has no callable {attr!r}"
+        )
+    return factory
+
+
+def _default_lint_root() -> Path:
+    """The installed ``repro`` package directory."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis",
+        description="static-analysis suite: flow-graph invariants + AST lint",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to lint (default: the repro package)",
+    )
+    parser.add_argument(
+        "--graph",
+        default=DEFAULT_GRAPH,
+        help=f"flow-graph factory MODULE:CALLABLE or FILE.py:CALLABLE "
+        f"(default: {DEFAULT_GRAPH})",
+    )
+    parser.add_argument(
+        "--platform",
+        default=DEFAULT_PLATFORM,
+        help=f"platform-spec factory (default: {DEFAULT_PLATFORM}); "
+        "pass an empty string to skip resource-budget checks",
+    )
+    parser.add_argument(
+        "--no-graph", action="store_true", help="skip the flow-graph checks"
+    )
+    parser.add_argument(
+        "--no-lint", action="store_true", help="skip the AST lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        type=Severity.parse,
+        default=Severity.ERROR,
+        metavar="{error,warning,info}",
+        help="minimum severity that makes the exit status nonzero "
+        "(default: error)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the lint rule set and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    rules = default_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.rule_id:24s} {rule.description}")
+        return 0
+
+    findings: list[Finding] = []
+
+    if not args.no_lint:
+        lint_roots = list(args.paths) or [_default_lint_root()]
+        missing = [p for p in lint_roots if not p.exists()]
+        if missing:
+            raise SystemExit(f"no such path: {', '.join(map(str, missing))}")
+        findings += lint_paths(lint_roots, rules)
+
+    if not args.no_graph:
+        try:
+            graph = _load_factory(args.graph)()
+            platform_factory = (
+                _load_factory(args.platform) if args.platform else None
+            )
+        except (argparse.ArgumentTypeError, ImportError) as exc:
+            raise SystemExit(f"repro.analysis: error: {exc}") from exc
+        if not isinstance(graph, FlowGraph):
+            raise SystemExit(
+                f"graph factory {args.graph!r} returned "
+                f"{type(graph).__name__}, expected FlowGraph"
+            )
+        platform = platform_factory() if platform_factory is not None else None
+        findings += check_flowgraph(graph, platform)
+
+    if args.format == "json":
+        print(findings_to_json(findings))
+    else:
+        print(format_findings(findings))
+
+    return 1 if count_at_least(findings, args.fail_on) else 0

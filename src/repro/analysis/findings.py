@@ -1,0 +1,115 @@
+"""Structured findings shared by the static-analysis passes.
+
+Both the flow-graph checker (:mod:`repro.analysis.graphcheck`) and the
+AST lint (:mod:`repro.analysis.astlint`) report problems as
+:class:`Finding` values rather than raising or printing, so callers --
+the CLI, the tier-2 self-check test, future CI annotations -- can
+filter by severity, render in several formats and decide the exit
+code uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "max_severity",
+    "count_at_least",
+    "format_findings",
+    "findings_to_json",
+]
+
+
+class Severity(enum.IntEnum):
+    """Ordered severity of a finding.
+
+    ``INFO`` records expected-but-notable facts (e.g. a task whose
+    working set overflows the L2 by design, feeding the Fig. 5 swap
+    model); ``WARNING`` marks suspicious constructs; ``ERROR`` marks
+    invariant violations that would corrupt predictions at runtime.
+    """
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, name: str) -> "Severity":
+        try:
+            return cls[name.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown severity {name!r}; expected one of "
+                f"{[s.name.lower() for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem located by a static-analysis pass.
+
+    Attributes
+    ----------
+    rule:
+        Stable rule identifier (``graph/cycle``, ``lint/banned-random`` ...).
+    severity:
+        How bad it is; only ``ERROR`` findings fail the CLI by default.
+    location:
+        Where: ``path:line`` for lint findings, a graph element
+        description (edge, task, scenario) for graph findings.
+    message:
+        Human-readable, single-line explanation.
+    """
+
+    rule: str
+    severity: Severity
+    location: str
+    message: str
+
+    def render(self) -> str:
+        """``location: severity [rule] message`` -- one line."""
+        return (
+            f"{self.location}: {self.severity.name.lower()} "
+            f"[{self.rule}] {self.message}"
+        )
+
+
+def max_severity(findings: Iterable[Finding]) -> Severity | None:
+    """Highest severity present, or ``None`` for an empty run."""
+    best: Severity | None = None
+    for f in findings:
+        if best is None or f.severity > best:
+            best = f.severity
+    return best
+
+
+def count_at_least(findings: Iterable[Finding], threshold: Severity) -> int:
+    """Number of findings at or above ``threshold``."""
+    return sum(1 for f in findings if f.severity >= threshold)
+
+
+def format_findings(findings: Sequence[Finding]) -> str:
+    """Render findings as text, sorted worst-first then by location."""
+    ordered = sorted(findings, key=lambda f: (-int(f.severity), f.location, f.rule))
+    lines = [f.render() for f in ordered]
+    counts = {
+        sev: sum(1 for f in findings if f.severity == sev) for sev in Severity
+    }
+    summary = ", ".join(
+        f"{counts[sev]} {sev.name.lower()}" for sev in reversed(Severity) if counts[sev]
+    )
+    lines.append(f"{len(findings)} finding(s): {summary}" if findings else "clean")
+    return "\n".join(lines)
+
+
+def findings_to_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable rendering (one JSON document, stable keys)."""
+    payload = [
+        {**asdict(f), "severity": f.severity.name.lower()} for f in findings
+    ]
+    return json.dumps(payload, indent=2, sort_keys=True)

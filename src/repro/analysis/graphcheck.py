@@ -1,0 +1,343 @@
+"""Static checks over a switched flow graph and its scenario table.
+
+A compile-time version of the paper's resource arguments: everything
+here is knowable from the :class:`~repro.graph.flowgraph.FlowGraph`
+structure, the Table 1 buffer sizes and the platform spec -- before a
+single frame is rendered or simulated.
+
+Checks (rule ids):
+
+``graph/cycle``
+    The task-to-task edge set must be a DAG (Fig. 2 is acyclic; a
+    cycle would deadlock the per-frame schedule).
+``graph/dangling``
+    Every edge endpoint must be a declared task or the ``INPUT`` /
+    ``OUTPUT`` pseudo-node.
+``graph/switch-coverage``
+    All 2^3 switch states must yield a non-empty, dependency-ordered
+    activation -- the scenario table of Section 5.2 covers eight
+    scenarios, and a hole here means a frame could arrive with no
+    defined schedule.
+``graph/dead-task``
+    A declared task active under *no* scenario is suspicious
+    (typically a stale spec after a graph edit).
+``graph/starved-task``
+    Under every scenario, each active task needs at least one active
+    incoming edge (from ``INPUT`` or another active task); a starved
+    task would stall the frame.
+``graph/edge-capacity``
+    An edge cannot carry more KiB per frame than its producer's
+    output buffer or its consumer's input buffer holds (bandwidth
+    conservation at task boundaries, Table 1).
+``graph/bandwidth-budget``
+    Per scenario, the aggregate analytic inter-task bandwidth must fit
+    the platform's links (Fig. 4): error above the weakest relevant
+    link, warning above 80 % of it.
+``graph/buffer-budget``
+    Stream tasks whose live working set exceeds the L2 capacity are
+    reported at INFO severity -- this is *expected* for RDG FULL
+    (7,168 KiB intermediate vs 4 MiB L2) and is exactly what feeds
+    the Fig. 5 swap-bandwidth model, but the report makes the
+    overflow set auditable.
+``graph/phase-budget``
+    A phase's live buffer set may not exceed the task's declared
+    Table 1 total (input + intermediate + output); if it does, the
+    phase decomposition and the table disagree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, Severity
+from repro.graph.flowgraph import Edge, FlowGraph
+from repro.imaging.pipeline import SwitchState
+from repro.util.units import KIB, MB
+
+__all__ = [
+    "check_topology",
+    "check_scenarios",
+    "check_buffers",
+    "check_bandwidth",
+    "check_flowgraph",
+]
+
+#: All eight switch states of the Fig. 2 graph.
+ALL_SCENARIO_IDS: tuple[int, ...] = tuple(range(8))
+
+_PSEUDO = (FlowGraph.INPUT, FlowGraph.OUTPUT)
+
+
+def _task_kb(task: object, attr: str) -> float | None:
+    """Duck-typed Table 1 column of a task spec (``None`` if absent)."""
+    value = getattr(task, attr, None)
+    if isinstance(value, (int, float)):
+        return float(value)
+    return None
+
+
+# -- topology ----------------------------------------------------------------
+
+
+def check_topology(
+    tasks: Iterable[str], edges: Sequence[Edge]
+) -> list[Finding]:
+    """Cycle and dangling-endpoint checks on the raw edge set.
+
+    Operates on task *names* plus edges so it can run on specs under
+    construction, before a :class:`FlowGraph` (whose constructor
+    rejects dangling endpoints outright) exists.
+    """
+    findings: list[Finding] = []
+    known = set(tasks)
+
+    for e in edges:
+        for endpoint in (e.src, e.dst):
+            if endpoint not in known and endpoint not in _PSEUDO:
+                findings.append(
+                    Finding(
+                        rule="graph/dangling",
+                        severity=Severity.ERROR,
+                        location=f"edge {e.src}->{e.dst}",
+                        message=f"endpoint {endpoint!r} is not a declared task",
+                    )
+                )
+
+    # Kahn's algorithm over task-to-task edges (pseudo-nodes cannot
+    # participate in a cycle: INPUT has no predecessors, OUTPUT no
+    # successors).
+    succ: dict[str, set[str]] = {t: set() for t in known}
+    indeg: dict[str, int] = {t: 0 for t in known}
+    for e in edges:
+        if e.src in known and e.dst in known and e.dst not in succ[e.src]:
+            succ[e.src].add(e.dst)
+            indeg[e.dst] += 1
+    ready = [t for t, d in indeg.items() if d == 0]
+    removed = 0
+    while ready:
+        node = ready.pop()
+        removed += 1
+        for nxt in succ[node]:
+            indeg[nxt] -= 1
+            if indeg[nxt] == 0:
+                ready.append(nxt)
+    if removed < len(known):
+        cyclic = sorted(t for t, d in indeg.items() if d > 0)
+        findings.append(
+            Finding(
+                rule="graph/cycle",
+                severity=Severity.ERROR,
+                location="graph",
+                message=(
+                    "task edge set contains a cycle through "
+                    + ", ".join(cyclic)
+                ),
+            )
+        )
+    return findings
+
+
+# -- scenario coverage and conservation --------------------------------------
+
+
+def check_scenarios(
+    graph: FlowGraph, scenario_ids: Sequence[int] = ALL_SCENARIO_IDS
+) -> list[Finding]:
+    """Switch coverage, dead tasks and per-scenario conservation."""
+    findings: list[Finding] = []
+    ever_active: set[str] = set()
+
+    for sid in scenario_ids:
+        state = SwitchState.from_scenario_id(sid)
+        loc = f"scenario {sid}"
+        try:
+            order = graph.execution_order(state)
+        except Exception as exc:  # noqa: BLE001 - any failure is a coverage hole
+            findings.append(
+                Finding(
+                    rule="graph/switch-coverage",
+                    severity=Severity.ERROR,
+                    location=loc,
+                    message=f"activation failed for switch state {sid}: {exc}",
+                )
+            )
+            continue
+        if not order:
+            findings.append(
+                Finding(
+                    rule="graph/switch-coverage",
+                    severity=Severity.ERROR,
+                    location=loc,
+                    message="activation returned no tasks for this switch state",
+                )
+            )
+            continue
+        ever_active.update(order)
+
+        active_edges = graph.active_edges(state)
+        fed = {e.dst for e in active_edges}
+        for name in order:
+            if name not in fed:
+                findings.append(
+                    Finding(
+                        rule="graph/starved-task",
+                        severity=Severity.ERROR,
+                        location=f"{loc}, task {name}",
+                        message=(
+                            "active task has no active incoming edge "
+                            "(neither INPUT nor an active producer feeds it)"
+                        ),
+                    )
+                )
+
+    for name in sorted(set(graph.tasks) - ever_active):
+        findings.append(
+            Finding(
+                rule="graph/dead-task",
+                severity=Severity.WARNING,
+                location=f"task {name}",
+                message="task is active under no checked scenario",
+            )
+        )
+
+    # Edge payload vs producer/consumer buffer capacity (Table 1).
+    for e in graph.edges:
+        src_out = _task_kb(graph.tasks.get(e.src), "output_kb")
+        dst_in = _task_kb(graph.tasks.get(e.dst), "input_kb")
+        if src_out is not None and e.kb_per_frame > src_out:
+            findings.append(
+                Finding(
+                    rule="graph/edge-capacity",
+                    severity=Severity.ERROR,
+                    location=f"edge {e.src}->{e.dst}",
+                    message=(
+                        f"carries {e.kb_per_frame:g} KiB/frame but producer "
+                        f"{e.src} outputs only {src_out:g} KiB"
+                    ),
+                )
+            )
+        if dst_in is not None and e.kb_per_frame > dst_in:
+            findings.append(
+                Finding(
+                    rule="graph/edge-capacity",
+                    severity=Severity.ERROR,
+                    location=f"edge {e.src}->{e.dst}",
+                    message=(
+                        f"carries {e.kb_per_frame:g} KiB/frame but consumer "
+                        f"{e.dst} accepts only {dst_in:g} KiB"
+                    ),
+                )
+            )
+    return findings
+
+
+# -- resource budgets --------------------------------------------------------
+
+
+def check_buffers(graph: FlowGraph, platform: object) -> list[Finding]:
+    """Table 1 working sets vs the platform's L2 capacity."""
+    findings: list[Finding] = []
+    l2 = getattr(platform, "l2", None)
+    capacity = getattr(l2, "capacity_bytes", None)
+    if capacity is None:
+        return findings
+
+    for name, task in sorted(graph.tasks.items()):
+        total_kb = _task_kb(task, "total_kb")
+        phases = getattr(task, "phases", ()) or ()
+        live_sets = [(p.name, float(p.total_kb)) for p in phases]
+        if total_kb is not None:
+            for phase_name, live_kb in live_sets:
+                if live_kb > total_kb:
+                    findings.append(
+                        Finding(
+                            rule="graph/phase-budget",
+                            severity=Severity.ERROR,
+                            location=f"task {name}, phase {phase_name}",
+                            message=(
+                                f"phase keeps {live_kb:g} KiB live, more than "
+                                f"the task's declared Table 1 total "
+                                f"({total_kb:g} KiB)"
+                            ),
+                        )
+                    )
+        peak_kb = max((kb for _, kb in live_sets), default=total_kb)
+        if peak_kb is not None and peak_kb * KIB > capacity:
+            findings.append(
+                Finding(
+                    rule="graph/buffer-budget",
+                    severity=Severity.INFO,
+                    location=f"task {name}",
+                    message=(
+                        f"peak working set {peak_kb:g} KiB exceeds the "
+                        f"{capacity // KIB} KiB L2 -- evictions expected "
+                        "(this is what generates the Fig. 5 swap bandwidth)"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_bandwidth(
+    graph: FlowGraph,
+    platform: object,
+    scenario_ids: Sequence[int] = ALL_SCENARIO_IDS,
+) -> list[Finding]:
+    """Aggregate scenario bandwidth vs the platform's link budgets."""
+    findings: list[Finding] = []
+    budgets: list[float] = []
+    for attr in ("l2_bus_bw", "total_dram_stream_bw"):
+        value = getattr(platform, attr, None)
+        if isinstance(value, (int, float)) and value > 0:
+            budgets.append(float(value))
+    if not budgets:
+        return findings
+    budget = min(budgets)
+
+    for sid in scenario_ids:
+        state = SwitchState.from_scenario_id(sid)
+        try:
+            total_bytes = graph.total_bandwidth_mbps(state) * MB
+        except Exception:  # noqa: BLE001 - reported by check_scenarios already
+            continue
+        if total_bytes > budget:
+            findings.append(
+                Finding(
+                    rule="graph/bandwidth-budget",
+                    severity=Severity.ERROR,
+                    location=f"scenario {sid}",
+                    message=(
+                        f"inter-task bandwidth {total_bytes / MB:.0f} MByte/s "
+                        f"exceeds the weakest platform link "
+                        f"({budget / MB:.0f} MByte/s)"
+                    ),
+                )
+            )
+        elif total_bytes > 0.8 * budget:
+            findings.append(
+                Finding(
+                    rule="graph/bandwidth-budget",
+                    severity=Severity.WARNING,
+                    location=f"scenario {sid}",
+                    message=(
+                        f"inter-task bandwidth {total_bytes / MB:.0f} MByte/s "
+                        f"uses over 80 % of the weakest platform link "
+                        f"({budget / MB:.0f} MByte/s)"
+                    ),
+                )
+            )
+    return findings
+
+
+def check_flowgraph(
+    graph: FlowGraph,
+    platform: object | None = None,
+    scenario_ids: Sequence[int] = ALL_SCENARIO_IDS,
+) -> list[Finding]:
+    """Run every graph check; the one-call entry point used by the CLI."""
+    findings = check_topology(graph.tasks, graph.edges)
+    findings += check_scenarios(graph, scenario_ids)
+    if platform is not None:
+        findings += check_buffers(graph, platform)
+        findings += check_bandwidth(graph, platform, scenario_ids)
+    return findings

@@ -1,0 +1,251 @@
+"""Project lint rules enforcing the reproduction's hygiene invariants.
+
+Each rule guards a property the prediction pipeline depends on:
+
+``lint/banned-random``
+    All randomness must flow through :func:`repro.util.rng.rng_stream`
+    named streams; a direct ``np.random.*`` / ``random.*`` call breaks
+    the bit-for-bit reproducibility of every figure in EXPERIMENTS.md.
+``lint/wall-clock``
+    Model code in ``core/`` must be a pure function of its inputs;
+    reading the wall clock (``time.time`` & friends) would smuggle
+    nondeterminism into predictions.
+``lint/unit-mix``
+    Decimal (``KB``/``MB``/``GB``) and binary (``KIB``/``MIB``/``GIB``)
+    byte families may not meet in one expression; conversions between
+    the Table 1 (binary) and Fig. 4 (decimal) families belong in
+    :mod:`repro.util.units` helpers, where the factor is explicit.
+``lint/ewma-alpha``
+    EWMA smoothing factors are only meaningful in ``(0, 1]`` (paper
+    Eq. 1); a literal outside that range is a latent ValueError.
+``lint/frozen-setattr``
+    ``object.__setattr__`` outside ``__post_init__`` defeats frozen
+    dataclasses; models are shared across threads in the runtime
+    manager and must stay immutable after construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.astlint import LintContext, LintRule
+from repro.analysis.findings import Severity
+
+__all__ = [
+    "BannedRandomRule",
+    "WallClockRule",
+    "UnitMixRule",
+    "EwmaAlphaRule",
+    "FrozenSetattrRule",
+    "default_rules",
+]
+
+
+def _path_endswith(path: str, suffixes: tuple[str, ...]) -> bool:
+    posix = Path(path).as_posix()
+    return any(posix.endswith(s) for s in suffixes)
+
+
+class BannedRandomRule(LintRule):
+    """No direct ``np.random.*`` / ``random.*`` calls outside util/rng."""
+
+    rule_id = "lint/banned-random"
+    description = (
+        "randomness must come from repro.util.rng named streams, not "
+        "direct numpy.random / random calls"
+    )
+
+    #: Files allowed to touch the raw generators (the stream factory).
+    allowed_files: tuple[str, ...] = ("util/rng.py",)
+
+    def __init__(self, allowed_files: tuple[str, ...] | None = None) -> None:
+        if allowed_files is not None:
+            self.allowed_files = allowed_files
+
+    def applies_to(self, path: str) -> bool:
+        return not _path_endswith(path, self.allowed_files)
+
+    def on_call(self, ctx: LintContext, node: ast.Call) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None:
+            return
+        if dotted.startswith("numpy.random.") or dotted == "numpy.random":
+            ctx.report(
+                self.rule_id,
+                Severity.ERROR,
+                node,
+                f"direct call to {dotted}; derive a generator with "
+                "repro.util.rng.rng_stream instead",
+            )
+        elif dotted == "random" or dotted.startswith("random."):
+            ctx.report(
+                self.rule_id,
+                Severity.ERROR,
+                node,
+                f"direct call to stdlib {dotted}; derive a generator with "
+                "repro.util.rng.rng_stream instead",
+            )
+
+
+class WallClockRule(LintRule):
+    """No wall-clock reads inside model code."""
+
+    rule_id = "lint/wall-clock"
+    description = "core/ model code may not read the wall clock"
+
+    banned: tuple[str, ...] = (
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    )
+
+    def __init__(self, directories: tuple[str, ...] | None = ("core",)) -> None:
+        #: Path components the rule is restricted to; ``None`` = all files.
+        self.directories = directories
+
+    def applies_to(self, path: str) -> bool:
+        if self.directories is None:
+            return True
+        parts = Path(path).parts
+        return any(d in parts for d in self.directories)
+
+    def on_call(self, ctx: LintContext, node: ast.Call) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted in self.banned:
+            ctx.report(
+                self.rule_id,
+                Severity.ERROR,
+                node,
+                f"{dotted} read in model code; predictions must be pure "
+                "functions of their inputs",
+            )
+
+
+class UnitMixRule(LintRule):
+    """No mixing of decimal and binary byte units in one expression."""
+
+    rule_id = "lint/unit-mix"
+    description = (
+        "KB/MB/GB (decimal) and KIB/MIB/GIB (binary) may not appear in "
+        "the same expression; convert via repro.util.units helpers"
+    )
+
+    decimal: frozenset[str] = frozenset({"KB", "MB", "GB"})
+    binary: frozenset[str] = frozenset({"KIB", "MIB", "GIB"})
+
+    #: The conversion boundary itself is exempt.
+    allowed_files: tuple[str, ...] = ("util/units.py",)
+
+    def applies_to(self, path: str) -> bool:
+        return not _path_endswith(path, self.allowed_files)
+
+    def _unit_names(self, node: ast.AST) -> set[str]:
+        names: set[str] = set()
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+            elif isinstance(sub, ast.Attribute):
+                names.add(sub.attr)
+        return names & (self.decimal | self.binary)
+
+    def on_binop(self, ctx: LintContext, node: ast.BinOp) -> None:
+        units = self._unit_names(node)
+        dec = sorted(units & self.decimal)
+        binr = sorted(units & self.binary)
+        if dec and binr:
+            ctx.report(
+                self.rule_id,
+                Severity.ERROR,
+                node,
+                f"expression mixes decimal {dec} with binary {binr} byte "
+                "units; lift the conversion into repro.util.units",
+            )
+
+
+class EwmaAlphaRule(LintRule):
+    """EWMA smoothing-factor literals must lie in (0, 1]."""
+
+    rule_id = "lint/ewma-alpha"
+    description = "EWMA alpha literals must satisfy 0 < alpha <= 1 (Eq. 1)"
+
+    #: callee basename -> positional index of its alpha parameter.
+    callees: dict[str, int] = {
+        "EwmaFilter": 0,
+        "ewma": 1,
+        "high_low_split": 1,
+    }
+
+    def _alpha_node(self, basename: str, node: ast.Call) -> ast.expr | None:
+        for kw in node.keywords:
+            if kw.arg == "alpha":
+                return kw.value
+        idx = self.callees[basename]
+        if len(node.args) > idx:
+            return node.args[idx]
+        return None
+
+    def on_call(self, ctx: LintContext, node: ast.Call) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted is None:
+            return
+        basename = dotted.rsplit(".", 1)[-1]
+        if basename not in self.callees:
+            return
+        value = self._alpha_node(basename, node)
+        if (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, (int, float))
+            and not isinstance(value.value, bool)
+        ):
+            alpha = float(value.value)
+            if not 0.0 < alpha <= 1.0:
+                ctx.report(
+                    self.rule_id,
+                    Severity.ERROR,
+                    node,
+                    f"{basename} called with alpha={alpha!r}, outside the "
+                    "(0, 1] range of Eq. 1",
+                )
+
+
+class FrozenSetattrRule(LintRule):
+    """No ``object.__setattr__`` outside dataclass ``__post_init__``."""
+
+    rule_id = "lint/frozen-setattr"
+    description = (
+        "object.__setattr__ is only legitimate inside __post_init__ of a "
+        "frozen dataclass"
+    )
+
+    def on_call(self, ctx: LintContext, node: ast.Call) -> None:
+        if ctx.dotted_name(node.func) != "object.__setattr__":
+            return
+        if ctx.current_function != "__post_init__":
+            where = ctx.current_function or "module level"
+            ctx.report(
+                self.rule_id,
+                Severity.ERROR,
+                node,
+                f"object.__setattr__ in {where}; mutating a frozen "
+                "dataclass outside __post_init__ breaks immutability",
+            )
+
+
+def default_rules() -> list[LintRule]:
+    """Fresh instances of every project rule (the CLI's default set)."""
+    return [
+        BannedRandomRule(),
+        WallClockRule(),
+        UnitMixRule(),
+        EwmaAlphaRule(),
+        FrozenSetattrRule(),
+    ]

@@ -24,7 +24,7 @@ from repro.graph.flowgraph import FlowGraph
 from repro.hw.spec import PlatformSpec
 from repro.imaging.pipeline import SwitchState
 from repro.profiling.traces import TraceSet
-from repro.util.units import HZ_VIDEO, MB, NATIVE_PIXELS
+from repro.util.units import HZ_VIDEO, NATIVE_PIXELS, bytes_to_mbytes, stream_bandwidth
 
 __all__ = ["ScenarioBandwidth", "BandwidthModel"]
 
@@ -72,7 +72,7 @@ class BandwidthModel:
         return ScenarioBandwidth(
             scenario_id=state.scenario_id,
             inter_task_mbps=inter,
-            swap_mbps=swap_bytes * self.rate_hz / MB,
+            swap_mbps=bytes_to_mbytes(stream_bandwidth(swap_bytes, self.rate_hz)),
         )
 
     def frame_external_bytes(

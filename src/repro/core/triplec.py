@@ -86,7 +86,7 @@ class TripleC:
         graph: FlowGraph | None = None,
         platform: PlatformSpec | None = None,
         online_update: bool = False,
-        **computation_kwargs,
+        **computation_kwargs: object,
     ) -> "TripleC":
         """Train all models from profiling traces.
 

@@ -42,7 +42,6 @@ from repro.core.computation import (
 )
 from repro.core.markov import AdaptiveQuantizer, MarkovChain, MarkovChain2
 from repro.experiments.common import ExperimentContext, make_pipeline
-from repro.hw.mapping import Mapping
 from repro.profiling import ProfileConfig, TraceSet, profile_corpus
 from repro.runtime import ResourceManager
 from repro.runtime.partition import Partitioner

@@ -17,7 +17,7 @@ from pathlib import Path
 from repro.core.triplec import TripleC
 from repro.graph import build_stentboost_graph
 from repro.graph.flowgraph import FlowGraph
-from repro.hw.spec import PlatformSpec, blackford
+from repro.hw.spec import PlatformSpec
 from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
 from repro.profiling import ProfileConfig, TraceSet, profile_corpus
 from repro.synthetic import CorpusSpec, generate_corpus

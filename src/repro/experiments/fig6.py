@@ -22,7 +22,7 @@ from repro.hw import Mapping
 from repro.imaging.couples import select_couple
 from repro.imaging.guidewire import extract_guidewire
 from repro.imaging.markers import extract_markers
-from repro.imaging.registration import RigidTransform, register_couples
+from repro.imaging.registration import register_couples
 from repro.imaging.ridge import ridge_filter
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
 from repro.util.stats import linear_fit

@@ -16,7 +16,6 @@ Three runs over the same test sequence:
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.common import ExperimentContext, make_pipeline
 from repro.runtime import ResourceManager, run_straightforward, run_worst_case

@@ -2,18 +2,19 @@
 
 The graph is a DAG of :class:`~repro.graph.task.TaskSpec` nodes whose
 *active subset* depends on a :class:`~repro.imaging.pipeline.SwitchState`.
-Edges carry per-frame payload sizes (KB at native geometry), from
-which the analytic MByte/s labels of Fig. 2 follow at the 30 Hz video
-rate -- see :meth:`FlowGraph.inter_task_bandwidth`.
+Edges carry per-frame payload sizes (binary KiB at native geometry,
+the family Table 1 prints as "KB"), from which the analytic decimal
+MByte/s labels of Fig. 2 follow at the 30 Hz video rate -- see
+:meth:`FlowGraph.inter_task_bandwidth`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from typing import Callable, Iterable, TypeAlias
 
 from repro.imaging.pipeline import SwitchState
-from repro.util.units import HZ_VIDEO, KIB, MB
+from repro.util.units import HZ_VIDEO, bytes_to_mbytes, stream_bandwidth, table_kb_to_bytes
 
 __all__ = ["Edge", "FlowGraph"]
 
@@ -33,11 +34,14 @@ class Edge:
     def bandwidth_mbps(self, rate_hz: float = HZ_VIDEO) -> float:
         """Sustained bandwidth of this edge in MByte/s at ``rate_hz``.
 
-        This computes the Fig. 2 edge labels: e.g. the 5,120 KB RDG
-        output at 30 Hz is 5120*1024*30 / 1e6 = 157 -> printed as
-        "150" MByte/s in the paper's rounded figure.
+        This computes the Fig. 2 edge labels: e.g. the RDG output --
+        Table 1's "5,120 KB", i.e. 5,120 KiB -- at 30 Hz is
+        5120*1024*30 / 1e6 = 157.3 decimal MByte/s, printed as "150"
+        in the paper's rounded figure.
         """
-        return self.kb_per_frame * KIB * rate_hz / MB
+        return bytes_to_mbytes(
+            stream_bandwidth(table_kb_to_bytes(self.kb_per_frame), rate_hz)
+        )
 
 
 class FlowGraph:
@@ -131,5 +135,7 @@ class FlowGraph:
         return order
 
 
-# typing helper (avoids importing TaskSpec at runtime in annotations)
-TaskSpecLike = object
+# typing helper (avoids importing TaskSpec at runtime in annotations);
+# the graph itself only needs task *names* -- consumers such as the
+# analysis layer duck-type the Table 1 columns off the spec objects.
+TaskSpecLike: TypeAlias = object

@@ -16,8 +16,12 @@ which, as the paper notes, does not produce a satisfying output.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.imaging.pipeline import SwitchState
+
+if TYPE_CHECKING:
+    from repro.graph.flowgraph import FlowGraph
 
 __all__ = ["Scenario", "ALL_SCENARIOS", "scenario_name", "scenario_table"]
 
@@ -54,7 +58,7 @@ ALL_SCENARIOS: tuple[Scenario, ...] = tuple(
 )
 
 
-def scenario_table(graph) -> list[dict[str, object]]:
+def scenario_table(graph: "FlowGraph") -> list[dict[str, object]]:
     """Tabulate all scenarios for a flow graph.
 
     Returns one row per scenario with its id, name, active task list

@@ -94,6 +94,18 @@ def _mkx_phases(input_kb: float) -> tuple[PhaseSpec, ...]:
     )
 
 
+def _feature_task(name: str, functional_parallel: bool = False) -> TaskSpec:
+    """Token-sized spec for a feature-domain task (Section 5.1)."""
+    return TaskSpec(
+        name,
+        kind="feature",
+        input_kb=0.5,
+        intermediate_kb=0.5,
+        output_kb=0.5,
+        functional_parallel=functional_parallel,
+    )
+
+
 def build_stentboost_graph() -> FlowGraph:
     """Construct the Fig. 2 flow graph with Table 1 memory specs.
 
@@ -101,7 +113,6 @@ def build_stentboost_graph() -> FlowGraph:
     MKX variants with the ridge-filtered input additionally carry the
     ``_RDG`` suffix (Table 1's "RDG select x" rows).
     """
-    feature = dict(kind="feature", input_kb=0.5, intermediate_kb=0.5, output_kb=0.5)
     tasks: dict[str, TaskSpec] = {}
 
     def add(spec: TaskSpec) -> None:
@@ -159,10 +170,10 @@ def build_stentboost_graph() -> FlowGraph:
                 phases=_mkx_phases(4608),
             )
         )
-    add(TaskSpec("CPLS_SEL", functional_parallel=True, **feature))
-    add(TaskSpec("REG", **feature))
-    add(TaskSpec("ROI_EST", **feature))
-    add(TaskSpec("GW_EXT", functional_parallel=True, **feature))
+    add(_feature_task("CPLS_SEL", functional_parallel=True))
+    add(_feature_task("REG"))
+    add(_feature_task("ROI_EST"))
+    add(_feature_task("GW_EXT", functional_parallel=True))
     add(
         TaskSpec(
             "ENH",

@@ -39,12 +39,36 @@ def frame_bytes(width: int = NATIVE_WIDTH, height: int = NATIVE_HEIGHT) -> int:
 
 
 def stream_bandwidth(
-    bytes_per_frame: int, rate_hz: float = HZ_VIDEO
+    bytes_per_frame: float, rate_hz: float = HZ_VIDEO
 ) -> float:
     """Sustained bandwidth in bytes/second of a per-frame data stream.
 
     This is how the MByte/s edge labels of Fig. 2 are derived: e.g. the
-    5,120 KB ridge-detection output at 30 Hz is ``5120 KiB * 30`` =
-    157.3e6 B/s, printed by the paper as "150" MByte/s.
+    ridge-detection output -- printed "5,120 KB" in Table 1, meaning
+    5,120 KiB (binary) -- at 30 Hz is ``5120 * KIB * 30`` = 157.3e6 B/s,
+    which the paper's rounded figure labels "150" MByte/s.
     """
     return float(bytes_per_frame) * rate_hz
+
+
+def table_kb_to_bytes(kb: float) -> float:
+    """Bytes of a Table 1 / Fig. 2 "KB" payload.
+
+    The paper's task tables print "KB" but mean binary kilobytes
+    (1,024 B): Table 1's 2,048 KB input row is exactly one
+    1024x1024 x 2 B frame.  All ``*_kb`` fields in
+    :mod:`repro.graph.task` use this family.
+    """
+    return float(kb) * KIB
+
+
+def bytes_to_mbytes(n_bytes: float) -> float:
+    """Decimal MByte value of a byte count (the Fig. 2/Fig. 4 family).
+
+    Bandwidth labels in the paper are decimal: 157.3e6 B/s prints as
+    157 MByte/s.  This helper and :func:`table_kb_to_bytes` are the
+    sanctioned crossing points between the binary (buffer) and decimal
+    (bandwidth) unit families -- the ``lint/unit-mix`` rule forbids
+    mixing them anywhere else.
+    """
+    return float(n_bytes) / MB

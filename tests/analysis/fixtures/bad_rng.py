@@ -1,0 +1,7 @@
+"""Lint fixture: direct numpy.random use outside util/rng (banned)."""
+
+import numpy as np
+
+
+def jitter(n):
+    return np.random.rand(n)  # lint/banned-random should flag this call

@@ -1,0 +1,7 @@
+"""Lint fixture: wall-clock read inside a ``core`` directory (banned)."""
+
+import time
+
+
+def stamp():
+    return time.perf_counter()  # lint/wall-clock should flag this call

@@ -1,0 +1,196 @@
+"""Tests for the AST lint framework and the project rules."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.astlint import LintContext, LintRule, lint_paths, lint_source
+from repro.analysis.findings import Severity
+from repro.analysis.rules import WallClockRule, default_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint(source: str, path: str = "src/repro/somewhere/mod.py", rules=None):
+    return lint_source(source, path, rules if rules is not None else default_rules())
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestFramework:
+    def test_alias_resolution(self):
+        src = "import numpy as np\nfrom numpy import random as nr\n"
+        ctx = LintContext("m.py", ast.parse(src))
+        np_random = ast.parse("np.random.default_rng", mode="eval").body
+        assert ctx.dotted_name(np_random) == "numpy.random.default_rng"
+        nr_call = ast.parse("nr.rand", mode="eval").body
+        assert ctx.dotted_name(nr_call) == "numpy.random.rand"
+
+    def test_unresolvable_expression(self):
+        ctx = LintContext("m.py", ast.parse(""))
+        call_result = ast.parse("f().attr", mode="eval").body
+        assert ctx.dotted_name(call_result) is None
+
+    def test_syntax_error_becomes_finding(self):
+        findings = lint("def broken(:\n")
+        assert rules_of(findings) == {"lint/syntax-error"}
+        assert findings[0].severity is Severity.ERROR
+
+    def test_rule_path_filter(self):
+        class Everywhere(LintRule):
+            rule_id = "lint/test-everywhere"
+
+            def on_module(self, ctx, node):
+                ctx.report(self.rule_id, Severity.INFO, node, "saw module")
+
+        class Nowhere(Everywhere):
+            rule_id = "lint/test-nowhere"
+
+            def applies_to(self, path: str) -> bool:
+                return False
+
+        findings = lint("x = 1\n", rules=[Everywhere(), Nowhere()])
+        assert rules_of(findings) == {"lint/test-everywhere"}
+
+
+class TestBannedRandom:
+    def test_numpy_random_call_flagged(self):
+        findings = lint("import numpy as np\nnp.random.rand(3)\n")
+        assert rules_of(findings) == {"lint/banned-random"}
+
+    def test_from_import_alias_flagged(self):
+        src = "from numpy.random import default_rng\ndefault_rng(0)\n"
+        assert rules_of(lint(src)) == {"lint/banned-random"}
+
+    def test_stdlib_random_flagged(self):
+        findings = lint("import random\nrandom.choice([1, 2])\n")
+        assert rules_of(findings) == {"lint/banned-random"}
+
+    def test_util_rng_is_exempt(self):
+        src = "import numpy as np\nnp.random.default_rng(0)\n"
+        assert lint(src, path="src/repro/util/rng.py") == []
+
+    def test_generator_annotation_is_fine(self):
+        src = (
+            "import numpy as np\n"
+            "def f(rng: np.random.Generator) -> float:\n"
+            "    return float(rng.uniform())\n"
+        )
+        assert lint(src) == []
+
+
+class TestWallClock:
+    SRC = "import time\ntime.perf_counter()\n"
+
+    def test_flagged_in_core(self):
+        findings = lint(self.SRC, path="src/repro/core/model.py")
+        assert rules_of(findings) == {"lint/wall-clock"}
+
+    def test_from_import_resolved(self):
+        src = "from time import perf_counter\nperf_counter()\n"
+        findings = lint(src, path="src/repro/core/model.py")
+        assert rules_of(findings) == {"lint/wall-clock"}
+
+    def test_allowed_outside_core(self):
+        assert lint(self.SRC, path="src/repro/experiments/bench.py") == []
+
+    def test_directories_none_applies_everywhere(self):
+        findings = lint(
+            self.SRC,
+            path="anywhere.py",
+            rules=[WallClockRule(directories=None)],
+        )
+        assert rules_of(findings) == {"lint/wall-clock"}
+
+
+class TestUnitMix:
+    def test_mixed_expression_flagged(self):
+        findings = lint("bw = kb * KIB * 30.0 / MB\n")
+        assert rules_of(findings) == {"lint/unit-mix"}
+        assert "['MB']" in findings[0].message and "['KIB']" in findings[0].message
+
+    def test_attribute_form_flagged(self):
+        src = "from repro.util import units\nx = q * units.GB + r * units.MIB\n"
+        assert rules_of(lint(src)) == {"lint/unit-mix"}
+
+    def test_outermost_expression_reported_once(self):
+        findings = lint("y = (a * KB + b * KB) / (c * KIB + d * GIB)\n")
+        assert len(findings) == 1
+
+    def test_separate_expressions_are_fine(self):
+        src = "a = n * KB\nb = m * KIB\n"
+        assert lint(src) == []
+
+    def test_units_module_is_exempt(self):
+        src = "x = 5 * KIB / MB\n"
+        assert lint(src, path="src/repro/util/units.py") == []
+
+
+class TestEwmaAlpha:
+    def test_keyword_literal_out_of_range(self):
+        findings = lint("f = EwmaFilter(alpha=1.5)\n")
+        assert rules_of(findings) == {"lint/ewma-alpha"}
+
+    def test_zero_alpha_flagged(self):
+        findings = lint("from repro.util.ewma import ewma\ny = ewma(x, 0.0)\n")
+        assert rules_of(findings) == {"lint/ewma-alpha"}
+
+    def test_in_range_literal_ok(self):
+        assert lint("f = EwmaFilter(alpha=0.3)\newma(x, 1.0)\n") == []
+
+    def test_non_literal_alpha_ignored(self):
+        assert lint("f = EwmaFilter(alpha=cfg.alpha)\n") == []
+
+    def test_unrelated_alpha_keyword_ignored(self):
+        assert lint("plot(x, y, alpha=2.0)\n") == []
+
+
+class TestFrozenSetattr:
+    def test_flagged_outside_post_init(self):
+        src = (
+            "class M:\n"
+            "    def update(self, v):\n"
+            "        object.__setattr__(self, 'x', v)\n"
+        )
+        findings = lint(src)
+        assert rules_of(findings) == {"lint/frozen-setattr"}
+        assert "update" in findings[0].message
+
+    def test_module_level_flagged(self):
+        findings = lint("object.__setattr__(obj, 'x', 1)\n")
+        assert rules_of(findings) == {"lint/frozen-setattr"}
+
+    def test_post_init_is_legitimate(self):
+        src = (
+            "class M:\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'x', 1)\n"
+        )
+        assert lint(src) == []
+
+
+class TestFixtureFiles:
+    def test_bad_rng_fixture(self):
+        findings = lint_paths([FIXTURES / "bad_rng.py"], default_rules())
+        assert rules_of(findings) == {"lint/banned-random"}
+
+    def test_core_clock_fixture(self):
+        findings = lint_paths([FIXTURES / "core" / "clocky.py"], default_rules())
+        assert rules_of(findings) == {"lint/wall-clock"}
+
+    def test_fixture_directory_walk(self):
+        findings = lint_paths([FIXTURES], default_rules())
+        assert {"lint/banned-random", "lint/wall-clock"} <= rules_of(findings)
+
+
+class TestRepoIsClean:
+    def test_repro_package_passes_its_own_lint(self):
+        """Tier-2 self-check: the lint pass is clean over src/repro."""
+        import repro
+
+        pkg = Path(repro.__file__).resolve().parent
+        findings = lint_paths([pkg], default_rules())
+        assert findings == []

@@ -1,0 +1,79 @@
+"""Tests for the shared findings model."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    count_at_least,
+    findings_to_json,
+    format_findings,
+    max_severity,
+)
+
+
+def _f(rule: str, sev: Severity, loc: str = "x:1", msg: str = "m") -> Finding:
+    return Finding(rule=rule, severity=sev, location=loc, message=msg)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    @pytest.mark.parametrize("name", ["error", "ERROR", "Error"])
+    def test_parse(self, name):
+        assert Severity.parse(name) is Severity.ERROR
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestAggregation:
+    def test_max_severity_empty(self):
+        assert max_severity([]) is None
+
+    def test_max_severity(self):
+        fs = [_f("a", Severity.INFO), _f("b", Severity.ERROR)]
+        assert max_severity(fs) is Severity.ERROR
+
+    def test_count_at_least(self):
+        fs = [
+            _f("a", Severity.INFO),
+            _f("b", Severity.WARNING),
+            _f("c", Severity.ERROR),
+        ]
+        assert count_at_least(fs, Severity.INFO) == 3
+        assert count_at_least(fs, Severity.WARNING) == 2
+        assert count_at_least(fs, Severity.ERROR) == 1
+
+
+class TestRendering:
+    def test_render_line(self):
+        f = _f("graph/cycle", Severity.ERROR, "graph", "has a cycle")
+        assert f.render() == "graph: error [graph/cycle] has a cycle"
+
+    def test_format_sorts_worst_first(self):
+        fs = [_f("a", Severity.INFO), _f("b", Severity.ERROR)]
+        text = format_findings(fs)
+        assert text.index("[b]") < text.index("[a]")
+        assert "2 finding(s): 1 error, 1 info" in text
+
+    def test_format_empty_is_clean(self):
+        assert format_findings([]) == "clean"
+
+    def test_json_roundtrip(self):
+        fs = [_f("lint/unit-mix", Severity.WARNING, "f.py:3", "mix")]
+        payload = json.loads(findings_to_json(fs))
+        assert payload == [
+            {
+                "rule": "lint/unit-mix",
+                "severity": "warning",
+                "location": "f.py:3",
+                "message": "mix",
+            }
+        ]

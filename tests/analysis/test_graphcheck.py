@@ -1,0 +1,173 @@
+"""Tests for the flow-graph static checks."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+from repro.analysis.findings import Severity
+from repro.analysis.graphcheck import (
+    check_bandwidth,
+    check_buffers,
+    check_flowgraph,
+    check_scenarios,
+    check_topology,
+)
+from repro.graph.flowgraph import Edge, FlowGraph
+from repro.graph.stentboost import build_stentboost_graph
+from repro.graph.task import PhaseSpec, TaskSpec
+from repro.hw.spec import blackford
+from repro.imaging.pipeline import SwitchState
+
+from tests.analysis.fixtures.bad_graph import (
+    build_cyclic_graph,
+    build_uncovered_graph,
+)
+
+
+def _task(name: str, **kw) -> TaskSpec:
+    base = dict(kind="stream", input_kb=64.0, intermediate_kb=64.0, output_kb=64.0)
+    base.update(kw)
+    return TaskSpec(name, **base)
+
+
+def rules_of(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestTopology:
+    def test_cycle_detected(self):
+        g = build_cyclic_graph()
+        findings = check_topology(g.tasks, g.edges)
+        (cycle,) = [f for f in findings if f.rule == "graph/cycle"]
+        assert cycle.severity is Severity.ERROR
+        assert "A" in cycle.message and "B" in cycle.message
+
+    def test_dangling_endpoint(self):
+        findings = check_topology(["A"], [Edge("A", "GHOST", 1.0)])
+        (dangling,) = [f for f in findings if f.rule == "graph/dangling"]
+        assert "GHOST" in dangling.message
+
+    def test_clean_chain(self):
+        edges = [
+            Edge(FlowGraph.INPUT, "A", 1.0),
+            Edge("A", "B", 1.0),
+            Edge("B", FlowGraph.OUTPUT, 1.0),
+        ]
+        assert check_topology(["A", "B"], edges) == []
+
+
+class TestScenarios:
+    def test_uncovered_switch_state(self):
+        findings = check_scenarios(build_uncovered_graph())
+        holes = [f for f in findings if f.rule == "graph/switch-coverage"]
+        # reg_success is bit 0: odd scenario ids are the uncovered ones.
+        assert {f.location for f in holes} == {
+            f"scenario {i}" for i in (1, 3, 5, 7)
+        }
+        assert all(f.severity is Severity.ERROR for f in holes)
+
+    def test_empty_activation_is_a_hole(self):
+        g = build_uncovered_graph()
+        g._activation = lambda state: []
+        findings = check_scenarios(g, scenario_ids=[0])
+        # The empty activation is the hole; it also leaves every task dead.
+        assert rules_of(findings) == {"graph/switch-coverage", "graph/dead-task"}
+        (hole,) = [f for f in findings if f.rule == "graph/switch-coverage"]
+        assert "no tasks" in hole.message
+
+    def test_starved_task(self):
+        tasks = {"A": _task("A"), "B": _task("B"), "C": _task("C")}
+        edges = [
+            Edge(FlowGraph.INPUT, "A", 64.0),
+            Edge("A", "B", 64.0),
+            Edge("B", "C", 64.0),
+        ]
+        # B inactive: C keeps running but nothing feeds it.
+        g = FlowGraph(tasks, edges, lambda state: ["A", "C"])
+        findings = check_scenarios(g, scenario_ids=[0])
+        starved = [f for f in findings if f.rule == "graph/starved-task"]
+        assert len(starved) == 1 and "task C" in starved[0].location
+
+    def test_dead_task_warning(self):
+        tasks = {"A": _task("A"), "UNUSED": _task("UNUSED")}
+        edges = [Edge(FlowGraph.INPUT, "A", 64.0)]
+        g = FlowGraph(tasks, edges, lambda state: ["A"])
+        findings = check_scenarios(g)
+        (dead,) = [f for f in findings if f.rule == "graph/dead-task"]
+        assert dead.severity is Severity.WARNING
+        assert "UNUSED" in dead.location
+
+    def test_edge_over_producer_capacity(self):
+        tasks = {"A": _task("A", output_kb=32.0), "B": _task("B")}
+        edges = [
+            Edge(FlowGraph.INPUT, "A", 64.0),
+            Edge("A", "B", 48.0),  # producer only outputs 32 KiB
+        ]
+        g = FlowGraph(tasks, edges, lambda state: ["A", "B"])
+        findings = check_scenarios(g, scenario_ids=[0])
+        caps = [f for f in findings if f.rule == "graph/edge-capacity"]
+        assert len(caps) == 1 and "outputs only 32" in caps[0].message
+
+    def test_edge_over_consumer_capacity(self):
+        tasks = {"A": _task("A"), "B": _task("B", input_kb=16.0)}
+        edges = [
+            Edge(FlowGraph.INPUT, "A", 64.0),
+            Edge("A", "B", 64.0),  # consumer only accepts 16 KiB
+        ]
+        g = FlowGraph(tasks, edges, lambda state: ["A", "B"])
+        findings = check_scenarios(g, scenario_ids=[0])
+        caps = [f for f in findings if f.rule == "graph/edge-capacity"]
+        assert len(caps) == 1 and "accepts only 16" in caps[0].message
+
+
+class TestBudgets:
+    def test_phase_exceeding_table1_total_is_error(self):
+        big_phase = PhaseSpec("huge", (("buf", 1024.0),))
+        t = TaskSpec(
+            "T",
+            kind="stream",
+            input_kb=64.0,
+            intermediate_kb=64.0,
+            output_kb=64.0,
+            phases=(big_phase,),
+        )
+        g = FlowGraph(
+            {"T": t}, [Edge(FlowGraph.INPUT, "T", 64.0)], lambda state: ["T"]
+        )
+        findings = check_buffers(g, blackford())
+        assert "graph/phase-budget" in rules_of(findings)
+
+    def test_l2_overflow_reported_as_info(self):
+        findings = check_buffers(build_stentboost_graph(), blackford())
+        overflow = [f for f in findings if f.rule == "graph/buffer-budget"]
+        assert {f.location for f in overflow} >= {"task RDG_FULL", "task ENH"}
+        assert all(f.severity is Severity.INFO for f in overflow)
+
+    def test_bandwidth_budget_error_on_tiny_link(self):
+        g = build_stentboost_graph()
+        platform = SimpleNamespace(l2_bus_bw=1.0)  # one byte per second
+        findings = check_bandwidth(g, platform)
+        assert all(f.rule == "graph/bandwidth-budget" for f in findings)
+        assert any(f.severity is Severity.ERROR for f in findings)
+
+    def test_bandwidth_fits_blackford(self):
+        findings = check_bandwidth(build_stentboost_graph(), blackford())
+        assert findings == []
+
+
+class TestFullGraph:
+    def test_stentboost_has_no_errors(self):
+        findings = check_flowgraph(build_stentboost_graph(), blackford())
+        assert [f for f in findings if f.severity >= Severity.WARNING] == []
+        # ... but the expected L2 overflows are reported for audit.
+        assert "graph/buffer-budget" in rules_of(findings)
+
+    def test_worst_case_scenario_is_heaviest(self):
+        """Sanity: the Section 5.2 worst case carries the most bandwidth."""
+        g = build_stentboost_graph()
+        totals = {
+            sid: g.total_bandwidth_mbps(SwitchState.from_scenario_id(sid))
+            for sid in range(8)
+        }
+        worst = SwitchState(rdg_on=True, roi_mode=False, reg_success=True)
+        assert max(totals, key=totals.__getitem__) == worst.scenario_id

@@ -5,10 +5,9 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.core import TripleC, prediction_accuracy
+from repro.core import prediction_accuracy
 from repro.hw import Mapping
 from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline, SwitchState
-from repro.profiling import ProfileConfig
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
 
 

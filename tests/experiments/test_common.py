@@ -5,7 +5,6 @@ from __future__ import annotations
 import os
 from unittest import mock
 
-import pytest
 
 from repro.experiments.common import ExperimentContext, default_context
 from repro.profiling import TraceSet

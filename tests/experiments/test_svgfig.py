@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import xml.etree.ElementTree as ET
 
-import numpy as np
 import pytest
 
 from repro.experiments.svgfig import LineChart, export_svg

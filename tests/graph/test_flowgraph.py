@@ -37,6 +37,31 @@ class TestEdge:
         e = Edge("A", "B", kb_per_frame=5120)
         assert e.bandwidth_mbps(30.0) == pytest.approx(5120 * KIB * 30 / MB)
 
+    @pytest.mark.parametrize(
+        ("kb_per_frame", "exact_mbps", "printed_label"),
+        [
+            (2048, 62.9, 60),  # INPUT -> RDG/ENH stream
+            (4608, 141.6, 140),  # ridge-filtered stream into MKX
+            (5120, 157.3, 150),  # RDG output
+            (1024, 31.5, 30),  # ENH -> ZOOM
+            (4096, 125.8, 120),  # ZOOM -> OUTPUT
+        ],
+    )
+    def test_fig2_printed_labels(self, kb_per_frame, exact_mbps, printed_label):
+        """Exact MByte/s values vs the rounded labels printed in Fig. 2.
+
+        The paper rounds its edge labels *down* to friendly decimal
+        values; the analytic value must sit at or just above the
+        printed one (within 10 %), never below it.
+        """
+        bw = Edge("X", "Y", kb_per_frame).bandwidth_mbps()
+        assert bw == pytest.approx(exact_mbps, abs=0.1)
+        assert printed_label <= bw <= printed_label * 1.10
+
+    def test_rate_scales_linearly(self):
+        e = Edge("A", "B", kb_per_frame=1000)
+        assert e.bandwidth_mbps(60.0) == pytest.approx(2 * e.bandwidth_mbps(30.0))
+
 
 class TestFlowGraph:
     def test_unknown_edge_endpoint_rejected(self):

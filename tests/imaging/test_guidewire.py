@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.imaging.guidewire import extract_guidewire
 from repro.synthetic.phantom import rasterize_polyline, stamp_gaussian_blob

@@ -7,11 +7,9 @@ repartition -> control latency.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro import (
     Mapping,
-    ProfileConfig,
     ResourceManager,
     StentBoostPipeline,
     TripleC,

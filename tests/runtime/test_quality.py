@@ -5,7 +5,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.hw import Mapping
 from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
 from repro.runtime import ResourceManager
 from repro.runtime.partition import Partitioner

@@ -38,3 +38,29 @@ class TestStreamBandwidth:
         """5,120 KB/frame at 30 Hz ~ the paper's '150' MByte/s label."""
         bw = units.stream_bandwidth(5120 * units.KIB) / units.MB
         assert bw == pytest.approx(157.3, abs=0.1)
+
+    def test_default_rate_is_video_rate(self):
+        assert units.stream_bandwidth(100) == 100 * units.HZ_VIDEO
+
+    def test_custom_rate(self):
+        assert units.stream_bandwidth(1000, rate_hz=15.0) == 15_000.0
+
+
+class TestFamilyConversions:
+    """The sanctioned binary <-> decimal crossing points."""
+
+    def test_table_kb_is_binary(self):
+        """Table 1 prints 'KB' but means KiB: 2,048 KB = one native frame."""
+        assert units.table_kb_to_bytes(2048) == units.frame_bytes()
+        assert units.table_kb_to_bytes(1) == 1024.0
+
+    def test_bytes_to_mbytes_is_decimal(self):
+        assert units.bytes_to_mbytes(157.3e6) == pytest.approx(157.3)
+        assert units.bytes_to_mbytes(units.MB) == 1.0
+
+    def test_rdg_label_through_helpers(self):
+        """Compose the helpers end-to-end for the Fig. 2 RDG label."""
+        bw = units.bytes_to_mbytes(
+            units.stream_bandwidth(units.table_kb_to_bytes(5120))
+        )
+        assert bw == pytest.approx(157.3, abs=0.1)
