@@ -22,6 +22,12 @@ Each rule guards a property the prediction pipeline depends on:
     ``object.__setattr__`` outside ``__post_init__`` defeats frozen
     dataclasses; models are shared across threads in the runtime
     manager and must stay immutable after construction.
+``lint/executor-outside-parallel``
+    Process/thread pools may only be built in ``repro/parallel/``;
+    :func:`repro.parallel.map_sequences` is the sanctioned fan-out.
+    Ad-hoc executors fork with unpredictable inherited state and
+    bypass the input-order merge that keeps parallel results
+    bit-identical to serial ones.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ __all__ = [
     "UnitMixRule",
     "EwmaAlphaRule",
     "FrozenSetattrRule",
+    "ExecutorRule",
     "default_rules",
 ]
 
@@ -240,6 +247,49 @@ class FrozenSetattrRule(LintRule):
             )
 
 
+class ExecutorRule(LintRule):
+    """No executor/pool construction outside ``repro/parallel/``."""
+
+    rule_id = "lint/executor-outside-parallel"
+    description = (
+        "process/thread pools may only be constructed in repro/parallel/; "
+        "use repro.parallel.map_sequences for fan-out"
+    )
+
+    banned: tuple[str, ...] = (
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "concurrent.futures.thread.ThreadPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.Process",
+        "multiprocessing.pool.Pool",
+        "multiprocessing.pool.ThreadPool",
+        "multiprocessing.get_context",
+    )
+
+    #: The sanctioned pool implementation itself.
+    allowed_files: tuple[str, ...] = ("parallel/pool.py",)
+
+    def __init__(self, allowed_files: tuple[str, ...] | None = None) -> None:
+        if allowed_files is not None:
+            self.allowed_files = allowed_files
+
+    def applies_to(self, path: str) -> bool:
+        return not _path_endswith(path, self.allowed_files)
+
+    def on_call(self, ctx: LintContext, node: ast.Call) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted in self.banned:
+            ctx.report(
+                self.rule_id,
+                Severity.ERROR,
+                node,
+                f"{dotted} constructed outside repro/parallel/; route "
+                "fan-out through repro.parallel.map_sequences",
+            )
+
+
 def default_rules() -> list[LintRule]:
     """Fresh instances of every project rule (the CLI's default set)."""
     return [
@@ -248,4 +298,5 @@ def default_rules() -> list[LintRule]:
         UnitMixRule(),
         EwmaAlphaRule(),
         FrozenSetattrRule(),
+        ExecutorRule(),
     ]

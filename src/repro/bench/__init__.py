@@ -1,0 +1,16 @@
+"""Benchmark harness for the profiling and prediction hot paths.
+
+``python -m repro.bench`` times the stages a full experiment run pays
+for -- corpus profiling (serial vs process-pool), the sharded trace
+cache (cold write vs warm read), Triple-C model fitting, and predictor
+evaluation (scalar protocol vs batch ``predict_series``) -- and writes
+the results as JSON (schema ``repro-bench/1``) together with machine
+information, so numbers from different machines and commits stay
+comparable.  ``--smoke`` shrinks the corpus for CI.
+
+See ``docs/performance.md`` for the schema and usage.
+"""
+
+from repro.bench.harness import SCHEMA, machine_info, run_bench
+
+__all__ = ["SCHEMA", "machine_info", "run_bench"]

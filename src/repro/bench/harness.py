@@ -1,0 +1,228 @@
+"""Timed stages behind ``python -m repro.bench``.
+
+Every stage reports wall-clock seconds from :func:`time.perf_counter`.
+The harness runs against a throwaway cache directory so it never
+disturbs (or benefits from) the repository's ``.cache``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.computation import EwmaMarkovPredictor, predict_series_loop
+from repro.core.triplec import TripleC
+from repro.parallel import resolve_jobs
+from repro.profiling import ProfileConfig, TraceSet, profile_corpus
+from repro.synthetic import CorpusSpec, generate_corpus
+
+__all__ = ["SCHEMA", "machine_info", "run_bench"]
+
+#: Schema identifier written into every BENCH JSON document.
+SCHEMA = "repro-bench/1"
+
+#: Corpus sizes: (n_sequences, total_frames).
+_SMOKE_CORPUS = (2, 60)
+_FULL_CORPUS = (8, 400)
+
+
+def machine_info() -> dict[str, Any]:
+    """What the numbers were measured on.
+
+    A speedup claim is meaningless without the core count it ran on:
+    on a single-core container the parallel path cannot beat serial,
+    and the JSON must make that legible rather than look like a
+    regression.
+    """
+    try:
+        affinity = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        affinity = None
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "cpu_affinity": affinity,
+    }
+
+
+def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
+    t0 = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - t0, result
+
+
+def _serialized(traces: TraceSet, tmp: Path, name: str) -> bytes:
+    path = tmp / name
+    traces.save(path)
+    return path.read_bytes()
+
+
+def _bench_profiling(
+    spec: CorpusSpec, config: ProfileConfig, jobs: int, tmp: Path
+) -> tuple[dict[str, Any], TraceSet]:
+    corpus = generate_corpus(spec)
+    serial_s, serial_traces = _timed(
+        lambda: profile_corpus(corpus, config, jobs=1)
+    )
+    parallel_s, parallel_traces = _timed(
+        lambda: profile_corpus(corpus, config, jobs=jobs)
+    )
+    identical = _serialized(serial_traces, tmp, "serial.json") == _serialized(
+        parallel_traces, tmp, "parallel.json"
+    )
+    return (
+        {
+            "profile_serial_s": serial_s,
+            "profile_parallel_s": parallel_s,
+            "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else 0.0,
+            "byte_identical": identical,
+        },
+        serial_traces,
+    )
+
+
+def _bench_cache(spec: CorpusSpec, jobs: int, cache_dir: Path) -> dict[str, Any]:
+    # The experiment layer resolves REPRO_CACHE_DIR lazily, so pointing
+    # it at the bench's throwaway directory scopes both timings.
+    from repro.experiments.common import ExperimentContext
+
+    saved = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    try:
+        cold_s, _ = _timed(
+            lambda: ExperimentContext(corpus_spec=spec, jobs=jobs).traces
+        )
+        warm_s, _ = _timed(
+            lambda: ExperimentContext(corpus_spec=spec, jobs=jobs).traces
+        )
+    finally:
+        if saved is None:
+            del os.environ["REPRO_CACHE_DIR"]
+        else:
+            os.environ["REPRO_CACHE_DIR"] = saved
+    return {"cache_cold_s": cold_s, "cache_warm_s": warm_s}
+
+
+def _bench_model(traces: TraceSet) -> tuple[dict[str, Any], TripleC]:
+    fit_s, model = _timed(lambda: TripleC.fit(traces))
+    return {"fit_s": fit_s}, model
+
+
+def _bench_prediction(traces: TraceSet) -> dict[str, Any]:
+    # Evaluate on the busiest task's series so the batch path has
+    # enough frames to amortize over.
+    task = max(traces.tasks(), key=lambda t: traces.task_values(t).size)
+    series = traces.task_values(task)
+    predictor = EwmaMarkovPredictor.fit(traces.task_series(task))
+
+    scalar_s, _ = _timed(lambda: predict_series_loop(predictor, series))
+    batch_s, _ = _timed(lambda: predictor.predict_series(series))
+    n = float(series.size)
+    return {
+        "predict_task": task,
+        "predict_frames": int(n),
+        "predict_scalar_fps": n / scalar_s if scalar_s > 0 else 0.0,
+        "predict_batch_fps": n / batch_s if batch_s > 0 else 0.0,
+        "predict_batch_speedup": scalar_s / batch_s if batch_s > 0 else 0.0,
+    }
+
+
+def run_bench(
+    smoke: bool = False,
+    jobs: int | None = None,
+    out: str | Path = "BENCH_parallel.json",
+) -> dict[str, Any]:
+    """Run every stage and write the BENCH JSON document to ``out``."""
+    n_jobs = resolve_jobs(jobs)
+    n_sequences, total_frames = _SMOKE_CORPUS if smoke else _FULL_CORPUS
+    spec = CorpusSpec(n_sequences=n_sequences, total_frames=total_frames)
+    config = ProfileConfig()
+
+    results: dict[str, Any] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp_str:
+        tmp = Path(tmp_str)
+        profiling, traces = _bench_profiling(spec, config, n_jobs, tmp)
+        results.update(profiling)
+        results.update(_bench_cache(spec, n_jobs, tmp / "cache"))
+    model_results, _model = _bench_model(traces)
+    results.update(model_results)
+    results.update(_bench_prediction(traces))
+
+    doc: dict[str, Any] = {
+        "schema": SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "machine": machine_info(),
+        "corpus": {
+            "n_sequences": spec.n_sequences,
+            "total_frames": spec.total_frames,
+            "smoke": smoke,
+        },
+        "jobs": n_jobs,
+        "results": results,
+    }
+    Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def _format_summary(doc: dict[str, Any]) -> str:
+    r = doc["results"]
+    lines = [
+        f"repro.bench ({doc['schema']})  jobs={doc['jobs']}  "
+        f"cpus={doc['machine']['cpu_count']}",
+        f"  profile: serial {r['profile_serial_s']:.2f}s, "
+        f"parallel {r['profile_parallel_s']:.2f}s "
+        f"(x{r['parallel_speedup']:.2f}, "
+        f"byte-identical={r['byte_identical']})",
+        f"  cache:   cold {r['cache_cold_s']:.2f}s, "
+        f"warm {r['cache_warm_s']:.2f}s",
+        f"  fit:     {r['fit_s']:.2f}s",
+        f"  predict: scalar {r['predict_scalar_fps']:.0f} fps, "
+        f"batch {r['predict_batch_fps']:.0f} fps "
+        f"(x{r['predict_batch_speedup']:.1f}, task {r['predict_task']})",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Benchmark profiling, caching, fitting and prediction.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny 2-sequence corpus (CI-sized run)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker count for the parallel stages "
+        "(default: REPRO_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_parallel.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+    doc = run_bench(smoke=args.smoke, jobs=args.jobs, out=args.out)
+    print(_format_summary(doc))
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,6 +43,7 @@ __all__ = [
     "RoiLinearMarkovPredictor",
     "ScenarioConditionedPredictor",
     "granularity_group",
+    "predict_series_loop",
     "ComputationModel",
     "DEFAULT_PREDICTOR_KINDS",
     "PAPER_EWMA_ALPHA",
@@ -94,6 +95,36 @@ class TaskTimePredictor(Protocol):
         """Drop online state (called at sequence boundaries)."""
 
 
+def _floor(values: NDArray[np.float64]) -> NDArray[np.float64]:
+    return np.maximum(_MIN_PREDICTION_MS, values)
+
+
+def predict_series_loop(
+    predictor: TaskTimePredictor,
+    values: NDArray[np.float64],
+    roi_kpixels: NDArray[np.float64] | None = None,
+) -> NDArray[np.float64]:
+    """Reference walk-forward evaluation via the scalar protocol.
+
+    ``out[k]`` is what ``predict()`` returns *before* ``observe()``
+    ingests ``values[k]``, starting from reset state -- the protocol
+    every ``predict_series`` batch implementation must reproduce.  The
+    predictor is reset before and after, so its online state is
+    untouched as far as callers can tell.
+    """
+    x = np.asarray(values, dtype=np.float64)
+    out = np.empty(x.size, dtype=np.float64)
+    predictor.reset()
+    for k in range(x.size):
+        ctx = PredictionContext(
+            roi_kpixels=0.0 if roi_kpixels is None else float(roi_kpixels[k])
+        )
+        out[k] = predictor.predict(ctx)
+        predictor.observe(float(x[k]), ctx)
+    predictor.reset()
+    return out
+
+
 @dataclass
 class ConstantPredictor:
     """Fixed prediction: the training mean (Table 2b constants)."""
@@ -108,6 +139,15 @@ class ConstantPredictor:
 
     def predict(self, ctx: PredictionContext) -> float:
         return max(_MIN_PREDICTION_MS, self.value_ms)
+
+    def predict_series(
+        self,
+        values: NDArray[np.float64],
+        roi_kpixels: NDArray[np.float64] | None = None,  # noqa: ARG002
+    ) -> NDArray[np.float64]:
+        """Batch walk-forward predictions (see :func:`predict_series_loop`)."""
+        n = np.asarray(values).size
+        return _floor(np.full(n, self.value_ms, dtype=np.float64))
 
     def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
         return None
@@ -136,6 +176,20 @@ class LastValuePredictor:
     def predict(self, ctx: PredictionContext) -> float:  # noqa: ARG002
         value = self.fallback_ms if self._last is None else self._last
         return max(_MIN_PREDICTION_MS, value)
+
+    def predict_series(
+        self,
+        values: NDArray[np.float64],
+        roi_kpixels: NDArray[np.float64] | None = None,  # noqa: ARG002
+    ) -> NDArray[np.float64]:
+        """Batch walk-forward predictions (see :func:`predict_series_loop`)."""
+        x = np.asarray(values, dtype=np.float64)
+        out = np.empty(x.size, dtype=np.float64)
+        if x.size == 0:
+            return out
+        out[0] = self.fallback_ms
+        out[1:] = x[:-1]
+        return _floor(out)
 
     def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
         self._last = float(ms)
@@ -170,6 +224,26 @@ class MarkovPredictor:
         if self._last is None:
             return max(_MIN_PREDICTION_MS, self._fallback)
         return max(_MIN_PREDICTION_MS, self.chain.predict_next(self._last))
+
+    def predict_series(
+        self,
+        values: NDArray[np.float64],
+        roi_kpixels: NDArray[np.float64] | None = None,
+    ) -> NDArray[np.float64]:
+        """Batch walk-forward predictions (see :func:`predict_series_loop`).
+
+        Online updating makes each prediction depend on a mutated
+        chain, so that configuration keeps the scalar loop.
+        """
+        if self.online_update:
+            return predict_series_loop(self, values, roi_kpixels)
+        x = np.asarray(values, dtype=np.float64)
+        out = np.empty(x.size, dtype=np.float64)
+        if x.size == 0:
+            return out
+        out[0] = self._fallback
+        out[1:] = self.chain.predict_next_many(x[:-1])
+        return _floor(out)
 
     def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
         if self.online_update and self._last is not None:
@@ -257,6 +331,34 @@ class EwmaMarkovPredictor:
         short_term = self.chain.predict_next(self._last_residual)
         return max(_MIN_PREDICTION_MS, long_term + short_term)
 
+    def predict_series(
+        self,
+        values: NDArray[np.float64],
+        roi_kpixels: NDArray[np.float64] | None = None,
+    ) -> NDArray[np.float64]:
+        """Batch walk-forward predictions (see :func:`predict_series_loop`).
+
+        With ``lpf`` the causal EWMA of the series, the prediction for
+        frame ``k >= 2`` is ``lpf[k-1] + E[next | x[k-1] - lpf[k-2]]``
+        -- the same decomposition the scalar protocol walks, evaluated
+        over the whole series with one filter pass and one gather.
+        """
+        if self.online_update:
+            return predict_series_loop(self, values, roi_kpixels)
+        x = np.asarray(values, dtype=np.float64)
+        out = np.empty(x.size, dtype=np.float64)
+        if x.size == 0:
+            return out
+        out[0] = self._fallback
+        if x.size == 1:
+            return _floor(out)
+        lpf = ewma(x, self.alpha)
+        out[1] = lpf[0]
+        if x.size > 2:
+            residuals = x[1:-1] - lpf[:-2]
+            out[2:] = lpf[1:-1] + self.chain.predict_next_many(residuals)
+        return _floor(out)
+
     def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
         if self._ewma.value is not None:
             residual = float(ms) - self._ewma.peek()
@@ -332,6 +434,27 @@ class RoiLinearMarkovPredictor:
         return max(
             _MIN_PREDICTION_MS, base + self.chain.predict_next(self._last_residual)
         )
+
+    def predict_series(
+        self,
+        values: NDArray[np.float64],
+        roi_kpixels: NDArray[np.float64] | None = None,
+    ) -> NDArray[np.float64]:
+        """Batch walk-forward predictions (see :func:`predict_series_loop`)."""
+        if self.online_update:
+            return predict_series_loop(self, values, roi_kpixels)
+        x = np.asarray(values, dtype=np.float64)
+        if roi_kpixels is None:
+            roi = np.zeros(x.size, dtype=np.float64)
+        else:
+            roi = np.asarray(roi_kpixels, dtype=np.float64)
+        base = self.slope * roi + self.intercept
+        out = np.empty(x.size, dtype=np.float64)
+        if x.size == 0:
+            return out
+        out[0] = base[0]
+        out[1:] = base[1:] + self.chain.predict_next_many(x[:-1] - base[:-1])
+        return _floor(out)
 
     def observe(self, ms: float, ctx: PredictionContext) -> None:
         residual = float(ms) - self.growth(ctx.roi_kpixels)
@@ -512,6 +635,26 @@ class ComputationModel:
             p = self.predictors.get(t)
             out[t] = p.predict(ctx) if p is not None else 0.0
         return out
+
+    def predict_task_series(
+        self,
+        task: str,
+        values: NDArray[np.float64],
+        roi_kpixels: NDArray[np.float64] | None = None,
+    ) -> NDArray[np.float64]:
+        """Batch walk-forward predictions of one task over a series.
+
+        Uses the predictor's vectorized ``predict_series`` when it has
+        one, and the scalar reference loop otherwise -- both reproduce
+        the predict-then-observe protocol from reset state.
+        """
+        p = self.predictors.get(task)
+        if p is None:
+            return np.zeros(np.asarray(values).size, dtype=np.float64)
+        batch = getattr(p, "predict_series", None)
+        if batch is not None:
+            return np.asarray(batch(values, roi_kpixels), dtype=np.float64)
+        return predict_series_loop(p, values, roi_kpixels)
 
     def observe_frame(
         self, task_ms: Mapping[str, float], ctx: PredictionContext

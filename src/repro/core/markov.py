@@ -174,6 +174,7 @@ class MarkovChain:
             if counts is not None
             else np.zeros((n, n))
         )
+        self._expected_next: NDArray[np.float64] | None = None
 
     @property
     def n_states(self) -> int:
@@ -232,13 +233,29 @@ class MarkovChain:
 
     # -- prediction ---------------------------------------------------------------
 
+    def expected_next_values(self) -> NDArray[np.float64]:
+        """Per-state expected next value, ``transition @ centers``.
+
+        Cached: this is the inner product behind every one-step
+        prediction, and batch prediction over a whole trace reuses it
+        for all frames.  Invalidated by :meth:`observe_transition`.
+        """
+        if self._expected_next is None:
+            self._expected_next = self.transition @ self.quantizer.centers
+        return self._expected_next
+
     def predict_from_state(self, state: int) -> float:
         """Expected next value given the current state."""
-        return float(self.transition[state] @ self.quantizer.centers)
+        return float(self.expected_next_values()[state])
 
     def predict_next(self, value: float) -> float:
         """Expected next value given the current value."""
         return self.predict_from_state(self.quantizer.state(value))
+
+    def predict_next_many(self, values: ArrayLike) -> NDArray[np.float64]:
+        """Vectorized :meth:`predict_next` over an array of values."""
+        states = self.quantizer.states(values)
+        return self.expected_next_values()[states]
 
     def next_distribution(self, state: int) -> NDArray[np.float64]:
         """Transition row of ``state``."""
@@ -266,11 +283,17 @@ class MarkovChain:
             if start_state is None
             else int(start_state)
         )
-        out = np.empty(n)
+        # Inverse-CDF sampling against precomputed cumulative rows: one
+        # uniform draw per step and a searchsorted, instead of a fresh
+        # rng.choice() (which rebuilds its alias table every call).
+        cum = np.cumsum(self.transition, axis=1)
+        u = rng.random(n)
+        last = self.n_states - 1
+        states = np.empty(n, dtype=np.intp)
         for i in range(n):
-            out[i] = self.quantizer.center(state)
-            state = int(rng.choice(self.n_states, p=self.transition[state]))
-        return out
+            states[i] = state
+            state = min(int(np.searchsorted(cum[state], u[i], side="right")), last)
+        return self.quantizer.centers[states]
 
     # -- online update ---------------------------------------------------------------
 
@@ -282,6 +305,7 @@ class MarkovChain:
         self.counts[i, j] += 1.0
         row = self.counts[i]
         self.transition[i] = row / row.sum()
+        self._expected_next = None
 
 
 class MarkovChain2:
@@ -324,6 +348,10 @@ class MarkovChain2:
             st = quantizer.states(a)
             np.add.at(counts, (st[:-2], st[1:-1], st[2:]), 1.0)
         return MarkovChain2(quantizer, counts)
+
+    def expected_next_values(self) -> NDArray[np.float64]:
+        """``(n, n)`` matrix of expected next values per (i, j) state."""
+        return self.transition @ self.quantizer.centers
 
     def predict_next(self, prev_value: float, value: float) -> float:
         i = self.quantizer.state(prev_value)

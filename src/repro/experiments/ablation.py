@@ -39,6 +39,7 @@ from repro.core.computation import (
     MarkovPredictor,
     PredictionContext,
     TaskTimePredictor,
+    predict_series_loop,
 )
 from repro.core.markov import AdaptiveQuantizer, MarkovChain, MarkovChain2
 from repro.experiments.common import ExperimentContext, make_pipeline
@@ -61,9 +62,6 @@ __all__ = [
     "scenario_awareness_comparison",
     "held_out_traces",
 ]
-
-_CTX = PredictionContext(roi_kpixels=0.0)
-
 
 def held_out_traces(ctx: ExperimentContext, n_sequences: int = 6) -> TraceSet:
     """Profile a disjoint-seed test corpus for ablation evaluation."""
@@ -93,19 +91,21 @@ def walk_forward_accuracy(
     and the first ``warmup`` frames of each series are excluded from
     scoring (state fill-in).
     """
-    preds: list[float] = []
-    actuals: list[float] = []
+    batch = getattr(predictor, "predict_series", None)
+    pred_parts: list[NDArray[np.float64]] = []
+    actual_parts: list[NDArray[np.float64]] = []
     for series in test_series:
-        predictor.reset()
-        for i, value in enumerate(np.asarray(series, dtype=np.float64)):
-            p = predictor.predict(_CTX)
-            if i >= warmup:
-                preds.append(p)
-                actuals.append(float(value))
-            predictor.observe(float(value), _CTX)
-    if not preds:
+        x = np.asarray(series, dtype=np.float64)
+        if batch is not None:
+            p = np.asarray(batch(x), dtype=np.float64)
+        else:
+            p = predict_series_loop(predictor, x)
+        pred_parts.append(p[warmup:])
+        actual_parts.append(x[warmup:])
+    preds = np.concatenate(pred_parts) if pred_parts else np.empty(0)
+    if preds.size == 0:
         raise ValueError("test series too short for the warmup")
-    return prediction_accuracy(np.asarray(preds), np.asarray(actuals))
+    return prediction_accuracy(preds, np.concatenate(actual_parts))
 
 
 def alpha_sweep(
@@ -209,6 +209,21 @@ class Order2Predictor:
         if self._prev is None or self._last is None:
             return self._fallback
         return max(1e-3, self.chain.predict_next(self._prev, self._last))
+
+    def predict_series(
+        self,
+        values: NDArray[np.float64],
+        roi_kpixels: NDArray[np.float64] | None = None,  # noqa: ARG002
+    ) -> NDArray[np.float64]:
+        """Batch walk-forward predictions (predict-then-observe)."""
+        x = np.asarray(values, dtype=np.float64)
+        out = np.full(x.size, self._fallback, dtype=np.float64)
+        if x.size > 2:
+            expected = self.chain.expected_next_values()
+            i = self.chain.quantizer.states(x[:-2])
+            j = self.chain.quantizer.states(x[1:-1])
+            out[2:] = np.maximum(1e-3, expected[i, j])
+        return out
 
     def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
         self._prev, self._last = self._last, float(ms)

@@ -34,9 +34,14 @@ def run(ctx: ExperimentContext, n_frames: int = 120, warmup: int = 3) -> dict:
     sim = ctx.profile_config.make_simulator()
     scale = ctx.profile_config.pixel_scale
 
-    frame_pred, frame_meas = [], []
-    task_pred: dict[str, list[float]] = {}
-    task_meas: dict[str, list[float]] = {}
+    n_scored = len(TEST_SEEDS) * max(0, n_frames - warmup)
+    frame_pred = np.empty(n_scored)
+    frame_meas = np.empty(n_scored)
+    scored = 0
+    # Per-frame (predicted, measured) task dicts; the per-task series
+    # are assembled vectorized after the (inherently sequential)
+    # predict-then-observe loop.
+    frame_tasks: list[tuple[dict[str, float], dict[str, float]]] = []
 
     for seed in TEST_SEEDS:
         # One visibility dip per sequence: the tracking occasionally
@@ -62,20 +67,21 @@ def run(ctx: ExperimentContext, n_frames: int = 120, warmup: int = 3) -> dict:
                 fa.reports, Mapping.serial(), frame_key=(seed, fa.index)
             )
             if fa.index >= warmup:
-                frame_pred.append(pred.frame_ms)
-                frame_meas.append(sum(res.task_ms.values()))
-                for t, ms in res.task_ms.items():
-                    if t in pred.task_ms:
-                        task_pred.setdefault(t, []).append(pred.task_ms[t])
-                        task_meas.setdefault(t, []).append(ms)
+                frame_pred[scored] = pred.frame_ms
+                frame_meas[scored] = sum(res.task_ms.values())
+                scored += 1
+                frame_tasks.append((dict(pred.task_ms), dict(res.task_ms)))
             model.observe(fa.scenario_id, res.task_ms, roi_kpx)
 
-    frame_rep = prediction_accuracy(np.asarray(frame_pred), np.asarray(frame_meas))
-    task_reps = {
-        t: prediction_accuracy(np.asarray(task_pred[t]), np.asarray(task_meas[t]))
-        for t in sorted(task_pred)
-        if len(task_pred[t]) >= 10
-    }
+    frame_rep = prediction_accuracy(frame_pred[:scored], frame_meas[:scored])
+    all_tasks = sorted({t for p, m in frame_tasks for t in m if t in p})
+    task_reps = {}
+    for t in all_tasks:
+        pairs = np.asarray(
+            [(p[t], m[t]) for p, m in frame_tasks if t in m and t in p]
+        )
+        if pairs.shape[0] >= 10:
+            task_reps[t] = prediction_accuracy(pairs[:, 0], pairs[:, 1])
 
     lines = ["Computation-time prediction accuracy (held-out)", ""]
     lines.append(

@@ -2,26 +2,41 @@
 
 The paper's training setup is 37 sequences / 1,921 frames; profiling
 that corpus takes ~40 s on a laptop, so the resulting traces are
-cached as JSON under ``.cache/`` (keyed by the corpus parameters and
-the cost-model calibration version).  Set ``REPRO_FAST=1`` to use a
-small corpus for smoke runs; ``REPRO_CACHE_DIR`` moves the cache.
+cached on disk under ``.cache/``.  The cache is *sharded per
+sequence*: each shard is keyed by (calibration version, sequence
+index, the sequence's full config, the profiling configuration
+including pipeline tunables), so changing the corpus only re-profiles
+the sequences whose shard keys changed, and missing shards are
+profiled in parallel (``REPRO_JOBS`` / ``jobs=``).  A legacy
+monolithic ``traces-<key>.json`` file, when present, is split into
+shards once and then ignored.
+
+Set ``REPRO_FAST=1`` to use a small corpus for smoke runs;
+``REPRO_CACHE_DIR`` moves the cache.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.core.triplec import TripleC
 from repro.graph import build_stentboost_graph
 from repro.graph.flowgraph import FlowGraph
+from repro.hw.bus import BandwidthLedger
 from repro.hw.spec import PlatformSpec
 from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
-from repro.profiling import ProfileConfig, TraceSet, profile_corpus
-from repro.synthetic import CorpusSpec, generate_corpus
-from repro.synthetic.sequence import XRaySequence
+from repro.profiling import (
+    ProfileConfig,
+    TraceSet,
+    merge_shards,
+    profile_shards,
+)
+from repro.synthetic import CorpusSpec, corpus_configs
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
 
 __all__ = ["ExperimentContext", "default_context", "make_pipeline"]
 
@@ -43,6 +58,11 @@ def make_pipeline(sequence: XRaySequence) -> StentBoostPipeline:
     return StentBoostPipeline(PipelineConfig(expected_distance=sep))
 
 
+def _sequence_blob(config: SequenceConfig) -> str:
+    """Stable serialization of a sequence config (nested dataclasses)."""
+    return json.dumps(asdict(config), sort_keys=True)
+
+
 @dataclass
 class ExperimentContext:
     """Everything the experiment modules share.
@@ -52,17 +72,23 @@ class ExperimentContext:
     corpus_spec:
         The training corpus parameters.
     profile_config:
-        Platform + cost-model configuration.
+        Platform + cost-model + pipeline configuration.
+    jobs:
+        Worker count for profiling fan-out (``None`` -> ``REPRO_JOBS``
+        -> ``os.cpu_count()``; see :func:`repro.parallel.resolve_jobs`).
     traces:
-        Profiled training traces (lazily computed, disk-cached).
+        Profiled training traces (lazily computed, shard-cached on
+        disk per sequence).
     model:
         Triple-C trained on ``traces`` (lazily computed).
     """
 
     corpus_spec: CorpusSpec = field(default_factory=CorpusSpec)
     profile_config: ProfileConfig = field(default_factory=ProfileConfig)
+    jobs: int | None = None
     _traces: TraceSet | None = field(default=None, repr=False)
     _model: TripleC | None = field(default=None, repr=False)
+    _graph: FlowGraph | None = field(default=None, repr=False)
 
     @property
     def platform(self) -> PlatformSpec:
@@ -70,9 +96,53 @@ class ExperimentContext:
 
     @property
     def graph(self) -> FlowGraph:
-        return build_stentboost_graph()
+        """The StentBoost flow graph (built once, memoized)."""
+        if self._graph is None:
+            self._graph = build_stentboost_graph()
+        return self._graph
+
+    # -- cache keys -----------------------------------------------------------
+
+    def _profile_fingerprint(self) -> str:
+        """Everything in the profiling config that shapes a trace.
+
+        Includes the pipeline tunables: a tuned run (e.g. an
+        ``expected_distance`` override or a different candidate cap)
+        may never reuse traces profiled under other tunables.
+        """
+        pipe = self.profile_config.pipeline
+        return (
+            f"{CALIBRATION_VERSION}|{self.profile_config.pixel_scale}|"
+            f"{self.profile_config.seed}|{self.platform.name}|"
+            f"{pipe.expected_distance}|{pipe.max_candidates}|"
+            f"{pipe.enhancer_decay}|{pipe.roi_margin_factor}|"
+            f"{pipe.reset_after_lost}"
+        )
 
     def _cache_key(self) -> str:
+        """Corpus-level cache key (fingerprint + corpus parameters)."""
+        spec = self.corpus_spec
+        blob = (
+            f"{self._profile_fingerprint()}|{spec.n_sequences}|"
+            f"{spec.total_frames}|{spec.width}|{spec.height}|{spec.base_seed}"
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def _shard_key(self, seq_id: int, config: SequenceConfig) -> str:
+        """Per-sequence shard key.
+
+        The sequence index participates because execution jitter is
+        keyed by ``(seq_id, frame)``: the same sequence config
+        profiled at a different corpus position yields different
+        times, so a shard is only reusable at its own index.
+        """
+        blob = (
+            f"{self._profile_fingerprint()}|{seq_id}|{_sequence_blob(config)}"
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+    def _legacy_cache_key(self) -> str:
+        """Key of the pre-shard monolithic cache file (migration read)."""
         spec = self.corpus_spec
         blob = (
             f"{CALIBRATION_VERSION}|{spec.n_sequences}|{spec.total_frames}|"
@@ -82,17 +152,87 @@ class ExperimentContext:
         )
         return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
+    # -- the sharded trace cache ----------------------------------------------
+
+    def _shard_paths(
+        self, configs: list[SequenceConfig]
+    ) -> list[Path]:
+        shard_dir = _cache_dir() / "trace-shards"
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        return [
+            shard_dir / f"shard-{self._shard_key(i, cfg)}.json"
+            for i, cfg in enumerate(configs)
+        ]
+
+    def _migrate_legacy(self, paths: list[Path]) -> None:
+        """One-shot split of a legacy monolithic cache into shards.
+
+        The legacy key ignored the pipeline tunables (that was the
+        stale-cache bug), so the monolith is only trusted when this
+        context runs the default pipeline -- the only configuration
+        legacy files can have described.
+        """
+        if self.profile_config.pipeline != PipelineConfig():
+            return
+        legacy = _cache_dir() / f"traces-{self._legacy_cache_key()}.json"
+        if not legacy.exists():
+            return
+        monolith = TraceSet.load(legacy)
+        by_seq: dict[int, TraceSet] = {}
+        for record in monolith.records:
+            shard = by_seq.setdefault(
+                record.seq,
+                TraceSet(
+                    pixel_scale=monolith.pixel_scale,
+                    platform=monolith.platform,
+                ),
+            )
+            shard.append(record)
+        if sorted(by_seq) != list(range(len(paths))):
+            return  # monolith does not describe this corpus; ignore it
+        for seq_id, path in enumerate(paths):
+            if not path.exists():
+                # The monolith never stored per-sequence ledgers; the
+                # shard carries records only (merge_shards copes).
+                by_seq[seq_id].save(path)
+
+    def _load_or_profile_traces(self) -> TraceSet:
+        configs = corpus_configs(self.corpus_spec)
+        paths = self._shard_paths(configs)
+        if any(not p.exists() for p in paths):
+            self._migrate_legacy(paths)
+
+        missing = [i for i, p in enumerate(paths) if not p.exists()]
+        fresh: dict[int, TraceSet] = {}
+        if missing:
+            computed = profile_shards(
+                [(i, configs[i]) for i in missing],
+                self.profile_config,
+                jobs=self.jobs,
+            )
+            for i, shard in zip(missing, computed):
+                fresh[i] = shard
+                ledger = shard.meta.get("ledger")
+                if isinstance(ledger, BandwidthLedger):
+                    shard.meta["ledger_state"] = ledger.state_dict()
+                shard.save(paths[i])
+
+        shards: list[TraceSet] = []
+        for i, path in enumerate(paths):
+            shard = fresh.get(i)
+            if shard is None:
+                shard = TraceSet.load(path)
+                state = shard.meta.get("ledger_state")
+                if isinstance(state, dict):
+                    shard.meta["ledger"] = BandwidthLedger.from_state(state)
+            shards.append(shard)
+        return merge_shards(shards, self.profile_config)
+
     @property
     def traces(self) -> TraceSet:
-        """Training traces (profiled once, cached on disk)."""
+        """Training traces (profiled once, shard-cached on disk)."""
         if self._traces is None:
-            cache = _cache_dir() / f"traces-{self._cache_key()}.json"
-            if cache.exists():
-                self._traces = TraceSet.load(cache)
-            else:
-                corpus = generate_corpus(self.corpus_spec)
-                self._traces = profile_corpus(corpus, self.profile_config)
-                self._traces.save(cache)
+            self._traces = self._load_or_profile_traces()
         return self._traces
 
     @property

@@ -91,21 +91,21 @@ def run(
 
     frame_edge = seq.config.width
     edges = np.linspace(32, frame_edge - 8, 8).astype(int)
-    roi_kpx, serial_ms, striped_ms = [], [], []
-    for edge in edges:
-        for k in range(n_frames_per_size):
-            frame_idx = (int(edge) * 7 + k * 5) % len(seq)
-            reports, px = _frame_reports(seq, frame_idx, int(edge), ctx)
-            key = ("fig6", int(edge), k)
-            res_s = sim_serial.simulate_frame(reports, Mapping.serial(), frame_key=key)
-            res_p = sim_striped.simulate_frame(reports, two_stripe, frame_key=key)
-            roi_kpx.append(px * scale / 1000.0)
-            serial_ms.append(res_s.latency_ms)
-            striped_ms.append(res_p.latency_ms)
-
-    roi = np.asarray(roi_kpx)
-    ser = np.asarray(serial_ms)
-    par = np.asarray(striped_ms)
+    n_points = edges.size * n_frames_per_size
+    roi = np.empty(n_points)
+    ser = np.empty(n_points)
+    par = np.empty(n_points)
+    for i, (edge, k) in enumerate(
+        (e, k) for e in edges for k in range(n_frames_per_size)
+    ):
+        frame_idx = (int(edge) * 7 + k * 5) % len(seq)
+        reports, px = _frame_reports(seq, frame_idx, int(edge), ctx)
+        key = ("fig6", int(edge), k)
+        res_s = sim_serial.simulate_frame(reports, Mapping.serial(), frame_key=key)
+        res_p = sim_striped.simulate_frame(reports, two_stripe, frame_key=key)
+        roi[i] = px * scale / 1000.0
+        ser[i] = res_s.latency_ms
+        par[i] = res_p.latency_ms
     slope_s, icpt_s = linear_fit(roi, ser)
     slope_p, icpt_p = linear_fit(roi, par)
 

@@ -76,9 +76,7 @@ def run(ctx: ExperimentContext, n_frames: int = 120) -> dict:
         sim = ctx.profile_config.make_simulator()
         results = sim.simulate_stream(frames, PERIOD_MS)
         lat = np.asarray([r.latency_ms for r in results])
-        completions = np.asarray(
-            [k * PERIOD_MS + r.latency_ms for k, r in enumerate(results)]
-        )
+        completions = np.arange(lat.size) * PERIOD_MS + lat
         span_s = (completions.max() - 0.0) / 1e3
         fps = len(results) / span_s if span_s > 0 else float("inf")
         # Queue growth: latency slope over the run (ms per frame).

@@ -70,3 +70,34 @@ class BandwidthLedger:
         for link, nbytes in other._bytes.items():
             self._bytes[link] += nbytes
         self._frames += other._frames
+
+    # -- persistence ----------------------------------------------------------
+
+    def state_dict(self) -> dict[str, object]:
+        """JSON-serializable snapshot (inverse of :meth:`from_state`).
+
+        The live ledger object is dropped by ``TraceSet.save``; trace
+        shards persist this snapshot instead so cached traces keep
+        their bandwidth accounting across processes and runs.
+        """
+        return {
+            "links": {link: self._bytes[link] for link in sorted(self._bytes)},
+            "frames": self._frames,
+        }
+
+    @staticmethod
+    def from_state(state: dict[str, object]) -> "BandwidthLedger":
+        """Rebuild a ledger from a :meth:`state_dict` snapshot."""
+        ledger = BandwidthLedger()
+        links = state.get("links", {})
+        if not isinstance(links, dict):
+            raise ValueError("ledger state 'links' must be a mapping")
+        for link, nbytes in links.items():
+            if not isinstance(nbytes, (int, float)):
+                raise ValueError(f"ledger traffic for {link!r} must be numeric")
+            ledger.record(str(link), float(nbytes))
+        frames = state.get("frames", 0)
+        if not isinstance(frames, int):
+            raise ValueError("ledger state 'frames' must be an integer")
+        ledger._frames = frames
+        return ledger

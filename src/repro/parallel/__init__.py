@@ -1,0 +1,20 @@
+"""Process-pool fan-out for independent per-sequence work.
+
+The paper's whole premise is that groups of image-processing tasks
+can be parallelized once their resource usage is predictable; the
+reproduction's own *profiling and experiment* layer deserves the same
+treatment.  Sequences are mutually independent and individually
+seeded (``CorpusSpec.base_seed`` + index), so corpus-scale work --
+profiling, held-out evaluation, benchmark sweeps -- is embarrassingly
+parallel across sequences.
+
+All process fan-out in the repository goes through
+:func:`map_sequences`: one audited entry point (enforced by the
+``lint/executor-outside-parallel`` rule of :mod:`repro.analysis`)
+whose inline short-circuit at ``max_workers=1`` keeps tests, coverage
+and debuggers working on a single code path.
+"""
+
+from repro.parallel.pool import map_sequences, resolve_jobs
+
+__all__ = ["map_sequences", "resolve_jobs"]

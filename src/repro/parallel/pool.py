@@ -1,0 +1,103 @@
+"""The one sanctioned process-pool in the repository.
+
+Design constraints, in order:
+
+1. **Determinism.**  Results are returned in *input order* regardless
+   of completion order, so callers that merge per-sequence outputs
+   (``profile_corpus``) produce bit-identical aggregates versus their
+   serial path.  Workers must therefore be pure functions of their
+   pickled arguments -- which every profiling worker is, because all
+   randomness flows through named RNG streams keyed by sequence id.
+2. **Debuggability.**  ``jobs=1`` (or a single work item) runs inline
+   in the calling process: no fork, no pickling, breakpoints and
+   coverage behave.  This is also why tests default to the inline
+   path unless they opt in.
+3. **Auditability.**  ``concurrent.futures`` / ``multiprocessing``
+   executor construction anywhere else in ``src/repro`` is a lint
+   error (``lint/executor-outside-parallel``); the failure modes of
+   process pools (pickling, inherited state, zombie workers) stay
+   confined to this module.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, TypeVar
+
+__all__ = ["resolve_jobs", "map_sequences"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+#: Environment variable overriding the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Resolve a ``jobs`` argument to a concrete worker count (>= 1).
+
+    Resolution order:
+
+    1. an explicit ``jobs`` argument (``0`` means "all cores");
+    2. the ``REPRO_JOBS`` environment variable, when set and nonempty
+       (again ``0`` means "all cores");
+    3. ``os.cpu_count()``.
+
+    A resolved count of 1 means "run inline, no pool".
+    """
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV_VAR, "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{JOBS_ENV_VAR}={env!r} is not an integer"
+                ) from exc
+        else:
+            return os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def map_sequences(
+    worker: Callable[[_ItemT], _ResultT],
+    items: Iterable[_ItemT],
+    jobs: int | None = None,
+    chunksize: int = 1,
+) -> list[_ResultT]:
+    """Apply ``worker`` to every item, fanning out across processes.
+
+    Parameters
+    ----------
+    worker:
+        A *module-level* callable (it is pickled when a pool is used).
+        Must be a pure function of its argument for the ordered merge
+        to be reproducible.
+    items:
+        Work items; each must be picklable when a pool is used.
+    jobs:
+        Worker-count request, resolved via :func:`resolve_jobs`
+        (``None`` -> ``REPRO_JOBS`` -> ``os.cpu_count()``).
+    chunksize:
+        Items shipped to a worker per round trip; 1 is right for
+        coarse items like whole sequences.
+
+    Returns
+    -------
+    Results in the same order as ``items``, whatever order the workers
+    finished in.  A resolved worker count of 1 -- or a single work
+    item -- executes inline in the calling process.
+    """
+    work = list(items)
+    n_jobs = resolve_jobs(jobs)
+    if n_jobs <= 1 or len(work) <= 1:
+        return [worker(item) for item in work]
+    with ProcessPoolExecutor(max_workers=min(n_jobs, len(work))) as pool:
+        # Executor.map preserves input order by construction.
+        return list(pool.map(worker, work, chunksize=chunksize))

@@ -9,7 +9,13 @@ frame.  Triple-C's models train on the resulting
 :class:`~repro.profiling.traces.TraceSet`.
 """
 
-from repro.profiling.profiler import ProfileConfig, profile_corpus, profile_sequence
+from repro.profiling.profiler import (
+    ProfileConfig,
+    merge_shards,
+    profile_corpus,
+    profile_sequence,
+    profile_shards,
+)
 from repro.profiling.traces import TraceRecord, TraceSet
 
 __all__ = [
@@ -18,4 +24,6 @@ __all__ = [
     "ProfileConfig",
     "profile_sequence",
     "profile_corpus",
+    "profile_shards",
+    "merge_shards",
 ]

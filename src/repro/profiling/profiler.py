@@ -11,16 +11,25 @@ parallelization decisions later scale these via the partition model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
 from repro.graph import build_stentboost_graph
 from repro.graph.flowgraph import FlowGraph
 from repro.hw import CostModel, Mapping, PlatformSimulator, blackford
+from repro.hw.bus import BandwidthLedger
 from repro.hw.spec import PlatformSpec
 from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.parallel import map_sequences
 from repro.profiling.traces import TraceRecord, TraceSet
-from repro.synthetic.sequence import XRaySequence
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
 
-__all__ = ["ProfileConfig", "profile_sequence", "profile_corpus"]
+__all__ = [
+    "ProfileConfig",
+    "profile_sequence",
+    "profile_corpus",
+    "profile_shards",
+    "merge_shards",
+]
 
 
 @dataclass
@@ -117,21 +126,114 @@ def profile_sequence(
     return ts
 
 
+@dataclass(frozen=True)
+class _SequenceJob:
+    """Picklable unit of profiling work: one sequence of a corpus.
+
+    The worker rebuilds the :class:`XRaySequence` from its config
+    rather than shipping (possibly pre-rendered) frame arrays through
+    the pool; rendering is a pure function of the config, so the
+    rebuilt sequence profiles identically.
+    """
+
+    seq_id: int
+    sequence: SequenceConfig
+    profile: ProfileConfig
+
+
+def _profile_one(job: _SequenceJob) -> TraceSet:
+    """Pool worker: profile one sequence with its own simulator.
+
+    Per-frame jitter is keyed by ``(seed, task, seq_id, frame)``, and
+    ``simulate_frame`` under the serial profiling mapping has no
+    cross-frame state, so a private per-sequence simulator yields
+    records bit-identical to the shared-simulator serial path.  The
+    private simulator's ledger is attached as ``meta["ledger"]`` so
+    callers can merge corpus-wide traffic accounting.
+    """
+    sim = job.profile.make_simulator()
+    ts = profile_sequence(
+        XRaySequence(job.sequence), job.profile, seq_id=job.seq_id, simulator=sim
+    )
+    ts.meta["ledger"] = sim.ledger
+    return ts
+
+
+def profile_shards(
+    items: Sequence[tuple[int, SequenceConfig]],
+    config: ProfileConfig | None = None,
+    jobs: int | None = None,
+) -> list[TraceSet]:
+    """Profile ``(seq_id, config)`` pairs into independent trace shards.
+
+    Each shard is one sequence's :class:`TraceSet` with that
+    sequence's bandwidth ledger in ``meta["ledger"]``.  Shards are
+    computed in parallel when ``jobs`` resolves above 1 (see
+    :func:`repro.parallel.resolve_jobs`) and always returned in input
+    order.  This is the unit the experiment layer's sharded trace
+    cache stores and the delta it recomputes when a corpus changes.
+    """
+    config = config or ProfileConfig()
+    work = [_SequenceJob(seq_id, seq_cfg, config) for seq_id, seq_cfg in items]
+    return map_sequences(_profile_one, work, jobs=jobs)
+
+
 def profile_corpus(
     sequences: list[XRaySequence],
     config: ProfileConfig | None = None,
+    jobs: int | None = None,
 ) -> TraceSet:
     """Profile a corpus of sequences into one trace set.
 
-    One simulator instance is shared so its bandwidth ledger
-    accumulates corpus-wide traffic statistics; the ledger is exposed
-    via the returned trace set's ``meta["ledger"]``.
+    The corpus-wide bandwidth ledger is exposed via the returned trace
+    set's ``meta["ledger"]``.
+
+    Parameters
+    ----------
+    sequences:
+        The corpus, in training order (record order follows it).
+    config:
+        Profiling configuration (fresh default when omitted).
+    jobs:
+        Fan sequences out across a process pool
+        (``None`` -> ``REPRO_JOBS`` -> ``os.cpu_count()``; pass 1 to
+        force the serial path).  Sequences are independent and every
+        stochastic draw is keyed by ``(seq_id, frame)``, so the
+        parallel path merges per-sequence shards back in sequence
+        order into a trace set whose serialized form is *byte
+        identical* to the serial one.  Only the ledger's float totals
+        can differ in the last ulp (per-sequence partial sums), and
+        the ledger is never serialized.
     """
     config = config or ProfileConfig()
-    sim = config.make_simulator()
+    shards = profile_shards(
+        [(seq_id, seq.config) for seq_id, seq in enumerate(sequences)],
+        config,
+        jobs=jobs,
+    )
+    return merge_shards(shards, config)
+
+
+def merge_shards(shards: Sequence[TraceSet], config: ProfileConfig) -> TraceSet:
+    """Merge per-sequence trace shards into one corpus trace set.
+
+    Records concatenate in shard order (callers keep shards in
+    sequence order); per-shard ledgers fold into one corpus ledger.
+    Shards without a ledger (e.g. migrated from a legacy monolithic
+    cache file) leave the merged ledger's totals short, so the merged
+    ``meta["ledger"]`` is only attached when every shard carried one.
+    """
     ts = TraceSet(pixel_scale=config.pixel_scale, platform=config.platform.name)
-    for seq_id, seq in enumerate(sequences):
-        profile_sequence(seq, config, seq_id=seq_id, simulator=sim, traces=ts)
-    ts.meta["n_sequences"] = len(sequences)
-    ts.meta["ledger"] = sim.ledger
+    ledger: BandwidthLedger | None = BandwidthLedger()
+    for shard in shards:
+        for record in shard.records:
+            ts.append(record)
+        shard_ledger = shard.meta.get("ledger")
+        if isinstance(shard_ledger, BandwidthLedger) and ledger is not None:
+            ledger.merge(shard_ledger)
+        else:
+            ledger = None
+    ts.meta["n_sequences"] = len(shards)
+    if ledger is not None:
+        ts.meta["ledger"] = ledger
     return ts

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
+from scipy.signal import lfilter
 
 __all__ = ["EwmaFilter", "ewma", "high_low_split"]
 
@@ -83,17 +84,13 @@ class EwmaFilter:
 def ewma(x: ArrayLike, alpha: float, initial: float | None = None) -> NDArray[np.float64]:
     """Vectorized batch EWMA of a 1-D series.
 
-    Equivalent to feeding ``x`` sample-by-sample through
-    :class:`EwmaFilter`, but computed with a closed-form cumulative
-    expression so long profiling traces filter in O(n) NumPy time.
-
-    Notes
-    -----
-    The recurrence ``y_k = (1-a) y_{k-1} + a x_k`` unrolls to
-    ``y_k = (1-a)^k y_0 + a * sum_{i<=k} (1-a)^{k-i} x_i``.  Direct
-    evaluation of the powers overflows for long series, so we process
-    the series in blocks within which the dynamic range of
-    ``(1-a)^i`` stays bounded.
+    *Bit-identical* to feeding ``x`` sample-by-sample through
+    :class:`EwmaFilter`: the recurrence ``y_k = a x_k + (1-a) y_{k-1}``
+    is an order-1 IIR filter evaluated by :func:`scipy.signal.lfilter`
+    with the same double-precision multiply-add per step, just in C.
+    Exactness matters downstream -- batch predictors quantize the
+    filter residuals, and a last-ulp discrepancy at a bin edge would
+    flip the Markov state the streaming path selects.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.ndim != 1:
@@ -105,37 +102,20 @@ def ewma(x: ArrayLike, alpha: float, initial: float | None = None) -> NDArray[np
     if n == 0:
         return out
 
-    # Block size keeping (1-a)^i within float64 range comfortably.
     decay = 1.0 - alpha
     if decay == 0.0:
-        out[:] = x
-        if initial is not None:
-            pass  # alpha == 1 ignores history entirely
+        out[:] = x  # alpha == 1 ignores history entirely
         return out
-    block = max(1, min(n, int(200.0 / max(1e-12, -np.log(decay)))))
 
-    state = float(x[0]) if initial is None else float(initial)
-    start = 0
-    first = initial is None
-    while start < n:
-        stop = min(n, start + block)
-        xb = x[start:stop]
-        m = xb.size
-        pow_up = decay ** np.arange(1, m + 1)  # (1-a)^1 .. (1-a)^m
-        # y_j = (1-a)^{j+1} * state + a * sum_{i<=j} (1-a)^{j-i} x_i
-        weighted = alpha * xb / pow_up
-        yb = pow_up * (state + np.cumsum(weighted))
-        if first:
-            # First sample seeds the filter exactly (y_0 = x_0).
-            yb[0] = xb[0]
-            if m > 1:
-                pw = decay ** np.arange(1, m)
-                w2 = alpha * xb[1:] / pw
-                yb[1:] = pw * (yb[0] + np.cumsum(w2))
-            first = False
-        out[start:stop] = yb
-        state = float(yb[-1])
-        start = stop
+    b = np.array([alpha])
+    a = np.array([1.0, -decay])
+    if initial is None:
+        # First sample seeds the filter exactly (y_0 = x_0).
+        out[0] = x[0]
+        if n > 1:
+            out[1:], _ = lfilter(b, a, x[1:], zi=np.array([decay * x[0]]))
+    else:
+        out[:], _ = lfilter(b, a, x, zi=np.array([decay * float(initial)]))
     return out
 
 

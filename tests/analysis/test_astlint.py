@@ -172,6 +172,44 @@ class TestFrozenSetattr:
         assert lint(src) == []
 
 
+class TestExecutor:
+    def test_process_pool_flagged(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor(max_workers=4)\n"
+        )
+        findings = lint(src, path="src/repro/profiling/profiler.py")
+        assert rules_of(findings) == {"lint/executor-outside-parallel"}
+        assert "map_sequences" in findings[0].message
+
+    def test_multiprocessing_pool_flagged(self):
+        src = "import multiprocessing\np = multiprocessing.Pool(4)\n"
+        findings = lint(src, path="src/repro/experiments/common.py")
+        assert rules_of(findings) == {"lint/executor-outside-parallel"}
+
+    def test_aliased_import_flagged(self):
+        src = (
+            "import concurrent.futures as cf\n"
+            "pool = cf.ThreadPoolExecutor()\n"
+        )
+        findings = lint(src)
+        assert rules_of(findings) == {"lint/executor-outside-parallel"}
+
+    def test_parallel_pool_module_exempt(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "pool = ProcessPoolExecutor(max_workers=4)\n"
+        )
+        assert lint(src, path="src/repro/parallel/pool.py") == []
+
+    def test_map_sequences_use_is_clean(self):
+        src = (
+            "from repro.parallel import map_sequences\n"
+            "out = map_sequences(str, [1, 2], jobs=4)\n"
+        )
+        assert lint(src) == []
+
+
 class TestFixtureFiles:
     def test_bad_rng_fixture(self):
         findings = lint_paths([FIXTURES / "bad_rng.py"], default_rules())

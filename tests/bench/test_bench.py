@@ -1,0 +1,65 @@
+"""Smoke tests for the benchmark harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA, machine_info, run_bench
+
+
+class TestMachineInfo:
+    def test_keys(self):
+        info = machine_info()
+        assert {"platform", "python", "numpy", "cpu_count"} <= info.keys()
+        assert info["cpu_count"] >= 1
+
+
+@pytest.fixture(scope="module")
+def bench_doc(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
+    doc = run_bench(smoke=True, jobs=2, out=out)
+    return doc, out
+
+
+class TestRunBench:
+    def test_writes_valid_json(self, bench_doc):
+        doc, out = bench_doc
+        assert out.exists()
+        assert json.loads(out.read_text()) == doc
+
+    def test_schema_and_structure(self, bench_doc):
+        doc, _ = bench_doc
+        assert doc["schema"] == SCHEMA
+        assert doc["corpus"]["smoke"] is True
+        assert doc["jobs"] == 2
+        results = doc["results"]
+        expected = {
+            "profile_serial_s",
+            "profile_parallel_s",
+            "parallel_speedup",
+            "byte_identical",
+            "cache_cold_s",
+            "cache_warm_s",
+            "fit_s",
+            "predict_task",
+            "predict_frames",
+            "predict_scalar_fps",
+            "predict_batch_fps",
+            "predict_batch_speedup",
+        }
+        assert expected <= results.keys()
+
+    def test_parallel_profiling_byte_identical(self, bench_doc):
+        doc, _ = bench_doc
+        assert doc["results"]["byte_identical"] is True
+
+    def test_timings_positive(self, bench_doc):
+        doc, _ = bench_doc
+        r = doc["results"]
+        for key in ("profile_serial_s", "profile_parallel_s", "cache_cold_s"):
+            assert r[key] > 0
+        # Warm cache reads shards instead of re-profiling.
+        assert r["cache_warm_s"] < r["cache_cold_s"]
+        assert r["predict_batch_fps"] > 0

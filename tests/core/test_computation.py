@@ -12,6 +12,7 @@ from repro.core.computation import (
     MarkovPredictor,
     PredictionContext,
     RoiLinearMarkovPredictor,
+    predict_series_loop,
 )
 
 CTX = PredictionContext(roi_kpixels=100.0)
@@ -176,3 +177,96 @@ class TestComputationModel:
         model = ComputationModel.fit(traces)
         model.observe_frame({"CPLS_SEL": 1.0}, CTX)
         model.reset()  # must not raise and must clear online state
+
+
+class TestPredictSeries:
+    """Batch predict_series must replay the scalar protocol exactly."""
+
+    @staticmethod
+    def _series(seed: int, n: int = 400) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        return np.abs(rng.normal(10, 2, n)) + 0.5
+
+    def test_constant_batch_matches_loop(self):
+        x = self._series(20)
+        p = ConstantPredictor.fit([x])
+        np.testing.assert_array_equal(
+            p.predict_series(x), predict_series_loop(p, x)
+        )
+
+    def test_last_value_batch_matches_loop(self):
+        from repro.core.computation import LastValuePredictor
+
+        x = self._series(21)
+        p = LastValuePredictor.fit([x])
+        np.testing.assert_array_equal(
+            p.predict_series(x), predict_series_loop(p, x)
+        )
+
+    def test_markov_batch_matches_loop(self):
+        x = self._series(22)
+        p = MarkovPredictor.fit([x[:200], x[200:]])
+        np.testing.assert_array_equal(
+            p.predict_series(x), predict_series_loop(p, x)
+        )
+
+    def test_ewma_markov_batch_matches_loop(self):
+        x = self._series(23)
+        p = EwmaMarkovPredictor.fit([x[:200], x[200:]])
+        np.testing.assert_array_equal(
+            p.predict_series(x), predict_series_loop(p, x)
+        )
+
+    def test_roi_linear_batch_matches_loop(self):
+        rng = np.random.default_rng(24)
+        roi = np.abs(rng.normal(50, 10, 400))
+        t = 0.1 * roi + 2.0 + rng.normal(0, 0.3, 400)
+        p = RoiLinearMarkovPredictor.fit([(roi[:200], t[:200]), (roi[200:], t[200:])])
+        np.testing.assert_array_equal(
+            p.predict_series(t, roi), predict_series_loop(p, t, roi)
+        )
+
+    def test_online_update_falls_back_to_loop(self):
+        x = self._series(25)
+        p = EwmaMarkovPredictor.fit([x[:200]], online_update=True)
+        # With online updates the chain mutates during evaluation; the
+        # batch API must still agree because it IS the loop then.
+        a = p.predict_series(x)
+        p2 = EwmaMarkovPredictor.fit([x[:200]], online_update=True)
+        b = predict_series_loop(p2, x)
+        np.testing.assert_array_equal(a, b)
+
+    def test_series_leaves_online_state_reset(self):
+        x = self._series(26)
+        p = EwmaMarkovPredictor.fit([x])
+        p.observe(5.0, CTX)
+        before = p.predict(CTX)
+        p.predict_series(x)
+        # Batch evaluation must not perturb streaming state...
+        assert p.predict(CTX) == before
+        # ...and the loop fallback resets it.
+        predict_series_loop(p, x)
+        assert p._ewma.value is None
+
+    def test_short_series_edge_cases(self):
+        x = self._series(27)
+        p = EwmaMarkovPredictor.fit([x])
+        for n in (0, 1, 2, 3):
+            np.testing.assert_array_equal(
+                p.predict_series(x[:n]), predict_series_loop(p, x[:n])
+            )
+
+    def test_model_predict_task_series(self, traces):
+        model = ComputationModel.fit(traces)
+        task = "CPLS_SEL"
+        series = np.concatenate(
+            [np.asarray(s) for s in traces.task_series(task)]
+        )
+        batch = model.predict_task_series(task, series)
+        loop = predict_series_loop(model.predictors[task], series)
+        np.testing.assert_array_equal(batch, loop)
+
+    def test_model_predict_task_series_unknown_task(self, traces):
+        model = ComputationModel.fit(traces)
+        out = model.predict_task_series("UNKNOWN", np.ones(5))
+        np.testing.assert_array_equal(out, np.zeros(5))

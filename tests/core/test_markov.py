@@ -174,3 +174,59 @@ class TestMarkovChain2:
         rng = np.random.default_rng(10)
         chain = MarkovChain2.fit([rng.normal(0, 1, 500)])
         assert np.isfinite(chain.predict_next(0.0, 0.5))
+
+
+class TestVectorizedPrediction:
+    def test_predict_next_many_matches_scalar(self):
+        rng = np.random.default_rng(12)
+        chain = MarkovChain.fit([rng.normal(10, 2, 3000)])
+        values = rng.normal(10, 2, 500)
+        batch = chain.predict_next_many(values)
+        scalar = np.array([chain.predict_next(v) for v in values])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_expected_next_values_cached(self):
+        rng = np.random.default_rng(13)
+        chain = MarkovChain.fit([rng.normal(0, 1, 1000)])
+        assert chain.expected_next_values() is chain.expected_next_values()
+
+    def test_cache_invalidated_by_observe_transition(self):
+        rng = np.random.default_rng(14)
+        chain = MarkovChain.fit([rng.normal(0, 1, 1000)])
+        before = chain.expected_next_values().copy()
+        for _ in range(50):
+            chain.observe_transition(-2.0, 2.0)
+        after = chain.expected_next_values()
+        assert not np.array_equal(before, after)
+        # The cache must agree with a from-scratch evaluation.
+        np.testing.assert_array_equal(
+            after, chain.transition @ chain.quantizer.centers
+        )
+
+    def test_sample_path_deterministic_given_seed(self):
+        rng = np.random.default_rng(15)
+        chain = MarkovChain.fit([rng.normal(5, 1, 2000)])
+        a = chain.sample_path(200, np.random.default_rng(3), start_state=0)
+        b = chain.sample_path(200, np.random.default_rng(3), start_state=0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_path_visits_follow_transition_matrix(self):
+        # A near-deterministic 2-state flip-flop chain must alternate.
+        q = AdaptiveQuantizer(edges=np.array([0.5]), centers=np.array([0.0, 1.0]))
+        t = np.array([[0.01, 0.99], [0.99, 0.01]])
+        chain = MarkovChain(q, t)
+        path = chain.sample_path(400, np.random.default_rng(4), start_state=0)
+        flips = np.mean(path[1:] != path[:-1])
+        assert flips > 0.9
+
+    def test_chain2_expected_next_values_shape(self):
+        rng = np.random.default_rng(16)
+        chain2 = MarkovChain2.fit([rng.normal(0, 1, 2000)])
+        n = chain2.quantizer.n_states
+        expected = chain2.expected_next_values()
+        assert expected.shape == (n, n)
+        assert expected[1, 1] == pytest.approx(
+            chain2.predict_next(
+                chain2.quantizer.centers[1], chain2.quantizer.centers[1]
+            )
+        )

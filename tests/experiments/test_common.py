@@ -1,13 +1,13 @@
-"""Tests for the experiment context and its disk cache."""
+"""Tests for the experiment context and its sharded disk cache."""
 
 from __future__ import annotations
 
 import os
 from unittest import mock
 
-
 from repro.experiments.common import ExperimentContext, default_context
-from repro.profiling import TraceSet
+from repro.imaging.pipeline import PipelineConfig
+from repro.profiling import ProfileConfig, TraceSet
 from repro.synthetic import CorpusSpec
 
 
@@ -17,13 +17,52 @@ class TestExperimentContext:
         with mock.patch.dict(os.environ, {"REPRO_CACHE_DIR": str(tmp_path)}):
             ctx = ExperimentContext(corpus_spec=spec)
             traces1 = ctx.traces
-            files = list(tmp_path.glob("traces-*.json"))
-            assert len(files) == 1
-            # A fresh context loads from the cache file.
+            shards = list((tmp_path / "trace-shards").glob("shard-*.json"))
+            assert len(shards) == spec.n_sequences
+            # A fresh context loads from the shard files.
             ctx2 = ExperimentContext(corpus_spec=spec)
             traces2 = ctx2.traces
             assert len(traces2) == len(traces1)
             assert traces2.records[0] == traces1.records[0]
+            # The corpus ledger survives the cache round trip.
+            assert traces2.meta["ledger"].frames == len(traces2)
+
+    def test_delta_reprofiling_recomputes_only_missing_shard(self, tmp_path):
+        spec = CorpusSpec(n_sequences=3, total_frames=30, base_seed=99)
+        with mock.patch.dict(os.environ, {"REPRO_CACHE_DIR": str(tmp_path)}):
+            full = ExperimentContext(corpus_spec=spec).traces
+            shard_dir = tmp_path / "trace-shards"
+            shards = sorted(shard_dir.glob("shard-*.json"))
+            assert len(shards) == 3
+            victim = shards[1]
+            kept_mtimes = {
+                p: p.stat().st_mtime_ns for p in shards if p != victim
+            }
+            victim.unlink()
+            rebuilt = ExperimentContext(corpus_spec=spec).traces
+            assert victim.exists()
+            for p, mtime in kept_mtimes.items():
+                assert p.stat().st_mtime_ns == mtime  # untouched
+            assert [r for r in rebuilt.records] == [r for r in full.records]
+
+    def test_legacy_monolith_migrated_to_shards(self, tmp_path):
+        spec = CorpusSpec(n_sequences=2, total_frames=20, base_seed=99)
+        with mock.patch.dict(os.environ, {"REPRO_CACHE_DIR": str(tmp_path)}):
+            ctx = ExperimentContext(corpus_spec=spec)
+            traces = ctx.traces
+            # Re-create the pre-shard layout: one monolithic file under
+            # the legacy key, no shards.
+            legacy = tmp_path / f"traces-{ctx._legacy_cache_key()}.json"
+            traces.save(legacy)
+            for p in (tmp_path / "trace-shards").glob("shard-*.json"):
+                p.unlink()
+            migrated = ExperimentContext(corpus_spec=spec).traces
+            assert len(migrated) == len(traces)
+            assert migrated.records == traces.records
+            # The migration split the monolith instead of re-profiling:
+            # both shard files exist now.
+            shards = list((tmp_path / "trace-shards").glob("shard-*.json"))
+            assert len(shards) == spec.n_sequences
 
     def test_cache_key_sensitive_to_spec(self, tmp_path):
         with mock.patch.dict(os.environ, {"REPRO_CACHE_DIR": str(tmp_path)}):
@@ -34,6 +73,32 @@ class TestExperimentContext:
                 corpus_spec=CorpusSpec(n_sequences=2, total_frames=20, base_seed=2)
             )
             assert a._cache_key() != b._cache_key()
+
+    def test_cache_key_sensitive_to_pipeline_tunables(self):
+        spec = CorpusSpec(n_sequences=2, total_frames=20, base_seed=1)
+        a = ExperimentContext(corpus_spec=spec)
+        b = ExperimentContext(
+            corpus_spec=spec,
+            profile_config=ProfileConfig(
+                pipeline=PipelineConfig(max_candidates=8)
+            ),
+        )
+        assert a._cache_key() != b._cache_key()
+        from repro.synthetic import corpus_configs
+
+        cfg = corpus_configs(spec)[0]
+        assert a._shard_key(0, cfg) != b._shard_key(0, cfg)
+
+    def test_shard_key_sensitive_to_sequence_index(self, tiny_context):
+        from repro.synthetic import corpus_configs
+
+        cfgs = corpus_configs(tiny_context.corpus_spec)
+        assert tiny_context._shard_key(0, cfgs[0]) != tiny_context._shard_key(
+            1, cfgs[0]
+        )
+
+    def test_graph_memoized(self, tiny_context):
+        assert tiny_context.graph is tiny_context.graph
 
     def test_model_memoized(self, tiny_context):
         assert tiny_context.model is tiny_context.model

@@ -1,0 +1,80 @@
+"""Parallel corpus profiling must be indistinguishable from serial.
+
+The acceptance property of ``repro.parallel``: fanning sequences
+across a process pool changes wall-clock time only -- the serialized
+TraceSet is byte-identical, because every stochastic draw is keyed by
+``(seq_id, frame)`` and frames carry no cross-sequence state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.bus import BandwidthLedger
+from repro.profiling import (
+    ProfileConfig,
+    merge_shards,
+    profile_corpus,
+    profile_shards,
+)
+from repro.synthetic import CorpusSpec, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return generate_corpus(CorpusSpec(n_sequences=3, total_frames=24, base_seed=55))
+
+
+class TestParallelEqualsSerial:
+    def test_serialized_byte_identity(self, tiny_corpus, tmp_path):
+        config = ProfileConfig()
+        serial = profile_corpus(tiny_corpus, config, jobs=1)
+        pooled = profile_corpus(tiny_corpus, config, jobs=3)
+
+        p_serial = tmp_path / "serial.json"
+        p_pooled = tmp_path / "pooled.json"
+        serial.save(p_serial)
+        pooled.save(p_pooled)
+        assert p_serial.read_bytes() == p_pooled.read_bytes()
+
+    def test_records_identical(self, tiny_corpus):
+        config = ProfileConfig()
+        serial = profile_corpus(tiny_corpus, config, jobs=1)
+        pooled = profile_corpus(tiny_corpus, config, jobs=4)
+        assert serial.records == pooled.records
+
+    def test_ledger_merged_across_shards(self, tiny_corpus):
+        traces = profile_corpus(tiny_corpus, ProfileConfig(), jobs=2)
+        ledger = traces.meta["ledger"]
+        assert isinstance(ledger, BandwidthLedger)
+        assert ledger.frames == len(traces)
+
+    def test_oversubscribed_pool_is_fine(self, tiny_corpus):
+        # More workers than sequences: min() clamps the pool size.
+        traces = profile_corpus(tiny_corpus, ProfileConfig(), jobs=16)
+        assert len(traces) == sum(len(s) for s in tiny_corpus)
+
+
+class TestShards:
+    def test_shards_in_input_order(self, tiny_corpus):
+        config = ProfileConfig()
+        items = [(i, seq.config) for i, seq in enumerate(tiny_corpus)]
+        shards = profile_shards(items, config, jobs=2)
+        assert [s.records[0].seq for s in shards] == [0, 1, 2]
+
+    def test_shard_subset_matches_full_profile(self, tiny_corpus):
+        config = ProfileConfig()
+        full = profile_corpus(tiny_corpus, config, jobs=1)
+        shard = profile_shards([(1, tiny_corpus[1].config)], config, jobs=1)[0]
+        expected = [r for r in full.records if r.seq == 1]
+        assert shard.records == expected
+
+    def test_merge_drops_ledger_when_a_shard_lacks_one(self, tiny_corpus):
+        config = ProfileConfig()
+        shards = profile_shards(
+            [(i, s.config) for i, s in enumerate(tiny_corpus)], config, jobs=1
+        )
+        del shards[1].meta["ledger"]
+        merged = merge_shards(shards, config)
+        assert "ledger" not in merged.meta
+        assert len(merged) == sum(len(s) for s in shards)
