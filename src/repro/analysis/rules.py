@@ -28,6 +28,13 @@ Each rule guards a property the prediction pipeline depends on:
     Ad-hoc executors fork with unpredictable inherited state and
     bypass the input-order merge that keeps parallel results
     bit-identical to serial ones.
+``lint/direct-time-call``
+    Stopwatch reads (``time.monotonic``/``time.perf_counter`` and
+    their ``_ns`` variants) may only appear in ``repro/obs/`` (the
+    injectable-clock implementation) and ``repro/bench/`` (raw timing
+    is its whole point).  Everything else times through
+    :func:`repro.obs.clock.monotonic_s` or an obs span, so tests can
+    substitute a manual clock and traces stay consistent.
 """
 
 from __future__ import annotations
@@ -45,6 +52,7 @@ __all__ = [
     "EwmaAlphaRule",
     "FrozenSetattrRule",
     "ExecutorRule",
+    "DirectTimeCallRule",
     "default_rules",
 ]
 
@@ -290,6 +298,46 @@ class ExecutorRule(LintRule):
             )
 
 
+class DirectTimeCallRule(LintRule):
+    """Stopwatch calls only in ``repro/obs/`` and ``repro/bench/``."""
+
+    rule_id = "lint/direct-time-call"
+    description = (
+        "time.monotonic/time.perf_counter may only be called in "
+        "repro/obs/ and repro/bench/; time through "
+        "repro.obs.clock.monotonic_s or an obs span elsewhere"
+    )
+
+    banned: tuple[str, ...] = (
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+    )
+
+    def __init__(self, allowed_dirs: tuple[str, ...] | None = None) -> None:
+        #: Directory components whose files may read the stopwatch.
+        self.allowed_dirs: tuple[str, ...] = (
+            allowed_dirs if allowed_dirs is not None else ("obs", "bench")
+        )
+
+    def applies_to(self, path: str) -> bool:
+        parts = Path(path).parts
+        return not any(d in parts for d in self.allowed_dirs)
+
+    def on_call(self, ctx: LintContext, node: ast.Call) -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted in self.banned:
+            ctx.report(
+                self.rule_id,
+                Severity.ERROR,
+                node,
+                f"direct {dotted} call outside repro/obs/ and "
+                "repro/bench/; use repro.obs.clock.monotonic_s (or an "
+                "obs span) so the clock stays injectable",
+            )
+
+
 def default_rules() -> list[LintRule]:
     """Fresh instances of every project rule (the CLI's default set)."""
     return [
@@ -299,4 +347,5 @@ def default_rules() -> list[LintRule]:
         EwmaAlphaRule(),
         FrozenSetattrRule(),
         ExecutorRule(),
+        DirectTimeCallRule(),
     ]

@@ -29,6 +29,7 @@ from typing import Mapping, Protocol, Sequence
 import numpy as np
 from numpy.typing import NDArray
 
+import repro.obs as obs
 from repro.core.markov import MarkovChain
 from repro.profiling.traces import TraceSet
 from repro.util.ewma import EwmaFilter, ewma
@@ -269,6 +270,8 @@ class EwmaMarkovPredictor:
     """
 
     kind = "<Eq. 1> + Markov"
+    #: Task label for telemetry; stamped by :meth:`ComputationModel.fit`.
+    task = ""
 
     def __init__(
         self,
@@ -329,6 +332,16 @@ class EwmaMarkovPredictor:
         if self._last_residual is None:
             return max(_MIN_PREDICTION_MS, long_term)
         short_term = self.chain.predict_next(self._last_residual)
+        o = obs.get_obs()
+        if o.enabled:
+            # How much of each prediction the Eq. 1 filter carries vs
+            # the Markov short-term correction (Fig. 3's decomposition).
+            o.metrics.histogram(
+                "predict_ewma_component_ms", task=self.task
+            ).observe(long_term)
+            o.metrics.histogram(
+                "predict_markov_component_ms", task=self.task
+            ).observe(short_term)
         return max(_MIN_PREDICTION_MS, long_term + short_term)
 
     def predict_series(
@@ -575,6 +588,13 @@ class ComputationModel:
     #: manager initializes its latency budget from (Section 6).
     train_mean_ms: dict[str, float] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Telemetry only (not a dataclass field, so equality and repr
+        # are untouched): the predictions awaiting their measurement,
+        # kept while observability is on so observe_frame can emit
+        # per-task residual histograms.
+        self._last_prediction: dict[str, float] = {}
+
     @staticmethod
     def fit(
         traces: TraceSet,
@@ -619,6 +639,13 @@ class ComputationModel:
                 )
             else:
                 raise ValueError(f"unknown predictor kind {kind!r}")
+        for task, p in model.predictors.items():
+            if isinstance(p, EwmaMarkovPredictor):
+                p.task = task
+            elif isinstance(p, ScenarioConditionedPredictor):
+                for inner in (*p.inner.values(), p.pooled):
+                    if isinstance(inner, EwmaMarkovPredictor):
+                        inner.task = task
         return model
 
     def predict_tasks(
@@ -634,6 +661,8 @@ class ComputationModel:
         for t in tasks:
             p = self.predictors.get(t)
             out[t] = p.predict(ctx) if p is not None else 0.0
+        if obs.get_obs().enabled:
+            self._last_prediction = dict(out)
         return out
 
     def predict_task_series(
@@ -660,6 +689,15 @@ class ComputationModel:
         self, task_ms: Mapping[str, float], ctx: PredictionContext
     ) -> None:
         """Feed the measured times of one executed frame."""
+        o = obs.get_obs()
+        if o.enabled and self._last_prediction:
+            for t, ms in task_ms.items():
+                predicted = self._last_prediction.get(t)
+                if predicted is not None:
+                    o.metrics.histogram(
+                        "predict_residual_ms", task=t
+                    ).observe(float(ms) - predicted)
+            self._last_prediction = {}
         for t, ms in task_ms.items():
             p = self.predictors.get(t)
             if p is not None:

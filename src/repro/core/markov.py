@@ -26,6 +26,8 @@ from typing import Sequence
 import numpy as np
 from numpy.typing import ArrayLike, NDArray
 
+import repro.obs as obs
+
 __all__ = ["AdaptiveQuantizer", "MarkovChain", "MarkovChain2"]
 
 
@@ -250,7 +252,13 @@ class MarkovChain:
 
     def predict_next(self, value: float) -> float:
         """Expected next value given the current value."""
-        return self.predict_from_state(self.quantizer.state(value))
+        state = self.quantizer.state(value)
+        o = obs.get_obs()
+        if o.enabled:
+            # Quantizer-state occupancy: which bins the online stream
+            # actually visits (vs the training-time equal-mass design).
+            o.metrics.counter("markov_state_total", state=str(state)).inc()
+        return self.predict_from_state(state)
 
     def predict_next_many(self, values: ArrayLike) -> NDArray[np.float64]:
         """Vectorized :meth:`predict_next` over an array of values."""
@@ -306,6 +314,9 @@ class MarkovChain:
         row = self.counts[i]
         self.transition[i] = row / row.sum()
         self._expected_next = None
+        o = obs.get_obs()
+        if o.enabled:
+            o.metrics.counter("markov_online_transition_total").inc()
 
 
 class MarkovChain2:

@@ -5,13 +5,15 @@ Usage::
     python -m repro.experiments            # all experiments
     python -m repro.experiments fig7       # one experiment
     REPRO_FAST=1 python -m repro.experiments   # small corpus
+    REPRO_OBS_DIR=obs-out python -m repro.experiments fig7
+        # also dump trace.jsonl + metrics.prom into obs-out/
 """
 
 from __future__ import annotations
 
 import sys
-import time
 
+import repro.obs as obs
 from repro.experiments import default_context
 from repro.experiments import (  # noqa: F401 (registry below)
     ablations_report,
@@ -56,16 +58,26 @@ def main(argv: list[str]) -> int:
     if unknown:
         print(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
         return 2
+    obs_dir = obs.maybe_enable_from_env()
+    o = obs.get_obs()
     ctx = default_context()
     for name in names:
-        t0 = time.perf_counter()
-        result = EXPERIMENTS[name].run(ctx)
-        dt = time.perf_counter() - t0
+        t0 = obs.monotonic_s()
+        with o.tracer.span("experiment") as sp:
+            if o.enabled:
+                sp.set(name=name)
+            result = EXPERIMENTS[name].run(ctx)
+        dt = obs.monotonic_s() - t0
         print("=" * 72)
         print(f"[{name}]  ({dt:.1f} s)")
         print("=" * 72)
         print(result["text"])
         print()
+    if obs_dir is not None:
+        handle = obs.disable()
+        if handle is not None:
+            trace_path, prom_path = obs.dump(handle, obs_dir)
+            print(f"observability: {trace_path} + {prom_path}")
     return 0
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
+import repro.obs as obs
 from repro.util.units import HZ_VIDEO, MB
 
 __all__ = ["BandwidthLedger"]
@@ -34,6 +35,11 @@ class BandwidthLedger:
         if nbytes < 0:
             raise ValueError("negative traffic")
         self._bytes[link] += float(nbytes)
+        o = obs.get_obs()
+        if o.enabled:
+            o.metrics.counter("bus_traffic_bytes_total", link=link).inc(
+                float(nbytes)
+            )
 
     def frame_done(self) -> None:
         """Mark the end of a frame (denominator of per-frame rates)."""

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Mapping
 
+import repro.obs as obs
 from repro.hw.cache import CacheUsage, analyze_report
 from repro.hw.spec import PlatformSpec
 from repro.imaging.common import WorkReport
@@ -238,9 +239,18 @@ class CostModel:
         if with_jitter:
             rng = rng_stream(self.seed, "jitter", report.task, *frame_key)
             factor = math.exp(rng.normal(0.0, self.jitter_sigma))
-            if rng.random() < self.spike_prob:
+            spiked = rng.random() < self.spike_prob
+            if spiked:
                 factor *= rng.uniform(*self.spike_range)
             jitter_ms = (base + content + stall_ms) * (factor - 1.0)
+            o = obs.get_obs()
+            if o.enabled:
+                o.metrics.counter("cost_jitter_draw_total").inc()
+                if spiked:
+                    o.metrics.counter("cost_jitter_spike_total").inc()
+                o.metrics.histogram("cost_jitter_ms", task=report.task).observe(
+                    jitter_ms
+                )
 
         return CostBreakdown(
             task=report.task,

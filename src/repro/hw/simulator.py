@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping as TMapping
 
+import repro.obs as obs
 from repro.graph.flowgraph import FlowGraph
 from repro.hw.bus import BandwidthLedger
 from repro.hw.cost import CostBreakdown, CostModel
@@ -362,6 +363,10 @@ class PlatformSimulator:
             prev_out_bytes = report.bytes_out * scale
 
         self.ledger.frame_done()
+        o = obs.get_obs()
+        if o.enabled:
+            o.metrics.counter("hw_eviction_bytes_total").inc(float(eviction_total))
+            o.metrics.counter("hw_external_bytes_total").inc(float(external_total))
         return FrameResult(
             latency_ms=prev_end - start_ms,
             timings=timings,

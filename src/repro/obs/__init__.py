@@ -1,0 +1,202 @@
+"""repro.obs -- structured tracing and metrics for the reproduction.
+
+The runtime story of the paper is a *feedback loop*: predict, map,
+execute, observe.  This package makes that loop observable while it
+runs -- per-frame spans, prediction-residual histograms, repartition
+and deadline-miss counters -- without adding a dependency and without
+perturbing the instrumented code when it is off.
+
+Usage::
+
+    import repro.obs as obs
+
+    with obs.observed() as o:          # scoped enable (tests, drivers)
+        run_experiment()
+        obs.dump(o, "obs-out")         # trace.jsonl + metrics.prom
+
+    # or process-wide, driven by the environment:
+    #   REPRO_OBS_DIR=obs-out python -m repro.experiments fig7
+
+Instrumented code always goes through :func:`get_obs`::
+
+    o = obs.get_obs()
+    with o.tracer.span("profile.frame") as sp:
+        ...
+        if o.enabled:
+            sp.set(frame=k)
+            o.metrics.counter("profile_frames_total").inc()
+
+When observability is disabled (the default), :func:`get_obs` returns
+the shared :data:`NULL_OBS` singleton whose tracer and registry hand
+out shared no-op instruments: the hot path performs no allocation, no
+time syscalls, and no state mutation, so instrumented runs produce
+byte-identical results (pinned by ``tests/obs/test_nullpath``).
+Mutating telemetry (building attr dicts, diffing partitions) is
+guarded behind ``if o.enabled:``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.obs.clock import (
+    Clock,
+    ManualClock,
+    MonotonicClock,
+    ZeroClock,
+    default_clock,
+    monotonic_s,
+)
+from repro.obs.export import prometheus_text, read_jsonl, write_jsonl
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.spans import NULL_SPAN, NullTracer, Span, Tracer
+
+__all__ = [
+    "Clock",
+    "ManualClock",
+    "MonotonicClock",
+    "ZeroClock",
+    "default_clock",
+    "monotonic_s",
+    "prometheus_text",
+    "read_jsonl",
+    "write_jsonl",
+    "DEFAULT_BUCKETS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_SPAN",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "Observability",
+    "NULL_OBS",
+    "ENV_OBS_DIR",
+    "get_obs",
+    "is_enabled",
+    "enable",
+    "disable",
+    "observed",
+    "dump",
+    "maybe_enable_from_env",
+]
+
+#: Environment variable: when set, drivers enable observability and
+#: dump ``trace.jsonl`` + ``metrics.prom`` into the named directory.
+ENV_OBS_DIR = "REPRO_OBS_DIR"
+
+
+class Observability:
+    """One process's observability handle: registry + tracer + clock.
+
+    ``enabled`` is the hot-path guard: instrumentation that must
+    allocate (attr dicts, label kwargs) or keep state (previous
+    partitioning) checks it explicitly; pure pass-through calls
+    (``tracer.span``, ``counter().inc``) may go through the null
+    singletons unguarded.
+    """
+
+    __slots__ = ("enabled", "metrics", "tracer", "clock")
+
+    def __init__(
+        self,
+        enabled: bool,
+        metrics: MetricsRegistry,
+        tracer: Tracer,
+        clock: Clock,
+    ) -> None:
+        self.enabled = enabled
+        self.metrics = metrics
+        self.tracer = tracer
+        self.clock = clock
+
+
+#: The disabled-path singleton: shared by every call site when
+#: observability is off.  Never mutated.
+NULL_OBS = Observability(False, NullRegistry(), NullTracer(), ZeroClock())
+
+_active: Observability | None = None
+
+
+def get_obs() -> Observability:
+    """The active observability handle (:data:`NULL_OBS` when off)."""
+    return _active if _active is not None else NULL_OBS
+
+
+def is_enabled() -> bool:
+    """Whether observability is currently on in this process."""
+    return _active is not None
+
+
+def enable(clock: Clock | None = None) -> Observability:
+    """Turn observability on process-wide; returns the live handle.
+
+    A fresh registry and tracer are installed (previous telemetry, if
+    any, is dropped with the previous handle).  ``clock`` defaults to
+    the real monotonic clock; tests pass a :class:`ManualClock`.
+    """
+    global _active
+    clk: Clock = clock if clock is not None else default_clock()
+    _active = Observability(True, MetricsRegistry(), Tracer(clk), clk)
+    return _active
+
+
+def disable() -> Observability | None:
+    """Turn observability off; returns the handle that was active.
+
+    The returned handle still holds all collected telemetry, so
+    callers can :func:`dump` after disabling.
+    """
+    global _active
+    previous = _active
+    _active = None
+    return previous
+
+
+@contextmanager
+def observed(clock: Clock | None = None) -> Iterator[Observability]:
+    """Scoped :func:`enable`; restores the previous state on exit."""
+    global _active
+    previous = _active
+    handle = enable(clock)
+    try:
+        yield handle
+    finally:
+        _active = previous
+
+
+def dump(obs: Observability, out_dir: str | Path) -> tuple[Path, Path]:
+    """Write ``trace.jsonl`` + ``metrics.prom`` under ``out_dir``."""
+    directory = Path(out_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    trace_path = write_jsonl(obs.tracer.records, directory / "trace.jsonl")
+    prom_path = directory / "metrics.prom"
+    prom_path.write_text(prometheus_text(obs.metrics), encoding="utf-8")
+    return trace_path, prom_path
+
+
+def maybe_enable_from_env() -> Path | None:
+    """Enable observability when :data:`ENV_OBS_DIR` is set.
+
+    Returns the dump directory (for the driver to pass to
+    :func:`dump` when the run finishes) or ``None`` when the variable
+    is unset/empty.  Drivers -- ``python -m repro.experiments``, the
+    bench harness -- call this once at startup.
+    """
+    raw = os.environ.get(ENV_OBS_DIR, "").strip()
+    if not raw:
+        return None
+    enable()
+    return Path(raw)

@@ -1,0 +1,129 @@
+"""Exporters: JSON-lines trace files and Prometheus text exposition.
+
+Two formats, two consumers:
+
+* ``trace.jsonl`` -- one record per line, exactly the dicts the
+  :class:`~repro.obs.spans.Tracer` collected.  Consumed by
+  ``python -m repro.obs.report`` and by anything that wants the
+  per-frame timeline (span trees, events).
+* ``metrics.prom`` -- Prometheus text exposition (version 0.0.4) of a
+  :class:`~repro.obs.metrics.MetricsRegistry`.  Scrape-ready: the
+  format a node-exporter-style endpoint would serve, so the same dump
+  works for ad-hoc inspection and for a future HTTP exporter.
+
+Metric names gain the ``repro_`` namespace prefix at render time;
+registry code uses the bare ``<area>_<quantity>_<unit>`` names.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "prometheus_text",
+    "NAMESPACE",
+]
+
+#: Prefix applied to every metric name in the Prometheus exposition.
+NAMESPACE = "repro_"
+
+
+def write_jsonl(
+    records: Iterable[Mapping[str, object]], path: str | Path
+) -> Path:
+    """Write trace records as JSON lines; returns the path."""
+    p = Path(path)
+    with p.open("w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True))
+            fh.write("\n")
+    return p
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, object]]:
+    """Inverse of :func:`write_jsonl` (blank lines tolerated)."""
+    out: list[dict[str, object]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if not isinstance(rec, dict):
+                raise ValueError(f"trace line is not an object: {line[:80]}")
+            out.append(rec)
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: tuple[tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(v)}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry, namespace: str = NAMESPACE) -> str:
+    """Render a registry in the Prometheus text exposition format.
+
+    Instruments are grouped by metric name with one ``# TYPE`` header
+    each; histogram buckets are cumulative with the mandatory ``+Inf``
+    bucket and ``_sum``/``_count`` series.
+    """
+    by_name: dict[str, list[Counter | Histogram | object]] = {}
+    order: list[str] = []
+    for inst in registry.instruments():
+        if inst.name not in by_name:
+            by_name[inst.name] = []
+            order.append(inst.name)
+        by_name[inst.name].append(inst)
+
+    lines: list[str] = []
+    for name in order:
+        insts = by_name[name]
+        first = insts[0]
+        full = namespace + name
+        if isinstance(first, Histogram):
+            kind = "histogram"
+        elif isinstance(first, Counter):
+            kind = "counter"
+        else:
+            kind = "gauge"
+        lines.append(f"# TYPE {full} {kind}")
+        for inst in insts:
+            if isinstance(inst, Histogram):
+                cum = 0
+                for bound, n in zip(inst.bounds, inst.counts):
+                    cum += n
+                    le = _label_str(inst.labels, f'le="{_fmt(bound)}"')
+                    lines.append(f"{full}_bucket{le} {cum}")
+                le = _label_str(inst.labels, 'le="+Inf"')
+                lines.append(f"{full}_bucket{le} {inst.count}")
+                labels = _label_str(inst.labels)
+                lines.append(f"{full}_sum{labels} {_fmt(inst.sum)}")
+                lines.append(f"{full}_count{labels} {inst.count}")
+            else:
+                labels = _label_str(inst.labels)
+                value = inst.value  # type: ignore[attr-defined]
+                lines.append(f"{full}{labels} {_fmt(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

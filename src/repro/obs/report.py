@@ -1,0 +1,265 @@
+"""``python -m repro.obs.report`` -- render a trace into summary tables.
+
+Consumes the ``trace.jsonl`` a run dumped (see
+:func:`repro.obs.dump`) and prints:
+
+* a span summary (count / mean / p50 / p95 / max duration per span
+  name),
+* a per-task table aggregated from frame-span ``task_ms`` attributes
+  (execution count, mean/max single-core time, and -- when the run
+  was managed -- mean signed and absolute prediction residual),
+* a per-sequence frame summary (frames, mean frame latency, scenario
+  switches).
+
+``--selftest`` exercises the whole layer without touching the
+repository state: it synthesizes a trace with a manual clock, round
+trips it through the JSONL exporter, renders the report and the
+Prometheus exposition, and exits nonzero on any mismatch -- the CI
+step that proves the observability layer itself is alive.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.obs.clock import ManualClock
+from repro.obs.export import prometheus_text, read_jsonl, write_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+__all__ = ["render_report", "selftest", "main"]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+def _table(header: Sequence[str], rows: list[Sequence[str]]) -> list[str]:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+    lines = [fmt(header), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in rows]
+    return lines
+
+
+def render_report(records: list[dict[str, object]]) -> str:
+    """Render the summary tables for a list of trace records."""
+    spans = [r for r in records if r.get("kind") == "span"]
+    events = [r for r in records if r.get("kind") == "event"]
+
+    lines: list[str] = []
+    lines.append(
+        f"trace: {len(spans)} spans, {len(events)} events"
+    )
+
+    # -- span summary by name ------------------------------------------------
+    durations: dict[str, list[float]] = {}
+    for s in spans:
+        d = float(s["end_ms"]) - float(s["start_ms"])  # type: ignore[arg-type]
+        durations.setdefault(str(s["name"]), []).append(d)
+    rows: list[Sequence[str]] = []
+    for name in sorted(durations):
+        ds = sorted(durations[name])
+        rows.append(
+            (
+                name,
+                str(len(ds)),
+                f"{sum(ds) / len(ds):.3f}",
+                f"{_percentile(ds, 0.5):.3f}",
+                f"{_percentile(ds, 0.95):.3f}",
+                f"{ds[-1]:.3f}",
+            )
+        )
+    lines.append("")
+    lines.append("spans (durations in clock ms)")
+    lines += _table(("name", "count", "mean", "p50", "p95", "max"), rows)
+
+    # -- per-task summary from frame-span attributes -------------------------
+    task_ms: dict[str, list[float]] = {}
+    residual_ms: dict[str, list[float]] = {}
+    frame_spans: list[dict[str, object]] = []
+    for s in spans:
+        attrs = s.get("attrs")
+        if not isinstance(attrs, Mapping):
+            continue
+        tm = attrs.get("task_ms")
+        if isinstance(tm, Mapping):
+            frame_spans.append(s)
+            for task, ms in tm.items():
+                task_ms.setdefault(str(task), []).append(float(ms))  # type: ignore[arg-type]
+        rm = attrs.get("residual_ms")
+        if isinstance(rm, Mapping):
+            for task, ms in rm.items():
+                residual_ms.setdefault(str(task), []).append(float(ms))  # type: ignore[arg-type]
+
+    if task_ms:
+        rows = []
+        for task in sorted(task_ms):
+            ts = task_ms[task]
+            res = residual_ms.get(task)
+            if res:
+                mean_res = f"{sum(res) / len(res):+.3f}"
+                mean_abs = f"{sum(abs(r) for r in res) / len(res):.3f}"
+            else:
+                mean_res, mean_abs = "-", "-"
+            rows.append(
+                (
+                    task,
+                    str(len(ts)),
+                    f"{sum(ts) / len(ts):.3f}",
+                    f"{max(ts):.3f}",
+                    mean_res,
+                    mean_abs,
+                )
+            )
+        lines.append("")
+        lines.append("tasks (simulated single-core ms; residual = measured - predicted)")
+        lines += _table(
+            ("task", "runs", "mean", "max", "mean_resid", "mean_|resid|"), rows
+        )
+
+    # -- per-sequence frame summary ------------------------------------------
+    if frame_spans:
+        by_seq: dict[str, list[dict[str, object]]] = {}
+        for s in frame_spans:
+            attrs = s["attrs"]
+            assert isinstance(attrs, Mapping)
+            by_seq.setdefault(str(attrs.get("seq", "-")), []).append(s)
+        rows = []
+        for seq in sorted(by_seq):
+            group = by_seq[seq]
+            lat = [
+                float(s["attrs"].get("latency_ms", 0.0))  # type: ignore[union-attr]
+                for s in group
+            ]
+            scenarios = [
+                s["attrs"].get("scenario")  # type: ignore[union-attr]
+                for s in group
+            ]
+            switches = sum(
+                1
+                for a, b in zip(scenarios, scenarios[1:])
+                if a is not None and b is not None and a != b
+            )
+            rows.append(
+                (
+                    seq,
+                    str(len(group)),
+                    f"{sum(lat) / len(lat):.3f}",
+                    f"{max(lat):.3f}",
+                    str(switches),
+                )
+            )
+        lines.append("")
+        lines.append("frames per sequence (simulated latency ms)")
+        lines += _table(
+            ("seq", "frames", "mean_latency", "max_latency", "scenario_switches"),
+            rows,
+        )
+
+    return "\n".join(lines)
+
+
+def _synthetic_trace() -> tuple[Tracer, MetricsRegistry]:
+    """A hand-built two-sequence trace with known numbers."""
+    clock = ManualClock()
+    tracer = Tracer(clock)
+    metrics = MetricsRegistry()
+    for seq in range(2):
+        with tracer.span("profile.sequence") as seq_span:
+            seq_span.set(seq=seq)
+            for frame in range(3):
+                with tracer.span("profile.frame") as sp:
+                    clock.advance(10.0 + frame)
+                    sp.set(
+                        seq=seq,
+                        frame=frame,
+                        scenario=frame % 2,
+                        latency_ms=10.0 + frame,
+                        task_ms={"RDG_FULL": 8.0 + frame, "ENH": 2.0},
+                        residual_ms={"RDG_FULL": 0.5 - frame * 0.25},
+                    )
+                    metrics.counter("profile_frames_total").inc()
+                    metrics.histogram(
+                        "predict_residual_ms", task="RDG_FULL"
+                    ).observe(0.5 - frame * 0.25)
+        metrics.counter("runtime_repartition_total").inc()
+    return tracer, metrics
+
+
+def selftest() -> int:
+    """End-to-end check of spans -> export -> report -> exposition."""
+    tracer, metrics = _synthetic_trace()
+    with tempfile.TemporaryDirectory(prefix="repro-obs-selftest-") as tmp:
+        path = write_jsonl(tracer.records, Path(tmp) / "trace.jsonl")
+        records = read_jsonl(path)
+    if records != tracer.records:
+        print("selftest: JSONL round-trip mismatch", file=sys.stderr)
+        return 1
+    report = render_report(records)
+    for needle in ("profile.frame", "RDG_FULL", "scenario_switches"):
+        if needle not in report:
+            print(f"selftest: report lacks {needle!r}", file=sys.stderr)
+            return 1
+    prom = prometheus_text(metrics)
+    for needle in (
+        "# TYPE repro_predict_residual_ms histogram",
+        'repro_predict_residual_ms_bucket{task="RDG_FULL",le="+Inf"} 6',
+        "repro_runtime_repartition_total 2",
+        "repro_profile_frames_total 6",
+    ):
+        if needle not in prom:
+            print(f"selftest: exposition lacks {needle!r}", file=sys.stderr)
+            return 1
+    print(report)
+    print()
+    print("obs selftest ok")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Render a repro.obs trace.jsonl into summary tables.",
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        type=Path,
+        help="trace.jsonl file (or a directory containing one)",
+    )
+    parser.add_argument(
+        "--selftest",
+        action="store_true",
+        help="synthesize a trace, exercise export + report, and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return selftest()
+    if args.trace is None:
+        parser.error("a trace path is required unless --selftest is given")
+    path: Path = args.trace
+    if path.is_dir():
+        path = path / "trace.jsonl"
+    if not path.exists():
+        print(f"no such trace: {path}", file=sys.stderr)
+        return 2
+    print(render_report(read_jsonl(path)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

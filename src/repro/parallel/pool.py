@@ -23,7 +23,9 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Iterable, TypeVar
+from typing import Callable, Generic, Iterable, TypeVar
+
+import repro.obs as obs
 
 __all__ = ["resolve_jobs", "map_sequences"]
 
@@ -65,6 +67,30 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
+class _ObsTask(Generic[_ItemT, _ResultT]):
+    """Picklable worker wrapper that captures per-worker telemetry.
+
+    Used only when the parent has observability enabled.  Under the
+    ``fork`` start method a worker would inherit the parent's live
+    tracer and mutate a *copy* of it (telemetry silently lost); this
+    wrapper installs a fresh worker-local handle instead and ships the
+    collected span records + metrics snapshot back with the result, so
+    the parent can fold them into one coherent trace.
+    """
+
+    __slots__ = ("worker",)
+
+    def __init__(self, worker: Callable[[_ItemT], _ResultT]) -> None:
+        self.worker = worker
+
+    def __call__(
+        self, item: _ItemT
+    ) -> tuple[_ResultT, list[dict[str, object]], dict[str, list[dict[str, object]]]]:
+        with obs.observed() as o:
+            result = self.worker(item)
+            return result, o.tracer.records, o.metrics.snapshot()
+
+
 def map_sequences(
     worker: Callable[[_ItemT], _ResultT],
     items: Iterable[_ItemT],
@@ -96,8 +122,28 @@ def map_sequences(
     """
     work = list(items)
     n_jobs = resolve_jobs(jobs)
+    o = obs.get_obs()
     if n_jobs <= 1 or len(work) <= 1:
-        return [worker(item) for item in work]
-    with ProcessPoolExecutor(max_workers=min(n_jobs, len(work))) as pool:
-        # Executor.map preserves input order by construction.
-        return list(pool.map(worker, work, chunksize=chunksize))
+        # Inline: spans/metrics record straight into the live handle.
+        with o.tracer.span("parallel.map") as sp:
+            if o.enabled:
+                sp.set(n_items=len(work), jobs=1)
+            return [worker(item) for item in work]
+    with o.tracer.span("parallel.map") as sp:
+        if o.enabled:
+            sp.set(n_items=len(work), jobs=min(n_jobs, len(work)))
+        with ProcessPoolExecutor(max_workers=min(n_jobs, len(work))) as pool:
+            # Executor.map preserves input order by construction.
+            if not o.enabled:
+                return list(pool.map(worker, work, chunksize=chunksize))
+            shipped = list(
+                pool.map(_ObsTask(worker), work, chunksize=chunksize)
+            )
+        # Fold worker telemetry back in input order: merged traces and
+        # counter sums are deterministic however the pool scheduled.
+        results: list[_ResultT] = []
+        for idx, (result, records, snapshot) in enumerate(shipped):
+            o.tracer.merge(records, pool_item=idx)
+            o.metrics.merge(snapshot)
+            results.append(result)
+        return results

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+import repro.obs as obs
 from repro.graph import build_stentboost_graph
 from repro.graph.flowgraph import FlowGraph
 from repro.hw import CostModel, Mapping, PlatformSimulator, blackford
@@ -105,24 +106,41 @@ def profile_sequence(
     )
     pipe = StentBoostPipeline(pipe_cfg)
 
-    for img, _truth in sequence.iter_frames():
-        analysis = pipe.process(img)
-        result = sim.simulate_frame(
-            analysis.reports, mapping, frame_key=(seq_id, analysis.index)
-        )
-        ts.append(
-            TraceRecord(
-                seq=seq_id,
-                frame=analysis.index,
-                scenario_id=analysis.scenario_id,
-                task_ms=dict(result.task_ms),
-                roi_kpixels=analysis.extras["roi_kpixels"]
-                * config.pixel_scale,
-                latency_ms=result.latency_ms,
-                eviction_bytes=result.eviction_bytes,
-                external_bytes=result.external_bytes,
+    o = obs.get_obs()
+    with o.tracer.span("profile.sequence") as seq_span:
+        if o.enabled:
+            seq_span.set(seq=seq_id, n_frames=sequence.config.n_frames)
+        for img, _truth in sequence.iter_frames():
+            with o.tracer.span("profile.frame") as sp:
+                analysis = pipe.process(img)
+                result = sim.simulate_frame(
+                    analysis.reports, mapping, frame_key=(seq_id, analysis.index)
+                )
+                if o.enabled:
+                    sp.set(
+                        seq=seq_id,
+                        frame=analysis.index,
+                        scenario=analysis.scenario_id,
+                        latency_ms=result.latency_ms,
+                        task_ms=dict(result.task_ms),
+                    )
+                    o.metrics.counter("profile_frames_total").inc()
+                    o.metrics.histogram("profile_frame_latency_ms").observe(
+                        result.latency_ms
+                    )
+            ts.append(
+                TraceRecord(
+                    seq=seq_id,
+                    frame=analysis.index,
+                    scenario_id=analysis.scenario_id,
+                    task_ms=dict(result.task_ms),
+                    roi_kpixels=analysis.extras["roi_kpixels"]
+                    * config.pixel_scale,
+                    latency_ms=result.latency_ms,
+                    eviction_bytes=result.eviction_bytes,
+                    external_bytes=result.external_bytes,
+                )
             )
-        )
     return ts
 
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.hw.spec import PlatformSpec
 from repro.runtime.manager import RunResult
 
@@ -99,6 +100,14 @@ def coschedule(
     period_ms = 1e3 / frame_rate_hz
     idle = idle_core_ms(run, platform, period_ms, reserved_cores)
     items = idle / background.work_ms_per_item
+    o = obs.get_obs()
+    if o.enabled:
+        o.metrics.gauge(
+            "coschedule_items_per_second", label=run.label or "unlabeled"
+        ).set(float(items.mean() * frame_rate_hz))
+        o.metrics.gauge(
+            "coschedule_idle_core_ms_per_frame", label=run.label or "unlabeled"
+        ).set(float(idle.mean()))
     return CoScheduleResult(
         label=run.label,
         idle_core_ms_per_frame=float(idle.mean()),

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import repro.obs as obs
 from repro.core.triplec import TripleC, TripleCPrediction
 from repro.hw.simulator import PlatformSimulator
 from repro.imaging.pipeline import StentBoostPipeline
@@ -152,49 +153,94 @@ class ResourceManager:
         result = RunResult(budget_ms=budget, label=label)
         scale = self.simulator.cost_model.pixel_scale
 
-        for img, _truth in sequence.iter_frames():
-            roi_px = pipeline.roi.pixels if pipeline.roi is not None else img.size
-            roi_kpx = roi_px / 1000.0 * scale
+        o = obs.get_obs()
+        prev_parts: dict[str, int] | None = None
+        with o.tracer.span("manager.sequence") as seq_span:
+            if o.enabled:
+                seq_span.set(seq=str(seq_key), budget_ms=budget, label=label)
+            for img, _truth in sequence.iter_frames():
+                with o.tracer.span("manager.frame") as sp:
+                    roi_px = (
+                        pipeline.roi.pixels if pipeline.roi is not None else img.size
+                    )
+                    roi_kpx = roi_px / 1000.0 * scale
 
-            prediction: TripleCPrediction = self.triplec.predict(roi_kpx)
-            # Robust repartitioning: cover every plausible scenario of
-            # the coming frame, not just the most likely one -- a
-            # split task that ends up not running costs nothing.
-            scenario_preds = self.triplec.plausible_predictions(roi_kpx)
-            decision: PartitionDecision = self.partitioner.choose_robust(
-                scenario_preds, budget
-            )
+                    prediction: TripleCPrediction = self.triplec.predict(roi_kpx)
+                    # Robust repartitioning: cover every plausible scenario of
+                    # the coming frame, not just the most likely one -- a
+                    # split task that ends up not running costs nothing.
+                    scenario_preds = self.triplec.plausible_predictions(roi_kpx)
+                    decision: PartitionDecision = self.partitioner.choose_robust(
+                        scenario_preds, budget
+                    )
 
-            quality_name = "full"
-            if self.quality_controller is not None:
-                level = self.quality_controller.decide(
-                    decision.predicted_latency_ms, budget
+                    quality_name = "full"
+                    if self.quality_controller is not None:
+                        level = self.quality_controller.decide(
+                            decision.predicted_latency_ms, budget
+                        )
+                        pipeline.quality = level
+                        quality_name = level.name
+
+                    analysis = pipeline.process(img)
+                    frame_res = self.simulator.simulate_frame(
+                        analysis.reports,
+                        decision.mapping,
+                        frame_key=(seq_key, analysis.index),
+                    )
+                    self.triplec.observe(
+                        analysis.scenario_id, frame_res.task_ms, roi_kpx
+                    )
+                    out_ms = delay.push(frame_res.latency_ms)
+
+                    if o.enabled:
+                        m = o.metrics
+                        serial_ms = float(sum(frame_res.task_ms.values()))
+                        sp.set(
+                            seq=str(seq_key),
+                            frame=analysis.index,
+                            scenario=analysis.scenario_id,
+                            predicted_scenario=prediction.scenario_id,
+                            latency_ms=frame_res.latency_ms,
+                            task_ms=dict(frame_res.task_ms),
+                            cores=decision.cores_used,
+                            quality=quality_name,
+                        )
+                        m.counter("runtime_frames_total").inc()
+                        m.histogram("runtime_frame_latency_ms").observe(
+                            frame_res.latency_ms
+                        )
+                        m.histogram("runtime_frame_residual_ms").observe(
+                            serial_ms - prediction.frame_ms
+                        )
+                        m.gauge("runtime_cores_in_use").set(decision.cores_used)
+                        if frame_res.latency_ms > budget:
+                            m.counter("runtime_deadline_miss_total").inc()
+                        if analysis.scenario_id == prediction.scenario_id:
+                            m.counter("runtime_scenario_hit_total").inc()
+                        else:
+                            m.counter("runtime_scenario_miss_total").inc()
+                        if prev_parts is not None and decision.parts != prev_parts:
+                            m.counter("runtime_repartition_total").inc()
+                            sp.event(
+                                "repartition",
+                                parts=dict(decision.parts),
+                                previous=prev_parts,
+                            )
+                        prev_parts = dict(decision.parts)
+
+                result.frames.append(
+                    FrameLog(
+                        index=analysis.index,
+                        predicted_scenario=prediction.scenario_id,
+                        actual_scenario=analysis.scenario_id,
+                        predicted_ms=prediction.frame_ms,
+                        serial_ms=float(sum(frame_res.task_ms.values())),
+                        latency_ms=frame_res.latency_ms,
+                        output_ms=out_ms,
+                        cores_used=decision.cores_used,
+                        parts=dict(decision.parts),
+                        quality=quality_name,
+                    )
                 )
-                pipeline.quality = level
-                quality_name = level.name
-
-            analysis = pipeline.process(img)
-            frame_res = self.simulator.simulate_frame(
-                analysis.reports,
-                decision.mapping,
-                frame_key=(seq_key, analysis.index),
-            )
-            self.triplec.observe(
-                analysis.scenario_id, frame_res.task_ms, roi_kpx
-            )
-            out_ms = delay.push(frame_res.latency_ms)
-            result.frames.append(
-                FrameLog(
-                    index=analysis.index,
-                    predicted_scenario=prediction.scenario_id,
-                    actual_scenario=analysis.scenario_id,
-                    predicted_ms=prediction.frame_ms,
-                    serial_ms=float(sum(frame_res.task_ms.values())),
-                    latency_ms=frame_res.latency_ms,
-                    output_ms=out_ms,
-                    cores_used=decision.cores_used,
-                    parts=dict(decision.parts),
-                    quality=quality_name,
-                )
-            )
         return result

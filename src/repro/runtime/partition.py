@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping as TMapping
 
+import repro.obs as obs
 from repro.graph.flowgraph import FlowGraph
 from repro.hw.mapping import Mapping
 from repro.hw.spec import PlatformSpec
@@ -159,6 +160,8 @@ class Partitioner:
             parts[best_task] += 1
             latency -= best_gain
 
+        if latency > budget_ms:
+            obs.get_obs().metrics.counter("partition_infeasible_total").inc()
         return self._decision(task_ms, parts)
 
     def choose_robust(
@@ -213,6 +216,8 @@ class Partitioner:
             parts[best_task] += 1
             latency, critical = worst()
 
+        if latency > budget_ms:
+            obs.get_obs().metrics.counter("partition_infeasible_total").inc()
         return self._decision(union, parts)
 
     def _decision(
@@ -220,10 +225,14 @@ class Partitioner:
     ) -> PartitionDecision:
         mapping = Mapping.serial()
         cores_used = 1
+        o = obs.get_obs()
         for t, k in parts.items():
             if k > 1:
                 mapping = mapping.with_partition(t, tuple(range(k)))
                 cores_used = max(cores_used, k)
+                if o.enabled:
+                    o.metrics.counter("partition_split_total", task=t).inc()
+        o.metrics.counter("partition_decision_total").inc()
         return PartitionDecision(
             mapping=mapping,
             predicted_latency_ms=self.frame_latency_ms(task_ms, parts),

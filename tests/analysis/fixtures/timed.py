@@ -1,0 +1,8 @@
+"""Lint fixture: stopwatch read outside obs/ and bench/ (banned)."""
+
+import time
+
+
+def elapsed():
+    t0 = time.monotonic()  # lint/direct-time-call should flag this call
+    return time.monotonic() - t0  # and this one

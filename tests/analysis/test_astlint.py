@@ -86,16 +86,22 @@ class TestWallClock:
     SRC = "import time\ntime.perf_counter()\n"
 
     def test_flagged_in_core(self):
+        # perf_counter in core/ also trips lint/direct-time-call.
         findings = lint(self.SRC, path="src/repro/core/model.py")
-        assert rules_of(findings) == {"lint/wall-clock"}
+        assert rules_of(findings) == {"lint/wall-clock", "lint/direct-time-call"}
 
     def test_from_import_resolved(self):
         src = "from time import perf_counter\nperf_counter()\n"
         findings = lint(src, path="src/repro/core/model.py")
-        assert rules_of(findings) == {"lint/wall-clock"}
+        assert rules_of(findings) == {"lint/wall-clock", "lint/direct-time-call"}
 
     def test_allowed_outside_core(self):
-        assert lint(self.SRC, path="src/repro/experiments/bench.py") == []
+        findings = lint(
+            self.SRC,
+            path="src/repro/experiments/bench.py",
+            rules=[WallClockRule()],
+        )
+        assert findings == []
 
     def test_directories_none_applies_everywhere(self):
         findings = lint(
@@ -210,6 +216,36 @@ class TestExecutor:
         assert lint(src) == []
 
 
+class TestDirectTimeCall:
+    def test_monotonic_flagged(self):
+        src = "import time\nt = time.monotonic()\n"
+        findings = lint(src)
+        assert "lint/direct-time-call" in rules_of(findings)
+
+    def test_perf_counter_ns_flagged(self):
+        src = "import time\nt = time.perf_counter_ns()\n"
+        findings = lint(src)
+        assert "lint/direct-time-call" in rules_of(findings)
+
+    def test_obs_package_exempt(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint(src, path="src/repro/obs/clock.py") == []
+
+    def test_bench_package_exempt(self):
+        src = "import time\nt = time.perf_counter()\n"
+        assert lint(src, path="src/repro/bench/harness.py") == []
+
+    def test_monotonic_s_use_is_clean(self):
+        src = "from repro.obs.clock import monotonic_s\nt = monotonic_s()\n"
+        assert lint(src) == []
+
+    def test_wall_clock_time_not_double_flagged(self):
+        # time.time() is the wall-clock rule's business (in core/), not
+        # this rule's: outside core/ it is allowed by both.
+        src = "import time\nt = time.time()\n"
+        assert lint(src) == []
+
+
 class TestFixtureFiles:
     def test_bad_rng_fixture(self):
         findings = lint_paths([FIXTURES / "bad_rng.py"], default_rules())
@@ -217,11 +253,22 @@ class TestFixtureFiles:
 
     def test_core_clock_fixture(self):
         findings = lint_paths([FIXTURES / "core" / "clocky.py"], default_rules())
-        assert rules_of(findings) == {"lint/wall-clock"}
+        # perf_counter in core/ trips both the purity rule and the
+        # injectable-clock rule.
+        assert rules_of(findings) == {"lint/wall-clock", "lint/direct-time-call"}
+
+    def test_timed_fixture(self):
+        findings = lint_paths([FIXTURES / "timed.py"], default_rules())
+        assert rules_of(findings) == {"lint/direct-time-call"}
+        assert len(findings) == 2
 
     def test_fixture_directory_walk(self):
         findings = lint_paths([FIXTURES], default_rules())
-        assert {"lint/banned-random", "lint/wall-clock"} <= rules_of(findings)
+        assert {
+            "lint/banned-random",
+            "lint/wall-clock",
+            "lint/direct-time-call",
+        } <= rules_of(findings)
 
 
 class TestRepoIsClean:

@@ -1,0 +1,153 @@
+"""Tests for the JSONL / Prometheus exporters and the report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.clock import ManualClock
+from repro.obs.export import prometheus_text, read_jsonl, write_jsonl
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import main, render_report, selftest
+from repro.obs.spans import Tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("frame") as sp:
+            clock.advance(4.0)
+            sp.set(seq=1, task_ms={"ENH": 2.0})
+            sp.event("evt", n=3)
+        path = write_jsonl(tracer.records, tmp_path / "trace.jsonl")
+        assert read_jsonl(path) == tracer.records
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text('{"kind": "span"}\n\n{"kind": "event"}\n')
+        assert len(read_jsonl(p)) == 2
+
+    def test_non_object_line_rejected(self, tmp_path):
+        p = tmp_path / "t.jsonl"
+        p.write_text("[1, 2]\n")
+        with pytest.raises(ValueError, match="not an object"):
+            read_jsonl(p)
+
+
+class TestPrometheusText:
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("frames_total").inc(3)
+        reg.gauge("cores").set(2.5)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_frames_total counter" in text
+        assert "repro_frames_total 3" in text
+        assert "# TYPE repro_cores gauge" in text
+        assert "repro_cores 2.5" in text
+
+    def test_labels_rendered_and_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("split_total", task='R"D\\G').inc()
+        text = prometheus_text(reg)
+        assert 'repro_split_total{task="R\\"D\\\\G"} 1' in text
+
+    def test_histogram_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ms", buckets=(1.0, 10.0), task="ENH")
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(50.0)
+        text = prometheus_text(reg)
+        assert "# TYPE repro_lat_ms histogram" in text
+        assert 'repro_lat_ms_bucket{task="ENH",le="1"} 1' in text
+        assert 'repro_lat_ms_bucket{task="ENH",le="10"} 2' in text
+        assert 'repro_lat_ms_bucket{task="ENH",le="+Inf"} 3' in text
+        assert 'repro_lat_ms_sum{task="ENH"} 55.5' in text
+        assert 'repro_lat_ms_count{task="ENH"} 3' in text
+
+    def test_one_type_header_per_metric_name(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", task="A").inc()
+        reg.counter("x_total", task="B").inc()
+        text = prometheus_text(reg)
+        assert text.count("# TYPE repro_x_total counter") == 1
+
+    def test_custom_namespace(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        assert "myapp_x 1" in prometheus_text(reg, namespace="myapp_")
+
+
+class TestReport:
+    def _trace(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("profile.sequence"):
+            for frame in range(4):
+                with tracer.span("profile.frame") as sp:
+                    clock.advance(10.0)
+                    sp.set(
+                        seq="s0",
+                        frame=frame,
+                        scenario=frame // 2,
+                        latency_ms=10.0,
+                        task_ms={"RDG_FULL": 8.0, "ENH": 2.0},
+                        residual_ms={"RDG_FULL": 0.5},
+                    )
+        return tracer.records
+
+    def test_span_summary_present(self):
+        report = render_report(self._trace())
+        assert "trace: 5 spans, 0 events" in report
+        assert "profile.frame" in report
+        assert "profile.sequence" in report
+
+    def test_task_table_aggregates_attrs(self):
+        report = render_report(self._trace())
+        assert "RDG_FULL" in report and "ENH" in report
+        assert "+0.500" in report  # mean signed residual
+
+    def test_sequence_table_counts_scenario_switches(self):
+        lines = render_report(self._trace()).splitlines()
+        row = next(line for line in lines if line.startswith("s0"))
+        cells = row.split()
+        assert cells[1] == "4"  # frames
+        assert cells[-1] == "1"  # one scenario switch (0 -> 1)
+
+    def test_empty_trace_renders(self):
+        assert "trace: 0 spans" in render_report([])
+
+    def test_selftest_passes(self, capsys):
+        assert selftest() == 0
+        assert "obs selftest ok" in capsys.readouterr().out
+
+
+class TestReportMain:
+    def test_selftest_flag(self, capsys):
+        assert main(["--selftest"]) == 0
+        assert "obs selftest ok" in capsys.readouterr().out
+
+    def test_reads_trace_file(self, tmp_path, capsys):
+        path = write_jsonl(self._records(), tmp_path / "trace.jsonl")
+        assert main([str(path)]) == 0
+        assert "profile.frame" in capsys.readouterr().out
+
+    def test_directory_resolves_to_trace_jsonl(self, tmp_path, capsys):
+        write_jsonl(self._records(), tmp_path / "trace.jsonl")
+        assert main([str(tmp_path)]) == 0
+        assert "spans" in capsys.readouterr().out
+
+    def test_missing_trace_exits_2(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    @staticmethod
+    def _records():
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("profile.frame"):
+            clock.advance(1.0)
+        return tracer.records

@@ -1,0 +1,172 @@
+"""Tests for the metric instruments and their registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("frames_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="only go up"):
+            MetricsRegistry().counter("x").inc(-1.0)
+
+    def test_same_name_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_labels_key_distinct_instruments(self):
+        reg = MetricsRegistry()
+        a = reg.counter("split_total", task="RDG_FULL")
+        b = reg.counter("split_total", task="ENH")
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", task="T", link="bus")
+        b = reg.counter("x", link="bus", task="T")
+        assert a is b
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("cores_in_use")
+        g.set(4)
+        g.inc()
+        g.dec(2.0)
+        assert g.value == 3.0
+
+
+class TestHistogram:
+    def test_default_buckets(self):
+        h = MetricsRegistry().histogram("latency_ms")
+        assert h.bounds == DEFAULT_BUCKETS_MS
+        assert len(h.counts) == len(DEFAULT_BUCKETS_MS) + 1
+
+    def test_observe_places_in_le_bucket(self):
+        # Prometheus semantics: a value equal to a bound lands in that
+        # bucket (le = "less than or equal").
+        h = MetricsRegistry().histogram("x", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(1.0)
+        h.observe(5.0)
+        h.observe(99.0)
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(105.5)
+
+    def test_mean(self):
+        h = MetricsRegistry().histogram("x", buckets=(0.0, 100.0))
+        assert h.mean() == 0.0
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.mean() == pytest.approx(3.0)
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("x", bounds=(10.0, 1.0))
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError, match="ascending"):
+            Histogram("x", bounds=(1.0, 1.0, 2.0))
+
+
+class TestRegistry:
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.histogram("x")
+
+    def test_len_counts_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.counter("a")  # same key, no growth
+        reg.gauge("b")
+        reg.histogram("c", task="T")
+        assert len(reg) == 3
+
+    def test_instruments_sorted_for_stable_output(self):
+        reg = MetricsRegistry()
+        reg.counter("zz")
+        reg.counter("aa", task="B")
+        reg.counter("aa", task="A")
+        keys = [(i.name, i.labels) for i in reg.instruments()]
+        assert keys == sorted(keys)
+
+
+class TestSnapshotMerge:
+    def _populated(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("frames_total").inc(3)
+        reg.counter("bytes_total", link="bus").inc(100.0)
+        reg.gauge("cores").set(2)
+        h = reg.histogram("lat_ms", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        return reg
+
+    def test_snapshot_is_jsonable_roundtrip(self):
+        import json
+
+        snap = self._populated().snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_merge_into_empty_reproduces(self):
+        src = self._populated()
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert dst.counter("frames_total").value == 3
+        assert dst.counter("bytes_total", link="bus").value == 100.0
+        assert dst.gauge("cores").value == 2
+        h = dst.histogram("lat_ms", buckets=(1.0, 10.0))
+        assert h.counts == [1, 1, 0]
+        assert h.count == 2
+
+    def test_counters_and_histograms_add(self):
+        dst = self._populated()
+        dst.merge(self._populated().snapshot())
+        assert dst.counter("frames_total").value == 6
+        h = dst.histogram("lat_ms", buckets=(1.0, 10.0))
+        assert h.counts == [2, 2, 0]
+        assert h.sum == pytest.approx(11.0)
+
+    def test_gauge_last_writer_wins(self):
+        dst = self._populated()
+        src = MetricsRegistry()
+        src.gauge("cores").set(7)
+        dst.merge(src.snapshot())
+        assert dst.gauge("cores").value == 7
+
+    def test_histogram_layout_mismatch_rejected(self):
+        dst = MetricsRegistry()
+        dst.histogram("lat_ms", buckets=(1.0, 2.0))
+        src = MetricsRegistry()
+        src.histogram("lat_ms", buckets=(1.0, 10.0)).observe(5.0)
+        with pytest.raises(ValueError, match="bucket layout"):
+            dst.merge(src.snapshot())
+
+    def test_kinds_survive_snapshot(self):
+        dst = MetricsRegistry()
+        dst.merge(self._populated().snapshot())
+        assert isinstance(dst.counter("frames_total"), Counter)
+        assert isinstance(dst.gauge("cores"), Gauge)

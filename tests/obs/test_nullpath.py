@@ -1,0 +1,173 @@
+"""The disabled path must be free: no state, no allocation, no effect.
+
+The acceptance property of the whole layer: running instrumented code
+with observability off is indistinguishable -- byte-identical
+serialized TraceSets -- from running the same code before the
+instrumentation existed, and costs only no-op calls on shared
+singletons.
+"""
+
+from __future__ import annotations
+
+import os
+from unittest import mock
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+from repro.obs.spans import NULL_SPAN
+from repro.profiling import ProfileConfig, profile_corpus
+from repro.synthetic import CorpusSpec, generate_corpus
+
+
+@pytest.fixture(scope="module")
+def tiny_corpus():
+    return generate_corpus(CorpusSpec(n_sequences=2, total_frames=16, base_seed=55))
+
+
+class TestNullSingletons:
+    def test_get_obs_defaults_to_null(self):
+        o = obs.get_obs()
+        assert o is obs.NULL_OBS
+        assert not o.enabled
+        assert not obs.is_enabled()
+
+    def test_null_tracer_hands_out_shared_span(self):
+        tracer = obs.NULL_OBS.tracer
+        assert tracer.span("anything") is NULL_SPAN
+        assert tracer.span("other") is NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as sp:
+            assert sp is NULL_SPAN
+            assert sp.set(seq=1, task_ms={"X": 1.0}) is NULL_SPAN
+            sp.event("repartition", parts={})
+        assert obs.NULL_OBS.tracer.records == []
+
+    def test_null_registry_hands_out_shared_instruments(self):
+        m = obs.NULL_OBS.metrics
+        assert m.counter("a") is NULL_COUNTER
+        assert m.counter("b", task="T") is NULL_COUNTER
+        assert m.gauge("g") is NULL_GAUGE
+        assert m.histogram("h", buckets=(1.0,)) is NULL_HISTOGRAM
+
+    def test_null_instruments_never_mutate(self):
+        NULL_COUNTER.inc(5.0)
+        NULL_GAUGE.set(3.0)
+        NULL_GAUGE.inc()
+        NULL_GAUGE.dec()
+        NULL_HISTOGRAM.observe(42.0)
+        assert NULL_COUNTER.value == 0.0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_null_merge_is_noop(self):
+        obs.NULL_OBS.tracer.merge([{"kind": "span", "id": 0}])
+        assert obs.NULL_OBS.tracer.records == []
+
+    def test_null_clock_never_moves(self):
+        assert obs.NULL_OBS.clock.now_ms() == 0.0
+
+
+class TestEnableDisable:
+    def test_enable_installs_live_handle(self):
+        try:
+            handle = obs.enable()
+            assert obs.get_obs() is handle
+            assert handle.enabled
+            assert obs.is_enabled()
+        finally:
+            obs.disable()
+        assert obs.get_obs() is obs.NULL_OBS
+
+    def test_disable_returns_handle_with_telemetry(self):
+        handle = obs.enable(obs.ManualClock())
+        handle.metrics.counter("x").inc()
+        with handle.tracer.span("s"):
+            pass
+        returned = obs.disable()
+        assert returned is handle
+        assert returned.metrics.counter("x").value == 1
+        assert len(returned.tracer.records) == 1
+
+    def test_disable_when_off_returns_none(self):
+        assert obs.disable() is None
+
+    def test_observed_restores_previous_state(self):
+        assert not obs.is_enabled()
+        with obs.observed() as o:
+            assert obs.get_obs() is o
+        assert not obs.is_enabled()
+
+    def test_observed_nests(self):
+        with obs.observed() as outer:
+            with obs.observed() as inner:
+                assert obs.get_obs() is inner
+            assert obs.get_obs() is outer
+
+    def test_observed_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.observed():
+                raise RuntimeError("boom")
+        assert not obs.is_enabled()
+
+    def test_dump_writes_both_artifacts(self, tmp_path):
+        with obs.observed(obs.ManualClock()) as o:
+            o.metrics.counter("frames_total").inc()
+            with o.tracer.span("s"):
+                pass
+            trace_path, prom_path = obs.dump(o, tmp_path / "out")
+        assert '"name": "s"' in trace_path.read_text()
+        assert "repro_frames_total 1" in prom_path.read_text()
+
+
+class TestEnableFromEnv:
+    def test_unset_returns_none(self):
+        with mock.patch.dict(os.environ, {}, clear=False):
+            os.environ.pop(obs.ENV_OBS_DIR, None)
+            assert obs.maybe_enable_from_env() is None
+        assert not obs.is_enabled()
+
+    def test_blank_returns_none(self):
+        with mock.patch.dict(os.environ, {obs.ENV_OBS_DIR: "  "}):
+            assert obs.maybe_enable_from_env() is None
+        assert not obs.is_enabled()
+
+    def test_set_enables_and_returns_dir(self):
+        try:
+            with mock.patch.dict(os.environ, {obs.ENV_OBS_DIR: "obs-out"}):
+                out = obs.maybe_enable_from_env()
+            assert str(out) == "obs-out"
+            assert obs.is_enabled()
+        finally:
+            obs.disable()
+
+
+class TestByteIdentity:
+    """Observability on/off must not perturb the instrumented code."""
+
+    def test_profiled_traceset_identical_on_off(self, tiny_corpus, tmp_path):
+        config = ProfileConfig()
+        plain = profile_corpus(tiny_corpus, config, jobs=1)
+        with obs.observed() as o:
+            instrumented = profile_corpus(tiny_corpus, config, jobs=1)
+            assert o.metrics.counter("profile_frames_total").value > 0
+
+        p_plain = tmp_path / "plain.json"
+        p_instr = tmp_path / "instrumented.json"
+        plain.save(p_plain)
+        instrumented.save(p_instr)
+        assert p_plain.read_bytes() == p_instr.read_bytes()
+
+    def test_pooled_profiling_identical_under_obs(self, tiny_corpus, tmp_path):
+        config = ProfileConfig()
+        plain = profile_corpus(tiny_corpus, config, jobs=1)
+        with obs.observed():
+            pooled = profile_corpus(tiny_corpus, config, jobs=2)
+
+        p_plain = tmp_path / "plain.json"
+        p_pooled = tmp_path / "pooled.json"
+        plain.save(p_plain)
+        pooled.save(p_pooled)
+        assert p_plain.read_bytes() == p_pooled.read_bytes()

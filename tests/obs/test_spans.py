@@ -1,0 +1,152 @@
+"""Tests for span nesting, events, and the cross-process trace merge."""
+
+from __future__ import annotations
+
+from repro.obs.clock import ManualClock
+from repro.obs.spans import Tracer
+
+
+def span_records(tracer):
+    return [r for r in tracer.records if r["kind"] == "span"]
+
+
+def event_records(tracer):
+    return [r for r in tracer.records if r["kind"] == "event"]
+
+
+class TestSpans:
+    def test_timing_from_injected_clock(self):
+        clock = ManualClock(start_ms=100.0)
+        tracer = Tracer(clock)
+        with tracer.span("work"):
+            clock.advance(12.5)
+        (rec,) = tracer.records
+        assert rec["start_ms"] == 100.0
+        assert rec["end_ms"] == 112.5
+
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = span_records(tracer)
+        assert inner["name"] == "inner"  # children finish first
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("seq"):
+            with tracer.span("frame"):
+                pass
+            with tracer.span("frame"):
+                pass
+        frames = [r for r in span_records(tracer) if r["name"] == "frame"]
+        parents = {r["parent"] for r in frames}
+        ids = {r["id"] for r in frames}
+        assert len(ids) == 2
+        assert len(parents) == 1
+
+    def test_set_attaches_attrs(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("frame") as sp:
+            sp.set(frame=3, task_ms={"ENH": 2.0})
+        (rec,) = tracer.records
+        assert rec["attrs"] == {"frame": 3, "task_ms": {"ENH": 2.0}}
+
+    def test_span_event_attached_to_span(self):
+        clock = ManualClock()
+        tracer = Tracer(clock)
+        with tracer.span("frame") as sp:
+            clock.advance(3.0)
+            sp.event("repartition", parts={"RDG": 2})
+        (ev,) = event_records(tracer)
+        (rec,) = span_records(tracer)
+        assert ev["span"] == rec["id"]
+        assert ev["at_ms"] == 3.0
+        assert ev["attrs"] == {"parts": {"RDG": 2}}
+
+    def test_tracer_event_uses_open_span(self):
+        tracer = Tracer(ManualClock())
+        with tracer.span("outer"):
+            tracer.event("inside")
+        tracer.event("outside")
+        inside, outside = event_records(tracer)
+        assert inside["span"] == span_records(tracer)[0]["id"]
+        assert outside["span"] is None
+
+
+class TestMerge:
+    def _worker_trace(self) -> Tracer:
+        """A worker-local trace whose span ids start at 0."""
+        clock = ManualClock()
+        worker = Tracer(clock)
+        with worker.span("shard") as sh:
+            sh.set(seq=7)
+            with worker.span("frame"):
+                clock.advance(1.0)
+            worker.event("loose")
+        return worker
+
+    def test_ids_remapped_to_fresh_range(self):
+        host = Tracer(ManualClock())
+        with host.span("burn"):  # consume host ids 0..
+            pass
+        worker = self._worker_trace()
+        host.merge(worker.records)
+        merged = span_records(host)[1:]
+        host_ids = {r["id"] for r in span_records(host)}
+        assert len(host_ids) == 3  # no collisions
+        # Child/parent linkage survives the remap.
+        frame = next(r for r in merged if r["name"] == "frame")
+        shard = next(r for r in merged if r["name"] == "shard")
+        assert frame["parent"] == shard["id"]
+
+    def test_top_level_reparented_under_open_host_span(self):
+        host = Tracer(ManualClock())
+        worker = self._worker_trace()
+        with host.span("parallel.map") as sp:
+            host.merge(worker.records)
+            host_span_id = sp.span_id
+        shard = next(r for r in span_records(host) if r["name"] == "shard")
+        assert shard["parent"] == host_span_id
+
+    def test_merge_without_open_span_keeps_roots(self):
+        host = Tracer(ManualClock())
+        host.merge(self._worker_trace().records)
+        shard = next(r for r in span_records(host) if r["name"] == "shard")
+        assert shard["parent"] is None
+
+    def test_merge_attrs_stamped_on_every_span(self):
+        host = Tracer(ManualClock())
+        host.merge(self._worker_trace().records, pool_item=3)
+        for rec in span_records(host):
+            assert rec["attrs"]["pool_item"] == 3
+        # ...and original attrs survive.
+        shard = next(r for r in span_records(host) if r["name"] == "shard")
+        assert shard["attrs"]["seq"] == 7
+
+    def test_event_span_reference_remapped(self):
+        host = Tracer(ManualClock())
+        with host.span("parallel.map"):
+            host.merge(self._worker_trace().records)
+        (ev,) = event_records(host)
+        shard = next(r for r in span_records(host) if r["name"] == "shard")
+        assert ev["span"] == shard["id"]
+
+    def test_merge_does_not_mutate_source_records(self):
+        worker = self._worker_trace()
+        before = [dict(r) for r in worker.records]
+        host = Tracer(ManualClock())
+        host.merge(worker.records, pool_item=0)
+        assert worker.records == before
+
+    def test_two_workers_merge_disjoint(self):
+        host = Tracer(ManualClock())
+        with host.span("parallel.map"):
+            host.merge(self._worker_trace().records, pool_item=0)
+            host.merge(self._worker_trace().records, pool_item=1)
+        ids = [r["id"] for r in span_records(host)]
+        assert len(ids) == len(set(ids))
+        shards = [r for r in span_records(host) if r["name"] == "shard"]
+        assert sorted(r["attrs"]["pool_item"] for r in shards) == [0, 1]
