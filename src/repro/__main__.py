@@ -57,9 +57,9 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.core import prediction_accuracy
     from repro.core.serialize import load_model
-    from repro.hw import Mapping
     from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
     from repro.profiling import ProfileConfig
+    from repro.runtime import FrameEngine, StaticSerialPolicy
     from repro.synthetic import SequenceConfig, XRaySequence
 
     model = load_model(args.model)
@@ -70,21 +70,13 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
             expected_distance=seq.config.resolved_phantom().marker_separation
         )
     )
-    sim = config.make_simulator()
-    model.start_sequence()
+    engine = FrameEngine(config.make_simulator(), StaticSerialPolicy(model=model))
+    result = engine.run(seq, pipe, seq_key=args.seed)
     preds, actuals = [], []
-    for img, _ in seq.iter_frames():
-        roi_px = pipe.roi.pixels if pipe.roi is not None else img.size
-        roi_kpx = roi_px / 1000.0 * config.pixel_scale
-        pred = model.predict(roi_kpx)
-        fa = pipe.process(img)
-        res = sim.simulate_frame(
-            fa.reports, Mapping.serial(), frame_key=(args.seed, fa.index)
-        )
-        if fa.index >= 3:
-            preds.append(pred.frame_ms)
-            actuals.append(sum(res.task_ms.values()))
-        model.observe(fa.scenario_id, res.task_ms, roi_kpx)
+    for log in result.frames:
+        if log.index >= 3:
+            preds.append(log.predicted_ms)
+            actuals.append(log.serial_ms)
     rep = prediction_accuracy(np.asarray(preds), np.asarray(actuals))
     print(
         f"seed {args.seed}, {rep.n} frames: mean accuracy "

@@ -35,6 +35,16 @@ Each rule guards a property the prediction pipeline depends on:
     is its whole point).  Everything else times through
     :func:`repro.obs.clock.monotonic_s` or an obs span, so tests can
     substitute a manual clock and traces stay consistent.
+``lint/frame-loop-outside-engine``
+    Per-frame ``simulate_frame`` loops belong to the frame engine
+    (``repro/runtime/engine.py``); everything else runs sequences
+    through :class:`repro.runtime.FrameEngine` and a scheduling
+    policy (or :func:`repro.runtime.simulate_report_sweep` for
+    hand-built reports).  An ad-hoc loop silently skips the budget /
+    delay-line / telemetry wiring the engine owns, so its results
+    drift from the managed paths.  ``repro/bench/`` (raw timing) and
+    ``repro/profiling/`` (trace collection predates any model) keep
+    their own loops.
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ __all__ = [
     "FrozenSetattrRule",
     "ExecutorRule",
     "DirectTimeCallRule",
+    "FrameLoopRule",
     "default_rules",
 ]
 
@@ -338,6 +349,80 @@ class DirectTimeCallRule(LintRule):
             )
 
 
+class FrameLoopRule(LintRule):
+    """No per-frame ``simulate_frame`` loops outside the frame engine."""
+
+    rule_id = "lint/frame-loop-outside-engine"
+    description = (
+        "per-frame simulate_frame loops may only live in "
+        "repro/runtime/engine.py; drive sequences through "
+        "repro.runtime.FrameEngine and a scheduling policy"
+    )
+
+    #: The engine owns the canonical per-frame loop.
+    allowed_files: tuple[str, ...] = ("runtime/engine.py",)
+
+    _LOOP_NODES = (
+        ast.For,
+        ast.AsyncFor,
+        ast.While,
+        ast.ListComp,
+        ast.SetComp,
+        ast.DictComp,
+        ast.GeneratorExp,
+    )
+
+    def __init__(
+        self,
+        allowed_files: tuple[str, ...] | None = None,
+        allowed_dirs: tuple[str, ...] | None = None,
+    ) -> None:
+        if allowed_files is not None:
+            self.allowed_files = allowed_files
+        #: Directory components whose files keep their own loops
+        #: (raw benchmarking; profiling, which predates any model).
+        self.allowed_dirs: tuple[str, ...] = (
+            allowed_dirs if allowed_dirs is not None else ("bench", "profiling")
+        )
+
+    def applies_to(self, path: str) -> bool:
+        if _path_endswith(path, self.allowed_files):
+            return False
+        parts = Path(path).parts
+        return not any(d in parts for d in self.allowed_dirs)
+
+    @staticmethod
+    def _callee_basename(node: ast.Call) -> str | None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    def on_module(self, ctx: LintContext, node: ast.Module) -> None:
+        reported: set[int] = set()
+        for loop in ast.walk(node):
+            if not isinstance(loop, self._LOOP_NODES):
+                continue
+            for sub in ast.walk(loop):
+                if (
+                    isinstance(sub, ast.Call)
+                    and id(sub) not in reported
+                    and self._callee_basename(sub) == "simulate_frame"
+                ):
+                    reported.add(id(sub))
+                    ctx.report(
+                        self.rule_id,
+                        Severity.ERROR,
+                        sub,
+                        "simulate_frame called in a loop outside "
+                        "repro/runtime/engine.py; run the sequence through "
+                        "repro.runtime.FrameEngine with a scheduling policy "
+                        "(or simulate_report_sweep for prebuilt reports)",
+                    )
+
+
 def default_rules() -> list[LintRule]:
     """Fresh instances of every project rule (the CLI's default set)."""
     return [
@@ -348,4 +433,5 @@ def default_rules() -> list[LintRule]:
         FrozenSetattrRule(),
         ExecutorRule(),
         DirectTimeCallRule(),
+        FrameLoopRule(),
     ]

@@ -32,10 +32,20 @@ from repro.core.computation import (
     ScenarioConditionedPredictor,
 )
 from repro.core.markov import AdaptiveQuantizer, MarkovChain
+from repro.core.registry import (
+    PredictorBackend,
+    get_predictor,
+    register_predictor,
+    registered_kinds,
+)
 from repro.core.scenario import ScenarioTable
 from repro.core.triplec import TripleC, TripleCPrediction
 
 __all__ = [
+    "PredictorBackend",
+    "register_predictor",
+    "get_predictor",
+    "registered_kinds",
     "AdaptiveQuantizer",
     "MarkovChain",
     "ConstantPredictor",

@@ -287,6 +287,12 @@ class EwmaMarkovPredictor:
         self._ewma = EwmaFilter(alpha)
         self._last_residual: float | None = None
 
+    @property
+    def fallback_ms(self) -> float:
+        """Pre-warm-up prediction (the training mean); a trained
+        parameter, exposed for serialization and inspection."""
+        return self._fallback
+
     @staticmethod
     def causal_residuals(
         series: NDArray[np.float64], alpha: float
@@ -604,9 +610,16 @@ class ComputationModel:
     ) -> "ComputationModel":
         """Train every task's predictor from profiling traces.
 
+        Kind strings resolve through the predictor registry
+        (:mod:`repro.core.registry`), so externally registered
+        backends participate on equal footing with the built-ins.
         Tasks appearing in the traces but not in ``predictor_kinds``
         fall back to a constant model.
         """
+        # Local import: the registry module imports the predictor
+        # classes from this module at load time.
+        from repro.core.registry import get_predictor
+
         kinds = dict(DEFAULT_PREDICTOR_KINDS)
         if predictor_kinds:
             kinds.update(predictor_kinds)
@@ -618,27 +631,10 @@ class ComputationModel:
             model.train_mean_ms[task] = float(
                 np.concatenate([np.asarray(s) for s in series]).mean()
             )
-            kind = kinds.get(task, "constant")
-            if kind == "constant":
-                model.predictors[task] = ConstantPredictor.fit(series)
-            elif kind == "markov":
-                model.predictors[task] = MarkovPredictor.fit(
-                    series, online_update=online_update
-                )
-            elif kind == "ewma+markov":
-                model.predictors[task] = EwmaMarkovPredictor.fit(
-                    series, alpha=alpha, online_update=online_update
-                )
-            elif kind == "roi+markov":
-                model.predictors[task] = RoiLinearMarkovPredictor.fit(
-                    traces.roi_series(task), online_update=online_update
-                )
-            elif kind == "scenario+ewma+markov":
-                model.predictors[task] = ScenarioConditionedPredictor.fit(
-                    traces, task, alpha=alpha, online_update=online_update
-                )
-            else:
-                raise ValueError(f"unknown predictor kind {kind!r}")
+            backend = get_predictor(kinds.get(task, "constant"))
+            model.predictors[task] = backend.fit(
+                traces, task, alpha=alpha, online_update=online_update
+            )
         for task, p in model.predictors.items():
             if isinstance(p, EwmaMarkovPredictor):
                 p.task = task

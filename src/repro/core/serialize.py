@@ -6,6 +6,20 @@ fits, scenario table, training means) serializes to a single JSON
 document and round-trips exactly.  Online state (EWMA values, last
 residuals, current scenario) is deliberately *not* persisted -- it is
 per-sequence state that ``start_sequence`` initializes.
+
+Predictor documents are produced and consumed by the predictor
+registry (:mod:`repro.core.registry`); this module owns only the
+envelope.
+
+Format history:
+
+* **v1** -- ``{format_version, rate_hz, predictors, train_mean_ms,
+  scenario_counts}``.  Graph and platform were implicit.
+* **v2** -- adds ``graph`` and ``platform`` identifiers so a model
+  trained against one flow graph / hardware spec fails loudly when
+  loaded against another, instead of silently predicting garbage.
+  v1 documents still load (they predate the identifiers, so they are
+  assumed to match the builders this code reconstructs).
 """
 
 from __future__ import annotations
@@ -16,113 +30,44 @@ from typing import Any
 
 import numpy as np
 
-from repro.core.computation import (
-    ComputationModel,
-    ConstantPredictor,
-    EwmaMarkovPredictor,
-    LastValuePredictor,
-    MarkovPredictor,
-    RoiLinearMarkovPredictor,
-    ScenarioConditionedPredictor,
+from repro.core.computation import ComputationModel
+from repro.core.markov import MarkovChain
+from repro.core.registry import (
+    chain_from_dict,
+    chain_to_dict,
+    predictor_from_dict,
+    predictor_to_dict,
 )
-from repro.core.markov import AdaptiveQuantizer, MarkovChain
 from repro.core.scenario import ScenarioTable
 from repro.core.triplec import TripleC
 from repro.graph import build_stentboost_graph
 from repro.hw.spec import blackford
 
-__all__ = ["save_model", "load_model", "FORMAT_VERSION"]
+__all__ = ["save_model", "load_model", "FORMAT_VERSION", "GRAPH_NAME"]
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+
+#: Versions this loader accepts.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Identifier of the flow graph ``build_stentboost_graph`` rebuilds.
+GRAPH_NAME = "stentboost"
 
 
 def _chain_to_dict(chain: MarkovChain) -> dict[str, Any]:
-    return {
-        "edges": chain.quantizer.edges.tolist(),
-        "centers": chain.quantizer.centers.tolist(),
-        "transition": chain.transition.tolist(),
-        "counts": chain.counts.tolist(),
-    }
+    return chain_to_dict(chain)
 
 
 def _chain_from_dict(d: dict[str, Any]) -> MarkovChain:
-    q = AdaptiveQuantizer(
-        edges=np.asarray(d["edges"], dtype=np.float64),
-        centers=np.asarray(d["centers"], dtype=np.float64),
-    )
-    return MarkovChain(
-        q,
-        np.asarray(d["transition"], dtype=np.float64),
-        np.asarray(d["counts"], dtype=np.float64),
-    )
+    return chain_from_dict(d)
 
 
 def _predictor_to_dict(p: Any) -> dict[str, Any]:
-    if isinstance(p, ConstantPredictor):
-        return {"type": "constant", "value_ms": p.value_ms}
-    if isinstance(p, LastValuePredictor):
-        return {"type": "last-value", "fallback_ms": p.fallback_ms}
-    if isinstance(p, MarkovPredictor):
-        return {
-            "type": "markov",
-            "chain": _chain_to_dict(p.chain),
-            "online_update": p.online_update,
-        }
-    if isinstance(p, EwmaMarkovPredictor):
-        return {
-            "type": "ewma+markov",
-            "chain": _chain_to_dict(p.chain),
-            "alpha": p.alpha,
-            "fallback_ms": p._fallback,
-            "online_update": p.online_update,
-        }
-    if isinstance(p, RoiLinearMarkovPredictor):
-        return {
-            "type": "roi+markov",
-            "chain": _chain_to_dict(p.chain),
-            "slope": p.slope,
-            "intercept": p.intercept,
-            "online_update": p.online_update,
-        }
-    if isinstance(p, ScenarioConditionedPredictor):
-        return {
-            "type": "scenario-conditioned",
-            "inner": {str(k): _predictor_to_dict(v) for k, v in p.inner.items()},
-            "pooled": _predictor_to_dict(p.pooled),
-        }
-    raise TypeError(f"cannot serialize predictor of type {type(p).__name__}")
+    return predictor_to_dict(p)
 
 
 def _predictor_from_dict(d: dict[str, Any]) -> Any:
-    kind = d["type"]
-    if kind == "constant":
-        return ConstantPredictor(value_ms=float(d["value_ms"]))
-    if kind == "last-value":
-        return LastValuePredictor(fallback_ms=float(d["fallback_ms"]))
-    if kind == "markov":
-        return MarkovPredictor(
-            _chain_from_dict(d["chain"]), online_update=bool(d["online_update"])
-        )
-    if kind == "ewma+markov":
-        return EwmaMarkovPredictor(
-            _chain_from_dict(d["chain"]),
-            alpha=float(d["alpha"]),
-            fallback_ms=float(d["fallback_ms"]),
-            online_update=bool(d["online_update"]),
-        )
-    if kind == "roi+markov":
-        return RoiLinearMarkovPredictor(
-            float(d["slope"]),
-            float(d["intercept"]),
-            _chain_from_dict(d["chain"]),
-            online_update=bool(d["online_update"]),
-        )
-    if kind == "scenario-conditioned":
-        return ScenarioConditionedPredictor(
-            inner={int(k): _predictor_from_dict(v) for k, v in d["inner"].items()},
-            pooled=_predictor_from_dict(d["pooled"]),
-        )
-    raise ValueError(f"unknown predictor type {kind!r}")
+    return predictor_from_dict(d)
 
 
 def save_model(model: TripleC, path: str | Path) -> None:
@@ -130,13 +75,15 @@ def save_model(model: TripleC, path: str | Path) -> None:
 
     Only the trained parameters travel; graph and platform are
     reconstructed from their builders at load time (they are code,
-    not data).
+    not data) and recorded by name so a mismatched load is rejected.
     """
     doc = {
         "format_version": FORMAT_VERSION,
+        "graph": GRAPH_NAME,
+        "platform": model.cache.platform.name,
         "rate_hz": model.rate_hz,
         "predictors": {
-            t: _predictor_to_dict(p)
+            t: predictor_to_dict(p)
             for t, p in model.computation.predictors.items()
         },
         "train_mean_ms": model.computation.train_mean_ms,
@@ -146,22 +93,43 @@ def save_model(model: TripleC, path: str | Path) -> None:
 
 
 def load_model(path: str | Path) -> TripleC:
-    """Inverse of :func:`save_model` (fresh online state)."""
+    """Inverse of :func:`save_model` (fresh online state).
+
+    Raises
+    ------
+    ValueError
+        If the document's format version is unsupported, or its
+        ``graph`` / ``platform`` identifiers (v2+) do not match the
+        builders this loader reconstructs.
+    """
     doc = json.loads(Path(path).read_text())
     version = doc.get("format_version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ValueError(
-            f"unsupported model format {version!r} (expected {FORMAT_VERSION})"
+            f"unsupported model format {version!r} "
+            f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
+        )
+    graph = build_stentboost_graph()
+    platform = blackford()
+    doc_graph = doc.get("graph", GRAPH_NAME)
+    if doc_graph != GRAPH_NAME:
+        raise ValueError(
+            f"model was trained for flow graph {doc_graph!r}; "
+            f"this build provides {GRAPH_NAME!r}"
+        )
+    doc_platform = doc.get("platform", platform.name)
+    if doc_platform != platform.name:
+        raise ValueError(
+            f"model was trained for platform {doc_platform!r}; "
+            f"this build provides {platform.name!r}"
         )
     comp = ComputationModel(
         predictors={
-            t: _predictor_from_dict(d) for t, d in doc["predictors"].items()
+            t: predictor_from_dict(d) for t, d in doc["predictors"].items()
         },
         train_mean_ms={t: float(v) for t, v in doc["train_mean_ms"].items()},
     )
     table = ScenarioTable(np.asarray(doc["scenario_counts"], dtype=np.float64))
-    graph = build_stentboost_graph()
-    platform = blackford()
     from repro.core.bandwidth import BandwidthModel
     from repro.core.cachemodel import CacheMemoryModel
 

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core import prediction_accuracy
 from repro.experiments.common import ExperimentContext, make_pipeline
-from repro.hw import Mapping
+from repro.runtime import FrameEngine, StaticSerialPolicy
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
 
 __all__ = ["run", "PAPER_ACCURACY"]
@@ -31,8 +31,12 @@ TEST_SEEDS = (1001, 2002, 3003, 4004)
 def run(ctx: ExperimentContext, n_frames: int = 120, warmup: int = 3) -> dict:
     """Evaluate frame-level and per-task prediction accuracy."""
     model = ctx.fresh_model()
-    sim = ctx.profile_config.make_simulator()
-    scale = ctx.profile_config.pixel_scale
+    # The engine's StaticSerialPolicy with a model runs exactly the
+    # strict predict-then-observe protocol this evaluation needs: one
+    # serial frame per prediction, observations fed back in order.
+    engine = FrameEngine(
+        ctx.profile_config.make_simulator(), StaticSerialPolicy(model=model)
+    )
 
     n_scored = len(TEST_SEEDS) * max(0, n_frames - warmup)
     frame_pred = np.empty(n_scored)
@@ -56,22 +60,13 @@ def run(ctx: ExperimentContext, n_frames: int = 120, warmup: int = 3) -> dict:
                 injection_frame=20,
             )
         )
-        pipe = make_pipeline(seq)
-        model.start_sequence()
-        for img, _truth in seq.iter_frames():
-            roi_px = pipe.roi.pixels if pipe.roi is not None else img.size
-            roi_kpx = roi_px / 1000.0 * scale
-            pred = model.predict(roi_kpx)
-            fa = pipe.process(img)
-            res = sim.simulate_frame(
-                fa.reports, Mapping.serial(), frame_key=(seed, fa.index)
-            )
-            if fa.index >= warmup:
-                frame_pred[scored] = pred.frame_ms
-                frame_meas[scored] = sum(res.task_ms.values())
+        result = engine.run(seq, make_pipeline(seq), seq_key=seed)
+        for log in result.frames:
+            if log.index >= warmup:
+                frame_pred[scored] = log.predicted_ms
+                frame_meas[scored] = log.serial_ms
                 scored += 1
-                frame_tasks.append((dict(pred.task_ms), dict(res.task_ms)))
-            model.observe(fa.scenario_id, res.task_ms, roi_kpx)
+                frame_tasks.append((dict(log.predicted_task_ms), dict(log.task_ms)))
 
     frame_rep = prediction_accuracy(frame_pred[:scored], frame_meas[:scored])
     all_tasks = sorted({t for p, m in frame_tasks for t in m if t in p})

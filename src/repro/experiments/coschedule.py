@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.experiments.common import ExperimentContext, make_pipeline
 from repro.experiments.fig7 import fig7_sequence
-from repro.runtime import ResourceManager, run_worst_case
+from repro.runtime import FrameEngine, TripleCPolicy, run_worst_case
 from repro.runtime.coschedule import BackgroundFunction, coschedule
 
 __all__ = ["run"]
@@ -26,8 +26,9 @@ def run(ctx: ExperimentContext, n_frames: int = 150) -> dict:
     seq = fig7_sequence(n_frames=n_frames, seed=4242)
 
     model = ctx.fresh_model()
-    manager = ResourceManager(model, ctx.profile_config.make_simulator())
-    managed = manager.run_sequence(seq, make_pipeline(seq), seq_key="co-mg")
+    sim = ctx.profile_config.make_simulator()
+    policy = TripleCPolicy.for_simulator(model, sim)
+    managed = FrameEngine(sim, policy).run(seq, make_pipeline(seq), seq_key="co-mg")
 
     # The static alternative: reserve, for *every* frame, the cores a
     # worst-case-scenario frame needs to meet the same latency budget
@@ -41,7 +42,7 @@ def run(ctx: ExperimentContext, n_frames: int = 150) -> dict:
         t: model.computation.train_mean_ms.get(t, 0.0)
         for t in ctx.graph.active_tasks(SwitchState.from_scenario_id(worst_sid))
     }
-    static_decision = manager.partitioner.choose(
+    static_decision = policy.partitioner.choose(
         worst_tasks, managed.budget_ms or 50.0
     )
     static_cores = static_decision.cores_used

@@ -11,8 +11,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.common import ExperimentContext
-from repro.hw import Mapping
 from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.runtime import FrameEngine, StaticSerialPolicy
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
 from repro.util.ewma import high_low_split
 from repro.util.stats import autocorrelation, fit_exponential_decay, summarize
@@ -49,16 +49,17 @@ def rdg_full_series(
             expected_distance=seq.config.resolved_phantom().marker_separation
         )
     )
-    sim = ctx.profile_config.make_simulator()
-    mapping = Mapping.serial()
-    out = []
-    for img, _ in seq.iter_frames():
-        pipe._roi = None  # force full-frame granularity every frame
-        fa = pipe.process(img)
-        res = sim.simulate_frame(fa.reports, mapping, frame_key=("fig3", fa.index))
-        if "RDG_FULL" in res.task_ms:
-            out.append(res.task_ms["RDG_FULL"])
-    return np.asarray(out)
+    def force_full_frame(pipeline: StentBoostPipeline) -> None:
+        pipeline._roi = None  # force full-frame granularity every frame
+
+    engine = FrameEngine(
+        ctx.profile_config.make_simulator(),
+        StaticSerialPolicy(frame_setup=force_full_frame),
+    )
+    result = engine.run(seq, pipe, seq_key="fig3")
+    return np.asarray(
+        [f.task_ms["RDG_FULL"] for f in result.frames if "RDG_FULL" in f.task_ms]
+    )
 
 
 def run(ctx: ExperimentContext, n_frames: int = 600) -> dict:

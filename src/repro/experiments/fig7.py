@@ -18,7 +18,12 @@ from __future__ import annotations
 
 
 from repro.experiments.common import ExperimentContext, make_pipeline
-from repro.runtime import ResourceManager, run_straightforward, run_worst_case
+from repro.runtime import (
+    FrameEngine,
+    TripleCPolicy,
+    run_straightforward,
+    run_worst_case,
+)
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
 from repro.util.stats import jitter_metrics
 
@@ -59,8 +64,9 @@ def run(ctx: ExperimentContext, n_frames: int = 200) -> dict:
     sw = run_straightforward(
         seq, make_pipeline(seq), ctx.profile_config.make_simulator(), seq_key="sw"
     )
-    manager = ResourceManager(ctx.fresh_model(), ctx.profile_config.make_simulator())
-    mg = manager.run_sequence(seq, make_pipeline(seq), seq_key="mg")
+    sim = ctx.profile_config.make_simulator()
+    engine = FrameEngine(sim, TripleCPolicy.for_simulator(ctx.fresh_model(), sim))
+    mg = engine.run(seq, make_pipeline(seq), seq_key="mg")
     worst_budget = float(sw.latency().max()) * 1.05
     wc = run_worst_case(
         seq,

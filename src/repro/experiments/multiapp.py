@@ -24,8 +24,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentContext, make_pipeline
 from repro.experiments.fig7 import fig7_sequence
-from repro.hw.mapping import Mapping
-from repro.runtime import ResourceManager
+from repro.runtime import CoschedulePolicy, FrameEngine, TripleCPolicy, replay_frames
 
 __all__ = ["run"]
 
@@ -37,34 +36,24 @@ def _app_frames(ctx: ExperimentContext, seed: int, n_frames: int, core_base: int
 
     Mappings come from the app's own managed run, then are confined
     to its half of the platform (``core_base`` .. ``core_base+half-1``)
-    and rotated within it so successive frames overlap.
+    and rotated within it so successive frames overlap -- the
+    :class:`CoschedulePolicy` placement transform.
     """
     seq = fig7_sequence(n_frames=n_frames, seed=seed)
-    manager = ResourceManager(ctx.fresh_model(), ctx.profile_config.make_simulator())
-    managed = manager.run_sequence(seq, make_pipeline(seq), seq_key=("ma", seed))
+    sim = ctx.profile_config.make_simulator()
+    engine = FrameEngine(sim, TripleCPolicy.for_simulator(ctx.fresh_model(), sim))
+    managed = engine.run(seq, make_pipeline(seq), seq_key=("ma", seed))
 
     seq2 = fig7_sequence(n_frames=n_frames, seed=seed)
-    pipe = make_pipeline(seq2)
-    frames = []
-    for k, (img, _) in enumerate(seq2.iter_frames()):
-        reports = pipe.process(img).reports
-        parts = managed.frames[k].parts
-        mapping = Mapping.serial()
-        for task, n_parts in parts.items():
-            if n_parts > 1:
-                mapping = mapping.with_partition(
-                    task, tuple(range(min(n_parts, half)))
-                )
-        # Rotate within the app's half, then shift to its core base.
-        local = mapping.rotated(k, half)
-        shifted = Mapping(
-            assignments={
-                t: tuple(c + core_base for c in cores)
-                for t, cores in local.assignments.items()
-            },
-            default_core=local.default_core + core_base,
-        )
-        frames.append((reports, shifted, ("ma", seed, k)))
+    placement = CoschedulePolicy(
+        n_cores=ctx.platform.n_cores,
+        source=managed,
+        core_base=core_base,
+        window=half,
+    )
+    frames = replay_frames(
+        seq2, make_pipeline(seq2), placement, key=lambda k: ("ma", seed, k)
+    )
     return frames, managed.budget_ms
 
 

@@ -22,8 +22,7 @@ import numpy as np
 
 from repro.experiments.common import ExperimentContext, make_pipeline
 from repro.experiments.fig7 import fig7_sequence
-from repro.hw.mapping import Mapping
-from repro.runtime import ResourceManager
+from repro.runtime import CoschedulePolicy, FrameEngine, TripleCPolicy
 
 __all__ = ["run"]
 
@@ -34,8 +33,9 @@ PERIOD_MS: float = 1000.0 / 30.0
 def _collect_frames(ctx: ExperimentContext, n_frames: int):
     """Run the pipeline once; keep per-frame reports + managed parts."""
     seq = fig7_sequence(n_frames=n_frames, seed=31337)
-    manager = ResourceManager(ctx.fresh_model(), ctx.profile_config.make_simulator())
-    managed = manager.run_sequence(seq, make_pipeline(seq), seq_key="tp-mg")
+    sim = ctx.profile_config.make_simulator()
+    engine = FrameEngine(sim, TripleCPolicy.for_simulator(ctx.fresh_model(), sim))
+    managed = engine.run(seq, make_pipeline(seq), seq_key="tp-mg")
 
     seq2 = fig7_sequence(n_frames=n_frames, seed=31337)
     pipe = make_pipeline(seq2)
@@ -50,26 +50,24 @@ def run(ctx: ExperimentContext, n_frames: int = 120) -> dict:
     reports, managed = _collect_frames(ctx, n_frames)
     n_cores = ctx.platform.n_cores
 
-    policies: dict[str, list] = {}
-    policies["single-core"] = [
-        (rep, Mapping.serial(), ("tp", "single", k))
-        for k, rep in enumerate(reports)
-    ]
-    policies["rotated serial"] = [
-        (rep, Mapping.serial().rotated(k, n_cores), ("tp", "rot", k))
-        for k, rep in enumerate(reports)
-    ]
-    managed_frames = []
-    for k, rep in enumerate(reports):
-        parts = managed.frames[k].parts if k < len(managed.frames) else {}
-        mapping = Mapping.serial()
-        for task, n_parts in parts.items():
-            if n_parts > 1:
-                mapping = mapping.with_partition(task, tuple(range(n_parts)))
-        managed_frames.append(
-            (rep, mapping.rotated(k, n_cores), ("tp", "mgd", k))
-        )
-    policies["managed rotated"] = managed_frames
+    placements = {
+        "single-core": (
+            CoschedulePolicy(n_cores=n_cores, window=1),
+            lambda k: ("tp", "single", k),
+        ),
+        "rotated serial": (
+            CoschedulePolicy(n_cores=n_cores),
+            lambda k: ("tp", "rot", k),
+        ),
+        "managed rotated": (
+            CoschedulePolicy(n_cores=n_cores, source=managed),
+            lambda k: ("tp", "mgd", k),
+        ),
+    }
+    policies: dict[str, list] = {
+        name: placement.assign(reports, key)
+        for name, (placement, key) in placements.items()
+    }
 
     rows = {}
     for name, frames in policies.items():

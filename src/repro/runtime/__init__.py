@@ -9,8 +9,12 @@ average case:
   tasks, functional partitioning for feature tasks);
 * :mod:`repro.runtime.qos` -- the latency budget and the delay line
   that equalizes output timing;
-* :mod:`repro.runtime.manager` -- the per-frame
-  predict -> repartition -> execute -> observe loop;
+* :mod:`repro.runtime.engine` -- the single per-frame
+  predict -> repartition -> execute -> observe loop
+  (:class:`FrameEngine`) and the :class:`SchedulingPolicy` objects
+  expressing each run mode;
+* :mod:`repro.runtime.manager` -- the managed-run front door
+  (:class:`ResourceManager`), a :class:`TripleCPolicy` configuration;
 * :mod:`repro.runtime.baselines` -- the straightforward static
   mapping and the worst-case reservation the paper compares against;
 * :mod:`repro.runtime.coschedule` -- the "execute more functions on
@@ -20,7 +24,20 @@ average case:
 
 from repro.runtime.baselines import run_straightforward, run_worst_case
 from repro.runtime.coschedule import BackgroundFunction, CoScheduleResult
-from repro.runtime.manager import FrameLog, ResourceManager, RunResult
+from repro.runtime.engine import (
+    CoschedulePolicy,
+    FrameEngine,
+    FrameLog,
+    FramePlan,
+    RunResult,
+    SchedulingPolicy,
+    StaticSerialPolicy,
+    TripleCPolicy,
+    WorstCaseReservationPolicy,
+    replay_frames,
+    simulate_report_sweep,
+)
+from repro.runtime.manager import ResourceManager
 from repro.runtime.partition import PartitionDecision, Partitioner
 from repro.runtime.qos import DelayLine, LatencyBudget
 from repro.runtime.quality import QUALITY_LEVELS, QualityController, QualityLevel
@@ -30,6 +47,15 @@ __all__ = [
     "PartitionDecision",
     "DelayLine",
     "LatencyBudget",
+    "FrameEngine",
+    "FramePlan",
+    "SchedulingPolicy",
+    "TripleCPolicy",
+    "StaticSerialPolicy",
+    "WorstCaseReservationPolicy",
+    "CoschedulePolicy",
+    "replay_frames",
+    "simulate_report_sweep",
     "ResourceManager",
     "FrameLog",
     "RunResult",

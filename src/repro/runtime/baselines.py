@@ -8,15 +8,21 @@
   stabilize latency, but "for most of the time the reserved resource
   budget is set too conservative [and] the output latency is higher
   than actually required".
+
+Both are one-line policy configurations of the frame engine, so they
+share its loop, logging and telemetry with the managed run.
 """
 
 from __future__ import annotations
 
-from repro.hw.mapping import Mapping
 from repro.hw.simulator import PlatformSimulator
 from repro.imaging.pipeline import StentBoostPipeline
-from repro.runtime.manager import FrameLog, RunResult
-from repro.runtime.qos import DelayLine, LatencyBudget
+from repro.runtime.engine import (
+    FrameEngine,
+    RunResult,
+    StaticSerialPolicy,
+    WorstCaseReservationPolicy,
+)
 from repro.synthetic.sequence import XRaySequence
 
 __all__ = ["run_straightforward", "run_worst_case"]
@@ -33,27 +39,8 @@ def run_straightforward(
     This is the paper's "straightforward mapping" whose effective
     latency "can vary between 60 and 120 ms" (Section 7).
     """
-    result = RunResult(label="straightforward")
-    mapping = Mapping.serial()
-    for img, _truth in sequence.iter_frames():
-        analysis = pipeline.process(img)
-        res = simulator.simulate_frame(
-            analysis.reports, mapping, frame_key=(seq_key, analysis.index)
-        )
-        result.frames.append(
-            FrameLog(
-                index=analysis.index,
-                predicted_scenario=analysis.scenario_id,
-                actual_scenario=analysis.scenario_id,
-                predicted_ms=res.latency_ms,
-                serial_ms=float(sum(res.task_ms.values())),
-                latency_ms=res.latency_ms,
-                output_ms=res.latency_ms,
-                cores_used=1,
-                parts={},
-            )
-        )
-    return result
+    engine = FrameEngine(simulator, StaticSerialPolicy())
+    return engine.run(sequence, pipeline, seq_key=seq_key)
 
 
 def run_worst_case(
@@ -70,29 +57,5 @@ def run_worst_case(
     latency is constant but maximal -- the drawback Section 6 calls
     out before introducing the prediction-driven alternative.
     """
-    if worst_case_ms <= 0:
-        raise ValueError("worst_case_ms must be positive")
-    budget = LatencyBudget(target_ms=float(worst_case_ms))
-    delay = DelayLine(budget)
-    result = RunResult(budget_ms=float(worst_case_ms), label="worst-case reservation")
-    mapping = Mapping.serial()
-    for img, _truth in sequence.iter_frames():
-        analysis = pipeline.process(img)
-        res = simulator.simulate_frame(
-            analysis.reports, mapping, frame_key=(seq_key, analysis.index)
-        )
-        out_ms = delay.push(res.latency_ms)
-        result.frames.append(
-            FrameLog(
-                index=analysis.index,
-                predicted_scenario=analysis.scenario_id,
-                actual_scenario=analysis.scenario_id,
-                predicted_ms=float(worst_case_ms),
-                serial_ms=float(sum(res.task_ms.values())),
-                latency_ms=res.latency_ms,
-                output_ms=out_ms,
-                cores_used=1,
-                parts={},
-            )
-        )
-    return result
+    engine = FrameEngine(simulator, WorstCaseReservationPolicy(worst_case_ms))
+    return engine.run(sequence, pipeline, seq_key=seq_key)

@@ -1,0 +1,593 @@
+"""The frame engine: one per-frame loop, many scheduling policies.
+
+Section 6's runtime is a single control loop -- predict, (re)map,
+execute, observe -- that the paper evaluates under different policies
+(semi-automatic parallel, straightforward static, worst-case
+reservation, multi-application placement).  :class:`FrameEngine` owns
+that loop exactly once: budget initialization, the delay line, obs
+spans/metrics, model feedback and :class:`FrameLog`/:class:`RunResult`
+assembly all live here, while a :class:`SchedulingPolicy` contributes
+only the per-frame *decision* (which mapping, which quality level,
+which prediction).
+
+``ResourceManager`` and the ``baselines`` entry points are thin shims
+over this module; the multiapp/throughput drivers express their
+placements as a :class:`CoschedulePolicy`.  The lint rule
+``lint/frame-loop-outside-engine`` keeps ad-hoc ``simulate_frame``
+loops from growing back elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Protocol, Sequence
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.triplec import TripleC, TripleCPrediction
+from repro.hw.mapping import Mapping
+from repro.hw.simulator import FrameResult, PlatformSimulator
+from repro.imaging.pipeline import FrameAnalysis, StentBoostPipeline
+from repro.runtime.partition import PartitionDecision, Partitioner
+from repro.runtime.qos import DelayLine, LatencyBudget
+from repro.synthetic.sequence import XRaySequence
+from repro.util.stats import JitterMetrics, jitter_metrics
+
+__all__ = [
+    "FrameLog",
+    "RunResult",
+    "FramePlan",
+    "SchedulingPolicy",
+    "FrameEngine",
+    "TripleCPolicy",
+    "StaticSerialPolicy",
+    "WorstCaseReservationPolicy",
+    "CoschedulePolicy",
+    "replay_frames",
+    "simulate_report_sweep",
+]
+
+
+@dataclass(frozen=True)
+class FramePlan:
+    """One policy decision, made *before* the frame executes.
+
+    Attributes
+    ----------
+    mapping:
+        Task placement the simulator executes.
+    cores_used:
+        Distinct cores the mapping occupies (logged + gauged).
+    parts:
+        Partition count per split task; changes between consecutive
+        frames count as repartitions.
+    quality:
+        Quality-level name the policy selected ("full" when no
+        controller is active).
+    prediction:
+        The Triple-C prediction driving the decision, when the policy
+        made one (None for prediction-free baselines).
+    predicted_ms:
+        Value logged as the frame's predicted serial time.  ``None``
+        means "no a-priori estimate": the engine logs the measured
+        latency, preserving the straightforward baseline's convention.
+    roi_kpixels:
+        ROI size the prediction assumed (fed back on observe).
+    """
+
+    mapping: Mapping
+    cores_used: int = 1
+    parts: dict[str, int] = field(default_factory=dict)
+    quality: str = "full"
+    prediction: TripleCPrediction | None = None
+    predicted_ms: float | None = None
+    roi_kpixels: float = 0.0
+
+
+class SchedulingPolicy(Protocol):
+    """What a run mode contributes to the engine's loop."""
+
+    #: Default RunResult label of runs under this policy.
+    label: str
+
+    def begin_run(self, engine: "FrameEngine") -> LatencyBudget | None:
+        """Reset per-sequence state; return the latency budget.
+
+        Returning ``None`` disables the delay line (output latency
+        equals completion latency).
+        """
+        ...
+
+    def plan_frame(
+        self, engine: "FrameEngine", pipeline: StentBoostPipeline, img
+    ) -> FramePlan:
+        """Decide mapping/quality for the frame about to execute."""
+        ...
+
+    def observe_frame(
+        self, plan: FramePlan, analysis: FrameAnalysis, result: FrameResult
+    ) -> None:
+        """Feed the measured frame back into the policy's model."""
+        ...
+
+
+@dataclass(frozen=True)
+class FrameLog:
+    """Everything recorded about one executed frame."""
+
+    index: int
+    predicted_scenario: int
+    actual_scenario: int
+    predicted_ms: float
+    serial_ms: float
+    latency_ms: float
+    output_ms: float
+    cores_used: int
+    parts: dict[str, int]
+    quality: str = "full"
+    #: Measured per-task times of the frame.
+    task_ms: dict[str, float] = field(default_factory=dict)
+    #: Per-task predictions (empty for prediction-free policies).
+    predicted_task_ms: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one managed (or baseline) sequence run."""
+
+    frames: list[FrameLog] = field(default_factory=list)
+    budget_ms: float | None = None
+    label: str = ""
+
+    def latency(self) -> np.ndarray:
+        """Completion-latency series."""
+        return np.asarray([f.latency_ms for f in self.frames])
+
+    def output_latency(self) -> np.ndarray:
+        """Post-delay-line output-latency series."""
+        return np.asarray([f.output_ms for f in self.frames])
+
+    def serial_latency(self) -> np.ndarray:
+        """What the same frames would cost serially (sum of tasks)."""
+        return np.asarray([f.serial_ms for f in self.frames])
+
+    def predicted(self) -> np.ndarray:
+        """Per-frame predicted serial times."""
+        return np.asarray([f.predicted_ms for f in self.frames])
+
+    def jitter(self) -> JitterMetrics:
+        """Jitter metrics of the completion latency."""
+        return jitter_metrics(self.latency())
+
+    def scenario_hit_rate(self) -> float:
+        """Fraction of frames whose scenario was predicted exactly."""
+        if not self.frames:
+            return 0.0
+        hits = sum(
+            1 for f in self.frames if f.predicted_scenario == f.actual_scenario
+        )
+        return hits / len(self.frames)
+
+    def mean_cores_used(self) -> float:
+        """Average core usage (headroom for co-scheduling)."""
+        if not self.frames:
+            return 0.0
+        return float(np.mean([f.cores_used for f in self.frames]))
+
+
+class FrameEngine:
+    """Runs a sequence through the simulator under one policy.
+
+    The engine is the only place in the runtime that loops over
+    ``simulate_frame``; everything policy-specific is delegated.
+    """
+
+    def __init__(
+        self, simulator: PlatformSimulator, policy: SchedulingPolicy
+    ) -> None:
+        self.simulator = simulator
+        self.policy = policy
+
+    def run(
+        self,
+        sequence: XRaySequence,
+        pipeline: StentBoostPipeline,
+        seq_key: object = 0,
+        label: str | None = None,
+    ) -> RunResult:
+        """Execute one sequence; returns the per-frame log."""
+        budget = self.policy.begin_run(self)
+        budget_ms = budget.require() if budget is not None else None
+        delay = DelayLine(budget) if budget is not None else None
+        run_label = self.policy.label if label is None else label
+        result = RunResult(budget_ms=budget_ms, label=run_label)
+
+        o = obs.get_obs()
+        prev_parts: dict[str, int] | None = None
+        with o.tracer.span("engine.sequence") as seq_span:
+            if o.enabled:
+                seq_span.set(seq=str(seq_key), label=run_label)
+                if budget_ms is not None:
+                    seq_span.set(budget_ms=budget_ms)
+            for img, _truth in sequence.iter_frames():
+                with o.tracer.span("engine.frame") as sp:
+                    plan = self.policy.plan_frame(self, pipeline, img)
+                    analysis = pipeline.process(img)
+                    frame_res = self.simulator.simulate_frame(
+                        analysis.reports,
+                        plan.mapping,
+                        frame_key=(seq_key, analysis.index),
+                    )
+                    self.policy.observe_frame(plan, analysis, frame_res)
+                    out_ms = (
+                        delay.push(frame_res.latency_ms)
+                        if delay is not None
+                        else frame_res.latency_ms
+                    )
+
+                    log = self._frame_log(plan, analysis, frame_res, out_ms)
+                    if o.enabled:
+                        prev_parts = self._record_frame(
+                            o, sp, seq_key, plan, log, budget_ms, prev_parts
+                        )
+                result.frames.append(log)
+        return result
+
+    @staticmethod
+    def _frame_log(
+        plan: FramePlan,
+        analysis: FrameAnalysis,
+        frame_res: FrameResult,
+        out_ms: float,
+    ) -> FrameLog:
+        prediction = plan.prediction
+        return FrameLog(
+            index=analysis.index,
+            predicted_scenario=(
+                prediction.scenario_id
+                if prediction is not None
+                else analysis.scenario_id
+            ),
+            actual_scenario=analysis.scenario_id,
+            predicted_ms=(
+                plan.predicted_ms
+                if plan.predicted_ms is not None
+                else frame_res.latency_ms
+            ),
+            serial_ms=float(sum(frame_res.task_ms.values())),
+            latency_ms=frame_res.latency_ms,
+            output_ms=out_ms,
+            cores_used=plan.cores_used,
+            parts=dict(plan.parts),
+            quality=plan.quality,
+            task_ms=dict(frame_res.task_ms),
+            predicted_task_ms=(
+                dict(prediction.task_ms) if prediction is not None else {}
+            ),
+        )
+
+    @staticmethod
+    def _record_frame(
+        o,
+        sp,
+        seq_key: object,
+        plan: FramePlan,
+        log: FrameLog,
+        budget_ms: float | None,
+        prev_parts: dict[str, int] | None,
+    ) -> dict[str, int]:
+        """Emit the per-frame telemetry (metric names are stable API)."""
+        m = o.metrics
+        sp.set(
+            seq=str(seq_key),
+            frame=log.index,
+            scenario=log.actual_scenario,
+            predicted_scenario=log.predicted_scenario,
+            latency_ms=log.latency_ms,
+            task_ms=dict(log.task_ms),
+            cores=log.cores_used,
+            quality=log.quality,
+        )
+        m.counter("runtime_frames_total").inc()
+        m.histogram("runtime_frame_latency_ms").observe(log.latency_ms)
+        m.gauge("runtime_cores_in_use").set(log.cores_used)
+        if plan.prediction is not None:
+            m.histogram("runtime_frame_residual_ms").observe(
+                log.serial_ms - plan.prediction.frame_ms
+            )
+            if log.actual_scenario == log.predicted_scenario:
+                m.counter("runtime_scenario_hit_total").inc()
+            else:
+                m.counter("runtime_scenario_miss_total").inc()
+        if budget_ms is not None and log.latency_ms > budget_ms:
+            m.counter("runtime_deadline_miss_total").inc()
+        if log.quality != "full":
+            m.counter("runtime_quality_degraded_total").inc()
+        if prev_parts is not None and log.parts != prev_parts:
+            m.counter("runtime_repartition_total").inc()
+            sp.event(
+                "repartition", parts=dict(log.parts), previous=prev_parts
+            )
+        return dict(log.parts)
+
+
+class TripleCPolicy:
+    """The paper's semi-automatic parallelization (Section 6).
+
+    Each frame: predict with Triple-C, repartition robustly over the
+    plausible scenarios, optionally degrade quality when even maximal
+    repartitioning misses the budget, then feed the measurement back.
+    """
+
+    label = "triple-c managed"
+
+    def __init__(
+        self,
+        triplec: TripleC,
+        partitioner: Partitioner,
+        budget: LatencyBudget,
+        quality_controller=None,
+    ) -> None:
+        self.triplec = triplec
+        self.partitioner = partitioner
+        self.budget = budget
+        self.quality_controller = quality_controller
+
+    @classmethod
+    def for_simulator(
+        cls,
+        triplec: TripleC,
+        simulator: PlatformSimulator,
+        partitioner: Partitioner | None = None,
+        budget_ms: float | None = None,
+        slack: float = 1.08,
+        quality_controller=None,
+    ) -> "TripleCPolicy":
+        """Build with the simulator's overhead constants (the default
+        configuration every driver uses)."""
+        return cls(
+            triplec,
+            partitioner
+            or Partitioner(
+                simulator.platform,
+                triplec.graph,
+                fork_ms=simulator.fork_ms,
+                join_ms=simulator.join_ms,
+                halo_fraction=simulator.halo_fraction,
+            ),
+            LatencyBudget(target_ms=budget_ms, slack=slack),
+            quality_controller=quality_controller,
+        )
+
+    def initialize_budget(self) -> float:
+        """Section 6 "Initialization": budget near the average case."""
+        if not self.budget.initialized:
+            self.budget.initialize(self.triplec.expected_frame_ms())
+        return self.budget.require()
+
+    def begin_run(self, engine: FrameEngine) -> LatencyBudget:
+        self.initialize_budget()
+        self.triplec.start_sequence()
+        return self.budget
+
+    def plan_frame(
+        self, engine: FrameEngine, pipeline: StentBoostPipeline, img
+    ) -> FramePlan:
+        budget = self.budget.require()
+        scale = engine.simulator.cost_model.pixel_scale
+        roi_px = pipeline.roi.pixels if pipeline.roi is not None else img.size
+        roi_kpx = roi_px / 1000.0 * scale
+
+        prediction: TripleCPrediction = self.triplec.predict(roi_kpx)
+        # Robust repartitioning: cover every plausible scenario of the
+        # coming frame, not just the most likely one -- a split task
+        # that ends up not running costs nothing.
+        scenario_preds = self.triplec.plausible_predictions(roi_kpx)
+        decision: PartitionDecision = self.partitioner.choose_robust(
+            scenario_preds, budget
+        )
+
+        quality_name = "full"
+        if self.quality_controller is not None:
+            level = self.quality_controller.decide(
+                decision.predicted_latency_ms, budget
+            )
+            pipeline.quality = level
+            quality_name = level.name
+
+        return FramePlan(
+            mapping=decision.mapping,
+            cores_used=decision.cores_used,
+            parts=dict(decision.parts),
+            quality=quality_name,
+            prediction=prediction,
+            predicted_ms=prediction.frame_ms,
+            roi_kpixels=roi_kpx,
+        )
+
+    def observe_frame(
+        self, plan: FramePlan, analysis: FrameAnalysis, result: FrameResult
+    ) -> None:
+        self.triplec.observe(
+            analysis.scenario_id, result.task_ms, plan.roi_kpixels
+        )
+
+
+class StaticSerialPolicy:
+    """Static serial mapping: no repartitioning, no QoS.
+
+    This is the paper's "straightforward mapping" baseline.  With a
+    ``model``, the policy additionally runs the strict
+    predict-then-observe protocol in the shadow of the run (the
+    held-out accuracy evaluations); the mapping stays serial either
+    way.  ``frame_setup`` runs before each frame's planning -- e.g.
+    fig3's forced full-frame granularity.
+    """
+
+    label = "straightforward"
+
+    def __init__(
+        self,
+        model: TripleC | None = None,
+        frame_setup: Callable[[StentBoostPipeline], None] | None = None,
+    ) -> None:
+        self.model = model
+        self.frame_setup = frame_setup
+
+    def begin_run(self, engine: FrameEngine) -> None:
+        if self.model is not None:
+            self.model.start_sequence()
+        return None
+
+    def plan_frame(
+        self, engine: FrameEngine, pipeline: StentBoostPipeline, img
+    ) -> FramePlan:
+        if self.frame_setup is not None:
+            self.frame_setup(pipeline)
+        if self.model is None:
+            return FramePlan(mapping=Mapping.serial())
+        scale = engine.simulator.cost_model.pixel_scale
+        roi_px = pipeline.roi.pixels if pipeline.roi is not None else img.size
+        roi_kpx = roi_px / 1000.0 * scale
+        prediction = self.model.predict(roi_kpx)
+        return FramePlan(
+            mapping=Mapping.serial(),
+            prediction=prediction,
+            predicted_ms=prediction.frame_ms,
+            roi_kpixels=roi_kpx,
+        )
+
+    def observe_frame(
+        self, plan: FramePlan, analysis: FrameAnalysis, result: FrameResult
+    ) -> None:
+        if self.model is not None:
+            self.model.observe(
+                analysis.scenario_id, result.task_ms, plan.roi_kpixels
+            )
+
+
+class WorstCaseReservationPolicy:
+    """Section 6's strawman: reserve the worst case, pad to it.
+
+    Serial execution; the delay line holds every frame to the
+    reserved budget, so the output latency is constant but maximal.
+    """
+
+    label = "worst-case reservation"
+
+    def __init__(self, worst_case_ms: float) -> None:
+        if worst_case_ms <= 0:
+            raise ValueError("worst_case_ms must be positive")
+        self.worst_case_ms = float(worst_case_ms)
+
+    def begin_run(self, engine: FrameEngine) -> LatencyBudget:
+        return LatencyBudget(target_ms=self.worst_case_ms)
+
+    def plan_frame(
+        self, engine: FrameEngine, pipeline: StentBoostPipeline, img
+    ) -> FramePlan:
+        return FramePlan(
+            mapping=Mapping.serial(), predicted_ms=self.worst_case_ms
+        )
+
+    def observe_frame(
+        self, plan: FramePlan, analysis: FrameAnalysis, result: FrameResult
+    ) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class CoschedulePolicy:
+    """Placement policy for multi-application / pipelined replays.
+
+    Reconstructs per-frame mappings from a managed run's partitioning
+    decisions (or plain serial when ``source`` is None), rotates them
+    within a ``window`` of cores so consecutive in-flight frames
+    overlap, and shifts the whole placement to ``core_base`` -- the
+    transform the multiapp (half-platform instances) and throughput
+    (full-platform rotation) experiments share.
+
+    Attributes
+    ----------
+    n_cores:
+        Platform core count.
+    source:
+        Managed run whose per-frame ``parts`` size the partitions.
+    core_base:
+        First core of the instance's slice of the platform.
+    window:
+        Cores available to the instance (defaults to ``n_cores``).
+        Partitions wider than the window are clipped to it.
+    """
+
+    n_cores: int
+    source: RunResult | None = None
+    core_base: int = 0
+    window: int | None = None
+
+    def mapping_for(self, k: int) -> Mapping:
+        """The frame-``k`` placement."""
+        window = self.window if self.window is not None else self.n_cores
+        mapping = Mapping.serial()
+        if self.source is not None and k < len(self.source.frames):
+            for task, n_parts in self.source.frames[k].parts.items():
+                if n_parts > 1:
+                    mapping = mapping.with_partition(
+                        task, tuple(range(min(n_parts, window)))
+                    )
+        local = mapping.rotated(k, window)
+        if self.core_base == 0:
+            return local
+        return Mapping(
+            assignments={
+                t: tuple(c + self.core_base for c in cores)
+                for t, cores in local.assignments.items()
+            },
+            default_core=local.default_core + self.core_base,
+        )
+
+    def assign(
+        self,
+        reports: Sequence[dict],
+        key: Callable[[int], object],
+    ) -> list[tuple[dict, Mapping, object]]:
+        """Pair pre-computed frame reports with their placements,
+        ready for :meth:`PlatformSimulator.simulate_stream`."""
+        return [
+            (rep, self.mapping_for(k), key(k)) for k, rep in enumerate(reports)
+        ]
+
+
+def replay_frames(
+    sequence: XRaySequence,
+    pipeline: StentBoostPipeline,
+    policy: CoschedulePolicy,
+    key: Callable[[int], object],
+) -> list[tuple[dict, Mapping, object]]:
+    """Process a sequence and place every frame under ``policy``.
+
+    The returned ``(reports, mapping, frame_key)`` triples feed
+    ``simulate_stream`` for pipelined multi-application runs.
+    """
+    out = []
+    for k, (img, _truth) in enumerate(sequence.iter_frames()):
+        reports = pipeline.process(img).reports
+        out.append((reports, policy.mapping_for(k), key(k)))
+    return out
+
+
+def simulate_report_sweep(
+    simulator: PlatformSimulator,
+    frames: Iterable[tuple[dict, Mapping, object]],
+) -> list[FrameResult]:
+    """Simulate hand-built ``(reports, mapping, frame_key)`` frames.
+
+    For sweeps that construct task reports outside a sequence run
+    (e.g. fig6's forced-ROI crops); keeps the raw ``simulate_frame``
+    loop inside the engine module.
+    """
+    return [
+        simulator.simulate_frame(reports, mapping, frame_key=key)
+        for reports, mapping, key in frames
+    ]

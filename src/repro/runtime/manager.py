@@ -10,84 +10,25 @@ This is the Section 6 runtime loop that produces the paper's Fig. 7
 * **Profiling** -- measured times feed back into the model
   (EWMA/Markov state always; transition counts too when the model
   was fitted with ``online_update=True``).
+
+Since the engine refactor the loop itself lives in
+:class:`repro.runtime.engine.FrameEngine`; this class is the
+:class:`~repro.runtime.engine.TripleCPolicy` configuration with the
+historical constructor, kept as the runtime's front door.
+:class:`FrameLog` and :class:`RunResult` are re-exported from the
+engine module unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-import numpy as np
-
-import repro.obs as obs
-from repro.core.triplec import TripleC, TripleCPrediction
+from repro.core.triplec import TripleC
 from repro.hw.simulator import PlatformSimulator
 from repro.imaging.pipeline import StentBoostPipeline
-from repro.runtime.partition import PartitionDecision, Partitioner
-from repro.runtime.qos import DelayLine, LatencyBudget
+from repro.runtime.engine import FrameEngine, FrameLog, RunResult, TripleCPolicy
+from repro.runtime.partition import Partitioner
 from repro.synthetic.sequence import XRaySequence
-from repro.util.stats import JitterMetrics, jitter_metrics
 
 __all__ = ["FrameLog", "RunResult", "ResourceManager"]
-
-
-@dataclass(frozen=True)
-class FrameLog:
-    """Everything recorded about one managed frame."""
-
-    index: int
-    predicted_scenario: int
-    actual_scenario: int
-    predicted_ms: float
-    serial_ms: float
-    latency_ms: float
-    output_ms: float
-    cores_used: int
-    parts: dict[str, int]
-    quality: str = "full"
-
-
-@dataclass
-class RunResult:
-    """Outcome of one managed (or baseline) sequence run."""
-
-    frames: list[FrameLog] = field(default_factory=list)
-    budget_ms: float | None = None
-    label: str = ""
-
-    def latency(self) -> np.ndarray:
-        """Completion-latency series."""
-        return np.asarray([f.latency_ms for f in self.frames])
-
-    def output_latency(self) -> np.ndarray:
-        """Post-delay-line output-latency series."""
-        return np.asarray([f.output_ms for f in self.frames])
-
-    def serial_latency(self) -> np.ndarray:
-        """What the same frames would cost serially (sum of tasks)."""
-        return np.asarray([f.serial_ms for f in self.frames])
-
-    def predicted(self) -> np.ndarray:
-        """Per-frame predicted serial times."""
-        return np.asarray([f.predicted_ms for f in self.frames])
-
-    def jitter(self) -> JitterMetrics:
-        """Jitter metrics of the completion latency."""
-        return jitter_metrics(self.latency())
-
-    def scenario_hit_rate(self) -> float:
-        """Fraction of frames whose scenario was predicted exactly."""
-        if not self.frames:
-            return 0.0
-        hits = sum(
-            1 for f in self.frames if f.predicted_scenario == f.actual_scenario
-        )
-        return hits / len(self.frames)
-
-    def mean_cores_used(self) -> float:
-        """Average core usage (headroom for co-scheduling)."""
-        if not self.frames:
-            return 0.0
-        return float(np.mean([f.cores_used for f in self.frames]))
 
 
 class ResourceManager:
@@ -120,24 +61,31 @@ class ResourceManager:
     ) -> None:
         self.triplec = triplec
         self.simulator = simulator
-        self.partitioner = partitioner or Partitioner(
-            simulator.platform,
-            triplec.graph,
-            fork_ms=simulator.fork_ms,
-            join_ms=simulator.join_ms,
-            halo_fraction=simulator.halo_fraction,
+        self.policy = TripleCPolicy.for_simulator(
+            triplec,
+            simulator,
+            partitioner=partitioner,
+            budget_ms=budget_ms,
+            slack=slack,
+            quality_controller=quality_controller,
         )
-        self.budget = LatencyBudget(target_ms=budget_ms, slack=slack)
-        #: Optional QoS controller (repro.runtime.quality); degrades
-        #: the application's quality level when even maximal
-        #: repartitioning cannot meet the budget.
-        self.quality_controller = quality_controller
+        self.engine = FrameEngine(simulator, self.policy)
+
+    @property
+    def partitioner(self) -> Partitioner:
+        return self.policy.partitioner
+
+    @property
+    def budget(self):
+        return self.policy.budget
+
+    @property
+    def quality_controller(self):
+        return self.policy.quality_controller
 
     def initialize_budget(self) -> float:
         """Section 6 "Initialization": budget near the average case."""
-        if not self.budget.initialized:
-            self.budget.initialize(self.triplec.expected_frame_ms())
-        return self.budget.require()
+        return self.policy.initialize_budget()
 
     def run_sequence(
         self,
@@ -147,100 +95,4 @@ class ResourceManager:
         label: str = "triple-c managed",
     ) -> RunResult:
         """Run one sequence under management."""
-        budget = self.initialize_budget()
-        delay = DelayLine(self.budget)
-        self.triplec.start_sequence()
-        result = RunResult(budget_ms=budget, label=label)
-        scale = self.simulator.cost_model.pixel_scale
-
-        o = obs.get_obs()
-        prev_parts: dict[str, int] | None = None
-        with o.tracer.span("manager.sequence") as seq_span:
-            if o.enabled:
-                seq_span.set(seq=str(seq_key), budget_ms=budget, label=label)
-            for img, _truth in sequence.iter_frames():
-                with o.tracer.span("manager.frame") as sp:
-                    roi_px = (
-                        pipeline.roi.pixels if pipeline.roi is not None else img.size
-                    )
-                    roi_kpx = roi_px / 1000.0 * scale
-
-                    prediction: TripleCPrediction = self.triplec.predict(roi_kpx)
-                    # Robust repartitioning: cover every plausible scenario of
-                    # the coming frame, not just the most likely one -- a
-                    # split task that ends up not running costs nothing.
-                    scenario_preds = self.triplec.plausible_predictions(roi_kpx)
-                    decision: PartitionDecision = self.partitioner.choose_robust(
-                        scenario_preds, budget
-                    )
-
-                    quality_name = "full"
-                    if self.quality_controller is not None:
-                        level = self.quality_controller.decide(
-                            decision.predicted_latency_ms, budget
-                        )
-                        pipeline.quality = level
-                        quality_name = level.name
-
-                    analysis = pipeline.process(img)
-                    frame_res = self.simulator.simulate_frame(
-                        analysis.reports,
-                        decision.mapping,
-                        frame_key=(seq_key, analysis.index),
-                    )
-                    self.triplec.observe(
-                        analysis.scenario_id, frame_res.task_ms, roi_kpx
-                    )
-                    out_ms = delay.push(frame_res.latency_ms)
-
-                    if o.enabled:
-                        m = o.metrics
-                        serial_ms = float(sum(frame_res.task_ms.values()))
-                        sp.set(
-                            seq=str(seq_key),
-                            frame=analysis.index,
-                            scenario=analysis.scenario_id,
-                            predicted_scenario=prediction.scenario_id,
-                            latency_ms=frame_res.latency_ms,
-                            task_ms=dict(frame_res.task_ms),
-                            cores=decision.cores_used,
-                            quality=quality_name,
-                        )
-                        m.counter("runtime_frames_total").inc()
-                        m.histogram("runtime_frame_latency_ms").observe(
-                            frame_res.latency_ms
-                        )
-                        m.histogram("runtime_frame_residual_ms").observe(
-                            serial_ms - prediction.frame_ms
-                        )
-                        m.gauge("runtime_cores_in_use").set(decision.cores_used)
-                        if frame_res.latency_ms > budget:
-                            m.counter("runtime_deadline_miss_total").inc()
-                        if analysis.scenario_id == prediction.scenario_id:
-                            m.counter("runtime_scenario_hit_total").inc()
-                        else:
-                            m.counter("runtime_scenario_miss_total").inc()
-                        if prev_parts is not None and decision.parts != prev_parts:
-                            m.counter("runtime_repartition_total").inc()
-                            sp.event(
-                                "repartition",
-                                parts=dict(decision.parts),
-                                previous=prev_parts,
-                            )
-                        prev_parts = dict(decision.parts)
-
-                result.frames.append(
-                    FrameLog(
-                        index=analysis.index,
-                        predicted_scenario=prediction.scenario_id,
-                        actual_scenario=analysis.scenario_id,
-                        predicted_ms=prediction.frame_ms,
-                        serial_ms=float(sum(frame_res.task_ms.values())),
-                        latency_ms=frame_res.latency_ms,
-                        output_ms=out_ms,
-                        cores_used=decision.cores_used,
-                        parts=dict(decision.parts),
-                        quality=quality_name,
-                    )
-                )
-        return result
+        return self.engine.run(sequence, pipeline, seq_key=seq_key, label=label)

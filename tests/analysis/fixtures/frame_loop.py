@@ -1,0 +1,8 @@
+"""Fixture: ad-hoc per-frame simulate_frame loop (must be flagged)."""
+
+
+def drive(sim, frames, mapping):
+    results = []
+    for k, reports in enumerate(frames):
+        results.append(sim.simulate_frame(reports, mapping, frame_key=("fx", k)))
+    return results

@@ -246,6 +246,73 @@ class TestDirectTimeCall:
         assert lint(src) == []
 
 
+class TestFrameLoop:
+    def test_for_loop_flagged(self):
+        src = (
+            "def drive(sim, frames, mapping):\n"
+            "    out = []\n"
+            "    for k, reports in enumerate(frames):\n"
+            "        out.append(sim.simulate_frame(reports, mapping))\n"
+            "    return out\n"
+        )
+        assert "lint/frame-loop-outside-engine" in rules_of(lint(src))
+
+    def test_comprehension_flagged(self):
+        src = (
+            "def drive(sim, frames, m):\n"
+            "    return [sim.simulate_frame(r, m) for r in frames]\n"
+        )
+        assert "lint/frame-loop-outside-engine" in rules_of(lint(src))
+
+    def test_while_loop_flagged(self):
+        src = (
+            "def drive(sim, queue, m):\n"
+            "    while queue:\n"
+            "        sim.simulate_frame(queue.pop(), m)\n"
+        )
+        assert "lint/frame-loop-outside-engine" in rules_of(lint(src))
+
+    def test_single_call_outside_loop_is_clean(self):
+        src = (
+            "def one(sim, reports, mapping):\n"
+            "    return sim.simulate_frame(reports, mapping)\n"
+        )
+        assert lint(src) == []
+
+    def test_engine_module_exempt(self):
+        src = (
+            "def run(sim, frames, m):\n"
+            "    return [sim.simulate_frame(r, m) for r in frames]\n"
+        )
+        assert lint(src, path="src/repro/runtime/engine.py") == []
+
+    def test_bench_and_profiling_exempt(self):
+        src = (
+            "def run(sim, frames, m):\n"
+            "    return [sim.simulate_frame(r, m) for r in frames]\n"
+        )
+        assert lint(src, path="src/repro/bench/harness.py") == []
+        assert lint(src, path="src/repro/profiling/profiler.py") == []
+
+    def test_other_loops_without_the_call_are_clean(self):
+        src = "total = 0\nfor x in range(4):\n    total += x\n"
+        assert lint(src) == []
+
+    def test_nested_loop_reports_once_per_call(self):
+        src = (
+            "def drive(sim, grid, m):\n"
+            "    for row in grid:\n"
+            "        for r in row:\n"
+            "            sim.simulate_frame(r, m)\n"
+        )
+        findings = [
+            f
+            for f in lint(src)
+            if f.rule == "lint/frame-loop-outside-engine"
+        ]
+        assert len(findings) == 1
+
+
 class TestFixtureFiles:
     def test_bad_rng_fixture(self):
         findings = lint_paths([FIXTURES / "bad_rng.py"], default_rules())
@@ -262,12 +329,18 @@ class TestFixtureFiles:
         assert rules_of(findings) == {"lint/direct-time-call"}
         assert len(findings) == 2
 
+    def test_frame_loop_fixture(self):
+        findings = lint_paths([FIXTURES / "frame_loop.py"], default_rules())
+        assert rules_of(findings) == {"lint/frame-loop-outside-engine"}
+        assert len(findings) == 1
+
     def test_fixture_directory_walk(self):
         findings = lint_paths([FIXTURES], default_rules())
         assert {
             "lint/banned-random",
             "lint/wall-clock",
             "lint/direct-time-call",
+            "lint/frame-loop-outside-engine",
         } <= rules_of(findings)
 
 

@@ -164,8 +164,58 @@ class TestFormat:
         doc = json.loads(path.read_text())
         assert set(doc) == {
             "format_version",
+            "graph",
+            "platform",
             "rate_hz",
             "predictors",
             "train_mean_ms",
             "scenario_counts",
         }
+
+    def test_identifiers_recorded(self, saved):
+        from repro.core.serialize import GRAPH_NAME
+        from repro.hw.spec import blackford
+
+        _, path = saved
+        doc = json.loads(path.read_text())
+        assert doc["format_version"] == FORMAT_VERSION
+        assert doc["graph"] == GRAPH_NAME
+        assert doc["platform"] == blackford().name
+
+    def test_v1_document_still_loads(self, saved, tmp_path):
+        """A pre-identifier (v1) document loads and predicts
+        identically to its v2 form."""
+        _, path = saved
+        doc = json.loads(path.read_text())
+        doc["format_version"] = 1
+        del doc["graph"]
+        del doc["platform"]
+        v1 = tmp_path / "v1.json"
+        v1.write_text(json.dumps(doc))
+        old = load_model(v1)
+        new = load_model(path)
+        old.start_sequence(initial_scenario=3)
+        new.start_sequence(initial_scenario=3)
+        for roi in (50.0, 150.0, 1048.0):
+            a, b = old.predict(roi), new.predict(roi)
+            assert a.scenario_id == b.scenario_id
+            assert a.frame_ms == b.frame_ms
+            assert a.task_ms == b.task_ms
+
+    def test_graph_mismatch_rejected(self, saved, tmp_path):
+        _, path = saved
+        doc = json.loads(path.read_text())
+        doc["graph"] = "other-pipeline"
+        bad = tmp_path / "bad_graph.json"
+        bad.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="other-pipeline"):
+            load_model(bad)
+
+    def test_platform_mismatch_rejected(self, saved, tmp_path):
+        _, path = saved
+        doc = json.loads(path.read_text())
+        doc["platform"] = "epyc-1x-64"
+        bad = tmp_path / "bad_platform.json"
+        bad.write_text(json.dumps(doc))
+        with pytest.raises(ValueError, match="epyc-1x-64"):
+            load_model(bad)

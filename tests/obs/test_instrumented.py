@@ -1,4 +1,4 @@
-"""Telemetry emitted by the instrumented seams (profiler, manager, pool).
+"""Telemetry emitted by the instrumented seams (profiler, engine, pool).
 
 These tests run real code paths under a scoped ``obs.observed()`` and
 assert the trace/metric shape the ISSUE promises: per-frame spans,
@@ -52,15 +52,15 @@ def managed_obs(traces, profile_config):
 class TestManagerTelemetry:
     def test_one_frame_span_per_frame(self, managed_obs):
         o, _result, seq = managed_obs
-        frames = spans_named(o, "manager.frame")
+        frames = spans_named(o, "engine.frame")
         assert len(frames) == len(seq)
-        (seq_span,) = spans_named(o, "manager.sequence")
+        (seq_span,) = spans_named(o, "engine.sequence")
         assert all(r["parent"] == seq_span["id"] for r in frames)
         assert seq_span["attrs"]["seq"] == "t-obs"
 
     def test_frame_span_attrs_match_log(self, managed_obs):
         o, result, _seq = managed_obs
-        frames = spans_named(o, "manager.frame")
+        frames = spans_named(o, "engine.frame")
         for rec, log in zip(frames, result.frames):
             attrs = rec["attrs"]
             assert attrs["frame"] == log.index

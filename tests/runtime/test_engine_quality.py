@@ -1,0 +1,95 @@
+"""Engine-level coverage of the quality-degradation path.
+
+A tight budget with partitioning capped below what expensive frames
+need forces the :class:`QualityController` below "full"; these tests
+pin the whole path through the engine -- the FrameLog quality column,
+the pipeline knob, and the runtime telemetry counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.obs as obs
+from repro.core import TripleC
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.runtime import FrameEngine, TripleCPolicy
+from repro.runtime.partition import Partitioner
+from repro.runtime.quality import QualityController
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+
+@pytest.fixture(scope="module")
+def degraded_run(traces, profile_config):
+    """One engine run under observability whose budget forces
+    quality degradation (40 ms, partitioning capped at 2)."""
+    seq = XRaySequence(
+        SequenceConfig(n_frames=48, seed=777, visibility_dips=1, clutter_level=0.9)
+    )
+    pipe = StentBoostPipeline(
+        PipelineConfig(
+            expected_distance=seq.config.resolved_phantom().marker_separation
+        )
+    )
+    model = TripleC.fit(traces)
+    sim = profile_config.make_simulator()
+    policy = TripleCPolicy.for_simulator(
+        model,
+        sim,
+        partitioner=Partitioner(sim.platform, model.graph, max_parts=2),
+        budget_ms=40.0,
+        quality_controller=QualityController(),
+    )
+    engine = FrameEngine(sim, policy)
+    with obs.observed() as o:
+        result = engine.run(seq, pipe, seq_key="eq")
+    return o, result
+
+
+class TestQualityDegradationPath:
+    def test_budget_forces_degradation(self, degraded_run):
+        _o, result = degraded_run
+        assert result.budget_ms == 40.0
+        degraded = [f for f in result.frames if f.quality != "full"]
+        assert degraded, "40 ms budget must push the controller below full"
+        assert all(f.quality in ("reduced", "minimum") for f in degraded)
+
+    def test_counter_matches_degraded_frames(self, degraded_run):
+        o, result = degraded_run
+        degraded = sum(1 for f in result.frames if f.quality != "full")
+        assert (
+            o.metrics.counter("runtime_quality_degraded_total").value == degraded
+        )
+
+    def test_frame_span_quality_attr_matches_log(self, degraded_run):
+        o, result = degraded_run
+        frames = [
+            r
+            for r in o.tracer.records
+            if r.get("kind") == "span" and r.get("name") == "engine.frame"
+        ]
+        assert len(frames) == len(result.frames)
+        for rec, log in zip(frames, result.frames):
+            assert rec["attrs"]["quality"] == log.quality
+
+    def test_deadline_misses_counted_against_budget(self, degraded_run):
+        o, result = degraded_run
+        over = sum(1 for f in result.frames if f.latency_ms > 40.0)
+        assert o.metrics.counter("runtime_deadline_miss_total").value == over
+
+    def test_full_quality_run_emits_no_degradation_counter(
+        self, traces, profile_config
+    ):
+        seq = XRaySequence(SequenceConfig(n_frames=12, seed=777))
+        pipe = StentBoostPipeline(
+            PipelineConfig(
+                expected_distance=seq.config.resolved_phantom().marker_separation
+            )
+        )
+        model = TripleC.fit(traces)
+        sim = profile_config.make_simulator()
+        engine = FrameEngine(sim, TripleCPolicy.for_simulator(model, sim))
+        with obs.observed() as o:
+            result = engine.run(seq, pipe, seq_key="eq-full")
+        assert all(f.quality == "full" for f in result.frames)
+        assert o.metrics.counter("runtime_quality_degraded_total").value == 0
