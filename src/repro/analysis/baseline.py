@@ -1,0 +1,76 @@
+"""Committed finding baselines: hard-fail only on *new* violations.
+
+A baseline file records the accepted findings of a previous run as
+``(rule, path, message)`` fingerprints -- deliberately ignoring line
+numbers, so unrelated edits that shift code do not resurrect accepted
+findings.  The CLI's ``--baseline`` flag subtracts the baseline from
+the current run before deciding the exit status; ``--write-baseline``
+refreshes the file.
+
+The repository's own baseline (``analysis-baseline.json`` at the repo
+root) is committed **empty**: the codebase carries no accepted
+violations, and CI fails on the first new one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import split_location
+
+__all__ = [
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "filter_baselined",
+]
+
+_VERSION = 1
+
+Fingerprint = tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    """Stable identity of a finding across line renumbering."""
+    site = split_location(finding.location)
+    path = site[0] if site is not None else finding.location
+    return (finding.rule, path, finding.message)
+
+
+def load_baseline(path: str | Path) -> set[Fingerprint]:
+    """Read a baseline file into a fingerprint set."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("version") != _VERSION:
+        raise ValueError(
+            f"{path}: not a repro.analysis baseline (expected "
+            f'{{"version": {_VERSION}, ...}})'
+        )
+    out: set[Fingerprint] = set()
+    for entry in doc.get("findings", []):
+        out.add((str(entry["rule"]), str(entry["path"]), str(entry["message"])))
+    return out
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write the findings' fingerprints as a fresh baseline."""
+    entries = sorted({fingerprint(f) for f in findings})
+    doc = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": rule, "path": fpath, "message": message}
+            for rule, fpath, message in entries
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def filter_baselined(
+    findings: Iterable[Finding], baseline: set[Fingerprint]
+) -> list[Finding]:
+    """Findings whose fingerprint is *not* in the baseline."""
+    return [f for f in findings if fingerprint(f) not in baseline]

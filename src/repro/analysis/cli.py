@@ -1,19 +1,27 @@
 """``python -m repro.analysis`` -- run the static-analysis suite.
 
-By default both passes run:
+By default three passes run:
 
 * the AST lint over the ``repro`` package sources (or explicit paths),
+* the whole-program dataflow passes (unit inference + determinism
+  audit) over the same roots,
 * the graph checker over the StentBoost flow graph on the Blackford
   platform.
 
-The exit status is nonzero when any finding reaches ``--fail-on``
-severity (default: ``error``), making the command directly usable as
-a CI gate and as a pre-commit hook.
+Findings on a line carrying a matching ``# repro: ignore[rule]``
+comment are suppressed (stale markers are themselves flagged).  With
+``--baseline FILE`` previously-accepted findings are subtracted, so
+the exit status reflects *new* violations only; ``--write-baseline``
+refreshes the file.  The exit status is nonzero when any remaining
+finding reaches ``--fail-on`` severity (default: ``error``), making
+the command directly usable as a CI gate and as a pre-commit hook.
 
 Examples::
 
     python -m repro.analysis
     python -m repro.analysis src/repro --no-graph --format json
+    python -m repro.analysis --format sarif > analysis.sarif
+    python -m repro.analysis --baseline analysis-baseline.json
     python -m repro.analysis --graph mygraphs.py:build_graph --fail-on warning
 """
 
@@ -25,6 +33,11 @@ import importlib.util
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.analysis.astlint import lint_paths
+from repro.analysis.baseline import filter_baselined, load_baseline, write_baseline
+from repro.analysis.catalog import rule_catalog
+from repro.analysis.dataflow import run_dataflow
+from repro.analysis.dataflow.symbols import iter_source_files
 from repro.analysis.findings import (
     Finding,
     Severity,
@@ -33,8 +46,9 @@ from repro.analysis.findings import (
     format_findings,
 )
 from repro.analysis.graphcheck import check_flowgraph
-from repro.analysis.astlint import lint_paths
 from repro.analysis.rules import default_rules
+from repro.analysis.sarif import findings_to_sarif_json
+from repro.analysis.suppress import apply_suppressions, scan_suppressions
 from repro.graph.flowgraph import FlowGraph
 
 __all__ = ["build_parser", "main"]
@@ -78,13 +92,16 @@ def _default_lint_root() -> Path:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro.analysis",
-        description="static-analysis suite: flow-graph invariants + AST lint",
+        description=(
+            "static-analysis suite: flow-graph invariants + AST lint + "
+            "whole-program dataflow (units, determinism)"
+        ),
     )
     parser.add_argument(
         "paths",
         nargs="*",
         type=Path,
-        help="files/directories to lint (default: the repro package)",
+        help="files/directories to analyze (default: the repro package)",
     )
     parser.add_argument(
         "--graph",
@@ -105,10 +122,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-lint", action="store_true", help="skip the AST lint"
     )
     parser.add_argument(
+        "--no-dataflow",
+        action="store_true",
+        help="skip the whole-program dataflow passes",
+    )
+    parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="subtract a committed baseline; only new findings remain",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline and exit 0",
     )
     parser.add_argument(
         "--fail-on",
@@ -121,7 +157,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the lint rule set and exit",
+        help="print the full rule catalog and exit",
     )
     return parser
 
@@ -129,20 +165,22 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
-    rules = default_rules()
     if args.list_rules:
-        for rule in rules:
-            print(f"{rule.rule_id:24s} {rule.description}")
+        for rule_id, (severity, description) in rule_catalog().items():
+            print(f"{rule_id:32s} {severity.name.lower():8s} {description}")
         return 0
 
     findings: list[Finding] = []
+    roots = list(args.paths) or [_default_lint_root()]
+    missing = [p for p in roots if not p.exists()]
+    if missing:
+        raise SystemExit(f"no such path: {', '.join(map(str, missing))}")
 
     if not args.no_lint:
-        lint_roots = list(args.paths) or [_default_lint_root()]
-        missing = [p for p in lint_roots if not p.exists()]
-        if missing:
-            raise SystemExit(f"no such path: {', '.join(map(str, missing))}")
-        findings += lint_paths(lint_roots, rules)
+        findings += lint_paths(roots, default_rules())
+
+    if not args.no_dataflow:
+        findings += run_dataflow(roots)
 
     if not args.no_graph:
         try:
@@ -160,8 +198,30 @@ def main(argv: Sequence[str] | None = None) -> int:
         platform = platform_factory() if platform_factory is not None else None
         findings += check_flowgraph(graph, platform)
 
+    # Inline suppressions apply to everything located at a path:line.
+    markers = scan_suppressions(iter_source_files(roots))
+    findings = apply_suppressions(findings, markers)
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"repro.analysis: error: {exc}") from exc
+        findings = filter_baselined(findings, baseline)
+
     if args.format == "json":
         print(findings_to_json(findings))
+    elif args.format == "sarif":
+        descriptions = {
+            rule_id: description
+            for rule_id, (_, description) in rule_catalog().items()
+        }
+        print(findings_to_sarif_json(findings, descriptions))
     else:
         print(format_findings(findings))
 

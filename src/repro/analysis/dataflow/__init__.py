@@ -1,0 +1,37 @@
+"""Whole-program dataflow analysis over the ``repro`` sources.
+
+Two interprocedural passes share one :class:`~repro.analysis.dataflow.
+symbols.SymbolTable`:
+
+* :mod:`~repro.analysis.dataflow.unitcheck` -- unit/dimension
+  inference seeded from the :mod:`repro.util.quantity` annotations;
+* :mod:`~repro.analysis.dataflow.determinism` -- the
+  ``map_sequences`` pool-seam audit plus ordering hazards.
+
+:func:`run_dataflow` is the CLI's entry point: build the table once,
+run both passes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.dataflow.determinism import check_determinism
+from repro.analysis.dataflow.symbols import SymbolTable, build_symbol_table
+from repro.analysis.dataflow.unitcheck import check_units
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "SymbolTable",
+    "build_symbol_table",
+    "check_units",
+    "check_determinism",
+    "run_dataflow",
+]
+
+
+def run_dataflow(paths: Iterable[Path]) -> list[Finding]:
+    """Build a symbol table over ``paths`` and run both dataflow passes."""
+    table = build_symbol_table(list(paths))
+    return check_units(table) + check_determinism(table)

@@ -1,0 +1,113 @@
+"""Dimension algebra for the whole-program unit-inference pass.
+
+A *dimension* is a mapping from base tokens (``ms``, ``s``, ``B``,
+``KiB``, ``MB``, ``Kpixel``, ``pixel``, ``cycle``) to integer
+exponents, represented canonically as a sorted tuple so it can key
+sets and compare cheaply.  ``None`` everywhere means *unknown* (the
+lattice bottom the inference is free to stay at); the empty tuple is
+*dimensionless*, which is deliberately compatible with everything --
+``latency_ms + 1e-9`` is not a unit error.
+
+Arithmetic follows exact rational algebra: multiplying a Table 1
+``KiB`` count by the ``KIB`` conversion constant (``B/KiB``) cancels
+to ``B``.  Products that do *not* cancel (``72 * GB`` where ``72`` is
+a bare count) leave residual tokens such as ``B/GB``; those are not
+in the :func:`canonical_dims` set, and the checkers only ever flag
+conflicts between two canonical dimensions, so partially-inferred
+compounds stay silent rather than noisy.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.util.quantity import QUANTITY_DIMS
+
+__all__ = [
+    "Dim",
+    "DIMENSIONLESS",
+    "parse_dim",
+    "dim_mul",
+    "dim_div",
+    "dim_pow",
+    "dim_str",
+    "canonical_dims",
+    "is_canonical",
+    "dims_conflict",
+]
+
+#: Sorted ``((token, exponent), ...)`` pairs; ``()`` is dimensionless.
+Dim = tuple[tuple[str, int], ...]
+
+DIMENSIONLESS: Dim = ()
+
+
+def _normalize(mapping: dict[str, int]) -> Dim:
+    return tuple(sorted((t, e) for t, e in mapping.items() if e != 0))
+
+
+@lru_cache(maxsize=None)
+def parse_dim(text: str) -> Dim:
+    """Parse ``"MB/s"``, ``"1/s"``, ``"ms"``, ``"B/KiB"`` into a Dim.
+
+    Grammar: ``numerator[/denominator]`` where each side is ``*``-
+    separated tokens and ``1`` denotes the empty product.
+    """
+    num, _, den = text.partition("/")
+    out: dict[str, int] = {}
+    for side, sign in ((num, 1), (den, -1)):
+        for token in side.split("*"):
+            token = token.strip()
+            if not token or token == "1":
+                continue
+            out[token] = out.get(token, 0) + sign
+    return _normalize(out)
+
+
+def dim_mul(a: Dim, b: Dim) -> Dim:
+    out = dict(a)
+    for t, e in b:
+        out[t] = out.get(t, 0) + e
+    return _normalize(out)
+
+
+def dim_div(a: Dim, b: Dim) -> Dim:
+    out = dict(a)
+    for t, e in b:
+        out[t] = out.get(t, 0) - e
+    return _normalize(out)
+
+
+def dim_pow(a: Dim, n: int) -> Dim:
+    return _normalize({t: e * n for t, e in a})
+
+
+def dim_str(d: Dim) -> str:
+    """Human rendering: ``MB/s``, ``1``, ``cycle*s``."""
+    num = [t if e == 1 else f"{t}^{e}" for t, e in d if e > 0]
+    den = [t if e == -1 else f"{t}^{-e}" for t, e in d if e < 0]
+    if not num and not den:
+        return "1"
+    head = "*".join(num) if num else "1"
+    return f"{head}/{'*'.join(den)}" if den else head
+
+
+@lru_cache(maxsize=1)
+def canonical_dims() -> frozenset[Dim]:
+    """The dimensions of the declared quantity vocabulary."""
+    return frozenset(parse_dim(v) for v in QUANTITY_DIMS.values())
+
+
+def is_canonical(d: Dim | None) -> bool:
+    """Whether ``d`` is a known vocabulary dimension (not a residue)."""
+    return d is not None and d != DIMENSIONLESS and d in canonical_dims()
+
+
+def dims_conflict(a: Dim | None, b: Dim | None) -> bool:
+    """Whether two dimensions are confidently incompatible.
+
+    Only two *canonical* dimensions that differ conflict; unknown,
+    dimensionless and residual compounds never do.  This is what keeps
+    the pass's error findings high-precision.
+    """
+    return is_canonical(a) and is_canonical(b) and a != b

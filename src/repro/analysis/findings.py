@@ -20,6 +20,7 @@ __all__ = [
     "Finding",
     "max_severity",
     "count_at_least",
+    "sort_key",
     "format_findings",
     "findings_to_json",
 ]
@@ -93,9 +94,22 @@ def count_at_least(findings: Iterable[Finding], threshold: Severity) -> int:
     return sum(1 for f in findings if f.severity >= threshold)
 
 
+def sort_key(finding: Finding) -> tuple[str, int, str, str]:
+    """``(path, line, rule, message)`` ordering key.
+
+    Numeric line components sort numerically (``:9`` before ``:10``),
+    graph-element locations sort as line 0 of their description, so
+    repeated runs and CI diffs are byte-stable.
+    """
+    head, sep, tail = finding.location.rpartition(":")
+    if sep and tail.isdigit():
+        return (head, int(tail), finding.rule, finding.message)
+    return (finding.location, 0, finding.rule, finding.message)
+
+
 def format_findings(findings: Sequence[Finding]) -> str:
-    """Render findings as text, sorted worst-first then by location."""
-    ordered = sorted(findings, key=lambda f: (-int(f.severity), f.location, f.rule))
+    """Render findings as text, sorted by (path, line, rule)."""
+    ordered = sorted(findings, key=sort_key)
     lines = [f.render() for f in ordered]
     counts = {
         sev: sum(1 for f in findings if f.severity == sev) for sev in Severity
@@ -108,8 +122,10 @@ def format_findings(findings: Sequence[Finding]) -> str:
 
 
 def findings_to_json(findings: Sequence[Finding]) -> str:
-    """Machine-readable rendering (one JSON document, stable keys)."""
+    """Machine-readable rendering (one JSON document, stable keys),
+    in the same (path, line, rule) order as the text format."""
     payload = [
-        {**asdict(f), "severity": f.severity.name.lower()} for f in findings
+        {**asdict(f), "severity": f.severity.name.lower()}
+        for f in sorted(findings, key=sort_key)
     ]
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,124 @@
+"""SARIF 2.1.0 export of analysis findings.
+
+`SARIF <https://docs.oasis-open.org/sarif/sarif/v2.1.0/sarif-v2.1.0.html>`_
+is the interchange format GitHub code scanning ingests
+(``github/codeql-action/upload-sarif``), so emitting it turns every
+finding into an inline PR annotation.  One run, one tool
+(``repro.analysis``), one result per finding:
+
+* ``path:line`` locations map to ``physicalLocation`` (relative URI +
+  ``startLine``), which is what the PR diff annotator needs;
+* graph-element locations (edges, tasks, scenarios) have no file, so
+  they map to ``logicalLocations`` with the element description as
+  the fully-qualified name.
+
+Severity maps ``INFO -> note``, ``WARNING -> warning``,
+``ERROR -> error``.  Results are sorted by (path, line, rule) and the
+JSON is key-sorted, so identical findings serialize byte-identically
+regardless of discovery order.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.analysis.findings import Finding, Severity, sort_key
+from repro.analysis.suppress import split_location
+
+__all__ = ["SARIF_VERSION", "findings_to_sarif", "findings_to_sarif_json"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_LEVELS: Mapping[Severity, str] = {
+    Severity.INFO: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _relative_uri(path: str) -> str:
+    """Repo-relative forward-slash URI when possible, else as-is."""
+    p = Path(path)
+    if p.is_absolute():
+        try:
+            p = p.relative_to(Path.cwd())
+        except ValueError:
+            pass
+    return p.as_posix()
+
+
+def _result(finding: Finding) -> dict[str, object]:
+    result: dict[str, object] = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+    }
+    site = split_location(finding.location)
+    if site is not None:
+        path, line = site
+        result["locations"] = [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _relative_uri(path)},
+                    "region": {"startLine": line},
+                }
+            }
+        ]
+    else:
+        result["locations"] = [
+            {
+                "logicalLocations": [
+                    {"fullyQualifiedName": finding.location}
+                ]
+            }
+        ]
+    return result
+
+
+def findings_to_sarif(
+    findings: Sequence[Finding],
+    rule_descriptions: Mapping[str, str] | None = None,
+) -> dict[str, object]:
+    """Build the SARIF log object for ``findings``.
+
+    ``rule_descriptions`` optionally maps rule ids to short
+    descriptions for the ``tool.driver.rules`` metadata; rules that
+    appear in findings but not in the mapping still get an entry
+    (SARIF requires every ``ruleId`` to be declarable).
+    """
+    descriptions = dict(rule_descriptions or {})
+    rule_ids = sorted({f.rule for f in findings} | set(descriptions))
+    rules = []
+    for rule_id in rule_ids:
+        entry: dict[str, object] = {"id": rule_id, "name": rule_id}
+        if rule_id in descriptions:
+            entry["shortDescription"] = {"text": descriptions[rule_id]}
+        rules.append(entry)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "rules": rules,
+                    }
+                },
+                "results": [_result(f) for f in sorted(findings, key=sort_key)],
+            }
+        ],
+    }
+
+
+def findings_to_sarif_json(
+    findings: Sequence[Finding],
+    rule_descriptions: Mapping[str, str] | None = None,
+) -> str:
+    """Serialized SARIF log (stable key order)."""
+    return json.dumps(
+        findings_to_sarif(findings, rule_descriptions), indent=2, sort_keys=True
+    )

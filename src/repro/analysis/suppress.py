@@ -1,0 +1,136 @@
+"""Inline finding suppressions: ``# repro: ignore[rule]``.
+
+A comment of the form ``# repro: ignore[lint/unit-mix]`` (or several
+rules comma-separated, or just the rule's last segment,
+``ignore[unit-mix]``) on the *same line* as a finding suppresses it.
+Suppressions are audited: a marker that suppresses nothing raises an
+``analysis/unsuppressed-ignore`` warning, so stale markers cannot
+linger after the underlying code is fixed.
+
+This is deliberately line-scoped -- no file-level or block-level
+escape hatch -- to keep each suppression reviewable next to the code
+it excuses.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.analysis.findings import Finding, Severity
+
+__all__ = [
+    "SUPPRESS_RE",
+    "SuppressionMarker",
+    "scan_suppressions",
+    "apply_suppressions",
+    "split_location",
+]
+
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([^\]]+)\]")
+
+#: Rule id of the stale-marker audit finding.
+UNSUPPRESSED_IGNORE = "analysis/unsuppressed-ignore"
+
+
+@dataclass
+class SuppressionMarker:
+    """One ``# repro: ignore[...]`` comment."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    used: bool = False
+
+    def matches(self, rule: str) -> bool:
+        """Whether this marker covers ``rule`` (full id or last segment)."""
+        tail = rule.rsplit("/", 1)[-1]
+        return any(r == rule or r == tail for r in self.rules)
+
+
+def split_location(location: str) -> tuple[str, int] | None:
+    """Split a ``path:line`` location; None for graph-element locations."""
+    head, sep, tail = location.rpartition(":")
+    if sep and tail.isdigit():
+        return head, int(tail)
+    return None
+
+
+def scan_suppressions(paths: Iterable[Path]) -> list[SuppressionMarker]:
+    """Collect suppression markers from source files.
+
+    ``paths`` are the files the analysis actually read; markers are
+    keyed by the same path string the findings carry.
+    """
+    markers: list[SuppressionMarker] = []
+    for p in paths:
+        try:
+            source = Path(p).read_text(encoding="utf-8")
+        except OSError:
+            continue
+        # Tokenize so only *comments* count -- documentation that merely
+        # mentions the marker syntax inside a string must not register.
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            continue
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = SUPPRESS_RE.search(tok.string)
+            if m is None:
+                continue
+            rules = tuple(
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            )
+            if rules:
+                markers.append(
+                    SuppressionMarker(path=str(p), line=tok.start[0], rules=rules)
+                )
+    return markers
+
+
+def apply_suppressions(
+    findings: Iterable[Finding], markers: Iterable[SuppressionMarker]
+) -> list[Finding]:
+    """Drop findings covered by a marker; flag markers that cover nothing.
+
+    Returns the surviving findings plus one
+    :data:`UNSUPPRESSED_IGNORE` warning per unused marker.
+    """
+    by_site: Mapping[tuple[str, int], list[SuppressionMarker]] = {}
+    for marker in markers:
+        by_site.setdefault((marker.path, marker.line), []).append(marker)  # type: ignore[attr-defined]
+
+    kept: list[Finding] = []
+    for f in findings:
+        site = split_location(f.location)
+        suppressed = False
+        if site is not None:
+            for marker in by_site.get(site, ()):
+                if marker.matches(f.rule):
+                    marker.used = True
+                    suppressed = True
+        if not suppressed:
+            kept.append(f)
+
+    for site_markers in by_site.values():
+        for marker in site_markers:
+            if not marker.used:
+                kept.append(
+                    Finding(
+                        rule=UNSUPPRESSED_IGNORE,
+                        severity=Severity.WARNING,
+                        location=f"{marker.path}:{marker.line}",
+                        message=(
+                            "suppression "
+                            f"ignore[{', '.join(marker.rules)}] matches no "
+                            "finding on this line; remove the stale marker"
+                        ),
+                    )
+                )
+    return kept

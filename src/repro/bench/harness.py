@@ -170,7 +170,7 @@ def run_bench(
         "jobs": n_jobs,
         "results": results,
     }
-    Path(out).write_text(json.dumps(doc, indent=2) + "\n")
+    Path(out).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
     return doc
 
 

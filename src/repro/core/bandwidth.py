@@ -24,7 +24,14 @@ from repro.graph.flowgraph import FlowGraph
 from repro.hw.spec import PlatformSpec
 from repro.imaging.pipeline import SwitchState
 from repro.profiling.traces import TraceSet
-from repro.util.units import HZ_VIDEO, NATIVE_PIXELS, bytes_to_mbytes, stream_bandwidth
+from repro.util.quantity import Kpixels, MBytesPerSecond
+from repro.util.units import (
+    HZ_VIDEO,
+    NATIVE_PIXELS,
+    PX_PER_KPX,
+    bytes_to_mbytes,
+    stream_bandwidth,
+)
 
 __all__ = ["ScenarioBandwidth", "BandwidthModel"]
 
@@ -34,11 +41,11 @@ class ScenarioBandwidth:
     """Predicted bandwidth decomposition of one scenario (MByte/s)."""
 
     scenario_id: int
-    inter_task_mbps: float
-    swap_mbps: float
+    inter_task_mbps: MBytesPerSecond
+    swap_mbps: MBytesPerSecond
 
     @property
-    def total_mbps(self) -> float:
+    def total_mbps(self) -> MBytesPerSecond:
         return self.inter_task_mbps + self.swap_mbps
 
 
@@ -64,7 +71,7 @@ class BandwidthModel:
         return self.graph.inter_task_bandwidth(state, self.rate_hz)
 
     def scenario_bandwidth(
-        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+        self, state: SwitchState, roi_kpixels: Kpixels = NATIVE_PIXELS / PX_PER_KPX
     ) -> ScenarioBandwidth:
         """Inter-task + swap bandwidth prediction of a scenario."""
         inter = self.graph.total_bandwidth_mbps(state, self.rate_hz)
@@ -76,7 +83,7 @@ class BandwidthModel:
         )
 
     def frame_external_bytes(
-        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+        self, state: SwitchState, roi_kpixels: Kpixels = NATIVE_PIXELS / PX_PER_KPX
     ) -> int:
         """Predicted external-memory bytes of one frame.
 

@@ -23,7 +23,8 @@ from repro.graph.task import PhaseSpec, TaskSpec
 from repro.hw.cache import PhaseOccupancy, phase_occupancy
 from repro.hw.spec import PlatformSpec
 from repro.imaging.pipeline import SwitchState
-from repro.util.units import KIB, NATIVE_PIXELS
+from repro.util.quantity import Kpixels
+from repro.util.units import KIB, NATIVE_PIXELS, PX_PER_KPX
 
 __all__ = ["TaskMemoryPrediction", "CacheMemoryModel", "table1_rows"]
 
@@ -86,11 +87,11 @@ class CacheMemoryModel:
 
     # -- helpers ---------------------------------------------------------------
 
-    def _scale_for(self, task: str, roi_kpixels: float) -> float:
+    def _scale_for(self, task: str, roi_kpixels: Kpixels) -> float:
         """Footprint scale factor of a task given the frame's ROI."""
         if not self.roi_aware or "_ROI" not in task:
             return 1.0
-        native_kpx = NATIVE_PIXELS / 1000.0
+        native_kpx = NATIVE_PIXELS / PX_PER_KPX
         return min(1.0, max(1e-3, roi_kpixels / native_kpx))
 
     def _scaled_phases(
@@ -108,7 +109,7 @@ class CacheMemoryModel:
     # -- per-task prediction ------------------------------------------------------
 
     def predict_task(
-        self, task: str, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+        self, task: str, roi_kpixels: Kpixels = NATIVE_PIXELS / PX_PER_KPX
     ) -> TaskMemoryPrediction:
         """Cache prediction of one task execution."""
         spec: TaskSpec = self.graph.tasks[task]
@@ -130,7 +131,7 @@ class CacheMemoryModel:
     # -- per-frame / per-scenario prediction ----------------------------------------
 
     def predict_frame(
-        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+        self, state: SwitchState, roi_kpixels: Kpixels = NATIVE_PIXELS / PX_PER_KPX
     ) -> dict[str, TaskMemoryPrediction]:
         """Predictions for every task active under ``state``."""
         return {
@@ -139,7 +140,7 @@ class CacheMemoryModel:
         }
 
     def frame_external_bytes(
-        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+        self, state: SwitchState, roi_kpixels: Kpixels = NATIVE_PIXELS / PX_PER_KPX
     ) -> int:
         """Total predicted external-memory traffic of one frame."""
         return sum(
@@ -147,7 +148,7 @@ class CacheMemoryModel:
         )
 
     def frame_eviction_bytes(
-        self, state: SwitchState, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+        self, state: SwitchState, roi_kpixels: Kpixels = NATIVE_PIXELS / PX_PER_KPX
     ) -> int:
         """Total predicted swap (eviction) traffic of one frame."""
         return sum(

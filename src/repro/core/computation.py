@@ -33,6 +33,7 @@ import repro.obs as obs
 from repro.core.markov import MarkovChain
 from repro.profiling.traces import TraceSet
 from repro.util.ewma import EwmaFilter, ewma
+from repro.util.quantity import Kpixels, Milliseconds
 
 __all__ = [
     "PredictionContext",
@@ -76,7 +77,7 @@ class PredictionContext:
         it; scenario-oblivious predictors ignore it.
     """
 
-    roi_kpixels: float = 0.0
+    roi_kpixels: Kpixels = 0.0
     scenario_id: int | None = None
 
 
@@ -86,10 +87,10 @@ class TaskTimePredictor(Protocol):
     #: Human-readable model description for the Table 2(b) summary.
     kind: str
 
-    def predict(self, ctx: PredictionContext) -> float:
+    def predict(self, ctx: PredictionContext) -> Milliseconds:
         """Predicted time (ms) of the task's next execution."""
 
-    def observe(self, ms: float, ctx: PredictionContext) -> None:
+    def observe(self, ms: Milliseconds, ctx: PredictionContext) -> None:
         """Feed the measured time of the execution just predicted."""
 
     def reset(self) -> None:
@@ -130,7 +131,7 @@ def predict_series_loop(
 class ConstantPredictor:
     """Fixed prediction: the training mean (Table 2b constants)."""
 
-    value_ms: float
+    value_ms: Milliseconds
     kind: str = "constant"
 
     @staticmethod
@@ -138,7 +139,7 @@ class ConstantPredictor:
         values = np.concatenate([np.asarray(s) for s in series])
         return ConstantPredictor(value_ms=float(values.mean()))
 
-    def predict(self, ctx: PredictionContext) -> float:
+    def predict(self, ctx: PredictionContext) -> Milliseconds:
         return max(_MIN_PREDICTION_MS, self.value_ms)
 
     def predict_series(
@@ -150,7 +151,7 @@ class ConstantPredictor:
         n = np.asarray(values).size
         return _floor(np.full(n, self.value_ms, dtype=np.float64))
 
-    def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
+    def observe(self, ms: Milliseconds, ctx: PredictionContext) -> None:  # noqa: ARG002
         return None
 
     def reset(self) -> None:
@@ -165,7 +166,7 @@ class LastValuePredictor:
     stateful model must beat.
     """
 
-    fallback_ms: float
+    fallback_ms: Milliseconds
     kind: str = "last-value"
     _last: float | None = None
 
@@ -174,7 +175,7 @@ class LastValuePredictor:
         values = np.concatenate([np.asarray(s) for s in series])
         return LastValuePredictor(fallback_ms=float(values.mean()))
 
-    def predict(self, ctx: PredictionContext) -> float:  # noqa: ARG002
+    def predict(self, ctx: PredictionContext) -> Milliseconds:  # noqa: ARG002
         value = self.fallback_ms if self._last is None else self._last
         return max(_MIN_PREDICTION_MS, value)
 
@@ -192,7 +193,7 @@ class LastValuePredictor:
         out[1:] = x[:-1]
         return _floor(out)
 
-    def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
+    def observe(self, ms: Milliseconds, ctx: PredictionContext) -> None:  # noqa: ARG002
         self._last = float(ms)
 
     def reset(self) -> None:
@@ -221,7 +222,7 @@ class MarkovPredictor:
     ) -> "MarkovPredictor":
         return MarkovPredictor(MarkovChain.fit(series), online_update)
 
-    def predict(self, ctx: PredictionContext) -> float:  # noqa: ARG002
+    def predict(self, ctx: PredictionContext) -> Milliseconds:  # noqa: ARG002
         if self._last is None:
             return max(_MIN_PREDICTION_MS, self._fallback)
         return max(_MIN_PREDICTION_MS, self.chain.predict_next(self._last))
@@ -246,7 +247,7 @@ class MarkovPredictor:
         out[1:] = self.chain.predict_next_many(x[:-1])
         return _floor(out)
 
-    def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
+    def observe(self, ms: Milliseconds, ctx: PredictionContext) -> None:  # noqa: ARG002
         if self.online_update and self._last is not None:
             self.chain.observe_transition(self._last, ms)
         self._last = float(ms)
@@ -277,7 +278,7 @@ class EwmaMarkovPredictor:
         self,
         chain: MarkovChain,
         alpha: float = PAPER_EWMA_ALPHA,
-        fallback_ms: float = 1.0,
+        fallback_ms: Milliseconds = 1.0,
         online_update: bool = False,
     ) -> None:
         self.chain = chain
@@ -288,7 +289,7 @@ class EwmaMarkovPredictor:
         self._last_residual: float | None = None
 
     @property
-    def fallback_ms(self) -> float:
+    def fallback_ms(self) -> Milliseconds:
         """Pre-warm-up prediction (the training mean); a trained
         parameter, exposed for serialization and inspection."""
         return self._fallback
@@ -331,7 +332,7 @@ class EwmaMarkovPredictor:
             online_update=online_update,
         )
 
-    def predict(self, ctx: PredictionContext) -> float:  # noqa: ARG002
+    def predict(self, ctx: PredictionContext) -> Milliseconds:  # noqa: ARG002
         if self._ewma.value is None:
             return max(_MIN_PREDICTION_MS, self._fallback)
         long_term = self._ewma.peek()
@@ -378,7 +379,7 @@ class EwmaMarkovPredictor:
             out[2:] = lpf[1:-1] + self.chain.predict_next_many(residuals)
         return _floor(out)
 
-    def observe(self, ms: float, ctx: PredictionContext) -> None:  # noqa: ARG002
+    def observe(self, ms: Milliseconds, ctx: PredictionContext) -> None:  # noqa: ARG002
         if self._ewma.value is not None:
             residual = float(ms) - self._ewma.peek()
             if self.online_update and self._last_residual is not None:
@@ -442,11 +443,11 @@ class RoiLinearMarkovPredictor:
             float(slope), float(intercept), chain, online_update
         )
 
-    def growth(self, roi_kpixels: float) -> float:
+    def growth(self, roi_kpixels: Kpixels) -> Milliseconds:
         """The Eq. 3 linear term for a given ROI size."""
         return self.slope * float(roi_kpixels) + self.intercept
 
-    def predict(self, ctx: PredictionContext) -> float:
+    def predict(self, ctx: PredictionContext) -> Milliseconds:
         base = self.growth(ctx.roi_kpixels)
         if self._last_residual is None:
             return max(_MIN_PREDICTION_MS, base)
@@ -475,7 +476,7 @@ class RoiLinearMarkovPredictor:
         out[1:] = base[1:] + self.chain.predict_next_many(x[:-1] - base[:-1])
         return _floor(out)
 
-    def observe(self, ms: float, ctx: PredictionContext) -> None:
+    def observe(self, ms: Milliseconds, ctx: PredictionContext) -> None:
         residual = float(ms) - self.growth(ctx.roi_kpixels)
         if self.online_update and self._last_residual is not None:
             self.chain.observe_transition(self._last_residual, residual)
@@ -550,10 +551,10 @@ class ScenarioConditionedPredictor:
             return self.pooled
         return self.inner.get(granularity_group(ctx.scenario_id), self.pooled)
 
-    def predict(self, ctx: PredictionContext) -> float:
+    def predict(self, ctx: PredictionContext) -> Milliseconds:
         return self._select(ctx).predict(ctx)
 
-    def observe(self, ms: float, ctx: PredictionContext) -> None:
+    def observe(self, ms: Milliseconds, ctx: PredictionContext) -> None:
         selected = self._select(ctx)
         selected.observe(ms, ctx)
         if selected is not self.pooled:

@@ -89,7 +89,7 @@ def save_model(model: TripleC, path: str | Path) -> None:
         "train_mean_ms": model.computation.train_mean_ms,
         "scenario_counts": model.scenarios.counts.tolist(),
     }
-    Path(path).write_text(json.dumps(doc))
+    Path(path).write_text(json.dumps(doc, sort_keys=True))
 
 
 def load_model(path: str | Path) -> TripleC:

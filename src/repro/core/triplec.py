@@ -29,7 +29,8 @@ from repro.graph.flowgraph import FlowGraph
 from repro.hw.spec import PlatformSpec, blackford
 from repro.imaging.pipeline import SwitchState
 from repro.profiling.traces import TraceSet
-from repro.util.units import MB, NATIVE_PIXELS
+from repro.util.quantity import Kpixels, MBytesPerSecond
+from repro.util.units import MB, NATIVE_PIXELS, PX_PER_KPX
 
 __all__ = ["TripleCPrediction", "TripleC"]
 
@@ -58,7 +59,7 @@ class TripleCPrediction:
     task_ms: dict[str, float]
     frame_ms: float
     external_bytes: int
-    bandwidth_mbps: float
+    bandwidth_mbps: MBytesPerSecond
     roi_kpixels: float
 
     @property
@@ -128,7 +129,7 @@ class TripleC:
         self._current_scenario = initial_scenario
 
     def predict(
-        self, roi_kpixels: float = NATIVE_PIXELS / 1000.0
+        self, roi_kpixels: Kpixels = NATIVE_PIXELS / PX_PER_KPX
     ) -> TripleCPrediction:
         """Predict the coming frame's resource usage.
 
@@ -160,7 +161,7 @@ class TripleC:
 
     def plausible_predictions(
         self,
-        roi_kpixels: float = NATIVE_PIXELS / 1000.0,
+        roi_kpixels: Kpixels = NATIVE_PIXELS / PX_PER_KPX,
         p_min: float = 0.01,
     ) -> dict[int, dict[str, float]]:
         """Per-task predictions for every plausible next scenario.

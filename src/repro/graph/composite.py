@@ -1,0 +1,102 @@
+"""Composite flow graphs: multi-application and co-scheduled loads.
+
+The paper's Section 7 argues the predictor's value in two settings
+beyond the single StentBoost pipeline: several imaging applications
+sharing one platform ("multiple applications executing concurrently"),
+and a best-effort background job co-scheduled on the capacity the
+frame-periodic application leaves idle.  These builders produce the
+corresponding flow graphs so the static graph checks -- and the
+scheduling experiments -- can exercise them:
+
+* :func:`build_multiapp_graph` merges ``n_apps`` independent
+  StentBoost instances into one graph, task names prefixed
+  ``A0__``/``A1__``/...; all instances see the same switch state
+  (worst case for aggregate bandwidth).
+* :func:`build_coschedule_graph` adds an always-active background
+  analytics task that streams a decimated copy of the input, the
+  static counterpart of :mod:`repro.runtime.coschedule`'s
+  best-effort work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.graph.flowgraph import Edge, FlowGraph
+from repro.graph.stentboost import build_stentboost_graph
+from repro.graph.task import TaskSpec
+from repro.imaging.pipeline import SwitchState
+
+__all__ = ["build_multiapp_graph", "build_coschedule_graph", "app_prefix"]
+
+
+def app_prefix(app_index: int) -> str:
+    """Task-name prefix of application ``app_index`` (``A0__`` ...)."""
+    return f"A{app_index}__"
+
+
+def build_multiapp_graph(n_apps: int = 2) -> FlowGraph:
+    """``n_apps`` StentBoost instances sharing the platform.
+
+    Each instance's task names carry :func:`app_prefix`; the pseudo
+    input/output nodes are shared (one physical video source, one
+    display).  Activation applies the *same* switch state to every
+    instance, which is the aggregate-bandwidth worst case the
+    multi-application scheduling argument has to survive.
+    """
+    if n_apps < 1:
+        raise ValueError(f"n_apps must be >= 1, got {n_apps}")
+    base = build_stentboost_graph()
+    tasks: dict[str, TaskSpec] = {}
+    edges: list[Edge] = []
+    for i in range(n_apps):
+        prefix = app_prefix(i)
+        for name, spec in base.tasks.items():
+            tasks[prefix + name] = replace(spec, name=prefix + name)
+        for e in base.edges:
+            src = e.src if e.src == FlowGraph.INPUT else prefix + e.src
+            dst = e.dst if e.dst == FlowGraph.OUTPUT else prefix + e.dst
+            edges.append(Edge(src, dst, e.kb_per_frame))
+
+    def activation(state: SwitchState) -> list[str]:
+        names: list[str] = []
+        for i in range(n_apps):
+            prefix = app_prefix(i)
+            names += [prefix + n for n in base.active_tasks(state)]
+        return names
+
+    return FlowGraph(tasks, edges, activation)
+
+
+#: Name of the co-scheduled background task.
+BACKGROUND_TASK = "BG_ANALYTICS"
+
+
+def build_coschedule_graph() -> FlowGraph:
+    """StentBoost plus an always-active background analytics task.
+
+    The background task models the best-effort image-analytics job of
+    the co-scheduling experiment: it streams a decimated copy of the
+    input (no dependence on the pipeline's switches) and never feeds
+    the display path, so it is schedulable onto idle capacity without
+    affecting the frame-periodic deadline structure.
+    """
+    base = build_stentboost_graph()
+    tasks = dict(base.tasks)
+    tasks[BACKGROUND_TASK] = TaskSpec(
+        BACKGROUND_TASK,
+        kind="stream",
+        input_kb=512,
+        intermediate_kb=1024,
+        output_kb=0.5,
+        divisible=True,
+    )
+    edges = list(base.edges) + [
+        Edge(FlowGraph.INPUT, BACKGROUND_TASK, 512),
+        Edge(BACKGROUND_TASK, FlowGraph.OUTPUT, 0.5),
+    ]
+
+    def activation(state: SwitchState) -> list[str]:
+        return base.active_tasks(state) + [BACKGROUND_TASK]
+
+    return FlowGraph(tasks, edges, activation)

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, TypeAlias
 
 from repro.imaging.pipeline import SwitchState
+from repro.util.quantity import Hertz, KBytes, MBytesPerSecond
 from repro.util.units import HZ_VIDEO, bytes_to_mbytes, stream_bandwidth, table_kb_to_bytes
 
 __all__ = ["Edge", "FlowGraph"]
@@ -29,9 +30,9 @@ class Edge:
 
     src: str
     dst: str
-    kb_per_frame: float
+    kb_per_frame: KBytes
 
-    def bandwidth_mbps(self, rate_hz: float = HZ_VIDEO) -> float:
+    def bandwidth_mbps(self, rate_hz: Hertz = HZ_VIDEO) -> MBytesPerSecond:
         """Sustained bandwidth of this edge in MByte/s at ``rate_hz``.
 
         This computes the Fig. 2 edge labels: e.g. the RDG output --
@@ -93,7 +94,7 @@ class FlowGraph:
         return [e for e in self.edges if e.src in active and e.dst in active]
 
     def inter_task_bandwidth(
-        self, state: SwitchState, rate_hz: float = HZ_VIDEO
+        self, state: SwitchState, rate_hz: Hertz = HZ_VIDEO
     ) -> dict[tuple[str, str], float]:
         """MByte/s per active edge under ``state`` (Fig. 2 labels)."""
         return {
@@ -102,8 +103,8 @@ class FlowGraph:
         }
 
     def total_bandwidth_mbps(
-        self, state: SwitchState, rate_hz: float = HZ_VIDEO
-    ) -> float:
+        self, state: SwitchState, rate_hz: Hertz = HZ_VIDEO
+    ) -> MBytesPerSecond:
         """Aggregate inter-task bandwidth of a scenario in MByte/s."""
         return float(sum(self.inter_task_bandwidth(state, rate_hz).values()))
 

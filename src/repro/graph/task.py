@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.util.quantity import KBytes
 from repro.util.units import KIB
 
 __all__ = ["PhaseSpec", "TaskSpec"]
@@ -35,7 +36,7 @@ class PhaseSpec:
     active_kb: tuple[tuple[str, float], ...]
 
     @property
-    def total_kb(self) -> float:
+    def total_kb(self) -> KBytes:
         """Total live footprint of the phase in KB."""
         return float(sum(kb for _, kb in self.active_kb))
 
@@ -70,9 +71,9 @@ class TaskSpec:
 
     name: str
     kind: str
-    input_kb: float
-    intermediate_kb: float
-    output_kb: float
+    input_kb: KBytes
+    intermediate_kb: KBytes
+    output_kb: KBytes
     divisible: bool = False
     functional_parallel: bool = False
     phases: tuple[PhaseSpec, ...] = field(default=())
@@ -82,7 +83,7 @@ class TaskSpec:
             raise ValueError(f"unknown task kind {self.kind!r}")
 
     @property
-    def total_kb(self) -> float:
+    def total_kb(self) -> KBytes:
         """Total declared footprint (input + intermediate + output)."""
         return self.input_kb + self.intermediate_kb + self.output_kb
 

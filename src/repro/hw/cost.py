@@ -33,7 +33,9 @@ import repro.obs as obs
 from repro.hw.cache import CacheUsage, analyze_report
 from repro.hw.spec import PlatformSpec
 from repro.imaging.common import WorkReport
+from repro.util.quantity import Kpixels, Milliseconds
 from repro.util.rng import rng_stream
+from repro.util.units import MS_PER_S, PX_PER_KPX
 
 __all__ = ["TaskCostSpec", "CostBreakdown", "CostModel", "DEFAULT_TASK_COSTS"]
 
@@ -69,7 +71,7 @@ class TaskCostSpec:
         Cost per native-equivalent unit of each named count.
     """
 
-    fixed_ms: float
+    fixed_ms: Milliseconds
     per_kpixel_ms: float = 0.0
     per_count_ms: Mapping[str, float] = field(default_factory=dict)
 
@@ -124,18 +126,18 @@ class CostBreakdown:
     """
 
     task: str
-    base_ms: float
-    content_ms: float
-    cache_stall_ms: float
-    jitter_ms: float
+    base_ms: Milliseconds
+    content_ms: Milliseconds
+    cache_stall_ms: Milliseconds
+    jitter_ms: Milliseconds
     cache: CacheUsage
 
     @property
-    def total_ms(self) -> float:
+    def total_ms(self) -> Milliseconds:
         return self.base_ms + self.content_ms + self.cache_stall_ms + self.jitter_ms
 
     @property
-    def noise_free_ms(self) -> float:
+    def noise_free_ms(self) -> Milliseconds:
         """Deterministic part (what an oracle predictor could know)."""
         return self.base_ms + self.content_ms + self.cache_stall_ms
 
@@ -192,9 +194,9 @@ class CostModel:
             return value * math.sqrt(self.pixel_scale)
         return value
 
-    def native_kpixels(self, report: WorkReport) -> float:
+    def native_kpixels(self, report: WorkReport) -> Kpixels:
         """Native-equivalent kilo-units of ``report.pixels``."""
-        return report.pixels * self.pixel_scale / 1000.0
+        return report.pixels * self.pixel_scale / PX_PER_KPX
 
     # -- main conversion -----------------------------------------------------
 
@@ -233,7 +235,7 @@ class CostModel:
         cache = analyze_report(
             report, self.platform.l2.capacity_bytes, self.pixel_scale
         )
-        stall_ms = cache.eviction_bytes / self.platform.dram_stream_bw * 1e3
+        stall_ms = cache.eviction_bytes / self.platform.dram_stream_bw * MS_PER_S
 
         jitter_ms = 0.0
         if with_jitter:

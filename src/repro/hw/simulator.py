@@ -24,6 +24,7 @@ from repro.hw.bus import BandwidthLedger
 from repro.hw.cost import CostBreakdown, CostModel
 from repro.hw.mapping import Mapping
 from repro.imaging.common import WorkReport
+from repro.util.units import MS_PER_S
 
 __all__ = ["TaskTiming", "FrameResult", "PlatformSimulator"]
 
@@ -172,8 +173,8 @@ class PlatformSimulator:
         if src_core == dst_core:
             return 0.0, "l2"
         if self.platform.share_l2(src_core, dst_core):
-            return nbytes / self.platform.l1_l2_bw * 1e3, "l2"
-        return nbytes / self.platform.l2_bus_bw * 1e3, "bus"
+            return nbytes / self.platform.l1_l2_bw * MS_PER_S, "l2"
+        return nbytes / self.platform.l2_bus_bw * MS_PER_S, "bus"
 
     # -- main entry point ------------------------------------------------------
 
@@ -328,7 +329,7 @@ class PlatformSimulator:
                     report.bytes_in * scale * self.halo_fraction * (n_parts - 1)
                 )
                 self.ledger.record("bus", halo_bytes)
-                halo_ms = halo_bytes / self.platform.l2_bus_bw * 1e3
+                halo_ms = halo_bytes / self.platform.l2_bus_bw * MS_PER_S
                 slice_ms = compute_ms / n_parts + halo_ms
                 overhead_ms = self.fork_ms + self.join_ms
                 fork_done = max(prev_end + comm_ms, core_free[cores[0]]) + self.fork_ms

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.util.quantity import BytesPerSecond, Cycles, Hertz, Milliseconds
 from repro.util.units import GB, KIB, MIB
 
 __all__ = ["CacheSpec", "PlatformSpec", "blackford"]
@@ -67,15 +68,15 @@ class PlatformSpec:
 
     name: str
     n_cores: int
-    core_hz: float
+    core_hz: Hertz
     l1: CacheSpec
     l2: CacheSpec
-    core_l1_bw: float
-    l1_l2_bw: float
-    l2_bus_bw: float
+    core_l1_bw: BytesPerSecond
+    l1_l2_bw: BytesPerSecond
+    l2_bus_bw: BytesPerSecond
     dram_channels: int
-    dram_random_bw: float
-    dram_stream_bw: float
+    dram_random_bw: BytesPerSecond
+    dram_stream_bw: BytesPerSecond
 
     def __post_init__(self) -> None:
         if self.n_cores <= 0 or self.core_hz <= 0:
@@ -99,15 +100,15 @@ class PlatformSpec:
         return self.l2_cluster(core_a) == self.l2_cluster(core_b)
 
     @property
-    def total_dram_stream_bw(self) -> float:
+    def total_dram_stream_bw(self) -> BytesPerSecond:
         """Aggregate streaming DRAM bandwidth across channels."""
         return self.dram_channels * self.dram_stream_bw
 
-    def cycles_to_ms(self, cycles: float) -> float:
+    def cycles_to_ms(self, cycles: Cycles) -> Milliseconds:
         """Convert a cycle count to milliseconds on one core."""
         return cycles / self.core_hz * 1e3
 
-    def ms_to_cycles(self, ms: float) -> float:
+    def ms_to_cycles(self, ms: Milliseconds) -> Cycles:
         """Convert milliseconds to cycles on one core."""
         return ms * 1e-3 * self.core_hz
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.util.quantity import Pixels
+
 __all__ = ["BufferAccess", "WorkReport"]
 
 
@@ -64,7 +66,7 @@ class WorkReport:
     """
 
     task: str
-    pixels: int = 0
+    pixels: Pixels = 0
     bytes_in: int = 0
     bytes_out: int = 0
     buffers: tuple[BufferAccess, ...] = ()

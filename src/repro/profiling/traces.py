@@ -228,7 +228,7 @@ class TraceSet:
         meta: dict[str, object] = {}
         for k, v in self.meta.items():
             try:
-                json.dumps(v)
+                json.dumps(v)  # repro: ignore[dataflow/json-sort-keys] -- probe, output discarded
             except (TypeError, ValueError):
                 continue
             meta[k] = v
@@ -238,7 +238,7 @@ class TraceSet:
             "meta": meta,
             "records": [asdict(r) for r in self.records],
         }
-        Path(path).write_text(json.dumps(payload))
+        Path(path).write_text(json.dumps(payload, sort_keys=True))
 
     @staticmethod
     def load(path: str | Path) -> "TraceSet":

@@ -21,6 +21,7 @@ import numpy as np
 import repro.obs as obs
 from repro.hw.spec import PlatformSpec
 from repro.runtime.manager import RunResult
+from repro.util.units import MS_PER_S
 
 __all__ = ["BackgroundFunction", "CoScheduleResult"]
 
@@ -97,7 +98,7 @@ def coschedule(
     Pass ``reserved_cores`` to model a static worst-case reservation
     (see :func:`idle_core_ms`); omit it for prediction-driven runs.
     """
-    period_ms = 1e3 / frame_rate_hz
+    period_ms = MS_PER_S / frame_rate_hz
     idle = idle_core_ms(run, platform, period_ms, reserved_cores)
     items = idle / background.work_ms_per_item
     o = obs.get_obs()

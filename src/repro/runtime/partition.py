@@ -25,7 +25,7 @@ import repro.obs as obs
 from repro.graph.flowgraph import FlowGraph
 from repro.hw.mapping import Mapping
 from repro.hw.spec import PlatformSpec
-from repro.util.units import KIB
+from repro.util.units import KIB, MS_PER_S
 
 __all__ = ["PartitionDecision", "Partitioner"]
 
@@ -102,7 +102,7 @@ class Partitioner:
         spec = self.graph.tasks.get(task)
         input_bytes = (spec.input_kb if spec else 0.0) * KIB
         halo_bytes = input_bytes * self.halo_fraction * (k - 1)
-        return halo_bytes / self.platform.l2_bus_bw * 1e3
+        return halo_bytes / self.platform.l2_bus_bw * MS_PER_S
 
     def task_latency_ms(self, task: str, compute_ms: float, k: int) -> float:
         """Analytic latency of one task split ``k`` ways."""

@@ -1,0 +1,165 @@
+"""Quantity vocabulary: annotated scalar types carrying physical units.
+
+Triple-C's predictions only compose when every quantity keeps its
+unit: Eq. 3 mixes milliseconds and Kpixels, the Fig. 2 edge labels
+are decimal MByte/s, and the Table 1 buffer columns are binary KiB
+(printed "KB" in the paper).  This module names those quantities once
+so that
+
+* signatures in ``core/``, ``hw/`` and ``graph/`` document their unit
+  in a machine-readable way, and
+* the whole-program unit-inference pass
+  (:mod:`repro.analysis.dataflow.unitcheck`) can seed its dataflow
+  lattice from the annotations and flag ms+KiB additions, ms-vs-s
+  confusions and unit-dropping returns *statically*.
+
+The aliases are :data:`typing.Annotated` wrappers around ``float`` /
+``int``: transparent to mypy and to the runtime (no call-site
+wrapping, no casts), visible to the AST-level analysis by name.
+
+Dimension algebra
+-----------------
+Each quantity maps to a *dimension expression* over base tokens
+(``ms``, ``s``, ``B``, ``KiB``, ``MB``, ``Kpixel``, ``cycle``), e.g.
+``MBytesPerSecond`` is ``MB/s`` = ``{MB: 1, s: -1}``.  Deliberately,
+``ms`` and ``s`` are *different* tokens, as are ``B``/``KiB``/``MB``:
+crossing between them requires an explicit conversion, exactly like
+the ``lint/unit-mix`` rule demands for the decimal/binary byte
+families.  The sanctioned crossings are the conversion constants and
+helpers declared below (:data:`CONVERSION_CONSTANTS`,
+:data:`CONVERSION_FUNCTIONS`), which the dataflow pass applies as
+dimension-rewriting transfer functions.
+"""
+
+from __future__ import annotations
+
+from typing import Annotated, TypeAlias
+
+__all__ = [
+    "Quantity",
+    "Milliseconds",
+    "Seconds",
+    "Hertz",
+    "Bytes",
+    "KBytes",
+    "MBytes",
+    "BytesPerSecond",
+    "MBytesPerSecond",
+    "Kpixels",
+    "Pixels",
+    "Cycles",
+    "QUANTITY_DIMS",
+    "SUFFIX_DIMS",
+    "CONVERSION_CONSTANTS",
+    "CONVERSION_FUNCTIONS",
+]
+
+
+class Quantity:
+    """Annotation marker naming the unit of a scalar (``Annotated`` meta)."""
+
+    __slots__ = ("unit",)
+
+    def __init__(self, unit: str) -> None:
+        self.unit = unit
+
+    def __repr__(self) -> str:
+        return f"Quantity({self.unit!r})"
+
+
+#: Task computation times, latency budgets, EWMA/Markov residuals (Eq. 1-3).
+Milliseconds: TypeAlias = Annotated[float, Quantity("ms")]
+#: Wall-clock spans from the obs layer (``monotonic_s``); *not* mixable
+#: with ``Milliseconds`` without an explicit conversion.
+Seconds: TypeAlias = Annotated[float, Quantity("s")]
+#: Rates: the 30 Hz video rate, core clock frequencies.
+Hertz: TypeAlias = Annotated[float, Quantity("1/s")]
+#: Raw byte counts (frame payloads, cache capacities).
+Bytes: TypeAlias = Annotated[int, Quantity("B")]
+#: The Table 1 buffer family: binary kilobytes, printed "KB" in the paper.
+KBytes: TypeAlias = Annotated[float, Quantity("KiB")]
+#: The Fig. 2 / Fig. 4 bandwidth family: decimal megabytes.
+MBytes: TypeAlias = Annotated[float, Quantity("MB")]
+#: Sustained stream bandwidth in bytes per second.
+BytesPerSecond: TypeAlias = Annotated[float, Quantity("B/s")]
+#: The Fig. 2 edge-label family: decimal MByte/s.
+MBytesPerSecond: TypeAlias = Annotated[float, Quantity("MB/s")]
+#: ROI sizes in the Eq. 3 linear model ("Kpixels").
+Kpixels: TypeAlias = Annotated[float, Quantity("Kpixel")]
+#: Raw pixel counts (native geometry).
+Pixels: TypeAlias = Annotated[int, Quantity("pixel")]
+#: Core clock cycles (the hw cost model's native currency).
+Cycles: TypeAlias = Annotated[float, Quantity("cycle")]
+
+
+#: Quantity-alias name -> dimension expression, the seed table of the
+#: unit-inference pass (annotations are matched *by name* in the AST).
+QUANTITY_DIMS: dict[str, str] = {
+    "Milliseconds": "ms",
+    "Seconds": "s",
+    "Hertz": "1/s",
+    "Bytes": "B",
+    "KBytes": "KiB",
+    "MBytes": "MB",
+    "BytesPerSecond": "B/s",
+    "MBytesPerSecond": "MB/s",
+    "Kpixels": "Kpixel",
+    "Pixels": "pixel",
+    "Cycles": "cycle",
+}
+
+#: Identifier-suffix heuristics: a variable, parameter or attribute
+#: whose name ends in a key is assumed to carry that unit unless an
+#: annotation says otherwise.  These mirror the project's naming
+#: conventions (``*_ms`` predictions, ``*_kb`` Table 1 columns,
+#: ``monotonic_s``, ``*_mbps`` edge labels, ``*_bw`` link budgets).
+SUFFIX_DIMS: dict[str, str] = {
+    "_ms": "ms",
+    "_s": "s",
+    "_sec": "s",
+    "_hz": "1/s",
+    "_kb": "KiB",
+    "_kib": "KiB",
+    "_bytes": "B",
+    "_mb": "MB",
+    "_mbps": "MB/s",
+    "_bw": "B/s",
+    "_kpixels": "Kpixel",
+    "_kpix": "Kpixel",
+    "_pixels": "pixel",
+    "_cycles": "cycle",
+}
+
+#: Module-level conversion *constants* and their dimensions.  The byte
+#: multiples of :mod:`repro.util.units` are per-unit factors: a Table 1
+#: count times ``KIB`` yields bytes, so ``KIB`` carries ``B/KiB``.
+#: Matched by basename so both ``KIB`` and ``units.KIB`` resolve.
+CONVERSION_CONSTANTS: dict[str, str] = {
+    "KB": "B/kB",
+    "MB": "B/MB",
+    "GB": "B/GB",
+    "KIB": "B/KiB",
+    "MIB": "B/MiB",
+    "GIB": "B/GiB",
+    "HZ_VIDEO": "1/s",
+    "BYTES_PER_PIXEL": "B/pixel",
+    "NATIVE_PIXELS": "pixel",
+    "MS_PER_S": "ms/s",
+    "PX_PER_KPX": "pixel/Kpixel",
+}
+
+#: Sanctioned conversion helpers and their dimension transfer.  A
+#: ``("swap", FROM, TO)`` entry rewrites the FROM token of the
+#: argument's dimension to TO at the call site (preserving exponents,
+#: so a ``B/s`` argument to ``bytes_to_mbytes`` yields ``MB/s``); a
+#: ``("result", DIMS)`` entry fixes the result dimension outright.
+#: Keyed by fully-qualified callee name.
+CONVERSION_FUNCTIONS: dict[str, tuple[str, ...]] = {
+    "repro.util.units.table_kb_to_bytes": ("swap", "KiB", "B"),
+    "repro.util.units.bytes_to_mbytes": ("swap", "B", "MB"),
+    "repro.util.units.frame_bytes": ("result", "B"),
+    "repro.util.units.stream_bandwidth": ("result", "B/s"),
+    "repro.hw.spec.PlatformSpec.cycles_to_ms": ("result", "ms"),
+    "repro.hw.spec.PlatformSpec.ms_to_cycles": ("result", "cycle"),
+    "repro.obs.clock.monotonic_s": ("result", "s"),
+}

@@ -11,6 +11,8 @@ constants; link bandwidths use the decimal ones, matching Fig. 4.
 
 from __future__ import annotations
 
+from repro.util.quantity import Bytes, BytesPerSecond, Hertz, KBytes
+
 #: Decimal byte multiples (bandwidth figures, Fig. 4).
 KB: int = 10**3
 MB: int = 10**6
@@ -32,15 +34,24 @@ NATIVE_WIDTH: int = 1024
 NATIVE_HEIGHT: int = 1024
 NATIVE_PIXELS: int = NATIVE_WIDTH * NATIVE_HEIGHT
 
+#: Milliseconds per second: the sanctioned s -> ms rescale factor.
+#: Writing ``seconds * MS_PER_S`` (instead of a bare ``* 1e3``) keeps
+#: the expression dimensionally honest for the unit-inference pass.
+MS_PER_S: float = 1e3
 
-def frame_bytes(width: int = NATIVE_WIDTH, height: int = NATIVE_HEIGHT) -> int:
+#: Pixels per kilopixel: the sanctioned pixel -> Kpixel rescale
+#: factor (Eq. 3's ROI sizes are in Kpixels).
+PX_PER_KPX: float = 1e3
+
+
+def frame_bytes(width: int = NATIVE_WIDTH, height: int = NATIVE_HEIGHT) -> Bytes:
     """Size in bytes of one video frame at ``width`` x ``height``."""
     return width * height * BYTES_PER_PIXEL
 
 
 def stream_bandwidth(
-    bytes_per_frame: float, rate_hz: float = HZ_VIDEO
-) -> float:
+    bytes_per_frame: float, rate_hz: Hertz = HZ_VIDEO
+) -> BytesPerSecond:
     """Sustained bandwidth in bytes/second of a per-frame data stream.
 
     This is how the MByte/s edge labels of Fig. 2 are derived: e.g. the
@@ -51,7 +62,7 @@ def stream_bandwidth(
     return float(bytes_per_frame) * rate_hz
 
 
-def table_kb_to_bytes(kb: float) -> float:
+def table_kb_to_bytes(kb: KBytes) -> float:
     """Bytes of a Table 1 / Fig. 2 "KB" payload.
 
     The paper's task tables print "KB" but mean binary kilobytes

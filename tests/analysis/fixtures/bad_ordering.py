@@ -1,0 +1,34 @@
+"""Fixture: ordering hazards feeding committed artifacts."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def total(values: set[float]) -> float:
+    acc = 0.0
+    for v in values:
+        acc += v
+    return acc
+
+
+def total_sum() -> float:
+    weights = {0.1, 0.2, 0.3}
+    return sum(weights)
+
+
+def listing(root: Path) -> list[Path]:
+    return [p for p in root.glob("*.json")]
+
+
+def listing_ok(root: Path) -> list[Path]:
+    return sorted(root.glob("*.json"))
+
+
+def write(path: Path, doc: dict) -> None:
+    path.write_text(json.dumps(doc))
+
+
+def write_ok(path: Path, doc: dict) -> None:
+    path.write_text(json.dumps(doc, sort_keys=True))

@@ -1,0 +1,38 @@
+"""Fixture: shared-state hazards crossing the map_sequences pool seam.
+
+The determinism audit must catch: a worker mutating module globals
+(directly and through a helper), a worker reading mutable shared
+state, and lambda / nested-function workers.
+"""
+
+from __future__ import annotations
+
+from repro.parallel import map_sequences
+
+_cache: dict[str, int] = {}
+results: list[int] = []
+
+
+def _helper(item: int) -> None:
+    results.append(item)
+
+
+def worker(item: int) -> int:
+    _cache[str(item)] = item
+    _helper(item)
+    return len(_cache)
+
+
+def run(items: list[int]) -> list[int]:
+    return map_sequences(worker, items)
+
+
+def run_lambda(items: list[int]) -> list[int]:
+    return map_sequences(lambda x: x + 1, items)
+
+
+def run_nested(items: list[int]) -> list[int]:
+    def local(x: int) -> int:
+        return x
+
+    return map_sequences(local, items)

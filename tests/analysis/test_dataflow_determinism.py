@@ -1,0 +1,79 @@
+"""Determinism audit: the seeded pool/ordering fixtures + exemptions."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.dataflow import build_symbol_table, check_determinism
+from repro.analysis.findings import Severity
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+
+def _findings(*paths: Path):
+    return check_determinism(build_symbol_table(list(paths)))
+
+
+class TestPoolSeam:
+    def test_catches_seeded_shared_global(self):
+        findings = _findings(FIXTURES / "bad_pool.py")
+        got = {(f.rule, int(f.location.rsplit(":", 1)[1])) for f in findings}
+        assert got == {
+            ("dataflow/pool-global-mutation", 17),  # _helper appends
+            ("dataflow/pool-global-mutation", 21),  # worker subscript-writes
+            ("dataflow/pool-shared-state", 23),     # worker reads _cache
+            ("dataflow/pool-worker-closure", 31),   # lambda worker
+            ("dataflow/pool-worker-closure", 38),   # nested-def worker
+        }
+
+    def test_mutation_is_error_read_is_warning(self):
+        by_rule = {f.rule: f.severity for f in _findings(FIXTURES / "bad_pool.py")}
+        assert by_rule["dataflow/pool-global-mutation"] == Severity.ERROR
+        assert by_rule["dataflow/pool-worker-closure"] == Severity.ERROR
+        assert by_rule["dataflow/pool-shared-state"] == Severity.WARNING
+
+    def test_transitive_reach_through_helpers(self):
+        # line 17 is inside _helper, which worker() calls -- the audit
+        # must walk the call graph, not just the worker body.
+        findings = _findings(FIXTURES / "bad_pool.py")
+        helper = [f for f in findings if f.location.endswith(":17")]
+        assert helper and "_helper" in helper[0].message
+
+    def test_sanctioned_modules_are_exempt(self):
+        # The real profiling worker crosses the seam via repro.obs /
+        # repro.util.rng state, which is sanctioned plumbing: the audit
+        # of src/repro must raise no pool findings.
+        findings = check_determinism(
+            build_symbol_table([REPO / "src" / "repro"])
+        )
+        pool = [f for f in findings if f.rule.startswith("dataflow/pool-")]
+        assert pool == [], [f.render() for f in pool]
+
+
+class TestOrderingHazards:
+    def test_seeded_ordering_fixture(self):
+        findings = _findings(FIXTURES / "bad_ordering.py")
+        got = {(f.rule, int(f.location.rsplit(":", 1)[1])) for f in findings}
+        assert got == {
+            ("dataflow/unordered-accumulation", 11),  # set param iterated
+            ("dataflow/unordered-accumulation", 18),  # sum(set literal)
+            ("dataflow/unsorted-listing", 22),        # bare .glob()
+            ("dataflow/json-sort-keys", 30),          # dumps w/o sort_keys
+        }
+
+    def test_sorted_wrappers_pass(self):
+        findings = _findings(FIXTURES / "bad_ordering.py")
+        lines = {int(f.location.rsplit(":", 1)[1]) for f in findings}
+        assert 26 not in lines  # sorted(root.glob(...))
+        assert 34 not in lines  # dumps(..., sort_keys=True)
+
+    def test_real_repo_only_suppressed_probe_remains(self):
+        # The one json.dumps without sort_keys in src/repro is the
+        # serializability probe in traces.py, suppressed inline; the
+        # raw pass (no suppression layer) sees exactly that one.
+        findings = check_determinism(
+            build_symbol_table([REPO / "src" / "repro"])
+        )
+        assert [f.rule for f in findings] == ["dataflow/json-sort-keys"]
+        assert "traces.py" in findings[0].location

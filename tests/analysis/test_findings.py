@@ -57,11 +57,22 @@ class TestRendering:
         f = _f("graph/cycle", Severity.ERROR, "graph", "has a cycle")
         assert f.render() == "graph: error [graph/cycle] has a cycle"
 
-    def test_format_sorts_worst_first(self):
-        fs = [_f("a", Severity.INFO), _f("b", Severity.ERROR)]
+    def test_format_sorts_by_path_line_rule(self):
+        # Deterministic (path, line, rule) order -- byte-stable output
+        # across runs regardless of discovery order.
+        fs = [
+            _f("b", Severity.ERROR, "y.py:2"),
+            _f("z", Severity.INFO, "x.py:10"),
+            _f("a", Severity.INFO, "x.py:2"),
+            _f("a", Severity.ERROR, "x.py:2"),
+        ]
         text = format_findings(fs)
-        assert text.index("[b]") < text.index("[a]")
-        assert "2 finding(s): 1 error, 1 info" in text
+        assert (
+            text.index("x.py:2")
+            < text.index("x.py:10")
+            < text.index("y.py:2")
+        )
+        assert "4 finding(s): 2 error, 2 info" in text
 
     def test_format_empty_is_clean(self):
         assert format_findings([]) == "clean"

@@ -1,0 +1,115 @@
+"""Graph checks against the composite (multi-app / co-schedule) graphs.
+
+Satellite coverage for :mod:`repro.analysis.graphcheck`: the checks
+must accept the paper's Section-7 composite workloads on the reference
+platform and must object when the aggregate load cannot fit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.findings import Severity, sort_key
+from repro.analysis.graphcheck import (
+    check_flowgraph,
+    check_scenarios,
+    check_topology,
+)
+from repro.graph.composite import (
+    BACKGROUND_TASK,
+    app_prefix,
+    build_coschedule_graph,
+    build_multiapp_graph,
+)
+from repro.graph.flowgraph import Edge, FlowGraph
+from repro.hw.spec import blackford
+
+
+def _warnings_or_worse(findings):
+    return [f for f in findings if f.severity >= Severity.WARNING]
+
+
+class TestMultiApp:
+    def test_two_apps_pass_on_blackford(self):
+        findings = check_flowgraph(build_multiapp_graph(2), blackford())
+        assert _warnings_or_worse(findings) == [], [
+            f.render() for f in findings
+        ]
+
+    def test_three_apps_pass_on_blackford(self):
+        findings = check_flowgraph(build_multiapp_graph(3), blackford())
+        assert _warnings_or_worse(findings) == []
+
+    def test_task_names_are_prefixed_per_app(self):
+        graph = build_multiapp_graph(2)
+        assert all(
+            name.startswith((app_prefix(0), app_prefix(1)))
+            for name in graph.tasks
+        )
+        # Both instances contribute the same task count.
+        a0 = [n for n in graph.tasks if n.startswith(app_prefix(0))]
+        a1 = [n for n in graph.tasks if n.startswith(app_prefix(1))]
+        assert len(a0) == len(a1) > 0
+
+    def test_aggregate_bandwidth_busts_a_weak_platform(self):
+        # Shrink the DRAM stream budget until two concurrent apps
+        # cannot fit; the bandwidth check has to say so.
+        weak = dataclasses.replace(
+            blackford(), dram_stream_bw=1e6, l2_bus_bw=1e6
+        )
+        findings = check_flowgraph(build_multiapp_graph(2), weak)
+        rules = {f.rule for f in _warnings_or_worse(findings)}
+        assert "graph/bandwidth-budget" in rules
+
+    def test_rejects_zero_apps(self):
+        try:
+            build_multiapp_graph(0)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("n_apps=0 must be rejected")
+
+
+class TestCoschedule:
+    def test_coschedule_passes_on_blackford(self):
+        findings = check_flowgraph(build_coschedule_graph(), blackford())
+        assert _warnings_or_worse(findings) == []
+
+    def test_background_task_active_in_every_scenario(self):
+        graph = build_coschedule_graph()
+        from repro.imaging.pipeline import SwitchState
+
+        for sid in range(8):
+            order = graph.execution_order(SwitchState.from_scenario_id(sid))
+            assert BACKGROUND_TASK in order
+
+    def test_starved_background_task_is_reported(self):
+        # Rebuild the co-schedule graph but drop the INPUT feed of the
+        # background task: it is active yet never fed.
+        graph = build_coschedule_graph()
+        edges = [e for e in graph.edges if e.dst != BACKGROUND_TASK]
+        starved = FlowGraph(dict(graph.tasks), edges, graph.active_tasks)
+        findings = check_scenarios(starved)
+        starved_rules = {
+            f.rule for f in findings if BACKGROUND_TASK in f.location
+        }
+        assert "graph/starved-task" in starved_rules
+
+    def test_dangling_edge_is_reported(self):
+        graph = build_coschedule_graph()
+        edges = list(graph.edges) + [Edge("NOT_A_TASK", BACKGROUND_TASK, 1.0)]
+        findings = check_topology(graph.tasks, edges)
+        assert any(f.rule == "graph/dangling" for f in findings)
+
+
+class TestOrderingStability:
+    def test_findings_sort_is_deterministic(self):
+        weak = dataclasses.replace(
+            blackford(), dram_stream_bw=1e6, l2_bus_bw=1e6
+        )
+        a = sorted(check_flowgraph(build_multiapp_graph(2), weak), key=sort_key)
+        b = sorted(
+            reversed(check_flowgraph(build_multiapp_graph(2), weak)),
+            key=sort_key,
+        )
+        assert [f.render() for f in a] == [f.render() for f in b]
