@@ -110,6 +110,48 @@ _DATAFLOW_RULES: Mapping[str, RuleInfo] = {
         Severity.WARNING,
         "json.dump(s) without sort_keys=True in artifact output",
     ),
+    "dataflow/pool-arg-mutation": (
+        Severity.ERROR,
+        "pool worker mutates its argument; pooled and inline runs "
+        "mutate different objects",
+    ),
+    "dataflow/pool-impure-worker": (
+        Severity.WARNING,
+        "pool worker has inferred effects (io/env/spawns/nondet) "
+        "observable under pooled scheduling",
+    ),
+}
+
+#: Effect-engine rules (:mod:`repro.analysis.effects`).
+_EFFECT_RULES: Mapping[str, RuleInfo] = {
+    "effects/contract-mismatch": (
+        Severity.ERROR,
+        "inferred effects exceed the @pure/@effects(...) declaration",
+    ),
+    "effects/contract-unused": (
+        Severity.INFO,
+        "declared effect the inference finds no evidence of",
+    ),
+    "effects/missing-contract": (
+        Severity.WARNING,
+        "pool worker, predictor-backend fit or policy step without "
+        "an effect contract",
+    ),
+    "perf/scalar-predict-in-loop": (
+        Severity.WARNING,
+        "per-element predict() on a receiver whose class implements "
+        "predict_series",
+    ),
+    "perf/invariant-attr-in-loop": (
+        Severity.WARNING,
+        "loop-invariant instrument lookup or attribute chain "
+        "re-resolved per iteration",
+    ),
+    "perf/alloc-in-hot-loop": (
+        Severity.INFO,
+        "constant container literal allocated per iteration of a "
+        "hot-path loop",
+    ),
 }
 
 #: Meta rules emitted by the reporting layer itself.
@@ -128,5 +170,6 @@ def rule_catalog() -> dict[str, RuleInfo]:
         catalog[rule.rule_id] = (Severity.ERROR, rule.description)
     catalog.update(_GRAPH_RULES)
     catalog.update(_DATAFLOW_RULES)
+    catalog.update(_EFFECT_RULES)
     catalog.update(_META_RULES)
     return dict(sorted(catalog.items()))

@@ -1,10 +1,14 @@
 """``python -m repro.analysis`` -- run the static-analysis suite.
 
-By default three passes run:
+By default five passes run:
 
 * the AST lint over the ``repro`` package sources (or explicit paths),
 * the whole-program dataflow passes (unit inference + determinism
   audit) over the same roots,
+* the effect passes (pool-seam race detector + effect-contract
+  verification, backed by interprocedural purity inference),
+* the perf-smell pass (scalar ``predict`` in loops, per-iteration
+  instrument lookups and allocations in hot paths),
 * the graph checker over the StentBoost flow graph on the Blackford
   platform.
 
@@ -16,12 +20,20 @@ refreshes the file.  The exit status is nonzero when any remaining
 finding reaches ``--fail-on`` severity (default: ``error``), making
 the command directly usable as a CI gate and as a pre-commit hook.
 
+``--incremental`` serves per-module findings from a content-hash
+cache under ``--cache-dir`` (default ``.repro-analysis-cache/``) and
+re-analyzes only changed modules plus their reverse-import closure;
+``--stats`` reports per-pass wall time and cache hits/misses on
+stderr (``--stats-json FILE`` writes the same as JSON for CI
+artifacts).
+
 Examples::
 
     python -m repro.analysis
     python -m repro.analysis src/repro --no-graph --format json
     python -m repro.analysis --format sarif > analysis.sarif
     python -m repro.analysis --baseline analysis-baseline.json
+    python -m repro.analysis --incremental --stats
     python -m repro.analysis --graph mygraphs.py:build_graph --fail-on warning
 """
 
@@ -30,6 +42,7 @@ from __future__ import annotations
 import argparse
 import importlib
 import importlib.util
+import sys
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -37,7 +50,8 @@ from repro.analysis.astlint import lint_paths
 from repro.analysis.baseline import filter_baselined, load_baseline, write_baseline
 from repro.analysis.catalog import rule_catalog
 from repro.analysis.dataflow import run_dataflow
-from repro.analysis.dataflow.symbols import iter_source_files
+from repro.analysis.dataflow.symbols import build_symbol_table, iter_source_files
+from repro.analysis.effects import check_perf, infer_effects, run_effects
 from repro.analysis.findings import (
     Finding,
     Severity,
@@ -46,6 +60,13 @@ from repro.analysis.findings import (
     format_findings,
 )
 from repro.analysis.graphcheck import check_flowgraph
+from repro.analysis.incremental import (
+    ALL_PASSES,
+    DEFAULT_CACHE_DIR,
+    AnalysisStats,
+    _Timer,
+    run_incremental,
+)
 from repro.analysis.rules import default_rules
 from repro.analysis.sarif import findings_to_sarif_json
 from repro.analysis.suppress import apply_suppressions, scan_suppressions
@@ -127,6 +148,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the whole-program dataflow passes",
     )
     parser.add_argument(
+        "--no-effects",
+        action="store_true",
+        help="skip the effect passes (race detector + contracts)",
+    )
+    parser.add_argument(
+        "--no-perf",
+        action="store_true",
+        help="skip the perf-smell pass",
+    )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="serve unchanged modules from the content-hash cache; "
+        "re-analyze only changed modules and their importers",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"incremental cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="report per-pass wall time and cache hits/misses on stderr",
+    )
+    parser.add_argument(
+        "--stats-json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the --stats payload as JSON (CI artifact)",
+    )
+    parser.add_argument(
         "--format",
         choices=("text", "json", "sarif"),
         default="text",
@@ -176,11 +232,43 @@ def main(argv: Sequence[str] | None = None) -> int:
     if missing:
         raise SystemExit(f"no such path: {', '.join(map(str, missing))}")
 
-    if not args.no_lint:
-        findings += lint_paths(roots, default_rules())
+    passes = [
+        name
+        for name, skipped in (
+            ("lint", args.no_lint),
+            ("dataflow", args.no_dataflow),
+            ("effects", args.no_effects),
+            ("perf", args.no_perf),
+        )
+        if not skipped
+    ]
+    assert set(passes) <= set(ALL_PASSES)
+    stats = AnalysisStats()
 
-    if not args.no_dataflow:
-        findings += run_dataflow(roots)
+    if args.incremental:
+        result = run_incremental(roots, cache_dir=args.cache_dir, passes=passes)
+        findings += result.findings
+        stats = result.stats
+    else:
+        # One symbol table feeds every whole-program pass.
+        if "lint" in passes:
+            with _Timer(stats, "lint"):
+                findings += lint_paths(roots, default_rules())
+        table = None
+        if {"dataflow", "effects", "perf"} & set(passes):
+            with _Timer(stats, "parse"):
+                table = build_symbol_table(roots)
+        if table is not None and "dataflow" in passes:
+            with _Timer(stats, "dataflow"):
+                findings += run_dataflow(roots, table=table)
+        if table is not None and "effects" in passes:
+            with _Timer(stats, "effects"):
+                findings += run_effects(table, infer_effects(table))
+        if table is not None and "perf" in passes:
+            with _Timer(stats, "perf"):
+                findings += check_perf(table)
+        stats.analyzed = [str(f) for f in iter_source_files(roots)]
+        stats.cache_misses = len(stats.analyzed)
 
     if not args.no_graph:
         try:
@@ -198,9 +286,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         platform = platform_factory() if platform_factory is not None else None
         findings += check_flowgraph(graph, platform)
 
-    # Inline suppressions apply to everything located at a path:line.
-    markers = scan_suppressions(iter_source_files(roots))
-    findings = apply_suppressions(findings, markers)
+    if not args.incremental:
+        # Inline suppressions apply to everything located at a
+        # path:line.  (The incremental engine applies them to dirty
+        # modules itself; cached findings are already post-suppression,
+        # and re-scanning clean files here would flag every marker in
+        # them as stale.)
+        markers = scan_suppressions(iter_source_files(roots))
+        findings = apply_suppressions(findings, markers)
+
+    if args.stats or args.stats_json is not None:
+        if args.stats:
+            print(stats.render(), file=sys.stderr)
+        if args.stats_json is not None:
+            args.stats_json.write_text(stats.to_json() + "\n", encoding="utf-8")
 
     if args.write_baseline is not None:
         write_baseline(args.write_baseline, findings)

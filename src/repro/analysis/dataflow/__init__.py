@@ -5,11 +5,11 @@ symbols.SymbolTable`:
 
 * :mod:`~repro.analysis.dataflow.unitcheck` -- unit/dimension
   inference seeded from the :mod:`repro.util.quantity` annotations;
-* :mod:`~repro.analysis.dataflow.determinism` -- the
-  ``map_sequences`` pool-seam audit plus ordering hazards.
+* :mod:`~repro.analysis.dataflow.determinism` -- ordering hazards
+  (the pool-seam audit moved to :mod:`repro.analysis.effects.races`).
 
-:func:`run_dataflow` is the CLI's entry point: build the table once,
-run both passes.
+:func:`run_dataflow` is the CLI's entry point: build the table once
+(or reuse one the caller already built), run both passes.
 """
 
 from __future__ import annotations
@@ -31,7 +31,11 @@ __all__ = [
 ]
 
 
-def run_dataflow(paths: Iterable[Path]) -> list[Finding]:
-    """Build a symbol table over ``paths`` and run both dataflow passes."""
-    table = build_symbol_table(list(paths))
+def run_dataflow(
+    paths: Iterable[Path], table: SymbolTable | None = None
+) -> list[Finding]:
+    """Run both dataflow passes, building the symbol table over
+    ``paths`` unless the caller shares one."""
+    if table is None:
+        table = build_symbol_table(list(paths))
     return check_units(table) + check_determinism(table)

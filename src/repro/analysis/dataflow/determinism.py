@@ -1,24 +1,8 @@
-"""Cross-process determinism audit over the project symbol table.
+"""Ordering-hazard determinism audit over the project symbol table.
 
-:func:`repro.parallel.map_sequences` promises bit-identical merges
-versus the serial path *provided the worker is a pure function of its
-pickled argument*.  That contract is prose in ``pool.py``; this pass
-makes it machine-checked, plus two ordering hazards that corrupt
-committed artifacts (TraceSets, BENCH json, golden runs) silently:
+Three hazards that corrupt committed artifacts (TraceSets, BENCH json,
+golden runs) silently:
 
-``dataflow/pool-worker-closure`` (error)
-    The worker handed to ``map_sequences`` is a lambda or a function
-    nested in the calling scope.  Closures are unpicklable under
-    ``spawn`` and capture live parent state under ``fork``.
-``dataflow/pool-global-mutation`` (error)
-    The worker -- or anything it transitively calls within the
-    project -- mutates a mutable module-level binding.  Under a pool
-    the mutation lands in a forked copy and is silently lost; inline
-    it persists, so the two paths diverge.
-``dataflow/pool-shared-state`` (warning)
-    The worker transitively *reads* a mutable module global.  Reads
-    are reproducible only if nothing mutates the global between runs;
-    flag it so the dependence is explicit.
 ``dataflow/unordered-accumulation`` (warning)
     Iteration over a set (or ``sum()`` of one) feeding accumulation.
     Set order is hash-order; float addition is not associative, so
@@ -32,238 +16,23 @@ committed artifacts (TraceSets, BENCH json, golden runs) silently:
     leaks into committed artifacts, so refactors that reorder keys
     churn goldens.
 
-Modules that *are* the sanctioned cross-process plumbing --
-``repro.parallel``, ``repro.obs`` (telemetry is shipped back via
-``_ObsTask``) and ``repro.util.rng`` (named streams keyed by sequence
-id) -- are exempt from the pool-seam walk.
+The ``map_sequences`` pool-seam audit that used to live here
+(``dataflow/pool-*``) is superseded by the interprocedural race
+detector in :mod:`repro.analysis.effects.races`, which keeps the same
+rule ids but reasons over full effect summaries instead of a
+depth-bounded syntactic walk.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterator
 
-from repro.analysis.dataflow.symbols import FunctionInfo, ModuleInfo, SymbolTable
+from repro.analysis.dataflow.symbols import ModuleInfo, SymbolTable
 from repro.analysis.findings import Finding, Severity
 
 __all__ = ["check_determinism"]
 
-#: Module prefixes whose state is sanctioned to cross the pool seam.
-POOL_EXEMPT_PREFIXES = ("repro.parallel", "repro.obs", "repro.util.rng")
-
-#: Method names that mutate their receiver in place.
-_MUTATING_METHODS = frozenset(
-    {
-        "append",
-        "extend",
-        "insert",
-        "add",
-        "update",
-        "setdefault",
-        "pop",
-        "popitem",
-        "remove",
-        "discard",
-        "clear",
-        "appendleft",
-        "extendleft",
-    }
-)
-
 _LISTING_CALLS = frozenset({"listdir", "glob", "rglob", "iterdir", "scandir"})
-
-_MAX_WORKER_DEPTH = 6
-
-
-def _is_map_sequences(mod: ModuleInfo, call: ast.Call) -> bool:
-    func = call.func
-    base = (
-        func.attr
-        if isinstance(func, ast.Attribute)
-        else func.id
-        if isinstance(func, ast.Name)
-        else None
-    )
-    if base != "map_sequences":
-        return False
-    dotted = mod.resolve_dotted(func)
-    return dotted is None or dotted.startswith("repro.") or dotted == "map_sequences"
-
-
-def _worker_expr(call: ast.Call) -> ast.expr | None:
-    if call.args:
-        return call.args[0]
-    for kw in call.keywords:
-        if kw.arg == "worker":
-            return kw.value
-    return None
-
-
-def _functions_of(table: SymbolTable, mod: ModuleInfo) -> Iterator[FunctionInfo]:
-    for fn in table.functions.values():
-        if fn.module is mod:
-            yield fn
-
-
-def _nested_def_names(fn: FunctionInfo) -> set[str]:
-    names: set[str] = set()
-    for node in ast.walk(fn.node):
-        if node is not fn.node and isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef)
-        ):
-            names.add(node.name)
-    return names
-
-
-class _PoolSeamAuditor:
-    """Walks a worker's transitive call graph for shared-state hazards."""
-
-    def __init__(self, table: SymbolTable, findings: list[Finding]) -> None:
-        self.table = table
-        self.findings = findings
-        self.visited: set[str] = set()
-
-    def audit(self, fn: FunctionInfo, seam: str, depth: int = 0) -> None:
-        if fn.qualname in self.visited or depth > _MAX_WORKER_DEPTH:
-            return
-        self.visited.add(fn.qualname)
-        if fn.module.modname.startswith(POOL_EXEMPT_PREFIXES):
-            return
-        globals_here = fn.module.mutable_globals
-        local_names = _local_bindings(fn.node)
-        mutated: set[tuple[str, int]] = set()
-        for node in ast.walk(fn.node):
-            if isinstance(node, ast.Global):
-                for name in node.names:
-                    mutated.add((name, node.lineno))
-                    self._report_mutation(fn, node.lineno, name, seam, "rebinds")
-            elif isinstance(node, ast.Call):
-                func = node.func
-                if (
-                    isinstance(func, ast.Attribute)
-                    and func.attr in _MUTATING_METHODS
-                    and isinstance(func.value, ast.Name)
-                    and func.value.id in globals_here
-                    and func.value.id not in local_names
-                ):
-                    mutated.add((func.value.id, node.lineno))
-                    self._report_mutation(
-                        fn, node.lineno, func.value.id, seam, f".{func.attr}() on"
-                    )
-                callee = self.table.resolve_callee(fn, node)
-                if callee is not None:
-                    self.audit(callee, seam, depth + 1)
-            elif (
-                isinstance(node, (ast.Subscript, ast.Attribute))
-                and isinstance(node.ctx, (ast.Store, ast.Del))
-                and isinstance(getattr(node, "value", None), ast.Name)
-                and node.value.id in globals_here  # type: ignore[union-attr]
-                and node.value.id not in local_names  # type: ignore[union-attr]
-            ):
-                mutated.add((node.value.id, node.lineno))  # type: ignore[union-attr]
-                self._report_mutation(
-                    fn, node.lineno, node.value.id, seam, "writes into"  # type: ignore[union-attr]
-                )
-        for node in ast.walk(fn.node):
-            if (
-                isinstance(node, ast.Name)
-                and isinstance(node.ctx, ast.Load)
-                and node.id in globals_here
-                and node.id not in local_names
-                and (node.id, node.lineno) not in mutated
-            ):
-                self.findings.append(
-                    Finding(
-                        rule="dataflow/pool-shared-state",
-                        severity=Severity.WARNING,
-                        location=f"{fn.module.path}:{node.lineno}",
-                        message=(
-                            f"{fn.qualname} (reached from pool worker at {seam}) "
-                            f"reads mutable module global {node.id!r}; workers "
-                            "must be pure functions of their pickled argument"
-                        ),
-                    )
-                )
-
-    def _report_mutation(
-        self, fn: FunctionInfo, line: int, name: str, seam: str, verb: str
-    ) -> None:
-        self.findings.append(
-            Finding(
-                rule="dataflow/pool-global-mutation",
-                severity=Severity.ERROR,
-                location=f"{fn.module.path}:{line}",
-                message=(
-                    f"{fn.qualname} (reached from pool worker at {seam}) "
-                    f"{verb} module global {name!r}; under a process pool the "
-                    "mutation is lost in the forked copy, so pooled and "
-                    "inline runs diverge"
-                ),
-            )
-        )
-
-
-def _local_bindings(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
-    """Names bound locally (params + assignments), shadowing globals."""
-    a = fn.args
-    names = {p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)}
-    if a.vararg:
-        names.add(a.vararg.arg)
-    if a.kwarg:
-        names.add(a.kwarg.arg)
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
-            names.add(node.id)
-    # names declared global are NOT local, whatever the stores say
-    for node in ast.walk(fn):
-        if isinstance(node, ast.Global):
-            names.difference_update(node.names)
-    return names
-
-
-def _check_pool_seams(table: SymbolTable, findings: list[Finding]) -> None:
-    auditor = _PoolSeamAuditor(table, findings)
-    for mod in table.modules.values():
-        if mod.modname.startswith(POOL_EXEMPT_PREFIXES):
-            continue
-        for fn in _functions_of(table, mod):
-            nested = _nested_def_names(fn)
-            for node in ast.walk(fn.node):
-                if not (isinstance(node, ast.Call) and _is_map_sequences(mod, node)):
-                    continue
-                seam = f"{mod.path}:{node.lineno}"
-                worker = _worker_expr(node)
-                if worker is None:
-                    continue
-                if isinstance(worker, ast.Lambda) or (
-                    isinstance(worker, ast.Name) and worker.id in nested
-                ):
-                    findings.append(
-                        Finding(
-                            rule="dataflow/pool-worker-closure",
-                            severity=Severity.ERROR,
-                            location=seam,
-                            message=(
-                                "map_sequences worker is a "
-                                + (
-                                    "lambda"
-                                    if isinstance(worker, ast.Lambda)
-                                    else f"function nested in {fn.qualname}"
-                                )
-                                + "; workers must be module-level callables "
-                                "(unpicklable under spawn, captures live "
-                                "parent state under fork)"
-                            ),
-                        )
-                    )
-                    continue
-                target: FunctionInfo | None = None
-                if isinstance(worker, (ast.Name, ast.Attribute)):
-                    dotted = mod.resolve_dotted(worker)
-                    if dotted is not None:
-                        target = table.lookup(dotted, mod)
-                if target is not None:
-                    auditor.audit(target, seam)
 
 
 def _is_set_annotation(node: ast.expr | None) -> bool:
@@ -411,9 +180,8 @@ def _check_json_sort_keys(mod: ModuleInfo, findings: list[Finding]) -> None:
 
 
 def check_determinism(table: SymbolTable) -> list[Finding]:
-    """Run the determinism audit; returns its findings."""
+    """Run the ordering-hazard audit; returns its findings."""
     findings: list[Finding] = []
-    _check_pool_seams(table, findings)
     for mod in table.modules.values():
         _check_unordered_accumulation(mod, findings)
         _check_unsorted_listing(mod, findings)

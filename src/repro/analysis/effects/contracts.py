@@ -1,0 +1,208 @@
+"""Declared-vs-inferred effect contract checking.
+
+:mod:`repro.util.effects` lets a function declare its effect ceiling
+(``@pure``, ``@effects("io")``).  This pass compares every declaration
+against the interprocedural inference and enforces that the functions
+crossing trust boundaries -- pool workers, registered predictor
+backends, engine policy steps -- carry one at all.
+
+Rules:
+
+``effects/contract-mismatch`` (error)
+    The inference *proves* an effect the declaration does not cover.
+    Because the inference is optimistic (unknown external calls
+    contribute nothing), a proven effect is real evidence, never an
+    approximation artifact.
+``effects/contract-unused`` (info)
+    The declaration claims an atom the inference cannot find any
+    trace of.  Often a stale contract after a refactor; harmless but
+    worth a look -- an over-wide contract weakens what callers may
+    assume.
+``effects/missing-contract`` (warning)
+    A function at a checked boundary (``map_sequences`` worker,
+    ``PredictorBackend(fit=...)`` target, ``SchedulingPolicy`` step
+    method) declares nothing.  The boundary is exactly where the
+    runtime relies on purity, so the contract must be explicit there.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.dataflow.symbols import FunctionInfo, SymbolTable
+from repro.analysis.effects.infer import EffectInference, is_exempt_module
+from repro.analysis.effects.lattice import effect_str
+from repro.analysis.effects.races import find_pool_seams
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["required_contracts", "check_contracts"]
+
+#: SchedulingPolicy step methods that must carry contracts.
+_POLICY_STEPS = ("begin_run", "plan_frame", "observe_frame")
+
+
+def _is_protocol_class(node: ast.ClassDef) -> bool:
+    for base in node.bases:
+        name = (
+            base.attr
+            if isinstance(base, ast.Attribute)
+            else base.id
+            if isinstance(base, ast.Name)
+            else None
+        )
+        if name == "Protocol":
+            return True
+    return False
+
+
+def _policy_step_quals(table: SymbolTable) -> dict[str, str]:
+    """Qualname -> reason for every concrete policy step method.
+
+    A *policy class* is any non-Protocol class implementing both
+    ``begin_run`` and ``plan_frame`` (the structural shape of
+    :class:`repro.runtime.engine.SchedulingPolicy`).
+    """
+    out: dict[str, str] = {}
+    for modname in sorted(table.modules):
+        mod = table.modules[modname]
+        if is_exempt_module(modname):
+            continue
+        for stmt in mod.tree.body:
+            if not isinstance(stmt, ast.ClassDef) or _is_protocol_class(stmt):
+                continue
+            methods = table.class_methods.get(f"{modname}.{stmt.name}", {})
+            if "begin_run" not in methods or "plan_frame" not in methods:
+                continue
+            for step in _POLICY_STEPS:
+                qual = methods.get(step)
+                if qual is not None:
+                    out[qual] = f"policy step of {modname}.{stmt.name}"
+    return out
+
+
+def _backend_fit_quals(table: SymbolTable) -> dict[str, str]:
+    """Qualname -> reason for every ``PredictorBackend(fit=...)`` target."""
+    out: dict[str, str] = {}
+    for modname in sorted(table.modules):
+        mod = table.modules[modname]
+        if is_exempt_module(modname):
+            continue
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            base = (
+                func.attr
+                if isinstance(func, ast.Attribute)
+                else func.id
+                if isinstance(func, ast.Name)
+                else None
+            )
+            if base != "PredictorBackend":
+                continue
+            for kw in node.keywords:
+                if kw.arg != "fit":
+                    continue
+                if isinstance(kw.value, (ast.Name, ast.Attribute)):
+                    dotted = mod.resolve_dotted(kw.value)
+                    if dotted is None:
+                        continue
+                    fn = table.lookup(dotted, mod)
+                    if fn is not None:
+                        out[fn.qualname] = "PredictorBackend fit function"
+    return out
+
+
+def required_contracts(table: SymbolTable) -> dict[str, str]:
+    """Every qualname that must declare a contract, with the reason."""
+    out: dict[str, str] = {}
+    for seam in find_pool_seams(table):
+        worker = seam.resolve_worker(table)
+        if worker is not None and not is_exempt_module(worker.module.modname):
+            out.setdefault(worker.qualname, "map_sequences pool worker")
+    out.update(_backend_fit_quals(table))
+    out.update(_policy_step_quals(table))
+    return out
+
+
+def _loc(fn: FunctionInfo) -> str:
+    return f"{fn.module.path}:{fn.node.lineno}"
+
+
+def check_contracts(
+    table: SymbolTable, inference: EffectInference
+) -> list[Finding]:
+    """Check declared contracts and required-contract coverage."""
+    findings: list[Finding] = []
+
+    for qual in sorted(inference.contracts):
+        declared = inference.contracts[qual]
+        fn = table.functions.get(qual)
+        if fn is None:
+            continue
+        inferred = inference.effects_of(qual)
+        excess = inferred - declared
+        if excess:
+            evidence = []
+            for atom in sorted(excess):
+                chain = inference.witness_chain(qual, atom)
+                if chain is not None:
+                    owner, w = chain
+                    where = (
+                        f"line {w.line}"
+                        if owner == qual
+                        else f"{owner} line {w.line}"
+                    )
+                    evidence.append(f"{atom}: {w.detail} at {where}")
+                else:
+                    evidence.append(atom)
+            findings.append(
+                Finding(
+                    rule="effects/contract-mismatch",
+                    severity=Severity.ERROR,
+                    location=_loc(fn),
+                    message=(
+                        f"{qual} declares {effect_str(declared)} but the "
+                        f"inference proves {effect_str(inferred)} "
+                        f"[{'; '.join(evidence)}]; widen the contract or "
+                        "remove the effect"
+                    ),
+                )
+            )
+        unused = declared - inferred
+        if unused:
+            findings.append(
+                Finding(
+                    rule="effects/contract-unused",
+                    severity=Severity.INFO,
+                    location=_loc(fn),
+                    message=(
+                        f"{qual} declares {effect_str(declared)} but the "
+                        f"inference finds no evidence of "
+                        f"{'+'.join(sorted(unused))}; narrow the contract "
+                        "if the effect is gone"
+                    ),
+                )
+            )
+
+    required = required_contracts(table)
+    for qual in sorted(required):
+        if qual in inference.contracts:
+            continue
+        fn = table.functions.get(qual)
+        if fn is None:
+            continue
+        findings.append(
+            Finding(
+                rule="effects/missing-contract",
+                severity=Severity.WARNING,
+                location=_loc(fn),
+                message=(
+                    f"{qual} is a {required[qual]} but declares no effect "
+                    "contract; add @pure or @effects(...) from "
+                    "repro.util.effects (inferred: "
+                    f"{effect_str(inference.effects_of(qual))})"
+                ),
+            )
+        )
+    return findings

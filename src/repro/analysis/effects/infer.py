@@ -1,0 +1,618 @@
+"""Interprocedural effect and purity inference.
+
+For every function in the project symbol table this pass computes an
+element of the effect lattice (:mod:`~repro.analysis.effects.lattice`)
+by
+
+1. extracting *direct* evidence from the function's own AST -- global
+   reads/writes, known-effect calls (``print``, ``os.environ``,
+   ``map_sequences``, ``time.time``, ...), in-place mutation of
+   parameters (with local alias tracking), and
+2. propagating summaries over the call graph: Tarjan SCCs are
+   condensed and processed in reverse topological order, so recursion
+   and mutual recursion converge in one inner fixpoint per cycle --
+   union is monotone on the powerset lattice, so the fixpoint exists
+   and is reached in at most ``|atoms|`` rounds per SCC.
+
+The inference is *optimistic about the outside world*: a call that
+does not resolve to a project function and does not match the curated
+effect tables contributes nothing.  That keeps the lattice meaningful
+(``numpy.sqrt`` does not poison every caller with "unknown") at the
+cost of missing effects hidden behind dynamic dispatch; the contract
+rules treat inferred effects as a *lower bound* accordingly.
+
+Sanctioned cross-process plumbing -- ``repro.parallel``, ``repro.obs``
+and ``repro.util.rng`` (named, seeded RNG streams) -- is effect-free
+by fiat: its internal state handling is the audited implementation of
+determinism, not a violation of it.
+
+Receiver mutation (``self.x = ...``) is deliberately *not* a lattice
+atom: policies and predictors are stateful objects by design.  What
+the pool seam needs is argument mutation, which is tracked separately
+per parameter (``EffectSummary.mutated_params``) and propagated
+through calls by position/keyword.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.effects.lattice import (
+    PURE,
+    EffectSet,
+    EffectSummary,
+    EffectWitness,
+)
+from repro.analysis.dataflow.symbols import FunctionInfo, SymbolTable
+
+__all__ = [
+    "EXEMPT_PREFIXES",
+    "CallEdge",
+    "EffectInference",
+    "infer_effects",
+    "declared_contract",
+    "is_exempt_module",
+]
+
+#: Module prefixes whose state handling is sanctioned plumbing.
+EXEMPT_PREFIXES = ("repro.parallel", "repro.obs", "repro.util.rng")
+
+#: Container / numpy methods that mutate their receiver in place.
+MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "extendleft",
+        # numpy in-place operations
+        "fill",
+        "sort",
+        "partition",
+        "put",
+        "itemset",
+        "resize",
+        "setflags",
+        "byteswap",
+    }
+)
+
+#: Bare-name calls with known effects.
+_IO_NAME_CALLS = frozenset({"print", "open", "input"})
+
+#: Attribute-call basenames that touch the filesystem (Path methods).
+_IO_ATTR_CALLS = frozenset(
+    {
+        "write_text",
+        "write_bytes",
+        "read_text",
+        "read_bytes",
+        "mkdir",
+        "rmdir",
+        "unlink",
+        "touch",
+    }
+)
+
+#: Resolved-dotted-name prefixes with known effects.
+_IO_DOTTED = (
+    "sys.stdout",
+    "sys.stderr",
+    "shutil.",
+    "logging.",
+    "tempfile.",
+    "os.remove",
+    "os.rename",
+    "os.makedirs",
+    "os.rmdir",
+    "json.dump",  # json.dump(obj, fp) writes a stream; json.dumps is pure
+    "pickle.dump",
+    "numpy.save",
+    "numpy.load",
+)
+
+_ENV_DOTTED = (
+    "os.environ",
+    "os.getenv",
+    "os.putenv",
+    "os.cpu_count",
+    "platform.",
+    "socket.gethostname",
+)
+
+_SPAWN_DOTTED = (
+    "subprocess.",
+    "multiprocessing.",
+    "concurrent.futures.",
+    "threading.",
+    "os.fork",
+    "os.system",
+    "os.popen",
+    "os.exec",
+    "os.spawn",
+)
+
+_SPAWN_BASENAMES = frozenset(
+    {"map_sequences", "ProcessPoolExecutor", "ThreadPoolExecutor", "Popen"}
+)
+
+_NONDET_DOTTED = (
+    "random.",
+    "numpy.random.",
+    "secrets.",
+    "uuid.uuid",
+    "os.urandom",
+    "time.time",
+    "time.monotonic",
+    "time.perf_counter",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+)
+
+#: ``json.dumps`` and friends that the prefixes above must not catch.
+_PURE_DOTTED_EXACT = frozenset({"json.dumps", "pickle.dumps", "numpy.loadtxt"})
+
+
+def is_exempt_module(modname: str) -> bool:
+    """Whether a module is sanctioned cross-process plumbing."""
+    return modname.startswith(EXEMPT_PREFIXES)
+
+
+def declared_contract(fn: FunctionInfo) -> EffectSet | None:
+    """The effect contract declared by ``@pure`` / ``@effects(...)``.
+
+    Matched syntactically by decorator basename, so both
+    ``@pure`` and ``@util_effects.pure`` resolve; ``None`` means the
+    function declares nothing.
+    """
+    for deco in fn.node.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        base = (
+            target.attr
+            if isinstance(target, ast.Attribute)
+            else target.id
+            if isinstance(target, ast.Name)
+            else None
+        )
+        if base == "pure" and not isinstance(deco, ast.Call):
+            return PURE
+        if base == "effects" and isinstance(deco, ast.Call):
+            atoms: set[str] = set()
+            for arg in deco.args:
+                if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                    atoms.add(arg.value)
+            return frozenset(atoms)
+    return None
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved project-internal call.
+
+    ``param_map`` pairs ``(callee_param, caller_param)`` for arguments
+    whose value is (an alias of) a caller parameter -- the conduit
+    along which parameter-mutation facts flow back to the caller.
+    """
+
+    callee: str
+    line: int
+    param_map: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass
+class _DirectInfo:
+    """Intraprocedural facts of one function."""
+
+    effects: set[str] = field(default_factory=set)
+    witnesses: list[EffectWitness] = field(default_factory=list)
+    mutated_params: set[str] = field(default_factory=set)
+    edges: list[CallEdge] = field(default_factory=list)
+
+    def witness(self, atom: str, line: int, detail: str, name: str = "") -> None:
+        self.effects.add(atom)
+        self.witnesses.append(
+            EffectWitness(atom=atom, line=line, detail=detail, name=name)
+        )
+
+
+def _local_bindings(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names bound locally (params + stores), shadowing module globals."""
+    a = fn.args
+    names = {p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)}
+    if a.vararg:
+        names.add(a.vararg.arg)
+    if a.kwarg:
+        names.add(a.kwarg.arg)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Global):
+            names.difference_update(node.names)
+    return names
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    """The root identifier of an Attribute/Subscript chain, if any."""
+    cur = expr
+    while isinstance(cur, (ast.Attribute, ast.Subscript)):
+        cur = cur.value
+    return cur.id if isinstance(cur, ast.Name) else None
+
+
+def _param_aliases(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, params: set[str]
+) -> dict[str, set[str]]:
+    """Local name -> parameters it may alias (chain-rooted assignments).
+
+    ``buf = item.data`` makes ``buf`` an alias of ``item``; aliases of
+    aliases resolve by iterating to a (small) fixpoint.  Calls break
+    the chain: ``x = item.copy()`` is a fresh object, not an alias.
+    """
+    aliases: dict[str, set[str]] = {p: {p} for p in params}
+    for _ in range(4):
+        changed = False
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            root = _root_name(node.value)
+            if root is None or root not in aliases:
+                continue
+            merged = aliases.get(target.id, set()) | aliases[root]
+            if merged != aliases.get(target.id):
+                aliases[target.id] = merged
+                changed = True
+        if not changed:
+            break
+    return aliases
+
+
+class _DirectExtractor:
+    """Extracts one function's direct effects, witnesses and edges."""
+
+    def __init__(self, fn: FunctionInfo, table: SymbolTable) -> None:
+        self.fn = fn
+        self.table = table
+        self.info = _DirectInfo()
+        self.globals_here = fn.module.mutable_globals
+        self.locals_here = _local_bindings(fn.node)
+        self.aliases = _param_aliases(fn.node, set(fn.params))
+        #: (global name, line) pairs already reported as mutations --
+        #: a load on the same line is the mutation itself, not a read.
+        self._mutated_at: set[tuple[str, int]] = set()
+
+    def run(self) -> _DirectInfo:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, ast.Global):
+                for name in node.names:
+                    self._mutated_at.add((name, node.lineno))
+                    self.info.witness(
+                        "writes-global", node.lineno, "rebinds", name
+                    )
+            elif isinstance(node, ast.Call):
+                self._call(node)
+            elif isinstance(node, (ast.Subscript, ast.Attribute)):
+                self._store_or_env(node)
+            elif isinstance(node, ast.AugAssign):
+                self._augassign(node)
+        # Global reads come last so mutation lines are known.
+        for node in ast.walk(self.fn.node):
+            if (
+                isinstance(node, ast.Name)
+                and isinstance(node.ctx, ast.Load)
+                and node.id in self.globals_here
+                and node.id not in self.locals_here
+                and (node.id, node.lineno) not in self._mutated_at
+            ):
+                self.info.witness(
+                    "reads-global", node.lineno, "reads", node.id
+                )
+        return self.info
+
+    # -- helpers --------------------------------------------------------------
+
+    def _params_aliased_by(self, expr: ast.expr) -> set[str]:
+        root = _root_name(expr)
+        if root is None:
+            return set()
+        return self.aliases.get(root, set())
+
+    def _mutates_params(self, expr: ast.expr, line: int, how: str) -> None:
+        for param in self._params_aliased_by(expr):
+            if param not in self.info.mutated_params:
+                self.info.mutated_params.add(param)
+                self.info.witnesses.append(
+                    EffectWitness(
+                        atom="mutates-param", line=line, detail=how, name=param
+                    )
+                )
+
+    def _call(self, node: ast.Call) -> None:
+        func = node.func
+        basename = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else None
+        )
+        dotted = self.fn.module.resolve_dotted(func)
+
+        # In-place mutation: receiver method or out= keyword.
+        if isinstance(func, ast.Attribute) and basename in MUTATING_METHODS:
+            self._mutates_params(
+                func.value, node.lineno, f".{basename}() in place"
+            )
+            root = _root_name(func.value)
+            if (
+                isinstance(func.value, ast.Name)
+                and root in self.globals_here
+                and root not in self.locals_here
+            ):
+                self._mutated_at.add((root, node.lineno))
+                self.info.witness(
+                    "writes-global", node.lineno, f".{basename}() on", root
+                )
+        for kw in node.keywords:
+            if kw.arg == "out":
+                self._mutates_params(kw.value, node.lineno, "out= target")
+
+        # Curated effect tables.
+        self._known_effects(node, basename, dotted)
+
+        # Project-internal call edge with parameter mapping.
+        callee = self.table.resolve_callee(self.fn, node)
+        if callee is not None and not is_exempt_module(callee.module.modname):
+            callee_params = callee.params
+            mapping: list[tuple[str, str]] = []
+            for idx, arg in enumerate(node.args):
+                if isinstance(arg, ast.Starred) or idx >= len(callee_params):
+                    continue
+                for param in self._params_aliased_by(arg):
+                    mapping.append((callee_params[idx], param))
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                for param in self._params_aliased_by(kw.value):
+                    mapping.append((kw.arg, param))
+            self.info.edges.append(
+                CallEdge(
+                    callee=callee.qualname,
+                    line=node.lineno,
+                    param_map=tuple(sorted(set(mapping))),
+                )
+            )
+
+    def _known_effects(
+        self, node: ast.Call, basename: str | None, dotted: str | None
+    ) -> None:
+        line = node.lineno
+        if basename in _IO_NAME_CALLS and dotted == basename:
+            self.info.witness("io", line, f"calls {basename}()")
+            return
+        if basename in _IO_ATTR_CALLS and isinstance(node.func, ast.Attribute):
+            self.info.witness("io", line, f"calls .{basename}()")
+            return
+        if basename in _SPAWN_BASENAMES:
+            self.info.witness("spawns", line, f"calls {basename}()")
+            return
+        if dotted is None or dotted in _PURE_DOTTED_EXACT:
+            return
+        if dotted.startswith(_IO_DOTTED):
+            self.info.witness("io", line, f"calls {dotted}")
+        elif dotted.startswith(_ENV_DOTTED):
+            self.info.witness("env", line, f"reads {dotted}")
+        elif dotted.startswith(_SPAWN_DOTTED):
+            self.info.witness("spawns", line, f"calls {dotted}")
+        elif dotted.startswith(_NONDET_DOTTED):
+            self.info.witness("nondet", line, f"calls {dotted}")
+
+    def _store_or_env(self, node: ast.Subscript | ast.Attribute) -> None:
+        # os.environ[...] access outside a call position.
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            dotted = self.fn.module.resolve_dotted(node)
+            if dotted is not None and dotted.startswith("os.environ"):
+                self.info.witness("env", node.lineno, "reads os.environ")
+        if not isinstance(node.ctx, (ast.Store, ast.Del)):
+            return
+        self._mutates_params(node.value, node.lineno, "stores into")
+        value = node.value
+        if (
+            isinstance(value, ast.Name)
+            and value.id in self.globals_here
+            and value.id not in self.locals_here
+        ):
+            self._mutated_at.add((value.id, node.lineno))
+            self.info.witness(
+                "writes-global", node.lineno, "writes into", value.id
+            )
+
+    def _augassign(self, node: ast.AugAssign) -> None:
+        # ``a[i] += x`` / ``a.field += x`` mutate the aliased object.
+        # A bare-name ``a += x`` is a rebind for scalars, so it is
+        # deliberately not counted (precision over recall).
+        if isinstance(node.target, (ast.Subscript, ast.Attribute)):
+            self._mutates_params(
+                node.target.value, node.lineno, "augmented assignment into"
+            )
+
+
+@dataclass
+class EffectInference:
+    """Whole-program inference result over one symbol table."""
+
+    table: SymbolTable
+    summaries: dict[str, EffectSummary]
+    edges: dict[str, tuple[CallEdge, ...]]
+    contracts: dict[str, EffectSet]
+
+    def effects_of(self, qualname: str) -> EffectSet:
+        s = self.summaries.get(qualname)
+        return s.effects if s is not None else PURE
+
+    def reachable(self, qualname: str) -> list[str]:
+        """Project functions reachable from ``qualname`` (inclusive),
+        in deterministic BFS order, stopping at exempt modules."""
+        if qualname not in self.summaries:
+            return []
+        seen = [qualname]
+        seen_set = {qualname}
+        queue = [qualname]
+        while queue:
+            cur = queue.pop(0)
+            for edge in self.edges.get(cur, ()):
+                if edge.callee not in seen_set and edge.callee in self.summaries:
+                    seen_set.add(edge.callee)
+                    seen.append(edge.callee)
+                    queue.append(edge.callee)
+        return seen
+
+    def witness_chain(
+        self, qualname: str, atom: str
+    ) -> tuple[str, EffectWitness] | None:
+        """First (owner, witness) pair proving ``atom`` from ``qualname``."""
+        for reached in self.reachable(qualname):
+            summary = self.summaries[reached]
+            w = summary.witness_for(atom)
+            if w is not None:
+                return reached, w
+        return None
+
+
+def _tarjan_sccs(
+    nodes: list[str], edges: dict[str, tuple[CallEdge, ...]]
+) -> list[list[str]]:
+    """Strongly connected components, in reverse topological order.
+
+    Iterative Tarjan (the call graph can be deeper than the
+    interpreter's recursion limit).  Tarjan emits SCCs children-first,
+    which is exactly the order summary propagation wants.
+    """
+    index: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    sccs: list[list[str]] = []
+    counter = 0
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[str, int]] = [(root, 0)]
+        while work:
+            node, i = work[-1]
+            if i == 0:
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            succs = [e.callee for e in edges.get(node, ())]
+            descended = False
+            while i < len(succs):
+                succ = succs[i]
+                i += 1
+                if succ not in index:
+                    work[-1] = (node, i)
+                    work.append((succ, 0))
+                    descended = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if descended:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                scc: list[str] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    scc.append(member)
+                    if member == node:
+                        break
+                sccs.append(scc)
+    return sccs
+
+
+def infer_effects(table: SymbolTable) -> EffectInference:
+    """Run the full inference: direct extraction + SCC fixpoint."""
+    direct: dict[str, _DirectInfo] = {}
+    contracts: dict[str, EffectSet] = {}
+    for qual, fn in table.functions.items():
+        if is_exempt_module(fn.module.modname):
+            direct[qual] = _DirectInfo()
+        else:
+            direct[qual] = _DirectExtractor(fn, table).run()
+            declared = declared_contract(fn)
+            if declared is not None:
+                contracts[qual] = declared
+
+    edges = {
+        qual: tuple(e for e in info.edges if e.callee in direct)
+        for qual, info in direct.items()
+    }
+    nodes = sorted(direct)
+
+    # -- effect atoms: one pass over the condensation ------------------------
+    effects: dict[str, set[str]] = {q: set(direct[q].effects) for q in nodes}
+    sccs = _tarjan_sccs(nodes, edges)
+    scc_of: dict[str, int] = {}
+    for i, scc in enumerate(sccs):
+        for member in scc:
+            scc_of[member] = i
+    for i, scc in enumerate(sccs):
+        merged: set[str] = set()
+        for member in scc:
+            merged |= effects[member]
+            for edge in edges.get(member, ()):
+                if scc_of.get(edge.callee) != i:
+                    merged |= effects[edge.callee]
+        for member in scc:
+            effects[member] = merged
+
+    # -- parameter mutation: per-SCC inner fixpoint --------------------------
+    mutated: dict[str, set[str]] = {q: set(direct[q].mutated_params) for q in nodes}
+    for i, scc in enumerate(sccs):
+        for _ in range(len(scc) + 1):
+            changed = False
+            for member in scc:
+                for edge in edges.get(member, ()):
+                    callee_mut = mutated.get(edge.callee, set())
+                    for callee_param, caller_param in edge.param_map:
+                        if (
+                            callee_param in callee_mut
+                            and caller_param not in mutated[member]
+                        ):
+                            mutated[member].add(caller_param)
+                            changed = True
+            if not changed:
+                break
+
+    summaries = {
+        qual: EffectSummary(
+            qualname=qual,
+            effects=frozenset(effects[qual]),
+            witnesses=list(direct[qual].witnesses),
+            mutated_params=frozenset(mutated[qual]),
+        )
+        for qual in nodes
+    }
+    return EffectInference(
+        table=table, summaries=summaries, edges=edges, contracts=contracts
+    )

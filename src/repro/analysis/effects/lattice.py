@@ -1,0 +1,107 @@
+"""The effect lattice: sets of effect atoms ordered by inclusion.
+
+An *effect set* is a ``frozenset`` over the closed atom vocabulary
+declared in :mod:`repro.util.effects` (``reads-global``,
+``writes-global``, ``io``, ``env``, ``spawns``, ``nondet``).  The
+lattice is the powerset lattice: bottom is ``pure`` (the empty set),
+join is union, and ``a <= b`` iff ``a <= b`` as sets.  Inference only
+ever moves *up* the lattice (union is monotone), which is what makes
+the SCC fixpoint in :mod:`~repro.analysis.effects.infer` terminate.
+
+Besides the coarse atoms, the inference records *witnesses* -- one
+:class:`EffectWitness` per syntactic evidence site -- so findings can
+say "``io`` because ``print()`` at line 12", and the pool-seam race
+detector can report every global-mutation site a worker reaches, not
+just the fact that one exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.effects import EFFECT_ATOMS
+
+__all__ = [
+    "EffectSet",
+    "PURE",
+    "EffectWitness",
+    "EffectSummary",
+    "effect_str",
+    "join",
+]
+
+#: An element of the lattice: a set of effect atoms.
+EffectSet = frozenset[str]
+
+#: Bottom of the lattice: no process-global effects.
+PURE: EffectSet = frozenset()
+
+
+def effect_str(effects: EffectSet) -> str:
+    """Human rendering: ``pure`` for bottom, sorted atoms otherwise."""
+    return "+".join(sorted(effects)) if effects else "pure"
+
+
+def join(*sets: EffectSet) -> EffectSet:
+    """Least upper bound (set union) of any number of effect sets."""
+    out: set[str] = set()
+    for s in sets:
+        out |= s
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class EffectWitness:
+    """One piece of syntactic evidence for an effect atom.
+
+    Attributes
+    ----------
+    atom:
+        Which lattice atom the evidence supports.
+    line:
+        Line in the function's module.
+    detail:
+        Short human phrase (``"calls print()"``, ``".append() on
+        module global 'results'"``).
+    name:
+        The global/parameter name involved, when one is ("" otherwise)
+        -- lets the race detector group witnesses per shared binding.
+    """
+
+    atom: str
+    line: int
+    detail: str
+    name: str = ""
+
+
+@dataclass
+class EffectSummary:
+    """Per-function inference result.
+
+    ``effects`` is the transitive set (own evidence joined with every
+    resolvable callee's summary); ``witnesses`` holds only the
+    function's *direct* evidence, so callers walking the call graph
+    can attribute each witness to the function that owns it.
+    ``mutated_params`` names parameters the function mutates in place,
+    directly or by passing them to a callee that does -- the alias
+    fact the pool-seam race detector runs on.
+    """
+
+    qualname: str
+    effects: EffectSet = PURE
+    witnesses: list[EffectWitness] = field(default_factory=list)
+    mutated_params: frozenset[str] = frozenset()
+
+    def witness_for(self, atom: str) -> EffectWitness | None:
+        """The first direct witness of ``atom``, if this function has one."""
+        for w in self.witnesses:
+            if w.atom == atom:
+                return w
+        return None
+
+
+def validate_atoms(effects: EffectSet) -> None:
+    """Raise if ``effects`` strays outside the closed vocabulary."""
+    unknown = effects - EFFECT_ATOMS
+    if unknown:
+        raise ValueError(f"unknown effect atom(s): {sorted(unknown)}")

@@ -1,0 +1,267 @@
+"""Pool-seam race detector over inferred effect summaries.
+
+:func:`repro.parallel.map_sequences` promises bit-identical merges
+versus the serial path *provided the worker is a pure function of its
+pickled argument*.  Earlier revisions checked that contract with a
+depth-bounded syntactic walk in ``dataflow/determinism``; this module
+supersedes it with the interprocedural effect summaries: unbounded
+(SCC-correct) propagation, alias-aware argument-mutation tracking and
+the full effect lattice.
+
+Rules (ids retained from the superseded audit where behavior matches):
+
+``dataflow/pool-worker-closure`` (error)
+    The worker handed to ``map_sequences`` is a lambda or a function
+    nested in the calling scope: unpicklable under ``spawn``, captures
+    live parent state under ``fork``.
+``dataflow/pool-global-mutation`` (error)
+    The worker -- or anything it transitively calls -- mutates a
+    mutable module-level binding.  Under a pool the mutation lands in
+    a forked copy and is silently lost; inline it persists, so the
+    two paths diverge.  One finding per mutation site.
+``dataflow/pool-shared-state`` (warning)
+    The worker transitively *reads* a mutable module global; the read
+    is reproducible only while nothing mutates the global between
+    runs.
+``dataflow/pool-arg-mutation`` (error)
+    The worker mutates its argument in place (directly or through a
+    callee, via any local alias).  Pooled runs mutate the pickled
+    copy while inline runs mutate the caller's object, so the two
+    paths diverge in caller-visible state.
+``dataflow/pool-impure-worker`` (warning)
+    The worker's inferred effects include ``io``, ``env``, ``spawns``
+    or ``nondet``: output interleaving, environment reads after fork,
+    nested pools and unseeded entropy are all scheduling-dependent.
+
+Workers that cross the seam through sanctioned plumbing
+(``repro.obs`` telemetry shipping, ``repro.util.rng`` named streams)
+stay clean: exempt modules contribute no witnesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.dataflow.symbols import FunctionInfo, ModuleInfo, SymbolTable
+from repro.analysis.effects.infer import EffectInference, is_exempt_module
+from repro.analysis.effects.lattice import effect_str
+from repro.analysis.findings import Finding, Severity
+
+__all__ = ["PoolSeam", "find_pool_seams", "check_races"]
+
+#: Worker effect atoms that make pooled scheduling observable.
+_IMPURE_ATOMS = frozenset({"io", "env", "spawns", "nondet"})
+
+
+class PoolSeam:
+    """One ``map_sequences`` call site and its worker expression."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        caller: FunctionInfo,
+        call: ast.Call,
+        worker: ast.expr,
+    ) -> None:
+        self.module = module
+        self.caller = caller
+        self.call = call
+        self.worker = worker
+        self.location = f"{module.path}:{call.lineno}"
+
+    def resolve_worker(self, table: SymbolTable) -> FunctionInfo | None:
+        """The module-level function the worker expression names."""
+        if isinstance(self.worker, (ast.Name, ast.Attribute)):
+            dotted = self.module.resolve_dotted(self.worker)
+            if dotted is not None:
+                return table.lookup(dotted, self.module)
+        return None
+
+
+def _is_map_sequences(mod: ModuleInfo, call: ast.Call) -> bool:
+    func = call.func
+    base = (
+        func.attr
+        if isinstance(func, ast.Attribute)
+        else func.id
+        if isinstance(func, ast.Name)
+        else None
+    )
+    if base != "map_sequences":
+        return False
+    dotted = mod.resolve_dotted(func)
+    return dotted is None or dotted.startswith("repro.") or dotted == "map_sequences"
+
+
+def _worker_expr(call: ast.Call) -> ast.expr | None:
+    if call.args:
+        return call.args[0]
+    for kw in call.keywords:
+        if kw.arg == "worker":
+            return kw.value
+    return None
+
+
+def _nested_def_names(fn: FunctionInfo) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(fn.node):
+        if node is not fn.node and isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            names.add(node.name)
+    return names
+
+
+def find_pool_seams(table: SymbolTable) -> Iterator[PoolSeam]:
+    """Every ``map_sequences`` call site outside exempt modules."""
+    for modname in sorted(table.modules):
+        mod = table.modules[modname]
+        if is_exempt_module(modname):
+            continue
+        for fn in table.functions.values():
+            if fn.module is not mod:
+                continue
+            for node in ast.walk(fn.node):
+                if isinstance(node, ast.Call) and _is_map_sequences(mod, node):
+                    worker = _worker_expr(node)
+                    if worker is not None:
+                        yield PoolSeam(mod, fn, node, worker)
+
+
+def _closure_finding(seam: PoolSeam) -> Finding:
+    kind = (
+        "lambda"
+        if isinstance(seam.worker, ast.Lambda)
+        else f"function nested in {seam.caller.qualname}"
+    )
+    return Finding(
+        rule="dataflow/pool-worker-closure",
+        severity=Severity.ERROR,
+        location=seam.location,
+        message=(
+            f"map_sequences worker is a {kind}; workers must be "
+            "module-level callables (unpicklable under spawn, captures "
+            "live parent state under fork)"
+        ),
+    )
+
+
+def _audit_worker(
+    seam: PoolSeam,
+    worker: FunctionInfo,
+    inference: EffectInference,
+    findings: list[Finding],
+) -> None:
+    table = inference.table
+    # Global writes and reads: one finding per witness site, reported
+    # at the function that owns the evidence.
+    for qual in inference.reachable(worker.qualname):
+        fn = table.functions[qual]
+        summary = inference.summaries[qual]
+        for w in summary.witnesses:
+            if w.atom == "writes-global":
+                findings.append(
+                    Finding(
+                        rule="dataflow/pool-global-mutation",
+                        severity=Severity.ERROR,
+                        location=f"{fn.module.path}:{w.line}",
+                        message=(
+                            f"{qual} (reached from pool worker at "
+                            f"{seam.location}) {w.detail} module global "
+                            f"{w.name!r}; under a process pool the mutation "
+                            "is lost in the forked copy, so pooled and "
+                            "inline runs diverge"
+                        ),
+                    )
+                )
+            elif w.atom == "reads-global":
+                findings.append(
+                    Finding(
+                        rule="dataflow/pool-shared-state",
+                        severity=Severity.WARNING,
+                        location=f"{fn.module.path}:{w.line}",
+                        message=(
+                            f"{qual} (reached from pool worker at "
+                            f"{seam.location}) reads mutable module global "
+                            f"{w.name!r}; workers must be pure functions of "
+                            "their pickled argument"
+                        ),
+                    )
+                )
+
+    # Argument mutation: the worker's own parameters only (a callee
+    # mutating its params is fine unless the worker's argument flows
+    # there, which the interprocedural summary already folds in).
+    summary = inference.summaries[worker.qualname]
+    for param in sorted(summary.mutated_params):
+        w = next(
+            (
+                x
+                for x in summary.witnesses
+                if x.atom == "mutates-param" and x.name == param
+            ),
+            None,
+        )
+        site = w.line if w is not None else worker.node.lineno
+        how = f" ({w.detail})" if w is not None else " (via a callee)"
+        findings.append(
+            Finding(
+                rule="dataflow/pool-arg-mutation",
+                severity=Severity.ERROR,
+                location=f"{worker.module.path}:{site}",
+                message=(
+                    f"{worker.qualname} mutates its argument "
+                    f"{param!r}{how}; under a pool the mutation lands in "
+                    "the pickled copy while the inline path mutates the "
+                    "caller's object, so the two paths diverge"
+                ),
+            )
+        )
+
+    impure = summary.effects & _IMPURE_ATOMS
+    if impure:
+        chains = []
+        for atom in sorted(impure):
+            chain = inference.witness_chain(worker.qualname, atom)
+            if chain is not None:
+                owner, w = chain
+                chains.append(f"{atom}: {w.detail} in {owner} line {w.line}")
+            else:
+                chains.append(atom)
+        findings.append(
+            Finding(
+                rule="dataflow/pool-impure-worker",
+                severity=Severity.WARNING,
+                location=f"{worker.module.path}:{worker.node.lineno}",
+                message=(
+                    f"pool worker {worker.qualname} (at {seam.location}) has "
+                    f"inferred effects {effect_str(summary.effects)} "
+                    f"[{'; '.join(chains)}]; pooled scheduling makes these "
+                    "observable -- keep workers pure or route through the "
+                    "sanctioned obs/rng plumbing"
+                ),
+            )
+        )
+
+
+def check_races(table: SymbolTable, inference: EffectInference) -> list[Finding]:
+    """Audit every pool seam; returns the findings."""
+    findings: list[Finding] = []
+    audited: set[tuple[str, str]] = set()
+    for seam in find_pool_seams(table):
+        nested = _nested_def_names(seam.caller)
+        if isinstance(seam.worker, ast.Lambda) or (
+            isinstance(seam.worker, ast.Name) and seam.worker.id in nested
+        ):
+            findings.append(_closure_finding(seam))
+            continue
+        worker = seam.resolve_worker(table)
+        if worker is None or is_exempt_module(worker.module.modname):
+            continue
+        key = (seam.location, worker.qualname)
+        if key in audited:
+            continue
+        audited.add(key)
+        _audit_worker(seam, worker, inference, findings)
+    return findings

@@ -1,0 +1,391 @@
+"""Incremental analysis: re-analyze only what a change can affect.
+
+The whole-program passes (dataflow, effects, perf) are fast enough
+for CI but not for a pre-commit hook that runs on every commit.  This
+module caches per-module findings keyed by file content hash under
+``.repro-analysis-cache/`` and, on re-run, re-analyzes only
+
+* modules whose content hash changed, plus
+* their reverse-import closure (importers, transitively) -- the
+  modules whose *own* analysis results can change,
+
+parsing additionally the forward-import closure of that dirty set so
+the interprocedural passes see their callees.  Findings for dirty
+modules are recomputed and merged with cached findings for everything
+else.  A warm re-run on an unchanged tree analyzes zero modules and
+does nothing but hash files and load one JSON document.
+
+The cache is *salted* with a hash over the analysis implementation
+itself (every source file of ``repro.analysis`` plus the
+``repro.util.effects`` contract vocabulary) and the enabled pass set,
+so editing a rule -- or toggling ``--no-effects`` -- invalidates every
+entry at once rather than serving findings from an older rule set.
+
+Approximation, by design: interprocedural facts that are merged
+*project-wide* (``attr_units`` unit votes; cross-module race witnesses
+reported into an unchanged callee module) are recomputed from the
+partial symbol table only, so an incremental run can differ from a
+full run in rare cross-module cases.  The full (non-incremental) run
+in CI remains the gating authority; the incremental path is the
+pre-commit convenience.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.astlint import lint_paths
+from repro.analysis.dataflow import run_dataflow
+from repro.analysis.dataflow.symbols import (
+    SymbolTable,
+    _module_name,
+    iter_source_files,
+)
+from repro.analysis.effects import check_perf, infer_effects, run_effects
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.rules import default_rules
+from repro.analysis.suppress import apply_suppressions, scan_suppressions
+from repro.obs.clock import monotonic_s
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ALL_PASSES",
+    "AnalysisStats",
+    "IncrementalResult",
+    "analysis_salt",
+    "run_incremental",
+]
+
+#: Default cache location (git-ignored; persisted across CI runs).
+DEFAULT_CACHE_DIR = Path(".repro-analysis-cache")
+
+#: Passes the incremental engine knows how to cache per module.
+ALL_PASSES = ("lint", "dataflow", "effects", "perf")
+
+_CACHE_VERSION = 1
+_CACHE_FILE = "modules.json"
+
+
+@dataclass
+class AnalysisStats:
+    """Wall time per pass and cache behavior of one run."""
+
+    #: pass name -> wall seconds (insertion order = execution order).
+    pass_seconds: dict[str, float] = field(default_factory=dict)
+    #: Paths re-analyzed this run (the dirty set), sorted.
+    analyzed: list[str] = field(default_factory=list)
+    #: Modules whose findings were served from the cache.
+    cache_hits: int = 0
+    #: Modules that had to be re-analyzed (== len(analyzed)).
+    cache_misses: int = 0
+
+    def render(self) -> str:
+        lines = ["analysis stats:"]
+        for name, seconds in self.pass_seconds.items():
+            lines.append(f"  pass {name:12s} {seconds * 1e3:9.1f} ms")
+        total = sum(self.pass_seconds.values())
+        lines.append(f"  total         {total * 1e3:9.1f} ms")
+        lines.append(
+            f"  cache: {self.cache_hits} hit(s), "
+            f"{self.cache_misses} miss(es); "
+            f"{len(self.analyzed)} module(s) analyzed"
+        )
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "pass_seconds": self.pass_seconds,
+                "analyzed": self.analyzed,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+@dataclass
+class IncrementalResult:
+    """Findings plus the run's cache/timing statistics."""
+
+    findings: list[Finding]
+    stats: AnalysisStats
+
+
+class _Timer:
+    """Times one pass into ``stats.pass_seconds`` (obs clock, so the
+    ``lint/direct-time-call`` rule stays clean)."""
+
+    def __init__(self, stats: AnalysisStats, name: str) -> None:
+        self.stats = stats
+        self.name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._t0 = monotonic_s()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stats.pass_seconds[self.name] = (
+            self.stats.pass_seconds.get(self.name, 0.0)
+            + monotonic_s()
+            - self._t0
+        )
+
+
+def _sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def analysis_salt(passes: Sequence[str]) -> str:
+    """Hash of the analysis implementation + enabled passes.
+
+    Any edit to the analysis package (a rule tweak, a new pass) or to
+    the contract vocabulary changes the salt and invalidates the whole
+    cache -- stale findings can never outlive the rules that made them.
+    """
+    import repro.util.effects as util_effects
+
+    h = hashlib.sha256()
+    h.update(f"v{_CACHE_VERSION}".encode())
+    h.update(("+".join(passes)).encode())
+    analysis_dir = Path(__file__).resolve().parent
+    sources = sorted(analysis_dir.rglob("*.py"))
+    sources.append(Path(util_effects.__file__).resolve())
+    for src in sources:
+        try:
+            h.update(src.read_bytes())
+        except OSError:
+            continue
+    return h.hexdigest()
+
+
+def _finding_to_dict(f: Finding) -> dict[str, str]:
+    return {
+        "rule": f.rule,
+        "severity": f.severity.name.lower(),
+        "location": f.location,
+        "message": f.message,
+    }
+
+
+def _finding_from_dict(d: dict[str, str]) -> Finding:
+    return Finding(
+        rule=d["rule"],
+        severity=Severity.parse(d["severity"]),
+        location=d["location"],
+        message=d["message"],
+    )
+
+
+def _location_path(location: str) -> str:
+    head, sep, tail = location.rpartition(":")
+    return head if sep and tail.isdigit() else location
+
+
+def _module_deps(tree: ast.Module, known: dict[str, str]) -> list[str]:
+    """Project modules imported by ``tree`` (absolute imports only),
+    resolved against the ``modname -> path`` map of analyzed files."""
+    deps: set[str] = set()
+
+    def resolve(dotted: str) -> None:
+        parts = dotted.split(".")
+        while parts:
+            cand = ".".join(parts)
+            if cand in known:
+                deps.add(cand)
+                return
+            parts.pop()
+
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                resolve(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                if alias.name != "*":
+                    resolve(f"{node.module}.{alias.name}")
+            resolve(node.module)
+    return sorted(deps)
+
+
+def _load_cache(cache_dir: Path, salt: str) -> dict[str, dict]:
+    """Cached per-module entries, or empty on any mismatch/corruption."""
+    path = cache_dir / _CACHE_FILE
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return {}
+    if not isinstance(doc, dict) or doc.get("salt") != salt:
+        return {}
+    modules = doc.get("modules")
+    return modules if isinstance(modules, dict) else {}
+
+
+def _write_cache(cache_dir: Path, salt: str, modules: dict[str, dict]) -> None:
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(
+        {"version": _CACHE_VERSION, "salt": salt, "modules": modules},
+        indent=1,
+        sort_keys=True,
+    )
+    (cache_dir / _CACHE_FILE).write_text(payload, encoding="utf-8")
+
+
+def _closure(seeds: set[str], edges: dict[str, set[str]]) -> set[str]:
+    """Transitive closure of ``seeds`` over ``edges`` (inclusive)."""
+    out = set(seeds)
+    work = list(seeds)
+    while work:
+        cur = work.pop()
+        for nxt in edges.get(cur, ()):
+            if nxt not in out:
+                out.add(nxt)
+                work.append(nxt)
+    return out
+
+
+def _run_passes(
+    files: Sequence[Path],
+    table: SymbolTable,
+    passes: Sequence[str],
+    stats: AnalysisStats,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    if "lint" in passes:
+        with _Timer(stats, "lint"):
+            findings += lint_paths(files, default_rules())
+    if "dataflow" in passes:
+        with _Timer(stats, "dataflow"):
+            findings += run_dataflow(files, table=table)
+    if "effects" in passes or "perf" in passes:
+        with _Timer(stats, "effects"):
+            inference = infer_effects(table) if "effects" in passes else None
+        if "effects" in passes and inference is not None:
+            with _Timer(stats, "effects"):
+                findings += run_effects(table, inference)
+        if "perf" in passes:
+            with _Timer(stats, "perf"):
+                findings += check_perf(table)
+    return findings
+
+
+def run_incremental(
+    roots: Iterable[Path],
+    cache_dir: Path = DEFAULT_CACHE_DIR,
+    passes: Sequence[str] = ALL_PASSES,
+) -> IncrementalResult:
+    """Run the per-module passes incrementally over ``roots``."""
+    stats = AnalysisStats()
+    salt = analysis_salt(passes)
+
+    with _Timer(stats, "hash"):
+        files = iter_source_files(list(roots))
+        contents: dict[str, bytes] = {}
+        hashes: dict[str, str] = {}
+        mod_of_path: dict[str, str] = {}
+        path_of_mod: dict[str, str] = {}
+        for f in files:
+            p = str(f)
+            try:
+                data = f.read_bytes()
+            except OSError:
+                continue
+            contents[p] = data
+            hashes[p] = _sha256(data)
+            modname = _module_name(f)
+            mod_of_path[p] = modname
+            path_of_mod[modname] = p
+        cache = _load_cache(cache_dir, salt)
+
+    changed = {
+        p
+        for p, digest in hashes.items()
+        if cache.get(p, {}).get("hash") != digest
+    }
+
+    # Import graph: deps of changed modules come from a fresh parse,
+    # deps of unchanged modules from the cache.
+    with _Timer(stats, "deps"):
+        deps_of: dict[str, set[str]] = {}
+        for p in hashes:
+            modname = mod_of_path[p]
+            if p in changed:
+                try:
+                    tree = ast.parse(contents[p].decode("utf-8"), filename=p)
+                except (SyntaxError, UnicodeDecodeError):
+                    deps_of[modname] = set()
+                    continue
+                deps_of[modname] = set(_module_deps(tree, path_of_mod))
+            else:
+                deps_of[modname] = {
+                    d
+                    for d in cache.get(p, {}).get("deps", ())
+                    if d in path_of_mod
+                }
+        importers_of: dict[str, set[str]] = {m: set() for m in deps_of}
+        for m, deps in deps_of.items():
+            for d in deps:
+                importers_of.setdefault(d, set()).add(m)
+
+    # Dirty = changed + everyone importing them (their analysis can
+    # change); parse additionally what the dirty set imports (context
+    # for the interprocedural passes).
+    changed_mods = {mod_of_path[p] for p in changed}
+    dirty_mods = _closure(changed_mods, importers_of)
+    parse_mods = _closure(dirty_mods, deps_of)
+    dirty_paths = {path_of_mod[m] for m in dirty_mods}
+    parse_paths = sorted(path_of_mod[m] for m in parse_mods)
+
+    stats.analyzed = sorted(dirty_paths)
+    stats.cache_misses = len(dirty_paths)
+    stats.cache_hits = len(hashes) - len(dirty_paths)
+
+    fresh: list[Finding] = []
+    if dirty_paths:
+        with _Timer(stats, "parse"):
+            table = SymbolTable()
+            for p in parse_paths:
+                table.add_module(
+                    p, mod_of_path[p], contents[p].decode("utf-8")
+                )
+        fresh = _run_passes(
+            [Path(p) for p in sorted(dirty_paths)], table, passes, stats
+        )
+        fresh = [f for f in fresh if _location_path(f.location) in dirty_paths]
+        with _Timer(stats, "suppress"):
+            markers = scan_suppressions(Path(p) for p in sorted(dirty_paths))
+            fresh = apply_suppressions(fresh, markers)
+
+    # Merge: fresh findings for dirty modules, cached for the rest.
+    fresh_by_path: dict[str, list[Finding]] = {p: [] for p in dirty_paths}
+    for f in fresh:
+        fresh_by_path.setdefault(_location_path(f.location), []).append(f)
+
+    findings: list[Finding] = []
+    modules_doc: dict[str, dict] = {}
+    for p in sorted(hashes):
+        modname = mod_of_path[p]
+        if p in dirty_paths:
+            module_findings = fresh_by_path.get(p, [])
+        else:
+            module_findings = [
+                _finding_from_dict(d)
+                for d in cache.get(p, {}).get("findings", ())
+            ]
+        findings.extend(module_findings)
+        modules_doc[p] = {
+            "hash": hashes[p],
+            "deps": sorted(deps_of.get(modname, ())),
+            "findings": [_finding_to_dict(f) for f in module_findings],
+        }
+
+    with _Timer(stats, "cache-write"):
+        _write_cache(cache_dir, salt, modules_doc)
+    return IncrementalResult(findings=findings, stats=stats)

@@ -32,6 +32,7 @@ from repro.core.computation import (
     TaskTimePredictor,
 )
 from repro.core.markov import AdaptiveQuantizer, MarkovChain
+from repro.util.effects import pure
 
 if TYPE_CHECKING:
     from repro.profiling.traces import TraceSet
@@ -144,18 +145,21 @@ def predictor_from_dict(d: dict[str, Any]) -> TaskTimePredictor:
     return backend.from_dict(d)
 
 
+@pure
 def _fit_constant(
     traces: "TraceSet", task: str, **options: Any
 ) -> ConstantPredictor:
     return ConstantPredictor.fit(traces.task_series(task))
 
 
+@pure
 def _fit_last_value(
     traces: "TraceSet", task: str, **options: Any
 ) -> LastValuePredictor:
     return LastValuePredictor.fit(traces.task_series(task))
 
 
+@pure
 def _fit_markov(
     traces: "TraceSet", task: str, *, online_update: bool = False, **options: Any
 ) -> MarkovPredictor:
@@ -164,6 +168,7 @@ def _fit_markov(
     )
 
 
+@pure
 def _fit_ewma_markov(
     traces: "TraceSet",
     task: str,
@@ -177,6 +182,7 @@ def _fit_ewma_markov(
     )
 
 
+@pure
 def _fit_roi_markov(
     traces: "TraceSet", task: str, *, online_update: bool = False, **options: Any
 ) -> RoiLinearMarkovPredictor:
@@ -185,6 +191,7 @@ def _fit_roi_markov(
     )
 
 
+@pure
 def _fit_scenario_conditioned(
     traces: "TraceSet",
     task: str,

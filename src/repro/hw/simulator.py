@@ -276,6 +276,8 @@ class PlatformSimulator:
                 f"{self.platform.n_cores} cores"
             )
         scale = self.cost_model.pixel_scale
+        # Hoisted out of the task loop (loop-invariant attribute chain).
+        l2_bus_bw = self.platform.l2_bus_bw
 
         timings: list[TaskTiming] = []
         task_ms: dict[str, float] = {}
@@ -329,7 +331,7 @@ class PlatformSimulator:
                     report.bytes_in * scale * self.halo_fraction * (n_parts - 1)
                 )
                 self.ledger.record("bus", halo_bytes)
-                halo_ms = halo_bytes / self.platform.l2_bus_bw * MS_PER_S
+                halo_ms = halo_bytes / l2_bus_bw * MS_PER_S
                 slice_ms = compute_ms / n_parts + halo_ms
                 overhead_ms = self.fork_ms + self.join_ms
                 fork_done = max(prev_end + comm_ms, core_free[cores[0]]) + self.fork_ms

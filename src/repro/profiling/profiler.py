@@ -23,6 +23,7 @@ from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
 from repro.parallel import map_sequences
 from repro.profiling.traces import TraceRecord, TraceSet
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
+from repro.util.effects import pure
 
 __all__ = [
     "ProfileConfig",
@@ -107,6 +108,11 @@ def profile_sequence(
     pipe = StentBoostPipeline(pipe_cfg)
 
     o = obs.get_obs()
+    # Instruments resolved once per sequence, not per frame (the
+    # disabled path hands out shared no-op instruments, so hoisting
+    # is safe unconditionally).
+    frames_total = o.metrics.counter("profile_frames_total")
+    frame_latency_ms = o.metrics.histogram("profile_frame_latency_ms")
     with o.tracer.span("profile.sequence") as seq_span:
         if o.enabled:
             seq_span.set(seq=seq_id, n_frames=sequence.config.n_frames)
@@ -124,10 +130,8 @@ def profile_sequence(
                         latency_ms=result.latency_ms,
                         task_ms=dict(result.task_ms),
                     )
-                    o.metrics.counter("profile_frames_total").inc()
-                    o.metrics.histogram("profile_frame_latency_ms").observe(
-                        result.latency_ms
-                    )
+                    frames_total.inc()
+                    frame_latency_ms.observe(result.latency_ms)
             ts.append(
                 TraceRecord(
                     seq=seq_id,
@@ -159,6 +163,7 @@ class _SequenceJob:
     profile: ProfileConfig
 
 
+@pure
 def _profile_one(job: _SequenceJob) -> TraceSet:
     """Pool worker: profile one sequence with its own simulator.
 

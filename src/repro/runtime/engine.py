@@ -32,6 +32,7 @@ from repro.imaging.pipeline import FrameAnalysis, StentBoostPipeline
 from repro.runtime.partition import PartitionDecision, Partitioner
 from repro.runtime.qos import DelayLine, LatencyBudget
 from repro.synthetic.sequence import XRaySequence
+from repro.util.effects import pure
 from repro.util.stats import JitterMetrics, jitter_metrics
 
 __all__ = [
@@ -176,6 +177,30 @@ class RunResult:
         return float(np.mean([f.cores_used for f in self.frames]))
 
 
+class _FrameInstruments:
+    """The frame-loop metric instruments, resolved once per run.
+
+    Instrument lookup is a registry dict hit per call; at one call per
+    metric per frame that is pure per-frame overhead
+    (``perf/invariant-attr-in-loop``), so the engine resolves the nine
+    instruments up front and reuses them for every frame.  Metric
+    names are stable API (pinned by the obs report tests).
+    """
+
+    def __init__(self, metrics) -> None:
+        self.frames_total = metrics.counter("runtime_frames_total")
+        self.frame_latency_ms = metrics.histogram("runtime_frame_latency_ms")
+        self.cores_in_use = metrics.gauge("runtime_cores_in_use")
+        self.residual_ms = metrics.histogram("runtime_frame_residual_ms")
+        self.scenario_hit = metrics.counter("runtime_scenario_hit_total")
+        self.scenario_miss = metrics.counter("runtime_scenario_miss_total")
+        self.deadline_miss = metrics.counter("runtime_deadline_miss_total")
+        self.quality_degraded = metrics.counter(
+            "runtime_quality_degraded_total"
+        )
+        self.repartition = metrics.counter("runtime_repartition_total")
+
+
 class FrameEngine:
     """Runs a sequence through the simulator under one policy.
 
@@ -204,6 +229,7 @@ class FrameEngine:
         result = RunResult(budget_ms=budget_ms, label=run_label)
 
         o = obs.get_obs()
+        inst = _FrameInstruments(o.metrics)
         prev_parts: dict[str, int] | None = None
         with o.tracer.span("engine.sequence") as seq_span:
             if o.enabled:
@@ -229,7 +255,7 @@ class FrameEngine:
                     log = self._frame_log(plan, analysis, frame_res, out_ms)
                     if o.enabled:
                         prev_parts = self._record_frame(
-                            o, sp, seq_key, plan, log, budget_ms, prev_parts
+                            inst, sp, seq_key, plan, log, budget_ms, prev_parts
                         )
                 result.frames.append(log)
         return result
@@ -269,7 +295,7 @@ class FrameEngine:
 
     @staticmethod
     def _record_frame(
-        o,
+        inst: _FrameInstruments,
         sp,
         seq_key: object,
         plan: FramePlan,
@@ -278,7 +304,6 @@ class FrameEngine:
         prev_parts: dict[str, int] | None,
     ) -> dict[str, int]:
         """Emit the per-frame telemetry (metric names are stable API)."""
-        m = o.metrics
         sp.set(
             seq=str(seq_key),
             frame=log.index,
@@ -289,23 +314,21 @@ class FrameEngine:
             cores=log.cores_used,
             quality=log.quality,
         )
-        m.counter("runtime_frames_total").inc()
-        m.histogram("runtime_frame_latency_ms").observe(log.latency_ms)
-        m.gauge("runtime_cores_in_use").set(log.cores_used)
+        inst.frames_total.inc()
+        inst.frame_latency_ms.observe(log.latency_ms)
+        inst.cores_in_use.set(log.cores_used)
         if plan.prediction is not None:
-            m.histogram("runtime_frame_residual_ms").observe(
-                log.serial_ms - plan.prediction.frame_ms
-            )
+            inst.residual_ms.observe(log.serial_ms - plan.prediction.frame_ms)
             if log.actual_scenario == log.predicted_scenario:
-                m.counter("runtime_scenario_hit_total").inc()
+                inst.scenario_hit.inc()
             else:
-                m.counter("runtime_scenario_miss_total").inc()
+                inst.scenario_miss.inc()
         if budget_ms is not None and log.latency_ms > budget_ms:
-            m.counter("runtime_deadline_miss_total").inc()
+            inst.deadline_miss.inc()
         if log.quality != "full":
-            m.counter("runtime_quality_degraded_total").inc()
+            inst.quality_degraded.inc()
         if prev_parts is not None and log.parts != prev_parts:
-            m.counter("runtime_repartition_total").inc()
+            inst.repartition.inc()
             sp.event(
                 "repartition", parts=dict(log.parts), previous=prev_parts
             )
@@ -366,11 +389,13 @@ class TripleCPolicy:
             self.budget.initialize(self.triplec.expected_frame_ms())
         return self.budget.require()
 
+    @pure
     def begin_run(self, engine: FrameEngine) -> LatencyBudget:
         self.initialize_budget()
         self.triplec.start_sequence()
         return self.budget
 
+    @pure
     def plan_frame(
         self, engine: FrameEngine, pipeline: StentBoostPipeline, img
     ) -> FramePlan:
@@ -406,6 +431,7 @@ class TripleCPolicy:
             roi_kpixels=roi_kpx,
         )
 
+    @pure
     def observe_frame(
         self, plan: FramePlan, analysis: FrameAnalysis, result: FrameResult
     ) -> None:
@@ -435,11 +461,13 @@ class StaticSerialPolicy:
         self.model = model
         self.frame_setup = frame_setup
 
+    @pure
     def begin_run(self, engine: FrameEngine) -> None:
         if self.model is not None:
             self.model.start_sequence()
         return None
 
+    @pure
     def plan_frame(
         self, engine: FrameEngine, pipeline: StentBoostPipeline, img
     ) -> FramePlan:
@@ -458,6 +486,7 @@ class StaticSerialPolicy:
             roi_kpixels=roi_kpx,
         )
 
+    @pure
     def observe_frame(
         self, plan: FramePlan, analysis: FrameAnalysis, result: FrameResult
     ) -> None:
@@ -481,9 +510,11 @@ class WorstCaseReservationPolicy:
             raise ValueError("worst_case_ms must be positive")
         self.worst_case_ms = float(worst_case_ms)
 
+    @pure
     def begin_run(self, engine: FrameEngine) -> LatencyBudget:
         return LatencyBudget(target_ms=self.worst_case_ms)
 
+    @pure
     def plan_frame(
         self, engine: FrameEngine, pipeline: StentBoostPipeline, img
     ) -> FramePlan:
@@ -491,6 +522,7 @@ class WorstCaseReservationPolicy:
             mapping=Mapping.serial(), predicted_ms=self.worst_case_ms
         )
 
+    @pure
     def observe_frame(
         self, plan: FramePlan, analysis: FrameAnalysis, result: FrameResult
     ) -> None:

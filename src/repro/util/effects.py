@@ -1,0 +1,127 @@
+"""Checked effect contracts: ``@pure`` and ``@effects(...)``.
+
+The Triple-C runtime re-partitions work across cores on the strength
+of a static argument: pool workers, predictor backends and engine
+policy steps behave like functions of their inputs, so running them
+elsewhere (another process, another core, another order) cannot
+change the result.  These decorators turn that argument from prose
+into a *checked contract*: the decorated function carries its declared
+effect set at runtime (``__repro_effects__``), and the interprocedural
+effect-inference pass (:mod:`repro.analysis.effects`) verifies that
+the effects it can prove are covered by the declaration --
+``effects/contract-mismatch`` is an error finding.
+
+The effect vocabulary is the analysis lattice's atom set:
+
+``reads-global``
+    Reads a mutable module-level binding.
+``writes-global``
+    Mutates or rebinds a module-level binding.
+``io``
+    Touches the filesystem or a stream (``open``, ``print``,
+    ``Path.write_text``, ...).
+``env``
+    Reads the process environment (``os.environ``, ``os.getenv``,
+    ``os.cpu_count``).
+``spawns``
+    Starts processes or threads (``map_sequences``, executors,
+    ``subprocess``).
+``nondet``
+    Draws from an unseeded entropy source or the wall clock
+    (``random``, ``numpy.random``, ``time.time``, ``uuid4``, ...).
+
+``@pure`` declares the empty set: no process-global effects at all.
+Note the scope: the lattice tracks *process-global* state.  Mutating
+``self`` or an argument is not a lattice effect -- argument mutation
+across the pool seam is tracked separately by the race detector
+(``dataflow/pool-arg-mutation``).
+
+The decorators are runtime no-ops beyond attaching one attribute:
+no wrapper frame, no signature change, zero per-call cost.
+
+Examples
+--------
+>>> @pure
+... def double(x: float) -> float:
+...     return 2.0 * x
+>>> declared_effects(double)
+frozenset()
+
+>>> @effects("io")
+... def dump(path, payload) -> None:
+...     path.write_text(payload)
+>>> sorted(declared_effects(dump))
+['io']
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = [
+    "EFFECT_ATOMS",
+    "EFFECTS_ATTR",
+    "pure",
+    "effects",
+    "declared_effects",
+]
+
+#: The closed vocabulary of effect atoms (the analysis lattice).
+EFFECT_ATOMS = frozenset(
+    {"reads-global", "writes-global", "io", "env", "spawns", "nondet"}
+)
+
+#: Attribute name carrying a function's declared effect set.
+EFFECTS_ATTR = "__repro_effects__"
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def pure(fn: _F) -> _F:
+    """Declare that ``fn`` has no process-global effects.
+
+    Equivalent to ``@effects()``.  The static pass flags the function
+    (``effects/contract-mismatch``) if it can prove any effect.
+    """
+    setattr(fn, EFFECTS_ATTR, frozenset())
+    return fn
+
+
+def effects(*atoms: str) -> Callable[[_F], _F]:
+    """Declare that ``fn`` has at most the given effects.
+
+    ``atoms`` must come from :data:`EFFECT_ATOMS`; an unknown atom is
+    a ``ValueError`` at decoration time (i.e. at import), so a typo'd
+    contract can never silently declare nothing.
+    """
+    declared = frozenset(atoms)
+    unknown = declared - EFFECT_ATOMS
+    if unknown:
+        raise ValueError(
+            f"unknown effect atom(s) {sorted(unknown)}; "
+            f"expected a subset of {sorted(EFFECT_ATOMS)}"
+        )
+
+    def deco(fn: _F) -> _F:
+        setattr(fn, EFFECTS_ATTR, declared)
+        return fn
+
+    return deco
+
+
+def declared_effects(fn: object) -> frozenset[str] | None:
+    """The effect set ``fn`` declares, or ``None`` if undeclared.
+
+    Looks through ``__wrapped__`` chains (``functools.wraps``) and
+    ``__func__`` (bound methods) so a contract declared on the
+    underlying function is visible on its wrappers.
+    """
+    seen = 0
+    obj: object | None = fn
+    while obj is not None and seen < 8:
+        declared = getattr(obj, EFFECTS_ATTR, None)
+        if isinstance(declared, frozenset):
+            return declared
+        obj = getattr(obj, "__func__", None) or getattr(obj, "__wrapped__", None)
+        seen += 1
+    return None

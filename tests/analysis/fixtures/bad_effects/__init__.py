@@ -1,0 +1,1 @@
+"""Seeded fixtures for effect/purity inference and contract checks."""

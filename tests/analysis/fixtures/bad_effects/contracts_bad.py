@@ -1,0 +1,27 @@
+"""Declared-vs-inferred contract mismatches, seeded.
+
+``not_pure`` claims ``@pure`` but appends to a module global (a
+``writes-global`` mismatch); ``over_declared`` claims ``env`` it never
+exercises (an unused declaration); ``honest`` declares exactly what it
+does.
+"""
+
+from repro.util.effects import effects, pure
+
+totals = []
+
+
+@pure
+def not_pure(x):
+    totals.append(x)
+    return x
+
+
+@effects("io", "env")
+def over_declared():
+    print("hi")
+
+
+@effects("io")
+def honest(msg):
+    print(msg)

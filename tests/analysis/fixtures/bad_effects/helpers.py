@@ -1,0 +1,35 @@
+"""Mutually recursive call cycle whose impurity enters via a helper.
+
+``even`` and ``odd`` form one SCC; neither touches the outside world
+directly, but ``odd`` calls ``log_call`` which calls ``emit`` which
+prints -- so the whole cycle must infer ``io``.  ``double`` stays pure.
+"""
+
+
+def emit(msg):
+    print(msg)
+
+
+def log_call():
+    emit("call")
+
+
+def even(n):
+    if n <= 0:
+        return True
+    return odd(n - 1)
+
+
+def odd(n):
+    if n <= 0:
+        return False
+    log_call()
+    return even(n - 1)
+
+
+def double(n):
+    return add(n, n)
+
+
+def add(a, b):
+    return a + b

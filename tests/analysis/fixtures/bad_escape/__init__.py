@@ -1,0 +1,1 @@
+"""Seeded fixtures for the pool-seam argument-escape audit."""

@@ -1,0 +1,49 @@
+"""Pool workers whose arguments or effects escape the seam.
+
+``scale_inplace`` mutates its pickled argument directly;
+``mutate_via_helper`` does it through a callee (the interprocedural
+summary must fold ``_bump``'s parameter mutation back into the
+worker); ``impure_worker`` prints.  ``clean_worker`` is the control:
+a pure function of its argument.
+"""
+
+from repro.parallel import map_sequences
+
+
+def scale_inplace(frames):
+    frames["scale"] = 2.0
+    return frames
+
+
+def _bump(d):
+    d["n"] = d.get("n", 0) + 1
+
+
+def mutate_via_helper(d):
+    _bump(d)
+    return d
+
+
+def impure_worker(item):
+    print(item)
+    return item
+
+
+def clean_worker(item):
+    return {"value": item, "ok": True}
+
+
+def run_inplace(batch):
+    return map_sequences(scale_inplace, batch)
+
+
+def run_helper(batch):
+    return map_sequences(mutate_via_helper, batch)
+
+
+def run_impure(batch):
+    return map_sequences(impure_worker, batch)
+
+
+def run_clean(batch):
+    return map_sequences(clean_worker, batch)

@@ -1,10 +1,18 @@
-"""Determinism audit: the seeded pool/ordering fixtures + exemptions."""
+"""Determinism audit: the seeded pool/ordering fixtures + exemptions.
+
+The pool-seam audit itself moved to the effect engine
+(:mod:`repro.analysis.effects.races`); the ``TestPoolSeam`` cases here
+pin that the *same rule ids, locations, and severities* still come out
+of the new pass for the seeded fixture -- the migration must not change
+the user-visible contract.
+"""
 
 from __future__ import annotations
 
 from pathlib import Path
 
 from repro.analysis.dataflow import build_symbol_table, check_determinism
+from repro.analysis.effects import check_races, infer_effects
 from repro.analysis.findings import Severity
 
 FIXTURES = Path(__file__).resolve().parent / "fixtures"
@@ -15,9 +23,14 @@ def _findings(*paths: Path):
     return check_determinism(build_symbol_table(list(paths)))
 
 
+def _race_findings(*paths: Path):
+    table = build_symbol_table(list(paths))
+    return check_races(table, infer_effects(table))
+
+
 class TestPoolSeam:
     def test_catches_seeded_shared_global(self):
-        findings = _findings(FIXTURES / "bad_pool.py")
+        findings = _race_findings(FIXTURES / "bad_pool.py")
         got = {(f.rule, int(f.location.rsplit(":", 1)[1])) for f in findings}
         assert got == {
             ("dataflow/pool-global-mutation", 17),  # _helper appends
@@ -28,7 +41,9 @@ class TestPoolSeam:
         }
 
     def test_mutation_is_error_read_is_warning(self):
-        by_rule = {f.rule: f.severity for f in _findings(FIXTURES / "bad_pool.py")}
+        by_rule = {
+            f.rule: f.severity for f in _race_findings(FIXTURES / "bad_pool.py")
+        }
         assert by_rule["dataflow/pool-global-mutation"] == Severity.ERROR
         assert by_rule["dataflow/pool-worker-closure"] == Severity.ERROR
         assert by_rule["dataflow/pool-shared-state"] == Severity.WARNING
@@ -36,17 +51,21 @@ class TestPoolSeam:
     def test_transitive_reach_through_helpers(self):
         # line 17 is inside _helper, which worker() calls -- the audit
         # must walk the call graph, not just the worker body.
-        findings = _findings(FIXTURES / "bad_pool.py")
+        findings = _race_findings(FIXTURES / "bad_pool.py")
         helper = [f for f in findings if f.location.endswith(":17")]
         assert helper and "_helper" in helper[0].message
+
+    def test_determinism_pass_no_longer_owns_pool_rules(self):
+        # check_determinism is ordering-only now; the pool audit lives
+        # in the effect engine.
+        findings = _findings(FIXTURES / "bad_pool.py")
+        assert [f for f in findings if f.rule.startswith("dataflow/pool-")] == []
 
     def test_sanctioned_modules_are_exempt(self):
         # The real profiling worker crosses the seam via repro.obs /
         # repro.util.rng state, which is sanctioned plumbing: the audit
         # of src/repro must raise no pool findings.
-        findings = check_determinism(
-            build_symbol_table([REPO / "src" / "repro"])
-        )
+        findings = _race_findings(REPO / "src" / "repro")
         pool = [f for f in findings if f.rule.startswith("dataflow/pool-")]
         assert pool == [], [f.render() for f in pool]
 

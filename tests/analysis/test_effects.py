@@ -1,0 +1,107 @@
+"""Effect/purity inference: lattice, SCC fixpoint, contract checks."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.dataflow import build_symbol_table
+from repro.analysis.effects import check_contracts, infer_effects
+from repro.analysis.effects.lattice import PURE, effect_str, join
+from repro.analysis.findings import Severity
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO = Path(__file__).resolve().parents[2]
+
+HELPERS = "tests.analysis.fixtures.bad_effects.helpers"
+CONTRACTS = "tests.analysis.fixtures.bad_effects.contracts_bad"
+
+
+def _infer(*paths: Path):
+    table = build_symbol_table(list(paths))
+    return table, infer_effects(table)
+
+
+class TestLattice:
+    def test_bottom_renders_as_pure(self):
+        assert effect_str(PURE) == "pure"
+
+    def test_join_is_union_and_order_insensitive(self):
+        a = frozenset({"io"})
+        b = frozenset({"env", "io"})
+        assert join(a, b) == join(b, a) == frozenset({"io", "env"})
+        assert join() == PURE
+        assert effect_str(join(a, b)) == "env+io"
+
+
+class TestRecursiveInference:
+    def test_mutual_recursion_converges_to_helper_effect(self):
+        # even <-> odd form one SCC; io enters only via odd -> log_call
+        # -> emit, and must propagate to every member of the cycle.
+        _, inf = _infer(FIXTURES / "bad_effects" / "helpers.py")
+        assert inf.effects_of(f"{HELPERS}.even") == frozenset({"io"})
+        assert inf.effects_of(f"{HELPERS}.odd") == frozenset({"io"})
+        assert inf.effects_of(f"{HELPERS}.emit") == frozenset({"io"})
+
+    def test_pure_chain_stays_pure(self):
+        _, inf = _infer(FIXTURES / "bad_effects" / "helpers.py")
+        assert inf.effects_of(f"{HELPERS}.double") == PURE
+        assert inf.effects_of(f"{HELPERS}.add") == PURE
+
+    def test_witness_chain_names_the_evidence_site(self):
+        # The chain from even must bottom out at emit's print call.
+        _, inf = _infer(FIXTURES / "bad_effects" / "helpers.py")
+        chain = inf.witness_chain(f"{HELPERS}.even", "io")
+        assert chain is not None
+        owner, witness = chain
+        assert owner == f"{HELPERS}.emit"
+        assert "print" in witness.detail
+
+
+class TestContractChecks:
+    def _findings(self):
+        table, inf = _infer(FIXTURES / "bad_effects" / "contracts_bad.py")
+        return check_contracts(table, inf)
+
+    def test_pure_claim_with_global_write_is_a_mismatch(self):
+        mismatches = [
+            f for f in self._findings() if f.rule == "effects/contract-mismatch"
+        ]
+        assert len(mismatches) == 1
+        f = mismatches[0]
+        assert f.severity == Severity.ERROR
+        assert "not_pure" in f.message
+        assert "writes-global" in f.message
+
+    def test_over_declared_effect_is_flagged_unused(self):
+        unused = [
+            f for f in self._findings() if f.rule == "effects/contract-unused"
+        ]
+        assert len(unused) == 1
+        f = unused[0]
+        assert f.severity == Severity.INFO
+        assert "over_declared" in f.message
+        assert "env" in f.message
+
+    def test_honest_contract_is_silent(self):
+        assert not any("honest" in f.message for f in self._findings())
+
+    def test_uncontracted_pool_worker_is_reported_missing(self):
+        table, inf = _infer(FIXTURES / "bad_escape" / "workers.py")
+        missing = {
+            f.message.split()[0]
+            for f in check_contracts(table, inf)
+            if f.rule == "effects/missing-contract"
+        }
+        assert any(name.endswith(".clean_worker") for name in missing)
+
+    def test_real_repo_contracts_all_verified(self):
+        # Every map_sequences worker, registered backend fit, and
+        # policy step in src/repro carries a contract that matches its
+        # inferred effects -- the acceptance bar for this analysis.
+        table, inf = _infer(REPO / "src" / "repro")
+        findings = [
+            f
+            for f in check_contracts(table, inf)
+            if f.rule in ("effects/contract-mismatch", "effects/missing-contract")
+        ]
+        assert findings == [], [f.render() for f in findings]

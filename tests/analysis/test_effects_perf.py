@@ -1,0 +1,185 @@
+"""Perf-smell rules: scalar predict, invariant lookups, hot allocs."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis.dataflow.symbols import SymbolTable
+from repro.analysis.effects import check_perf
+from repro.analysis.findings import Severity
+
+HOT = "repro.runtime.fake"
+COLD = "experiments.fake"
+
+
+def _findings(source: str, modname: str = HOT):
+    table = SymbolTable()
+    path = modname.replace(".", "/") + ".py"
+    table.add_module(path, modname, textwrap.dedent(source))
+    return check_perf(table)
+
+
+PREDICT_SRC = """
+    class Model:
+        def predict(self, x):
+            return x
+
+        def predict_series(self, xs):
+            return list(xs)
+
+    class ScalarOnly:
+        def predict(self, x):
+            return x
+
+    def eval_model(xs):
+        m = Model()
+        out = []
+        for x in xs:
+            out.append(m.predict(x))
+        return out
+
+    def eval_scalar_only(xs):
+        s = ScalarOnly()
+        return [s.predict(x) for x in xs]
+
+    def eval_rebound(models, xs):
+        out = []
+        for x in xs:
+            m = Model()
+            out.append(m.predict(x))
+        return out
+"""
+
+
+class TestScalarPredict:
+    def test_flags_loop_invariant_receiver_with_batch_path(self):
+        hits = [
+            f for f in _findings(PREDICT_SRC)
+            if f.rule == "perf/scalar-predict-in-loop"
+        ]
+        assert len(hits) == 1
+        assert hits[0].severity == Severity.WARNING
+        assert "predict_series" in hits[0].message
+        assert hits[0].location.endswith(":17")  # the m.predict call
+
+    def test_runs_repo_wide_not_just_hot_modules(self):
+        # An evaluation loop in experiments costs wall-clock time too.
+        hits = [
+            f for f in _findings(PREDICT_SRC, modname=COLD)
+            if f.rule == "perf/scalar-predict-in-loop"
+        ]
+        assert len(hits) == 1
+
+    def test_silent_without_a_batch_method_or_with_rebinding(self):
+        # ScalarOnly has no predict_series; eval_rebound rebinds m in
+        # the loop.  Exactly the one eval_model hit remains.
+        hits = [
+            f for f in _findings(PREDICT_SRC)
+            if f.rule == "perf/scalar-predict-in-loop"
+        ]
+        assert len(hits) == 1
+
+
+INSTRUMENT_SRC = """
+    def frame_loop(obs, frames):
+        for frame in frames:
+            obs.metrics.counter("frames_total").inc()
+"""
+
+CHAIN_SRC = """
+    def simulate(self, tasks):
+        total = 0.0
+        for task in tasks:
+            total += self.platform.bus.bandwidth
+        return total
+"""
+
+REBOUND_CHAIN_SRC = """
+    def simulate(self, tasks):
+        total = 0.0
+        for task in tasks:
+            self = next(iter(tasks))
+            total += self.platform.bus.bandwidth
+        return total
+"""
+
+
+class TestInvariantAttr:
+    def test_instrument_lookup_in_hot_loop(self):
+        hits = [
+            f for f in _findings(INSTRUMENT_SRC)
+            if f.rule == "perf/invariant-attr-in-loop"
+        ]
+        assert len(hits) == 1
+        assert "obs.metrics.counter" in hits[0].message
+        assert "hoist" in hits[0].message
+
+    def test_cold_modules_are_not_scanned_for_instruments(self):
+        assert not any(
+            f.rule == "perf/invariant-attr-in-loop"
+            for f in _findings(INSTRUMENT_SRC, modname=COLD)
+        )
+
+    def test_deep_chain_flagged_once_per_chain(self):
+        hits = [
+            f for f in _findings(CHAIN_SRC)
+            if f.rule == "perf/invariant-attr-in-loop"
+        ]
+        assert len(hits) == 1
+        assert "self.platform.bus.bandwidth" in hits[0].message
+
+    def test_rebound_root_is_not_invariant(self):
+        assert not any(
+            f.rule == "perf/invariant-attr-in-loop"
+            for f in _findings(REBOUND_CHAIN_SRC)
+        )
+
+
+ALLOC_SRC = """
+    def frame_loop(frames):
+        out = []
+        for frame in frames:
+            defaults = {"quality": 1.0, "degraded": False}
+            pair = (1, 2)
+            out.append((frame, defaults, pair))
+        return out
+"""
+
+
+class TestHotAlloc:
+    def test_constant_dict_in_hot_loop_is_info(self):
+        hits = [
+            f for f in _findings(ALLOC_SRC) if f.rule == "perf/alloc-in-hot-loop"
+        ]
+        assert len(hits) == 1
+        assert hits[0].severity == Severity.INFO
+        assert "dict" in hits[0].message
+
+    def test_constant_tuples_are_exempt(self):
+        # CPython folds constant tuples into co_consts: no allocation.
+        hits = [
+            f for f in _findings(ALLOC_SRC) if f.rule == "perf/alloc-in-hot-loop"
+        ]
+        assert all("tuple" not in f.message for f in hits)
+
+
+HELPER_SRC = """
+    def record(obs, latency):
+        obs.metrics.histogram("frame_latency_ms").observe(latency)
+
+    def run(obs, frames):
+        for frame in frames:
+            record(obs, frame)
+"""
+
+
+class TestHotCallee:
+    def test_straight_line_helper_called_from_hot_loop_is_scanned(self):
+        # record() has no loop of its own, but runs per frame.
+        hits = [
+            f for f in _findings(HELPER_SRC)
+            if f.rule == "perf/invariant-attr-in-loop"
+        ]
+        assert len(hits) == 1
+        assert "called from a hot loop" in hits[0].message
+        assert "record" in hits[0].message

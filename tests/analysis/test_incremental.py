@@ -1,0 +1,186 @@
+"""Incremental engine: cache hits, invalidation, dependency closure."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+from repro.analysis.incremental import run_incremental
+
+REPO = Path(__file__).resolve().parents[2]
+
+BASE_DIRTY = """
+    import json
+
+
+    def dump(payload):
+        return json.dumps(payload)
+"""
+
+BASE_CLEAN = """
+    import json
+
+
+    def dump(payload):
+        return json.dumps(payload, sort_keys=True)
+"""
+
+MID = """
+    from pkg.base import dump
+
+
+    def describe(payload):
+        return dump(payload)
+"""
+
+TOP = """
+    from pkg.mid import describe
+
+
+    def report(payload):
+        return describe(payload)
+"""
+
+
+def _write_project(root: Path, base_src: str = BASE_DIRTY) -> Path:
+    pkg = root / "pkg"
+    pkg.mkdir(exist_ok=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "base.py").write_text(textwrap.dedent(base_src))
+    (pkg / "mid.py").write_text(textwrap.dedent(MID))
+    (pkg / "top.py").write_text(textwrap.dedent(TOP))
+    return pkg
+
+
+def _names(paths: list[str]) -> set[str]:
+    return {Path(p).name for p in paths}
+
+
+class TestIncrementalCache:
+    def test_cold_run_analyzes_everything(self, tmp_path):
+        pkg = _write_project(tmp_path)
+        res = run_incremental([pkg], cache_dir=tmp_path / "cache")
+        assert res.stats.cache_hits == 0
+        assert res.stats.cache_misses == 4
+        assert any(f.rule == "dataflow/json-sort-keys" for f in res.findings)
+
+    def test_warm_unchanged_rerun_analyzes_zero_modules(self, tmp_path):
+        pkg = _write_project(tmp_path)
+        cache = tmp_path / "cache"
+        cold = run_incremental([pkg], cache_dir=cache)
+        warm = run_incremental([pkg], cache_dir=cache)
+        assert warm.stats.analyzed == []
+        assert warm.stats.cache_hits == 4
+        assert warm.stats.cache_misses == 0
+        # Cached findings are byte-identical to the cold run's.
+        assert [f.render() for f in warm.findings] == [
+            f.render() for f in cold.findings
+        ]
+
+    def test_leaf_edit_reanalyzes_only_the_leaf(self, tmp_path):
+        pkg = _write_project(tmp_path)
+        cache = tmp_path / "cache"
+        run_incremental([pkg], cache_dir=cache)
+        (pkg / "top.py").write_text(
+            textwrap.dedent(TOP) + "\n\ndef extra():\n    return 1\n"
+        )
+        res = run_incremental([pkg], cache_dir=cache)
+        assert _names(res.stats.analyzed) == {"top.py"}
+        # The unrelated cached finding in base.py survives the merge.
+        assert any(f.rule == "dataflow/json-sort-keys" for f in res.findings)
+
+    def test_base_edit_reanalyzes_the_reverse_import_closure(self, tmp_path):
+        pkg = _write_project(tmp_path)
+        cache = tmp_path / "cache"
+        run_incremental([pkg], cache_dir=cache)
+        (pkg / "base.py").write_text(textwrap.dedent(BASE_CLEAN))
+        res = run_incremental([pkg], cache_dir=cache)
+        # mid imports base, top imports mid: both ride along.
+        assert _names(res.stats.analyzed) == {"base.py", "mid.py", "top.py"}
+        assert not any(
+            f.rule == "dataflow/json-sort-keys" for f in res.findings
+        )
+
+    def test_pass_set_change_invalidates_the_whole_cache(self, tmp_path):
+        pkg = _write_project(tmp_path)
+        cache = tmp_path / "cache"
+        run_incremental([pkg], cache_dir=cache)
+        res = run_incremental(
+            [pkg], cache_dir=cache, passes=("lint", "dataflow")
+        )
+        assert res.stats.cache_misses == 4
+
+    def test_cache_survives_corruption(self, tmp_path):
+        pkg = _write_project(tmp_path)
+        cache = tmp_path / "cache"
+        run_incremental([pkg], cache_dir=cache)
+        (cache / "modules.json").write_text("{not json")
+        res = run_incremental([pkg], cache_dir=cache)
+        assert res.stats.cache_misses == 4
+        assert any(f.rule == "dataflow/json-sort-keys" for f in res.findings)
+
+
+class TestCliFlags:
+    def _run(self, *args: str, cwd: Path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=cwd,
+            timeout=120,
+        )
+
+    def test_incremental_stats_and_json_artifact(self, tmp_path):
+        pkg = _write_project(tmp_path, base_src=BASE_CLEAN)
+        common = (
+            str(pkg),
+            "--incremental",
+            "--no-graph",
+            "--cache-dir",
+            str(tmp_path / "cache"),
+            "--stats",
+            "--stats-json",
+            str(tmp_path / "stats.json"),
+        )
+        cold = self._run(*common, cwd=tmp_path)
+        assert cold.returncode == 0, cold.stdout + cold.stderr
+        assert "miss(es)" in cold.stderr
+        warm = self._run(*common, cwd=tmp_path)
+        assert warm.returncode == 0
+        assert "0 miss(es); 0 module(s) analyzed" in warm.stderr
+        doc = json.loads((tmp_path / "stats.json").read_text())
+        assert doc["analyzed"] == []
+        assert doc["cache_misses"] == 0
+
+    def test_no_effects_no_perf_skip_those_passes(self, tmp_path):
+        pkg = _write_project(tmp_path, base_src=BASE_CLEAN)
+        proc = self._run(
+            str(pkg), "--no-graph", "--no-effects", "--no-perf", cwd=tmp_path
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestWarmSpeedup:
+    def test_warm_rerun_at_least_5x_faster_on_the_real_repo(self, tmp_path):
+        roots = [REPO / "src" / "repro"]
+        cache = tmp_path / "cache"
+        cold = run_incremental(roots, cache_dir=cache)
+        warm = run_incremental(roots, cache_dir=cache)
+        assert warm.stats.analyzed == []
+        cold_s = sum(cold.stats.pass_seconds.values())
+        warm_s = sum(warm.stats.pass_seconds.values())
+        assert warm_s * 5 <= cold_s, (cold_s, warm_s)
+        # And the merged findings match a fresh cold run elsewhere.
+        cold2 = run_incremental(roots, cache_dir=tmp_path / "cache2")
+        assert [f.render() for f in warm.findings] == [
+            f.render() for f in cold2.findings
+        ]

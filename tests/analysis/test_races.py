@@ -1,0 +1,67 @@
+"""Pool-seam race detector: argument escape and impure workers."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.dataflow import build_symbol_table
+from repro.analysis.effects import check_races, infer_effects
+from repro.analysis.findings import Severity
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+WORKERS = "tests.analysis.fixtures.bad_escape.workers"
+
+
+def _findings():
+    table = build_symbol_table([FIXTURES / "bad_escape" / "workers.py"])
+    return check_races(table, infer_effects(table))
+
+
+class TestArgMutation:
+    def test_direct_mutation_is_an_error_with_the_site(self):
+        hits = [
+            f
+            for f in _findings()
+            if f.rule == "dataflow/pool-arg-mutation"
+            and "scale_inplace" in f.message
+        ]
+        assert len(hits) == 1
+        f = hits[0]
+        assert f.severity == Severity.ERROR
+        assert "'frames'" in f.message
+        # Location points at the mutation site, not the def line.
+        assert f.location.endswith(":14")
+
+    def test_mutation_through_a_callee_is_folded_in(self):
+        # mutate_via_helper never writes d itself; _bump does.  The
+        # interprocedural parameter-alias propagation must surface it
+        # on the worker.
+        hits = [
+            f
+            for f in _findings()
+            if f.rule == "dataflow/pool-arg-mutation"
+            and "mutate_via_helper" in f.message
+        ]
+        assert len(hits) == 1
+        assert "via a callee" in hits[0].message
+
+    def test_clean_worker_is_silent(self):
+        assert not any("clean_worker" in f.message for f in _findings())
+
+
+class TestImpureWorker:
+    def test_io_worker_is_flagged_with_its_witness(self):
+        hits = [f for f in _findings() if f.rule == "dataflow/pool-impure-worker"]
+        assert len(hits) == 1
+        f = hits[0]
+        assert f.severity == Severity.WARNING
+        assert "impure_worker" in f.message
+        assert "io" in f.message
+        assert "print" in f.message  # witness chain names the evidence
+
+    def test_findings_are_deduplicated_and_sorted_stable(self):
+        a = [(f.rule, f.location) for f in _findings()]
+        b = [(f.rule, f.location) for f in _findings()]
+        assert a == b
+        assert len(set(a)) == len(a)
