@@ -152,6 +152,11 @@ _EFFECT_RULES: Mapping[str, RuleInfo] = {
         "constant container literal allocated per iteration of a "
         "hot-path loop",
     ),
+    "perf/frame-object-churn": (
+        Severity.WARNING,
+        "per-frame dataclass appended to a list in a module with a "
+        "columnar frame store",
+    ),
 }
 
 #: Meta rules emitted by the reporting layer itself.

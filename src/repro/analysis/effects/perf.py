@@ -22,6 +22,17 @@ batch-shaped; these rules flag the three smells that block it:
     A container literal whose elements are all constants, allocated
     inside a hot-module loop; the identical object could be built
     once outside.
+``perf/frame-object-churn`` (warning)
+    A loop appends a freshly constructed project dataclass to a plain
+    list -- one record object per frame.  The batched layers keep
+    per-frame state in preallocated structured rows
+    (:class:`repro.runtime.frametable.FrameTable`,
+    ``TraceSet.add_frame``); building an object per frame resurrects
+    the allocation churn those stores removed.  Scoped to the modules
+    that *have* a columnar store to write into
+    (``repro.runtime.engine``, ``repro.profiling``); the golden
+    scalar paths elsewhere (e.g. ``repro.hw``'s per-task timings)
+    stay un-nagged.
 
 "Hot modules" are the per-frame layers: ``repro.runtime``,
 ``repro.hw``, ``repro.profiling`` and ``repro.core``.  The predict
@@ -41,6 +52,10 @@ __all__ = ["HOT_MODULE_PREFIXES", "check_perf"]
 
 #: Module prefixes whose loops are per-frame hot paths.
 HOT_MODULE_PREFIXES = ("repro.runtime", "repro.hw", "repro.profiling", "repro.core")
+
+#: Modules with a columnar frame store: per-frame record objects are
+#: churn *here* because the structured-row alternative exists.
+_CHURN_MODULE_PREFIXES = ("repro.runtime.engine", "repro.profiling")
 
 #: Metric-registry lookup basenames (repro.obs.metrics instruments).
 _INSTRUMENT_LOOKUPS = frozenset({"counter", "histogram", "gauge"})
@@ -81,6 +96,48 @@ def _constant_args(call: ast.Call) -> bool:
         kw.arg is not None and isinstance(kw.value, ast.Constant)
         for kw in call.keywords
     )
+
+
+def _local_lists(fn: FunctionInfo) -> set[str]:
+    """Names bound to a plain list somewhere in the function (list
+    literal, comprehension, ``list(...)`` call, or ``list`` annotation)."""
+    out: set[str] = set()
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            value = node.value
+            if isinstance(value, (ast.List, ast.ListComp)) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "list"
+            ):
+                out.add(node.targets[0].id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            ann = node.annotation
+            base = ann.value if isinstance(ann, ast.Subscript) else ann
+            if isinstance(base, ast.Name) and base.id in ("list", "List"):
+                out.add(node.target.id)
+    return out
+
+
+def _is_dataclass_qual(table: SymbolTable, cls_qual: str) -> bool:
+    """True when ``cls_qual`` is a ``@dataclass``-decorated project class."""
+    modname, _, clsname = cls_qual.rpartition(".")
+    mod = table.modules.get(modname)
+    if mod is None:
+        return False
+    for stmt in mod.tree.body:
+        if not (isinstance(stmt, ast.ClassDef) and stmt.name == clsname):
+            continue
+        for dec in stmt.decorator_list:
+            base = dec.func if isinstance(dec, ast.Call) else dec
+            dotted = mod.resolve_dotted(base)
+            if dotted in ("dataclass", "dataclasses.dataclass"):
+                return True
+    return False
 
 
 def _local_classes(fn: FunctionInfo, table: SymbolTable) -> dict[str, str]:
@@ -141,7 +198,9 @@ class _FunctionScanner:
         self.table = table
         self.findings = findings
         self.hot = _is_hot(fn.module.modname)
+        self.churn = fn.module.modname.startswith(_CHURN_MODULE_PREFIXES)
         self._classes: dict[str, str] | None = None
+        self._lists: set[str] | None = None
         # Attribute nodes that are an inner segment of a longer chain
         # or the callee of a call -- handled at the outer node.
         self._inner: set[int] = set()
@@ -160,6 +219,12 @@ class _FunctionScanner:
         if self._classes is None:
             self._classes = _local_classes(self.fn, self.table)
         return self._classes
+
+    @property
+    def lists(self) -> set[str]:
+        if self._lists is None:
+            self._lists = _local_lists(self.fn)
+        return self._lists
 
     def run(self) -> None:
         todo: list[ast.AST] = [self.fn.node]
@@ -208,6 +273,8 @@ class _FunctionScanner:
                 self._predict_call(node, assigned, seen)
                 if self.hot:
                     self._instrument_lookup(node, assigned, seen)
+                if self.churn:
+                    self._record_churn(node, seen)
             elif isinstance(node, ast.Attribute) and self.hot:
                 self._deep_chain(node, assigned, seen)
             elif self.hot and isinstance(node, (ast.Dict, ast.List, ast.Set)):
@@ -299,6 +366,46 @@ class _FunctionScanner:
                 f"attribute chain {chain} is loop-invariant (root "
                 f"{parts[0]!r} is never rebound in the loop); hoist it to "
                 "a local before the loop"
+            ),
+        )
+
+    def _record_churn(self, node: ast.Call, seen: set[tuple[str, str]]) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "append"):
+            return
+        # Only plain lists count: an ``append`` on a columnar store
+        # (TraceSet) or any other object is that type's own API.
+        if not isinstance(func.value, ast.Name) or func.value.id not in self.lists:
+            return
+        if len(node.args) != 1 or node.keywords:
+            return
+        arg = node.args[0]
+        if not isinstance(arg, ast.Call):
+            return
+        dotted = self.fn.module.resolve_dotted(arg.func)
+        if dotted is None:
+            return
+        if dotted not in self.table.class_methods:
+            dotted = f"{self.fn.module.modname}.{dotted}"
+            if dotted not in self.table.class_methods:
+                return
+        if not _is_dataclass_qual(self.table, dotted):
+            return
+        cls = dotted.rpartition(".")[2]
+        key = ("churn", f"{func.value.id}:{node.lineno}")
+        if key in seen:
+            return
+        seen.add(key)
+        self._emit(
+            "perf/frame-object-churn",
+            Severity.WARNING,
+            node.lineno,
+            (
+                f"one {cls} object allocated and appended to "
+                f"{func.value.id!r} per loop iteration; this module has "
+                "columnar frame stores (FrameTable, TraceSet.add_frame) "
+                "-- write structured rows instead of building a record "
+                "object per frame"
             ),
         )
 

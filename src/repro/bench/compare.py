@@ -21,6 +21,13 @@ pass/fail regression check that is meaningful on shared CI runners:
   produced from a different corpus fails the comparison outright --
   gate smoke runs against the committed smoke baseline
   (``BENCH_smoke.json``), full runs against ``BENCH_parallel.json``.
+* **The jobs matrix gates on shape, not speed.**  A multicore run's
+  ``jobs_matrix`` must be monotone non-degrading within tolerance:
+  adding workers may not make the profiling stage slower than the
+  best smaller worker count by more than the tolerance factor.  On a
+  single-core runner the matrix clamps to ``[1]`` and the gate passes
+  trivially -- the committed numbers stay honest instead of recording
+  fork overhead as a "regression".
 """
 
 from __future__ import annotations
@@ -31,15 +38,21 @@ import sys
 from pathlib import Path
 from typing import Any
 
-from repro.bench.harness import SCHEMA
+from repro.bench.harness import SCHEMAS
 
 __all__ = ["RATIO_METRICS", "BOOL_METRICS", "compare_docs", "main"]
 
 #: Within-run ratios: machine-independent, gated with tolerance.
-RATIO_METRICS: tuple[str, ...] = ("parallel_speedup", "predict_batch_speedup")
+#: ``engine_batch_speedup`` exists from schema v2 on; against a v1
+#: baseline it is skipped, not failed.
+RATIO_METRICS: tuple[str, ...] = (
+    "parallel_speedup",
+    "predict_batch_speedup",
+    "engine_batch_speedup",
+)
 
 #: Correctness booleans: a true -> false transition always fails.
-BOOL_METRICS: tuple[str, ...] = ("byte_identical",)
+BOOL_METRICS: tuple[str, ...] = ("byte_identical", "engine_byte_identical")
 
 
 def _load(path: Path) -> dict[str, Any]:
@@ -47,12 +60,49 @@ def _load(path: Path) -> dict[str, Any]:
     if not isinstance(doc, dict):
         raise ValueError(f"{path}: not a JSON object")
     schema = doc.get("schema")
-    if schema != SCHEMA:
-        raise ValueError(f"{path}: schema {schema!r}, expected {SCHEMA!r}")
+    if schema not in SCHEMAS:
+        raise ValueError(
+            f"{path}: schema {schema!r}, expected one of {SCHEMAS!r}"
+        )
     results = doc.get("results")
     if not isinstance(results, dict):
         raise ValueError(f"{path}: missing 'results' object")
     return doc
+
+
+def _check_matrix(
+    rows: Any, tolerance: float, failures: list[str], notes: list[str]
+) -> None:
+    """Gate the jobs matrix: more workers must not degrade throughput.
+
+    Each row's elapsed time may not exceed ``best_so_far / tolerance``
+    where ``best_so_far`` is the fastest of all smaller-or-equal
+    worker counts.  This is a within-run shape check -- it needs no
+    baseline row to compare against, so matrices gate even when the
+    baseline predates schema v2.
+    """
+    if not isinstance(rows, list) or not rows:
+        failures.append("jobs_matrix: present but empty or malformed")
+        return
+    best_s: float | None = None
+    best_jobs = 0
+    for row in rows:
+        j, elapsed = int(row["jobs"]), float(row["elapsed_s"])
+        if best_s is not None and elapsed > best_s / tolerance:
+            failures.append(
+                f"jobs_matrix: jobs={j} took {elapsed:.3f}s, more than "
+                f"1/{tolerance} x the {best_s:.3f}s of jobs={best_jobs} "
+                "-- adding workers degraded the profiling stage"
+            )
+        if best_s is None or elapsed < best_s:
+            best_s, best_jobs = elapsed, j
+    counts = [int(row["jobs"]) for row in rows]
+    if counts != sorted(set(counts)):
+        failures.append(f"jobs_matrix: worker counts not ascending: {counts}")
+    else:
+        notes.append(
+            f"jobs_matrix: ok (monotone within tolerance over jobs={counts})"
+        )
 
 
 def compare_docs(
@@ -118,6 +168,11 @@ def compare_docs(
                 f"{name}: ok ({c_f:.3f} vs baseline {b_f:.3f}, "
                 f"floor {floor:.3f})"
             )
+
+    if "jobs_matrix" in cur:
+        _check_matrix(cur["jobs_matrix"], tolerance, failures, notes)
+    else:
+        notes.append("jobs_matrix: not in current run, skipped")
 
     # Absolute timings: context only, never a verdict.
     for name in sorted(set(base) | set(cur)):

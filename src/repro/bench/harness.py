@@ -20,18 +20,26 @@ import numpy as np
 
 from repro.core.computation import EwmaMarkovPredictor, predict_series_loop
 from repro.core.triplec import TripleC
-from repro.parallel import resolve_jobs
+from repro.parallel import available_cpus, resolve_jobs
 from repro.profiling import ProfileConfig, TraceSet, profile_corpus
 from repro.synthetic import CorpusSpec, generate_corpus
 
-__all__ = ["SCHEMA", "machine_info", "run_bench"]
+__all__ = ["SCHEMA", "SCHEMAS", "machine_info", "run_bench"]
 
 #: Schema identifier written into every BENCH JSON document.
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
+
+#: Schemas ``repro.bench.compare`` accepts (older documents lack the
+#: engine stage and jobs matrix; compare skips what is absent).
+SCHEMAS = ("repro-bench/1", SCHEMA)
 
 #: Corpus sizes: (n_sequences, total_frames).
 _SMOKE_CORPUS = (2, 60)
 _FULL_CORPUS = (8, 400)
+
+#: Engine-stage sequence lengths (frames of the Fig. 7 sequence).
+_SMOKE_ENGINE_FRAMES = 120
+_FULL_ENGINE_FRAMES = 300
 
 
 def machine_info() -> dict[str, Any]:
@@ -40,7 +48,10 @@ def machine_info() -> dict[str, Any]:
     A speedup claim is meaningless without the core count it ran on:
     on a single-core container the parallel path cannot beat serial,
     and the JSON must make that legible rather than look like a
-    regression.
+    regression.  ``cpu_count`` is the machine, ``cpu_affinity`` the
+    scheduling mask of this process, and ``available_cpus`` what the
+    pool sizes itself by (the affinity count where the platform
+    reports one).
     """
     try:
         affinity = len(os.sched_getaffinity(0))
@@ -52,6 +63,7 @@ def machine_info() -> dict[str, Any]:
         "numpy": np.__version__,
         "cpu_count": os.cpu_count(),
         "cpu_affinity": affinity,
+        "available_cpus": available_cpus(),
     }
 
 
@@ -59,6 +71,22 @@ def _timed(fn: Callable[[], Any]) -> tuple[float, Any]:
     t0 = time.perf_counter()
     result = fn()
     return time.perf_counter() - t0, result
+
+
+def _timed_best(fn: Callable[[], Any], repeats: int = 5) -> tuple[float, Any]:
+    """Best-of-``repeats`` wall clock for micro-scale stages.
+
+    The prediction and engine stages finish in micro/milliseconds on
+    the smoke corpus, where a single scheduler hiccup swings the
+    ratio metrics 3x; the minimum over a few runs is the standard
+    noise floor for timings the compare gate will judge.
+    """
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeats):
+        elapsed, result = _timed(fn)
+        best = min(best, elapsed)
+    return best, result
 
 
 def _serialized(traces: TraceSet, tmp: Path, name: str) -> bytes:
@@ -125,8 +153,8 @@ def _bench_prediction(traces: TraceSet) -> dict[str, Any]:
     series = traces.task_values(task)
     predictor = EwmaMarkovPredictor.fit(traces.task_series(task))
 
-    scalar_s, _ = _timed(lambda: predict_series_loop(predictor, series))
-    batch_s, _ = _timed(lambda: predictor.predict_series(series))
+    scalar_s, _ = _timed_best(lambda: predict_series_loop(predictor, series))
+    batch_s, _ = _timed_best(lambda: predictor.predict_series(series))
     n = float(series.size)
     return {
         "predict_task": task,
@@ -137,10 +165,87 @@ def _bench_prediction(traces: TraceSet) -> dict[str, Any]:
     }
 
 
+def _bench_engine(smoke: bool) -> dict[str, Any]:
+    """Scalar loop vs. batched walk over one recorded tape.
+
+    Both runs execute the same tape on fresh simulators; the batched
+    path is an optimization only, so beyond the fps ratio the stage
+    also records whether the two frame tables serialized identically
+    (the cheap in-process cousin of the batch parity suite).
+    """
+    from repro.experiments.common import make_pipeline
+    from repro.experiments.fig7 import fig7_sequence
+    from repro.runtime import FrameEngine, StaticSerialPolicy, record_tape
+    from repro.runtime.frametable import FRAME_DTYPE
+
+    n_frames = _SMOKE_ENGINE_FRAMES if smoke else _FULL_ENGINE_FRAMES
+    seq = fig7_sequence(n_frames=n_frames)
+    config = ProfileConfig()
+    tape = record_tape(seq, make_pipeline(seq))
+
+    scalar_s, scalar = _timed_best(
+        lambda: FrameEngine(
+            config.make_simulator(), StaticSerialPolicy()
+        ).run_tape(tape, batched=False),
+        repeats=3,
+    )
+    batched_s, batched = _timed_best(
+        lambda: FrameEngine(
+            config.make_simulator(), StaticSerialPolicy()
+        ).run_tape(tape, batched=True),
+        repeats=3,
+    )
+    identical = all(
+        np.array_equal(
+            batched.table.column(name), scalar.table.column(name)
+        )
+        for name in FRAME_DTYPE.names
+    )
+    n = float(n_frames)
+    return {
+        "engine_frames": n_frames,
+        "engine_scalar_fps": n / scalar_s if scalar_s > 0 else 0.0,
+        "engine_batched_fps": n / batched_s if batched_s > 0 else 0.0,
+        "engine_batch_speedup": scalar_s / batched_s if batched_s > 0 else 0.0,
+        "engine_byte_identical": identical,
+    }
+
+
+def _bench_jobs_matrix(
+    spec: CorpusSpec, config: ProfileConfig, requested: list[int]
+) -> list[dict[str, Any]]:
+    """Profile the corpus at each worker count and report scaling.
+
+    Requested counts are clamped to :func:`available_cpus` and
+    deduplicated -- asking an 8-way matrix of a single-core container
+    degrades to ``[1]`` rather than timing four flavors of contention.
+    Speedups are relative to the matrix's own ``jobs=1`` entry (always
+    present) so the gate can check monotone non-degradation.
+    """
+    cpus = available_cpus()
+    counts = sorted({min(max(1, j), cpus) for j in requested} | {1})
+    corpus = generate_corpus(spec)
+    rows: list[dict[str, Any]] = []
+    base_s: float | None = None
+    for j in counts:
+        elapsed_s, _ = _timed(lambda: profile_corpus(corpus, config, jobs=j))
+        if base_s is None:
+            base_s = elapsed_s
+        rows.append(
+            {
+                "jobs": j,
+                "elapsed_s": elapsed_s,
+                "speedup": base_s / elapsed_s if elapsed_s > 0 else 0.0,
+            }
+        )
+    return rows
+
+
 def run_bench(
     smoke: bool = False,
     jobs: int | None = None,
     out: str | Path = "BENCH_parallel.json",
+    jobs_matrix: list[int] | None = None,
 ) -> dict[str, Any]:
     """Run every stage and write the BENCH JSON document to ``out``."""
     n_jobs = resolve_jobs(jobs)
@@ -157,6 +262,9 @@ def run_bench(
     model_results, _model = _bench_model(traces)
     results.update(model_results)
     results.update(_bench_prediction(traces))
+    results.update(_bench_engine(smoke))
+    if jobs_matrix:
+        results["jobs_matrix"] = _bench_jobs_matrix(spec, config, jobs_matrix)
 
     doc: dict[str, Any] = {
         "schema": SCHEMA,
@@ -189,7 +297,17 @@ def _format_summary(doc: dict[str, Any]) -> str:
         f"  predict: scalar {r['predict_scalar_fps']:.0f} fps, "
         f"batch {r['predict_batch_fps']:.0f} fps "
         f"(x{r['predict_batch_speedup']:.1f}, task {r['predict_task']})",
+        f"  engine:  scalar {r['engine_scalar_fps']:.0f} fps, "
+        f"batched {r['engine_batched_fps']:.0f} fps "
+        f"(x{r['engine_batch_speedup']:.1f}, "
+        f"byte-identical={r['engine_byte_identical']}, "
+        f"{r['engine_frames']} frames)",
     ]
+    for row in r.get("jobs_matrix", []):
+        lines.append(
+            f"  matrix:  jobs={row['jobs']}  {row['elapsed_s']:.2f}s  "
+            f"(x{row['speedup']:.2f} vs jobs=1)"
+        )
     return "\n".join(lines)
 
 
@@ -217,8 +335,25 @@ def main(argv: list[str] | None = None) -> int:
         default="BENCH_parallel.json",
         help="output JSON path (default: %(default)s)",
     )
+    parser.add_argument(
+        "--jobs-matrix",
+        default=None,
+        metavar="N,N,...",
+        help="comma-separated worker counts to sweep the profiling "
+        "stage over (clamped to the cores actually available)",
+    )
     args = parser.parse_args(argv)
-    doc = run_bench(smoke=args.smoke, jobs=args.jobs, out=args.out)
+    matrix: list[int] | None = None
+    if args.jobs_matrix:
+        try:
+            matrix = [int(tok) for tok in args.jobs_matrix.split(",") if tok]
+        except ValueError:
+            parser.error(f"--jobs-matrix must be integers: {args.jobs_matrix!r}")
+        if not matrix or any(j < 1 for j in matrix):
+            parser.error("--jobs-matrix entries must be positive")
+    doc = run_bench(
+        smoke=args.smoke, jobs=args.jobs, out=args.out, jobs_matrix=matrix
+    )
     print(_format_summary(doc))
     print(f"wrote {args.out}")
     return 0

@@ -15,6 +15,18 @@ whose inline short-circuit at ``max_workers=1`` keeps tests, coverage
 and debuggers working on a single code path.
 """
 
-from repro.parallel.pool import map_sequences, resolve_jobs
+from repro.parallel.pool import (
+    available_cpus,
+    get_payload,
+    map_sequences,
+    resolve_jobs,
+)
+from repro.parallel.shm import SharedArrays
 
-__all__ = ["map_sequences", "resolve_jobs"]
+__all__ = [
+    "SharedArrays",
+    "available_cpus",
+    "get_payload",
+    "map_sequences",
+    "resolve_jobs",
+]

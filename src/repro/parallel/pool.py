@@ -27,7 +27,7 @@ from typing import Callable, Generic, Iterable, TypeVar
 
 import repro.obs as obs
 
-__all__ = ["resolve_jobs", "map_sequences"]
+__all__ = ["available_cpus", "resolve_jobs", "map_sequences", "get_payload"]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
@@ -36,15 +36,35 @@ _ResultT = TypeVar("_ResultT")
 JOBS_ENV_VAR = "REPRO_JOBS"
 
 
+def available_cpus() -> int:
+    """CPUs actually available to *this process* (>= 1).
+
+    ``os.cpu_count()`` reports the machine; under a container quota,
+    taskset, or cgroup cpuset the process may be confined to fewer
+    cores, and sizing a pool past the affinity mask just adds context
+    switching.  Prefers ``len(os.sched_getaffinity(0))`` where the
+    platform provides it (Linux), falling back to ``os.cpu_count()``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - affinity query denied
+            pass
+    return os.cpu_count() or 1
+
+
 def resolve_jobs(jobs: int | None = None) -> int:
     """Resolve a ``jobs`` argument to a concrete worker count (>= 1).
 
     Resolution order:
 
-    1. an explicit ``jobs`` argument (``0`` means "all cores");
+    1. an explicit ``jobs`` argument (``0`` means "all available
+       cores");
     2. the ``REPRO_JOBS`` environment variable, when set and nonempty
-       (again ``0`` means "all cores");
-    3. ``os.cpu_count()``.
+       (again ``0`` means "all available cores");
+    3. :func:`available_cpus` (the scheduling-affinity count where the
+       platform reports one, else ``os.cpu_count()``).
 
     A resolved count of 1 means "run inline, no pool".
     """
@@ -58,13 +78,41 @@ def resolve_jobs(jobs: int | None = None) -> int:
                     f"{JOBS_ENV_VAR}={env!r} is not an integer"
                 ) from exc
         else:
-            return os.cpu_count() or 1
+            return available_cpus()
     jobs = int(jobs)
     if jobs == 0:
-        return os.cpu_count() or 1
+        return available_cpus()
     if jobs < 0:
         raise ValueError(f"jobs must be >= 0, got {jobs}")
     return jobs
+
+
+#: Worker-process slot for the shared invariant payload (see
+#: ``map_sequences(payload=...)``); installed once per worker by the
+#: executor initializer, or around the inline loop.
+_PAYLOAD: object | None = None
+
+
+def _install_payload(payload: object | None) -> None:
+    global _PAYLOAD
+    _PAYLOAD = payload
+
+
+def get_payload() -> object:
+    """The shared payload of the current ``map_sequences`` call.
+
+    Workers call this instead of carrying large invariant state
+    (model configs, shared frame arrays) inside every pickled work
+    item; the payload is shipped *once per worker process* through the
+    executor initializer -- and when it contains
+    :class:`~repro.parallel.shm.SharedArrays` bundles, the arrays
+    cross the process boundary by segment name, not by value.
+    """
+    if _PAYLOAD is None:
+        raise RuntimeError(
+            "no shared payload installed; pass payload=... to map_sequences"
+        )
+    return _PAYLOAD
 
 
 class _ObsTask(Generic[_ItemT, _ResultT]):
@@ -95,7 +143,8 @@ def map_sequences(
     worker: Callable[[_ItemT], _ResultT],
     items: Iterable[_ItemT],
     jobs: int | None = None,
-    chunksize: int = 1,
+    chunksize: int | None = None,
+    payload: object | None = None,
 ) -> list[_ResultT]:
     """Apply ``worker`` to every item, fanning out across processes.
 
@@ -103,16 +152,26 @@ def map_sequences(
     ----------
     worker:
         A *module-level* callable (it is pickled when a pool is used).
-        Must be a pure function of its argument for the ordered merge
-        to be reproducible.
+        Must be a pure function of its argument (and the installed
+        payload, which is invariant) for the ordered merge to be
+        reproducible.
     items:
-        Work items; each must be picklable when a pool is used.
+        Work items; each must be picklable when a pool is used.  With
+        a ``payload``, keep items small (indices into the payload) --
+        they are pickled per item, the payload once per worker.
     jobs:
         Worker-count request, resolved via :func:`resolve_jobs`
-        (``None`` -> ``REPRO_JOBS`` -> ``os.cpu_count()``).
+        (``None`` -> ``REPRO_JOBS`` -> :func:`available_cpus`).
     chunksize:
-        Items shipped to a worker per round trip; 1 is right for
-        coarse items like whole sequences.
+        Items shipped to a worker per round trip.  ``None`` auto-tunes
+        to ``max(1, len(items) // (4 * jobs))``: at least four rounds
+        per worker, amortizing dispatch overhead on fine-grained work
+        while keeping the tail balanced; coarse work (fewer items than
+        ``4 * jobs``) degrades to 1 as before.
+    payload:
+        Invariant state installed *once per worker process* through
+        the executor initializer (inline runs install it around the
+        loop).  Workers read it back with :func:`get_payload`.
 
     Returns
     -------
@@ -128,11 +187,29 @@ def map_sequences(
         with o.tracer.span("parallel.map") as sp:
             if o.enabled:
                 sp.set(n_items=len(work), jobs=1)
-            return [worker(item) for item in work]
+            if payload is None:
+                return [worker(item) for item in work]
+            _install_payload(payload)
+            try:
+                return [worker(item) for item in work]
+            finally:
+                _install_payload(None)
+    if chunksize is None:
+        chunksize = max(1, len(work) // (4 * n_jobs))
+    pool_kwargs: dict[str, object] = {}
+    if payload is not None:
+        pool_kwargs["initializer"] = _install_payload
+        pool_kwargs["initargs"] = (payload,)
     with o.tracer.span("parallel.map") as sp:
         if o.enabled:
-            sp.set(n_items=len(work), jobs=min(n_jobs, len(work)))
-        with ProcessPoolExecutor(max_workers=min(n_jobs, len(work))) as pool:
+            sp.set(
+                n_items=len(work),
+                jobs=min(n_jobs, len(work)),
+                chunksize=chunksize,
+            )
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(work)), **pool_kwargs
+        ) as pool:
             # Executor.map preserves input order by construction.
             if not o.enabled:
                 return list(pool.map(worker, work, chunksize=chunksize))

@@ -1,0 +1,195 @@
+"""Zero-copy transport of numpy arrays across the pool seam.
+
+A :class:`SharedArrays` bundle packs a set of named numpy arrays into
+one ``multiprocessing.shared_memory`` segment.  Pickling the bundle
+ships only the segment name plus a small index (dtype, shape, offset
+per array), so installing it as a :func:`repro.parallel.map_sequences`
+``payload`` puts the arrays into every worker *once per process* with
+no per-item copies -- and under the ``spawn`` start method no copy at
+all beyond the parent's single write.
+
+Workers receive read-only views: the seam's determinism contract
+(workers are pure functions of their input) is enforced at the buffer
+level, not just by convention.
+
+When the platform cannot provide shared memory (no ``/dev/shm``,
+permissions), :meth:`SharedArrays.create` silently degrades to an
+in-process copy that pickles by value -- same API, same read-only
+views, just without the zero-copy property.
+
+Lifecycle: the creating process owns the segment and should ``close()``
+and ``unlink()`` it when the pool work is done (or use the bundle as a
+context manager).  Attached processes keep their mapping for process
+lifetime; attach-side resource-tracker registrations are undone so the
+tracker does not double-unlink segments the owner already released.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+__all__ = ["SharedArrays"]
+
+#: Per-array alignment inside the segment (cache-line friendly).
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _readonly_view(
+    buffer, dtype: str, shape: tuple[int, ...], offset: int
+) -> np.ndarray:
+    view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buffer, offset=offset)
+    view.flags.writeable = False
+    return view
+
+
+class SharedArrays:
+    """Named numpy arrays in one shared-memory segment (read-only)."""
+
+    def __init__(self) -> None:
+        # Built through create() / _attach(); direct construction
+        # yields an empty bundle.
+        self._shm = None
+        self._index: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        self._views: dict[str, np.ndarray] = {}
+        self._owner = False
+        self._unlinked = False
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, np.ndarray]) -> "SharedArrays":
+        """Pack ``arrays`` into a fresh segment (or an in-process
+        fallback when shared memory is unavailable)."""
+        bundle = cls()
+        index: dict[str, tuple[str, tuple[int, ...], int]] = {}
+        offset = 0
+        items: list[tuple[str, np.ndarray]] = []
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = _aligned(offset)
+            index[name] = (arr.dtype.str, arr.shape, offset)
+            items.append((name, arr))
+            offset += arr.nbytes
+        bundle._index = index
+        try:
+            from multiprocessing.shared_memory import SharedMemory
+
+            shm = SharedMemory(create=True, size=max(offset, 1))
+        except (ImportError, OSError):
+            # No shared memory on this platform/container: keep private
+            # copies; pickling degrades to by-value transport.
+            for name, arr in items:
+                copy = arr.copy()
+                copy.flags.writeable = False
+                bundle._views[name] = copy
+            return bundle
+        bundle._shm = shm
+        bundle._owner = True
+        for name, arr in items:
+            dtype, shape, off = index[name]
+            dest = np.ndarray(shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+            dest[...] = arr
+            dest.flags.writeable = False
+            bundle._views[name] = dest
+        return bundle
+
+    @staticmethod
+    def _attach(
+        name: str, index: dict[str, tuple[str, tuple[int, ...], int]]
+    ) -> "SharedArrays":
+        """Unpickle path in a worker: map the existing segment."""
+        from multiprocessing import resource_tracker
+        from multiprocessing.shared_memory import SharedMemory
+
+        shm = SharedMemory(name=name)
+        # Attaching registers with the resource tracker exactly like
+        # creating does (bpo-39959); undo it so only the owner's
+        # tracker entry remains and shutdown does not double-unlink.
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except (AttributeError, KeyError, ValueError):
+            pass
+        bundle = SharedArrays()
+        bundle._shm = shm
+        bundle._index = dict(index)
+        for key, (dtype, shape, off) in bundle._index.items():
+            bundle._views[key] = _readonly_view(
+                shm.buf, dtype, tuple(shape), off
+            )
+        return bundle
+
+    @staticmethod
+    def _rebuild(views: dict[str, np.ndarray]) -> "SharedArrays":
+        """Unpickle path of the by-value fallback."""
+        bundle = SharedArrays()
+        for name, arr in views.items():
+            arr.flags.writeable = False
+            bundle._views[name] = arr
+        return bundle
+
+    def __reduce__(self):
+        if self._shm is None:
+            return (SharedArrays._rebuild, (dict(self._views),))
+        return (SharedArrays._attach, (self._shm.name, self._index))
+
+    # -- access ----------------------------------------------------------------
+
+    def get(self, name: str) -> np.ndarray:
+        """Read-only view of one array."""
+        return self._views[name]
+
+    def keys(self) -> list[str]:
+        return list(self._views)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._views
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._views)
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload bytes (segment size excluding padding)."""
+        return sum(v.nbytes for v in self._views.values())
+
+    @property
+    def shared(self) -> bool:
+        """Whether the bundle is backed by real shared memory."""
+        return self._shm is not None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self._views = {}
+        shm = self._shm
+        if shm is not None:
+            try:
+                shm.close()
+            except BufferError:
+                # A caller still holds a view; the mapping lives until
+                # garbage collection releases it.
+                pass
+
+    def unlink(self) -> None:
+        """Remove the segment (owner only; idempotent)."""
+        shm = self._shm
+        if shm is not None and self._owner and not self._unlinked:
+            self._unlinked = True
+            shm.unlink()
+
+    def __enter__(self) -> "SharedArrays":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+        self.unlink()

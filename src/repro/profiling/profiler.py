@@ -20,8 +20,9 @@ from repro.hw import CostModel, Mapping, PlatformSimulator, blackford
 from repro.hw.bus import BandwidthLedger
 from repro.hw.spec import PlatformSpec
 from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
-from repro.parallel import map_sequences
-from repro.profiling.traces import TraceRecord, TraceSet
+from repro.parallel import SharedArrays, get_payload, map_sequences
+from repro.profiling.traces import TraceSet
+from repro.synthetic.phantom import Phantom
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
 from repro.util.effects import pure
 
@@ -132,52 +133,87 @@ def profile_sequence(
                     )
                     frames_total.inc()
                     frame_latency_ms.observe(result.latency_ms)
-            ts.append(
-                TraceRecord(
-                    seq=seq_id,
-                    frame=analysis.index,
-                    scenario_id=analysis.scenario_id,
-                    task_ms=dict(result.task_ms),
-                    roi_kpixels=analysis.extras["roi_kpixels"]
-                    * config.pixel_scale,
-                    latency_ms=result.latency_ms,
-                    eviction_bytes=result.eviction_bytes,
-                    external_bytes=result.external_bytes,
-                )
+            # Append-free columnar write: one structured-row store,
+            # no per-frame record object (perf/frame-object-churn).
+            ts.add_frame(
+                seq=seq_id,
+                frame=analysis.index,
+                scenario_id=analysis.scenario_id,
+                task_ms=result.task_ms,
+                roi_kpixels=analysis.extras["roi_kpixels"]
+                * config.pixel_scale,
+                latency_ms=result.latency_ms,
+                eviction_bytes=result.eviction_bytes,
+                external_bytes=result.external_bytes,
             )
     return ts
 
 
-@dataclass(frozen=True)
-class _SequenceJob:
-    """Picklable unit of profiling work: one sequence of a corpus.
+#: Phantom array layers shipped zero-copy through :class:`SharedArrays`.
+_PHANTOM_LAYERS = ("background", "vessels", "clutter", "stent", "wire")
 
-    The worker rebuilds the :class:`XRaySequence` from its config
-    rather than shipping (possibly pre-rendered) frame arrays through
-    the pool; rendering is a pure function of the config, so the
-    rebuilt sequence profiles identically.
+
+@dataclass(frozen=True)
+class _ShardPayload:
+    """Invariant profiling state installed once per pool worker.
+
+    The per-item pickle used to carry the whole ``(seq_id, sequence
+    config, profile config)`` triple; the profile config (and, when
+    the caller pre-built them, every phantom's rendered layers) is the
+    same for all items, so it rides the executor initializer instead
+    and the work items shrink to bare sequence ids.
     """
 
-    seq_id: int
-    sequence: SequenceConfig
     profile: ProfileConfig
+    sequences: dict[int, SequenceConfig]
+    #: Shared-memory bundle of phantom layers, keyed ``"{seq}:{layer}"``
+    #: (``None``: workers rebuild phantoms from the sequence config).
+    layers: SharedArrays | None = None
+    #: Per-sequence non-array phantom fields (spec, markers, extras).
+    phantom_meta: dict[int, tuple] | None = None
+
+    def phantom(self, seq_id: int) -> Phantom | None:
+        """Reassemble a pre-built phantom from the shared layers."""
+        if self.layers is None or self.phantom_meta is None:
+            return None
+        meta = self.phantom_meta.get(seq_id)
+        if meta is None:
+            return None
+        spec, marker_a, marker_b, extras = meta
+        layers = {
+            name: self.layers.get(f"{seq_id}:{name}")
+            for name in _PHANTOM_LAYERS
+        }
+        return Phantom(
+            spec=spec,
+            marker_a=marker_a,
+            marker_b=marker_b,
+            extras=extras,
+            **layers,
+        )
 
 
 @pure
-def _profile_one(job: _SequenceJob) -> TraceSet:
+def _profile_one(seq_id: int) -> TraceSet:
     """Pool worker: profile one sequence with its own simulator.
 
-    Per-frame jitter is keyed by ``(seed, task, seq_id, frame)``, and
+    The sequence/profile configuration comes from the installed
+    :class:`_ShardPayload` (see :func:`repro.parallel.get_payload`),
+    so the pickled work item is just the sequence id.  Per-frame
+    jitter is keyed by ``(seed, task, seq_id, frame)``, and
     ``simulate_frame`` under the serial profiling mapping has no
     cross-frame state, so a private per-sequence simulator yields
     records bit-identical to the shared-simulator serial path.  The
     private simulator's ledger is attached as ``meta["ledger"]`` so
     callers can merge corpus-wide traffic accounting.
     """
-    sim = job.profile.make_simulator()
-    ts = profile_sequence(
-        XRaySequence(job.sequence), job.profile, seq_id=job.seq_id, simulator=sim
+    payload = get_payload()
+    profile = payload.profile
+    sim = profile.make_simulator()
+    sequence = XRaySequence(
+        payload.sequences[seq_id], phantom=payload.phantom(seq_id)
     )
+    ts = profile_sequence(sequence, profile, seq_id=seq_id, simulator=sim)
     ts.meta["ledger"] = sim.ledger
     return ts
 
@@ -186,6 +222,7 @@ def profile_shards(
     items: Sequence[tuple[int, SequenceConfig]],
     config: ProfileConfig | None = None,
     jobs: int | None = None,
+    phantoms: dict[int, Phantom] | None = None,
 ) -> list[TraceSet]:
     """Profile ``(seq_id, config)`` pairs into independent trace shards.
 
@@ -195,10 +232,45 @@ def profile_shards(
     :func:`repro.parallel.resolve_jobs`) and always returned in input
     order.  This is the unit the experiment layer's sharded trace
     cache stores and the delta it recomputes when a corpus changes.
+
+    The invariant profiling config crosses the pool seam once per
+    worker as a shared payload; when the caller already built the
+    phantoms (``phantoms``, keyed by seq_id), their layer arrays ship
+    zero-copy through one shared-memory segment and workers skip
+    ``build_phantom`` entirely -- ``build_phantom`` is a pure function
+    of the config, so the records stay bit-identical either way.
     """
     config = config or ProfileConfig()
-    work = [_SequenceJob(seq_id, seq_cfg, config) for seq_id, seq_cfg in items]
-    return map_sequences(_profile_one, work, jobs=jobs)
+    sequences = dict(items)
+    layers: SharedArrays | None = None
+    phantom_meta: dict[int, tuple] | None = None
+    if phantoms:
+        arrays: dict[str, object] = {}
+        phantom_meta = {}
+        for seq_id, ph in phantoms.items():
+            if seq_id not in sequences:
+                continue
+            for name in _PHANTOM_LAYERS:
+                arrays[f"{seq_id}:{name}"] = getattr(ph, name)
+            phantom_meta[seq_id] = (ph.spec, ph.marker_a, ph.marker_b, ph.extras)
+        layers = SharedArrays.create(arrays)
+    payload = _ShardPayload(
+        profile=config,
+        sequences=sequences,
+        layers=layers,
+        phantom_meta=phantom_meta,
+    )
+    try:
+        return map_sequences(
+            _profile_one,
+            [seq_id for seq_id, _ in items],
+            jobs=jobs,
+            payload=payload,
+        )
+    finally:
+        if layers is not None:
+            layers.close()
+            layers.unlink()
 
 
 def profile_corpus(
@@ -233,6 +305,11 @@ def profile_corpus(
         [(seq_id, seq.config) for seq_id, seq in enumerate(sequences)],
         config,
         jobs=jobs,
+        # The caller's sequences already carry built phantoms; share
+        # their layers instead of rebuilding them in every worker.
+        phantoms={
+            seq_id: seq.phantom for seq_id, seq in enumerate(sequences)
+        },
     )
     return merge_shards(shards, config)
 
@@ -249,8 +326,7 @@ def merge_shards(shards: Sequence[TraceSet], config: ProfileConfig) -> TraceSet:
     ts = TraceSet(pixel_scale=config.pixel_scale, platform=config.platform.name)
     ledger: BandwidthLedger | None = BandwidthLedger()
     for shard in shards:
-        for record in shard.records:
-            ts.append(record)
+        ts.extend(shard)
         shard_ledger = shard.meta.get("ledger")
         if isinstance(shard_ledger, BandwidthLedger) and ledger is not None:
             ledger.merge(shard_ledger)

@@ -2,22 +2,42 @@
 
 A :class:`TraceRecord` captures one frame: which scenario ran, the
 simulated single-core time of every executed task, the ROI size, and
-the frame's memory traffic.  A :class:`TraceSet` is a list of records
-plus the provenance needed to reproduce them, with the accessor
-methods model fitting needs (per-task series with sequence
+the frame's memory traffic.  A :class:`TraceSet` stores a corpus of
+such frames plus the provenance needed to reproduce them, with the
+accessor methods model fitting needs (per-task series with sequence
 boundaries respected, scenario chains, ROI series).
+
+Storage is *columnar*: scalar fields live in one preallocated
+structured numpy array and per-task times in one NaN-absent float
+column per task -- the same layout as
+:class:`~repro.runtime.frametable.FrameTable`.  The profiler's hot
+loop records frames through :meth:`TraceSet.add_frame` without
+allocating a single per-frame object; ``TraceRecord`` instances are
+*materialized on demand* by the :attr:`TraceSet.records` property for
+compatibility (fitting code, persistence, tests), not accumulated
+during profiling.
+
+Persistence keeps the JSON file byte-identical to the historical
+format (it stays the authoritative, fingerprinted artifact); ``save``
+additionally drops a compact ``.npz`` sidecar holding the raw columns,
+and ``load`` takes the sidecar fast path when its recorded SHA-256 of
+the JSON text matches the file on disk, falling back to JSON parsing
+whenever the sidecar is missing, stale, or unreadable.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass
 from pathlib import Path
+from typing import Iterable, Mapping
+from zipfile import BadZipFile
 
 import numpy as np
 from numpy.typing import NDArray
 
-__all__ = ["TraceRecord", "TraceSet"]
+__all__ = ["TRACE_DTYPE", "TraceRecord", "TraceSet"]
 
 
 @dataclass(frozen=True)
@@ -51,14 +71,33 @@ class TraceRecord:
     external_bytes: int
 
 
-@dataclass
+#: Scalar per-frame trace fields, one structured record per frame.
+TRACE_DTYPE = np.dtype(
+    [
+        ("seq", np.int32),
+        ("frame", np.int32),
+        ("scenario_id", np.int16),
+        ("roi_kpixels", np.float64),
+        ("latency_ms", np.float64),
+        ("eviction_bytes", np.int64),
+        ("external_bytes", np.int64),
+    ]
+)
+
+_MIN_CAPACITY = 64
+
+#: Sidecar format tag; bump when the array layout changes.
+_NPZ_FORMAT = "repro-traces-npz/1"
+
+
 class TraceSet:
     """A corpus of trace records with provenance.
 
     Attributes
     ----------
     records:
-        All frame records, ordered by (seq, frame).
+        All frame records ordered by (seq, frame), materialized on
+        demand from the columns (see module docstring).
     pixel_scale:
         Area factor the underlying cost model used.
     platform:
@@ -67,25 +106,167 @@ class TraceSet:
         Free-form provenance (corpus spec, seeds, ...).
     """
 
-    records: list[TraceRecord] = field(default_factory=list)
-    pixel_scale: float = 1.0
-    platform: str = ""
-    meta: dict[str, object] = field(default_factory=dict)
+    def __init__(
+        self,
+        records: Iterable[TraceRecord] | None = None,
+        pixel_scale: float = 1.0,
+        platform: str = "",
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        self.pixel_scale = pixel_scale
+        self.platform = platform
+        self.meta: dict[str, object] = meta if meta is not None else {}
+        self._rows = np.zeros(_MIN_CAPACITY, dtype=TRACE_DTYPE)
+        self._n = 0
+        self._task_ms: dict[str, np.ndarray] = {}
+        self._materialized: list[TraceRecord] | None = None
+        if records is not None:
+            for record in records:
+                self.append(record)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return self._n
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceSet):
+            return NotImplemented
+        return (
+            self.pixel_scale == other.pixel_scale
+            and self.platform == other.platform
+            and self.meta == other.meta
+            and self.records == other.records
+        )
+
+    # -- columnar recording ----------------------------------------------------
+
+    def _capacity(self) -> int:
+        return self._rows.shape[0]
+
+    def _grow(self) -> None:
+        cap = self._capacity() * 2
+        rows = np.zeros(cap, dtype=TRACE_DTYPE)
+        rows[: self._n] = self._rows[: self._n]
+        self._rows = rows
+        for task, col in self._task_ms.items():
+            new = np.full(cap, np.nan)
+            new[: self._n] = col[: self._n]
+            self._task_ms[task] = new
+
+    def _column(self, task: str) -> np.ndarray:
+        col = self._task_ms.get(task)
+        if col is None:
+            col = np.full(self._capacity(), np.nan)
+            self._task_ms[task] = col
+        return col
+
+    def add_frame(
+        self,
+        seq: int,
+        frame: int,
+        scenario_id: int,
+        task_ms: Mapping[str, float],
+        roi_kpixels: float,
+        latency_ms: float,
+        eviction_bytes: int,
+        external_bytes: int,
+    ) -> None:
+        """Record one profiled frame (one structured-row write).
+
+        The profiler's append-free hot path: equivalent to
+        ``append(TraceRecord(...))`` without constructing the record
+        or copying its ``task_ms`` dict.
+        """
+        i = self._n
+        if i >= self._capacity():
+            self._grow()
+        row = self._rows[i]
+        row["seq"] = seq
+        row["frame"] = frame
+        row["scenario_id"] = scenario_id
+        row["roi_kpixels"] = roi_kpixels
+        row["latency_ms"] = latency_ms
+        row["eviction_bytes"] = eviction_bytes
+        row["external_bytes"] = external_bytes
+        for task, ms in task_ms.items():
+            self._column(task)[i] = ms
+        self._n = i + 1
+        self._materialized = None
 
     def append(self, record: TraceRecord) -> None:
-        self.records.append(record)
+        """Record one frame given as a materialized :class:`TraceRecord`."""
+        self.add_frame(
+            seq=record.seq,
+            frame=record.frame,
+            scenario_id=record.scenario_id,
+            task_ms=record.task_ms,
+            roi_kpixels=record.roi_kpixels,
+            latency_ms=record.latency_ms,
+            eviction_bytes=record.eviction_bytes,
+            external_bytes=record.external_bytes,
+        )
+
+    def extend(self, other: "TraceSet") -> None:
+        """Bulk-append another trace set's frames (column copies).
+
+        Equivalent to appending ``other.records`` one by one -- task
+        columns are created in ``other``'s first-appearance order, the
+        same order record-wise appends would discover them in -- but
+        without materializing any records.
+        """
+        n_new = other._n
+        if n_new == 0:
+            return
+        base = self._n
+        while base + n_new > self._capacity():
+            self._grow()
+        sl = slice(base, base + n_new)
+        self._rows[sl] = other._rows[:n_new]
+        for task, col in other._task_ms.items():
+            self._column(task)[sl] = col[:n_new]
+        self._n = base + n_new
+        self._materialized = None
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """Materialized per-frame records (cached until the next write)."""
+        cached = self._materialized
+        if cached is None:
+            n = self._n
+            rows = self._rows
+            task_ms_list: list[dict[str, float]] = [{} for _ in range(n)]
+            for task, col in self._task_ms.items():
+                vals = col[:n].tolist()
+                for i, v in enumerate(vals):
+                    if v == v:  # NaN encodes "task did not run"
+                        task_ms_list[i][task] = v
+            seq = rows["seq"][:n].tolist()
+            frame = rows["frame"][:n].tolist()
+            scenario_id = rows["scenario_id"][:n].tolist()
+            roi_kpixels = rows["roi_kpixels"][:n].tolist()
+            latency_ms = rows["latency_ms"][:n].tolist()
+            eviction_bytes = rows["eviction_bytes"][:n].tolist()
+            external_bytes = rows["external_bytes"][:n].tolist()
+            cached = [
+                TraceRecord(
+                    seq=seq[i],
+                    frame=frame[i],
+                    scenario_id=scenario_id[i],
+                    task_ms=task_ms_list[i],
+                    roi_kpixels=roi_kpixels[i],
+                    latency_ms=latency_ms[i],
+                    eviction_bytes=eviction_bytes[i],
+                    external_bytes=external_bytes[i],
+                )
+                for i in range(n)
+            ]
+            self._materialized = cached
+        return cached
 
     # -- model-fitting accessors ----------------------------------------------
 
     def sequences(self) -> list[int]:
         """Distinct sequence ids, in first-appearance order."""
-        seen: dict[int, None] = {}
-        for r in self.records:
-            seen.setdefault(r.seq, None)
-        return list(seen)
+        return list(dict.fromkeys(self._rows["seq"][: self._n].tolist()))
 
     def task_series(self, task: str) -> list[NDArray[np.float64]]:
         """Per-sequence arrays of the task's consecutive run times.
@@ -95,23 +276,29 @@ class TraceSet:
         array (a Markov transition only exists between consecutive
         executions).  Sequences never concatenate across each other.
         """
+        col = self._task_ms.get(task)
+        if col is None:
+            return []
+        n = self._n
+        seqs = self._rows["seq"][:n].tolist()
+        vals = col[:n].tolist()
         out: list[NDArray[np.float64]] = []
         run: list[float] = []
         prev_seq: int | None = None
-        for r in self.records:
-            if r.seq != prev_seq:
-                if len(run) >= 1:
+        for s, v in zip(seqs, vals):
+            if s != prev_seq:
+                if run:
                     out.append(np.asarray(run))
                 run = []
-                prev_seq = r.seq
-            if task in r.task_ms:
-                run.append(r.task_ms[task])
+                prev_seq = s
+            if v == v:
+                run.append(v)
             elif run:
                 out.append(np.asarray(run))
                 run = []
         if run:
             out.append(np.asarray(run))
-        return [a for a in out if a.size > 0]
+        return out
 
     def task_series_grouped(
         self, task: str, group_fn
@@ -161,27 +348,17 @@ class TraceSet:
 
     def tasks(self) -> list[str]:
         """All task names appearing anywhere in the trace set."""
-        names: dict[str, None] = {}
-        for r in self.records:
-            for t in r.task_ms:
-                names.setdefault(t, None)
-        return list(names)
+        return list(self._task_ms)
 
     def scenario_chains(self) -> list[NDArray[np.int64]]:
         """Per-sequence scenario-id chains (for the scenario table)."""
-        out: list[NDArray[np.int64]] = []
-        chain: list[int] = []
-        prev_seq: int | None = None
-        for r in self.records:
-            if r.seq != prev_seq:
-                if chain:
-                    out.append(np.asarray(chain, dtype=np.int64))
-                chain = []
-                prev_seq = r.seq
-            chain.append(r.scenario_id)
-        if chain:
-            out.append(np.asarray(chain, dtype=np.int64))
-        return out
+        n = self._n
+        if n == 0:
+            return []
+        seqs = self._rows["seq"][:n]
+        sids = self._rows["scenario_id"][:n].astype(np.int64)
+        cuts = np.flatnonzero(seqs[1:] != seqs[:-1]) + 1
+        return np.split(sids, cuts)
 
     def roi_series(self, task: str) -> list[tuple[NDArray[np.float64], NDArray[np.float64]]]:
         """Per-sequence (roi_kpixels, time_ms) pairs for a task.
@@ -190,6 +367,13 @@ class TraceSet:
         task executed contribute, grouped per consecutive run as in
         :meth:`task_series`.
         """
+        col = self._task_ms.get(task)
+        if col is None:
+            return []
+        n = self._n
+        seqs = self._rows["seq"][:n].tolist()
+        rois = self._rows["roi_kpixels"][:n].tolist()
+        vals = col[:n].tolist()
         out: list[tuple[NDArray[np.float64], NDArray[np.float64]]] = []
         roi: list[float] = []
         ms: list[float] = []
@@ -201,13 +385,13 @@ class TraceSet:
             roi, ms = [], []
 
         prev_seq: int | None = None
-        for r in self.records:
-            if r.seq != prev_seq:
+        for s, r, v in zip(seqs, rois, vals):
+            if s != prev_seq:
                 flush()
-                prev_seq = r.seq
-            if task in r.task_ms:
-                roi.append(r.roi_kpixels)
-                ms.append(r.task_ms[task])
+                prev_seq = s
+            if v == v:
+                roi.append(r)
+                ms.append(v)
             else:
                 flush()
         flush()
@@ -215,15 +399,15 @@ class TraceSet:
 
     def latencies(self) -> NDArray[np.float64]:
         """Per-frame effective latency series (all sequences)."""
-        return np.asarray([r.latency_ms for r in self.records])
+        return self._rows["latency_ms"][: self._n].copy()
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, path: str | Path) -> None:
-        """Serialize to JSON (compact, reproducible).
+    def _json_meta(self) -> dict[str, object]:
+        """The JSON-serializable subset of ``meta``.
 
-        Non-JSON-serializable meta entries (e.g. the live bandwidth
-        ledger ``profile_corpus`` attaches) are silently dropped.
+        Non-serializable entries (e.g. the live bandwidth ledger
+        ``profile_corpus`` attaches) are silently dropped.
         """
         meta: dict[str, object] = {}
         for k, v in self.meta.items():
@@ -232,18 +416,99 @@ class TraceSet:
             except (TypeError, ValueError):
                 continue
             meta[k] = v
+        return meta
+
+    def save(self, path: str | Path) -> None:
+        """Serialize to JSON plus a columnar ``.npz`` sidecar.
+
+        The JSON file is byte-identical to the historical format and
+        stays authoritative.  The sidecar at ``path.with_suffix(".npz")``
+        holds the raw columns keyed by the SHA-256 of the JSON text,
+        so :meth:`load` can skip record parsing when the pair is
+        consistent and ignore the sidecar when it is stale.
+        """
+        meta = self._json_meta()
         payload = {
             "pixel_scale": self.pixel_scale,
             "platform": self.platform,
             "meta": meta,
             "records": [asdict(r) for r in self.records],
         }
-        Path(path).write_text(json.dumps(payload, sort_keys=True))
+        text = json.dumps(payload, sort_keys=True)
+        target = Path(path)
+        target.write_text(text)
+        n = self._n
+        tasks = list(self._task_ms)
+        header = {
+            "format": _NPZ_FORMAT,
+            "fingerprint": hashlib.sha256(text.encode("utf-8")).hexdigest(),
+            "pixel_scale": self.pixel_scale,
+            "platform": self.platform,
+            "meta": meta,
+            "tasks": tasks,
+        }
+        arrays: dict[str, np.ndarray] = {
+            "header": np.asarray(json.dumps(header, sort_keys=True)),
+            "rows": self._rows[:n].copy(),
+        }
+        # Columns are numbered (task names may not be npz-safe) and
+        # mapped back through the header's task list on load.
+        for i, task in enumerate(tasks):
+            arrays[f"task_{i}"] = self._task_ms[task][:n].copy()
+        np.savez_compressed(target.with_suffix(".npz"), **arrays)
+
+    @staticmethod
+    def _from_arrays(data, header: dict[str, object]) -> "TraceSet":
+        """Rebuild a trace set from sidecar arrays (fast load path)."""
+        rows = np.asarray(data["rows"])
+        if rows.dtype != TRACE_DTYPE:
+            raise ValueError("sidecar row layout mismatch")
+        n = rows.shape[0]
+        ts = TraceSet(
+            pixel_scale=float(header["pixel_scale"]),
+            platform=str(header["platform"]),
+            meta=dict(header.get("meta", {})),
+        )
+        cap = max(n, _MIN_CAPACITY)
+        ts._rows = np.zeros(cap, dtype=TRACE_DTYPE)
+        ts._rows[:n] = rows
+        ts._n = n
+        tasks = header.get("tasks", [])
+        if not isinstance(tasks, list):
+            raise ValueError("sidecar header 'tasks' must be a list")
+        for i, task in enumerate(tasks):
+            col = np.full(cap, np.nan)
+            values = np.asarray(data[f"task_{i}"], dtype=np.float64)
+            if values.shape != (n,):
+                raise ValueError("sidecar task column length mismatch")
+            col[:n] = values
+            ts._task_ms[str(task)] = col
+        return ts
 
     @staticmethod
     def load(path: str | Path) -> "TraceSet":
-        """Inverse of :meth:`save`."""
-        payload = json.loads(Path(path).read_text())
+        """Inverse of :meth:`save`.
+
+        Prefers the ``.npz`` sidecar when its fingerprint matches the
+        JSON text on disk; any missing, stale, or malformed sidecar
+        falls back to parsing the (authoritative) JSON records.
+        """
+        target = Path(path)
+        text = target.read_text()
+        sidecar = target.with_suffix(".npz")
+        if sidecar.exists():
+            fingerprint = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            try:
+                with np.load(sidecar) as data:
+                    header = json.loads(str(data["header"][()]))
+                    if (
+                        header.get("format") == _NPZ_FORMAT
+                        and header.get("fingerprint") == fingerprint
+                    ):
+                        return TraceSet._from_arrays(data, header)
+            except (OSError, KeyError, ValueError, BadZipFile):
+                pass  # unreadable sidecar: the JSON below is authoritative
+        payload = json.loads(text)
         ts = TraceSet(
             pixel_scale=float(payload["pixel_scale"]),
             platform=str(payload["platform"]),

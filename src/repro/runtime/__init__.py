@@ -37,12 +37,17 @@ from repro.runtime.engine import (
     replay_frames,
     simulate_report_sweep,
 )
+from repro.runtime.frametable import FrameTable
 from repro.runtime.manager import ResourceManager
 from repro.runtime.partition import PartitionDecision, Partitioner
 from repro.runtime.qos import DelayLine, LatencyBudget
 from repro.runtime.quality import QUALITY_LEVELS, QualityController, QualityLevel
+from repro.runtime.tape import FrameTape, record_tape
 
 __all__ = [
+    "FrameTable",
+    "FrameTape",
+    "record_tape",
     "Partitioner",
     "PartitionDecision",
     "DelayLine",

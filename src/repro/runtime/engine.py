@@ -29,14 +29,25 @@ from repro.core.triplec import TripleC, TripleCPrediction
 from repro.hw.mapping import Mapping
 from repro.hw.simulator import FrameResult, PlatformSimulator
 from repro.imaging.pipeline import FrameAnalysis, StentBoostPipeline
+from repro.runtime.batchplan import (
+    BatchCosts,
+    BatchPlans,
+    collect_batch_costs,
+    model_batchable,
+    replay_observes,
+    walk_scenario_predictions,
+)
+from repro.runtime.frametable import FrameLog, FrameTable
 from repro.runtime.partition import PartitionDecision, Partitioner
 from repro.runtime.qos import DelayLine, LatencyBudget
+from repro.runtime.tape import FrameTape, TapePipeline, TapeSequence, record_tape
 from repro.synthetic.sequence import XRaySequence
 from repro.util.effects import pure
 from repro.util.stats import JitterMetrics, jitter_metrics
 
 __all__ = [
     "FrameLog",
+    "FrameTape",
     "RunResult",
     "FramePlan",
     "SchedulingPolicy",
@@ -45,6 +56,7 @@ __all__ = [
     "StaticSerialPolicy",
     "WorstCaseReservationPolicy",
     "CoschedulePolicy",
+    "record_tape",
     "replay_frames",
     "simulate_report_sweep",
 ]
@@ -113,49 +125,80 @@ class SchedulingPolicy(Protocol):
         ...
 
 
-@dataclass(frozen=True)
-class FrameLog:
-    """Everything recorded about one executed frame."""
-
-    index: int
-    predicted_scenario: int
-    actual_scenario: int
-    predicted_ms: float
-    serial_ms: float
-    latency_ms: float
-    output_ms: float
-    cores_used: int
-    parts: dict[str, int]
-    quality: str = "full"
-    #: Measured per-task times of the frame.
-    task_ms: dict[str, float] = field(default_factory=dict)
-    #: Per-task predictions (empty for prediction-free policies).
-    predicted_task_ms: dict[str, float] = field(default_factory=dict)
-
-
-@dataclass
 class RunResult:
-    """Outcome of one managed (or baseline) sequence run."""
+    """Outcome of one managed (or baseline) sequence run.
 
-    frames: list[FrameLog] = field(default_factory=list)
-    budget_ms: float | None = None
-    label: str = ""
+    Engine-produced results are backed by a columnar
+    :class:`~repro.runtime.frametable.FrameTable`: the latency /
+    prediction series are zero-copy views of its columns and
+    ``frames`` materializes :class:`FrameLog` rows lazily (cached
+    until more frames are recorded).  Hand-assembled results (tests,
+    notebooks) may still pass a ``frames`` list and mutate it; the
+    table is derived on demand in that mode.
+    """
+
+    def __init__(
+        self,
+        frames: list[FrameLog] | None = None,
+        budget_ms: float | None = None,
+        label: str = "",
+        table: FrameTable | None = None,
+    ) -> None:
+        if frames is not None and table is not None:
+            raise ValueError("pass either frames or table, not both")
+        self._table = table
+        self._frames = None if table is not None else list(frames or [])
+        self._log_cache: tuple[int, list[FrameLog]] | None = None
+        self.budget_ms = budget_ms
+        self.label = label
+
+    @property
+    def frames(self) -> list[FrameLog]:
+        """Per-frame logs (materialized from the table when columnar)."""
+        if self._frames is not None:
+            return self._frames
+        table = self._table
+        assert table is not None
+        cache = self._log_cache
+        if cache is None or cache[0] != len(table):
+            cache = (len(table), table.logs())
+            self._log_cache = cache
+        return cache[1]
+
+    @property
+    def table(self) -> FrameTable:
+        """Columnar view of the run (built on demand for list-mode)."""
+        if self._table is not None:
+            return self._table
+        assert self._frames is not None
+        return FrameTable.from_logs(self._frames)
+
+    def __len__(self) -> int:
+        if self._table is not None:
+            return len(self._table)
+        assert self._frames is not None
+        return len(self._frames)
+
+    def _series(self, name: str, attr: str) -> np.ndarray:
+        if self._table is not None:
+            return self._table.column(name)
+        return np.asarray([getattr(f, attr) for f in self.frames])
 
     def latency(self) -> np.ndarray:
         """Completion-latency series."""
-        return np.asarray([f.latency_ms for f in self.frames])
+        return self._series("latency_ms", "latency_ms")
 
     def output_latency(self) -> np.ndarray:
         """Post-delay-line output-latency series."""
-        return np.asarray([f.output_ms for f in self.frames])
+        return self._series("output_ms", "output_ms")
 
     def serial_latency(self) -> np.ndarray:
         """What the same frames would cost serially (sum of tasks)."""
-        return np.asarray([f.serial_ms for f in self.frames])
+        return self._series("serial_ms", "serial_ms")
 
     def predicted(self) -> np.ndarray:
         """Per-frame predicted serial times."""
-        return np.asarray([f.predicted_ms for f in self.frames])
+        return self._series("predicted_ms", "predicted_ms")
 
     def jitter(self) -> JitterMetrics:
         """Jitter metrics of the completion latency."""
@@ -163,18 +206,22 @@ class RunResult:
 
     def scenario_hit_rate(self) -> float:
         """Fraction of frames whose scenario was predicted exactly."""
-        if not self.frames:
+        n = len(self)
+        if not n:
             return 0.0
-        hits = sum(
-            1 for f in self.frames if f.predicted_scenario == f.actual_scenario
+        hits = int(
+            np.count_nonzero(
+                self._series("predicted_scenario", "predicted_scenario")
+                == self._series("actual_scenario", "actual_scenario")
+            )
         )
-        return hits / len(self.frames)
+        return hits / n
 
     def mean_cores_used(self) -> float:
         """Average core usage (headroom for co-scheduling)."""
-        if not self.frames:
+        if not len(self):
             return 0.0
-        return float(np.mean([f.cores_used for f in self.frames]))
+        return float(np.mean(self._series("cores_used", "cores_used")))
 
 
 class _FrameInstruments:
@@ -220,13 +267,30 @@ class FrameEngine:
         pipeline: StentBoostPipeline,
         seq_key: object = 0,
         label: str | None = None,
+        batched: bool = False,
     ) -> RunResult:
-        """Execute one sequence; returns the per-frame log."""
+        """Execute one sequence; returns the per-frame log.
+
+        With ``batched=True`` the engine records the image pass as a
+        :class:`~repro.runtime.tape.FrameTape` and advances the whole
+        sequence through the policy's vectorized batch steps --
+        bit-identical to the scalar loop, several times faster.  When
+        the configuration cannot be batched (observability on, DRAM
+        contention, a policy without batch support, or a model the
+        batch walk cannot reproduce exactly) the scalar loop runs
+        instead; results are the same either way.
+        """
+        if batched and self._batch_supported():
+            tape = record_tape(
+                sequence, pipeline, getattr(self.policy, "frame_setup", None)
+            )
+            return self._run_batched(tape, seq_key, label)
         budget = self.policy.begin_run(self)
         budget_ms = budget.require() if budget is not None else None
         delay = DelayLine(budget) if budget is not None else None
         run_label = self.policy.label if label is None else label
-        result = RunResult(budget_ms=budget_ms, label=run_label)
+        table = FrameTable(capacity=len(sequence))
+        result = RunResult(budget_ms=budget_ms, label=run_label, table=table)
 
         o = obs.get_obs()
         inst = _FrameInstruments(o.metrics)
@@ -252,23 +316,277 @@ class FrameEngine:
                         else frame_res.latency_ms
                     )
 
-                    log = self._frame_log(plan, analysis, frame_res, out_ms)
+                    self._log_frame(table, plan, analysis, frame_res, out_ms)
                     if o.enabled:
                         prev_parts = self._record_frame(
-                            inst, sp, seq_key, plan, log, budget_ms, prev_parts
+                            inst,
+                            sp,
+                            seq_key,
+                            plan,
+                            table.log(-1),
+                            budget_ms,
+                            prev_parts,
                         )
-                result.frames.append(log)
         return result
 
+    def _batch_supported(self) -> bool:
+        """Whether the current configuration can run the batched path.
+
+        Observability stays scalar: the per-frame spans and counters
+        are emitted *by* the loop, and the batch walk has no
+        equivalent events to offer.
+        """
+        if obs.get_obs().enabled:
+            return False
+        if self.simulator.dram_contention:
+            return False
+        policy = self.policy
+        supports = getattr(policy, "supports_batch", None)
+        if supports is None:
+            return False
+        if not hasattr(policy, "plan_frames"):
+            return False
+        if not hasattr(policy, "observe_frames"):
+            return False
+        return bool(supports())
+
+    def run_tape(
+        self,
+        tape: FrameTape,
+        seq_key: object = 0,
+        label: str | None = None,
+        batched: bool = True,
+    ) -> RunResult:
+        """Execute a recorded tape (see :func:`record_tape`).
+
+        ``batched=True`` takes the vectorized path when supported and
+        falls back to replaying the tape through the scalar loop via
+        the tape shims; ``batched=False`` forces the scalar replay
+        (the golden reference the parity suite compares against).
+        """
+        if batched and self._batch_supported():
+            return self._run_batched(tape, seq_key, label)
+        if getattr(self.policy, "frame_setup", None) is not None:
+            raise ValueError(
+                "tape replay cannot re-run a frame_setup hook; the "
+                "recorded tape already embodies it (record_tape ran it)"
+            )
+        if getattr(self.policy, "quality_controller", None) is not None:
+            raise ValueError(
+                "tape replay cannot drive a quality controller; the "
+                "recorded analyses are fixed"
+            )
+        return self.run(
+            TapeSequence(tape), TapePipeline(tape), seq_key=seq_key, label=label
+        )
+
+    def _run_batched(
+        self, tape: FrameTape, seq_key: object, label: str | None
+    ) -> RunResult:
+        """The vectorized loop body: price, plan, fold, observe.
+
+        Executes the same four stages as the scalar loop, each over
+        the whole tape: costs come from the columnar cost path, plans
+        from the policy's ``plan_frames``, the per-frame fold applies
+        the scheduling arithmetic and writes the frame table, and
+        ``observe_frames`` replays the model feedback.  Every float
+        matches the scalar loop bit for bit (pinned by the batch
+        parity suite).
+        """
+        policy = self.policy
+        budget = policy.begin_run(self)
+        budget_ms = budget.require() if budget is not None else None
+        delay = DelayLine(budget) if budget is not None else None
+        run_label = policy.label if label is None else label
+        n = len(tape)
+        table = FrameTable(capacity=n)
+        result = RunResult(budget_ms=budget_ms, label=run_label, table=table)
+
+        costs = collect_batch_costs(self.simulator.cost_model, tape, seq_key)
+        plans: BatchPlans = policy.plan_frames(self, tape, costs)
+
+        simulator = self.simulator
+        n_cores = simulator.platform.n_cores
+        fold_serial = True
+        for m in plans.mappings:
+            if m.assignments or m.default_core >= n_cores:
+                fold_serial = False
+                break
+        if fold_serial:
+            task_ms_frames = self._fold_serial_frames(
+                tape, costs, plans, delay, table
+            )
+            policy.observe_frames(self, tape, plans, task_ms_frames)
+            return result
+
+        analyses = tape.analyses
+        by_task = costs.by_task
+        cursors = dict.fromkeys(by_task, 0)
+        mappings = plans.mappings
+        cores_used = plans.cores_used
+        predicted_scenario = plans.predicted_scenario
+        has_prediction = plans.has_prediction
+        predicted_ms = plans.predicted_ms
+        parts = plans.parts
+        predicted_task_ms = plans.predicted_task_ms
+        add_frame = table.add_frame
+        task_ms_frames: list[dict[str, float]] = []
+        for k in range(n):
+            analysis = analyses[k]
+            reports = analysis.reports
+            frame_costs = {}
+            for name in reports:
+                j = cursors[name]
+                cursors[name] = j + 1
+                bc = by_task[name]
+                frame_costs[name] = (
+                    bc.total_ms[j],
+                    int(bc.eviction_bytes[j]),
+                    int(bc.external_bytes[j]),
+                )
+            frame_res = simulator.simulate_costed_frame(
+                reports, mappings[k], frame_costs
+            )
+            latency = frame_res.latency_ms
+            out_ms = delay.push(latency) if delay is not None else latency
+            p_ms = predicted_ms[k]
+            add_frame(
+                index=analysis.index,
+                predicted_scenario=(
+                    int(predicted_scenario[k])
+                    if has_prediction[k]
+                    else analysis.scenario_id
+                ),
+                actual_scenario=analysis.scenario_id,
+                predicted_ms=(latency if np.isnan(p_ms) else p_ms),
+                serial_ms=float(sum(frame_res.task_ms.values())),
+                latency_ms=latency,
+                output_ms=out_ms,
+                cores_used=int(cores_used[k]),
+                parts=parts[k],
+                task_ms=frame_res.task_ms,
+                predicted_task_ms=predicted_task_ms[k],
+            )
+            task_ms_frames.append(frame_res.task_ms)
+        policy.observe_frames(self, tape, plans, task_ms_frames)
+        return result
+
+    def _fold_serial_frames(
+        self,
+        tape: FrameTape,
+        costs: BatchCosts,
+        plans: BatchPlans,
+        delay: DelayLine | None,
+        table: FrameTable,
+    ) -> list[dict[str, float]]:
+        """Vectorized scheduling fold for all-serial plans.
+
+        On one core the frame latency is the left-fold sum of the
+        chain's compute times (communication between same-core tasks
+        is free), so the whole tape folds as ``depth`` column adds
+        over a position-major compute matrix -- the identical float
+        additions, frame-parallel.  Ledger traffic folds through
+        :meth:`~repro.hw.bus.BandwidthLedger.record_many` in the
+        scalar call order; bit-exactness of all of it is pinned by the
+        batch parity suite.  Returns the per-frame measured-time dicts
+        for ``observe_frames``.
+        """
+        simulator = self.simulator
+        scale = simulator.cost_model.pixel_scale
+        cols = tape.cost_columns()
+        meta = tape.frame_columns()
+        n = len(tape)
+        n_tasks = meta.n_tasks
+        depth = int(n_tasks.max()) if n else 0
+
+        # Row p of the matrices holds each frame's p-th chain link
+        # (0.0 where the chain is shorter).
+        compute = np.zeros((depth, n))
+        out_bytes = np.zeros((depth, n))
+        by_task = costs.by_task
+        external_total = 0
+        for name, bc in by_task.items():
+            tc = cols[name]
+            compute[tc.positions, tc.frames] = bc.total_ms
+            out_bytes[tc.positions, tc.frames] = tc.columns.bytes_out * scale
+            external_total += int(bc.external_bytes.sum())
+
+        latency = np.zeros(n)
+        for p in range(depth):
+            latency += compute[p]
+
+        # Ledger: DRAM totals are integer-exact in any order; the l2
+        # records (producer output of every non-final chain link, in
+        # frame order) fold left-to-right like the scalar calls.
+        ledger = simulator.ledger
+        ledger.record("dram", float(external_total))
+        if depth > 1:
+            inner = np.arange(depth)[None, :] < (n_tasks - 1)[:, None]
+            vals = out_bytes.T[inner]
+            ledger.record_many("l2", vals[vals > 0.0])
+        ledger.frame_done(n)
+
+        out_ms = delay.push_many(latency) if delay is not None else latency
+        p_ms = plans.predicted_ms
+        actual_sid = meta.scenario_id
+        base = table.add_frames(
+            index=meta.index,
+            predicted_scenario=np.where(
+                plans.has_prediction, plans.predicted_scenario, actual_sid
+            ),
+            actual_scenario=actual_sid,
+            predicted_ms=np.where(np.isnan(p_ms), latency, p_ms),
+            serial_ms=latency,
+            latency_ms=latency,
+            output_ms=out_ms,
+            cores_used=plans.cores_used,
+        )
+
+        task_ms_frames: list[dict[str, float]] = [{} for _ in range(n)]
+        for name, bc in by_task.items():
+            tc = cols[name]
+            vals = bc.total_ms
+            table.fill_task_ms(name, base + tc.frames, vals)
+            for k, v in zip(tc.frames.tolist(), vals.tolist()):
+                task_ms_frames[k][name] = v
+
+        parts_list = plans.parts
+        if any(parts_list):
+            for k, parts in enumerate(parts_list):
+                for t, c in parts.items():
+                    table.fill_parts(t, base + k, c)
+
+        predicted = plans.predicted_task_ms
+        if any(d for d in predicted):
+            rows_by_task: dict[str, list[int]] = {}
+            vals_by_task: dict[str, list[float]] = {}
+            for k, d in enumerate(predicted):
+                if d:
+                    for t, v in d.items():
+                        rows = rows_by_task.get(t)
+                        if rows is None:
+                            rows = rows_by_task[t] = []
+                            vals_by_task[t] = []
+                        rows.append(base + k)
+                        vals_by_task[t].append(v)
+            for t, rows in rows_by_task.items():
+                table.fill_predicted_task_ms(
+                    t, np.asarray(rows), np.asarray(vals_by_task[t])
+                )
+        return task_ms_frames
+
     @staticmethod
-    def _frame_log(
+    def _log_frame(
+        table: FrameTable,
         plan: FramePlan,
         analysis: FrameAnalysis,
         frame_res: FrameResult,
         out_ms: float,
-    ) -> FrameLog:
+    ) -> None:
+        """Record one executed frame (column writes, no per-frame log
+        object -- ``perf/frame-object-churn``)."""
         prediction = plan.prediction
-        return FrameLog(
+        table.add_frame(
             index=analysis.index,
             predicted_scenario=(
                 prediction.scenario_id
@@ -285,11 +603,11 @@ class FrameEngine:
             latency_ms=frame_res.latency_ms,
             output_ms=out_ms,
             cores_used=plan.cores_used,
-            parts=dict(plan.parts),
+            parts=plan.parts,
             quality=plan.quality,
-            task_ms=dict(frame_res.task_ms),
+            task_ms=frame_res.task_ms,
             predicted_task_ms=(
-                dict(prediction.task_ms) if prediction is not None else {}
+                prediction.task_ms if prediction is not None else None
             ),
         )
 
@@ -439,6 +757,58 @@ class TripleCPolicy:
             analysis.scenario_id, result.task_ms, plan.roi_kpixels
         )
 
+    def supports_batch(self) -> bool:
+        """Batchable when every prediction decomposes exactly.
+
+        Quality control reacts to each frame's decision by mutating
+        the live pipeline, which a recorded tape cannot honor.
+        """
+        return self.quality_controller is None and model_batchable(
+            self.triplec.computation
+        )
+
+    def plan_frames(
+        self, engine: FrameEngine, tape: FrameTape, costs: BatchCosts
+    ) -> BatchPlans:
+        """Plan a whole tape (vectorized :meth:`plan_frame`)."""
+        budget = self.budget.require()
+        scale = engine.simulator.cost_model.pixel_scale
+        n = len(tape)
+        plans = BatchPlans(n)
+        roi_kpx = tape.plan_roi_px / 1000.0 * scale
+        plans.roi_kpixels[:] = roi_kpx
+        sids, frame_preds, plausible = walk_scenario_predictions(
+            self.triplec, tape, roi_kpx, costs, plausible=True
+        )
+        plans.predicted_scenario[:] = sids
+        plans.has_prediction[:] = True
+        choose = self.partitioner.choose_robust
+        mappings = plans.mappings
+        cores_used = plans.cores_used
+        predicted_ms = plans.predicted_ms
+        parts = plans.parts
+        predicted_task_ms = plans.predicted_task_ms
+        for k in range(n):
+            decision = choose(plausible[k], budget)
+            mappings[k] = decision.mapping
+            cores_used[k] = decision.cores_used
+            parts[k] = dict(decision.parts)
+            pred = frame_preds[k]
+            predicted_task_ms[k] = pred
+            predicted_ms[k] = float(sum(pred.values()))
+        return plans
+
+    def observe_frames(
+        self,
+        engine: FrameEngine,
+        tape: FrameTape,
+        plans: BatchPlans,
+        task_ms_frames: list[dict[str, float]],
+    ) -> None:
+        """Feed a whole tape's measurements back (vectorized
+        :meth:`observe_frame`)."""
+        replay_observes(self.triplec, tape, task_ms_frames, plans.roi_kpixels)
+
 
 class StaticSerialPolicy:
     """Static serial mapping: no repartitioning, no QoS.
@@ -495,6 +865,45 @@ class StaticSerialPolicy:
                 analysis.scenario_id, result.task_ms, plan.roi_kpixels
             )
 
+    def supports_batch(self) -> bool:
+        return self.model is None or model_batchable(self.model.computation)
+
+    def plan_frames(
+        self, engine: FrameEngine, tape: FrameTape, costs: BatchCosts
+    ) -> BatchPlans:
+        """Plan a whole tape (vectorized :meth:`plan_frame`)."""
+        n = len(tape)
+        plans = BatchPlans(n)
+        if self.model is None:
+            return plans
+        scale = engine.simulator.cost_model.pixel_scale
+        roi_kpx = tape.plan_roi_px / 1000.0 * scale
+        plans.roi_kpixels[:] = roi_kpx
+        sids, frame_preds, _ = walk_scenario_predictions(
+            self.model, tape, roi_kpx, costs
+        )
+        plans.predicted_scenario[:] = sids
+        plans.has_prediction[:] = True
+        predicted_ms = plans.predicted_ms
+        predicted_task_ms = plans.predicted_task_ms
+        for k in range(n):
+            pred = frame_preds[k]
+            predicted_task_ms[k] = pred
+            predicted_ms[k] = float(sum(pred.values()))
+        return plans
+
+    def observe_frames(
+        self,
+        engine: FrameEngine,
+        tape: FrameTape,
+        plans: BatchPlans,
+        task_ms_frames: list[dict[str, float]],
+    ) -> None:
+        """Feed a whole tape's measurements back (vectorized
+        :meth:`observe_frame`)."""
+        if self.model is not None:
+            replay_observes(self.model, tape, task_ms_frames, plans.roi_kpixels)
+
 
 class WorstCaseReservationPolicy:
     """Section 6's strawman: reserve the worst case, pad to it.
@@ -525,6 +934,26 @@ class WorstCaseReservationPolicy:
     @pure
     def observe_frame(
         self, plan: FramePlan, analysis: FrameAnalysis, result: FrameResult
+    ) -> None:
+        return None
+
+    def supports_batch(self) -> bool:
+        return True
+
+    def plan_frames(
+        self, engine: FrameEngine, tape: FrameTape, costs: BatchCosts
+    ) -> BatchPlans:
+        """Plan a whole tape: serial mapping, the reserved estimate."""
+        plans = BatchPlans(len(tape))
+        plans.predicted_ms[:] = self.worst_case_ms
+        return plans
+
+    def observe_frames(
+        self,
+        engine: FrameEngine,
+        tape: FrameTape,
+        plans: BatchPlans,
+        task_ms_frames: list[dict[str, float]],
     ) -> None:
         return None
 

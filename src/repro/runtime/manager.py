@@ -93,6 +93,9 @@ class ResourceManager:
         pipeline: StentBoostPipeline,
         seq_key: object = 0,
         label: str = "triple-c managed",
+        batched: bool = False,
     ) -> RunResult:
         """Run one sequence under management."""
-        return self.engine.run(sequence, pipeline, seq_key=seq_key, label=label)
+        return self.engine.run(
+            sequence, pipeline, seq_key=seq_key, label=label, batched=batched
+        )

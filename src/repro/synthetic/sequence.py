@@ -128,9 +128,19 @@ class XRaySequence:
     with identical results.
     """
 
-    def __init__(self, config: SequenceConfig) -> None:
+    def __init__(
+        self, config: SequenceConfig, phantom: Phantom | None = None
+    ) -> None:
         self.config = config
-        self.phantom: Phantom = build_phantom(config.resolved_phantom())
+        # An injected phantom must be the pure build for this config
+        # (build_phantom is deterministic, so a caller that already
+        # built it -- e.g. a pool parent sharing layers zero-copy --
+        # hands over bit-identical arrays).
+        self.phantom: Phantom = (
+            phantom
+            if phantom is not None
+            else build_phantom(config.resolved_phantom())
+        )
         self.motion = MotionModel(config.motion, config.n_frames, config.seed)
         self._static = np.stack(
             [self.phantom.background, self.phantom.vessels, self.phantom.clutter]

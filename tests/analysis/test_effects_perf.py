@@ -163,6 +163,88 @@ class TestHotAlloc:
         assert all("tuple" not in f.message for f in hits)
 
 
+CHURN_SRC = """
+    from dataclasses import dataclass
+
+    @dataclass
+    class FrameRecord:
+        index: int
+        latency_ms: float
+
+    class Plain:
+        def __init__(self, index):
+            self.index = index
+
+    def collect(frames):
+        out = []
+        for k, frame in enumerate(frames):
+            out.append(FrameRecord(index=k, latency_ms=frame))
+        return out
+
+    def collect_plain(frames):
+        out = []
+        for k, frame in enumerate(frames):
+            out.append(Plain(k))
+        return out
+
+    def collect_store(store, frames):
+        for k, frame in enumerate(frames):
+            store.append(FrameRecord(index=k, latency_ms=frame))
+
+    def collect_comprehension(frames):
+        return [FrameRecord(index=k, latency_ms=f) for k, f in enumerate(frames)]
+"""
+
+CHURN_MOD = "repro.profiling.fake"
+
+
+class TestFrameObjectChurn:
+    def _hits(self, modname):
+        return [
+            f
+            for f in _findings(CHURN_SRC, modname=modname)
+            if f.rule == "perf/frame-object-churn"
+        ]
+
+    def test_dataclass_append_in_churn_module_flagged(self):
+        hits = self._hits(CHURN_MOD)
+        assert len(hits) == 1
+        assert hits[0].severity == Severity.WARNING
+        assert "FrameRecord" in hits[0].message
+        assert "columnar" in hits[0].message
+
+    def test_plain_class_is_not_flagged(self):
+        # collect_plain appends a non-dataclass: allocation churn too,
+        # but without generated field machinery it is usually a
+        # deliberate object; only dataclass records are flagged.
+        hits = self._hits(CHURN_MOD)
+        assert all("Plain" not in f.message for f in hits)
+
+    def test_append_on_non_list_receiver_is_not_flagged(self):
+        # collect_store appends to a parameter -- a TraceSet's own
+        # append() is that type's API, not list churn (this is the
+        # profiler's JSON-fallback `ts.append(TraceRecord(**r))`).
+        hits = self._hits(CHURN_MOD)
+        assert all("'store'" not in f.message for f in hits)
+
+    def test_comprehension_is_not_flagged(self):
+        # One-shot materialization (the TraceSet.records property) is
+        # exactly the replacement idiom; no append call, no finding.
+        hits = self._hits(CHURN_MOD)
+        assert len(hits) == 1  # only collect's explicit append
+
+    def test_engine_module_is_in_scope(self):
+        assert len(self._hits("repro.runtime.engine")) == 1
+
+    def test_hw_and_generic_runtime_are_out_of_scope(self):
+        # repro.hw's timings.append(TaskTiming(...)) is the golden
+        # scalar path; repro.runtime.frametable/tape hold the columnar
+        # machinery itself.  Neither is nagged.
+        assert self._hits("repro.hw.simulator") == []
+        assert self._hits("repro.runtime.fake") == []
+        assert self._hits(COLD) == []
+
+
 HELPER_SRC = """
     def record(obs, latency):
         obs.metrics.histogram("frame_latency_ms").observe(latency)

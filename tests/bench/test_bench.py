@@ -6,20 +6,45 @@ import json
 
 import pytest
 
-from repro.bench import SCHEMA, machine_info, run_bench
+from repro.bench import SCHEMA, SCHEMAS, machine_info, run_bench
+from repro.parallel import available_cpus
 
 
 class TestMachineInfo:
     def test_keys(self):
         info = machine_info()
-        assert {"platform", "python", "numpy", "cpu_count"} <= info.keys()
+        assert {
+            "platform",
+            "python",
+            "numpy",
+            "cpu_count",
+            "cpu_affinity",
+            "available_cpus",
+        } <= info.keys()
         assert info["cpu_count"] >= 1
+
+    def test_records_pool_sizing_value(self):
+        # What the pool actually sizes itself by, next to the raw
+        # machine count -- a speedup of 1.0 on a 1-affinity container
+        # must be legible from the JSON alone.
+        info = machine_info()
+        assert info["available_cpus"] == available_cpus()
+        if info["cpu_affinity"] is not None:
+            assert info["available_cpus"] == info["cpu_affinity"]
+
+
+class TestSchemas:
+    def test_current_schema_is_accepted(self):
+        assert SCHEMA in SCHEMAS
+
+    def test_v1_still_accepted(self):
+        assert "repro-bench/1" in SCHEMAS
 
 
 @pytest.fixture(scope="module")
 def bench_doc(tmp_path_factory):
     out = tmp_path_factory.mktemp("bench") / "BENCH_smoke.json"
-    doc = run_bench(smoke=True, jobs=2, out=out)
+    doc = run_bench(smoke=True, jobs=2, out=out, jobs_matrix=[1, 2, 4])
     return doc, out
 
 
@@ -48,6 +73,12 @@ class TestRunBench:
             "predict_scalar_fps",
             "predict_batch_fps",
             "predict_batch_speedup",
+            "engine_frames",
+            "engine_scalar_fps",
+            "engine_batched_fps",
+            "engine_batch_speedup",
+            "engine_byte_identical",
+            "jobs_matrix",
         }
         assert expected <= results.keys()
 
@@ -63,3 +94,56 @@ class TestRunBench:
         # Warm cache reads shards instead of re-profiling.
         assert r["cache_warm_s"] < r["cache_cold_s"]
         assert r["predict_batch_fps"] > 0
+
+    def test_engine_stage_identical_and_faster(self, bench_doc):
+        doc, _ = bench_doc
+        r = doc["results"]
+        assert r["engine_byte_identical"] is True
+        assert r["engine_scalar_fps"] > 0
+        assert r["engine_batched_fps"] > 0
+        # The batched walk must actually beat the scalar loop, not
+        # just match it (the ISSUE's headline claim is >=5x; the gate
+        # in compare enforces the committed ratio, this test only
+        # pins the direction so it stays robust on loaded runners).
+        assert r["engine_batch_speedup"] > 1.0
+
+    def test_jobs_matrix_clamped_and_anchored(self, bench_doc):
+        doc, _ = bench_doc
+        rows = doc["results"]["jobs_matrix"]
+        counts = [row["jobs"] for row in rows]
+        # Requested [1, 2, 4]; whatever survives clamping is an
+        # ascending dedup that always starts at the jobs=1 anchor.
+        assert counts == sorted(set(counts))
+        assert counts[0] == 1
+        assert all(1 <= j <= available_cpus() for j in counts)
+        assert rows[0]["speedup"] == 1.0
+        assert all(row["elapsed_s"] > 0 for row in rows)
+
+class TestJobsMatrixStage:
+    def test_clamps_dedups_and_anchors(self):
+        from repro.bench.harness import _bench_jobs_matrix
+        from repro.profiling import ProfileConfig
+        from repro.synthetic import CorpusSpec
+
+        spec = CorpusSpec(n_sequences=1, total_frames=8)
+        # Duplicates and over-asking collapse; the jobs=1 anchor is
+        # always prepended even when not requested.
+        rows = _bench_jobs_matrix(spec, ProfileConfig(), [8, 8, 2])
+        counts = [row["jobs"] for row in rows]
+        assert counts == sorted(set(counts))
+        assert counts[0] == 1
+        assert counts[-1] <= available_cpus()
+
+
+class TestCli:
+    def test_jobs_matrix_garbage_rejected(self):
+        from repro.bench.harness import main
+
+        with pytest.raises(SystemExit):
+            main(["--smoke", "--jobs-matrix", "two,four"])
+
+    def test_jobs_matrix_nonpositive_rejected(self):
+        from repro.bench.harness import main
+
+        with pytest.raises(SystemExit):
+            main(["--smoke", "--jobs-matrix", "0,2"])

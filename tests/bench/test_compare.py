@@ -117,6 +117,78 @@ class TestCompareDocs:
         assert failures == []
         assert any("assumed comparable" in n for n in notes)
 
+    def test_engine_metrics_gate_like_the_others(self):
+        base = doc(engine_batch_speedup=6.0, engine_byte_identical=True)
+        failures, _ = compare_docs(
+            base,
+            doc(engine_batch_speedup=1.5, engine_byte_identical=True),
+            tolerance=0.5,
+        )
+        assert any("engine_batch_speedup" in f for f in failures)
+        failures, _ = compare_docs(
+            base,
+            doc(engine_batch_speedup=6.0, engine_byte_identical=False),
+            tolerance=0.5,
+        )
+        assert any("engine_byte_identical" in f for f in failures)
+
+    def test_v1_baseline_without_engine_metrics_skipped(self):
+        # A committed repro-bench/1 baseline predates the engine
+        # stage; its absence must not fail a v2 current run.
+        base = dict(doc(), schema="repro-bench/1")
+        cur = doc(engine_batch_speedup=6.0, engine_byte_identical=True)
+        failures, notes = compare_docs(base, cur, tolerance=0.5)
+        assert failures == []
+        assert any(
+            "engine_batch_speedup: not in baseline" in n for n in notes
+        )
+
+
+def matrix(*pairs):
+    return [{"jobs": j, "elapsed_s": s, "speedup": pairs[0][1] / s} for j, s in pairs]
+
+
+class TestJobsMatrixGate:
+    def test_monotone_matrix_passes(self):
+        cur = doc(jobs_matrix=matrix((1, 4.0), (2, 2.1), (4, 1.2)))
+        failures, notes = compare_docs(doc(), cur, tolerance=0.5)
+        assert failures == []
+        assert any("jobs_matrix: ok" in n for n in notes)
+
+    def test_single_entry_passes_trivially(self):
+        # A single-core runner clamps the matrix to [1]; nothing to
+        # degrade against, so the gate passes.
+        cur = doc(jobs_matrix=matrix((1, 4.0)))
+        failures, _ = compare_docs(doc(), cur, tolerance=0.5)
+        assert failures == []
+
+    def test_degradation_beyond_tolerance_fails(self):
+        # jobs=4 takes >2x the best earlier time at tolerance 0.5.
+        cur = doc(jobs_matrix=matrix((1, 4.0), (2, 2.0), (4, 4.5)))
+        failures, _ = compare_docs(doc(), cur, tolerance=0.5)
+        assert any("jobs_matrix" in f and "jobs=4" in f for f in failures)
+
+    def test_mild_degradation_within_tolerance_passes(self):
+        # jobs=4 slower than jobs=2 but within the 1/tolerance band.
+        cur = doc(jobs_matrix=matrix((1, 4.0), (2, 2.0), (4, 2.8)))
+        failures, _ = compare_docs(doc(), cur, tolerance=0.5)
+        assert failures == []
+
+    def test_unsorted_counts_fail(self):
+        cur = doc(jobs_matrix=matrix((2, 2.0), (1, 4.0)))
+        failures, _ = compare_docs(doc(), cur, tolerance=0.5)
+        assert any("not ascending" in f for f in failures)
+
+    def test_empty_matrix_fails(self):
+        cur = doc(jobs_matrix=[])
+        failures, _ = compare_docs(doc(), cur, tolerance=0.5)
+        assert any("jobs_matrix" in f for f in failures)
+
+    def test_absent_matrix_skipped_with_note(self):
+        failures, notes = compare_docs(doc(), doc(), tolerance=0.5)
+        assert failures == []
+        assert any("jobs_matrix: not in current run" in n for n in notes)
+
 
 class TestMain:
     def _write(self, path, document):
@@ -142,6 +214,14 @@ class TestMain:
             == 2
         )
         assert "bench compare:" in capsys.readouterr().err
+
+    def test_v1_document_loads_fine(self, tmp_path, capsys):
+        base = self._write(
+            tmp_path / "base.json", dict(doc(), schema="repro-bench/1")
+        )
+        cur = self._write(tmp_path / "cur.json", doc())
+        assert main(["--baseline", base, "--current", cur]) == 0
+        assert "bench compare: ok" in capsys.readouterr().out
 
     def test_wrong_schema_exits_2(self, tmp_path, capsys):
         base = self._write(tmp_path / "base.json", doc())

@@ -1,0 +1,120 @@
+"""Bit-exactness of the columnar cost path (``CostModel.time_ms_many``).
+
+The batched frame engine leans on ``time_ms_many`` producing the very
+same floats as per-execution ``time_ms`` calls; these tests pin that
+over real pipeline-produced work reports (every task, jittered and
+noise-free) and over synthetic cache-overflow reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.obs as obs
+from repro.experiments.common import make_pipeline
+from repro.experiments.fig7 import fig7_sequence
+from repro.hw.cost import CostModel
+from repro.hw.spec import blackford
+from repro.imaging.common import BufferAccess, WorkReport
+
+
+@pytest.fixture(scope="module")
+def reports_by_task():
+    """Real work reports from a 32-frame fig7 sequence, keyed by task."""
+    seq = fig7_sequence(n_frames=32)
+    pipeline = make_pipeline(seq)
+    by_task: dict[str, list[tuple[WorkReport, tuple[object, ...]]]] = {}
+    for k, (img, _truth) in enumerate(seq.iter_frames()):
+        analysis = pipeline.process(img)
+        for report in analysis.reports.values():
+            by_task.setdefault(report.task, []).append((report, ("bc", k)))
+    return by_task
+
+
+@pytest.fixture()
+def model():
+    return CostModel(blackford(), pixel_scale=16.0, seed=11)
+
+
+class TestTimeMsManyParity:
+    def test_bit_identical_with_jitter(self, model, reports_by_task):
+        assert len(reports_by_task) >= 5  # a real task mix
+        for task, pairs in reports_by_task.items():
+            reports = [r for r, _ in pairs]
+            keys = [k for _, k in pairs]
+            batch = model.time_ms_many(task, reports, keys)
+            for i, (report, key) in enumerate(pairs):
+                ref = model.time_ms(report, frame_key=key)
+                assert batch.base_ms[i] == ref.base_ms
+                assert batch.content_ms[i] == ref.content_ms
+                assert batch.cache_stall_ms[i] == ref.cache_stall_ms
+                assert batch.jitter_ms[i] == ref.jitter_ms
+                assert batch.total_ms[i] == ref.total_ms
+                assert batch.eviction_bytes[i] == ref.cache.eviction_bytes
+                assert batch.external_bytes[i] == ref.cache.external_bytes
+
+    def test_bit_identical_noise_free(self, model, reports_by_task):
+        for task, pairs in reports_by_task.items():
+            reports = [r for r, _ in pairs]
+            keys = [k for _, k in pairs]
+            batch = model.time_ms_many(task, reports, keys, with_jitter=False)
+            for i, (report, key) in enumerate(pairs):
+                ref = model.time_ms(report, frame_key=key, with_jitter=False)
+                assert batch.jitter_ms[i] == 0.0
+                assert batch.total_ms[i] == ref.total_ms
+
+    def test_cache_overflow_reports(self, model):
+        # Working sets straddling the L2 capacity exercise the eviction
+        # branch (np.rint / masked divide) against int(round(...)).
+        cap = model.platform.l2.capacity_bytes
+        reports = [
+            WorkReport(
+                task="ENH",
+                pixels=50_000,
+                bytes_in=nbytes // 2,
+                bytes_out=nbytes // 2,
+                buffers=(
+                    BufferAccess("a", nbytes // 2, passes=1.5),
+                    BufferAccess("b", nbytes - nbytes // 2),
+                ),
+            )
+            for nbytes in (0, cap // 32, cap // 16, cap // 8, cap, 3 * cap)
+        ]
+        keys = [("ovf", i) for i in range(len(reports))]
+        batch = model.time_ms_many("ENH", reports, keys)
+        assert batch.eviction_bytes.max() > 0
+        assert batch.eviction_bytes.min() == 0
+        for i, (report, key) in enumerate(zip(reports, keys)):
+            ref = model.time_ms(report, frame_key=key)
+            assert batch.cache_stall_ms[i] == ref.cache_stall_ms
+            assert batch.total_ms[i] == ref.total_ms
+            assert batch.eviction_bytes[i] == ref.cache.eviction_bytes
+            assert batch.external_bytes[i] == ref.cache.external_bytes
+
+    def test_empty_batch(self, model):
+        batch = model.time_ms_many("REG", [], [])
+        assert batch.total_ms.shape == (0,)
+
+    def test_length_mismatch_raises(self, model):
+        with pytest.raises(ValueError):
+            model.time_ms_many("REG", [], [("k",)])
+
+    def test_unknown_task_raises(self, model):
+        with pytest.raises(KeyError):
+            model.time_ms_many("NOPE", [], [])
+
+    def test_metrics_match_scalar_loop(self, model, reports_by_task):
+        task, pairs = max(reports_by_task.items(), key=lambda kv: len(kv[1]))
+        reports = [r for r, _ in pairs]
+        keys = [k for _, k in pairs]
+
+        with obs.observed() as scalar_obs:
+            for report, key in pairs:
+                model.time_ms(report, frame_key=key)
+        with obs.observed() as batch_obs:
+            model.time_ms_many(task, reports, keys)
+
+        assert (
+            scalar_obs.metrics.snapshot() == batch_obs.metrics.snapshot()
+        )

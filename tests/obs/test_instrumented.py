@@ -136,7 +136,7 @@ class TestPoolTelemetry:
             results = map_sequences(_span_worker, list(range(4)), jobs=2)
         assert results == [0, 2, 4, 6]
         (map_span,) = spans_named(o, "parallel.map")
-        assert map_span["attrs"] == {"n_items": 4, "jobs": 2}
+        assert map_span["attrs"] == {"n_items": 4, "jobs": 2, "chunksize": 1}
         items = spans_named(o, "worker.item")
         assert len(items) == 4
         # Re-parented under the fan-out span, stamped with their slot,

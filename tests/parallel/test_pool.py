@@ -7,7 +7,12 @@ from unittest import mock
 
 import pytest
 
-from repro.parallel import map_sequences, resolve_jobs
+from repro.parallel import (
+    available_cpus,
+    get_payload,
+    map_sequences,
+    resolve_jobs,
+)
 
 
 def _triple(x: int) -> int:
@@ -19,25 +24,40 @@ def _ident(x: int) -> tuple[int, int]:
     return (x, os.getpid())
 
 
+class TestAvailableCpus:
+    def test_prefers_scheduling_affinity(self):
+        if hasattr(os, "sched_getaffinity"):
+            assert available_cpus() == len(os.sched_getaffinity(0))
+        else:
+            assert available_cpus() == (os.cpu_count() or 1)
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        assert available_cpus() == (os.cpu_count() or 1)
+
+    def test_at_least_one(self):
+        assert available_cpus() >= 1
+
+
 class TestResolveJobs:
     def test_explicit_value(self):
         assert resolve_jobs(3) == 3
 
-    def test_zero_means_all_cores(self):
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
+    def test_zero_means_all_available_cores(self):
+        assert resolve_jobs(0) == available_cpus()
 
-    def test_default_is_cpu_count(self):
+    def test_default_is_available_cpus(self):
         with mock.patch.dict(os.environ, {}, clear=False):
             os.environ.pop("REPRO_JOBS", None)
-            assert resolve_jobs(None) == (os.cpu_count() or 1)
+            assert resolve_jobs(None) == available_cpus()
 
     def test_env_override(self):
         with mock.patch.dict(os.environ, {"REPRO_JOBS": "5"}):
             assert resolve_jobs(None) == 5
 
-    def test_env_zero_means_all_cores(self):
+    def test_env_zero_means_all_available_cores(self):
         with mock.patch.dict(os.environ, {"REPRO_JOBS": "0"}):
-            assert resolve_jobs(None) == (os.cpu_count() or 1)
+            assert resolve_jobs(None) == available_cpus()
 
     def test_explicit_beats_env(self):
         with mock.patch.dict(os.environ, {"REPRO_JOBS": "5"}):
@@ -87,3 +107,65 @@ class TestMapSequences:
 
     def test_empty_items(self):
         assert map_sequences(_triple, [], jobs=4) == []
+
+
+def _tagged(i: int) -> tuple[int, str, int]:
+    payload = get_payload()
+    return (i, payload["tag"], os.getpid())
+
+
+def _spans(o, name):
+    return [
+        r
+        for r in o.tracer.records
+        if r["kind"] == "span" and r["name"] == name
+    ]
+
+
+class TestSharedPayload:
+    def test_inline_install_and_teardown(self):
+        out = map_sequences(_tagged, [1, 2], jobs=1, payload={"tag": "t"})
+        assert out == [(1, "t", os.getpid()), (2, "t", os.getpid())]
+        with pytest.raises(RuntimeError, match="no shared payload"):
+            get_payload()
+
+    def test_pool_installs_once_per_worker(self):
+        out = map_sequences(
+            _tagged, list(range(6)), jobs=2, payload={"tag": "pool"}
+        )
+        assert [(i, tag) for i, tag, _ in out] == [
+            (i, "pool") for i in range(6)
+        ]
+        assert os.getpid() not in {pid for _, _, pid in out}
+
+    def test_no_payload_raises_in_worker(self):
+        with pytest.raises(RuntimeError, match="no shared payload"):
+            map_sequences(_tagged, [1, 2], jobs=1)
+
+
+class TestChunksize:
+    def test_autotune_emitted_on_span(self):
+        import repro.obs as obs
+
+        with obs.observed() as o:
+            map_sequences(_triple, list(range(24)), jobs=2)
+        (map_span,) = _spans(o, "parallel.map")
+        # max(1, 24 // (4 * 2)) = 3: four dispatch rounds per worker.
+        assert map_span["attrs"]["chunksize"] == 3
+
+    def test_explicit_chunksize_respected(self):
+        import repro.obs as obs
+
+        with obs.observed() as o:
+            results = map_sequences(_triple, list(range(8)), jobs=2, chunksize=4)
+        assert results == [3 * x for x in range(8)]
+        (map_span,) = _spans(o, "parallel.map")
+        assert map_span["attrs"]["chunksize"] == 4
+
+    def test_coarse_work_degrades_to_one(self):
+        import repro.obs as obs
+
+        with obs.observed() as o:
+            map_sequences(_triple, list(range(3)), jobs=2)
+        (map_span,) = _spans(o, "parallel.map")
+        assert map_span["attrs"]["chunksize"] == 1

@@ -1,0 +1,144 @@
+"""Tests for the shared-memory array transport."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import SharedArrays, map_sequences
+
+
+@pytest.fixture()
+def arrays():
+    return {
+        "a": np.arange(12, dtype=np.float32).reshape(3, 4),
+        "b": np.arange(5, dtype=np.int64),
+        "c": np.float64([[1.5]]),
+    }
+
+
+class TestCreateAndAccess:
+    def test_values_round_trip(self, arrays):
+        with SharedArrays.create(arrays) as bundle:
+            assert sorted(bundle.keys()) == ["a", "b", "c"]
+            for name, arr in arrays.items():
+                got = bundle.get(name)
+                np.testing.assert_array_equal(got, arr)
+                assert got.dtype == arr.dtype
+
+    def test_views_are_read_only(self, arrays):
+        with SharedArrays.create(arrays) as bundle:
+            view = bundle.get("a")
+            with pytest.raises(ValueError):
+                view[0, 0] = 99.0
+
+    def test_nbytes_counts_payload(self, arrays):
+        with SharedArrays.create(arrays) as bundle:
+            assert bundle.nbytes == sum(a.nbytes for a in arrays.values())
+
+    def test_contains_iter_len(self, arrays):
+        with SharedArrays.create(arrays) as bundle:
+            assert "a" in bundle and "missing" not in bundle
+            assert set(bundle) == set(arrays)
+            assert len(bundle) == 3
+
+    def test_non_contiguous_input_packed(self):
+        base = np.arange(20, dtype=np.float64).reshape(4, 5)
+        strided = base[:, ::2]
+        with SharedArrays.create({"s": strided}) as bundle:
+            np.testing.assert_array_equal(bundle.get("s"), strided)
+
+
+class TestPickleTransport:
+    def test_attach_by_name(self, arrays):
+        bundle = SharedArrays.create(arrays)
+        try:
+            if not bundle.shared:
+                pytest.skip("no shared memory on this platform")
+            attached = pickle.loads(pickle.dumps(bundle))
+            assert attached.shared
+            for name, arr in arrays.items():
+                np.testing.assert_array_equal(attached.get(name), arr)
+                assert not attached.get(name).flags.writeable
+            attached.close()
+        finally:
+            bundle.close()
+            bundle.unlink()
+
+    def test_pickle_is_small(self, arrays):
+        big = {"big": np.zeros(1 << 20, dtype=np.float64)}  # 8 MiB
+        bundle = SharedArrays.create(big)
+        try:
+            if not bundle.shared:
+                pytest.skip("no shared memory on this platform")
+            # By-name transport: the pickle carries the segment name
+            # and index, not the 8 MiB payload.
+            assert len(pickle.dumps(bundle)) < 4096
+        finally:
+            bundle.close()
+            bundle.unlink()
+
+    def test_fallback_pickles_by_value(self, arrays, monkeypatch):
+        import multiprocessing.shared_memory as shm_mod
+
+        def boom(*args, **kwargs):
+            raise OSError("no /dev/shm")
+
+        monkeypatch.setattr(shm_mod, "SharedMemory", boom)
+        bundle = SharedArrays.create(arrays)
+        assert not bundle.shared
+        clone = pickle.loads(pickle.dumps(bundle))
+        for name, arr in arrays.items():
+            np.testing.assert_array_equal(clone.get(name), arr)
+            assert not clone.get(name).flags.writeable
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks(self, arrays):
+        bundle = SharedArrays.create(arrays)
+        if not bundle.shared:
+            pytest.skip("no shared memory on this platform")
+        name = bundle._shm.name
+        with bundle:
+            pass
+        from multiprocessing.shared_memory import SharedMemory
+
+        with pytest.raises(FileNotFoundError):
+            SharedMemory(name=name)
+
+    def test_unlink_idempotent(self, arrays):
+        bundle = SharedArrays.create(arrays)
+        bundle.close()
+        bundle.unlink()
+        bundle.unlink()  # second call is a no-op
+
+
+def _read_shared(i: int) -> tuple[int, float, bool, int]:
+    from repro.parallel import get_payload
+
+    payload = get_payload()
+    bundle = payload["bundle"]
+    total = float(bundle.get("data")[i].sum())
+    return (i, total, bundle.shared, os.getpid())
+
+
+class TestAcrossThePool:
+    def test_workers_read_shared_payload(self):
+        data = np.arange(24, dtype=np.float64).reshape(4, 6)
+        bundle = SharedArrays.create({"data": data})
+        try:
+            out = map_sequences(
+                _read_shared,
+                list(range(4)),
+                jobs=2,
+                payload={"bundle": bundle},
+            )
+        finally:
+            bundle.close()
+            bundle.unlink()
+        expected = [float(data[i].sum()) for i in range(4)]
+        assert [t for _, t, _, _ in out] == expected
+        assert os.getpid() not in {pid for _, _, _, pid in out}

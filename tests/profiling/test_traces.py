@@ -81,3 +81,120 @@ class TestPersistence:
         assert loaded.meta["note"] == "hello"
         assert "unserializable" not in loaded.meta
         assert loaded.records[0] == ts.records[0]
+
+    def test_save_writes_npz_sidecar(self, ts, tmp_path):
+        path = tmp_path / "traces.json"
+        ts.save(path)
+        assert (tmp_path / "traces.npz").exists()
+
+    def test_npz_and_json_load_paths_are_equal(self, ts, tmp_path):
+        path = tmp_path / "traces.json"
+        ts.meta["note"] = "hello"
+        ts.save(path)
+        fast = TraceSet.load(path)  # sidecar fingerprint matches
+        (tmp_path / "traces.npz").unlink()
+        slow = TraceSet.load(path)  # JSON-only fallback
+        assert fast.records == slow.records == ts.records
+        assert fast.pixel_scale == slow.pixel_scale == ts.pixel_scale
+        assert fast.platform == slow.platform == ts.platform
+        assert fast.meta == slow.meta == {"note": "hello"}
+        assert fast == slow
+
+    def test_stale_sidecar_falls_back_to_json(self, ts, tmp_path):
+        path = tmp_path / "traces.json"
+        ts.save(path)
+        # Rewrite the JSON without refreshing the sidecar: the stale
+        # sidecar's fingerprint no longer matches and must be ignored.
+        other = TraceSet(pixel_scale=2.0, platform="other")
+        other.append(rec(7, 0, {"Z": 4.0}, scenario=5))
+        payload_path = tmp_path / "other.json"
+        other.save(payload_path)
+        path.write_text(payload_path.read_text())
+        loaded = TraceSet.load(path)
+        assert loaded.platform == "other"
+        assert loaded.records == other.records
+
+    def test_corrupt_sidecar_falls_back_to_json(self, ts, tmp_path):
+        path = tmp_path / "traces.json"
+        ts.save(path)
+        (tmp_path / "traces.npz").write_bytes(b"not a zipfile")
+        loaded = TraceSet.load(path)
+        assert loaded.records == ts.records
+
+    def test_roundtrip_preserves_accessors(self, ts, tmp_path):
+        path = tmp_path / "traces.json"
+        ts.save(path)
+        loaded = TraceSet.load(path)
+        assert [list(s) for s in loaded.task_series("A")] == [
+            list(s) for s in ts.task_series("A")
+        ]
+        assert [list(c) for c in loaded.scenario_chains()] == [
+            list(c) for c in ts.scenario_chains()
+        ]
+        np.testing.assert_array_equal(loaded.latencies(), ts.latencies())
+        assert loaded.tasks() == ts.tasks()
+        assert loaded.sequences() == ts.sequences()
+
+
+class TestColumnarStorage:
+    def test_add_frame_matches_append(self, ts):
+        direct = TraceSet(pixel_scale=16.0, platform="test")
+        for r in ts.records:
+            direct.add_frame(
+                seq=r.seq,
+                frame=r.frame,
+                scenario_id=r.scenario_id,
+                task_ms=r.task_ms,
+                roi_kpixels=r.roi_kpixels,
+                latency_ms=r.latency_ms,
+                eviction_bytes=r.eviction_bytes,
+                external_bytes=r.external_bytes,
+            )
+        assert direct.records == ts.records
+        assert direct == ts
+
+    def test_extend_matches_record_appends(self, ts):
+        shard = TraceSet(pixel_scale=16.0, platform="test")
+        shard.append(rec(2, 0, {"C": 9.0, "A": 1.5}, scenario=4))
+        shard.append(rec(2, 1, {"A": 2.5}, scenario=4))
+
+        bulk = TraceSet(pixel_scale=16.0, platform="test")
+        bulk.extend(ts)
+        bulk.extend(shard)
+
+        slow = TraceSet(pixel_scale=16.0, platform="test")
+        for r in ts.records + shard.records:
+            slow.append(r)
+        assert bulk.records == slow.records
+        assert bulk.tasks() == slow.tasks() == ["A", "B", "C"]
+
+    def test_growth_past_initial_capacity(self):
+        t = TraceSet()
+        for i in range(300):
+            t.add_frame(
+                seq=i // 100,
+                frame=i % 100,
+                scenario_id=i % 8,
+                task_ms={"A": float(i)},
+                roi_kpixels=1.0,
+                latency_ms=float(i),
+                eviction_bytes=0,
+                external_bytes=i,
+            )
+        assert len(t) == 300
+        assert t.records[299].task_ms == {"A": 299.0}
+        np.testing.assert_array_equal(
+            t.task_values("A"), np.arange(300, dtype=np.float64)
+        )
+
+    def test_records_cache_invalidated_by_writes(self, ts):
+        first = ts.records
+        assert ts.records is first  # cached between reads
+        ts.append(rec(9, 0, {"A": 1.0}))
+        assert len(ts.records) == len(first) + 1
+
+    def test_constructor_accepts_records(self, ts):
+        rebuilt = TraceSet(
+            ts.records, pixel_scale=ts.pixel_scale, platform=ts.platform
+        )
+        assert rebuilt == ts
