@@ -43,16 +43,25 @@ from repro.bench.harness import SCHEMAS
 __all__ = ["RATIO_METRICS", "BOOL_METRICS", "compare_docs", "main"]
 
 #: Within-run ratios: machine-independent, gated with tolerance.
-#: ``engine_batch_speedup`` exists from schema v2 on; against a v1
-#: baseline it is skipped, not failed.
+#: ``engine_batch_speedup`` exists from schema v2 on and
+#: ``fleet_p99_wait_gain`` (FCFS p99 wait over prediction-aware p99
+#: wait in the fleet simulator) from v3; against an older baseline a
+#: missing ratio is skipped, not failed.
 RATIO_METRICS: tuple[str, ...] = (
     "parallel_speedup",
     "predict_batch_speedup",
     "engine_batch_speedup",
+    "fleet_p99_wait_gain",
 )
 
 #: Correctness booleans: a true -> false transition always fails.
-BOOL_METRICS: tuple[str, ...] = ("byte_identical", "engine_byte_identical")
+#: ``fleet_deterministic`` asserts two same-seed fleet simulations
+#: produced identical SLO summaries (schema v3 on).
+BOOL_METRICS: tuple[str, ...] = (
+    "byte_identical",
+    "engine_byte_identical",
+    "fleet_deterministic",
+)
 
 
 def _load(path: Path) -> dict[str, Any]:
@@ -176,7 +185,7 @@ def compare_docs(
 
     # Absolute timings: context only, never a verdict.
     for name in sorted(set(base) | set(cur)):
-        if name.endswith(("_s", "_fps")):
+        if name.endswith(("_s", "_fps", "_ms")):
             notes.append(
                 f"{name}: informational "
                 f"(baseline {base.get(name)}, current {cur.get(name)})"

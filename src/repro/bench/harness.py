@@ -27,11 +27,12 @@ from repro.synthetic import CorpusSpec, generate_corpus
 __all__ = ["SCHEMA", "SCHEMAS", "machine_info", "run_bench"]
 
 #: Schema identifier written into every BENCH JSON document.
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
 
 #: Schemas ``repro.bench.compare`` accepts (older documents lack the
-#: engine stage and jobs matrix; compare skips what is absent).
-SCHEMAS = ("repro-bench/1", SCHEMA)
+#: engine stage, jobs matrix or fleet stage; compare skips what is
+#: absent).
+SCHEMAS = ("repro-bench/1", "repro-bench/2", SCHEMA)
 
 #: Corpus sizes: (n_sequences, total_frames).
 _SMOKE_CORPUS = (2, 60)
@@ -40,6 +41,13 @@ _FULL_CORPUS = (8, 400)
 #: Engine-stage sequence lengths (frames of the Fig. 7 sequence).
 _SMOKE_ENGINE_FRAMES = 120
 _FULL_ENGINE_FRAMES = 300
+
+#: Fleet-stage trace sizes (jobs in the synthetic burst trace).
+_SMOKE_FLEET_JOBS = 1000
+_FULL_FLEET_JOBS = 2000
+
+#: Trace seed of the fleet stage (the CI gate's seed).
+_FLEET_SEED = 7
 
 
 def machine_info() -> dict[str, Any]:
@@ -211,6 +219,56 @@ def _bench_engine(smoke: bool) -> dict[str, Any]:
     }
 
 
+def _bench_fleet(smoke: bool) -> dict[str, Any]:
+    """Fleet simulator stage: FCFS vs prediction-aware backfill.
+
+    Times one full discrete-event comparison on the synthetic burst
+    trace and reports the two metrics the gate judges:
+
+    * ``fleet_deterministic`` -- two same-seed predictive runs must
+      produce identical SLO summaries (the simulation is seeded and
+      wall-clock free, so any drift is a correctness bug);
+    * ``fleet_p99_wait_gain`` -- FCFS p99 queue wait over the
+      prediction-aware policy's p99 (>1 means Triple-C estimates are
+      buying tail latency), a within-run ratio comparable across
+      machines.
+    """
+    from repro.fleet.cli import run_comparison
+    from repro.fleet.jobs import synthetic_burst_trace
+
+    n_jobs = _SMOKE_FLEET_JOBS if smoke else _FULL_FLEET_JOBS
+    trace = synthetic_burst_trace(n_jobs=n_jobs, seed=_FLEET_SEED)
+    sim_s, doc = _timed(
+        lambda: run_comparison(
+            trace, policies=("fcfs", "predictive"), seed=_FLEET_SEED
+        )
+    )
+    policies = doc["policies"]
+    assert isinstance(policies, dict)
+    rerun = run_comparison(
+        trace, policies=("predictive",), seed=_FLEET_SEED
+    )["policies"]
+    assert isinstance(rerun, dict)
+    deterministic = json.dumps(
+        policies["predictive"], sort_keys=True
+    ) == json.dumps(rerun["predictive"], sort_keys=True)
+
+    fcfs_p99 = float(policies["fcfs"]["wait_ms"]["p99"])
+    pred_p99 = float(policies["predictive"]["wait_ms"]["p99"])
+    return {
+        "fleet_sim_s": sim_s,
+        "fleet_jobs": n_jobs,
+        "fleet_deterministic": deterministic,
+        "fleet_p99_wait_gain": fcfs_p99 / pred_p99 if pred_p99 > 0 else 0.0,
+        "fleet_fcfs_p99_wait_ms": fcfs_p99,
+        "fleet_predictive_p99_wait_ms": pred_p99,
+        "fleet_utilization_delta": float(
+            policies["predictive"]["utilization"]
+        )
+        - float(policies["fcfs"]["utilization"]),
+    }
+
+
 def _bench_jobs_matrix(
     spec: CorpusSpec, config: ProfileConfig, requested: list[int]
 ) -> list[dict[str, Any]]:
@@ -263,6 +321,7 @@ def run_bench(
     results.update(model_results)
     results.update(_bench_prediction(traces))
     results.update(_bench_engine(smoke))
+    results.update(_bench_fleet(smoke))
     if jobs_matrix:
         results["jobs_matrix"] = _bench_jobs_matrix(spec, config, jobs_matrix)
 
@@ -302,6 +361,9 @@ def _format_summary(doc: dict[str, Any]) -> str:
         f"(x{r['engine_batch_speedup']:.1f}, "
         f"byte-identical={r['engine_byte_identical']}, "
         f"{r['engine_frames']} frames)",
+        f"  fleet:   {r['fleet_jobs']} jobs in {r['fleet_sim_s']:.2f}s "
+        f"(p99 gain x{r['fleet_p99_wait_gain']:.2f}, "
+        f"deterministic={r['fleet_deterministic']})",
     ]
     for row in r.get("jobs_matrix", []):
         lines.append(

@@ -46,6 +46,7 @@ __all__ = [
     "predictor_from_dict",
     "chain_to_dict",
     "chain_from_dict",
+    "fit_series_predictor",
 ]
 
 
@@ -143,6 +144,63 @@ def predictor_from_dict(d: dict[str, Any]) -> TaskTimePredictor:
     if backend is None:
         raise ValueError(f"unknown predictor type {kind!r}")
     return backend.from_dict(d)
+
+
+class _SeriesTraces:
+    """Minimal trace-set stand-in carrying one bare value series.
+
+    Registry fits consume ``traces.task_series(task)``; consumers
+    that hold a plain millisecond series (the fleet layer's per-app
+    job-runtime history) wrap it here so any series-only backend can
+    train from it.  Backends needing richer traces (ROI columns,
+    scenario labels) fail with an explicit error instead of a stray
+    ``AttributeError``.
+    """
+
+    __slots__ = ("_series",)
+
+    #: The placeholder task name the shim serves.
+    TASK = "series"
+
+    def __init__(self, series: "np.ndarray") -> None:
+        self._series = [np.asarray(series, dtype=np.float64)]
+
+    def task_series(self, task: str) -> list["np.ndarray"]:
+        if task != self.TASK:
+            raise KeyError(task)
+        return self._series
+
+    def task_values(self, task: str) -> "np.ndarray":
+        return np.concatenate(self.task_series(task))
+
+
+def fit_series_predictor(
+    kind: str, series: Any, **options: Any
+) -> TaskTimePredictor:
+    """Fit a registered backend from a bare value series.
+
+    The estimate adapter for consumers outside the per-task frame
+    loop: anything holding an ordered millisecond series (per-app job
+    runtimes, per-tenant frame latencies) gets a trained
+    :class:`TaskTimePredictor` of the requested ``kind`` with one
+    call.  ``options`` pass through to the backend fit (``alpha``,
+    ``online_update``, ...).
+
+    Only series-only backends qualify (``constant``, ``last-value``,
+    ``markov``, ``ewma+markov``); backends that need full profiling
+    traces raise ``ValueError``.
+    """
+    backend = get_predictor(kind)
+    values = np.asarray(series, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("series must be a non-empty 1-D value sequence")
+    try:
+        return backend.fit(_SeriesTraces(values), _SeriesTraces.TASK, **options)
+    except (AttributeError, KeyError) as exc:
+        raise ValueError(
+            f"predictor kind {kind!r} needs full profiling traces and "
+            "cannot be fitted from a bare series"
+        ) from exc
 
 
 @pure

@@ -1,0 +1,183 @@
+"""Predictive admission control with per-tenant QoS tiers.
+
+Every arrival passes the admission controller before it may queue.
+The controller is *predictive*: rather than reacting to queue depth
+alone it gates on a projected wait -- the declared backlog (pending +
+running work at the tenant-declared walltime limits, in reference
+core-milliseconds) divided by the fleet's aggregate throughput,
+scaled by a calibration ratio.  Tenants pad their declared limits
+heavily, so raw declared backlog over-projects the wait by the
+padding factor; the controller learns that factor online as an EWMA
+of observed ``runtime / limit`` at every completion -- the paper's
+predict-then-observe feedback loop (Section 6) applied to admission.
+Declared limits rather than the scheduler's runtime estimates feed
+this projection so admission decisions are near-identical across
+policies and the policy comparison replays one job population.
+Tiers (:class:`repro.runtime.qos.QosTier`) set the contract:
+
+* **gold** is never shed -- admission always succeeds;
+* **silver**/**bronze** are shed when their tier's pending depth cap
+  is exceeded or the projected wait overruns the tier's wait budget
+  -- bronze's budget is the loosest in absolute terms but it sheds
+  first under a burst because its depth cap is the smallest.
+
+Shedding at admission time is the graceful-degradation story: under
+overload the fleet turns away cheap replay work *at the door* with a
+clear signal instead of letting every tenant's tail latency collapse.
+
+Per tier the controller keeps the QoS bookkeeping the SLO report
+renders: a :class:`~repro.runtime.qos.DelayLine` over queue waits
+(wait-budget violations + jitter) and a
+:class:`~repro.runtime.qos.MissBudget` over completion deadlines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.fleet.jobs import JobRecord
+from repro.runtime.qos import DelayLine, MissBudget, QosTier
+
+__all__ = ["default_tiers", "AdmissionDecision", "AdmissionController"]
+
+
+def default_tiers() -> dict[str, QosTier]:
+    """The standard gold/silver/bronze contract set."""
+    return {
+        "gold": QosTier(
+            name="gold",
+            priority=2,
+            wait_budget_ms=1_000.0,
+            max_pending=10_000,
+            miss_budget=0.01,
+            sheddable=False,
+        ),
+        "silver": QosTier(
+            name="silver",
+            priority=1,
+            wait_budget_ms=4_000.0,
+            max_pending=256,
+            miss_budget=0.05,
+        ),
+        "bronze": QosTier(
+            name="bronze",
+            priority=0,
+            wait_budget_ms=8_000.0,
+            max_pending=128,
+            miss_budget=0.20,
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    reason: str
+
+
+@dataclass
+class _TierState:
+    tier: QosTier
+    pending: int = 0
+    shed: int = 0
+    admitted: int = 0
+    waits: DelayLine = field(init=False)
+    deadlines: MissBudget = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.waits = DelayLine(self.tier.wait_budget())
+        self.deadlines = MissBudget(self.tier.miss_budget)
+
+
+class AdmissionController:
+    """Stateful per-tier admission gate for one simulation run."""
+
+    #: EWMA step for the runtime/limit calibration ratio.
+    CALIBRATION_ALPHA = 0.1
+
+    def __init__(
+        self,
+        tiers: Mapping[str, QosTier],
+        capacity_core_speed: float,
+    ) -> None:
+        """``capacity_core_speed`` is the fleet's aggregate throughput
+        in reference-core equivalents (work drains at that rate)."""
+        if capacity_core_speed <= 0:
+            raise ValueError("capacity must be positive")
+        self._tiers = {name: _TierState(t) for name, t in tiers.items()}
+        self._capacity = capacity_core_speed
+        # Observed runtime/limit ratio; starts pessimistic (declared
+        # limits taken at face value) and converges onto the tenants'
+        # actual padding factor as completions stream in.
+        self._limit_ratio = 1.0
+
+    def _state(self, job: JobRecord) -> _TierState:
+        try:
+            return self._tiers[job.tier]
+        except KeyError:
+            raise ValueError(
+                f"{job.job_id}: unknown QoS tier {job.tier!r}"
+            ) from None
+
+    @property
+    def limit_ratio(self) -> float:
+        """Current runtime/limit calibration ratio (1.0 until the
+        first completion)."""
+        return self._limit_ratio
+
+    def projected_wait_ms(self, backlog_core_ms: float) -> float:
+        """Estimated queue wait implied by the declared backlog,
+        corrected by the learned padding calibration."""
+        return backlog_core_ms * self._limit_ratio / self._capacity
+
+    def on_submit(
+        self, job: JobRecord, backlog_core_ms: float
+    ) -> AdmissionDecision:
+        """Admit or shed one arrival given the estimated backlog."""
+        state = self._state(job)
+        tier = state.tier
+        if tier.sheddable:
+            if state.pending >= tier.max_pending:
+                state.shed += 1
+                return AdmissionDecision(False, "pending-depth")
+            if self.projected_wait_ms(backlog_core_ms) > tier.shed_wait_ms:
+                state.shed += 1
+                return AdmissionDecision(False, "projected-wait")
+        state.pending += 1
+        state.admitted += 1
+        return AdmissionDecision(True, "admitted")
+
+    def on_start(self, job: JobRecord, wait_ms: float) -> None:
+        """Record the queue wait when a job begins executing."""
+        state = self._state(job)
+        state.pending -= 1
+        state.waits.push(wait_ms)
+
+    def on_finish(self, job: JobRecord, finish_ms: float) -> None:
+        """Record the deadline outcome when a job completes and fold
+        its observed runtime/limit ratio into the calibration."""
+        self._state(job).deadlines.record(finish_ms > job.deadline_ms)
+        observed = job.runtime_ms / job.limit_ms
+        self._limit_ratio += self.CALIBRATION_ALPHA * (
+            observed - self._limit_ratio
+        )
+
+    def tier_report(self) -> dict[str, dict[str, float | int]]:
+        """Per-tier QoS digest (JSON-able, deterministic)."""
+        out: dict[str, dict[str, float | int]] = {}
+        for name in sorted(self._tiers):
+            s = self._tiers[name]
+            out[name] = {
+                "admitted": s.admitted,
+                "shed": s.shed,
+                "wait_violations": s.waits.violations,
+                "wait_violation_rate": round(s.waits.violation_rate(), 6),
+                "wait_jitter_std_ms": round(s.waits.output_jitter_std(), 3),
+                "deadline_misses": s.deadlines.misses,
+                "deadline_miss_rate": round(s.deadlines.miss_rate, 6),
+                "miss_budget_burn": round(s.deadlines.burn(), 6),
+            }
+        return out

@@ -1,0 +1,253 @@
+"""``python -m repro.fleet`` -- run the fleet SLO comparison.
+
+Replays one job trace (synthetic burst by default, or a loaded
+trace-replay corpus) under each requested policy and writes a single
+deterministic SLO JSON document::
+
+    python -m repro.fleet --smoke --seed 7           # the CI gate
+    python -m repro.fleet --jobs 2000 --out slo.json
+    python -m repro.fleet --trace corpus.json --policies fcfs,predictive
+
+Policies pair a scheduler with a runtime estimator:
+
+=============  ================  ============
+policy         scheduler         estimator
+=============  ================  ============
+``fcfs``       strict FCFS       (none used)
+``easy``       EASY backfill     worst-case
+``predictive`` EASY backfill     triplec
+``oracle``     EASY backfill     oracle
+=============  ================  ============
+
+The output contains only simulated quantities (no wall-clock values,
+no timestamps), is written with sorted keys, and is therefore
+byte-identical across reruns with the same seed -- the property the
+``fleet-smoke`` CI job asserts by diffing two runs.  ``--check``
+additionally fails the run unless prediction-aware backfill beats
+FCFS on p99 wait at equal-or-better utilization.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+import repro.obs as obs
+from repro.fleet.estimates import make_estimator
+from repro.fleet.jobs import (
+    JobRecord,
+    load_trace,
+    save_trace,
+    synthetic_burst_trace,
+    trace_summary,
+)
+from repro.fleet.nodes import Fleet, default_fleet
+from repro.fleet.policies import BackfillScheduler, FcfsScheduler, Scheduler
+from repro.fleet.simulator import FleetSimulator
+
+__all__ = ["REPORT_SCHEMA", "POLICIES", "run_comparison", "main"]
+
+#: Schema tag of the SLO report document.
+REPORT_SCHEMA = "repro-fleet/1"
+
+#: policy name -> (scheduler factory, estimator kind).
+POLICIES: dict[str, tuple[type[Scheduler], str]] = {
+    "fcfs": (FcfsScheduler, "worst-case"),
+    "easy": (BackfillScheduler, "worst-case"),
+    "predictive": (BackfillScheduler, "triplec"),
+    "oracle": (BackfillScheduler, "oracle"),
+}
+
+#: Default policy set of the comparison.
+DEFAULT_POLICIES = ("fcfs", "easy", "predictive", "oracle")
+
+
+def run_comparison(
+    trace: Sequence[JobRecord],
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    fleet: Fleet | None = None,
+    seed: int | None = None,
+) -> dict[str, object]:
+    """Run every policy over ``trace`` and build the report document."""
+    the_fleet = fleet if fleet is not None else default_fleet()
+    by_policy: dict[str, dict[str, object]] = {}
+    for name in policies:
+        try:
+            scheduler_cls, estimator_kind = POLICIES[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown policy {name!r}; expected one of {sorted(POLICIES)}"
+            ) from None
+        simulator = FleetSimulator(
+            the_fleet,
+            scheduler_cls(),
+            make_estimator(estimator_kind, trace),
+        )
+        by_policy[name] = simulator.run(trace).slo_summary()
+
+    comparison: dict[str, object] = {}
+    if "fcfs" in by_policy:
+        fcfs_p99 = _p99(by_policy["fcfs"])
+        fcfs_util = _util(by_policy["fcfs"])
+        vs: dict[str, dict[str, float]] = {}
+        for name, summary in by_policy.items():
+            if name == "fcfs":
+                continue
+            p99 = _p99(summary)
+            vs[name] = {
+                "p99_wait_ratio": round(p99 / fcfs_p99, 6) if fcfs_p99 else 0.0,
+                "p99_wait_delta_ms": round(p99 - fcfs_p99, 3),
+                "utilization_delta": round(_util(summary) - fcfs_util, 6),
+            }
+        comparison["vs_fcfs"] = dict(sorted(vs.items()))
+
+    doc: dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "seed": seed,
+        "trace": trace_summary(trace),
+        "fleet": {
+            "nodes": the_fleet.describe(),
+            "total_cores": the_fleet.total_cores,
+            "total_core_speed": round(the_fleet.total_core_speed, 6),
+        },
+        "policies": dict(sorted(by_policy.items())),
+        "comparison": comparison,
+    }
+    return doc
+
+
+def _p99(summary: dict[str, object]) -> float:
+    wait = summary["wait_ms"]
+    assert isinstance(wait, dict)
+    return float(wait["p99"])
+
+
+def _util(summary: dict[str, object]) -> float:
+    return float(summary["utilization"])  # type: ignore[arg-type]
+
+
+def _check_prediction_wins(doc: dict[str, object]) -> list[str]:
+    """The acceptance assertion: predictive beats FCFS on tail wait
+    at equal-or-better utilization.  Returns failure strings."""
+    policies = doc["policies"]
+    assert isinstance(policies, dict)
+    failures: list[str] = []
+    if "fcfs" not in policies or "predictive" not in policies:
+        return ["--check needs both 'fcfs' and 'predictive' policies"]
+    fcfs, predictive = policies["fcfs"], policies["predictive"]
+    f_p99, p_p99 = _p99(fcfs), _p99(predictive)
+    if not p_p99 < f_p99:
+        failures.append(
+            f"predictive p99 wait {p_p99:.1f} ms not below fcfs {f_p99:.1f} ms"
+        )
+    f_util, p_util = _util(fcfs), _util(predictive)
+    if p_util < f_util - 1e-6:
+        failures.append(
+            f"predictive utilization {p_util:.4f} below fcfs {f_util:.4f}"
+        )
+    return failures
+
+
+def _format_summary(doc: dict[str, object]) -> str:
+    policies = doc["policies"]
+    assert isinstance(policies, dict)
+    trace = doc["trace"]
+    assert isinstance(trace, dict)
+    lines = [
+        f"repro.fleet ({doc['schema']})  seed={doc['seed']}  "
+        f"jobs={trace['n_jobs']}  apps={trace['by_app']}",
+        f"{'policy':<12} {'p50 wait':>10} {'p99 wait':>10} {'util':>7} "
+        f"{'completed':>9} {'shed':>5} {'misses':>6}",
+    ]
+    for name in sorted(policies):
+        s = policies[name]
+        wait, jobs, deadline = s["wait_ms"], s["jobs"], s["deadline"]
+        lines.append(
+            f"{name:<12} {wait['p50']:>10.1f} {wait['p99']:>10.1f} "
+            f"{s['utilization']:>7.3f} {jobs['completed']:>9} "
+            f"{jobs['shed']:>5} {deadline['missed']:>6}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Fleet-scale SLO comparison of scheduling policies.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the CI configuration: 1000-job synthetic burst trace",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, help="synthetic trace size"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="trace seed (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--trace", type=Path, default=None, help="replay a saved trace instead"
+    )
+    parser.add_argument(
+        "--save-trace", type=Path, default=None, help="write the trace used"
+    )
+    parser.add_argument(
+        "--policies",
+        default=",".join(DEFAULT_POLICIES),
+        help="comma-separated policy names (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=Path("fleet-slo.json"),
+        help="SLO report path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless predictive backfill beats fcfs on p99 wait "
+        "at equal-or-better utilization",
+    )
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    obs_dir = obs.maybe_enable_from_env()
+
+    if args.trace is not None:
+        trace = load_trace(args.trace)
+    else:
+        n_jobs = args.jobs if args.jobs is not None else 1000
+        trace = synthetic_burst_trace(n_jobs=n_jobs, seed=args.seed)
+    if args.save_trace is not None:
+        save_trace(trace, args.save_trace)
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    doc = run_comparison(trace, policies=policies, seed=args.seed)
+
+    args.out.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(_format_summary(doc))
+    print(f"wrote {args.out}")
+
+    if obs_dir is not None:
+        handle = obs.disable()
+        if handle is not None:
+            obs.dump(handle, obs_dir)
+            print(f"observability dumped to {obs_dir}")
+
+    if args.check:
+        failures = _check_prediction_wins(doc)
+        if failures:
+            for line in failures:
+                print(f"fleet check: {line}", file=sys.stderr)
+            return 1
+        print("fleet check: predictive backfill beats fcfs on p99 wait")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

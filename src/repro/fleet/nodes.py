@@ -1,0 +1,178 @@
+"""Heterogeneous fleet of platform nodes.
+
+Each node is an instance of the paper's platform model
+(:mod:`repro.hw.spec`) reduced to what cluster placement needs: a
+core count and a relative speed.  Speed is normalized to the Fig. 4
+Blackford reference clock, so a job profiled at ``runtime_ms`` on the
+reference platform runs in ``runtime_ms / speed`` on a node.
+
+Jobs are rigid and node-local: a job asks for ``cores`` on a single
+node (the flow-graph partitioner works within one shared-memory
+machine; streams do not span nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.spec import PlatformSpec, blackford
+
+__all__ = ["FleetNode", "Fleet", "default_fleet", "REFERENCE_HZ"]
+
+#: Clock of the reference platform job runtimes are expressed on.
+REFERENCE_HZ: float = 2.327e9
+
+
+@dataclass
+class FleetNode:
+    """One placement target.
+
+    Attributes
+    ----------
+    name:
+        Unique node identifier (placement reports use it).
+    n_cores:
+        Cores the node offers to jobs.
+    speed:
+        Per-core speed relative to the reference platform; a 1.25
+        node finishes the same work in 80 % of the reference time.
+    """
+
+    name: str
+    n_cores: int
+    speed: float = 1.0
+    free_cores: int = field(init=False)
+    #: Accumulated busy core-milliseconds (utilization accounting).
+    busy_core_ms: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise ValueError("n_cores must be positive")
+        if self.speed <= 0:
+            raise ValueError("speed must be positive")
+        self.free_cores = self.n_cores
+
+    @classmethod
+    def from_spec(
+        cls, spec: PlatformSpec, name: str | None = None
+    ) -> "FleetNode":
+        """Build a node from a platform spec (speed from its clock)."""
+        return cls(
+            name=name if name is not None else spec.name,
+            n_cores=spec.n_cores,
+            speed=spec.core_hz / REFERENCE_HZ,
+        )
+
+    def runtime_ms(self, reference_ms: float) -> float:
+        """Execution time of reference-platform work on this node."""
+        return reference_ms / self.speed
+
+    def can_fit(self, cores: int) -> bool:
+        return cores <= self.free_cores
+
+    def allocate(self, cores: int) -> None:
+        if cores > self.free_cores:
+            raise ValueError(
+                f"{self.name}: allocating {cores} cores with only "
+                f"{self.free_cores} free"
+            )
+        self.free_cores -= cores
+
+    def release(self, cores: int, held_ms: float) -> None:
+        """Return cores and account their busy time."""
+        if self.free_cores + cores > self.n_cores:
+            raise ValueError(f"{self.name}: releasing more cores than allocated")
+        self.free_cores += cores
+        self.busy_core_ms += cores * held_ms
+
+    def reset(self) -> None:
+        self.free_cores = self.n_cores
+        self.busy_core_ms = 0.0
+
+
+class Fleet:
+    """An ordered collection of nodes (order is the placement tie-break)."""
+
+    __slots__ = ("nodes", "_by_name")
+
+    def __init__(self, nodes: list[FleetNode]) -> None:
+        if not nodes:
+            raise ValueError("a fleet needs at least one node")
+        names = [n.name for n in nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names: {names}")
+        self.nodes = nodes
+        self._by_name = {n.name: n for n in nodes}
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, name: str) -> FleetNode:
+        return self._by_name[name]
+
+    @property
+    def total_cores(self) -> int:
+        return sum(n.n_cores for n in self.nodes)
+
+    @property
+    def max_node_cores(self) -> int:
+        """Widest single job the fleet can ever run."""
+        return max(n.n_cores for n in self.nodes)
+
+    @property
+    def total_core_speed(self) -> float:
+        """Aggregate throughput in reference-core equivalents."""
+        return sum(n.n_cores * n.speed for n in self.nodes)
+
+    @property
+    def busy_core_ms(self) -> float:
+        return sum(n.busy_core_ms for n in self.nodes)
+
+    def fit_now(self, cores: int) -> FleetNode | None:
+        """Best-fit node with ``cores`` free (fewest leftover cores;
+        node order breaks ties), or None."""
+        best: FleetNode | None = None
+        best_left = -1
+        for node in self.nodes:
+            if not node.can_fit(cores):
+                continue
+            left = node.free_cores - cores
+            if best is None or left < best_left:
+                best, best_left = node, left
+        return best
+
+    def reset(self) -> None:
+        for node in self.nodes:
+            node.reset()
+
+    def describe(self) -> list[dict[str, object]]:
+        """JSON-able node inventory (for the SLO report header)."""
+        return [
+            {"name": n.name, "cores": n.n_cores, "speed": round(n.speed, 6)}
+            for n in self.nodes
+        ]
+
+
+def default_fleet(scale: int = 1) -> Fleet:
+    """The standard heterogeneous evaluation fleet.
+
+    Per scale unit: four Blackford-class 8-core nodes (the paper's
+    platform, speed 1.0), two 16-core successors at 1.25x clock, and
+    two 4-core edge boxes at 0.6x -- 72 cores in eight nodes, wide
+    enough for the largest synthetic job and lopsided enough that
+    placement decisions matter.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    ref = blackford()
+    nodes: list[FleetNode] = []
+    for u in range(scale):
+        for i in range(4):
+            nodes.append(
+                FleetNode(name=f"blackford-{u}-{i}", n_cores=ref.n_cores, speed=1.0)
+            )
+        for i in range(2):
+            nodes.append(FleetNode(name=f"wide-{u}-{i}", n_cores=16, speed=1.25))
+        for i in range(2):
+            nodes.append(FleetNode(name=f"edge-{u}-{i}", n_cores=4, speed=0.6))
+    return Fleet(nodes)

@@ -83,6 +83,12 @@ class Gauge:
     def set(self, value: float) -> None:
         self.value = float(value)
 
+    def set_max(self, value: float) -> None:
+        """Keep the high-water mark (queue depth, fleet occupancy)."""
+        v = float(value)
+        if v > self.value:
+            self.value = v
+
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
 
@@ -143,6 +149,34 @@ class Histogram:
 
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (``q`` in [0, 1]).
+
+        Walks the cumulative buckets to the one containing the
+        ``q``-th observation and interpolates linearly inside it,
+        the standard Prometheus ``histogram_quantile`` estimator.
+        Observations in the +Inf bucket clamp to the last finite
+        bound (there is no upper edge to interpolate toward).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cumulative + n >= rank:
+                if i >= len(self.bounds):  # +Inf bucket: clamp
+                    return self.bounds[-1] if self.bounds else 0.0
+                upper = self.bounds[i]
+                lower = self.bounds[i - 1] if i > 0 else min(0.0, upper)
+                frac = (rank - cumulative) / n
+                return lower + (upper - lower) * frac
+            cumulative += n
+        return self.bounds[-1] if self.bounds else 0.0
 
 
 class MetricsRegistry:
@@ -282,6 +316,9 @@ class _NullGauge(Gauge):
     __slots__ = ()
 
     def set(self, value: float) -> None:
+        return None
+
+    def set_max(self, value: float) -> None:
         return None
 
     def inc(self, amount: float = 1.0) -> None:

@@ -40,7 +40,7 @@ from repro.runtime.engine import (
 from repro.runtime.frametable import FrameTable
 from repro.runtime.manager import ResourceManager
 from repro.runtime.partition import PartitionDecision, Partitioner
-from repro.runtime.qos import DelayLine, LatencyBudget
+from repro.runtime.qos import DelayLine, LatencyBudget, MissBudget, QosTier
 from repro.runtime.quality import QUALITY_LEVELS, QualityController, QualityLevel
 from repro.runtime.tape import FrameTape, record_tape
 
@@ -52,6 +52,8 @@ __all__ = [
     "PartitionDecision",
     "DelayLine",
     "LatencyBudget",
+    "MissBudget",
+    "QosTier",
     "FrameEngine",
     "FramePlan",
     "SchedulingPolicy",

@@ -132,6 +132,39 @@ class TestCompareDocs:
         )
         assert any("engine_byte_identical" in f for f in failures)
 
+    def test_fleet_metrics_gate_like_the_others(self):
+        base = doc(fleet_p99_wait_gain=1.3, fleet_deterministic=True)
+        failures, _ = compare_docs(
+            base,
+            doc(fleet_p99_wait_gain=0.4, fleet_deterministic=True),
+            tolerance=0.5,
+        )
+        assert any("fleet_p99_wait_gain" in f for f in failures)
+        failures, _ = compare_docs(
+            base,
+            doc(fleet_p99_wait_gain=1.3, fleet_deterministic=False),
+            tolerance=0.5,
+        )
+        assert any("fleet_deterministic" in f for f in failures)
+
+    def test_v2_baseline_without_fleet_metrics_skipped(self):
+        base = dict(doc(), schema="repro-bench/2")
+        cur = doc(fleet_p99_wait_gain=1.3, fleet_deterministic=True)
+        failures, notes = compare_docs(base, cur, tolerance=0.5)
+        assert failures == []
+        assert any(
+            "fleet_p99_wait_gain: not in baseline" in n for n in notes
+        )
+
+    def test_fleet_wait_ms_values_informational(self):
+        base = doc(fleet_fcfs_p99_wait_ms=100.0)
+        cur = doc(fleet_fcfs_p99_wait_ms=9999.0)
+        failures, notes = compare_docs(base, cur, tolerance=0.5)
+        assert failures == []
+        assert any(
+            "fleet_fcfs_p99_wait_ms: informational" in n for n in notes
+        )
+
     def test_v1_baseline_without_engine_metrics_skipped(self):
         # A committed repro-bench/1 baseline predates the engine
         # stage; its absence must not fail a v2 current run.

@@ -1,0 +1,58 @@
+"""Tests for the fit_series_predictor estimate adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.computation import (
+    ConstantPredictor,
+    EwmaMarkovPredictor,
+    PredictionContext,
+)
+from repro.core.registry import fit_series_predictor
+
+
+def series(n: int = 60) -> np.ndarray:
+    # Two alternating regimes, the structure EWMA+Markov keys on.
+    return np.array([100.0 if i % 6 < 3 else 300.0 for i in range(n)])
+
+
+class TestFitSeriesPredictor:
+    def test_constant_backend(self):
+        p = fit_series_predictor("constant", series())
+        assert isinstance(p, ConstantPredictor)
+        assert p.predict(PredictionContext()) > 0
+
+    def test_ewma_markov_threads_options(self):
+        p = fit_series_predictor(
+            "ewma+markov", series(), alpha=0.4, online_update=True
+        )
+        assert isinstance(p, EwmaMarkovPredictor)
+        assert p.alpha == 0.4
+        assert p.online_update is True
+
+    def test_online_loop_tracks_series(self):
+        p = fit_series_predictor(
+            "ewma+markov", series(), alpha=0.3, online_update=True
+        )
+        ctx = PredictionContext()
+        err = 0.0
+        vals = series(120)
+        for v in vals:
+            err += abs(p.predict(ctx) - v)
+            p.observe(float(v), ctx)
+        # Mean error well under the series' own spread (200 ms swing).
+        assert err / len(vals) < 120.0
+
+    def test_rejects_empty_series(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            fit_series_predictor("constant", np.array([]))
+
+    def test_rejects_2d_series(self):
+        with pytest.raises(ValueError, match="1-D"):
+            fit_series_predictor("constant", np.zeros((3, 3)))
+
+    def test_trace_needing_backend_rejected(self):
+        with pytest.raises(ValueError, match="full profiling traces"):
+            fit_series_predictor("roi+markov", series())

@@ -1,0 +1,158 @@
+"""Tests for QoS-tier admission control and load shedding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.admission import AdmissionController, default_tiers
+from repro.fleet.jobs import JobRecord
+from repro.runtime.qos import MissBudget, QosTier
+
+
+def job(jid: str, tier: str, runtime: float = 100.0, limit: float = 400.0) -> JobRecord:
+    return JobRecord(
+        job_id=jid,
+        tenant="t",
+        tier=tier,
+        app="a",
+        submit_ms=0.0,
+        cores=1,
+        runtime_ms=runtime,
+        limit_ms=limit,
+        deadline_ms=1e9,
+        priority={"gold": 2, "silver": 1, "bronze": 0}.get(tier, 0),
+    )
+
+
+def tight_tiers() -> dict[str, QosTier]:
+    """Deliberately tight contracts so a small burst triggers shedding."""
+    return {
+        "gold": QosTier(
+            name="gold",
+            priority=2,
+            wait_budget_ms=100.0,
+            max_pending=4,
+            miss_budget=0.01,
+            sheddable=False,
+        ),
+        "silver": QosTier(
+            name="silver",
+            priority=1,
+            wait_budget_ms=200.0,
+            max_pending=4,
+            miss_budget=0.05,
+            shed_wait_factor=2.0,
+        ),
+        "bronze": QosTier(
+            name="bronze",
+            priority=0,
+            wait_budget_ms=200.0,
+            max_pending=2,
+            miss_budget=0.20,
+            shed_wait_factor=1.0,
+        ),
+    }
+
+
+class TestQosTier:
+    def test_shed_wait_ms(self):
+        t = QosTier(
+            name="x",
+            priority=0,
+            wait_budget_ms=100.0,
+            max_pending=8,
+            miss_budget=0.1,
+            shed_wait_factor=3.0,
+        )
+        assert t.shed_wait_ms == 300.0
+        assert t.wait_budget().require() == 100.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QosTier("x", 0, -1.0, 8, 0.1)
+        with pytest.raises(ValueError):
+            QosTier("x", 0, 100.0, 0, 0.1)
+        with pytest.raises(ValueError):
+            QosTier("x", 0, 100.0, 8, 1.5)
+        with pytest.raises(ValueError):
+            QosTier("x", 0, 100.0, 8, 0.1, shed_wait_factor=0.5)
+
+
+class TestMissBudget:
+    def test_burn(self):
+        b = MissBudget(0.1)
+        for missed in (False, False, False, True):
+            b.record(missed)
+        assert b.miss_rate == 0.25
+        assert b.burn() == pytest.approx(2.5)
+
+
+class TestAdmission:
+    def test_gold_never_shed(self):
+        ctl = AdmissionController(tight_tiers(), capacity_core_speed=1.0)
+        # Monstrous projected wait and deep queue: gold still admits.
+        for i in range(50):
+            decision = ctl.on_submit(job(f"g{i}", "gold"), backlog_core_ms=1e9)
+            assert decision.admitted
+
+    def test_depth_cap_sheds(self):
+        ctl = AdmissionController(tight_tiers(), capacity_core_speed=1.0)
+        outcomes = [
+            ctl.on_submit(job(f"b{i}", "bronze"), backlog_core_ms=0.0)
+            for i in range(4)
+        ]
+        assert [d.admitted for d in outcomes] == [True, True, False, False]
+        assert outcomes[2].reason == "pending-depth"
+
+    def test_projected_wait_sheds(self):
+        ctl = AdmissionController(tight_tiers(), capacity_core_speed=1.0)
+        # bronze sheds at factor 1.0 x 200 ms; silver at 2.0 x 200 ms.
+        backlog = 300.0  # projected wait 300 ms at ratio 1, capacity 1
+        assert not ctl.on_submit(job("b0", "bronze"), backlog).admitted
+        assert ctl.on_submit(job("s0", "silver"), backlog).admitted
+        assert not ctl.on_submit(job("s1", "silver"), 500.0).admitted
+
+    def test_bronze_sheds_before_silver_under_ramp(self):
+        """As the backlog ramps up, the bronze threshold trips first."""
+        ctl = AdmissionController(tight_tiers(), capacity_core_speed=1.0)
+        first_shed = {}
+        for backlog in (100.0, 250.0, 450.0):
+            for tier in ("silver", "bronze"):
+                d = ctl.on_submit(job(f"{tier}-{backlog}", tier), backlog)
+                if not d.admitted and tier not in first_shed:
+                    first_shed[tier] = backlog
+                if d.admitted:
+                    # keep depth below the cap for this test
+                    ctl.on_start(job(f"{tier}-{backlog}", tier), 0.0)
+        assert first_shed["bronze"] < first_shed["silver"]
+
+    def test_calibration_converges_on_padding_factor(self):
+        """Completions teach the controller the tenants' padding, so
+        the projected wait drops toward the true backlog scale."""
+        ctl = AdmissionController(default_tiers(), capacity_core_speed=1.0)
+        assert ctl.limit_ratio == 1.0
+        raw = ctl.projected_wait_ms(1000.0)
+        assert raw == pytest.approx(1000.0)
+        for i in range(100):
+            # runtime 100 of limit 400: padding factor 4
+            ctl.on_finish(job(f"j{i}", "silver"), finish_ms=100.0)
+        assert ctl.limit_ratio == pytest.approx(0.25, abs=0.01)
+        assert ctl.projected_wait_ms(1000.0) == pytest.approx(250.0, rel=0.05)
+
+    def test_unknown_tier_raises(self):
+        ctl = AdmissionController(tight_tiers(), capacity_core_speed=1.0)
+        with pytest.raises(ValueError, match="unknown QoS tier"):
+            ctl.on_submit(job("x", "platinum"), 0.0)
+
+    def test_tier_report_shape(self):
+        ctl = AdmissionController(tight_tiers(), capacity_core_speed=1.0)
+        ctl.on_submit(job("g0", "gold"), 0.0)
+        ctl.on_start(job("g0", "gold"), 50.0)
+        ctl.on_finish(job("g0", "gold"), 150.0)
+        report = ctl.tier_report()
+        assert sorted(report) == ["bronze", "gold", "silver"]
+        gold = report["gold"]
+        assert gold["admitted"] == 1
+        assert gold["shed"] == 0
+        assert gold["deadline_misses"] == 0
+        assert gold["wait_violations"] == 0

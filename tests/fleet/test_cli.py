@@ -1,0 +1,115 @@
+"""Tests for the ``python -m repro.fleet`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.cli import REPORT_SCHEMA, main, run_comparison
+from repro.fleet.jobs import synthetic_burst_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthetic_burst_trace(n_jobs=300, seed=7)
+
+
+class TestRunComparison:
+    def test_report_shape(self, trace):
+        doc = run_comparison(trace, policies=("fcfs", "predictive"), seed=7)
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["seed"] == 7
+        assert sorted(doc["policies"]) == ["fcfs", "predictive"]
+        vs = doc["comparison"]["vs_fcfs"]
+        assert set(vs) == {"predictive"}
+        assert set(vs["predictive"]) == {
+            "p99_wait_ratio",
+            "p99_wait_delta_ms",
+            "utilization_delta",
+        }
+
+    def test_unknown_policy_raises(self, trace):
+        with pytest.raises(ValueError, match="unknown policy"):
+            run_comparison(trace, policies=("fcfs", "sorcery"))
+
+    def test_no_fcfs_no_comparison(self, trace):
+        doc = run_comparison(trace, policies=("easy",))
+        assert doc["comparison"] == {}
+
+
+class TestMain:
+    def test_byte_identical_across_runs(self, tmp_path):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        args = ["--jobs", "200", "--seed", "7", "--policies", "fcfs,predictive"]
+        assert main([*args, "--out", str(out_a)]) == 0
+        assert main([*args, "--out", str(out_b)]) == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_seed_changes_output(self, tmp_path):
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        base = ["--jobs", "200", "--policies", "fcfs"]
+        main([*base, "--seed", "1", "--out", str(out_a)])
+        main([*base, "--seed", "2", "--out", str(out_b)])
+        assert out_a.read_bytes() != out_b.read_bytes()
+
+    def test_save_and_replay_trace(self, tmp_path):
+        corpus = tmp_path / "corpus.json"
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        main(
+            [
+                "--jobs",
+                "150",
+                "--seed",
+                "5",
+                "--policies",
+                "easy",
+                "--save-trace",
+                str(corpus),
+                "--out",
+                str(out_a),
+            ]
+        )
+        main(
+            [
+                "--trace",
+                str(corpus),
+                "--seed",
+                "5",
+                "--policies",
+                "easy",
+                "--out",
+                str(out_b),
+            ]
+        )
+        a = json.loads(out_a.read_text())
+        b = json.loads(out_b.read_text())
+        assert a["policies"] == b["policies"]
+
+    def test_check_passes_at_smoke_scale(self, tmp_path):
+        """The CI gate property: --smoke --seed 7 --check exits 0."""
+        out = tmp_path / "slo.json"
+        rc = main(["--smoke", "--seed", "7", "--check", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        vs = doc["comparison"]["vs_fcfs"]["predictive"]
+        assert vs["p99_wait_ratio"] < 1.0
+        assert vs["utilization_delta"] >= -1e-6
+
+    def test_check_fails_without_predictive(self, tmp_path):
+        out = tmp_path / "slo.json"
+        rc = main(
+            [
+                "--jobs",
+                "100",
+                "--policies",
+                "easy",
+                "--check",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 1

@@ -1,0 +1,73 @@
+"""Tests for the deterministic event clock and queue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.events import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(30.0, EventKind.ARRIVAL, "c")
+        q.push(10.0, EventKind.ARRIVAL, "a")
+        q.push(20.0, EventKind.ARRIVAL, "b")
+        assert [q.pop().job_id for _ in range(3)] == ["a", "b", "c"]
+
+    def test_completion_before_arrival_at_same_instant(self):
+        q = EventQueue()
+        q.push(10.0, EventKind.ARRIVAL, "arr")
+        q.push(10.0, EventKind.COMPLETION, "done")
+        first, second = q.pop(), q.pop()
+        assert first.kind is EventKind.COMPLETION
+        assert second.kind is EventKind.ARRIVAL
+
+    def test_same_kind_ties_break_by_insertion_seq(self):
+        q = EventQueue()
+        for jid in ("x", "y", "z"):
+            q.push(5.0, EventKind.ARRIVAL, jid)
+        assert [q.pop().job_id for _ in range(3)] == ["x", "y", "z"]
+
+    def test_pop_batch_returns_one_instant(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.ARRIVAL, "a")
+        q.push(1.0, EventKind.COMPLETION, "b")
+        q.push(2.0, EventKind.ARRIVAL, "c")
+        batch = q.pop_batch()
+        assert [e.job_id for e in batch] == ["b", "a"]
+        assert len(q) == 1
+        assert q.peek_time() == 2.0
+
+    def test_pop_batch_deterministic_order_within_instant(self):
+        # Replaying the same pushes always yields the same batch order.
+        def build() -> list[Event]:
+            q = EventQueue()
+            q.push(3.0, EventKind.ARRIVAL, "j2")
+            q.push(3.0, EventKind.COMPLETION, "j0")
+            q.push(3.0, EventKind.ARRIVAL, "j1")
+            q.push(3.0, EventKind.COMPLETION, "j3")
+            return q.pop_batch()
+
+        first = [(e.kind, e.job_id) for e in build()]
+        second = [(e.kind, e.job_id) for e in build()]
+        assert first == second
+        assert [k for k, _ in first] == [
+            EventKind.COMPLETION,
+            EventKind.COMPLETION,
+            EventKind.ARRIVAL,
+            EventKind.ARRIVAL,
+        ]
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time_empty_returns_none(self):
+        assert EventQueue().peek_time() is None
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        q.push(0.0, EventKind.ARRIVAL, "a")
+        assert q and len(q) == 1

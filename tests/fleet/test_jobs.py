@@ -1,0 +1,135 @@
+"""Tests for job records, traces and the estimator stack."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.estimates import (
+    ESTIMATOR_KINDS,
+    TripleCEstimator,
+    make_estimator,
+)
+from repro.fleet.jobs import (
+    TRACE_SCHEMA,
+    JobRecord,
+    load_trace,
+    save_trace,
+    synthetic_burst_trace,
+    trace_summary,
+)
+
+
+class TestJobRecord:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="cores"):
+            JobRecord("j", "t", "gold", "a", 0.0, 0, 10.0, 10.0, 1.0, 0)
+        with pytest.raises(ValueError, match="limit_ms"):
+            JobRecord("j", "t", "gold", "a", 0.0, 1, 10.0, 5.0, 1.0, 0)
+        with pytest.raises(ValueError, match="submit_ms"):
+            JobRecord("j", "t", "gold", "a", -1.0, 1, 10.0, 10.0, 1.0, 0)
+
+
+class TestSyntheticTrace:
+    def test_deterministic_per_seed(self):
+        a = synthetic_burst_trace(n_jobs=100, seed=3)
+        b = synthetic_burst_trace(n_jobs=100, seed=3)
+        assert a == b
+
+    def test_submit_order_and_unique_ids(self):
+        trace = synthetic_burst_trace(n_jobs=200, seed=7)
+        assert len({j.job_id for j in trace}) == 200
+        submits = [j.submit_ms for j in trace]
+        assert submits == sorted(submits)
+
+    def test_limits_pad_runtimes(self):
+        trace = synthetic_burst_trace(n_jobs=200, seed=7)
+        for j in trace:
+            assert j.limit_ms >= j.runtime_ms
+        # The padding regime: median declared/actual well above 2x.
+        ratios = sorted(j.limit_ms / j.runtime_ms for j in trace)
+        assert ratios[len(ratios) // 2] > 2.0
+
+    def test_tiers_and_priorities_consistent(self):
+        trace = synthetic_burst_trace(n_jobs=200, seed=7)
+        want = {"gold": 2, "silver": 1, "bronze": 0}
+        for j in trace:
+            assert j.priority == want[j.tier]
+
+    def test_summary_shape(self):
+        trace = synthetic_burst_trace(n_jobs=50, seed=7)
+        s = trace_summary(trace)
+        assert s["n_jobs"] == 50
+        assert sum(s["by_tier"].values()) == 50
+        assert sum(s["by_app"].values()) == 50
+        assert s["total_core_ms"] > 0
+
+
+class TestTraceRoundtrip:
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = synthetic_burst_trace(n_jobs=40, seed=9)
+        path = save_trace(trace, tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == TRACE_SCHEMA
+        loaded = load_trace(path)
+        assert loaded == trace
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "nope/9", "jobs": []}))
+        with pytest.raises(ValueError, match="expected schema"):
+            load_trace(p)
+
+
+class TestEstimators:
+    def test_kinds_constructible(self):
+        trace = synthetic_burst_trace(n_jobs=150, seed=7)
+        for kind in ESTIMATOR_KINDS:
+            est = make_estimator(kind, trace)
+            v = est.estimate_ms(trace[0])
+            assert v > 0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown estimator"):
+            make_estimator("psychic", [])
+
+    def test_worst_case_is_limit(self):
+        trace = synthetic_burst_trace(n_jobs=20, seed=7)
+        est = make_estimator("worst-case", trace)
+        assert est.estimate_ms(trace[3]) == trace[3].limit_ms
+
+    def test_oracle_is_truth(self):
+        trace = synthetic_burst_trace(n_jobs=20, seed=7)
+        est = make_estimator("oracle", trace)
+        assert est.estimate_ms(trace[3]) == trace[3].runtime_ms
+
+    def test_triplec_tighter_than_worst_case(self):
+        """On the synthetic mix the Triple-C estimate error is far
+        below the declared-limit padding."""
+        trace = synthetic_burst_trace(n_jobs=600, seed=7)
+        est = TripleCEstimator.from_trace(trace)
+        err_triplec = 0.0
+        err_limit = 0.0
+        n = 0
+        for j in trace:
+            e = est.estimate_ms(j)
+            est.observe(j, j.runtime_ms)
+            err_triplec += abs(e - j.runtime_ms)
+            err_limit += abs(j.limit_ms - j.runtime_ms)
+            n += 1
+        assert err_triplec / n < 0.25 * (err_limit / n)
+
+    def test_triplec_capped_at_limit(self):
+        trace = synthetic_burst_trace(n_jobs=100, seed=7)
+        est = TripleCEstimator.from_trace(trace)
+        for j in trace:
+            assert est.estimate_ms(j) <= j.limit_ms
+
+    def test_triplec_unknown_app_falls_back_to_limit(self):
+        trace = synthetic_burst_trace(n_jobs=50, seed=7)
+        est = TripleCEstimator.from_trace(trace)
+        alien = JobRecord(
+            "x", "t", "gold", "never-seen-app", 0.0, 1, 10.0, 70.0, 1.0, 2
+        )
+        assert est.estimate_ms(alien) == 70.0

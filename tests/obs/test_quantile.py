@@ -1,0 +1,57 @@
+"""Tests for Histogram.quantile and Gauge.set_max."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, _NullGauge
+
+
+class TestGaugeSetMax:
+    def test_high_water_mark(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set_max(3.0)
+        g.set_max(7.0)
+        g.set_max(5.0)
+        assert g.value == 7.0
+
+    def test_null_gauge_has_set_max(self):
+        g = _NullGauge("null")
+        g.set_max(9.0)  # no-op
+        assert g.value == 0.0
+
+
+class TestHistogramQuantile:
+    def make(self):
+        return MetricsRegistry().histogram("x", buckets=(10.0, 20.0, 40.0))
+
+    def test_empty_returns_zero(self):
+        assert self.make().quantile(0.5) == 0.0
+
+    def test_interpolates_within_bucket(self):
+        h = self.make()
+        for v in (5.0, 15.0, 15.0, 35.0):
+            h.observe(v)
+        # p50 rank = 2 -> halfway into the (10, 20] bucket.
+        assert h.quantile(0.5) == pytest.approx(15.0)
+        # p25 rank = 1 -> end of the first bucket.
+        assert h.quantile(0.25) == pytest.approx(10.0)
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        h = self.make()
+        h.observe(999.0)
+        assert h.quantile(0.99) == 40.0
+
+    def test_monotone_in_q(self):
+        h = self.make()
+        for v in (1.0, 12.0, 18.0, 25.0, 39.0, 50.0):
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.3, 0.5, 0.7, 0.9, 1.0)]
+        assert qs == sorted(qs)
+
+    def test_invalid_q_rejected(self):
+        h = self.make()
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
