@@ -14,7 +14,7 @@ Run:  python examples/capacity_planning.py
 
 from __future__ import annotations
 
-from repro import blackford, build_stentboost_graph
+from repro import blackford, get_workload
 from repro.core.bandwidth import BandwidthModel
 from repro.core.cachemodel import CacheMemoryModel
 from repro.graph.scenarios import ALL_SCENARIOS, scenario_name
@@ -22,7 +22,7 @@ from repro.util.units import KIB, MB
 
 
 def main() -> None:
-    graph = build_stentboost_graph()
+    graph = get_workload("stentboost").build_graph()
     platform = blackford()
     bw = BandwidthModel(graph, platform)
     cache = CacheMemoryModel(graph, platform)

@@ -24,15 +24,18 @@ Package map
     baselines, co-scheduling.
 ``repro.experiments``
     One module per paper table/figure; regenerates every number.
+``repro.workloads``
+    Workload registry: named application bundles (flow graph +
+    pipeline + corpus + fleet parameters); StentBoost is one entry.
 """
 
 from repro.core import TripleC, TripleCPrediction, prediction_accuracy
-from repro.graph import build_stentboost_graph
 from repro.hw import CostModel, Mapping, PlatformSimulator, blackford
 from repro.imaging import StentBoostPipeline
 from repro.profiling import ProfileConfig, profile_corpus, profile_sequence
 from repro.runtime import ResourceManager, run_straightforward, run_worst_case
 from repro.synthetic import CorpusSpec, SequenceConfig, XRaySequence, generate_corpus
+from repro.workloads import DEFAULT_WORKLOAD, Workload, get_workload, workload_names
 
 __version__ = "1.0.0"
 
@@ -40,7 +43,10 @@ __all__ = [
     "TripleC",
     "TripleCPrediction",
     "prediction_accuracy",
-    "build_stentboost_graph",
+    "DEFAULT_WORKLOAD",
+    "Workload",
+    "get_workload",
+    "workload_names",
     "blackford",
     "CostModel",
     "Mapping",

@@ -8,9 +8,14 @@ Subcommands mirror the deployment workflow:
 * ``experiments``  -- regenerate paper tables/figures
   (same as ``python -m repro.experiments``).
 
+``profile`` and ``evaluate`` resolve the application through the
+workload registry (``repro.workloads``); ``--workload`` picks the
+entry (default ``stentboost``).
+
 Examples::
 
     python -m repro profile --sequences 8 --frames 400 --out traces.json
+    python -m repro profile --workload ultrasound --out us-traces.json
     python -m repro train --traces traces.json --out model.json
     python -m repro evaluate --model model.json --seed 4242 --frames 100
     python -m repro experiments fig7 table2
@@ -25,15 +30,23 @@ import numpy as np
 
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.profiling import ProfileConfig, profile_corpus
-    from repro.synthetic import CorpusSpec, generate_corpus
+    from repro.synthetic import CorpusSpec, XRaySequence
+    from repro.workloads import get_workload
 
+    wl = get_workload(args.workload)
     spec = CorpusSpec(
         n_sequences=args.sequences,
         total_frames=args.frames,
         base_seed=args.seed,
     )
-    print(f"profiling {spec.n_sequences} sequences / {spec.total_frames} frames ...")
-    traces = profile_corpus(generate_corpus(spec), ProfileConfig(seed=args.seed))
+    print(
+        f"profiling {wl.name}: {spec.n_sequences} sequences / "
+        f"{spec.total_frames} frames ..."
+    )
+    sequences = [XRaySequence(cfg) for cfg in wl.corpus_configs(spec)]
+    traces = profile_corpus(
+        sequences, ProfileConfig(seed=args.seed, workload=wl.name)
+    )
     traces.save(args.out)
     print(f"wrote {len(traces)} trace records to {args.out}")
     return 0
@@ -57,19 +70,31 @@ def cmd_train(args: argparse.Namespace) -> int:
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.core import prediction_accuracy
     from repro.core.serialize import load_model
-    from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
     from repro.profiling import ProfileConfig
     from repro.runtime import FrameEngine, StaticSerialPolicy
     from repro.synthetic import SequenceConfig, XRaySequence
+    from repro.workloads import DEFAULT_WORKLOAD, get_workload
 
+    wl = get_workload(args.workload)
     model = load_model(args.model)
-    config = ProfileConfig()
-    seq = XRaySequence(SequenceConfig(n_frames=args.frames, seed=args.seed))
-    pipe = StentBoostPipeline(
-        PipelineConfig(
-            expected_distance=seq.config.resolved_phantom().marker_separation
+    if set(model.graph.tasks) != set(wl.build_graph().tasks):
+        print(
+            f"model {args.model} was trained for a different "
+            f"workload than {wl.name!r}"
         )
-    )
+        return 2
+    config = ProfileConfig(workload=wl.name)
+    if wl.name == DEFAULT_WORKLOAD:
+        # The pre-registry evaluation sequence, kept bit-identical.
+        seq = XRaySequence(SequenceConfig(n_frames=args.frames, seed=args.seed))
+    else:
+        from repro.synthetic import CorpusSpec
+
+        spec = CorpusSpec(
+            n_sequences=1, total_frames=args.frames, base_seed=args.seed
+        )
+        seq = XRaySequence(wl.corpus_configs(spec)[0])
+    pipe = wl.make_pipeline(seq, None)
     engine = FrameEngine(config.make_simulator(), StaticSerialPolicy(model=model))
     result = engine.run(seq, pipe, seq_key=args.seed)
     preds, actuals = [], []
@@ -106,6 +131,17 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_workload_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.workloads import DEFAULT_WORKLOAD, workload_names
+
+    parser.add_argument(
+        "--workload",
+        default=DEFAULT_WORKLOAD,
+        choices=workload_names(),
+        help="registered application to run (default: %(default)s)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Triple-C reproduction toolkit"
@@ -117,6 +153,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--frames", type=int, default=400)
     p.add_argument("--seed", type=int, default=2009)
     p.add_argument("--out", default="traces.json")
+    _add_workload_arg(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("train", help="fit Triple-C from traces")
@@ -128,6 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="model.json")
     p.add_argument("--seed", type=int, default=4242)
     p.add_argument("--frames", type=int, default=100)
+    _add_workload_arg(p)
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser("experiments", help="regenerate paper artefacts")

@@ -9,8 +9,9 @@ By default five passes run:
   verification, backed by interprocedural purity inference),
 * the perf-smell pass (scalar ``predict`` in loops, per-iteration
   instrument lookups and allocations in hot paths),
-* the graph checker over the StentBoost flow graph on the Blackford
-  platform.
+* the graph checker over every registered workload's flow graph on
+  the Blackford platform (``--graph MODULE:CALLABLE`` checks one
+  explicit graph instead).
 
 Findings on a line carrying a matching ``# repro: ignore[rule]``
 comment are suppressed (stale markers are themselves flagged).  With
@@ -74,7 +75,10 @@ from repro.graph.flowgraph import FlowGraph
 
 __all__ = ["build_parser", "main"]
 
-DEFAULT_GRAPH = "repro.graph.stentboost:build_stentboost_graph"
+#: Sentinel: check every graph in the workload registry.
+WORKLOADS_GRAPH = "workloads"
+
+DEFAULT_GRAPH = WORKLOADS_GRAPH
 DEFAULT_PLATFORM = "repro.hw.spec:blackford"
 
 
@@ -272,19 +276,25 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if not args.no_graph:
         try:
-            graph = _load_factory(args.graph)()
+            if args.graph == WORKLOADS_GRAPH:
+                from repro.workloads import all_workloads
+
+                graphs = [wl.build_graph() for wl in all_workloads()]
+            else:
+                graphs = [_load_factory(args.graph)()]
             platform_factory = (
                 _load_factory(args.platform) if args.platform else None
             )
         except (argparse.ArgumentTypeError, ImportError) as exc:
             raise SystemExit(f"repro.analysis: error: {exc}") from exc
-        if not isinstance(graph, FlowGraph):
-            raise SystemExit(
-                f"graph factory {args.graph!r} returned "
-                f"{type(graph).__name__}, expected FlowGraph"
-            )
         platform = platform_factory() if platform_factory is not None else None
-        findings += check_flowgraph(graph, platform)
+        for graph in graphs:
+            if not isinstance(graph, FlowGraph):
+                raise SystemExit(
+                    f"graph factory {args.graph!r} returned "
+                    f"{type(graph).__name__}, expected FlowGraph"
+                )
+            findings += check_flowgraph(graph, platform)
 
     if not args.incremental:
         # Inline suppressions apply to everything located at a

@@ -35,6 +35,13 @@ Each rule guards a property the prediction pipeline depends on:
     is its whole point).  Everything else times through
     :func:`repro.obs.clock.monotonic_s` or an obs span, so tests can
     substitute a manual clock and traces stay consistent.
+``lint/app-hardcode``
+    Application code resolves workloads through the
+    :mod:`repro.workloads` registry; importing the StentBoost graph
+    builder (``build_stentboost_graph`` / ``repro.graph.stentboost``)
+    anywhere else hard-wires one application into a layer that is
+    supposed to serve every registered workload.  The graph package
+    itself and the registry definitions are exempt.
 ``lint/frame-loop-outside-engine``
     Per-frame ``simulate_frame`` loops belong to the frame engine
     (``repro/runtime/engine.py``); everything else runs sequences
@@ -64,6 +71,7 @@ __all__ = [
     "ExecutorRule",
     "DirectTimeCallRule",
     "FrameLoopRule",
+    "AppHardcodeRule",
     "default_rules",
 ]
 
@@ -423,6 +431,67 @@ class FrameLoopRule(LintRule):
                     )
 
 
+class AppHardcodeRule(LintRule):
+    """No direct StentBoost graph imports outside workloads/graph."""
+
+    rule_id = "lint/app-hardcode"
+    description = (
+        "application layers resolve workloads via repro.workloads; "
+        "importing build_stentboost_graph / repro.graph.stentboost "
+        "elsewhere hard-wires one application in"
+    )
+
+    #: The hard-wired module and its builder symbol.
+    _MODULE = "repro.graph.stentboost"
+    _SYMBOL = "build_stentboost_graph"
+
+    def __init__(self, allowed_dirs: tuple[str, ...] | None = None) -> None:
+        #: Directory components whose files may import the builder
+        #: directly: the graph package (it *defines* the builder) and
+        #: the registry (its entries wrap the direct imports).
+        self.allowed_dirs: tuple[str, ...] = (
+            allowed_dirs if allowed_dirs is not None else ("graph", "workloads")
+        )
+
+    def applies_to(self, path: str) -> bool:
+        parts = Path(path).parts
+        return not any(d in parts for d in self.allowed_dirs)
+
+    def on_import(
+        self, ctx: LintContext, node: ast.Import | ast.ImportFrom
+    ) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if (
+                    alias.name == self._MODULE
+                    or alias.name.startswith(self._MODULE + ".")
+                ):
+                    self._flag(ctx, node, alias.name)
+            return
+        module = node.module or ""
+        if module == self._MODULE or module.startswith(self._MODULE + "."):
+            self._flag(ctx, node, module)
+            return
+        for alias in node.names:
+            if alias.name == self._SYMBOL:
+                self._flag(ctx, node, f"{module}.{self._SYMBOL}")
+
+    def _flag(
+        self,
+        ctx: LintContext,
+        node: ast.Import | ast.ImportFrom,
+        what: str,
+    ) -> None:
+        ctx.report(
+            self.rule_id,
+            Severity.ERROR,
+            node,
+            f"direct import of {what} outside repro/graph/ and "
+            "repro/workloads/; resolve the application through "
+            "repro.workloads.get_workload instead",
+        )
+
+
 def default_rules() -> list[LintRule]:
     """Fresh instances of every project rule (the CLI's default set)."""
     return [
@@ -434,4 +503,5 @@ def default_rules() -> list[LintRule]:
         ExecutorRule(),
         DirectTimeCallRule(),
         FrameLoopRule(),
+        AppHardcodeRule(),
     ]

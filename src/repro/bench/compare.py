@@ -43,24 +43,29 @@ from repro.bench.harness import SCHEMAS
 __all__ = ["RATIO_METRICS", "BOOL_METRICS", "compare_docs", "main"]
 
 #: Within-run ratios: machine-independent, gated with tolerance.
-#: ``engine_batch_speedup`` exists from schema v2 on and
+#: ``engine_batch_speedup`` exists from schema v2 on,
 #: ``fleet_p99_wait_gain`` (FCFS p99 wait over prediction-aware p99
-#: wait in the fleet simulator) from v3; against an older baseline a
-#: missing ratio is skipped, not failed.
+#: wait in the fleet simulator) from v3 and ``replay_p99_wait_gain``
+#: (the same ratio on the replayed workload-trace corpus) from v4;
+#: against an older baseline a missing ratio is skipped, not failed.
 RATIO_METRICS: tuple[str, ...] = (
     "parallel_speedup",
     "predict_batch_speedup",
     "engine_batch_speedup",
     "fleet_p99_wait_gain",
+    "replay_p99_wait_gain",
 )
 
 #: Correctness booleans: a true -> false transition always fails.
 #: ``fleet_deterministic`` asserts two same-seed fleet simulations
-#: produced identical SLO summaries (schema v3 on).
+#: produced identical SLO summaries (schema v3 on);
+#: ``replay_deterministic`` asserts the workload-trace conversion and
+#: its fleet replay are seed-stable end to end (schema v4 on).
 BOOL_METRICS: tuple[str, ...] = (
     "byte_identical",
     "engine_byte_identical",
     "fleet_deterministic",
+    "replay_deterministic",
 )
 
 

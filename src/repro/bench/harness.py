@@ -27,12 +27,12 @@ from repro.synthetic import CorpusSpec, generate_corpus
 __all__ = ["SCHEMA", "SCHEMAS", "machine_info", "run_bench"]
 
 #: Schema identifier written into every BENCH JSON document.
-SCHEMA = "repro-bench/3"
+SCHEMA = "repro-bench/4"
 
 #: Schemas ``repro.bench.compare`` accepts (older documents lack the
-#: engine stage, jobs matrix or fleet stage; compare skips what is
-#: absent).
-SCHEMAS = ("repro-bench/1", "repro-bench/2", SCHEMA)
+#: engine stage, jobs matrix, fleet stage or trace-replay stage;
+#: compare skips what is absent).
+SCHEMAS = ("repro-bench/1", "repro-bench/2", "repro-bench/3", SCHEMA)
 
 #: Corpus sizes: (n_sequences, total_frames).
 _SMOKE_CORPUS = (2, 60)
@@ -48,6 +48,13 @@ _FULL_FLEET_JOBS = 2000
 
 #: Trace seed of the fleet stage (the CI gate's seed).
 _FLEET_SEED = 7
+
+#: Replay-stage corpus per workload: (n_sequences, total_frames).
+#: The smoke corpus must still produce enough replayed jobs to
+#: contend the 72-core reference fleet -- shorter streams drain
+#: without queueing and the p99 gain degenerates to 0/0.
+_SMOKE_REPLAY_CORPUS = (2, 60)
+_FULL_REPLAY_CORPUS = (4, 200)
 
 
 def machine_info() -> dict[str, Any]:
@@ -269,6 +276,76 @@ def _bench_fleet(smoke: bool) -> dict[str, Any]:
     }
 
 
+def _bench_replay(smoke: bool) -> dict[str, Any]:
+    """Trace-replay stage: profiled workloads back through the fleet.
+
+    Profiles a small corpus for every registered workload, folds the
+    trace sets into one ``repro-workload-trace/1`` document, converts
+    it to a job stream and runs the FCFS-vs-predictive comparison on
+    the replayed (measured, not synthetic) runtimes.  Beyond the
+    timings the stage records:
+
+    * ``replay_deterministic`` -- converting and simulating the same
+      document twice with the same seed must produce identical job
+      streams and identical SLO summaries;
+    * ``replay_p99_wait_gain`` -- FCFS p99 queue wait over the
+      prediction-aware p99 on the replayed trace, the within-run
+      ratio the gate judges.
+    """
+    from repro.fleet.cli import run_comparison
+    from repro.fleet.replay import jobs_from_workload_trace, workload_trace_doc
+    from repro.synthetic import XRaySequence
+    from repro.workloads import all_workloads
+
+    n_seq, n_frames = _SMOKE_REPLAY_CORPUS if smoke else _FULL_REPLAY_CORPUS
+    spec = CorpusSpec(
+        n_sequences=n_seq, total_frames=n_frames, base_seed=29
+    )
+    profile_s, tracesets = _timed(
+        lambda: {
+            wl.name: profile_corpus(
+                [XRaySequence(cfg) for cfg in wl.corpus_configs(spec)],
+                ProfileConfig(workload=wl.name),
+                jobs=1,
+            )
+            for wl in all_workloads()
+        }
+    )
+    doc = workload_trace_doc(tracesets)
+    convert_s, trace = _timed(
+        lambda: jobs_from_workload_trace(doc, seed=_FLEET_SEED)
+    )
+    sim_s, report = _timed(
+        lambda: run_comparison(
+            trace, policies=("fcfs", "predictive"), seed=_FLEET_SEED
+        )
+    )
+    policies = report["policies"]
+    assert isinstance(policies, dict)
+    retrace = jobs_from_workload_trace(doc, seed=_FLEET_SEED)
+    rerun = run_comparison(
+        retrace, policies=("predictive",), seed=_FLEET_SEED
+    )["policies"]
+    assert isinstance(rerun, dict)
+    deterministic = trace == retrace and json.dumps(
+        policies["predictive"], sort_keys=True
+    ) == json.dumps(rerun["predictive"], sort_keys=True)
+
+    fcfs_p99 = float(policies["fcfs"]["wait_ms"]["p99"])
+    pred_p99 = float(policies["predictive"]["wait_ms"]["p99"])
+    return {
+        "replay_profile_s": profile_s,
+        "replay_convert_s": convert_s,
+        "replay_sim_s": sim_s,
+        "replay_jobs": len(trace),
+        "replay_workloads": len(tracesets),
+        "replay_deterministic": deterministic,
+        "replay_p99_wait_gain": fcfs_p99 / pred_p99 if pred_p99 > 0 else 0.0,
+        "replay_fcfs_p99_wait_ms": fcfs_p99,
+        "replay_predictive_p99_wait_ms": pred_p99,
+    }
+
+
 def _bench_jobs_matrix(
     spec: CorpusSpec, config: ProfileConfig, requested: list[int]
 ) -> list[dict[str, Any]]:
@@ -322,6 +399,7 @@ def run_bench(
     results.update(_bench_prediction(traces))
     results.update(_bench_engine(smoke))
     results.update(_bench_fleet(smoke))
+    results.update(_bench_replay(smoke))
     if jobs_matrix:
         results["jobs_matrix"] = _bench_jobs_matrix(spec, config, jobs_matrix)
 
@@ -364,6 +442,12 @@ def _format_summary(doc: dict[str, Any]) -> str:
         f"  fleet:   {r['fleet_jobs']} jobs in {r['fleet_sim_s']:.2f}s "
         f"(p99 gain x{r['fleet_p99_wait_gain']:.2f}, "
         f"deterministic={r['fleet_deterministic']})",
+        f"  replay:  {r['replay_jobs']} jobs over "
+        f"{r['replay_workloads']} workloads "
+        f"(profile {r['replay_profile_s']:.2f}s, "
+        f"sim {r['replay_sim_s']:.2f}s, "
+        f"p99 gain x{r['replay_p99_wait_gain']:.2f}, "
+        f"deterministic={r['replay_deterministic']})",
     ]
     for row in r.get("jobs_matrix", []):
         lines.append(

@@ -40,8 +40,8 @@ from repro.core.registry import (
 )
 from repro.core.scenario import ScenarioTable
 from repro.core.triplec import TripleC
-from repro.graph import build_stentboost_graph
 from repro.hw.spec import blackford
+from repro.workloads import get_workload
 
 __all__ = ["save_model", "load_model", "FORMAT_VERSION", "GRAPH_NAME"]
 
@@ -50,7 +50,9 @@ FORMAT_VERSION = 2
 #: Versions this loader accepts.
 SUPPORTED_VERSIONS = (1, 2)
 
-#: Identifier of the flow graph ``build_stentboost_graph`` rebuilds.
+#: Graph identifier assumed for documents that predate the workload
+#: registry (and the default ``save_model`` records): graph names are
+#: workload registry names.
 GRAPH_NAME = "stentboost"
 
 
@@ -70,16 +72,41 @@ def _predictor_from_dict(d: dict[str, Any]) -> Any:
     return predictor_from_dict(d)
 
 
-def save_model(model: TripleC, path: str | Path) -> None:
+def _infer_workload(model: TripleC) -> str:
+    """Registered workload whose flow graph matches the model's.
+
+    Task-name sets are unique across registered workloads, so the
+    match identifies the application the model was trained for.
+    """
+    from repro.workloads import all_workloads
+
+    tasks = set(model.graph.tasks)
+    for wl in all_workloads():
+        if set(wl.build_graph().tasks) == tasks:
+            return wl.name
+    raise ValueError(
+        "cannot infer the model's workload from its flow graph "
+        "(no registered workload has this task set); pass "
+        "save_model(..., workload=<registered name>)"
+    )
+
+
+def save_model(
+    model: TripleC, path: str | Path, workload: str | None = None
+) -> None:
     """Serialize a trained model to JSON.
 
     Only the trained parameters travel; graph and platform are
-    reconstructed from their builders at load time (they are code,
-    not data) and recorded by name so a mismatched load is rejected.
+    reconstructed at load time by resolving ``workload`` through the
+    registry (they are code, not data), and the name is recorded so a
+    mismatched load is rejected.  When ``workload`` is omitted it is
+    inferred by matching the model's graph against the registry.
     """
+    if workload is None:
+        workload = _infer_workload(model)
     doc = {
         "format_version": FORMAT_VERSION,
-        "graph": GRAPH_NAME,
+        "graph": workload,
         "platform": model.cache.platform.name,
         "rate_hz": model.rate_hz,
         "predictors": {
@@ -98,9 +125,10 @@ def load_model(path: str | Path) -> TripleC:
     Raises
     ------
     ValueError
-        If the document's format version is unsupported, or its
-        ``graph`` / ``platform`` identifiers (v2+) do not match the
-        builders this loader reconstructs.
+        If the document's format version is unsupported, its ``graph``
+        identifier (v2+) names no registered workload, or its
+        ``platform`` identifier does not match the builder this
+        loader reconstructs.
     """
     doc = json.loads(Path(path).read_text())
     version = doc.get("format_version")
@@ -109,14 +137,15 @@ def load_model(path: str | Path) -> TripleC:
             f"unsupported model format {version!r} "
             f"(supported: {', '.join(map(str, SUPPORTED_VERSIONS))})"
         )
-    graph = build_stentboost_graph()
     platform = blackford()
-    doc_graph = doc.get("graph", GRAPH_NAME)
-    if doc_graph != GRAPH_NAME:
+    doc_graph = str(doc.get("graph", GRAPH_NAME))
+    try:
+        graph = get_workload(doc_graph).build_graph()
+    except KeyError:
         raise ValueError(
-            f"model was trained for flow graph {doc_graph!r}; "
-            f"this build provides {GRAPH_NAME!r}"
-        )
+            f"model was trained for flow graph {doc_graph!r}, which "
+            "names no registered workload"
+        ) from None
     doc_platform = doc.get("platform", platform.name)
     if doc_platform != platform.name:
         raise ValueError(

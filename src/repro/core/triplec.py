@@ -24,8 +24,8 @@ from repro.core.computation import (
     PredictionContext,
 )
 from repro.core.scenario import ScenarioTable
-from repro.graph import build_stentboost_graph
 from repro.graph.flowgraph import FlowGraph
+from repro.workloads import DEFAULT_WORKLOAD, get_workload
 from repro.hw.spec import PlatformSpec, blackford
 from repro.imaging.pipeline import SwitchState
 from repro.profiling.traces import TraceSet
@@ -96,8 +96,10 @@ class TripleC:
         traces:
             Profiled training corpus.
         graph, platform:
-            Structural inputs; default to the StentBoost graph and
-            the Blackford platform.
+            Structural inputs; the graph defaults to the registered
+            workload the traces record as their provenance (falling
+            back to the default workload for legacy trace sets), the
+            platform to Blackford.
         online_update:
             Enable continuous transition-count updates at observe
             time (Section 6 "Profiling").
@@ -105,7 +107,9 @@ class TripleC:
             Forwarded to :meth:`ComputationModel.fit` (alpha,
             predictor_kinds ... -- the ablation hooks).
         """
-        graph = graph or build_stentboost_graph()
+        graph = graph or get_workload(
+            traces.workload or DEFAULT_WORKLOAD
+        ).build_graph()
         platform = platform or blackford()
         comp = ComputationModel.fit(
             traces, online_update=online_update, **computation_kwargs

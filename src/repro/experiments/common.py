@@ -24,19 +24,19 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.core.triplec import TripleC
-from repro.graph import build_stentboost_graph
 from repro.graph.flowgraph import FlowGraph
 from repro.hw.bus import BandwidthLedger
 from repro.hw.spec import PlatformSpec
-from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.imaging.pipeline import AnalysisPipeline, PipelineConfig
 from repro.profiling import (
     ProfileConfig,
     TraceSet,
     merge_shards,
     profile_shards,
 )
-from repro.synthetic import CorpusSpec, corpus_configs
+from repro.synthetic import CorpusSpec
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
+from repro.workloads import DEFAULT_WORKLOAD, get_workload
 
 __all__ = ["ExperimentContext", "default_context", "make_pipeline"]
 
@@ -52,10 +52,16 @@ def _cache_dir() -> Path:
     return path
 
 
-def make_pipeline(sequence: XRaySequence) -> StentBoostPipeline:
-    """Pipeline configured with the sequence's clinical prior."""
-    sep = sequence.config.resolved_phantom().marker_separation
-    return StentBoostPipeline(PipelineConfig(expected_distance=sep))
+def make_pipeline(
+    sequence: XRaySequence, workload: str = DEFAULT_WORKLOAD
+) -> AnalysisPipeline:
+    """Default-tunables pipeline of a workload for one sequence.
+
+    Delegates to the registry entry's pipeline factory, which may
+    read per-sequence priors (StentBoost derives its
+    ``expected_distance`` from the phantom's marker separation).
+    """
+    return get_workload(workload).make_pipeline(sequence, None)
 
 
 def _sequence_blob(config: SequenceConfig) -> str:
@@ -95,10 +101,15 @@ class ExperimentContext:
         return self.profile_config.platform
 
     @property
+    def workload(self) -> str:
+        """Registry name of the application this context studies."""
+        return self.profile_config.workload
+
+    @property
     def graph(self) -> FlowGraph:
-        """The StentBoost flow graph (built once, memoized)."""
+        """The workload's flow graph (built once, memoized)."""
         if self._graph is None:
-            self._graph = build_stentboost_graph()
+            self._graph = get_workload(self.workload).build_graph()
         return self._graph
 
     # -- cache keys -----------------------------------------------------------
@@ -112,7 +123,8 @@ class ExperimentContext:
         """
         pipe = self.profile_config.pipeline
         return (
-            f"{CALIBRATION_VERSION}|{self.profile_config.pixel_scale}|"
+            f"{CALIBRATION_VERSION}|{self.workload}|"
+            f"{self.profile_config.pixel_scale}|"
             f"{self.profile_config.seed}|{self.platform.name}|"
             f"{pipe.expected_distance}|{pipe.max_candidates}|"
             f"{pipe.enhancer_decay}|{pipe.roi_margin_factor}|"
@@ -197,7 +209,7 @@ class ExperimentContext:
                 by_seq[seq_id].save(path)
 
     def _load_or_profile_traces(self) -> TraceSet:
-        configs = corpus_configs(self.corpus_spec)
+        configs = get_workload(self.workload).corpus_configs(self.corpus_spec)
         paths = self._shard_paths(configs)
         if any(not p.exists() for p in paths):
             self._migrate_legacy(paths)
@@ -258,9 +270,15 @@ def default_context() -> ExperimentContext:
 
     Paper-scale corpus (37 sequences / 1,921 frames) unless
     ``REPRO_FAST=1``, which shrinks it to 8 / 400 for smoke runs.
+    ``REPRO_WORKLOAD`` selects the application (default
+    ``stentboost``).
     """
     if os.environ.get("REPRO_FAST", "") == "1":
         spec = CorpusSpec(n_sequences=8, total_frames=400)
     else:
         spec = CorpusSpec()
-    return ExperimentContext(corpus_spec=spec)
+    workload = os.environ.get("REPRO_WORKLOAD", DEFAULT_WORKLOAD)
+    return ExperimentContext(
+        corpus_spec=spec,
+        profile_config=ProfileConfig(workload=workload),
+    )

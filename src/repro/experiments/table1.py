@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.cachemodel import table1_rows
 from repro.experiments.common import ExperimentContext
-from repro.graph.stentboost import TABLE1_ROWS
+from repro.graph import TABLE1_ROWS
 from repro.imaging.pipeline import SwitchState
 from repro.util.units import KIB
 

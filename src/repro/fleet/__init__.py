@@ -17,6 +17,8 @@ Modules
     Heterogeneous node/fleet model over :mod:`repro.hw.spec`.
 :mod:`repro.fleet.jobs`
     Job records, the trace corpus format, synthetic burst traces.
+:mod:`repro.fleet.replay`
+    Replay corpora: profiled workload traces -> job streams.
 :mod:`repro.fleet.estimates`
     Worst-case / Triple-C / oracle runtime estimators.
 :mod:`repro.fleet.policies`
@@ -46,6 +48,13 @@ from repro.fleet.jobs import (
     trace_summary,
 )
 from repro.fleet.nodes import Fleet, FleetNode, default_fleet
+from repro.fleet.replay import (
+    WORKLOAD_TRACE_SCHEMA,
+    jobs_from_workload_trace,
+    load_workload_trace,
+    save_workload_trace,
+    workload_trace_doc,
+)
 from repro.fleet.policies import (
     BackfillScheduler,
     FcfsScheduler,
@@ -75,6 +84,11 @@ __all__ = [
     "Fleet",
     "FleetNode",
     "default_fleet",
+    "WORKLOAD_TRACE_SCHEMA",
+    "workload_trace_doc",
+    "save_workload_trace",
+    "load_workload_trace",
+    "jobs_from_workload_trace",
     "BackfillScheduler",
     "FcfsScheduler",
     "Placement",

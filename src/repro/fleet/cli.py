@@ -46,6 +46,11 @@ from repro.fleet.jobs import (
 )
 from repro.fleet.nodes import Fleet, default_fleet
 from repro.fleet.policies import BackfillScheduler, FcfsScheduler, Scheduler
+from repro.fleet.replay import (
+    WORKLOAD_TRACE_SCHEMA,
+    jobs_from_workload_trace,
+    load_workload_trace,
+)
 from repro.fleet.simulator import FleetSimulator
 
 __all__ = ["REPORT_SCHEMA", "POLICIES", "run_comparison", "main"]
@@ -173,6 +178,21 @@ def _format_summary(doc: dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _load_any_trace(path: Path, seed: int) -> list[JobRecord]:
+    """Load a job stream, sniffing the document schema.
+
+    ``repro-fleet-trace/1`` documents load verbatim;
+    ``repro-workload-trace/1`` replay corpora (profiled frame
+    latencies per workload) convert deterministically into jobs via
+    :func:`repro.fleet.replay.jobs_from_workload_trace` under
+    ``seed``.
+    """
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(doc, dict) and doc.get("schema") == WORKLOAD_TRACE_SCHEMA:
+        return jobs_from_workload_trace(load_workload_trace(path), seed=seed)
+    return load_trace(path)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fleet",
@@ -190,7 +210,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--seed", type=int, default=7, help="trace seed (default: %(default)s)"
     )
     parser.add_argument(
-        "--trace", type=Path, default=None, help="replay a saved trace instead"
+        "--trace",
+        type=Path,
+        default=None,
+        help="replay a saved job trace (repro-fleet-trace/1) or a "
+        "profiled workload corpus (repro-workload-trace/1) instead",
     )
     parser.add_argument(
         "--save-trace", type=Path, default=None, help="write the trace used"
@@ -217,7 +241,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     obs_dir = obs.maybe_enable_from_env()
 
     if args.trace is not None:
-        trace = load_trace(args.trace)
+        trace = _load_any_trace(args.trace, seed=args.seed)
     else:
         n_jobs = args.jobs if args.jobs is not None else 1000
         trace = synthetic_burst_trace(n_jobs=n_jobs, seed=args.seed)

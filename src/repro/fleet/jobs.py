@@ -17,11 +17,15 @@ speed node (ground truth for the simulator and the oracle estimator);
 non-predictive scheduler packs against).
 
 :func:`synthetic_burst_trace` generates the evaluation workload:
-thousands of StentBoost-like streams from three tenants/QoS tiers and
-three application classes, with Markov-modulated per-app runtime
-dynamics (so the Triple-C EWMA+Markov estimator has structure to
-learn) and burst windows during which the arrival rate multiplies.
+thousands of streams from three tenants/QoS tiers and one application
+class per registered workload (parameters from each workload's
+:class:`~repro.workloads.FleetParams`), with Markov-modulated per-app
+runtime dynamics (so the Triple-C EWMA+Markov estimator has structure
+to learn) and burst windows during which the arrival rate multiplies.
 All randomness flows through :func:`repro.util.rng.rng_stream`.
+Real (non-synthetic) job streams come from
+:mod:`repro.fleet.replay`, which converts profiled workload traces
+into the same :class:`JobRecord` shape.
 """
 
 from __future__ import annotations
@@ -41,6 +45,7 @@ __all__ = [
     "AppClass",
     "APP_CLASSES",
     "TENANTS",
+    "app_classes_from_registry",
     "save_trace",
     "load_trace",
     "synthetic_burst_trace",
@@ -124,43 +129,35 @@ class AppClass:
     weight: float
 
 
-#: The three StentBoost-like application classes of the synthetic mix.
-APP_CLASSES: tuple[AppClass, ...] = (
-    AppClass(
-        name="stentboost-live",
-        cores_choices=(1, 2),
-        state_base_ms=(90.0, 140.0, 230.0),
-        transition=(
-            (0.85, 0.12, 0.03),
-            (0.15, 0.75, 0.10),
-            (0.08, 0.22, 0.70),
-        ),
-        jitter_sigma=0.06,
-        weight=0.60,
-    ),
-    AppClass(
-        name="stentboost-replay",
-        cores_choices=(2, 3, 4),
-        state_base_ms=(320.0, 520.0),
-        transition=(
-            (0.80, 0.20),
-            (0.25, 0.75),
-        ),
-        jitter_sigma=0.08,
-        weight=0.30,
-    ),
-    AppClass(
-        name="volume-recon",
-        cores_choices=(8, 12, 16),
-        state_base_ms=(1200.0, 2000.0),
-        transition=(
-            (0.70, 0.30),
-            (0.35, 0.65),
-        ),
-        jitter_sigma=0.10,
-        weight=0.10,
-    ),
-)
+def app_classes_from_registry() -> tuple[AppClass, ...]:
+    """One :class:`AppClass` per registered workload.
+
+    The fleet's application families *are* the workload registry
+    entries: each workload carries its own
+    :class:`~repro.workloads.FleetParams` (load-state Markov chain,
+    core requests, mix weight), and the synthetic trace generator
+    draws from exactly those classes, keyed by registry name -- so a
+    replayed real corpus and a synthetic burst share the same ``app``
+    vocabulary.
+    """
+    from repro.workloads import all_workloads
+
+    return tuple(
+        AppClass(
+            name=wl.name,
+            cores_choices=wl.fleet.cores_choices,
+            state_base_ms=wl.fleet.state_base_ms,
+            transition=wl.fleet.transition,
+            jitter_sigma=wl.fleet.jitter_sigma,
+            weight=wl.fleet.weight,
+        )
+        for wl in all_workloads()
+    )
+
+
+#: The application classes of the synthetic mix, one per registered
+#: workload (resolved at import time from the registry).
+APP_CLASSES: tuple[AppClass, ...] = app_classes_from_registry()
 
 #: (tenant, tier, weight) of the synthetic customer mix.
 TENANTS: tuple[tuple[str, str, float], ...] = (
@@ -204,16 +201,44 @@ def _rate_multiplier(t_frac: float) -> float:
     return 1.0
 
 
+#: Core count of the reference evaluation fleet (``default_fleet()``)
+#: and the baseline average load the default horizon targets.
+_REFERENCE_CORES = 72
+_TARGET_LOAD = 0.9
+
+
+def _mean_core_ms(apps: Sequence[AppClass]) -> float:
+    """Rough mean core-demand (core-ms) of one job of the mix."""
+    total = 0.0
+    weight = 0.0
+    for a in apps:
+        mean_ms = sum(a.state_base_ms) / len(a.state_base_ms)
+        mean_cores = sum(a.cores_choices) / len(a.cores_choices)
+        total += a.weight * mean_ms * mean_cores
+        weight += a.weight
+    return total / weight
+
+
 def synthetic_burst_trace(
     n_jobs: int = 1000,
     seed: int = 7,
-    horizon_ms: float = 40_000.0,
+    horizon_ms: float | None = None,
     apps: Sequence[AppClass] = APP_CLASSES,
     tenants: Sequence[tuple[str, str, float]] = TENANTS,
 ) -> list[JobRecord]:
-    """Generate a bursty multi-tenant trace (deterministic per seed)."""
+    """Generate a bursty multi-tenant trace (deterministic per seed).
+
+    The default horizon scales with the mix's mean per-job core
+    demand so the reference fleet sees ~80 % average load (bursts
+    overload it transiently) regardless of which application classes
+    the workload registry currently provides.
+    """
     if n_jobs <= 0:
         raise ValueError("n_jobs must be positive")
+    if horizon_ms is None:
+        horizon_ms = (
+            n_jobs * _mean_core_ms(apps) / (_REFERENCE_CORES * _TARGET_LOAD)
+        )
     arrival_rng = rng_stream(seed, "fleet", "arrivals")
     tenant_rng = rng_stream(seed, "fleet", "tenants")
     app_rng = rng_stream(seed, "fleet", "apps")

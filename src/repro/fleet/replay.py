@@ -1,0 +1,218 @@
+"""Replay profiled workload traces as fleet job streams.
+
+The synthetic burst generator (:mod:`repro.fleet.jobs`) invents
+runtimes from per-class Markov chains; this module closes the loop
+with *measured* ones.  A profiled corpus -- one
+:class:`~repro.profiling.traces.TraceSet` per registered workload --
+exports to a ``repro-workload-trace/1`` document::
+
+    {"schema": "repro-workload-trace/1",
+     "workloads": [
+       {"workload": "stentboost", "registry_version": "wl/1",
+        "platform": "blackford-2x-quad", "pixel_scale": 1.0,
+        "sequences": [
+          {"seq": 0, "latency_ms": [...], "scenario_id": [...]},
+          ...]},
+       ...]}
+
+and :func:`jobs_from_workload_trace` converts such a document into a
+``repro-fleet-trace/1`` job stream: one job per profiled frame whose
+``runtime_ms`` is the frame's *measured* latency, with seeded Poisson
+arrivals, core requests from the workload's registered
+:class:`~repro.workloads.FleetParams`, and the standard sloppy
+declared limits.  ``python -m repro.fleet --trace corpus.json``
+sniffs the schema and replays either format; the conversion is a
+pure function of (document, seed), so two runs write byte-identical
+SLO reports.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.fleet.jobs import (
+    _DEADLINE_SLACK,
+    _REFERENCE_CORES,
+    _TARGET_LOAD,
+    TENANTS,
+    JobRecord,
+)
+from repro.profiling.traces import TraceSet
+from repro.util.rng import rng_stream
+
+__all__ = [
+    "WORKLOAD_TRACE_SCHEMA",
+    "workload_trace_doc",
+    "save_workload_trace",
+    "load_workload_trace",
+    "jobs_from_workload_trace",
+]
+
+#: Schema tag of the replay-corpus document.
+WORKLOAD_TRACE_SCHEMA = "repro-workload-trace/1"
+
+#: Tier -> scheduling priority (mirrors the synthetic generator).
+_TIER_PRIORITY = {"gold": 2, "silver": 1, "bronze": 0}
+
+
+def workload_trace_doc(
+    tracesets: Mapping[str, TraceSet],
+) -> dict[str, object]:
+    """Build a replay-corpus document from per-workload trace sets.
+
+    Keys of ``tracesets`` are registry names; each trace set's own
+    ``workload`` provenance must match its key (empty legacy
+    provenance is rejected -- re-profile with a registry-aware
+    profiler first).
+    """
+    workloads: list[dict[str, object]] = []
+    for name in sorted(tracesets):
+        ts = tracesets[name]
+        if ts.workload != name:
+            raise ValueError(
+                f"trace set under key {name!r} records workload "
+                f"{ts.workload!r}; re-profile it through the registry"
+            )
+        sequences: list[dict[str, object]] = []
+        for seq, chain in zip(ts.sequences(), ts.scenario_chains()):
+            sequences.append(
+                {
+                    "seq": int(seq),
+                    "latency_ms": [],
+                    "scenario_id": [int(s) for s in chain],
+                }
+            )
+        # Latencies come back as one flat series over all sequences,
+        # in the same (seq, frame) order as the scenario chains.
+        offset = 0
+        latencies = ts.latencies()
+        for entry in sequences:
+            n = len(entry["scenario_id"])  # type: ignore[arg-type]
+            entry["latency_ms"] = [
+                round(float(v), 6) for v in latencies[offset : offset + n]
+            ]
+            offset += n
+        workloads.append(
+            {
+                "workload": name,
+                "registry_version": ts.registry_version,
+                "platform": ts.platform,
+                "pixel_scale": ts.pixel_scale,
+                "sequences": sequences,
+            }
+        )
+    return {"schema": WORKLOAD_TRACE_SCHEMA, "workloads": workloads}
+
+
+def save_workload_trace(doc: dict[str, object], path: str | Path) -> Path:
+    """Write a replay-corpus document (sorted keys, byte-stable)."""
+    if doc.get("schema") != WORKLOAD_TRACE_SCHEMA:
+        raise ValueError(f"expected schema {WORKLOAD_TRACE_SCHEMA!r}")
+    p = Path(path)
+    p.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return p
+
+
+def load_workload_trace(path: str | Path) -> dict[str, object]:
+    """Read and validate a replay-corpus document."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or doc.get("schema") != WORKLOAD_TRACE_SCHEMA:
+        raise ValueError(f"{path}: expected schema {WORKLOAD_TRACE_SCHEMA!r}")
+    return doc
+
+
+def jobs_from_workload_trace(
+    doc: Mapping[str, object],
+    seed: int = 7,
+    target_load: float = _TARGET_LOAD,
+    tenants: Sequence[tuple[str, str, float]] = TENANTS,
+) -> list[JobRecord]:
+    """Convert a replay-corpus document into a fleet job stream.
+
+    One job per profiled frame: ``runtime_ms`` is the frame's measured
+    latency (floored at 1 ms), ``app`` is the workload's registry name
+    (so the Triple-C estimator keys its predictor on it), and
+    ``cores`` draws from the workload's registered
+    :class:`~repro.workloads.FleetParams` core choices.  Frames are
+    deterministically interleaved across workloads, then submitted as
+    a Poisson stream whose rate is set so the measured mean core
+    demand offers ``target_load`` of the reference evaluation fleet
+    (backfill windows stay contested).  Declared limits pad the truth
+    by 3-12x on a 100 ms grid, exactly like the synthetic generator.
+    """
+    from repro.workloads import get_workload
+
+    if doc.get("schema") != WORKLOAD_TRACE_SCHEMA:
+        raise ValueError(f"expected schema {WORKLOAD_TRACE_SCHEMA!r}")
+    entries = doc.get("workloads")
+    if not isinstance(entries, list) or not entries:
+        raise ValueError("replay corpus lists no workloads")
+
+    # Flatten to (workload, seq, frame, runtime) rows in document order.
+    rows: list[tuple[str, int, int, float]] = []
+    for entry in entries:
+        name = str(entry["workload"])
+        get_workload(name)  # fail loudly on unknown workloads
+        for sequence in entry["sequences"]:
+            seq = int(sequence["seq"])
+            for frame, latency in enumerate(sequence["latency_ms"]):
+                rows.append((name, seq, frame, max(float(latency), 1.0)))
+    if not rows:
+        raise ValueError("replay corpus contains no frames")
+
+    # Deterministic interleave: a seeded permutation mixes the
+    # workloads' frames into one arrival stream.
+    order_rng = rng_stream(seed, "replay", "order")
+    order = order_rng.permutation(len(rows))
+
+    arrival_rng = rng_stream(seed, "replay", "arrivals")
+    tenant_rng = rng_stream(seed, "replay", "tenants")
+    core_rng = rng_stream(seed, "replay", "cores")
+    limit_rng = rng_stream(seed, "replay", "limits")
+
+    tenant_weights = np.array([w for _, _, w in tenants], dtype=np.float64)
+    tenant_weights /= tenant_weights.sum()
+    mean_core_ms = float(
+        np.mean(
+            [
+                runtime
+                * float(np.mean(get_workload(name).fleet.cores_choices))
+                for name, _seq, _frame, runtime in rows
+            ]
+        )
+    )
+    mean_gap = mean_core_ms / (_REFERENCE_CORES * target_load)
+
+    jobs: list[JobRecord] = []
+    t = 0.0
+    width = len(str(len(rows) - 1))
+    for i, idx in enumerate(order):
+        name, seq, frame, runtime = rows[int(idx)]
+        t += float(arrival_rng.exponential(mean_gap))
+        tenant, tier, _ = tenants[
+            int(tenant_rng.choice(len(tenants), p=tenant_weights))
+        ]
+        choices = get_workload(name).fleet.cores_choices
+        cores = int(choices[int(core_rng.integers(len(choices)))])
+        raw_limit = runtime * float(limit_rng.uniform(3.0, 12.0))
+        limit = float(np.ceil(raw_limit / 100.0) * 100.0)
+        deadline = t + runtime * _DEADLINE_SLACK[tier] + 500.0
+        jobs.append(
+            JobRecord(
+                job_id=f"replay-{i:0{width}d}-{name}-s{seq}f{frame}",
+                tenant=tenant,
+                tier=tier,
+                app=name,
+                submit_ms=round(t, 3),
+                cores=cores,
+                runtime_ms=round(runtime, 3),
+                limit_ms=limit,
+                deadline_ms=round(deadline, 3),
+                priority=_TIER_PRIORITY[tier],
+            )
+        )
+    return jobs

@@ -12,11 +12,12 @@ this structure.
 from repro.graph.flowgraph import Edge, FlowGraph
 from repro.graph.scenarios import (
     ALL_SCENARIOS,
+    DEFAULT_SWITCH_NAMES,
     Scenario,
     scenario_name,
     scenario_table,
 )
-from repro.graph.stentboost import build_stentboost_graph
+from repro.graph.stentboost import TABLE1_ROWS, build_stentboost_graph
 from repro.graph.task import PhaseSpec, TaskSpec
 
 __all__ = [
@@ -26,7 +27,9 @@ __all__ = [
     "FlowGraph",
     "Scenario",
     "ALL_SCENARIOS",
+    "DEFAULT_SWITCH_NAMES",
     "scenario_name",
     "scenario_table",
+    "TABLE1_ROWS",
     "build_stentboost_graph",
 ]

@@ -23,7 +23,13 @@ from repro.imaging.pipeline import SwitchState
 if TYPE_CHECKING:
     from repro.graph.flowgraph import FlowGraph
 
-__all__ = ["Scenario", "ALL_SCENARIOS", "scenario_name", "scenario_table"]
+__all__ = [
+    "Scenario",
+    "ALL_SCENARIOS",
+    "DEFAULT_SWITCH_NAMES",
+    "scenario_name",
+    "scenario_table",
+]
 
 
 @dataclass(frozen=True)
@@ -41,12 +47,27 @@ class Scenario:
         return scenario_name(self.state)
 
 
-def scenario_name(state: SwitchState) -> str:
-    """Compact human-readable scenario label, e.g. ``RDG/ROI/ok``."""
+#: Default bit labels (the StentBoost switches, most significant
+#: first); workloads reinterpret the bits via their ``switch_names``.
+DEFAULT_SWITCH_NAMES: tuple[str, str, str] = ("RDG", "ROI", "REG")
+
+
+def scenario_name(
+    state: SwitchState,
+    switch_names: tuple[str, str, str] = DEFAULT_SWITCH_NAMES,
+) -> str:
+    """Compact human-readable scenario label, e.g. ``RDG/ROI/ok``.
+
+    ``switch_names`` relabels the bits for other workloads: bit 2
+    renders as ``NAME``/``name-``, bit 1 (the granularity switch) as
+    ``NAME``/``FULL``, bit 0 as ``ok``/``fail``.  The default names
+    reproduce the historical StentBoost labels exactly.
+    """
+    bit2, bit1, _bit0 = switch_names
     return "/".join(
         [
-            "RDG" if state.rdg_on else "rdg-",
-            "ROI" if state.roi_mode else "FULL",
+            bit2 if state.rdg_on else bit2.lower() + "-",
+            bit1 if state.roi_mode else "FULL",
             "ok" if state.reg_success else "fail",
         ]
     )
@@ -58,19 +79,24 @@ ALL_SCENARIOS: tuple[Scenario, ...] = tuple(
 )
 
 
-def scenario_table(graph: "FlowGraph") -> list[dict[str, object]]:
+def scenario_table(
+    graph: "FlowGraph",
+    switch_names: tuple[str, str, str] = DEFAULT_SWITCH_NAMES,
+) -> list[dict[str, object]]:
     """Tabulate all scenarios for a flow graph.
 
     Returns one row per scenario with its id, name, active task list
     and total analytic inter-task bandwidth in MByte/s -- the data
-    behind the scenario discussion of Section 5.2.
+    behind the scenario discussion of Section 5.2.  ``switch_names``
+    relabels the scenario names for non-StentBoost workloads (see
+    :func:`scenario_name`).
     """
     rows: list[dict[str, object]] = []
     for sc in ALL_SCENARIOS:
         rows.append(
             {
                 "id": sc.scenario_id,
-                "name": sc.name,
+                "name": scenario_name(sc.state, switch_names),
                 "tasks": graph.active_tasks(sc.state),
                 "bandwidth_mbps": graph.total_bandwidth_mbps(sc.state),
             }

@@ -63,6 +63,12 @@ COUNT_SCALING: Mapping[str, str] = MappingProxyType(
         "candidates": "none",
         "raw_components": "none",
         "integrated_frames": "none",
+        # Counts of the non-StentBoost registry workloads.
+        "flow_vectors": "area",
+        "echo_samples": "area",
+        "track_points": "linear",
+        "plan_cells": "none",
+        "detections": "none",
     }
 )
 

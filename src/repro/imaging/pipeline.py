@@ -22,6 +22,7 @@ simulated computation time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 from numpy.typing import NDArray
@@ -35,7 +36,13 @@ from repro.imaging.registration import RigidTransform, register_couples
 from repro.imaging.ridge import ridge_filter, structure_precheck
 from repro.imaging.roi import Roi, estimate_roi
 
-__all__ = ["PipelineConfig", "SwitchState", "FrameAnalysis", "StentBoostPipeline"]
+__all__ = [
+    "PipelineConfig",
+    "SwitchState",
+    "FrameAnalysis",
+    "AnalysisPipeline",
+    "StentBoostPipeline",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +123,32 @@ class FrameAnalysis:
     def executed_tasks(self) -> list[str]:
         """Names of the tasks that ran this frame, in graph order."""
         return list(self.reports.keys())
+
+
+@runtime_checkable
+class AnalysisPipeline(Protocol):
+    """What the runtime engine needs from any workload's pipeline.
+
+    A stateful per-frame executor: ``process`` runs one frame through
+    the application's flow graph and returns the frame's work reports
+    (plus ``extras["roi_kpixels"]``); ``roi`` exposes the region the
+    *next* frame will be processed at (``None`` means full frame),
+    which is the engine's planning-time granularity signal; ``quality``
+    is the optional QoS level slot the quality controller writes.
+
+    :class:`StentBoostPipeline` is the reference implementation; the
+    ``repro.workloads`` registry supplies one implementation per
+    registered application.
+    """
+
+    quality: Any
+
+    @property
+    def roi(self) -> Roi | None: ...
+
+    def reset(self) -> None: ...
+
+    def process(self, img: NDArray[np.float32]) -> FrameAnalysis: ...
 
 
 class StentBoostPipeline:

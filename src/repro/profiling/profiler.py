@@ -14,17 +14,17 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 import repro.obs as obs
-from repro.graph import build_stentboost_graph
 from repro.graph.flowgraph import FlowGraph
 from repro.hw import CostModel, Mapping, PlatformSimulator, blackford
 from repro.hw.bus import BandwidthLedger
 from repro.hw.spec import PlatformSpec
-from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.imaging.pipeline import PipelineConfig
 from repro.parallel import SharedArrays, get_payload, map_sequences
 from repro.profiling.traces import TraceSet
 from repro.synthetic.phantom import Phantom
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
 from repro.util.effects import pure
+from repro.workloads import DEFAULT_WORKLOAD, REGISTRY_VERSION, get_workload
 
 __all__ = [
     "ProfileConfig",
@@ -49,22 +49,31 @@ class ProfileConfig:
     seed:
         Cost-model jitter seed.
     pipeline:
-        Pipeline tunables; ``expected_distance`` is overridden per
-        sequence from its phantom spec (the clinical prior).
+        Pipeline tunables; workload pipeline factories may override
+        fields per sequence (StentBoost derives ``expected_distance``
+        from the phantom spec, the clinical prior).
+    workload:
+        Registry name of the application to profile; selects the flow
+        graph, the pipeline factory and the cost table.
     """
 
     platform: PlatformSpec = field(default_factory=blackford)
     pixel_scale: float = 16.0
     seed: int = 0
     pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    workload: str = DEFAULT_WORKLOAD
 
     def make_simulator(self, graph: FlowGraph | None = None) -> PlatformSimulator:
         """Build the simulator this config describes."""
+        wl = get_workload(self.workload)
         cost = CostModel(
-            self.platform, pixel_scale=self.pixel_scale, seed=self.seed
+            self.platform,
+            pixel_scale=self.pixel_scale,
+            seed=self.seed,
+            task_costs=wl.task_costs,
         )
         return PlatformSimulator(
-            self.platform, cost, graph=graph or build_stentboost_graph()
+            self.platform, cost, graph=graph or wl.build_graph()
         )
 
 
@@ -94,19 +103,16 @@ def profile_sequence(
     config = config or ProfileConfig()
     sim = simulator or config.make_simulator()
     ts = traces if traces is not None else TraceSet(
-        pixel_scale=config.pixel_scale, platform=config.platform.name
+        pixel_scale=config.pixel_scale,
+        platform=config.platform.name,
+        workload=config.workload,
+        registry_version=REGISTRY_VERSION,
     )
     mapping = Mapping.serial()
 
-    sep = sequence.config.resolved_phantom().marker_separation
-    pipe_cfg = PipelineConfig(
-        expected_distance=sep,
-        max_candidates=config.pipeline.max_candidates,
-        enhancer_decay=config.pipeline.enhancer_decay,
-        roi_margin_factor=config.pipeline.roi_margin_factor,
-        reset_after_lost=config.pipeline.reset_after_lost,
+    pipe = get_workload(config.workload).make_pipeline(
+        sequence, config.pipeline
     )
-    pipe = StentBoostPipeline(pipe_cfg)
 
     o = obs.get_obs()
     # Instruments resolved once per sequence, not per frame (the
@@ -323,7 +329,12 @@ def merge_shards(shards: Sequence[TraceSet], config: ProfileConfig) -> TraceSet:
     cache file) leave the merged ledger's totals short, so the merged
     ``meta["ledger"]`` is only attached when every shard carried one.
     """
-    ts = TraceSet(pixel_scale=config.pixel_scale, platform=config.platform.name)
+    ts = TraceSet(
+        pixel_scale=config.pixel_scale,
+        platform=config.platform.name,
+        workload=config.workload,
+        registry_version=REGISTRY_VERSION,
+    )
     ledger: BandwidthLedger | None = BandwidthLedger()
     for shard in shards:
         ts.extend(shard)

@@ -102,6 +102,13 @@ class TraceSet:
         Area factor the underlying cost model used.
     platform:
         Name of the platform spec profiled against.
+    workload:
+        Registry name of the application that was profiled (empty on
+        legacy trace sets predating the workload registry).
+    registry_version:
+        :data:`repro.workloads.REGISTRY_VERSION` at profiling time
+        (empty on legacy trace sets) -- identifies stale traces after
+        a registered workload's behavior changes.
     meta:
         Free-form provenance (corpus spec, seeds, ...).
     """
@@ -112,9 +119,13 @@ class TraceSet:
         pixel_scale: float = 1.0,
         platform: str = "",
         meta: dict[str, object] | None = None,
+        workload: str = "",
+        registry_version: str = "",
     ) -> None:
         self.pixel_scale = pixel_scale
         self.platform = platform
+        self.workload = workload
+        self.registry_version = registry_version
         self.meta: dict[str, object] = meta if meta is not None else {}
         self._rows = np.zeros(_MIN_CAPACITY, dtype=TRACE_DTYPE)
         self._n = 0
@@ -133,6 +144,8 @@ class TraceSet:
         return (
             self.pixel_scale == other.pixel_scale
             and self.platform == other.platform
+            and self.workload == other.workload
+            and self.registry_version == other.registry_version
             and self.meta == other.meta
             and self.records == other.records
         )
@@ -431,6 +444,8 @@ class TraceSet:
         payload = {
             "pixel_scale": self.pixel_scale,
             "platform": self.platform,
+            "workload": self.workload,
+            "registry_version": self.registry_version,
             "meta": meta,
             "records": [asdict(r) for r in self.records],
         }
@@ -444,6 +459,8 @@ class TraceSet:
             "fingerprint": hashlib.sha256(text.encode("utf-8")).hexdigest(),
             "pixel_scale": self.pixel_scale,
             "platform": self.platform,
+            "workload": self.workload,
+            "registry_version": self.registry_version,
             "meta": meta,
             "tasks": tasks,
         }
@@ -468,6 +485,8 @@ class TraceSet:
             pixel_scale=float(header["pixel_scale"]),
             platform=str(header["platform"]),
             meta=dict(header.get("meta", {})),
+            workload=str(header.get("workload", "")),
+            registry_version=str(header.get("registry_version", "")),
         )
         cap = max(n, _MIN_CAPACITY)
         ts._rows = np.zeros(cap, dtype=TRACE_DTYPE)
@@ -513,6 +532,8 @@ class TraceSet:
             pixel_scale=float(payload["pixel_scale"]),
             platform=str(payload["platform"]),
             meta=dict(payload.get("meta", {})),
+            workload=str(payload.get("workload", "")),
+            registry_version=str(payload.get("registry_version", "")),
         )
         for r in payload["records"]:
             ts.append(TraceRecord(**r))

@@ -16,7 +16,7 @@ share its loop, logging and telemetry with the managed run.
 from __future__ import annotations
 
 from repro.hw.simulator import PlatformSimulator
-from repro.imaging.pipeline import StentBoostPipeline
+from repro.imaging.pipeline import AnalysisPipeline
 from repro.runtime.engine import (
     FrameEngine,
     RunResult,
@@ -30,7 +30,7 @@ __all__ = ["run_straightforward", "run_worst_case"]
 
 def run_straightforward(
     sequence: XRaySequence,
-    pipeline: StentBoostPipeline,
+    pipeline: AnalysisPipeline,
     simulator: PlatformSimulator,
     seq_key: object = 0,
     batched: bool = False,
@@ -46,7 +46,7 @@ def run_straightforward(
 
 def run_worst_case(
     sequence: XRaySequence,
-    pipeline: StentBoostPipeline,
+    pipeline: AnalysisPipeline,
     simulator: PlatformSimulator,
     worst_case_ms: float,
     seq_key: object = 0,

@@ -28,7 +28,7 @@ import repro.obs as obs
 from repro.core.triplec import TripleC, TripleCPrediction
 from repro.hw.mapping import Mapping
 from repro.hw.simulator import FrameResult, PlatformSimulator
-from repro.imaging.pipeline import FrameAnalysis, StentBoostPipeline
+from repro.imaging.pipeline import AnalysisPipeline, FrameAnalysis
 from repro.runtime.batchplan import (
     BatchCosts,
     BatchPlans,
@@ -113,7 +113,7 @@ class SchedulingPolicy(Protocol):
         ...
 
     def plan_frame(
-        self, engine: "FrameEngine", pipeline: StentBoostPipeline, img
+        self, engine: "FrameEngine", pipeline: AnalysisPipeline, img
     ) -> FramePlan:
         """Decide mapping/quality for the frame about to execute."""
         ...
@@ -264,7 +264,7 @@ class FrameEngine:
     def run(
         self,
         sequence: XRaySequence,
-        pipeline: StentBoostPipeline,
+        pipeline: AnalysisPipeline,
         seq_key: object = 0,
         label: str | None = None,
         batched: bool = False,
@@ -715,7 +715,7 @@ class TripleCPolicy:
 
     @pure
     def plan_frame(
-        self, engine: FrameEngine, pipeline: StentBoostPipeline, img
+        self, engine: FrameEngine, pipeline: AnalysisPipeline, img
     ) -> FramePlan:
         budget = self.budget.require()
         scale = engine.simulator.cost_model.pixel_scale
@@ -826,7 +826,7 @@ class StaticSerialPolicy:
     def __init__(
         self,
         model: TripleC | None = None,
-        frame_setup: Callable[[StentBoostPipeline], None] | None = None,
+        frame_setup: Callable[[AnalysisPipeline], None] | None = None,
     ) -> None:
         self.model = model
         self.frame_setup = frame_setup
@@ -839,7 +839,7 @@ class StaticSerialPolicy:
 
     @pure
     def plan_frame(
-        self, engine: FrameEngine, pipeline: StentBoostPipeline, img
+        self, engine: FrameEngine, pipeline: AnalysisPipeline, img
     ) -> FramePlan:
         if self.frame_setup is not None:
             self.frame_setup(pipeline)
@@ -925,7 +925,7 @@ class WorstCaseReservationPolicy:
 
     @pure
     def plan_frame(
-        self, engine: FrameEngine, pipeline: StentBoostPipeline, img
+        self, engine: FrameEngine, pipeline: AnalysisPipeline, img
     ) -> FramePlan:
         return FramePlan(
             mapping=Mapping.serial(), predicted_ms=self.worst_case_ms
@@ -1022,7 +1022,7 @@ class CoschedulePolicy:
 
 def replay_frames(
     sequence: XRaySequence,
-    pipeline: StentBoostPipeline,
+    pipeline: AnalysisPipeline,
     policy: CoschedulePolicy,
     key: Callable[[int], object],
 ) -> list[tuple[dict, Mapping, object]]:

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from repro.core.triplec import TripleC
 from repro.hw.simulator import PlatformSimulator
-from repro.imaging.pipeline import StentBoostPipeline
+from repro.imaging.pipeline import AnalysisPipeline
 from repro.runtime.engine import FrameEngine, FrameLog, RunResult, TripleCPolicy
 from repro.runtime.partition import Partitioner
 from repro.synthetic.sequence import XRaySequence
@@ -90,7 +90,7 @@ class ResourceManager:
     def run_sequence(
         self,
         sequence: XRaySequence,
-        pipeline: StentBoostPipeline,
+        pipeline: AnalysisPipeline,
         seq_key: object = 0,
         label: str = "triple-c managed",
         batched: bool = False,

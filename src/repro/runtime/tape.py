@@ -26,7 +26,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from repro.hw.cost import ReportColumns
-from repro.imaging.pipeline import FrameAnalysis, StentBoostPipeline
+from repro.imaging.pipeline import AnalysisPipeline, FrameAnalysis
 from repro.synthetic.sequence import XRaySequence
 
 __all__ = ["FrameTape", "TapeFrameColumns", "TapeTaskColumns", "record_tape"]
@@ -157,8 +157,8 @@ class FrameTape:
 
 def record_tape(
     sequence: XRaySequence,
-    pipeline: StentBoostPipeline,
-    frame_setup: Callable[[StentBoostPipeline], None] | None = None,
+    pipeline: AnalysisPipeline,
+    frame_setup: Callable[[AnalysisPipeline], None] | None = None,
 ) -> FrameTape:
     """Run the image pass of ``sequence`` and record it as a tape.
 
@@ -207,10 +207,16 @@ class TapePipeline:
     def __init__(self, tape: FrameTape) -> None:
         self._tape = tape
         self._cursor = 0
+        #: QoS slot required by the AnalysisPipeline protocol; replay
+        #: is pre-recorded, so writes have no effect on the analyses.
+        self.quality = None
 
     @property
     def roi(self) -> _TapeRoi:
         return _TapeRoi(int(self._tape.plan_roi_px[self._cursor]))
+
+    def reset(self) -> None:
+        self._cursor = 0
 
     def process(self, img: object) -> FrameAnalysis:  # noqa: ARG002
         k = self._cursor

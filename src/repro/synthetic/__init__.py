@@ -14,7 +14,12 @@ fluctuation (Markov-modelable) and data-dependent scenario switching.
 Every generator is deterministic in its seed.
 """
 
-from repro.synthetic.dataset import CorpusSpec, corpus_configs, generate_corpus
+from repro.synthetic.dataset import (
+    CorpusRanges,
+    CorpusSpec,
+    corpus_configs,
+    generate_corpus,
+)
 from repro.synthetic.motion import MotionModel, MotionSpec, RigidOffset
 from repro.synthetic.noise import NoiseSpec, apply_xray_noise
 from repro.synthetic.phantom import PhantomSpec, build_phantom
@@ -30,6 +35,7 @@ __all__ = [
     "apply_xray_noise",
     "SequenceConfig",
     "XRaySequence",
+    "CorpusRanges",
     "CorpusSpec",
     "corpus_configs",
     "generate_corpus",

@@ -20,7 +20,7 @@ from repro.synthetic.noise import NoiseSpec
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
 from repro.util.rng import rng_stream, spawn_seeds
 
-__all__ = ["CorpusSpec", "corpus_configs", "generate_corpus"]
+__all__ = ["CorpusSpec", "CorpusRanges", "corpus_configs", "generate_corpus"]
 
 #: Paper values (Section 7).
 PAPER_N_SEQUENCES: int = 37
@@ -50,6 +50,33 @@ class CorpusSpec:
             )
 
 
+@dataclass(frozen=True)
+class CorpusRanges:
+    """Per-sequence parameter ranges of a corpus (the load dynamics).
+
+    Each field is the ``(low, high)`` bound of one uniform draw in
+    :func:`corpus_configs`; ``visibility_dips`` bounds an integer draw
+    (``high`` exclusive).  The defaults are the StentBoost training
+    dynamics -- the draw *order* is fixed, so the default ranges
+    reproduce the historical corpus bit for bit, while a workload with
+    different dynamics (slow drift, abrupt switching) only supplies
+    different bounds.
+    """
+
+    cardiac_period: tuple[float, float] = (18.0, 30.0)
+    cardiac_amp: tuple[float, float] = (2.0, 6.0)
+    resp_period: tuple[float, float] = (90.0, 150.0)
+    resp_amp: tuple[float, float] = (3.0, 9.0)
+    tremor_sigma: tuple[float, float] = (0.2, 0.6)
+    rotation_amp: tuple[float, float] = (0.02, 0.09)
+    dose: tuple[float, float] = (0.5, 2.0)
+    contrast_base: tuple[float, float] = (0.25, 0.5)
+    washout_frames: tuple[float, float] = (80.0, 200.0)
+    clutter_period: tuple[float, float] = (60.0, 140.0)
+    clutter_level: tuple[float, float] = (0.3, 1.1)
+    visibility_dips: tuple[int, int] = (0, 3)
+
+
 def _frame_budget(spec: CorpusSpec, rng: np.random.Generator) -> list[int]:
     """Split ``total_frames`` into per-sequence lengths (each >= 8)."""
     weights = rng.uniform(0.5, 1.8, size=spec.n_sequences)
@@ -71,9 +98,19 @@ def _frame_budget(spec: CorpusSpec, rng: np.random.Generator) -> list[int]:
     return [int(n) for n in lengths]
 
 
-def corpus_configs(spec: CorpusSpec | None = None) -> list[SequenceConfig]:
-    """Build the per-sequence configs of a corpus (deterministic)."""
+def corpus_configs(
+    spec: CorpusSpec | None = None,
+    ranges: CorpusRanges | None = None,
+) -> list[SequenceConfig]:
+    """Build the per-sequence configs of a corpus (deterministic).
+
+    ``ranges`` selects the application's load dynamics (default: the
+    StentBoost training dynamics); the draw order is identical for
+    every ranges choice, so the default is bit-identical to the
+    historical generator.
+    """
     spec = spec or CorpusSpec()
+    r = ranges or CorpusRanges()
     rng = rng_stream(spec.base_seed, "corpus")
     seeds = spawn_seeds(spec.base_seed, spec.n_sequences, "corpus-seeds")
     lengths = _frame_budget(spec, rng)
@@ -82,14 +119,14 @@ def corpus_configs(spec: CorpusSpec | None = None) -> list[SequenceConfig]:
     for i in range(spec.n_sequences):
         n = lengths[i]
         motion = MotionSpec(
-            cardiac_period=float(rng.uniform(18.0, 30.0)),
-            cardiac_amp=float(rng.uniform(2.0, 6.0)),
-            resp_period=float(rng.uniform(90.0, 150.0)),
-            resp_amp=float(rng.uniform(3.0, 9.0)),
-            tremor_sigma=float(rng.uniform(0.2, 0.6)),
-            rotation_amp=float(rng.uniform(0.02, 0.09)),
+            cardiac_period=float(rng.uniform(*r.cardiac_period)),
+            cardiac_amp=float(rng.uniform(*r.cardiac_amp)),
+            resp_period=float(rng.uniform(*r.resp_period)),
+            resp_amp=float(rng.uniform(*r.resp_amp)),
+            tremor_sigma=float(rng.uniform(*r.tremor_sigma)),
+            rotation_amp=float(rng.uniform(*r.rotation_amp)),
         )
-        noise = NoiseSpec(dose=float(rng.uniform(0.5, 2.0)))
+        noise = NoiseSpec(dose=float(rng.uniform(*r.dose)))
         inject = int(rng.integers(-1, max(2, n // 2)))
         configs.append(
             SequenceConfig(
@@ -99,12 +136,12 @@ def corpus_configs(spec: CorpusSpec | None = None) -> list[SequenceConfig]:
                 seed=seeds[i],
                 motion=motion,
                 noise=noise,
-                contrast_base=float(rng.uniform(0.25, 0.5)),
+                contrast_base=float(rng.uniform(*r.contrast_base)),
                 injection_frame=inject,
-                washout_frames=float(rng.uniform(80.0, 200.0)),
-                clutter_period=float(rng.uniform(60.0, 140.0)),
-                clutter_level=float(rng.uniform(0.3, 1.1)),
-                visibility_dips=int(rng.integers(0, 3)),
+                washout_frames=float(rng.uniform(*r.washout_frames)),
+                clutter_period=float(rng.uniform(*r.clutter_period)),
+                clutter_level=float(rng.uniform(*r.clutter_level)),
+                visibility_dips=int(rng.integers(*r.visibility_dips)),
             )
         )
     return configs

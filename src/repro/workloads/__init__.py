@@ -1,0 +1,39 @@
+"""Workload registry: named application bundles (see :mod:`.base`).
+
+Importing this package registers the built-in applications; every
+layer above the imaging/graph layers resolves applications by name
+through :func:`get_workload` rather than importing StentBoost
+symbols directly.
+"""
+
+from repro.workloads.base import (
+    DEFAULT_WORKLOAD,
+    REGISTRY_VERSION,
+    FleetParams,
+    Workload,
+    all_workloads,
+    get_workload,
+    register,
+    workload_names,
+)
+from repro.workloads.robotvision import ROBOTVISION
+from repro.workloads.stentboost import STENTBOOST
+from repro.workloads.ultrasound import ULTRASOUND
+
+__all__ = [
+    "DEFAULT_WORKLOAD",
+    "REGISTRY_VERSION",
+    "FleetParams",
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "workload_names",
+    "STENTBOOST",
+    "ROBOTVISION",
+    "ULTRASOUND",
+]
+
+register(STENTBOOST)
+register(ROBOTVISION)
+register(ULTRASOUND)

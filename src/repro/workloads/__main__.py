@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.workloads``."""
+
+import sys
+
+from repro.workloads.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

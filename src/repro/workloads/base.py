@@ -1,0 +1,151 @@
+"""The workload registry: named application bundles.
+
+The paper's claim (Section 7) is about *groups* of dynamic
+image-processing applications, not one; a :class:`Workload` is the
+unit that claim is exercised over.  It bundles everything the layers
+above need to run one application end to end:
+
+* a flow-graph builder (structure: tasks, switches, Table-1-style
+  memory specs),
+* a per-frame pipeline factory (behavior: the stateful executor
+  producing :class:`~repro.imaging.pipeline.FrameAnalysis` objects),
+* a synthetic corpus generator (the training-sequence dynamics),
+* a task cost table for the platform cost model,
+* human-readable switch names (each application reinterprets the
+  three scenario bits), and
+* fleet-level app-class parameters (how jobs of this application
+  behave at cluster scale).
+
+Profiling, experiments, the runtime and the fleet simulator resolve
+applications *by name* through :func:`get_workload` instead of
+importing StentBoost symbols -- the ``lint/app-hardcode`` rule
+enforces exactly that.
+
+This module deliberately imports only the structural layers
+(``graph``, ``imaging``, ``synthetic``, ``hw``); ``core``,
+``profiling``, ``runtime`` and ``fleet`` import *us*, never the
+reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping
+
+if TYPE_CHECKING:
+    from repro.graph.flowgraph import FlowGraph
+    from repro.hw.cost import TaskCostSpec
+    from repro.imaging.pipeline import AnalysisPipeline, PipelineConfig
+    from repro.synthetic.dataset import CorpusSpec
+    from repro.synthetic.sequence import SequenceConfig, XRaySequence
+
+__all__ = [
+    "REGISTRY_VERSION",
+    "DEFAULT_WORKLOAD",
+    "FleetParams",
+    "Workload",
+    "register",
+    "get_workload",
+    "workload_names",
+    "all_workloads",
+]
+
+#: Bump whenever a registered workload's *behavior* changes (graph
+#: structure, pipeline logic, corpus dynamics, cost table): trace
+#: provenance records it, so stale traces are identifiable.
+REGISTRY_VERSION = "wl/1"
+
+#: The registry entry every workload-less call site resolves.
+DEFAULT_WORKLOAD = "stentboost"
+
+
+@dataclass(frozen=True)
+class FleetParams:
+    """Cluster-scale job dynamics of one application class.
+
+    The fields mirror :class:`repro.fleet.jobs.AppClass` (the fleet
+    layer converts; this package must not import ``repro.fleet``):
+    jobs of this workload draw a Markov load state per submission,
+    multiply the state's base runtime by lognormal jitter, and request
+    one of ``cores_choices`` cores.
+    """
+
+    cores_choices: tuple[int, ...]
+    state_base_ms: tuple[float, ...]
+    transition: tuple[tuple[float, ...], ...]
+    jitter_sigma: float
+    weight: float
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named application: everything the stack needs to run it.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the fleet app-class name and the trace
+        provenance identity).
+    description:
+        One-line summary of the application's dynamics.
+    build_graph:
+        Zero-argument flow-graph factory.
+    make_pipeline:
+        ``(sequence, pipeline_config) -> AnalysisPipeline`` factory;
+        implementations may read per-sequence priors (StentBoost uses
+        the phantom's marker separation) and must honor the tunables
+        of a given ``pipeline_config``.
+    corpus_configs:
+        ``CorpusSpec -> list[SequenceConfig]`` synthetic corpus
+        generator carrying this application's load dynamics.
+    switch_names:
+        Human-readable labels of the three scenario bits, most
+        significant first (bit2, bit1, bit0).
+    task_costs:
+        Cost-model table for this graph's tasks (``None``: the
+        StentBoost :data:`repro.hw.cost.DEFAULT_TASK_COSTS`).
+    fleet:
+        Cluster-scale job-class parameters.
+    """
+
+    name: str
+    description: str
+    build_graph: Callable[[], "FlowGraph"]
+    make_pipeline: Callable[
+        ["XRaySequence", "PipelineConfig | None"], "AnalysisPipeline"
+    ]
+    corpus_configs: Callable[["CorpusSpec"], "list[SequenceConfig]"]
+    switch_names: tuple[str, str, str]
+    fleet: FleetParams
+    task_costs: "Mapping[str, TaskCostSpec] | None" = field(default=None)
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    """Add a workload to the registry (name must be unused)."""
+    if workload.name in _REGISTRY:
+        raise ValueError(f"workload {workload.name!r} already registered")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    """Resolve a workload by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; registered: {workload_names()}"
+        ) from None
+
+
+def workload_names() -> list[str]:
+    """All registered names, in registration order."""
+    return list(_REGISTRY)
+
+
+def all_workloads() -> list[Workload]:
+    """All registered workloads, in registration order."""
+    return list(_REGISTRY.values())

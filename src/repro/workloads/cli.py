@@ -1,0 +1,125 @@
+"""``python -m repro.workloads`` -- inspect and profile workloads.
+
+Two subcommands::
+
+    python -m repro.workloads list
+    python -m repro.workloads profile --workload all --out corpus.json
+
+``list`` prints the registry (name, scenario-bit labels, description).
+``profile`` profiles a synthetic corpus of each selected workload
+through the standard profiler and writes a ``repro-workload-trace/1``
+replay corpus -- the document ``python -m repro.fleet --trace``
+converts into a job stream of *measured* frame latencies.  Everything
+is seeded, so the written corpus is byte-identical across reruns.
+
+This module is the one place the workload package touches the layers
+above it (profiling, fleet); the package ``__init__`` never imports
+it, so the no-upward-imports rule of :mod:`repro.workloads.base`
+holds for every library consumer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.workloads import all_workloads, get_workload, workload_names
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="workload registry: list entries, export replay corpora",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="print the registered workloads")
+
+    prof = sub.add_parser(
+        "profile",
+        help="profile synthetic corpora into a repro-workload-trace/1 "
+        "replay document",
+    )
+    prof.add_argument(
+        "--workload",
+        default="all",
+        help="comma-separated registry names, or 'all' (default)",
+    )
+    prof.add_argument(
+        "--sequences", type=int, default=2, help="sequences per workload"
+    )
+    prof.add_argument(
+        "--frames", type=int, default=40, help="total frames per workload"
+    )
+    prof.add_argument(
+        "--seed", type=int, default=11, help="corpus base seed"
+    )
+    prof.add_argument(
+        "--jobs", type=int, default=1, help="profiler process-pool size"
+    )
+    prof.add_argument(
+        "--out",
+        type=Path,
+        default=Path("workload-trace.json"),
+        help="replay-corpus path (default: %(default)s)",
+    )
+    return parser
+
+
+def _selected(names_arg: str) -> list[str]:
+    if names_arg.strip() == "all":
+        return workload_names()
+    names = [n.strip() for n in names_arg.split(",") if n.strip()]
+    for name in names:
+        get_workload(name)  # fail loudly before any profiling work
+    return names
+
+
+def _cmd_list() -> int:
+    for wl in all_workloads():
+        bits = "/".join(wl.switch_names)
+        print(f"{wl.name:14s} [{bits:14s}] {wl.description}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    # Deferred imports: the registry package must stay importable
+    # without pulling the profiling and fleet layers in.
+    from repro.fleet.replay import save_workload_trace, workload_trace_doc
+    from repro.profiling import ProfileConfig, profile_corpus
+    from repro.synthetic import CorpusSpec, XRaySequence
+
+    spec = CorpusSpec(
+        n_sequences=args.sequences,
+        total_frames=args.frames,
+        base_seed=args.seed,
+    )
+    tracesets = {}
+    for name in _selected(args.workload):
+        wl = get_workload(name)
+        sequences = [XRaySequence(cfg) for cfg in wl.corpus_configs(spec)]
+        traces = profile_corpus(
+            sequences, ProfileConfig(workload=name), jobs=args.jobs
+        )
+        tracesets[name] = traces
+        print(f"profiled {name}: {len(traces)} frames")
+    out = save_workload_trace(workload_trace_doc(tracesets), args.out)
+    print(f"wrote {out}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_profile(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""The StentBoost workload: the paper's reference application.
+
+This entry wraps the pre-registry code paths *verbatim* -- the graph
+builder from :mod:`repro.graph.stentboost`, the pipeline from
+:mod:`repro.imaging.pipeline`, the default corpus dynamics of
+:func:`repro.synthetic.corpus_configs` and the default cost table --
+so resolving ``"stentboost"`` through the registry is bit-identical
+to the old direct imports (pinned by
+``tests/workloads/test_workload_parity.py``).
+"""
+
+from __future__ import annotations
+
+from repro.graph.stentboost import build_stentboost_graph
+from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
+from repro.synthetic.dataset import CorpusSpec, corpus_configs
+from repro.synthetic.sequence import SequenceConfig, XRaySequence
+from repro.workloads.base import FleetParams, Workload
+
+__all__ = ["STENTBOOST"]
+
+
+def _make_pipeline(
+    sequence: XRaySequence, config: PipelineConfig | None = None
+) -> StentBoostPipeline:
+    """Pipeline configured with the sequence's clinical prior.
+
+    ``expected_distance`` comes from the phantom's marker separation
+    (the a-priori balloon-marker distance a clinical deployment
+    knows); the remaining tunables come from ``config``.
+    """
+    base = config or PipelineConfig()
+    sep = sequence.config.resolved_phantom().marker_separation
+    return StentBoostPipeline(
+        PipelineConfig(
+            expected_distance=sep,
+            max_candidates=base.max_candidates,
+            enhancer_decay=base.enhancer_decay,
+            roi_margin_factor=base.roi_margin_factor,
+            reset_after_lost=base.reset_after_lost,
+        )
+    )
+
+
+def _corpus_configs(spec: CorpusSpec) -> list[SequenceConfig]:
+    return corpus_configs(spec)
+
+
+#: Fleet dynamics: interventional live streams -- moderate runtimes,
+#: sticky load states (a procedure stays in one phase for a while).
+_FLEET = FleetParams(
+    cores_choices=(1, 2),
+    state_base_ms=(90.0, 140.0, 230.0),
+    transition=(
+        (0.85, 0.12, 0.03),
+        (0.15, 0.75, 0.10),
+        (0.08, 0.22, 0.70),
+    ),
+    jitter_sigma=0.06,
+    weight=0.60,
+)
+
+STENTBOOST = Workload(
+    name="stentboost",
+    description=(
+        "interventional X-ray stent enhancement (Fig. 2): ROI-driven "
+        "granularity switching with registration-gated enhancement"
+    ),
+    build_graph=build_stentboost_graph,
+    make_pipeline=_make_pipeline,
+    corpus_configs=_corpus_configs,
+    switch_names=("RDG", "ROI", "REG"),
+    fleet=_FLEET,
+    task_costs=None,
+)

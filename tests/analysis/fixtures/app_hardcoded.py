@@ -1,0 +1,7 @@
+"""Fixture: StentBoost hard-wired into an application layer (flagged)."""
+
+from repro.graph.stentboost import build_stentboost_graph
+
+
+def make_graph():
+    return build_stentboost_graph()

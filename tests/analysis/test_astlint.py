@@ -313,6 +313,35 @@ class TestFrameLoop:
         assert len(findings) == 1
 
 
+class TestAppHardcode:
+    def test_module_import_flagged(self):
+        findings = lint("import repro.graph.stentboost\n")
+        assert rules_of(findings) == {"lint/app-hardcode"}
+
+    def test_symbol_import_flagged(self):
+        src = "from repro.graph import build_stentboost_graph\n"
+        assert rules_of(lint(src)) == {"lint/app-hardcode"}
+
+    def test_from_module_import_flagged(self):
+        src = "from repro.graph.stentboost import TABLE1_ROWS\n"
+        assert rules_of(lint(src)) == {"lint/app-hardcode"}
+
+    def test_graph_package_exempt(self):
+        src = "from repro.graph.stentboost import build_stentboost_graph\n"
+        assert lint(src, path="src/repro/graph/__init__.py") == []
+
+    def test_workloads_package_exempt(self):
+        src = "from repro.graph.stentboost import build_stentboost_graph\n"
+        assert lint(src, path="src/repro/workloads/stentboost.py") == []
+
+    def test_registry_resolution_is_fine(self):
+        src = (
+            "from repro.workloads import get_workload\n"
+            "graph = get_workload('stentboost').build_graph()\n"
+        )
+        assert lint(src) == []
+
+
 class TestFixtureFiles:
     def test_bad_rng_fixture(self):
         findings = lint_paths([FIXTURES / "bad_rng.py"], default_rules())
@@ -334,6 +363,11 @@ class TestFixtureFiles:
         assert rules_of(findings) == {"lint/frame-loop-outside-engine"}
         assert len(findings) == 1
 
+    def test_app_hardcoded_fixture(self):
+        findings = lint_paths([FIXTURES / "app_hardcoded.py"], default_rules())
+        assert rules_of(findings) == {"lint/app-hardcode"}
+        assert len(findings) == 1
+
     def test_fixture_directory_walk(self):
         findings = lint_paths([FIXTURES], default_rules())
         assert {
@@ -341,6 +375,7 @@ class TestFixtureFiles:
             "lint/wall-clock",
             "lint/direct-time-call",
             "lint/frame-loop-outside-engine",
+            "lint/app-hardcode",
         } <= rules_of(findings)
 
 

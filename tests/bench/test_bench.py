@@ -78,6 +78,12 @@ class TestRunBench:
             "engine_batched_fps",
             "engine_batch_speedup",
             "engine_byte_identical",
+            "replay_profile_s",
+            "replay_sim_s",
+            "replay_jobs",
+            "replay_workloads",
+            "replay_deterministic",
+            "replay_p99_wait_gain",
             "jobs_matrix",
         }
         assert expected <= results.keys()
@@ -106,6 +112,16 @@ class TestRunBench:
         # in compare enforces the committed ratio, this test only
         # pins the direction so it stays robust on loaded runners).
         assert r["engine_batch_speedup"] > 1.0
+
+    def test_replay_stage_covers_registry_deterministically(self, bench_doc):
+        from repro.workloads import workload_names
+
+        doc, _ = bench_doc
+        r = doc["results"]
+        assert r["replay_workloads"] == len(workload_names())
+        assert r["replay_jobs"] > 0
+        assert r["replay_deterministic"] is True
+        assert r["replay_p99_wait_gain"] > 0
 
     def test_jobs_matrix_clamped_and_anchored(self, bench_doc):
         doc, _ = bench_doc

@@ -147,6 +147,30 @@ class TestCompareDocs:
         )
         assert any("fleet_deterministic" in f for f in failures)
 
+    def test_replay_metrics_gate_like_the_others(self):
+        base = doc(replay_p99_wait_gain=1.4, replay_deterministic=True)
+        failures, _ = compare_docs(
+            base,
+            doc(replay_p99_wait_gain=0.4, replay_deterministic=True),
+            tolerance=0.5,
+        )
+        assert any("replay_p99_wait_gain" in f for f in failures)
+        failures, _ = compare_docs(
+            base,
+            doc(replay_p99_wait_gain=1.4, replay_deterministic=False),
+            tolerance=0.5,
+        )
+        assert any("replay_deterministic" in f for f in failures)
+
+    def test_v3_baseline_without_replay_metrics_skipped(self):
+        base = dict(doc(), schema="repro-bench/3")
+        cur = doc(replay_p99_wait_gain=1.4, replay_deterministic=True)
+        failures, notes = compare_docs(base, cur, tolerance=0.5)
+        assert failures == []
+        assert any(
+            "replay_p99_wait_gain: not in baseline" in n for n in notes
+        )
+
     def test_v2_baseline_without_fleet_metrics_skipped(self):
         base = dict(doc(), schema="repro-bench/2")
         cur = doc(fleet_p99_wait_gain=1.3, fleet_deterministic=True)

@@ -219,3 +219,52 @@ class TestFormat:
         bad.write_text(json.dumps(doc))
         with pytest.raises(ValueError, match="epyc-1x-64"):
             load_model(bad)
+
+
+class TestWorkloadInference:
+    """``save_model`` stamps the workload the model's graph belongs to."""
+
+    def _fit(self, name):
+        from repro.profiling import ProfileConfig, profile_corpus
+        from repro.synthetic import CorpusSpec, XRaySequence
+        from repro.workloads import get_workload
+
+        wl = get_workload(name)
+        spec = CorpusSpec(n_sequences=1, total_frames=12, base_seed=17)
+        seqs = [XRaySequence(c) for c in wl.corpus_configs(spec)]
+        return TripleC.fit(profile_corpus(seqs, ProfileConfig(workload=name)))
+
+    def test_fit_resolves_graph_from_trace_provenance(self):
+        from repro.workloads import get_workload
+
+        model = self._fit("ultrasound")
+        assert set(model.graph.tasks) == set(
+            get_workload("ultrasound").build_graph().tasks
+        )
+
+    def test_round_trip_keeps_workload_graph(self, tmp_path):
+        model = self._fit("ultrasound")
+        path = tmp_path / "us.json"
+        save_model(model, path)
+        assert json.loads(path.read_text())["graph"] == "ultrasound"
+        loaded = load_model(path)
+        assert set(loaded.graph.tasks) == set(model.graph.tasks)
+        model.start_sequence(initial_scenario=3)
+        loaded.start_sequence(initial_scenario=3)
+        assert loaded.predict(100.0).frame_ms == pytest.approx(
+            model.predict(100.0).frame_ms, rel=1e-12
+        )
+
+    def test_unregistered_graph_needs_explicit_name(self, traces, tmp_path):
+        import dataclasses
+
+        model = TripleC.fit(traces)
+        foreign = dataclasses.replace(model, graph=_empty_graph())
+        with pytest.raises(ValueError, match="pass"):
+            save_model(foreign, tmp_path / "nope.json")
+
+
+def _empty_graph():
+    from repro.graph.flowgraph import FlowGraph
+
+    return FlowGraph({}, [], lambda state: [])

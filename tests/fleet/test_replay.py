@@ -1,0 +1,152 @@
+"""The replay corpus format and its conversion to job streams."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fleet.cli import main as fleet_main
+from repro.fleet.replay import (
+    WORKLOAD_TRACE_SCHEMA,
+    jobs_from_workload_trace,
+    load_workload_trace,
+    save_workload_trace,
+    workload_trace_doc,
+)
+from repro.profiling.traces import TraceSet
+from repro.workloads import REGISTRY_VERSION, workload_names
+
+
+def tiny_traceset(name: str, n_frames: int = 12) -> TraceSet:
+    """Hand-built trace set with plausible latencies (fast, no profiler)."""
+    ts = TraceSet(
+        pixel_scale=16.0,
+        platform="blackford-2x-quad",
+        workload=name,
+        registry_version=REGISTRY_VERSION,
+    )
+    for seq in range(2):
+        for frame in range(n_frames // 2):
+            ts.add_frame(
+                seq=seq,
+                frame=frame,
+                scenario_id=(seq + frame) % 8,
+                task_ms={"ACQ": 1.0 + frame},
+                roi_kpixels=64.0,
+                latency_ms=40.0 + 10.0 * frame + 3.0 * seq,
+                eviction_bytes=1000,
+                external_bytes=2000,
+            )
+    return ts
+
+
+@pytest.fixture()
+def corpus_doc():
+    return workload_trace_doc(
+        {name: tiny_traceset(name) for name in workload_names()}
+    )
+
+
+class TestDocumentFormat:
+    def test_schema_and_workloads(self, corpus_doc):
+        assert corpus_doc["schema"] == WORKLOAD_TRACE_SCHEMA
+        assert [w["workload"] for w in corpus_doc["workloads"]] == sorted(
+            workload_names()
+        )
+
+    def test_sequences_carry_latency_and_scenarios(self, corpus_doc):
+        for entry in corpus_doc["workloads"]:
+            assert entry["registry_version"] == REGISTRY_VERSION
+            assert entry["platform"] == "blackford-2x-quad"
+            for seq in entry["sequences"]:
+                assert len(seq["latency_ms"]) == len(seq["scenario_id"])
+                assert len(seq["latency_ms"]) > 0
+
+    def test_provenance_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="re-profile"):
+            workload_trace_doc({"ultrasound": tiny_traceset("stentboost")})
+
+    def test_save_load_round_trip(self, corpus_doc, tmp_path):
+        path = save_workload_trace(corpus_doc, tmp_path / "corpus.json")
+        assert load_workload_trace(path) == corpus_doc
+
+    def test_load_rejects_fleet_trace_schema(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"schema": "repro-fleet-trace/1"}))
+        with pytest.raises(ValueError, match="expected schema"):
+            load_workload_trace(path)
+
+
+class TestJobConversion:
+    def test_one_job_per_frame(self, corpus_doc):
+        jobs = jobs_from_workload_trace(corpus_doc, seed=7)
+        n_frames = sum(
+            len(s["latency_ms"])
+            for w in corpus_doc["workloads"]
+            for s in w["sequences"]
+        )
+        assert len(jobs) == n_frames
+        assert {j.app for j in jobs} == set(workload_names())
+
+    def test_runtimes_are_measured_latencies(self, corpus_doc):
+        jobs = jobs_from_workload_trace(corpus_doc, seed=7)
+        by_app: dict[str, list[float]] = {}
+        for j in jobs:
+            by_app.setdefault(j.app, []).append(j.runtime_ms)
+        for entry in corpus_doc["workloads"]:
+            want = sorted(
+                round(max(v, 1.0), 3)
+                for s in entry["sequences"]
+                for v in s["latency_ms"]
+            )
+            assert sorted(by_app[entry["workload"]]) == want
+
+    def test_cores_come_from_registry(self, corpus_doc):
+        from repro.workloads import get_workload
+
+        for j in jobs_from_workload_trace(corpus_doc, seed=7):
+            assert j.cores in get_workload(j.app).fleet.cores_choices
+
+    def test_same_seed_identical_jobs(self, corpus_doc):
+        a = jobs_from_workload_trace(corpus_doc, seed=7)
+        b = jobs_from_workload_trace(corpus_doc, seed=7)
+        assert a == b
+
+    def test_different_seed_different_stream(self, corpus_doc):
+        a = jobs_from_workload_trace(corpus_doc, seed=7)
+        b = jobs_from_workload_trace(corpus_doc, seed=8)
+        assert [j.submit_ms for j in a] != [j.submit_ms for j in b]
+
+    def test_unknown_workload_rejected(self, corpus_doc):
+        doc = json.loads(json.dumps(corpus_doc))
+        doc["workloads"][0]["workload"] = "mri"
+        with pytest.raises(KeyError, match="unknown workload"):
+            jobs_from_workload_trace(doc, seed=7)
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="expected schema"):
+            jobs_from_workload_trace({"schema": "repro-fleet-trace/1"})
+
+
+class TestCliReplay:
+    def test_replay_reports_byte_identical(self, corpus_doc, tmp_path):
+        corpus = save_workload_trace(corpus_doc, tmp_path / "corpus.json")
+        out_a = tmp_path / "a.json"
+        out_b = tmp_path / "b.json"
+        for out in (out_a, out_b):
+            code = fleet_main(
+                ["--trace", str(corpus), "--seed", "7", "--out", str(out)]
+            )
+            assert code == 0
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+    def test_fleet_trace_schema_still_loads(self, tmp_path):
+        from repro.fleet.jobs import save_trace, synthetic_burst_trace
+
+        trace = synthetic_burst_trace(n_jobs=30, seed=3)
+        path = save_trace(trace, tmp_path / "jobs.json")
+        out = tmp_path / "out.json"
+        assert fleet_main(["--trace", str(path), "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["trace"]["n_jobs"] == 30

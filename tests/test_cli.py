@@ -48,6 +48,48 @@ class TestWorkflow:
         out = capsys.readouterr().out
         assert "mean accuracy" in out
 
+    def test_profile_evaluate_other_workload(self, tmp_path, capsys):
+        traces = tmp_path / "rv.json"
+        model = tmp_path / "rv-model.json"
+        rc = main(
+            [
+                "profile",
+                "--workload", "robotvision",
+                "--sequences", "1",
+                "--frames", "16",
+                "--seed", "9",
+                "--out", str(traces),
+            ]
+        )
+        assert rc == 0
+        assert "robotvision" in capsys.readouterr().out
+
+        assert main(["train", "--traces", str(traces), "--out", str(model)]) == 0
+        capsys.readouterr()
+        rc = main(
+            [
+                "evaluate",
+                "--model", str(model),
+                "--workload", "robotvision",
+                "--seed", "5",
+                "--frames", "16",
+            ]
+        )
+        assert rc == 0
+        assert "mean accuracy" in capsys.readouterr().out
+
+        # The model carries its workload; evaluating it under another
+        # registered workload is refused instead of scoring garbage.
+        rc = main(
+            ["evaluate", "--model", str(model), "--workload", "ultrasound"]
+        )
+        assert rc == 2
+        assert "different" in capsys.readouterr().out
+
+    def test_unknown_workload_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["profile", "--workload", "mri"])
+
     def test_experiments_unknown_name(self, capsys):
         rc = main(["experiments", "nope"])
         assert rc == 2
