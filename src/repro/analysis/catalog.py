@@ -62,6 +62,35 @@ _GRAPH_RULES: Mapping[str, RuleInfo] = {
     ),
 }
 
+#: Scenario-space schedulability rules (:mod:`repro.analysis.schedcheck`).
+_SCHED_RULES: Mapping[str, RuleInfo] = {
+    "sched/compute-budget": (
+        Severity.ERROR,
+        "a joint scenario's aggregate compute lower bound exceeds the "
+        "core supply within one frame period",
+    ),
+    "sched/deadline": (
+        Severity.ERROR,
+        "an application scenario's critical path misses the frame "
+        "period even fully parallelized",
+    ),
+    "sched/bus-budget": (
+        Severity.ERROR,
+        "a joint scenario's aggregate inter-task bandwidth exceeds "
+        "the weakest platform link",
+    ),
+    "sched/l2-pressure": (
+        Severity.WARNING,
+        "a joint scenario's aggregate stream working set exceeds the "
+        "platform's total L2 capacity",
+    ),
+    "sched/report-cap": (
+        Severity.INFO,
+        "violating joint scenarios beyond the per-rule report cap "
+        "were counted, not listed",
+    ),
+}
+
 #: Whole-program dataflow rules (:mod:`repro.analysis.dataflow`).
 _DATAFLOW_RULES: Mapping[str, RuleInfo] = {
     "dataflow/unit-mix": (
@@ -174,6 +203,7 @@ def rule_catalog() -> dict[str, RuleInfo]:
     for rule in default_rules():
         catalog[rule.rule_id] = (Severity.ERROR, rule.description)
     catalog.update(_GRAPH_RULES)
+    catalog.update(_SCHED_RULES)
     catalog.update(_DATAFLOW_RULES)
     catalog.update(_EFFECT_RULES)
     catalog.update(_META_RULES)

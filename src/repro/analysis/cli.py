@@ -36,6 +36,11 @@ Examples::
     python -m repro.analysis --baseline analysis-baseline.json
     python -m repro.analysis --incremental --stats
     python -m repro.analysis --graph mygraphs.py:build_graph --fail-on warning
+    python -m repro.analysis schedcheck --apps stentboost,ultrasound --cores 8
+
+The ``schedcheck`` subcommand runs the scenario-space schedulability
+model checker over composite workload mixes instead of the default
+suite (see :mod:`repro.analysis.schedcheck_cli`).
 """
 
 from __future__ import annotations
@@ -60,7 +65,11 @@ from repro.analysis.findings import (
     findings_to_json,
     format_findings,
 )
-from repro.analysis.graphcheck import check_flowgraph
+from repro.analysis.graphcheck import (
+    ALL_SCENARIO_IDS,
+    check_flowgraph,
+    scenario_ids_for,
+)
 from repro.analysis.incremental import (
     ALL_PASSES,
     DEFAULT_CACHE_DIR,
@@ -223,6 +232,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "schedcheck":
+        # Subcommand: the scenario-space schedulability checker.  A
+        # plain positional would collide with the PATH arguments of
+        # the default suite, so it is dispatched before parsing.
+        from repro.analysis.schedcheck_cli import main as schedcheck_main
+
+        return schedcheck_main(argv[1:])
     args = build_parser().parse_args(argv)
 
     if args.list_rules:
@@ -279,22 +296,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.graph == WORKLOADS_GRAPH:
                 from repro.workloads import all_workloads
 
-                graphs = [wl.build_graph() for wl in all_workloads()]
+                # The scenario id range follows each workload's own
+                # switch set rather than assuming the StentBoost eight.
+                graphs = [
+                    (wl.build_graph(), scenario_ids_for(wl.switch_names))
+                    for wl in all_workloads()
+                ]
             else:
-                graphs = [_load_factory(args.graph)()]
+                graphs = [(_load_factory(args.graph)(), ALL_SCENARIO_IDS)]
             platform_factory = (
                 _load_factory(args.platform) if args.platform else None
             )
         except (argparse.ArgumentTypeError, ImportError) as exc:
             raise SystemExit(f"repro.analysis: error: {exc}") from exc
         platform = platform_factory() if platform_factory is not None else None
-        for graph in graphs:
+        for graph, scenario_ids in graphs:
             if not isinstance(graph, FlowGraph):
                 raise SystemExit(
                     f"graph factory {args.graph!r} returned "
                     f"{type(graph).__name__}, expected FlowGraph"
                 )
-            findings += check_flowgraph(graph, platform)
+            findings += check_flowgraph(graph, platform, scenario_ids)
 
     if not args.incremental:
         # Inline suppressions apply to everything located at a

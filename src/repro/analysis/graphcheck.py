@@ -47,7 +47,7 @@ Checks (rule ids):
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.analysis.findings import Finding, Severity
 from repro.graph.flowgraph import Edge, FlowGraph
@@ -55,6 +55,9 @@ from repro.imaging.pipeline import SwitchState
 from repro.util.units import KIB, MB
 
 __all__ = [
+    "CacheLike",
+    "PlatformLike",
+    "scenario_ids_for",
     "check_topology",
     "check_scenarios",
     "check_buffers",
@@ -62,8 +65,46 @@ __all__ = [
     "check_flowgraph",
 ]
 
-#: All eight switch states of the Fig. 2 graph.
-ALL_SCENARIO_IDS: tuple[int, ...] = tuple(range(8))
+
+@runtime_checkable
+class CacheLike(Protocol):
+    """The cache facts the budget checks consume."""
+
+    capacity_bytes: int
+
+
+@runtime_checkable
+class PlatformLike(Protocol):
+    """The platform facts the resource-budget checks consume.
+
+    A structural subset of :class:`repro.hw.spec.PlatformSpec`; the
+    checks are typed against this protocol rather than duck-typing
+    attribute-by-attribute with ``getattr``, so a platform missing a
+    budget is a type error at the call site, not a silently skipped
+    check.
+    """
+
+    n_cores: int
+    l2: CacheLike
+    l2_bus_bw: float
+    n_l2: int
+    total_dram_stream_bw: float
+
+
+def scenario_ids_for(switch_names: Sequence[str]) -> tuple[int, ...]:
+    """Every scenario id of an application with the given switches.
+
+    The scenario space is the full assignment space of the binary
+    switches -- ``2 ** len(switch_names)`` ids.  Deriving the range
+    from the workload's ``switch_names`` (instead of assuming the
+    StentBoost eight) keeps the checks correct for workloads with a
+    different switch count.
+    """
+    return tuple(range(2 ** len(switch_names)))
+
+
+#: All eight switch states of the Fig. 2 graph (three switches).
+ALL_SCENARIO_IDS: tuple[int, ...] = scenario_ids_for(("b2", "b1", "b0"))
 
 _PSEUDO = (FlowGraph.INPUT, FlowGraph.OUTPUT)
 
@@ -234,13 +275,10 @@ def check_scenarios(
 # -- resource budgets --------------------------------------------------------
 
 
-def check_buffers(graph: FlowGraph, platform: object) -> list[Finding]:
+def check_buffers(graph: FlowGraph, platform: PlatformLike) -> list[Finding]:
     """Table 1 working sets vs the platform's L2 capacity."""
     findings: list[Finding] = []
-    l2 = getattr(platform, "l2", None)
-    capacity = getattr(l2, "capacity_bytes", None)
-    if capacity is None:
-        return findings
+    capacity = platform.l2.capacity_bytes
 
     for name, task in sorted(graph.tasks.items()):
         total_kb = _task_kb(task, "total_kb")
@@ -280,47 +318,42 @@ def check_buffers(graph: FlowGraph, platform: object) -> list[Finding]:
 
 def check_bandwidth(
     graph: FlowGraph,
-    platform: object,
+    platform: PlatformLike,
     scenario_ids: Sequence[int] = ALL_SCENARIO_IDS,
 ) -> list[Finding]:
     """Aggregate scenario bandwidth vs the platform's link budgets."""
     findings: list[Finding] = []
-    budgets: list[float] = []
-    for attr in ("l2_bus_bw", "total_dram_stream_bw"):
-        value = getattr(platform, attr, None)
-        if isinstance(value, (int, float)) and value > 0:
-            budgets.append(float(value))
-    if not budgets:
+    budget = min(float(platform.l2_bus_bw), float(platform.total_dram_stream_bw))
+    if budget <= 0:
         return findings
-    budget = min(budgets)
 
     for sid in scenario_ids:
         state = SwitchState.from_scenario_id(sid)
         try:
-            total_bytes = graph.total_bandwidth_mbps(state) * MB
+            scenario_bw = graph.total_bandwidth_mbps(state) * MB
         except Exception:  # noqa: BLE001 - reported by check_scenarios already
             continue
-        if total_bytes > budget:
+        if scenario_bw > budget:
             findings.append(
                 Finding(
                     rule="graph/bandwidth-budget",
                     severity=Severity.ERROR,
                     location=f"scenario {sid}",
                     message=(
-                        f"inter-task bandwidth {total_bytes / MB:.0f} MByte/s "
+                        f"inter-task bandwidth {scenario_bw / MB:.0f} MByte/s "
                         f"exceeds the weakest platform link "
                         f"({budget / MB:.0f} MByte/s)"
                     ),
                 )
             )
-        elif total_bytes > 0.8 * budget:
+        elif scenario_bw > 0.8 * budget:
             findings.append(
                 Finding(
                     rule="graph/bandwidth-budget",
                     severity=Severity.WARNING,
                     location=f"scenario {sid}",
                     message=(
-                        f"inter-task bandwidth {total_bytes / MB:.0f} MByte/s "
+                        f"inter-task bandwidth {scenario_bw / MB:.0f} MByte/s "
                         f"uses over 80 % of the weakest platform link "
                         f"({budget / MB:.0f} MByte/s)"
                     ),
@@ -331,7 +364,7 @@ def check_bandwidth(
 
 def check_flowgraph(
     graph: FlowGraph,
-    platform: object | None = None,
+    platform: PlatformLike | None = None,
     scenario_ids: Sequence[int] = ALL_SCENARIO_IDS,
 ) -> list[Finding]:
     """Run every graph check; the one-call entry point used by the CLI."""

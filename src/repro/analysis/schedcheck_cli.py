@@ -1,0 +1,344 @@
+"""``python -m repro.analysis schedcheck`` -- the schedulability gate.
+
+Runs the scenario-space model checker (:mod:`repro.analysis.schedcheck`)
+over one application mix, or -- with ``--apps all`` / no ``--apps`` --
+over the whole composite matrix: every registered workload alone,
+every homogeneous pair and every heterogeneous pair.  Findings flow
+through the same reporting machinery as the main suite (text / JSON /
+SARIF output, committed baselines, ``--fail-on`` severity gate), so
+the command drops into CI next to ``python -m repro.analysis``::
+
+    python -m repro.analysis schedcheck --apps stentboost,stentboost --cores 8
+    python -m repro.analysis schedcheck --apps all --format sarif
+    python -m repro.analysis schedcheck --envelope sched-envelope.json
+
+Results are served from a content-keyed cache under
+``--cache-dir/schedcheck/`` (the same directory tree the incremental
+analysis uses): the key hashes the checker and workload sources plus
+the request, so editing a workload or the checker invalidates exactly
+the affected entries.  ``--no-cache`` bypasses it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.baseline import filter_baselined, load_baseline, write_baseline
+from repro.analysis.catalog import rule_catalog
+from repro.analysis.findings import (
+    Finding,
+    Severity,
+    count_at_least,
+    findings_to_json,
+    format_findings,
+)
+from repro.analysis.incremental import DEFAULT_CACHE_DIR
+from repro.analysis.sarif import findings_to_sarif_json
+from repro.analysis.schedcheck import (
+    DEFAULT_REPORT_CAP,
+    SchedReport,
+    check_schedulability,
+    compute_envelope,
+)
+from repro.util.units import HZ_VIDEO
+
+__all__ = ["build_parser", "matrix_mixes", "main"]
+
+#: Sentinel for the full composite matrix.
+ALL_APPS = "all"
+
+_CACHE_SUBDIR = "schedcheck"
+_CACHE_VERSION = 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis schedcheck",
+        description=(
+            "scenario-space schedulability model checker for composite "
+            "multi-workload graphs"
+        ),
+    )
+    parser.add_argument(
+        "--apps",
+        default=ALL_APPS,
+        help="comma-separated workload names, one per concurrent "
+        "instance (e.g. stentboost,ultrasound); 'all' checks every "
+        "workload alone plus every pair (default: all)",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="core count to check against (default: the platform's)",
+    )
+    parser.add_argument(
+        "--platform",
+        default="repro.hw.spec:blackford",
+        help="platform-spec factory MODULE:CALLABLE "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--rate-hz",
+        type=float,
+        default=HZ_VIDEO,
+        help="frame rate defining the period (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--report-cap",
+        type=int,
+        default=DEFAULT_REPORT_CAP,
+        help="most-probable violations reported per rule "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--envelope",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the per-workload feasibility envelope JSON "
+        "(consumed by the fleet admission controller)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=DEFAULT_CACHE_DIR,
+        metavar="DIR",
+        help=f"result cache directory (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always recompute; do not read or write the result cache",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="subtract a committed baseline; only new findings remain",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--fail-on",
+        type=Severity.parse,
+        default=Severity.ERROR,
+        metavar="{error,warning,info}",
+        help="minimum severity that makes the exit status nonzero "
+        "(default: error)",
+    )
+    return parser
+
+
+def matrix_mixes(names: Sequence[str]) -> list[tuple[str, ...]]:
+    """The composite matrix: singles, homogeneous and hetero pairs."""
+    mixes: list[tuple[str, ...]] = [(n,) for n in names]
+    for i, a in enumerate(names):
+        for b in names[i:]:
+            mixes.append((a, b))
+    return mixes
+
+
+# -- result cache ------------------------------------------------------------
+
+
+def _source_salt() -> str:
+    """Hash over every source the checker's verdict depends on."""
+    import repro.analysis.schedcheck as schedcheck_mod
+    import repro.graph as graph_pkg
+    import repro.hw as hw_pkg
+    import repro.workloads as workloads_pkg
+
+    h = hashlib.sha256()
+    h.update(str(_CACHE_VERSION).encode())
+    files = [Path(schedcheck_mod.__file__)]
+    for pkg in (workloads_pkg, graph_pkg, hw_pkg):
+        root = Path(pkg.__file__).resolve().parent
+        files += sorted(root.rglob("*.py"))
+    for path in files:
+        h.update(path.name.encode())
+        h.update(path.read_bytes())
+    return h.hexdigest()
+
+
+def _cache_key(
+    salt: str,
+    apps: Sequence[str],
+    cores: int | None,
+    platform_spec: str,
+    rate_hz: float,
+    report_cap: int,
+) -> str:
+    payload = json.dumps(
+        {
+            "salt": salt,
+            "apps": list(apps),
+            "cores": cores,
+            "platform": platform_spec,
+            "rate_hz": rate_hz,
+            "report_cap": report_cap,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()[:32]
+
+
+def _cache_load(path: Path) -> list[Finding] | None:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    try:
+        return [
+            Finding(
+                rule=str(e["rule"]),
+                severity=Severity.parse(str(e["severity"])),
+                location=str(e["location"]),
+                message=str(e["message"]),
+            )
+            for e in doc["findings"]
+        ]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def _cache_store(path: Path, findings: Sequence[Finding]) -> None:
+    doc = {
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity.name.lower(),
+                "location": f.location,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+# -- entry point -------------------------------------------------------------
+
+
+def _run_one(
+    apps: Sequence[str],
+    platform: object,
+    args: argparse.Namespace,
+    salt: str | None,
+) -> SchedReport | list[Finding]:
+    """One mix, through the cache when enabled."""
+    if salt is not None:
+        key = _cache_key(
+            salt, apps, args.cores, args.platform, args.rate_hz,
+            args.report_cap,
+        )
+        path = args.cache_dir / _CACHE_SUBDIR / f"{key}.json"
+        cached = _cache_load(path)
+        if cached is not None:
+            return cached
+    report = check_schedulability(
+        list(apps),
+        platform,  # type: ignore[arg-type]
+        cores=args.cores,
+        rate_hz=args.rate_hz,
+        report_cap=args.report_cap,
+    )
+    if salt is not None:
+        _cache_store(path, report.findings)
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    # Late import keeps ``--help`` fast and mirrors the lazy workload
+    # resolution of the main CLI.
+    from repro.analysis.cli import _load_factory
+    from repro.workloads import workload_names
+
+    try:
+        platform = _load_factory(args.platform)()
+    except (argparse.ArgumentTypeError, ImportError) as exc:
+        raise SystemExit(f"repro.analysis schedcheck: error: {exc}") from exc
+
+    if args.apps == ALL_APPS:
+        mixes = matrix_mixes(workload_names())
+    else:
+        names = tuple(a.strip() for a in args.apps.split(",") if a.strip())
+        if not names:
+            raise SystemExit(
+                "repro.analysis schedcheck: error: --apps needs at "
+                "least one workload name"
+            )
+        mixes = [names]
+
+    salt = None if args.no_cache else _source_salt()
+    findings: list[Finding] = []
+    for mix in mixes:
+        try:
+            result = _run_one(mix, platform, args, salt)
+        except KeyError as exc:
+            raise SystemExit(
+                f"repro.analysis schedcheck: error: {exc}"
+            ) from exc
+        findings += result if isinstance(result, list) else result.findings
+
+    if args.envelope is not None:
+        envelope = compute_envelope(
+            platform, cores=args.cores, rate_hz=args.rate_hz
+        )
+        args.envelope.write_text(
+            json.dumps(envelope.to_doc(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(
+            f"wrote feasibility envelope to {args.envelope}",
+            file=sys.stderr,
+        )
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(f"wrote {len(findings)} finding(s) to {args.write_baseline}")
+        return 0
+
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(
+                f"repro.analysis schedcheck: error: {exc}"
+            ) from exc
+        findings = filter_baselined(findings, baseline)
+
+    if args.format == "json":
+        print(findings_to_json(findings))
+    elif args.format == "sarif":
+        descriptions = {
+            rule_id: description
+            for rule_id, (_, description) in rule_catalog().items()
+        }
+        print(findings_to_sarif_json(findings, descriptions))
+    else:
+        print(format_findings(findings))
+
+    return 1 if count_at_least(findings, args.fail_on) else 0

@@ -28,7 +28,21 @@ from numpy.typing import ArrayLike, NDArray
 
 import repro.obs as obs
 
-__all__ = ["AdaptiveQuantizer", "MarkovChain", "MarkovChain2"]
+__all__ = ["AdaptiveQuantizer", "MarkovChain", "MarkovChain2", "product_chain"]
+
+
+def _integer_quantizer(n_states: int) -> AdaptiveQuantizer:
+    """Quantizer whose states *are* the integers ``0..n_states-1``.
+
+    Used for chains over labeled finite state spaces (application
+    scenarios, joint scenario tuples) rather than quantized
+    measurement values: ``state(i) == i`` and ``center(i) == i``.
+    """
+    if n_states < 1:
+        raise ValueError("n_states must be >= 1")
+    centers = np.arange(n_states, dtype=np.float64)
+    edges = centers[:-1] + 0.5
+    return AdaptiveQuantizer(edges=edges, centers=centers)
 
 
 @dataclass(frozen=True)
@@ -225,6 +239,22 @@ class MarkovChain:
         return MarkovChain(quantizer, transition, counts)
 
     @staticmethod
+    def from_transition(transition: ArrayLike) -> "MarkovChain":
+        """Chain over the integer states ``0..n-1`` of a row-stochastic
+        matrix.
+
+        The scenario-space model checker uses this for chains whose
+        states are *labels* (scenario ids) rather than quantized
+        measurements: ``predict`` semantics still hold (``centers[i] ==
+        i``), and :meth:`stationary` / :meth:`next_distribution` work
+        unchanged.
+        """
+        t = np.asarray(transition, dtype=np.float64)
+        if t.ndim != 2 or t.shape[0] != t.shape[1]:
+            raise ValueError(f"transition must be square, got {t.shape}")
+        return MarkovChain(_integer_quantizer(t.shape[0]), t)
+
+    @staticmethod
     def _normalize(counts: NDArray[np.float64]) -> NDArray[np.float64]:
         row_sums = counts.sum(axis=1, keepdims=True)
         n = counts.shape[0]
@@ -317,6 +347,29 @@ class MarkovChain:
         o = obs.get_obs()
         if o.enabled:
             o.metrics.counter("markov_online_transition_total").inc()
+
+
+def product_chain(chains: Sequence[MarkovChain]) -> MarkovChain:
+    """Compose independent chains into one over the product space.
+
+    The joint state of ``k`` independent chains with ``n_1 .. n_k``
+    states is mixed-radix encoded, *first chain most significant*::
+
+        joint = ((s_1 * n_2) + s_2) * n_3 + ... + s_k
+
+    which is exactly ``numpy.ravel_multi_index((s_1 .. s_k), dims)``.
+    Because the components evolve independently, the joint transition
+    matrix is the Kronecker product of the component matrices and the
+    joint stationary distribution is the outer product of the component
+    stationaries -- the schedulability checker relies on both to weight
+    composite-workload scenarios by reachability.
+    """
+    if not chains:
+        raise ValueError("need at least one component chain")
+    transition = chains[0].transition
+    for chain in chains[1:]:
+        transition = np.kron(transition, chain.transition)
+    return MarkovChain.from_transition(transition)
 
 
 class MarkovChain2:

@@ -102,13 +102,31 @@ class AdmissionController:
         self,
         tiers: Mapping[str, QosTier],
         capacity_core_speed: float,
+        app_caps: Mapping[str, int] | None = None,
     ) -> None:
         """``capacity_core_speed`` is the fleet's aggregate throughput
-        in reference-core equivalents (work drains at that rate)."""
+        in reference-core equivalents (work drains at that rate).
+
+        ``app_caps`` optionally bounds the in-flight jobs per
+        application class -- the statically-proven feasibility
+        envelope of the schedulability checker
+        (``FeasibilityEnvelope.as_app_caps()``).  A sheddable arrival
+        whose class is already at its cap is shed at the door: the
+        model checker proved no schedule fits one more concurrent
+        instance, so queueing it could only burn wait budget.  Apps
+        absent from the mapping are uncapped; gold arrivals are never
+        shed, per contract, but still count against the cap.
+        """
         if capacity_core_speed <= 0:
             raise ValueError("capacity must be positive")
         self._tiers = {name: _TierState(t) for name, t in tiers.items()}
         self._capacity = capacity_core_speed
+        self._app_caps = dict(app_caps) if app_caps else {}
+        for app, cap in self._app_caps.items():
+            if cap < 0:
+                raise ValueError(f"app cap for {app!r} must be >= 0")
+        self._app_inflight: dict[str, int] = {}
+        self._app_shed: dict[str, int] = {}
         # Observed runtime/limit ratio; starts pessimistic (declared
         # limits taken at face value) and converges onto the tenants'
         # actual padding factor as completions stream in.
@@ -133,6 +151,10 @@ class AdmissionController:
         corrected by the learned padding calibration."""
         return backlog_core_ms * self._limit_ratio / self._capacity
 
+    def app_inflight(self, app: str) -> int:
+        """Currently admitted-but-unfinished jobs of one app class."""
+        return self._app_inflight.get(app, 0)
+
     def on_submit(
         self, job: JobRecord, backlog_core_ms: float
     ) -> AdmissionDecision:
@@ -143,11 +165,19 @@ class AdmissionController:
             if state.pending >= tier.max_pending:
                 state.shed += 1
                 return AdmissionDecision(False, "pending-depth")
+            # Statically-proven feasibility precheck: the envelope
+            # says no schedule fits another instance of this class.
+            cap = self._app_caps.get(job.app)
+            if cap is not None and self.app_inflight(job.app) >= cap:
+                state.shed += 1
+                self._app_shed[job.app] = self._app_shed.get(job.app, 0) + 1
+                return AdmissionDecision(False, "app-envelope")
             if self.projected_wait_ms(backlog_core_ms) > tier.shed_wait_ms:
                 state.shed += 1
                 return AdmissionDecision(False, "projected-wait")
         state.pending += 1
         state.admitted += 1
+        self._app_inflight[job.app] = self.app_inflight(job.app) + 1
         return AdmissionDecision(True, "admitted")
 
     def on_start(self, job: JobRecord, wait_ms: float) -> None:
@@ -160,10 +190,27 @@ class AdmissionController:
         """Record the deadline outcome when a job completes and fold
         its observed runtime/limit ratio into the calibration."""
         self._state(job).deadlines.record(finish_ms > job.deadline_ms)
+        inflight = self.app_inflight(job.app)
+        if inflight > 0:
+            self._app_inflight[job.app] = inflight - 1
         observed = job.runtime_ms / job.limit_ms
         self._limit_ratio += self.CALIBRATION_ALPHA * (
             observed - self._limit_ratio
         )
+
+    def app_report(self) -> dict[str, dict[str, int]]:
+        """Per-app envelope bookkeeping (cap, in-flight, shed)."""
+        apps = sorted(
+            set(self._app_caps) | set(self._app_inflight) | set(self._app_shed)
+        )
+        return {
+            app: {
+                "cap": self._app_caps.get(app, -1),
+                "inflight": self.app_inflight(app),
+                "shed": self._app_shed.get(app, 0),
+            }
+            for app in apps
+        }
 
     def tier_report(self) -> dict[str, dict[str, float | int]]:
         """Per-tier QoS digest (JSON-able, deterministic)."""

@@ -33,7 +33,7 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import repro.obs as obs
 from repro.fleet.estimates import make_estimator
@@ -75,8 +75,14 @@ def run_comparison(
     policies: Sequence[str] = DEFAULT_POLICIES,
     fleet: Fleet | None = None,
     seed: int | None = None,
+    app_caps: Mapping[str, int] | None = None,
 ) -> dict[str, object]:
-    """Run every policy over ``trace`` and build the report document."""
+    """Run every policy over ``trace`` and build the report document.
+
+    ``app_caps`` feeds the statically-proven feasibility envelope
+    (``python -m repro.analysis schedcheck --envelope``) into every
+    policy's admission controller as a per-app in-flight precheck.
+    """
     the_fleet = fleet if fleet is not None else default_fleet()
     by_policy: dict[str, dict[str, object]] = {}
     for name in policies:
@@ -90,6 +96,7 @@ def run_comparison(
             the_fleet,
             scheduler_cls(),
             make_estimator(estimator_kind, trace),
+            app_caps=app_caps,
         )
         by_policy[name] = simulator.run(trace).slo_summary()
 
@@ -178,6 +185,24 @@ def _format_summary(doc: dict[str, object]) -> str:
     return "\n".join(lines)
 
 
+def _load_envelope(path: Path) -> dict[str, int]:
+    """Per-app caps from a schedcheck feasibility-envelope document.
+
+    The fleet layer reads the plain JSON document rather than
+    importing :mod:`repro.analysis` -- the layering stays one-way
+    (analysis may reason about the fleet, never the reverse).
+    """
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("max_instances"), dict
+    ):
+        raise ValueError(
+            f"{path}: not a feasibility envelope (expected a "
+            '"max_instances" mapping)'
+        )
+    return {str(app): int(cap) for app, cap in doc["max_instances"].items()}
+
+
 def _load_any_trace(path: Path, seed: int) -> list[JobRecord]:
     """Load a job stream, sniffing the document schema.
 
@@ -231,6 +256,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="SLO report path (default: %(default)s)",
     )
     parser.add_argument(
+        "--envelope",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="feasibility-envelope JSON from 'python -m repro.analysis "
+        "schedcheck --envelope'; admission sheds sheddable arrivals "
+        "whose app class is at its statically-proven cap",
+    )
+    parser.add_argument(
         "--check",
         action="store_true",
         help="fail unless predictive backfill beats fcfs on p99 wait "
@@ -248,8 +282,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.save_trace is not None:
         save_trace(trace, args.save_trace)
 
+    app_caps = None
+    if args.envelope is not None:
+        try:
+            app_caps = _load_envelope(args.envelope)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"repro.fleet: error: {exc}") from exc
+
     policies = [p.strip() for p in args.policies.split(",") if p.strip()]
-    doc = run_comparison(trace, policies=policies, seed=args.seed)
+    doc = run_comparison(
+        trace, policies=policies, seed=args.seed, app_caps=app_caps
+    )
+    if app_caps is not None:
+        doc["app_caps"] = dict(sorted(app_caps.items()))
 
     args.out.write_text(
         json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"

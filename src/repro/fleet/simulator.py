@@ -167,11 +167,16 @@ class FleetSimulator:
         scheduler: Scheduler,
         estimator: RuntimeEstimator,
         tiers: Mapping[str, QosTier] | None = None,
+        app_caps: Mapping[str, int] | None = None,
     ) -> None:
+        """``app_caps`` optionally feeds the statically-proven
+        per-app feasibility envelope (from the schedulability
+        checker) into admission as an in-flight precheck."""
         self.fleet = fleet
         self.scheduler = scheduler
         self.estimator = estimator
         self.tiers = dict(tiers) if tiers is not None else default_tiers()
+        self.app_caps = dict(app_caps) if app_caps else None
 
     def run(self, trace: Sequence[JobRecord]) -> FleetResult:
         """Simulate the whole trace to drain; returns the result."""
@@ -180,7 +185,9 @@ class FleetSimulator:
         o = obs.get_obs()
         fleet = self.fleet
         fleet.reset()
-        admission = AdmissionController(self.tiers, fleet.total_core_speed)
+        admission = AdmissionController(
+            self.tiers, fleet.total_core_speed, app_caps=self.app_caps
+        )
         result = FleetResult(
             policy=self.scheduler.name,
             estimator=self.estimator.name,

@@ -8,26 +8,49 @@ frame-periodic application leaves idle.  These builders produce the
 corresponding flow graphs so the static graph checks -- and the
 scheduling experiments -- can exercise them:
 
-* :func:`build_multiapp_graph` merges ``n_apps`` independent
-  StentBoost instances into one graph, task names prefixed
-  ``A0__``/``A1__``/...; all instances see the same switch state
-  (worst case for aggregate bandwidth).
+* :func:`build_multiapp_graph` merges several independent application
+  instances into one :class:`CompositeGraph`, task names prefixed
+  ``A0__``/``A1__``/...; apps are given as an instance count (that
+  many copies of the default application), registry workload names
+  (heterogeneous mixes like ``["stentboost", "ultrasound"]``), or
+  prebuilt :class:`~repro.graph.flowgraph.FlowGraph` objects.
 * :func:`build_coschedule_graph` adds an always-active background
   analytics task that streams a decimated copy of the input, the
   static counterpart of :mod:`repro.runtime.coschedule`'s
   best-effort work.
+
+A :class:`CompositeGraph` keeps the per-app structure: the plain
+:class:`FlowGraph` activation broadcasts *one* switch state to every
+instance (the aggregate-bandwidth worst case the historical builders
+modeled), while the ``*_joint`` accessors take one switch state per
+app -- the scenario-space schedulability checker enumerates exactly
+that joint space.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Callable, Sequence
 
 from repro.graph.flowgraph import Edge, FlowGraph
 from repro.graph.stentboost import build_stentboost_graph
 from repro.graph.task import TaskSpec
 from repro.imaging.pipeline import SwitchState
+from repro.util.quantity import Hertz, MBytesPerSecond
+from repro.util.units import HZ_VIDEO
 
-__all__ = ["build_multiapp_graph", "build_coschedule_graph", "app_prefix"]
+__all__ = [
+    "AppSpec",
+    "CompositeGraph",
+    "build_multiapp_graph",
+    "build_coschedule_graph",
+    "app_prefix",
+    "resolve_apps",
+    "BACKGROUND_TASK",
+]
+
+#: One component application: ``(name, graph)``.
+AppSpec = "tuple[str, FlowGraph]"
 
 
 def app_prefix(app_index: int) -> str:
@@ -35,21 +58,139 @@ def app_prefix(app_index: int) -> str:
     return f"A{app_index}__"
 
 
-def build_multiapp_graph(n_apps: int = 2) -> FlowGraph:
-    """``n_apps`` StentBoost instances sharing the platform.
+def _default_app() -> "tuple[str, FlowGraph]":
+    """The default component application (the paper's StentBoost)."""
+    return ("stentboost", build_stentboost_graph())
 
-    Each instance's task names carry :func:`app_prefix`; the pseudo
-    input/output nodes are shared (one physical video source, one
-    display).  Activation applies the *same* switch state to every
-    instance, which is the aggregate-bandwidth worst case the
-    multi-application scheduling argument has to survive.
+
+def resolve_apps(
+    apps: "int | Sequence[str | FlowGraph | Callable[[], FlowGraph]]",
+) -> "list[tuple[str, FlowGraph]]":
+    """Normalize an app specification to ``(name, graph)`` pairs.
+
+    * an ``int`` yields that many copies of the default application;
+    * a string resolves through the workload registry (imported
+      lazily: :mod:`repro.workloads` imports this package at load
+      time, so the dependency must stay call-time only);
+    * a zero-argument callable is invoked as a graph factory;
+    * a :class:`FlowGraph` is used as given (named ``app<i>``).
     """
-    if n_apps < 1:
-        raise ValueError(f"n_apps must be >= 1, got {n_apps}")
-    base = build_stentboost_graph()
+    if isinstance(apps, int):
+        if apps < 1:
+            raise ValueError(f"n_apps must be >= 1, got {apps}")
+        return [_default_app() for _ in range(apps)]
+    resolved: list[tuple[str, FlowGraph]] = []
+    for i, app in enumerate(apps):
+        if isinstance(app, str):
+            from repro.workloads import get_workload
+
+            workload = get_workload(app)
+            resolved.append((workload.name, workload.build_graph()))
+        elif isinstance(app, FlowGraph):
+            resolved.append((f"app{i}", app))
+        elif callable(app):
+            graph = app()
+            if not isinstance(graph, FlowGraph):
+                raise TypeError(
+                    f"app factory {app!r} returned {type(graph).__name__}, "
+                    "expected FlowGraph"
+                )
+            resolved.append((f"app{i}", graph))
+        else:
+            raise TypeError(
+                f"app spec must be a workload name, FlowGraph or factory, "
+                f"got {type(app).__name__}"
+            )
+    if not resolved:
+        raise ValueError("need at least one app")
+    return resolved
+
+
+class CompositeGraph(FlowGraph):
+    """Several application instances merged into one flow graph.
+
+    Attributes
+    ----------
+    app_names:
+        Component application names, in instance order (repeats
+        allowed: two StentBoost instances are two entries).
+    components:
+        The unprefixed component graphs, same order.
+    prefixes:
+        Task-name prefix of each instance (``A0__`` ...).
+    """
+
+    def __init__(
+        self,
+        components: "Sequence[tuple[str, FlowGraph]]",
+        tasks: dict[str, TaskSpec],
+        edges: Sequence[Edge],
+        activation: Callable[[SwitchState], list[str]],
+    ) -> None:
+        super().__init__(tasks, edges, activation)
+        self.app_names: tuple[str, ...] = tuple(n for n, _ in components)
+        self.components: tuple[FlowGraph, ...] = tuple(g for _, g in components)
+        self.prefixes: tuple[str, ...] = tuple(
+            app_prefix(i) for i in range(len(self.app_names))
+        )
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.app_names)
+
+    # -- joint-scenario structure -------------------------------------------
+
+    def _check_states(self, states: Sequence[SwitchState]) -> None:
+        if len(states) != self.n_apps:
+            raise ValueError(
+                f"need one switch state per app "
+                f"({self.n_apps}), got {len(states)}"
+            )
+
+    def active_tasks_joint(self, states: Sequence[SwitchState]) -> list[str]:
+        """Prefixed names of the tasks active under per-app states."""
+        self._check_states(states)
+        names: list[str] = []
+        for prefix, graph, state in zip(self.prefixes, self.components, states):
+            names += [prefix + n for n in graph.active_tasks(state)]
+        return names
+
+    def active_edges_joint(self, states: Sequence[SwitchState]) -> list[Edge]:
+        """Edges whose endpoints are both active under per-app states."""
+        active = set(self.active_tasks_joint(states)) | {self.INPUT, self.OUTPUT}
+        return [e for e in self.edges if e.src in active and e.dst in active]
+
+    def total_bandwidth_mbps_joint(
+        self, states: Sequence[SwitchState], rate_hz: Hertz = HZ_VIDEO
+    ) -> MBytesPerSecond:
+        """Aggregate inter-task bandwidth of one joint scenario."""
+        return float(
+            sum(e.bandwidth_mbps(rate_hz) for e in self.active_edges_joint(states))
+        )
+
+
+def build_multiapp_graph(
+    apps: "int | Sequence[str | FlowGraph | Callable[[], FlowGraph]]" = 2,
+) -> CompositeGraph:
+    """Several application instances sharing the platform.
+
+    ``apps`` follows :func:`resolve_apps`: an instance count (that
+    many default-application copies -- the historical behavior), a
+    list of registry workload names (``["stentboost", "ultrasound"]``
+    builds a heterogeneous mix), or prebuilt graphs.  Each instance's
+    task names carry :func:`app_prefix`; the pseudo input/output nodes
+    are shared (one physical video source, one display).
+
+    The plain :class:`FlowGraph` activation applies the *same* switch
+    state to every instance, which is the aggregate-bandwidth worst
+    case the multi-application scheduling argument has to survive;
+    :meth:`CompositeGraph.active_tasks_joint` exposes the full joint
+    scenario space to the schedulability checker.
+    """
+    components = resolve_apps(apps)
     tasks: dict[str, TaskSpec] = {}
     edges: list[Edge] = []
-    for i in range(n_apps):
+    for i, (_, base) in enumerate(components):
         prefix = app_prefix(i)
         for name, spec in base.tasks.items():
             tasks[prefix + name] = replace(spec, name=prefix + name)
@@ -60,28 +201,32 @@ def build_multiapp_graph(n_apps: int = 2) -> FlowGraph:
 
     def activation(state: SwitchState) -> list[str]:
         names: list[str] = []
-        for i in range(n_apps):
+        for i, (_, base) in enumerate(components):
             prefix = app_prefix(i)
             names += [prefix + n for n in base.active_tasks(state)]
         return names
 
-    return FlowGraph(tasks, edges, activation)
+    return CompositeGraph(components, tasks, edges, activation)
 
 
 #: Name of the co-scheduled background task.
 BACKGROUND_TASK = "BG_ANALYTICS"
 
 
-def build_coschedule_graph() -> FlowGraph:
-    """StentBoost plus an always-active background analytics task.
+def build_coschedule_graph(
+    app: "str | FlowGraph | Callable[[], FlowGraph] | None" = None,
+) -> FlowGraph:
+    """An application plus an always-active background analytics task.
 
     The background task models the best-effort image-analytics job of
     the co-scheduling experiment: it streams a decimated copy of the
     input (no dependence on the pipeline's switches) and never feeds
     the display path, so it is schedulable onto idle capacity without
-    affecting the frame-periodic deadline structure.
+    affecting the frame-periodic deadline structure.  ``app`` selects
+    the frame-periodic application (default: the paper's StentBoost),
+    resolved as in :func:`resolve_apps`.
     """
-    base = build_stentboost_graph()
+    (_, base), = resolve_apps(1) if app is None else resolve_apps([app])
     tasks = dict(base.tasks)
     tasks[BACKGROUND_TASK] = TaskSpec(
         BACKGROUND_TASK,

@@ -10,6 +10,7 @@ from repro.workloads.base import (
     DEFAULT_WORKLOAD,
     REGISTRY_VERSION,
     FleetParams,
+    ScenarioDynamics,
     Workload,
     all_workloads,
     get_workload,
@@ -24,6 +25,7 @@ __all__ = [
     "DEFAULT_WORKLOAD",
     "REGISTRY_VERSION",
     "FleetParams",
+    "ScenarioDynamics",
     "Workload",
     "all_workloads",
     "get_workload",

@@ -43,6 +43,7 @@ __all__ = [
     "REGISTRY_VERSION",
     "DEFAULT_WORKLOAD",
     "FleetParams",
+    "ScenarioDynamics",
     "Workload",
     "register",
     "get_workload",
@@ -78,6 +79,93 @@ class FleetParams:
 
 
 @dataclass(frozen=True)
+class ScenarioDynamics:
+    """First-order dynamics of an application's scenario switches.
+
+    The scenario-space model checker (:mod:`repro.analysis.schedcheck`)
+    needs to know not just *which* scenarios exist (that is graph
+    structure) but how the application moves between them, so it can
+    weight a violating joint scenario by its reachability.  Each switch
+    bit is modeled as an independent two-state chain, described by its
+    two *stay* probabilities; the full scenario chain over the
+    ``2**n_switches`` scenario ids is their product.
+
+    Attributes
+    ----------
+    stay:
+        Per switch bit, most significant first (matching
+        ``Workload.switch_names``), the pair ``(p_off_to_off,
+        p_on_to_on)``: the probability the bit keeps its current value
+        across one frame.  A stay probability of exactly 1.0 makes the
+        opposite bit value unreachable from that side -- the checker
+        downgrades violations in provably-unreachable scenarios.
+    initial_scenario:
+        Scenario id of frame 0 (every registered pipeline starts with
+        all switches off, id 0, but fixtures may differ).
+    """
+
+    stay: tuple[tuple[float, float], ...]
+    initial_scenario: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.stay:
+            raise ValueError("need at least one switch bit")
+        for pair in self.stay:
+            if len(pair) != 2 or not all(0.0 <= p <= 1.0 for p in pair):
+                raise ValueError(f"stay probabilities must be in [0, 1]: {pair}")
+        if not 0 <= self.initial_scenario < self.n_scenarios:
+            raise ValueError(
+                f"initial_scenario {self.initial_scenario} outside "
+                f"[0, {self.n_scenarios})"
+            )
+
+    @property
+    def n_switches(self) -> int:
+        return len(self.stay)
+
+    @property
+    def n_scenarios(self) -> int:
+        return 2 ** len(self.stay)
+
+    def transition(self) -> tuple[tuple[float, ...], ...]:
+        """Row-stochastic scenario-id transition matrix.
+
+        The product of the per-bit chains, laid out so that row/column
+        indices are scenario ids (bit 0 least significant -- the
+        :attr:`~repro.imaging.pipeline.SwitchState.scenario_id`
+        convention).  Pure-python nested tuples: this layer stays
+        dependency-free; the analysis layer lifts it into a
+        :class:`repro.core.markov.MarkovChain`.
+        """
+        n = self.n_scenarios
+        bits = range(self.n_switches)
+        rows = []
+        for src in range(n):
+            row = []
+            for dst in range(n):
+                p = 1.0
+                for bit in bits:
+                    # ``stay`` is most-significant-first; bit index k
+                    # counts from the least significant end.
+                    off_stay, on_stay = self.stay[self.n_switches - 1 - bit]
+                    src_on = bool(src & (1 << bit))
+                    dst_on = bool(dst & (1 << bit))
+                    stay = on_stay if src_on else off_stay
+                    p *= stay if src_on == dst_on else 1.0 - stay
+                row.append(p)
+            rows.append(tuple(row))
+        return tuple(rows)
+
+
+#: Memoryless default: every switch is a fair coin each frame, so all
+#: scenarios are reachable and equally weighted.  Registered workloads
+#: override this with their measured/modelled dynamics.
+DEFAULT_SCENARIO_DYNAMICS = ScenarioDynamics(
+    stay=((0.5, 0.5), (0.5, 0.5), (0.5, 0.5))
+)
+
+
+@dataclass(frozen=True)
 class Workload:
     """A named application: everything the stack needs to run it.
 
@@ -106,6 +194,10 @@ class Workload:
         StentBoost :data:`repro.hw.cost.DEFAULT_TASK_COSTS`).
     fleet:
         Cluster-scale job-class parameters.
+    scenarios:
+        First-order switch dynamics (:class:`ScenarioDynamics`) used
+        by the schedulability checker to weight joint scenarios by
+        reachability; defaults to memoryless fair-coin switches.
     """
 
     name: str
@@ -118,6 +210,7 @@ class Workload:
     switch_names: tuple[str, str, str]
     fleet: FleetParams
     task_costs: "Mapping[str, TaskCostSpec] | None" = field(default=None)
+    scenarios: ScenarioDynamics = field(default=DEFAULT_SCENARIO_DYNAMICS)
 
 
 _REGISTRY: dict[str, Workload] = {}

@@ -35,7 +35,7 @@ from repro.imaging.pipeline import FrameAnalysis, PipelineConfig, SwitchState
 from repro.imaging.roi import Roi
 from repro.synthetic.dataset import CorpusRanges, CorpusSpec, corpus_configs
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
-from repro.workloads.base import FleetParams, Workload
+from repro.workloads.base import FleetParams, ScenarioDynamics, Workload
 
 __all__ = [
     "ROBOTVISION",
@@ -565,6 +565,18 @@ _FLEET = FleetParams(
     weight=0.30,
 )
 
+#: Switch dynamics: navigation drifts slowly -- the NAV bit follows
+#: a hysteretic EWMA, windowed tracking engages after a lock streak,
+#: and the LOCK bit, once achieved, is very persistent.
+_SCENARIOS = ScenarioDynamics(
+    stay=(
+        (0.95, 0.95),  # NAV: slow drift between navigation regimes
+        (0.90, 0.93),  # WIN: windowed mode engages after a streak
+        (0.60, 0.97),  # LOCK: locks on within frames, then holds
+    ),
+    initial_scenario=0,
+)
+
 ROBOTVISION = Workload(
     name="robotvision",
     description=(
@@ -577,4 +589,5 @@ ROBOTVISION = Workload(
     switch_names=("NAV", "WIN", "LOCK"),
     fleet=_FLEET,
     task_costs=ROBOTVISION_TASK_COSTS,
+    scenarios=_SCENARIOS,
 )

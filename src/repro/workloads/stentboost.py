@@ -15,7 +15,7 @@ from repro.graph.stentboost import build_stentboost_graph
 from repro.imaging.pipeline import PipelineConfig, StentBoostPipeline
 from repro.synthetic.dataset import CorpusSpec, corpus_configs
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
-from repro.workloads.base import FleetParams, Workload
+from repro.workloads.base import FleetParams, ScenarioDynamics, Workload
 
 __all__ = ["STENTBOOST"]
 
@@ -60,6 +60,20 @@ _FLEET = FleetParams(
     weight=0.60,
 )
 
+#: Switch dynamics: interventional procedures are *sticky* -- the
+#: ridge pre-filter and ROI mode persist for stretches of a procedure
+#: phase, and registration, once locked, rarely drops out (Fig. 3's
+#: long scenario dwell times).  All stay probabilities are strictly
+#: inside (0, 1): every scenario is reachable.
+_SCENARIOS = ScenarioDynamics(
+    stay=(
+        (0.90, 0.85),  # RDG: pre-filter engages/disengages slowly
+        (0.70, 0.92),  # ROI: once estimated, the ROI mode persists
+        (0.40, 0.95),  # REG: registration locks and stays locked
+    ),
+    initial_scenario=0,
+)
+
 STENTBOOST = Workload(
     name="stentboost",
     description=(
@@ -72,4 +86,5 @@ STENTBOOST = Workload(
     switch_names=("RDG", "ROI", "REG"),
     fleet=_FLEET,
     task_costs=None,
+    scenarios=_SCENARIOS,
 )

@@ -34,7 +34,7 @@ from repro.imaging.pipeline import FrameAnalysis, PipelineConfig, SwitchState
 from repro.imaging.roi import Roi
 from repro.synthetic.dataset import CorpusRanges, CorpusSpec, corpus_configs
 from repro.synthetic.sequence import SequenceConfig, XRaySequence
-from repro.workloads.base import FleetParams, Workload
+from repro.workloads.base import FleetParams, ScenarioDynamics, Workload
 
 __all__ = [
     "ULTRASOUND",
@@ -470,6 +470,18 @@ _FLEET = FleetParams(
     weight=0.10,
 )
 
+#: Switch dynamics: maximally abrupt -- every bit is a raw per-frame
+#: threshold with no hysteresis, so stay probabilities sit near a
+#: coin flip and the scenario can jump anywhere within a few frames.
+_SCENARIOS = ScenarioDynamics(
+    stay=(
+        (0.55, 0.50),  # DOP: raw motion threshold, flips freely
+        (0.60, 0.55),  # SECT: fresh concentration test every frame
+        (0.70, 0.45),  # HIT: detector fires in short bursts
+    ),
+    initial_scenario=0,
+)
+
 ULTRASOUND = Workload(
     name="ultrasound",
     description=(
@@ -482,4 +494,5 @@ ULTRASOUND = Workload(
     switch_names=("DOP", "SECT", "HIT"),
     fleet=_FLEET,
     task_costs=ULTRASOUND_TASK_COSTS,
+    scenarios=_SCENARIOS,
 )

@@ -145,7 +145,10 @@ class TestBudgets:
 
     def test_bandwidth_budget_error_on_tiny_link(self):
         g = build_stentboost_graph()
-        platform = SimpleNamespace(l2_bus_bw=1.0)  # one byte per second
+        platform = SimpleNamespace(
+            l2_bus_bw=1.0,  # one byte per second
+            total_dram_stream_bw=1.0,
+        )
         findings = check_bandwidth(g, platform)
         assert all(f.rule == "graph/bandwidth-budget" for f in findings)
         assert any(f.severity is Severity.ERROR for f in findings)

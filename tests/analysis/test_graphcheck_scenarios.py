@@ -9,20 +9,29 @@ from __future__ import annotations
 
 import dataclasses
 
+import pytest
+
 from repro.analysis.findings import Severity, sort_key
 from repro.analysis.graphcheck import (
+    PlatformLike,
     check_flowgraph,
     check_scenarios,
     check_topology,
+    scenario_ids_for,
 )
 from repro.graph.composite import (
     BACKGROUND_TASK,
+    CompositeGraph,
     app_prefix,
     build_coschedule_graph,
     build_multiapp_graph,
+    resolve_apps,
 )
 from repro.graph.flowgraph import Edge, FlowGraph
+from repro.graph.stentboost import build_stentboost_graph
 from repro.hw.spec import blackford
+from repro.imaging.pipeline import SwitchState
+from repro.workloads import all_workloads, get_workload
 
 
 def _warnings_or_worse(findings):
@@ -100,6 +109,102 @@ class TestCoschedule:
         edges = list(graph.edges) + [Edge("NOT_A_TASK", BACKGROUND_TASK, 1.0)]
         findings = check_topology(graph.tasks, edges)
         assert any(f.rule == "graph/dangling" for f in findings)
+
+
+class TestEveryWorkload:
+    """Satellite coverage: the checks hold per registered workload,
+    with the scenario-id range derived from its switch count."""
+
+    @pytest.mark.parametrize(
+        "name", [w.name for w in all_workloads()]
+    )
+    def test_workload_passes_on_blackford(self, name):
+        workload = get_workload(name)
+        findings = check_flowgraph(
+            workload.build_graph(),
+            blackford(),
+            scenario_ids=scenario_ids_for(workload.switch_names),
+        )
+        assert _warnings_or_worse(findings) == [], [
+            f.render() for f in findings
+        ]
+
+    def test_scenario_ids_follow_switch_count(self):
+        assert scenario_ids_for(("a",)) == (0, 1)
+        assert scenario_ids_for(("a", "b", "c")) == tuple(range(8))
+
+    def test_platform_satisfies_the_protocol(self):
+        # The budget checks are typed against PlatformLike rather than
+        # getattr duck-typing; the reference spec must satisfy it.
+        assert isinstance(blackford(), PlatformLike)
+
+
+class TestHeterogeneousComposite:
+    def test_hetero_pair_passes_on_blackford(self):
+        graph = build_multiapp_graph(["stentboost", "ultrasound"])
+        findings = check_flowgraph(graph, blackford())
+        assert _warnings_or_worse(findings) == []
+        assert graph.app_names == ("stentboost", "ultrasound")
+
+    def test_joint_accessors_match_per_component(self):
+        graph = build_multiapp_graph(["stentboost", "ultrasound"])
+        states = [
+            SwitchState.from_scenario_id(5),
+            SwitchState.from_scenario_id(2),
+        ]
+        joint = graph.active_tasks_joint(states)
+        expected = [
+            app_prefix(0) + n
+            for n in graph.components[0].active_tasks(states[0])
+        ] + [
+            app_prefix(1) + n
+            for n in graph.components[1].active_tasks(states[1])
+        ]
+        assert joint == expected
+        # With the same state broadcast to every app, the joint
+        # bandwidth equals the plain FlowGraph aggregate.
+        s = SwitchState.from_scenario_id(5)
+        assert graph.total_bandwidth_mbps_joint([s, s]) == pytest.approx(
+            graph.total_bandwidth_mbps(s)
+        )
+
+    def test_joint_accessor_arity_checked(self):
+        graph = build_multiapp_graph(["stentboost", "ultrasound"])
+        with pytest.raises(ValueError):
+            graph.active_tasks_joint([SwitchState.from_scenario_id(0)])
+
+    def test_resolve_apps_accepts_every_spelling(self):
+        by_count = resolve_apps(2)
+        assert [n for n, _ in by_count] == ["stentboost", "stentboost"]
+        by_name = resolve_apps(["ultrasound"])
+        assert by_name[0][0] == "ultrasound"
+        by_factory = resolve_apps([build_stentboost_graph])
+        assert isinstance(by_factory[0][1], FlowGraph)
+        prebuilt = build_stentboost_graph()
+        by_graph = resolve_apps([prebuilt])
+        assert by_graph[0][1] is prebuilt
+
+    def test_resolve_apps_rejects_junk(self):
+        with pytest.raises(ValueError):
+            resolve_apps([])
+        with pytest.raises(KeyError):
+            resolve_apps(["no-such-workload"])
+        with pytest.raises(TypeError):
+            resolve_apps([42])
+
+    def test_composite_type_and_prefixes(self):
+        graph = build_multiapp_graph(
+            ["stentboost", "ultrasound", "robotvision"]
+        )
+        assert isinstance(graph, CompositeGraph)
+        assert graph.n_apps == 3
+        assert graph.prefixes == ("A0__", "A1__", "A2__")
+
+    def test_coschedule_accepts_registry_names(self):
+        graph = build_coschedule_graph("ultrasound")
+        assert BACKGROUND_TASK in graph.tasks
+        findings = check_flowgraph(graph, blackford())
+        assert _warnings_or_worse(findings) == []
 
 
 class TestOrderingStability:

@@ -1,0 +1,327 @@
+"""Tests for the scenario-space schedulability model checker.
+
+Covers the acceptance properties: the default two-StentBoost mix is
+feasible on the reference platform, an overloaded mix produces
+``sched/*`` ERRORs whose messages carry a Markov-reachable witness
+path and the joint stationary probability, symmetry reduction is
+exact against brute-force enumeration, unreachable violations are
+downgraded, and the feasibility envelope marks the boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.analysis.findings import Severity
+from repro.analysis.schedcheck import (
+    MAX_WITNESS_FRAMES,
+    FeasibilityEnvelope,
+    _AppModel,
+    check_schedulability,
+    compute_envelope,
+    product_scenario_chain,
+    static_task_cost_ms,
+)
+from repro.hw.cost import TaskCostSpec
+from repro.hw.spec import blackford
+from repro.util.units import BYTES_PER_PIXEL, HZ_VIDEO, KIB, MS_PER_S, PX_PER_KPX
+from repro.workloads import ScenarioDynamics, get_workload
+
+PERIOD_MS = MS_PER_S / HZ_VIDEO
+
+
+def _deterministic_workload(name: str = "sbdet"):
+    """StentBoost's graph with deterministic switch dynamics.
+
+    Every bit flips on with probability 1 and then stays on: from the
+    initial scenario 0 the only trajectory is ``0 -> 7 -> 7 -> ...``,
+    so scenarios 1..6 are statically unreachable.
+    """
+    return dataclasses.replace(
+        get_workload("stentboost"),
+        name=name,
+        scenarios=ScenarioDynamics(stay=((0.0, 1.0), (0.0, 1.0), (0.0, 1.0))),
+    )
+
+
+class TestStaticCost:
+    def test_none_cost_is_free(self):
+        assert static_task_cost_ms(512.0, None) == 0.0
+
+    def test_fixed_plus_per_kpixel(self):
+        cost = TaskCostSpec(fixed_ms=1.5, per_kpixel_ms=0.01)
+        kpx = 512.0 * KIB / BYTES_PER_PIXEL / PX_PER_KPX
+        assert static_task_cost_ms(512.0, cost) == pytest.approx(
+            1.5 + 0.01 * kpx
+        )
+
+
+class TestFeasibleMix:
+    def test_two_stentboost_on_blackford_has_no_errors(self):
+        report = check_schedulability(
+            ["stentboost", "stentboost"], blackford(), cores=8
+        )
+        assert report.errors == [], [f.render() for f in report.errors]
+        assert report.apps == ("stentboost", "stentboost")
+        assert report.n_joint == 64
+        # Two identical instances collapse to C(8+1, 2) = 36 orbits.
+        assert report.n_orbits == 36
+        assert report.n_checked + report.n_pruned <= report.n_orbits + 1
+
+    def test_l2_pressure_is_warning_not_error(self):
+        # StentBoost legitimately overflows L2 (the Fig. 5 swap
+        # story); the checker must report pressure without failing.
+        report = check_schedulability(
+            ["stentboost", "stentboost"], blackford(), cores=8
+        )
+        pressure = [
+            f for f in report.findings if f.rule == "sched/l2-pressure"
+        ]
+        assert pressure and all(
+            f.severity is Severity.WARNING for f in pressure
+        )
+
+
+class TestInfeasibleMix:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return check_schedulability(
+            ["stentboost"] * 4, blackford(), cores=1
+        )
+
+    def test_overload_is_an_error(self, report):
+        rules = {f.rule for f in report.errors}
+        assert "sched/compute-budget" in rules
+        assert "sched/deadline" in rules
+
+    def test_messages_carry_probability_and_witness(self, report):
+        compute = [
+            f for f in report.findings if f.rule == "sched/compute-budget"
+        ]
+        assert compute
+        for f in compute:
+            assert "stationary p=" in f.message
+            assert "witness (" in f.message
+
+    def test_top_violation_is_most_probable_and_pinned(self, report):
+        # The first compute-budget finding is the highest-stationary
+        # joint scenario; with identical instances that is the per-app
+        # stationary argmax in every slot.
+        model = _AppModel(get_workload("stentboost"), 1, HZ_VIDEO)
+        best = max(
+            range(model.n_scenarios), key=lambda s: model.stationary[s]
+        )
+        first = next(
+            f for f in report.findings if f.rule == "sched/compute-budget"
+        )
+        sids = ",".join([str(best)] * 4)
+        assert f"({sids})" in first.location
+        prob = model.stationary[best] ** 4
+        assert f"p={prob:.3e}" in first.message
+        # All registered dynamics are strictly positive, so every
+        # joint scenario is one hop from the initial (0,0,0,0).
+        assert f"witness (1 frame(s)): (0,0,0,0)->({sids})" in first.message
+
+    def test_orbit_weight_reported(self, report):
+        mixed = [
+            f
+            for f in report.findings
+            if f.rule == "sched/compute-budget" and "orbit x" in f.message
+        ]
+        assert mixed  # any non-uniform assignment has orbit > 1
+
+
+class TestSymmetryReduction:
+    def test_orbits_cover_the_full_product(self):
+        """Brute-force the joint space; the symmetry-reduced report
+        must account for exactly the same violating assignments."""
+        platform = blackford()
+        cores = 1
+        model = _AppModel(get_workload("stentboost"), cores, HZ_VIDEO)
+        supply = cores * PERIOD_MS
+        bus = min(
+            float(platform.l2_bus_bw), float(platform.total_dram_stream_bw)
+        )
+        l2_total = float(platform.n_l2 * platform.l2.capacity_bytes)
+
+        expected = {"sched/compute-budget": 0, "sched/bus-budget": 0,
+                    "sched/l2-pressure": 0}
+        for a in range(8):
+            for b in range(8):
+                load = model.loads[a] + model.loads[b]
+                if load.cost_ms > supply:
+                    expected["sched/compute-budget"] += 1
+                if load.bw_bytes > bus:
+                    expected["sched/bus-budget"] += 1
+                if load.ws_bytes > l2_total:
+                    expected["sched/l2-pressure"] += 1
+
+        report = check_schedulability(
+            ["stentboost", "stentboost"],
+            platform,
+            cores=cores,
+            report_cap=100,
+        )
+        got = {"sched/compute-budget": 0, "sched/bus-budget": 0,
+               "sched/l2-pressure": 0}
+        for f in report.findings:
+            if f.rule not in got:
+                continue
+            orbit = 1
+            if "orbit x" in f.message:
+                orbit = int(
+                    f.message.split("orbit x")[1].split(";")[0].strip()
+                )
+            got[f.rule] += orbit
+        assert got == expected
+        assert report.n_joint == 64 and report.n_orbits == 36
+
+    def test_instance_order_does_not_matter(self):
+        a = check_schedulability(
+            ["stentboost", "stentboost", "stentboost"], blackford(), cores=2
+        )
+        b = check_schedulability(
+            ["stentboost", "stentboost", "stentboost"], blackford(), cores=2
+        )
+        assert [f.render() for f in a.findings] == [
+            f.render() for f in b.findings
+        ]
+
+
+class TestReachabilityDowngrade:
+    def test_unreachable_violations_are_downgraded(self):
+        det = _deterministic_workload()
+        report = check_schedulability([det] * 4, blackford(), cores=1)
+        compute = [
+            f for f in report.findings if f.rule == "sched/compute-budget"
+        ]
+        assert compute
+        for f in compute:
+            if "downgraded" in f.message:
+                assert f.severity <= Severity.WARNING
+            else:
+                assert f.severity is Severity.ERROR
+                assert "witness (" in f.message
+        # Both kinds exist: (7,7,7,7) is witnessed, mixed tuples not.
+        assert any("statically unreachable" in f.message for f in compute)
+        assert any("witness (" in f.message for f in compute)
+
+    def test_pinned_deterministic_witness(self):
+        det = _deterministic_workload()
+        report = check_schedulability([det, det], blackford(), cores=1)
+        witnessed = [
+            f
+            for f in report.findings
+            if f.rule == "sched/compute-budget" and f.severity is Severity.ERROR
+        ]
+        # The only jointly reachable scenarios are (0,0) and (7,7)
+        # (both apps move in lockstep); the violating one is (7,7),
+        # one deterministic hop from start.  Everything else -- even
+        # per-app-reachable combinations like (0,7) -- is downgraded.
+        assert len(witnessed) == 1
+        assert "(7,7)" in witnessed[0].location
+        assert "witness (1 frame(s)): (0,0)->(7,7)" in witnessed[0].message
+        assert "p=1.000e+00" in witnessed[0].message
+
+    def test_reachability_layers_are_bounded(self):
+        det = _deterministic_workload()
+        model = _AppModel(det, 1, HZ_VIDEO)
+        assert model.dist[0] == 0 and model.dist[7] == 1
+        assert all(model.dist[s] is None for s in range(1, 7))
+        assert len(model.exact) == MAX_WITNESS_FRAMES + 1
+
+
+class TestProductChain:
+    def test_stationary_factorizes(self):
+        joint = product_scenario_chain(["stentboost", "ultrasound"])
+        assert joint.n_states == 64
+        pa = product_scenario_chain(["stentboost"]).stationary()
+        pb = product_scenario_chain(["ultrasound"]).stationary()
+        pj = joint.stationary()
+        for i in range(8):
+            for j in range(8):
+                assert pj[i * 8 + j] == pytest.approx(
+                    pa[i] * pb[j], abs=1e-9
+                )
+
+    def test_rows_are_stochastic(self):
+        joint = product_scenario_chain(["stentboost", "robotvision"])
+        for row in joint.transition:
+            assert math.isclose(float(sum(row)), 1.0, abs_tol=1e-9)
+
+
+class TestReportCap:
+    def test_cap_truncates_with_a_note(self):
+        capped = check_schedulability(
+            ["stentboost"] * 4, blackford(), cores=1, report_cap=2
+        )
+        by_rule: dict[str, int] = {}
+        for f in capped.findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        assert by_rule["sched/compute-budget"] == 2
+        notes = [
+            f for f in capped.findings if f.rule == "sched/report-cap"
+        ]
+        assert notes and all(f.severity is Severity.INFO for f in notes)
+        assert any("sched/compute-budget" in f.message for f in notes)
+
+
+class TestHeterogeneousMixes:
+    def test_hetero_pair_is_feasible_on_blackford(self):
+        report = check_schedulability(
+            ["stentboost", "ultrasound"], blackford()
+        )
+        assert report.errors == [], [f.render() for f in report.errors]
+        assert report.apps == ("stentboost", "ultrasound")
+        # Distinct workloads do not collapse: all 64 joint scenarios
+        # are distinct orbits.
+        assert report.n_orbits == 64
+
+    def test_every_registered_single_is_feasible(self):
+        from repro.workloads import workload_names
+
+        for name in workload_names():
+            report = check_schedulability([name], blackford())
+            assert report.errors == [], (
+                name,
+                [f.render() for f in report.errors],
+            )
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            check_schedulability(["no-such-app"], blackford())
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            check_schedulability([], blackford())
+
+    def test_bad_core_count_rejected(self):
+        with pytest.raises(ValueError):
+            check_schedulability(["stentboost"], blackford(), cores=0)
+
+
+class TestEnvelope:
+    def test_boundary_is_tight(self):
+        platform = blackford()
+        env = compute_envelope(
+            platform, workloads=["stentboost"], search_cap=8
+        )
+        cap = env.max_instances["stentboost"]
+        assert 1 <= cap <= 8
+        at_cap = check_schedulability(["stentboost"] * cap, platform)
+        assert at_cap.errors == []
+        if cap < 8:
+            over = check_schedulability(["stentboost"] * (cap + 1), platform)
+            assert over.errors
+
+    def test_doc_round_trip(self):
+        env = FeasibilityEnvelope(
+            cores=8, rate_hz=30.0, max_instances={"b": 2, "a": 1}
+        )
+        doc = env.to_doc()
+        assert doc["schema"] == "repro-sched-envelope/1"
+        assert list(doc["max_instances"]) == ["a", "b"]
+        assert env.as_app_caps() == {"a": 1, "b": 2}

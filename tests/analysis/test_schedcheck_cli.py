@@ -1,0 +1,162 @@
+"""Tests for ``python -m repro.analysis schedcheck``.
+
+Exit-code semantics, byte-identical SARIF across runs, the result
+cache, the feasibility-envelope file, and the subcommand dispatch
+through the main analysis CLI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.schedcheck_cli import main, matrix_mixes
+
+FEASIBLE = ["--apps", "stentboost,stentboost", "--cores", "8", "--no-cache"]
+INFEASIBLE = [
+    "--apps",
+    "stentboost,stentboost,stentboost,stentboost",
+    "--cores",
+    "1",
+    "--no-cache",
+]
+
+
+class TestExitCodes:
+    def test_feasible_default_mix_exits_zero(self, capsys):
+        assert main(FEASIBLE) == 0
+        out = capsys.readouterr().out
+        assert "sched/l2-pressure" in out  # pressure reported, not fatal
+
+    def test_overloaded_mix_exits_nonzero(self, capsys):
+        assert main(INFEASIBLE) == 1
+        out = capsys.readouterr().out
+        assert "sched/compute-budget" in out
+        assert "witness (" in out and "stationary p=" in out
+
+    def test_fail_on_warning_tightens_the_gate(self, capsys):
+        assert main(FEASIBLE + ["--fail-on", "warning"]) == 1
+        capsys.readouterr()
+
+    def test_unknown_workload_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--apps", "no-such-app", "--no-cache"])
+        capsys.readouterr()
+
+    def test_bad_platform_spec_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(FEASIBLE + ["--platform", "no.such.module:thing"])
+        capsys.readouterr()
+
+
+class TestMatrix:
+    def test_matrix_mixes_shape(self):
+        mixes = matrix_mixes(["a", "b"])
+        assert mixes == [("a",), ("b",), ("a", "a"), ("a", "b"), ("b", "b")]
+
+    def test_default_matrix_exits_zero(self, capsys):
+        # The acceptance gate: every registered workload alone and in
+        # pairs fits the reference platform.
+        assert main(["--no-cache"]) == 0
+        capsys.readouterr()
+
+
+class TestDeterminism:
+    def test_sarif_is_byte_identical_across_runs(self, capsys):
+        assert main(FEASIBLE + ["--format", "sarif"]) == 0
+        first = capsys.readouterr().out
+        assert main(FEASIBLE + ["--format", "sarif"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        doc = json.loads(first)
+        assert doc["version"] == "2.1.0"
+        rules = {
+            r["id"]
+            for r in doc["runs"][0]["tool"]["driver"]["rules"]
+        }
+        assert "sched/l2-pressure" in rules
+
+    def test_json_format_parses(self, capsys):
+        assert main(INFEASIBLE + ["--format", "json"]) == 1
+        findings = json.loads(capsys.readouterr().out)
+        assert any(f["rule"] == "sched/deadline" for f in findings)
+
+
+class TestCache:
+    def test_cached_rerun_is_identical(self, tmp_path, capsys):
+        args = [
+            "--apps",
+            "stentboost,stentboost",
+            "--cores",
+            "8",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        cold = capsys.readouterr().out
+        entries = list((tmp_path / "schedcheck").glob("*.json"))
+        assert len(entries) == 1
+        assert main(args) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+
+    def test_corrupt_cache_entry_is_recomputed(self, tmp_path, capsys):
+        args = [
+            "--apps",
+            "stentboost,stentboost",
+            "--cores",
+            "8",
+            "--cache-dir",
+            str(tmp_path),
+        ]
+        assert main(args) == 0
+        good = capsys.readouterr().out
+        (entry,) = (tmp_path / "schedcheck").glob("*.json")
+        entry.write_text("{not json", encoding="utf-8")
+        assert main(args) == 0
+        assert capsys.readouterr().out == good
+
+
+class TestEnvelope:
+    def test_envelope_file_round_trips_into_the_fleet(self, tmp_path, capsys):
+        out = tmp_path / "envelope.json"
+        assert (
+            main(
+                [
+                    "--apps",
+                    "stentboost",
+                    "--no-cache",
+                    "--envelope",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["schema"] == "repro-sched-envelope/1"
+        assert all(cap >= 1 for cap in doc["max_instances"].values())
+
+        from repro.fleet.cli import _load_envelope
+
+        caps = _load_envelope(out)
+        assert caps == doc["max_instances"]
+
+
+class TestBaseline:
+    def test_baseline_swallows_known_violations(self, tmp_path, capsys):
+        baseline = tmp_path / "sched-baseline.json"
+        assert main(INFEASIBLE + ["--write-baseline", str(baseline)]) == 0
+        capsys.readouterr()
+        assert main(INFEASIBLE + ["--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+
+class TestDispatch:
+    def test_main_cli_dispatches_subcommand(self, capsys):
+        from repro.analysis.cli import main as analysis_main
+
+        code = analysis_main(["schedcheck"] + FEASIBLE)
+        assert code == 0
+        capsys.readouterr()

@@ -7,7 +7,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.markov import AdaptiveQuantizer, MarkovChain, MarkovChain2
+from repro.core.markov import (
+    AdaptiveQuantizer,
+    MarkovChain,
+    MarkovChain2,
+    product_chain,
+)
 
 value_lists = st.lists(
     st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
@@ -230,3 +235,52 @@ class TestVectorizedPrediction:
                 chain2.quantizer.centers[1], chain2.quantizer.centers[1]
             )
         )
+
+
+class TestLabeledChains:
+    """Chains over labeled finite state spaces (scenario ids)."""
+
+    def test_from_transition_states_are_integers(self):
+        t = [[0.9, 0.1], [0.3, 0.7]]
+        chain = MarkovChain.from_transition(t)
+        assert chain.n_states == 2
+        assert chain.quantizer.state(0.0) == 0
+        assert chain.quantizer.state(1.0) == 1
+        np.testing.assert_allclose(chain.transition, t)
+
+    def test_from_transition_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            MarkovChain.from_transition([[0.5, 0.5]])
+
+    def test_two_state_stationary_closed_form(self):
+        # stay probabilities (a, b): pi_on = (1-a) / ((1-a) + (1-b)).
+        a, b = 0.9, 0.7
+        chain = MarkovChain.from_transition(
+            [[a, 1.0 - a], [1.0 - b, b]]
+        )
+        pi = chain.stationary()
+        assert pi[1] == pytest.approx((1 - a) / ((1 - a) + (1 - b)))
+
+    def test_product_chain_is_kronecker(self):
+        ta = np.array([[0.9, 0.1], [0.3, 0.7]])
+        tb = np.array([[0.5, 0.5], [0.2, 0.8]])
+        joint = product_chain(
+            [MarkovChain.from_transition(ta), MarkovChain.from_transition(tb)]
+        )
+        assert joint.n_states == 4
+        np.testing.assert_allclose(joint.transition, np.kron(ta, tb))
+        # First chain most significant: joint state 2 is (a=1, b=0).
+        pa = MarkovChain.from_transition(ta).stationary()
+        pb = MarkovChain.from_transition(tb).stationary()
+        np.testing.assert_allclose(
+            joint.stationary(), np.kron(pa, pb), atol=1e-9
+        )
+
+    def test_product_chain_single_is_identity(self):
+        ta = np.array([[0.9, 0.1], [0.3, 0.7]])
+        joint = product_chain([MarkovChain.from_transition(ta)])
+        np.testing.assert_allclose(joint.transition, ta)
+
+    def test_product_chain_rejects_empty(self):
+        with pytest.raises(ValueError):
+            product_chain([])

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.fleet.admission import AdmissionController, default_tiers
@@ -156,3 +158,68 @@ class TestAdmission:
         assert gold["shed"] == 0
         assert gold["deadline_misses"] == 0
         assert gold["wait_violations"] == 0
+
+
+def app_job(jid: str, app: str, tier: str = "bronze") -> JobRecord:
+    return dataclasses.replace(job(jid, tier), app=app)
+
+
+class TestAppEnvelope:
+    """The statically-proven feasibility-envelope precheck."""
+
+    def _controller(self, caps):
+        return AdmissionController(default_tiers(), 100.0, app_caps=caps)
+
+    def test_arrival_beyond_cap_is_shed(self):
+        ctl = self._controller({"sb": 1})
+        assert ctl.on_submit(app_job("j1", "sb"), 0.0).admitted
+        decision = ctl.on_submit(app_job("j2", "sb"), 0.0)
+        assert not decision.admitted
+        assert decision.reason == "app-envelope"
+
+    def test_uncapped_app_is_unaffected(self):
+        ctl = self._controller({"sb": 1})
+        for i in range(5):
+            assert ctl.on_submit(app_job(f"j{i}", "other"), 0.0).admitted
+
+    def test_gold_is_never_shed_but_counts(self):
+        ctl = self._controller({"sb": 1})
+        assert ctl.on_submit(app_job("g1", "sb", tier="gold"), 0.0).admitted
+        # Gold ignores the cap by contract ...
+        assert ctl.on_submit(app_job("g2", "sb", tier="gold"), 0.0).admitted
+        assert ctl.app_inflight("sb") == 2
+        # ... but its in-flight jobs still block sheddable arrivals.
+        assert not ctl.on_submit(app_job("b1", "sb"), 0.0).admitted
+
+    def test_finish_frees_the_slot(self):
+        ctl = self._controller({"sb": 1})
+        j1 = app_job("j1", "sb")
+        assert ctl.on_submit(j1, 0.0).admitted
+        assert not ctl.on_submit(app_job("j2", "sb"), 0.0).admitted
+        ctl.on_start(j1, 0.0)
+        ctl.on_finish(j1, 100.0)
+        assert ctl.app_inflight("sb") == 0
+        assert ctl.on_submit(app_job("j3", "sb"), 0.0).admitted
+
+    def test_zero_cap_sheds_everything_sheddable(self):
+        ctl = self._controller({"sb": 0})
+        decision = ctl.on_submit(app_job("j1", "sb"), 0.0)
+        assert not decision.admitted and decision.reason == "app-envelope"
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError):
+            self._controller({"sb": -1})
+
+    def test_app_report_shape(self):
+        ctl = self._controller({"sb": 1})
+        ctl.on_submit(app_job("j1", "sb"), 0.0)
+        ctl.on_submit(app_job("j2", "sb"), 0.0)  # shed
+        ctl.on_submit(app_job("j3", "other"), 0.0)
+        report = ctl.app_report()
+        assert report["sb"] == {"cap": 1, "inflight": 1, "shed": 1}
+        assert report["other"] == {"cap": -1, "inflight": 1, "shed": 0}
+
+    def test_no_caps_means_no_envelope_bookkeeping(self):
+        ctl = AdmissionController(default_tiers(), 100.0)
+        for i in range(20):
+            assert ctl.on_submit(app_job(f"j{i}", "sb"), 0.0).admitted

@@ -113,3 +113,46 @@ class TestMain:
             ]
         )
         assert rc == 1
+
+
+class TestEnvelopeFlag:
+    def test_envelope_caps_flow_into_the_report(self, tmp_path):
+        envelope = tmp_path / "envelope.json"
+        envelope.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-sched-envelope/1",
+                    "cores": 8,
+                    "rate_hz": 30.0,
+                    "max_instances": {"stentboost": 0},
+                }
+            ),
+            encoding="utf-8",
+        )
+        out = tmp_path / "slo.json"
+        code = main(
+            [
+                "--jobs",
+                "200",
+                "--seed",
+                "7",
+                "--policies",
+                "fcfs",
+                "--envelope",
+                str(envelope),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["app_caps"] == {"stentboost": 0}
+        # Cap 0 sheds every sheddable stentboost arrival at the door.
+        fcfs = doc["policies"]["fcfs"]
+        assert fcfs["jobs"]["shed"] > 0
+
+    def test_malformed_envelope_is_a_usage_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other"}), encoding="utf-8")
+        with pytest.raises(SystemExit):
+            main(["--jobs", "50", "--envelope", str(bad)])
